@@ -1,0 +1,28 @@
+//! Criterion benchmarks of simulator throughput: simulated hours per
+//! wall-second at the paper's full scale, for both streaming modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cloudmedia_sim::config::{SimConfig, SimMode};
+use cloudmedia_sim::simulator::Simulator;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for mode in [SimMode::ClientServer, SimMode::P2p] {
+        group.bench_function(format!("{mode:?}_2h_paper_scale"), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::paper_default(mode);
+                cfg.trace.horizon_seconds = 2.0 * 3600.0;
+                Simulator::new(cfg)
+                    .expect("config is valid")
+                    .run()
+                    .expect("run succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Ablation — provisioning vs admission control under capacity caps: for
+//! a channel at the paper's scale, sweep the VM cap and report how many
+//! requests must be rejected to keep the admitted viewers smooth.
+
+use cloudmedia_core::analysis::{admission_outcome, min_vms_for_rejection};
+use cloudmedia_core::channel::ChannelModel;
+use cloudmedia_queueing::mmm::min_servers_for_sojourn;
+
+fn main() {
+    let channel = ChannelModel::paper_default(0, 0.15); // ~390 viewers
+    let lambdas = channel.chunk_arrival_rates().expect("paper channel solves");
+    let total: f64 = lambdas.iter().sum();
+    let full = min_servers_for_sojourn(total, channel.service_rate(), channel.chunk_seconds)
+        .expect("paper channel is provisionable");
+    println!("# full mean-provisioned fleet: {full} VMs");
+    println!("vms,rejection_probability,admitted_sojourn_s,waiting_room");
+    for pct in [100, 90, 80, 70, 60, 50, 40] {
+        let vms = (full * pct / 100).max(1);
+        match admission_outcome(&channel, vms) {
+            Ok(o) => println!(
+                "{vms},{:.4},{:.1},{}",
+                o.rejection_probability, o.admitted_sojourn, o.waiting_room
+            ),
+            Err(e) => println!("{vms},error: {e},,"),
+        }
+    }
+    for eps in [0.001, 0.01, 0.05] {
+        let vms = min_vms_for_rejection(&channel, eps).expect("feasible");
+        println!("# min VMs for <= {:.1}% rejection: {vms}", eps * 100.0);
+    }
+}

@@ -1,0 +1,9 @@
+//! Footnote 3 — chunk-size trade-off: VM switching per session vs wasted
+//! prefetch on VCR jumps vs provisioned capacity.
+
+use cloudmedia_bench::chunk_size;
+
+fn main() {
+    let rows = chunk_size::sweep(&[60.0, 150.0, 300.0, 600.0, 900.0], 0.15);
+    print!("{}", chunk_size::csv(&rows));
+}

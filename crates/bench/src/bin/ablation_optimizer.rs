@@ -1,0 +1,53 @@
+//! Ablation — the paper's greedy provisioning heuristics vs exact
+//! optimizers: utility gap of the storage rental and VM configuration
+//! solutions across random demand profiles and budgets.
+
+use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters, PAPER_VM_BANDWIDTH};
+use cloudmedia_cloud::scheduler::ChunkKey;
+use cloudmedia_core::provisioning::storage::{ChunkDemand, StorageProblem};
+use cloudmedia_core::provisioning::vm::VmProblem;
+
+fn demands(seed: &mut u64, n: usize, scale: f64) -> Vec<ChunkDemand> {
+    (0..n)
+        .map(|i| {
+            *seed ^= *seed << 13;
+            *seed ^= *seed >> 7;
+            *seed ^= *seed << 17;
+            ChunkDemand {
+                key: ChunkKey { channel: 0, chunk: i },
+                demand: (*seed % 1000) as f64 / 1000.0 * scale,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let nfs = paper_nfs_clusters();
+    let vms = paper_virtual_clusters();
+    let mut seed = 0xD15EA5Eu64;
+    println!("problem,budget,greedy_utility,exact_utility,gap_percent");
+    for trial in 0..8 {
+        let d = demands(&mut seed, 40, 2.0 * PAPER_VM_BANDWIDTH);
+        let budget = 20.0 + trial as f64 * 10.0;
+        let p = VmProblem { demands: &d, clusters: &vms, budget_per_hour: budget };
+        if let (Ok(g), Ok(e)) = (p.greedy(), p.exact()) {
+            let gap = (e.total_utility - g.total_utility) / e.total_utility * 100.0;
+            println!("vm,{budget},{:.2},{:.2},{:.1}", g.total_utility, e.total_utility, gap);
+        }
+        let sd = demands(&mut seed, 40, 10.0);
+        let sbudget = 0.001 + trial as f64 * 0.002;
+        let sp = StorageProblem {
+            demands: &sd,
+            clusters: &nfs,
+            chunk_bytes: 15_000_000,
+            budget_per_hour: sbudget,
+        };
+        if let (Ok(g), Ok(e)) = (sp.greedy(), sp.exact()) {
+            let gap = (e.total_utility - g.total_utility) / e.total_utility * 100.0;
+            println!(
+                "storage,{sbudget},{:.2},{:.2},{:.1}",
+                g.total_utility, e.total_utility, gap
+            );
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Ablation — demand predictor: the paper's last-interval predictor vs
+//! moving-average and EWMA extensions ("more accurate prediction methods
+//! ... can be applied", Sec. V-B).
+
+use cloudmedia_bench::HarnessArgs;
+use cloudmedia_core::predictor::PredictorKind;
+use cloudmedia_sim::config::{SimConfig, SimMode};
+use cloudmedia_sim::simulator::Simulator;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("predictor,mode,mean_quality,mean_vm_cost_per_hour,mean_reserved_mbps");
+    for (name, kind) in [
+        ("last_interval", PredictorKind::LastInterval),
+        ("moving_average_3", PredictorKind::MovingAverage { window: 3 }),
+        ("ewma_0.5", PredictorKind::Ewma { weight: 0.5 }),
+    ] {
+        for mode in [SimMode::ClientServer, SimMode::P2p] {
+            let mut cfg = SimConfig::paper_default(mode);
+            cfg.trace.horizon_seconds = args.hours * 3600.0;
+            cfg.predictor = kind;
+            let m = Simulator::new(cfg)
+                .expect("config is valid")
+                .run()
+                .expect("run succeeds");
+            println!(
+                "{name},{mode:?},{:.4},{:.2},{:.1}",
+                m.mean_quality(),
+                m.mean_vm_hourly_cost(),
+                m.mean_reserved_bandwidth() * 8.0 / 1e6,
+            );
+        }
+    }
+}

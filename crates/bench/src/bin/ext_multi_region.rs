@@ -1,0 +1,106 @@
+//! Extension experiment — multi-region deployment (the paper's future
+//! work): three sites in offset time zones vs one centralized site.
+//!
+//! Each region's flash crowds happen in *local* evening time, so the
+//! per-region demand curves are shifted copies of each other. The
+//! centralized site sees their sum — much flatter, thanks to time-zone
+//! multiplexing — and can be provisioned closer to the mean, but then
+//! serves ~60% of viewers from a remote region. This experiment drives
+//! both deployments through 48 hours of analytic demand and compares
+//! hourly VM cost and peak-to-mean provisioning.
+
+use cloudmedia_cloud::broker::SlaTerms;
+use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters};
+use cloudmedia_core::channel::ChannelModel;
+use cloudmedia_core::controller::{Controller, ControllerConfig, StreamingMode};
+use cloudmedia_core::geo::{three_sites, GeoController};
+use cloudmedia_core::predictor::{ChannelObservation, PredictorKind};
+use cloudmedia_workload::diurnal::DiurnalPattern;
+
+fn sla() -> SlaTerms {
+    SlaTerms { virtual_clusters: paper_virtual_clusters(), nfs_clusters: paper_nfs_clusters() }
+}
+
+fn observation(rate: f64) -> ChannelObservation {
+    let model = ChannelModel::paper_default(0, rate);
+    ChannelObservation { arrival_rate: rate, alpha: model.alpha, routing: model.routing }
+}
+
+fn main() {
+    let regions = three_sites();
+    let diurnal = DiurnalPattern::paper_default();
+    let global_base_rate = 0.35; // global arrivals/s at multiplier 1
+
+    let mut geo = GeoController::new(
+        ControllerConfig::paper_default(StreamingMode::ClientServer),
+        PredictorKind::LastInterval,
+        regions.clone(),
+    )
+    .expect("three sites are valid");
+    let mut central = Controller::new(
+        ControllerConfig::paper_default(StreamingMode::ClientServer),
+        PredictorKind::LastInterval,
+    )
+    .expect("paper config is valid");
+
+    let slas = vec![sla(), sla(), sla()];
+    let central_sla = sla();
+
+    println!("hour,geo_cost,central_cost,americas_demand_mbps,europe_demand_mbps,apac_demand_mbps,central_demand_mbps");
+    let mut geo_total = 0.0;
+    let mut central_total = 0.0;
+    let mut geo_peak: f64 = 0.0;
+    let mut central_peak: f64 = 0.0;
+    for hour in 0..48 {
+        let t = hour as f64 * 3600.0;
+        // Per-region rates: local-time diurnal x population share.
+        let rates: Vec<f64> = regions
+            .iter()
+            .map(|r| {
+                let local = t + r.timezone_offset_hours * 3600.0;
+                global_base_rate * r.population_share * diurnal.multiplier(local)
+            })
+            .collect();
+        let stats: Vec<Vec<(usize, ChannelObservation)>> =
+            rates.iter().map(|&r| vec![(0, observation(r))]).collect();
+        let geo_plan = geo.plan_interval(&stats, &slas).expect("geo interval plans");
+
+        let total_rate: f64 = rates.iter().sum();
+        let central_plan = central
+            .plan_interval(&[(0, observation(total_rate))], &central_sla)
+            .expect("central interval plans");
+
+        geo_total += geo_plan.total_hourly_cost;
+        central_total += central_plan.vm_plan.integer_hourly_cost;
+        geo_peak = geo_peak.max(geo_plan.total_hourly_cost);
+        central_peak = central_peak.max(central_plan.vm_plan.integer_hourly_cost);
+
+        println!(
+            "{hour},{:.2},{:.2},{:.1},{:.1},{:.1},{:.1}",
+            geo_plan.total_hourly_cost,
+            central_plan.vm_plan.integer_hourly_cost,
+            geo_plan.per_region[0].total_cloud_demand * 8.0 / 1e6,
+            geo_plan.per_region[1].total_cloud_demand * 8.0 / 1e6,
+            geo_plan.per_region[2].total_cloud_demand * 8.0 / 1e6,
+            central_plan.total_cloud_demand * 8.0 / 1e6,
+        );
+    }
+    println!(
+        "# totals over 48 h: geo ${geo_total:.2} (peak ${geo_peak:.2}/h), \
+         central ${central_total:.2} (peak ${central_peak:.2}/h)"
+    );
+    let geo_p2m = geo_peak / (geo_total / 48.0);
+    let central_p2m = central_peak / (central_total / 48.0);
+    println!(
+        "# peak-to-mean: geo {geo_p2m:.2}, central {central_p2m:.2} — time-zone \
+         multiplexing flattens the central demand curve"
+    );
+    println!(
+        "# cost delta: geo is {:.1}% {} than central. Multiplexing favours the \
+         central site, but at peak it saturates its cheap Standard tier (75 VMs) \
+         and must rent pricier Medium/Advanced instances, while every geo site \
+         stays within its own Standard fleet — and serves all viewers locally.",
+        (geo_total / central_total - 1.0).abs() * 100.0,
+        if geo_total <= central_total { "cheaper" } else { "dearer" },
+    );
+}

@@ -1,0 +1,16 @@
+//! Extension experiment — multi-region deployment, *simulation* version:
+//! three regional full-system simulations (local-time flash crowds) vs a
+//! single central simulation of the time-zone-multiplexed mixture.
+
+use cloudmedia_bench::geo_sim;
+use cloudmedia_bench::HarnessArgs;
+use cloudmedia_sim::config::SimMode;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    for mode in [SimMode::ClientServer, SimMode::P2p] {
+        println!("# mode: {mode:?}");
+        let result = geo_sim::run(mode, args.hours.min(72.0));
+        print!("{}", geo_sim::csv(&result));
+    }
+}

@@ -1,0 +1,12 @@
+//! Fig. 10 — evolution of the overall VM rental cost ($/hour) over one
+//! day, client–server vs P2P.
+
+use cloudmedia_bench::{paper_runs, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let runs = paper_runs(args.hours);
+    let day = if args.hours >= 48.0 { 1 } else { 0 };
+    print!("{}", cloudmedia_bench::report::fig10_summary(&runs));
+    print!("{}", cloudmedia_bench::report::fig10(&runs, day));
+}

@@ -1,0 +1,12 @@
+//! Fig. 11 — P2P streaming quality at upload/streaming-rate ratios
+//! 0.9, 1.0 and 1.2 over the paper's week.
+
+use cloudmedia_bench::fig11;
+use cloudmedia_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let results = fig11::run(args.hours);
+    print!("{}", fig11::summary(&results));
+    print!("{}", fig11::csv(&results));
+}

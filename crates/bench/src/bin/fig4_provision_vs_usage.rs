@@ -1,0 +1,11 @@
+//! Fig. 4 — cloud capacity provisioning vs usage over the paper's week,
+//! client–server and P2P.
+
+use cloudmedia_bench::{paper_runs, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let runs = paper_runs(args.hours);
+    print!("{}", cloudmedia_bench::report::fig4_summary(&runs));
+    print!("{}", cloudmedia_bench::report::fig4(&runs));
+}

@@ -1,0 +1,10 @@
+//! Fig. 5 — average streaming quality in the VoD system, both modes.
+
+use cloudmedia_bench::{paper_runs, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let runs = paper_runs(args.hours);
+    print!("{}", cloudmedia_bench::report::fig5_summary(&runs));
+    print!("{}", cloudmedia_bench::report::fig5(&runs));
+}

@@ -1,0 +1,11 @@
+//! Fig. 6 — channel streaming quality vs channel size (client–server),
+//! one day's samples of all channels.
+
+use cloudmedia_bench::{paper_runs, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let runs = paper_runs(args.hours);
+    let day = if args.hours >= 48.0 { 1 } else { 0 };
+    print!("{}", cloudmedia_bench::report::fig6(&runs.cs, day));
+}

@@ -1,0 +1,11 @@
+//! Fig. 7 — cloud capacity provisioned vs channel size, both modes
+//! (C/S linear, P2P sub-linear), one day of controller decisions.
+
+use cloudmedia_bench::{paper_runs, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let runs = paper_runs(args.hours);
+    let day = if args.hours >= 48.0 { 1 } else { 0 };
+    print!("{}", cloudmedia_bench::report::fig7(&runs, day));
+}

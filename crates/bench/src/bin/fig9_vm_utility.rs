@@ -1,0 +1,11 @@
+//! Fig. 9 — evolution of aggregate VM utility in 4 representative
+//! channels (average sizes 60/100/200/600), P2P mode, 24 hours.
+
+use cloudmedia_bench::four_channel;
+use cloudmedia_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let m = four_channel::run(args.hours.min(24.0));
+    print!("{}", four_channel::fig9_csv(&m));
+}

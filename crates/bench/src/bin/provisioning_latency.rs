@@ -1,0 +1,9 @@
+//! Sec. VI-C — VM provisioning latency: time until a requested fleet is
+//! fully running / fully off, demonstrating parallel 25 s boots.
+
+use cloudmedia_bench::latency;
+
+fn main() {
+    let rows = latency::measure(&[1, 5, 10, 25, 50, 75, 100, 150], 1.0);
+    print!("{}", latency::csv(&rows));
+}

@@ -1,0 +1,7 @@
+//! Prints the paper's Table II and Table III cluster configurations.
+
+fn main() {
+    print!("{}", cloudmedia_bench::tables::table_ii());
+    println!();
+    print!("{}", cloudmedia_bench::tables::table_iii());
+}

@@ -1,0 +1,114 @@
+//! Footnote 3 — chunk-size selection.
+//!
+//! "The selection of chunk size should aim to minimize the unnecessary
+//! number of times of VM switching during users' playback, while
+//! considering the average length of continuous playback between two VCR
+//! operations as well as the actual transmission efficiency." This
+//! ablation sweeps `T0` and reports the analytic trade-off: chunk
+//! transitions per session (VM switching), provisioned capacity, and the
+//! fraction of a fetched chunk wasted when a VCR jump lands mid-chunk.
+
+use cloudmedia_core::analysis::client_server::pooled_capacity_demand;
+use cloudmedia_core::channel::ChannelModel;
+use cloudmedia_workload::viewing::ViewingModel;
+
+/// Result of one chunk-size evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkSizeRow {
+    /// Chunk playback time `T0`, seconds.
+    pub chunk_seconds: f64,
+    /// Number of chunks a 100-minute video splits into.
+    pub chunks: usize,
+    /// Expected chunk transitions (VM switches) per viewing session.
+    pub switches_per_session: f64,
+    /// Pooled provisioned capacity for a reference channel, Mbps.
+    pub provisioned_mbps: f64,
+    /// Probability a fetched chunk is abandoned by a jump before play-out
+    /// completes (jump interval exp(15 min), memoryless within a chunk).
+    pub wasted_fetch_prob: f64,
+}
+
+/// Sweeps chunk sizes for the paper's 100-minute video and a reference
+/// arrival rate.
+///
+/// # Panics
+///
+/// Panics on analysis failures (all swept parameters are valid).
+pub fn sweep(chunk_seconds: &[f64], arrival_rate: f64) -> Vec<ChunkSizeRow> {
+    let video_seconds = 100.0 * 60.0;
+    let jump_mean_seconds = 15.0 * 60.0;
+    chunk_seconds
+        .iter()
+        .map(|&t0| {
+            let chunks = (video_seconds / t0).round().max(1.0) as usize;
+            let jump_prob = 1.0 - (-t0 / jump_mean_seconds).exp();
+            let viewing = ViewingModel {
+                chunks,
+                start_at_beginning: 0.7,
+                jump_prob,
+                leave_prob: 0.08 * (t0 / 300.0), // same session length in minutes
+            };
+            viewing.validate().expect("swept viewing model is valid");
+            let switches = viewing
+                .expected_chunks_per_session()
+                .expect("absorbing chain solves");
+            let routing = viewing.routing_rows().expect("validated above");
+            let model = ChannelModel {
+                id: 0,
+                streaming_rate: 50_000.0,
+                chunk_seconds: t0,
+                vm_bandwidth: 1.25e6,
+                arrival_rate,
+                alpha: 0.7,
+                routing,
+            };
+            let demand = pooled_capacity_demand(&model).expect("valid model");
+            ChunkSizeRow {
+                chunk_seconds: t0,
+                chunks,
+                switches_per_session: switches,
+                provisioned_mbps: demand.total_upload_demand() * 8.0 / 1e6,
+                wasted_fetch_prob: jump_prob / 2.0,
+            }
+        })
+        .collect()
+}
+
+/// CSV rendering.
+pub fn csv(rows: &[ChunkSizeRow]) -> String {
+    let mut out = String::from(
+        "chunk_seconds,chunks,switches_per_session,provisioned_mbps,wasted_fetch_prob\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:.0},{},{:.2},{:.2},{:.3}\n",
+            r.chunk_seconds, r.chunks, r.switches_per_session, r.provisioned_mbps, r.wasted_fetch_prob
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smaller_chunks_mean_more_switching() {
+        let rows = sweep(&[60.0, 300.0, 900.0], 0.1);
+        assert!(rows[0].switches_per_session > rows[1].switches_per_session);
+        assert!(rows[1].switches_per_session > rows[2].switches_per_session);
+    }
+
+    #[test]
+    fn bigger_chunks_waste_more_on_jumps() {
+        let rows = sweep(&[60.0, 300.0, 900.0], 0.1);
+        assert!(rows[0].wasted_fetch_prob < rows[1].wasted_fetch_prob);
+        assert!(rows[1].wasted_fetch_prob < rows[2].wasted_fetch_prob);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_size() {
+        let rows = sweep(&[150.0, 300.0], 0.1);
+        assert_eq!(csv(&rows).lines().count(), 3);
+    }
+}

@@ -1,0 +1,122 @@
+//! Fig. 11 — P2P streaming quality at different ratios of mean peer
+//! upload capacity over the streaming rate (0.9, 1.0, 1.2 in the paper).
+
+use cloudmedia_sim::config::{SimConfig, SimMode};
+use cloudmedia_sim::metrics::Metrics;
+use cloudmedia_sim::simulator::Simulator;
+use cloudmedia_workload::distributions::BoundedPareto;
+
+/// The paper's upload/streaming-rate ratios.
+pub const RATIOS: [f64; 3] = [0.9, 1.0, 1.2];
+
+/// Builds the P2P config with the bounded-Pareto upload distribution
+/// rescaled so its mean equals `ratio × r` (scaling both bounds preserves
+/// the shape, and the truncated-Pareto mean scales linearly).
+pub fn config_for_ratio(ratio: f64, hours: f64) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(SimMode::P2p);
+    cfg.trace.horizon_seconds = hours * 3600.0;
+    let current = BoundedPareto::new(
+        cfg.trace.upload_min_bps,
+        cfg.trace.upload_max_bps,
+        cfg.trace.upload_shape,
+    )
+    .expect("paper upload distribution is valid")
+    .mean();
+    let scale = ratio * cfg.streaming_rate / current;
+    cfg.trace.upload_min_bps *= scale;
+    cfg.trace.upload_max_bps *= scale;
+    cfg
+}
+
+/// Runs the three ratio experiments (in parallel) and returns
+/// `(ratio, metrics)` triples.
+///
+/// # Panics
+///
+/// Panics if a simulation fails.
+pub fn run(hours: f64) -> Vec<(f64, Metrics)> {
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = RATIOS
+            .iter()
+            .map(|&ratio| {
+                s.spawn(move |_| {
+                    let cfg = config_for_ratio(ratio, hours);
+                    let m = Simulator::new(cfg)
+                        .expect("fig11 config is valid")
+                        .run()
+                        .expect("fig11 run succeeds");
+                    (ratio, m)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("fig11 thread")).collect()
+    })
+    .expect("scoped threads")
+}
+
+/// CSV: day, one quality column per ratio.
+pub fn csv(results: &[(f64, Metrics)]) -> String {
+    let mut out = String::from("day");
+    for (ratio, _) in results {
+        out.push_str(&format!(",quality_ratio_{ratio}"));
+    }
+    out.push('\n');
+    let n = results[0].1.samples.len();
+    for i in 0..n {
+        out.push_str(&format!("{:.3}", results[0].1.samples[i].time / 86_400.0));
+        for (_, m) in results {
+            out.push_str(&format!(",{:.3}", m.samples[i].quality));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Summary: mean quality per ratio (the paper reports 0.95 / 0.95 / 1.0).
+pub fn summary(results: &[(f64, Metrics)]) -> String {
+    let mut out = String::from("# mean quality by upload/r ratio:");
+    for (ratio, m) in results {
+        out.push_str(&format!(" {ratio} -> {:.3};", m.mean_quality()));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_distribution_rescales_to_target_mean() {
+        for ratio in RATIOS {
+            let cfg = config_for_ratio(ratio, 1.0);
+            let mean = BoundedPareto::new(
+                cfg.trace.upload_min_bps,
+                cfg.trace.upload_max_bps,
+                cfg.trace.upload_shape,
+            )
+            .unwrap()
+            .mean();
+            assert!(
+                (mean - ratio * cfg.streaming_rate).abs() / (ratio * cfg.streaming_rate) < 1e-9,
+                "ratio {ratio}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn short_run_produces_quality_per_ratio() {
+        let results = run(2.0);
+        assert_eq!(results.len(), 3);
+        for (ratio, m) in &results {
+            assert!(
+                m.mean_quality() > 0.8,
+                "ratio {ratio}: quality {}",
+                m.mean_quality()
+            );
+        }
+        let c = csv(&results);
+        assert!(c.starts_with("day,"));
+        assert!(summary(&results).contains("0.9"));
+    }
+}

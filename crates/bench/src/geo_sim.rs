@@ -1,0 +1,154 @@
+//! Simulation-level multi-region experiment (paper's future work,
+//! end-to-end version of `ext_multi_region`).
+//!
+//! The geo deployment runs one full system simulation per region — each
+//! with its population share and its diurnal pattern shifted to local
+//! time — and sums cost; the central deployment runs a single simulation
+//! whose arrival profile is the *mixture* of the shifted patterns
+//! (time-zone multiplexing). Both therefore serve the exact same global
+//! demand through the real provisioning loop.
+
+use cloudmedia_core::geo::{three_sites, RegionSpec};
+use cloudmedia_sim::config::{SimConfig, SimMode};
+use cloudmedia_sim::metrics::Metrics;
+use cloudmedia_sim::simulator::Simulator;
+use cloudmedia_workload::diurnal::DiurnalPattern;
+
+/// Outcome of the two deployments.
+#[derive(Debug, Clone)]
+pub struct GeoSimResult {
+    /// Per-region metrics of the geo deployment, in region order.
+    pub per_region: Vec<(RegionSpec, Metrics)>,
+    /// Metrics of the centralized deployment.
+    pub central: Metrics,
+}
+
+impl GeoSimResult {
+    /// Total VM cost of the geo deployment, dollars.
+    pub fn geo_vm_cost(&self) -> f64 {
+        self.per_region.iter().map(|(_, m)| m.total_vm_cost).sum()
+    }
+
+    /// Viewer-weighted mean quality of the geo deployment.
+    pub fn geo_quality(&self) -> f64 {
+        let mut q = 0.0;
+        let mut w = 0.0;
+        for (r, m) in &self.per_region {
+            q += r.population_share * m.mean_quality();
+            w += r.population_share;
+        }
+        q / w
+    }
+}
+
+/// Runs both deployments over `hours` hours in `mode`, scaling the paper
+/// catalog by each region's population share (all simulations run in
+/// parallel).
+///
+/// # Panics
+///
+/// Panics if a simulation fails.
+pub fn run(mode: SimMode, hours: f64) -> GeoSimResult {
+    let regions = three_sites();
+    let base = SimConfig::paper_default(mode);
+    let diurnal = base.trace.diurnal.clone();
+
+    let region_cfg = |r: &RegionSpec| -> SimConfig {
+        let mut cfg = base.clone();
+        cfg.catalog = cfg.catalog.scaled(r.population_share);
+        cfg.trace.horizon_seconds = hours * 3600.0;
+        cfg.trace.diurnal = diurnal.shifted(r.timezone_offset_hours);
+        // Distinct seed per region so the swarms are independent.
+        cfg.trace.seed ^= (r.timezone_offset_hours as u64 + 1).wrapping_mul(0x9E37_79B9);
+        cfg
+    };
+    let central_cfg = {
+        let mut cfg = base.clone();
+        cfg.trace.horizon_seconds = hours * 3600.0;
+        let parts: Vec<(f64, DiurnalPattern)> = regions
+            .iter()
+            .map(|r| (r.population_share, diurnal.shifted(r.timezone_offset_hours)))
+            .collect();
+        cfg.trace.diurnal =
+            DiurnalPattern::mixture(&parts).expect("region shares are positive");
+        cfg
+    };
+
+    crossbeam::thread::scope(|s| {
+        let region_handles: Vec<_> = regions
+            .iter()
+            .map(|r| {
+                let cfg = region_cfg(r);
+                s.spawn(move |_| {
+                    Simulator::new(cfg).expect("region config valid").run().expect("region run")
+                })
+            })
+            .collect();
+        let central_handle = s.spawn(move |_| {
+            Simulator::new(central_cfg).expect("central config valid").run().expect("central run")
+        });
+        let per_region = regions
+            .iter()
+            .cloned()
+            .zip(region_handles.into_iter().map(|h| h.join().expect("region thread")))
+            .collect();
+        let central = central_handle.join().expect("central thread");
+        GeoSimResult { per_region, central }
+    })
+    .expect("scoped threads")
+}
+
+/// CSV summary of the comparison.
+pub fn csv(result: &GeoSimResult) -> String {
+    let mut out = String::from(
+        "deployment,mean_quality,total_vm_cost,mean_reserved_mbps,peak_peers\n",
+    );
+    for (r, m) in &result.per_region {
+        out.push_str(&format!(
+            "geo_{},{:.4},{:.2},{:.1},{}\n",
+            r.name,
+            m.mean_quality(),
+            m.total_vm_cost,
+            m.mean_reserved_bandwidth() * 8.0 / 1e6,
+            m.peak_peers(),
+        ));
+    }
+    out.push_str(&format!(
+        "geo_total,{:.4},{:.2},,\n",
+        result.geo_quality(),
+        result.geo_vm_cost(),
+    ));
+    out.push_str(&format!(
+        "central,{:.4},{:.2},{:.1},{}\n",
+        result.central.mean_quality(),
+        result.central.total_vm_cost,
+        result.central.mean_reserved_bandwidth() * 8.0 / 1e6,
+        result.central.peak_peers(),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_deployments_serve_the_same_demand_well() {
+        let r = run(SimMode::ClientServer, 4.0);
+        assert_eq!(r.per_region.len(), 3);
+        assert!(r.geo_quality() > 0.9, "geo quality {}", r.geo_quality());
+        assert!(r.central.mean_quality() > 0.9);
+        // Same global demand: total costs are within 2x of each other.
+        let ratio = r.geo_vm_cost() / r.central.total_vm_cost;
+        assert!((0.5..2.0).contains(&ratio), "cost ratio {ratio}");
+        let c = csv(&r);
+        assert_eq!(c.lines().count(), 6);
+    }
+
+    #[test]
+    fn central_peak_population_exceeds_any_single_region() {
+        let r = run(SimMode::ClientServer, 4.0);
+        let max_region = r.per_region.iter().map(|(_, m)| m.peak_peers()).max().unwrap();
+        assert!(r.central.peak_peers() > max_region);
+    }
+}

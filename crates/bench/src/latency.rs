@@ -1,0 +1,118 @@
+//! Sec. VI-C — VM provisioning latency.
+//!
+//! The paper measures ≈ 25 s to turn a VM on, less to shut one down, and
+//! notes that parallel launches keep fleet-scale provisioning at
+//! seconds. This experiment drives the cloud model through scale-up and
+//! scale-down events and reports the time until the requested bandwidth
+//! is fully online/offline.
+
+use cloudmedia_cloud::broker::{Cloud, ResourceRequest};
+
+/// One latency measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyRow {
+    /// VMs launched (or shut down) together.
+    pub fleet_size: usize,
+    /// Seconds until every instance was running (scale-up).
+    pub time_to_running: f64,
+    /// Seconds until every instance was off (scale-down from running).
+    pub time_to_off: f64,
+}
+
+/// Measures provisioning latency for a set of fleet sizes by stepping the
+/// cloud clock at the given resolution.
+///
+/// # Panics
+///
+/// Panics on cloud model failures (the paper constants never fail).
+pub fn measure(fleet_sizes: &[usize], resolution: f64) -> Vec<LatencyRow> {
+    fleet_sizes
+        .iter()
+        .map(|&n| {
+            let mut cloud = Cloud::paper_default().expect("paper cloud is valid");
+            // Spread the request across clusters like the controller does.
+            let targets = spread(n);
+            cloud
+                .submit_request(&ResourceRequest { vm_targets: targets.clone(), placement: None })
+                .expect("fleet fits Table II");
+            let want_bw = n as f64 * 1.25e6;
+            let mut t = 0.0;
+            while cloud.running_bandwidth() + 1e-6 < want_bw {
+                t += resolution;
+                cloud.tick(t).expect("time advances");
+                assert!(t < 3600.0, "scale-up did not converge");
+            }
+            let time_to_running = t;
+            cloud
+                .submit_request(&ResourceRequest { vm_targets: vec![0, 0, 0], placement: None })
+                .expect("scale-down is valid");
+            let down_start = t;
+            while cloud.vm_scheduler().billable_counts().iter().sum::<usize>() > 0 {
+                t += resolution;
+                cloud.tick(t).expect("time advances");
+                assert!(t < down_start + 3600.0, "scale-down did not converge");
+            }
+            LatencyRow { fleet_size: n, time_to_running, time_to_off: t - down_start }
+        })
+        .collect()
+}
+
+fn spread(n: usize) -> Vec<usize> {
+    // Fill Standard (75), then Medium (30), then Advanced (45).
+    let caps = [75usize, 30, 45];
+    let mut left = n;
+    caps.iter()
+        .map(|&c| {
+            let take = left.min(c);
+            left -= take;
+            take
+        })
+        .collect()
+}
+
+/// CSV rendering.
+pub fn csv(rows: &[LatencyRow]) -> String {
+    let mut out = String::from("fleet_size,time_to_running_s,time_to_off_s\n");
+    for r in rows {
+        out.push_str(&format!("{},{:.0},{:.0}\n", r.fleet_size, r.time_to_running, r.time_to_off));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_boot_keeps_latency_flat() {
+        let rows = measure(&[1, 10, 50, 150], 1.0);
+        // Every fleet size is ready within one boot latency (~25 s): the
+        // paper's "VMs can be launched in parallel" observation.
+        for r in &rows {
+            assert!(
+                (24.0..=27.0).contains(&r.time_to_running),
+                "fleet {}: {} s to running",
+                r.fleet_size,
+                r.time_to_running
+            );
+            assert!(r.time_to_off <= 12.0, "shutdown is faster than boot");
+        }
+        // Latency does not grow with fleet size.
+        assert!((rows[0].time_to_running - rows[3].time_to_running).abs() <= 2.0);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let rows = measure(&[1], 1.0);
+        let c = csv(&rows);
+        assert!(c.starts_with("fleet_size,"));
+        assert_eq!(c.lines().count(), 2);
+    }
+
+    #[test]
+    fn spread_fills_clusters_in_order() {
+        assert_eq!(spread(10), vec![10, 0, 0]);
+        assert_eq!(spread(80), vec![75, 5, 0]);
+        assert_eq!(spread(150), vec![75, 30, 45]);
+    }
+}

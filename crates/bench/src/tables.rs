@@ -1,0 +1,61 @@
+//! Tables II and III — the experimental cluster configurations, printed
+//! from the same constants the simulator uses.
+
+use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters, GIB};
+
+/// Renders Table II (virtual cluster configurations).
+pub fn table_ii() -> String {
+    let mut out = String::from(
+        "# Table II: Virtual cluster configurations\n\
+         type,utility,price_per_hour,vms_per_cluster,vm_bandwidth_mbps\n",
+    );
+    for c in paper_virtual_clusters() {
+        out.push_str(&format!(
+            "{},{},{:.3},{},{}\n",
+            c.name,
+            c.utility,
+            c.price.dollars_per_hour,
+            c.max_vms,
+            c.vm_bandwidth_bytes_per_sec * 8.0 / 1e6,
+        ));
+    }
+    out
+}
+
+/// Renders Table III (NFS cluster configurations).
+pub fn table_iii() -> String {
+    let mut out = String::from(
+        "# Table III: NFS cluster configurations\n\
+         type,utility,price_per_gb_hour,capacity_gb\n",
+    );
+    for c in paper_nfs_clusters() {
+        out.push_str(&format!(
+            "{},{},{:.2e},{}\n",
+            c.name,
+            c.utility,
+            c.price_per_gb.dollars_per_hour,
+            c.capacity_bytes as f64 / GIB,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_contains_paper_rows() {
+        let t = table_ii();
+        assert!(t.contains("Standard,0.6,0.450,75,10"));
+        assert!(t.contains("Medium,0.8,0.700,30,10"));
+        assert!(t.contains("Advanced,1,0.800,45,10"));
+    }
+
+    #[test]
+    fn table_iii_contains_paper_rows() {
+        let t = table_iii();
+        assert!(t.contains("Standard,0.8,1.11e-4,20"));
+        assert!(t.contains("High,1,2.08e-4,20"));
+    }
+}

@@ -1,0 +1,468 @@
+//! Command-line interface for the CloudMedia toolkit.
+//!
+//! Subcommands:
+//!
+//! - `cloudmedia analyze` — equilibrium capacity analysis of one channel
+//!   (client–server and P2P cloud demand, peer contribution),
+//! - `cloudmedia plan` — one provisioning-controller interval for a set of
+//!   channel arrival rates (VM targets, costs, placement size),
+//! - `cloudmedia simulate` — a full system simulation with JSON config
+//!   in / JSON metrics out,
+//! - `cloudmedia default-config` — prints the paper-default simulation
+//!   configuration as editable JSON.
+//!
+//! The parsing and command logic live here so they are unit-testable; the
+//! binary in `main.rs` is a thin wrapper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+
+use cloudmedia_cloud::broker::SlaTerms;
+use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters};
+use cloudmedia_core::analysis::{
+    p2p_capacity_with, pooled_capacity_demand, DemandPooling, PsiEstimator,
+};
+use cloudmedia_core::channel::ChannelModel;
+use cloudmedia_core::controller::{Controller, ControllerConfig, StreamingMode};
+use cloudmedia_core::predictor::{ChannelObservation, PredictorKind};
+use cloudmedia_sim::config::{SimConfig, SimMode};
+use cloudmedia_sim::simulator::Simulator;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Analyze one channel's equilibrium capacity.
+    Analyze {
+        /// External arrival rate `Λ`, users per second.
+        arrival_rate: f64,
+        /// Mean peer upload (bytes/s) for the P2P analysis.
+        mean_upload: f64,
+    },
+    /// Run one controller interval for the given channel arrival rates.
+    Plan {
+        /// Arrival rate per channel.
+        arrival_rates: Vec<f64>,
+        /// Streaming architecture.
+        mode: SimMode,
+        /// VM budget, dollars per hour.
+        budget: f64,
+    },
+    /// Run a full simulation.
+    Simulate {
+        /// Streaming architecture.
+        mode: SimMode,
+        /// Horizon in hours.
+        hours: f64,
+        /// Optional JSON config file overriding the paper defaults.
+        config_path: Option<String>,
+        /// Optional path to write the full metrics JSON.
+        out_path: Option<String>,
+    },
+    /// Print the paper-default simulation config as JSON.
+    DefaultConfig {
+        /// Streaming architecture.
+        mode: SimMode,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Errors from parsing or executing a command.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line; the message is user-facing.
+    Usage(String),
+    /// Execution failed; the message is user-facing.
+    Run(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+            CliError::Run(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage text.
+pub const USAGE: &str = "\
+cloudmedia — CloudMedia VoD cloud-provisioning toolkit (ICDCS 2011 reproduction)
+
+USAGE:
+  cloudmedia analyze --arrival-rate R [--upload BYTES_PER_S]
+  cloudmedia plan --arrival-rates R1,R2,... [--mode cs|p2p] [--budget DOLLARS]
+  cloudmedia simulate [--mode cs|p2p] [--hours H] [--config FILE] [--out FILE]
+  cloudmedia default-config [--mode cs|p2p]
+  cloudmedia help
+";
+
+fn parse_mode(v: &str) -> Result<SimMode, CliError> {
+    match v {
+        "cs" | "client-server" => Ok(SimMode::ClientServer),
+        "p2p" => Ok(SimMode::P2p),
+        other => Err(CliError::Usage(format!("unknown mode `{other}` (use cs|p2p)"))),
+    }
+}
+
+fn take_value<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    flag: &str,
+) -> Result<&'a str, CliError> {
+    args.next().ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))
+}
+
+/// Parses argv (without the program name) into a [`Command`].
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for unknown commands, flags, or values.
+pub fn parse(args: &[&str]) -> Result<Command, CliError> {
+    let mut it = args.iter().copied();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match cmd {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "analyze" => {
+            let mut arrival_rate = None;
+            let mut mean_upload = 34_000.0;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--arrival-rate" => {
+                        arrival_rate = Some(parse_f64(take_value(&mut it, flag)?, flag)?);
+                    }
+                    "--upload" => mean_upload = parse_f64(take_value(&mut it, flag)?, flag)?,
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            let arrival_rate = arrival_rate
+                .ok_or_else(|| CliError::Usage("analyze requires --arrival-rate".into()))?;
+            Ok(Command::Analyze { arrival_rate, mean_upload })
+        }
+        "plan" => {
+            let mut rates = None;
+            let mut mode = SimMode::ClientServer;
+            let mut budget = 100.0;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--arrival-rates" => {
+                        let v = take_value(&mut it, flag)?;
+                        let parsed: Result<Vec<f64>, _> =
+                            v.split(',').map(|p| p.trim().parse::<f64>()).collect();
+                        rates = Some(parsed.map_err(|_| {
+                            CliError::Usage(format!("bad --arrival-rates value `{v}`"))
+                        })?);
+                    }
+                    "--mode" => mode = parse_mode(take_value(&mut it, flag)?)?,
+                    "--budget" => budget = parse_f64(take_value(&mut it, flag)?, flag)?,
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            let arrival_rates =
+                rates.ok_or_else(|| CliError::Usage("plan requires --arrival-rates".into()))?;
+            if arrival_rates.is_empty() {
+                return Err(CliError::Usage("at least one arrival rate required".into()));
+            }
+            Ok(Command::Plan { arrival_rates, mode, budget })
+        }
+        "simulate" => {
+            let mut mode = SimMode::P2p;
+            let mut hours = 24.0;
+            let mut config_path = None;
+            let mut out_path = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--mode" => mode = parse_mode(take_value(&mut it, flag)?)?,
+                    "--hours" => hours = parse_f64(take_value(&mut it, flag)?, flag)?,
+                    "--config" => config_path = Some(take_value(&mut it, flag)?.to_owned()),
+                    "--out" => out_path = Some(take_value(&mut it, flag)?.to_owned()),
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Simulate { mode, hours, config_path, out_path })
+        }
+        "default-config" => {
+            let mut mode = SimMode::P2p;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--mode" => mode = parse_mode(take_value(&mut it, flag)?)?,
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::DefaultConfig { mode })
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn parse_f64(v: &str, flag: &str) -> Result<f64, CliError> {
+    v.parse().map_err(|_| CliError::Usage(format!("bad value `{v}` for {flag}")))
+}
+
+fn paper_sla() -> SlaTerms {
+    SlaTerms { virtual_clusters: paper_virtual_clusters(), nfs_clusters: paper_nfs_clusters() }
+}
+
+/// Executes a command and returns its stdout text.
+///
+/// # Errors
+///
+/// Returns [`CliError::Run`] with a user-facing message on failure.
+pub fn run(cmd: Command) -> Result<String, CliError> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_owned()),
+        Command::Analyze { arrival_rate, mean_upload } => analyze(arrival_rate, mean_upload),
+        Command::Plan { arrival_rates, mode, budget } => plan(&arrival_rates, mode, budget),
+        Command::Simulate { mode, hours, config_path, out_path } => {
+            simulate(mode, hours, config_path.as_deref(), out_path.as_deref())
+        }
+        Command::DefaultConfig { mode } => {
+            serde_json::to_string_pretty(&SimConfig::paper_default(mode))
+                .map(|mut s| {
+                    s.push('\n');
+                    s
+                })
+                .map_err(|e| CliError::Run(format!("serializing config failed: {e}")))
+        }
+    }
+}
+
+fn analyze(arrival_rate: f64, mean_upload: f64) -> Result<String, CliError> {
+    let channel = ChannelModel::paper_default(0, arrival_rate);
+    let cs = pooled_capacity_demand(&channel)
+        .map_err(|e| CliError::Run(format!("analysis failed: {e}")))?;
+    let p2p = p2p_capacity_with(
+        &channel,
+        mean_upload,
+        PsiEstimator::Independent,
+        DemandPooling::ChannelPooled,
+    )
+    .map_err(|e| CliError::Run(format!("P2P analysis failed: {e}")))?;
+    let mut out = String::new();
+    let mbps = |b: f64| b * 8.0 / 1e6;
+    let population: f64 =
+        cs.arrival_rates.iter().map(|l| l * channel.chunk_seconds).sum();
+    let _ = writeln!(out, "channel: arrival rate {arrival_rate}/s, ~{population:.0} concurrent viewers");
+    let _ = writeln!(out, "client-server cloud demand: {:.1} Mbps", mbps(cs.total_upload_demand()));
+    let _ = writeln!(out, "P2P peer contribution:      {:.1} Mbps", mbps(p2p.total_peer_contribution()));
+    let _ = writeln!(out, "P2P cloud demand:           {:.1} Mbps", mbps(p2p.total_cloud_demand()));
+    Ok(out)
+}
+
+fn plan(rates: &[f64], mode: SimMode, budget: f64) -> Result<String, CliError> {
+    let streaming_mode = match mode {
+        SimMode::ClientServer => StreamingMode::ClientServer,
+        SimMode::P2p => {
+            StreamingMode::P2p { mean_upload: 34_000.0, psi: PsiEstimator::Independent }
+        }
+    };
+    let mut config = ControllerConfig::paper_default(streaming_mode);
+    config.vm_budget_per_hour = budget;
+    let mut controller = Controller::new(config, PredictorKind::LastInterval)
+        .map_err(|e| CliError::Run(format!("controller rejected config: {e}")))?;
+    let stats: Vec<(usize, ChannelObservation)> = rates
+        .iter()
+        .enumerate()
+        .map(|(id, &rate)| {
+            let model = ChannelModel::paper_default(id, rate);
+            (id, ChannelObservation { arrival_rate: rate, alpha: model.alpha, routing: model.routing })
+        })
+        .collect();
+    let plan = controller
+        .plan_interval(&stats, &paper_sla())
+        .map_err(|e| CliError::Run(format!("planning failed: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "channels: {}, mode: {mode:?}, budget ${budget}/h", rates.len());
+    let _ = writeln!(
+        out,
+        "VM targets [Standard, Medium, Advanced]: {:?} (${:.2}/h)",
+        plan.vm_targets, plan.vm_plan.integer_hourly_cost
+    );
+    let _ = writeln!(out, "cloud demand: {:.1} Mbps", plan.total_cloud_demand * 8.0 / 1e6);
+    if plan.expected_peer_contribution > 0.0 {
+        let _ = writeln!(
+            out,
+            "expected peer contribution: {:.1} Mbps",
+            plan.expected_peer_contribution * 8.0 / 1e6
+        );
+    }
+    if let Some(p) = &plan.placement {
+        let _ = writeln!(out, "storage placement: {} chunks", p.len());
+    }
+    Ok(out)
+}
+
+fn simulate(
+    mode: SimMode,
+    hours: f64,
+    config_path: Option<&str>,
+    out_path: Option<&str>,
+) -> Result<String, CliError> {
+    let mut config = match config_path {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Run(format!("cannot read {path}: {e}")))?;
+            serde_json::from_str::<SimConfig>(&text)
+                .map_err(|e| CliError::Run(format!("bad config {path}: {e}")))?
+        }
+        None => SimConfig::paper_default(mode),
+    };
+    if config_path.is_none() {
+        config.trace.horizon_seconds = hours * 3600.0;
+    }
+    let metrics = Simulator::new(config)
+        .map_err(|e| CliError::Run(format!("invalid configuration: {e}")))?
+        .run()
+        .map_err(|e| CliError::Run(format!("simulation failed: {e}")))?;
+    if let Some(path) = out_path {
+        let json = serde_json::to_string(&metrics)
+            .map_err(|e| CliError::Run(format!("serializing metrics failed: {e}")))?;
+        std::fs::write(path, json)
+            .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "simulated {:.1} h in {mode:?} mode", hours);
+    let _ = writeln!(out, "mean streaming quality: {:.4}", metrics.mean_quality());
+    let _ = writeln!(
+        out,
+        "cloud bandwidth: reserved {:.1} Mbps, used {:.1} Mbps (coverage {:.3})",
+        metrics.mean_reserved_bandwidth() * 8.0 / 1e6,
+        metrics.mean_used_bandwidth() * 8.0 / 1e6,
+        metrics.provision_coverage(),
+    );
+    let _ = writeln!(
+        out,
+        "VM rental: ${:.2} total (${:.2}/h mean); storage: ${:.4} total",
+        metrics.total_vm_cost,
+        metrics.mean_vm_hourly_cost(),
+        metrics.total_storage_cost,
+    );
+    let _ = writeln!(out, "peak concurrent viewers: {}", metrics.peak_peers());
+    if let Some(path) = out_path {
+        let _ = writeln!(out, "full metrics written to {path}");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_help_variants() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["help"]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_analyze() {
+        let c = parse(&["analyze", "--arrival-rate", "0.2"]).unwrap();
+        assert_eq!(c, Command::Analyze { arrival_rate: 0.2, mean_upload: 34_000.0 });
+        let c = parse(&["analyze", "--arrival-rate", "0.2", "--upload", "50000"]).unwrap();
+        assert_eq!(c, Command::Analyze { arrival_rate: 0.2, mean_upload: 50_000.0 });
+    }
+
+    #[test]
+    fn parse_plan() {
+        let c = parse(&["plan", "--arrival-rates", "0.1,0.2", "--mode", "p2p", "--budget", "50"])
+            .unwrap();
+        assert_eq!(
+            c,
+            Command::Plan { arrival_rates: vec![0.1, 0.2], mode: SimMode::P2p, budget: 50.0 }
+        );
+    }
+
+    #[test]
+    fn parse_simulate_defaults() {
+        let c = parse(&["simulate"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Simulate { mode: SimMode::P2p, hours: 24.0, config_path: None, out_path: None }
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_usage_errors() {
+        assert!(matches!(parse(&["bogus"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["analyze"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["analyze", "--arrival-rate"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["analyze", "--arrival-rate", "abc"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["simulate", "--mode", "ftp"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["plan", "--arrival-rates", ""]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn analyze_runs_and_reports_p2p_savings() {
+        let out = run(Command::Analyze { arrival_rate: 0.2, mean_upload: 34_000.0 }).unwrap();
+        assert!(out.contains("client-server cloud demand"));
+        assert!(out.contains("P2P cloud demand"));
+    }
+
+    #[test]
+    fn plan_runs_for_multiple_channels() {
+        let out = run(Command::Plan {
+            arrival_rates: vec![0.1, 0.05],
+            mode: SimMode::ClientServer,
+            budget: 100.0,
+        })
+        .unwrap();
+        assert!(out.contains("VM targets"));
+        assert!(out.contains("storage placement"));
+    }
+
+    #[test]
+    fn plan_surfaces_infeasible_budget() {
+        let err = run(Command::Plan {
+            arrival_rates: vec![0.5],
+            mode: SimMode::ClientServer,
+            budget: 0.5,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("increase the budget"), "got: {err}");
+    }
+
+    #[test]
+    fn default_config_round_trips() {
+        let out = run(Command::DefaultConfig { mode: SimMode::P2p }).unwrap();
+        let parsed: SimConfig = serde_json::from_str(&out).unwrap();
+        assert_eq!(parsed, SimConfig::paper_default(SimMode::P2p));
+    }
+
+    #[test]
+    fn simulate_short_run_with_json_output() {
+        let dir = std::env::temp_dir().join("cloudmedia-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("metrics.json");
+        // Build a tiny config file to exercise --config too.
+        let mut cfg = SimConfig::paper_default(SimMode::ClientServer);
+        cfg.catalog = cloudmedia_workload::catalog::Catalog::zipf(
+            2,
+            0.8,
+            cloudmedia_workload::viewing::ViewingModel::paper_default(),
+            40.0,
+            300.0,
+        )
+        .unwrap();
+        cfg.trace.horizon_seconds = 3600.0;
+        let cfg_path = dir.join("config.json");
+        std::fs::write(&cfg_path, serde_json::to_string(&cfg).unwrap()).unwrap();
+
+        let out = run(Command::Simulate {
+            mode: SimMode::ClientServer,
+            hours: 1.0,
+            config_path: Some(cfg_path.to_string_lossy().into_owned()),
+            out_path: Some(out_path.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert!(out.contains("mean streaming quality"));
+        let metrics: cloudmedia_sim::metrics::Metrics =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert!(!metrics.samples.is_empty());
+    }
+}

@@ -1,0 +1,17 @@
+//! The `cloudmedia` binary: thin wrapper over [`cloudmedia_cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match cloudmedia_cli::parse(&arg_refs).and_then(cloudmedia_cli::run) {
+        Ok(out) => print!("{out}"),
+        Err(cloudmedia_cli::CliError::Usage(m)) => {
+            eprintln!("error: {m}\n\n{}", cloudmedia_cli::USAGE);
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

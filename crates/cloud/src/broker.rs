@@ -1,0 +1,271 @@
+//! The consumer-facing cloud facade: broker, SLA negotiation, request
+//! handling.
+//!
+//! This ties together the functional modules of the paper's Fig. 1: the
+//! *broker* is the interface through which the VoD provider submits
+//! requests; the *SLA negotiator* publishes prices, QoS (per-VM bandwidth)
+//! and current availability; the *request monitor* forwards accepted
+//! requests to the VM and NFS schedulers; billing meters usage over time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::billing::BillingMeter;
+use crate::cluster::{NfsClusterSpec, VirtualClusterSpec};
+use crate::error::CloudError;
+use crate::scheduler::{NfsScheduler, PlacementPlan, VmScheduler};
+
+/// SLA terms the negotiator publishes to a consumer: the price book and
+/// current availability of each cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlaTerms {
+    /// Virtual cluster specifications (prices, utilities, fleet sizes,
+    /// per-VM bandwidth QoS).
+    pub virtual_clusters: Vec<VirtualClusterSpec>,
+    /// NFS cluster specifications (prices, utilities, capacities).
+    pub nfs_clusters: Vec<NfsClusterSpec>,
+}
+
+/// A resource change request submitted via the broker at the start of a
+/// provisioning interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceRequest {
+    /// Target number of active VMs per virtual cluster.
+    pub vm_targets: Vec<usize>,
+    /// Optional new chunk placement (omitted when demand has not shifted
+    /// enough to justify re-placement, per paper Sec. V-B).
+    pub placement: Option<PlacementPlan>,
+}
+
+/// The cloud provider: schedulers plus billing behind a broker interface.
+#[derive(Debug)]
+pub struct Cloud {
+    vms: VmScheduler,
+    nfs: NfsScheduler,
+    billing: BillingMeter,
+    clock: f64,
+}
+
+impl Cloud {
+    /// Builds a cloud from cluster specifications.
+    ///
+    /// # Errors
+    ///
+    /// Propagates specification validation failures.
+    pub fn new(
+        virtual_clusters: Vec<VirtualClusterSpec>,
+        nfs_clusters: Vec<NfsClusterSpec>,
+        chunk_bytes: u64,
+    ) -> Result<Self, CloudError> {
+        let billing = BillingMeter::new(&virtual_clusters, &nfs_clusters)?;
+        let vms = VmScheduler::new(virtual_clusters)?;
+        let nfs = NfsScheduler::new(nfs_clusters, chunk_bytes)?;
+        Ok(Self { vms, nfs, billing, clock: 0.0 })
+    }
+
+    /// The paper's experimental cloud: Table II VM clusters, Table III NFS
+    /// clusters, 15 MB chunks.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the paper constants; the `Result` mirrors
+    /// [`Cloud::new`].
+    pub fn paper_default() -> Result<Self, CloudError> {
+        Self::new(
+            crate::cluster::paper_virtual_clusters(),
+            crate::cluster::paper_nfs_clusters(),
+            15_000_000,
+        )
+    }
+
+    /// Overrides VM boot/shutdown latencies.
+    pub fn with_vm_latencies(mut self, boot_seconds: f64, shutdown_seconds: f64) -> Self {
+        self.vms = self.vms.with_latencies(boot_seconds, shutdown_seconds);
+        self
+    }
+
+    /// The SLA negotiator: current terms for the consumer.
+    pub fn sla_terms(&self) -> SlaTerms {
+        SlaTerms {
+            virtual_clusters: self.vms.specs().to_vec(),
+            nfs_clusters: self.nfs.specs().to_vec(),
+        }
+    }
+
+    /// Advances simulated time: progresses VM lifecycles and accrues
+    /// billing for the elapsed period. Billing is exact regardless of tick
+    /// granularity: the period is split at every shutdown completion so an
+    /// instance is charged precisely from launch until fully off.
+    ///
+    /// # Errors
+    ///
+    /// Rejects time moving backwards.
+    pub fn tick(&mut self, now: f64) -> Result<(), CloudError> {
+        if now < self.clock {
+            return Err(CloudError::TimeWentBackwards { last: self.clock, submitted: now });
+        }
+        let mut cursor = self.clock;
+        while let Some(change) = self.vms.next_billing_change(cursor, now) {
+            self.billing.accrue(change, &self.vms.billable_counts(), self.nfs.used_bytes())?;
+            self.vms.tick(change)?;
+            cursor = change;
+        }
+        self.billing.accrue(now, &self.vms.billable_counts(), self.nfs.used_bytes())?;
+        self.vms.tick(now)?;
+        self.clock = now;
+        Ok(())
+    }
+
+    /// Submits a resource request through the broker (the request monitor
+    /// forwards it to the schedulers). Effective immediately at the current
+    /// clock; VM changes take their boot/shutdown latency to materialize.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first scheduler rejection; on VM-target rejection no
+    /// placement change is applied either.
+    pub fn submit_request(&mut self, request: &ResourceRequest) -> Result<(), CloudError> {
+        if request.vm_targets.len() != self.vms.clusters() {
+            return Err(crate::error::invalid_param(
+                "vm_targets",
+                format!(
+                    "expected {} clusters, got {}",
+                    self.vms.clusters(),
+                    request.vm_targets.len()
+                ),
+            ));
+        }
+        // Validate all VM targets before mutating anything.
+        for (cluster, &target) in request.vm_targets.iter().enumerate() {
+            let max = self.vms.specs()[cluster].max_vms;
+            if target > max {
+                return Err(CloudError::InsufficientVms { cluster, requested: target, available: max });
+            }
+        }
+        for (cluster, &target) in request.vm_targets.iter().enumerate() {
+            self.vms.set_target(cluster, target, self.clock)?;
+        }
+        if let Some(plan) = &request.placement {
+            self.nfs.apply_placement(plan.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// The VM scheduler (read access for monitoring).
+    pub fn vm_scheduler(&self) -> &VmScheduler {
+        &self.vms
+    }
+
+    /// The NFS scheduler (read access for monitoring).
+    pub fn nfs_scheduler(&self) -> &NfsScheduler {
+        &self.nfs
+    }
+
+    /// The billing meter.
+    pub fn billing(&self) -> &BillingMeter {
+        &self.billing
+    }
+
+    /// Total bandwidth currently served by running VMs, bytes/second.
+    pub fn running_bandwidth(&self) -> f64 {
+        self.vms.total_running_bandwidth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pricing::Money;
+    use crate::scheduler::ChunkKey;
+
+    #[test]
+    fn sla_terms_reflect_paper_tables() {
+        let cloud = Cloud::paper_default().unwrap();
+        let terms = cloud.sla_terms();
+        assert_eq!(terms.virtual_clusters.len(), 3);
+        assert_eq!(terms.nfs_clusters.len(), 2);
+    }
+
+    #[test]
+    fn end_to_end_request_provision_bill() {
+        let mut cloud = Cloud::paper_default().unwrap();
+        let mut placement = PlacementPlan::new();
+        for i in 0..10 {
+            placement.insert(ChunkKey { channel: 0, chunk: i }, 1);
+        }
+        cloud
+            .submit_request(&ResourceRequest {
+                vm_targets: vec![10, 0, 0],
+                placement: Some(placement),
+            })
+            .unwrap();
+        // After boot latency the bandwidth is online.
+        cloud.tick(25.0).unwrap();
+        assert!((cloud.running_bandwidth() - 10.0 * 1.25e6).abs() < 1.0);
+        // One hour of 10 Standard VMs: $4.50 (+ tiny storage).
+        cloud.tick(3625.0).unwrap();
+        let vm_cost = cloud.billing().vm_cost().as_dollars();
+        assert!((vm_cost - 0.45 * 10.0 * 3625.0 / 3600.0).abs() < 1e-9);
+        let storage = cloud.billing().storage_cost().as_dollars();
+        // 150 MB on High for ~1 h ~ 0.15 GB * 2.08e-4.
+        assert!(storage > 0.0 && storage < 1e-3, "storage {storage}");
+    }
+
+    #[test]
+    fn provisioning_latency_is_seconds_scale() {
+        // The paper's point: parallel boot means even large scale-ups are
+        // ready within one boot latency.
+        let mut cloud = Cloud::paper_default().unwrap();
+        cloud
+            .submit_request(&ResourceRequest { vm_targets: vec![75, 30, 45], placement: None })
+            .unwrap();
+        cloud.tick(25.0).unwrap();
+        let total = 75.0 + 30.0 + 45.0;
+        assert!((cloud.running_bandwidth() - total * 1.25e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn rejected_vm_target_applies_nothing() {
+        let mut cloud = Cloud::paper_default().unwrap();
+        let mut placement = PlacementPlan::new();
+        placement.insert(ChunkKey { channel: 0, chunk: 0 }, 0);
+        let err = cloud
+            .submit_request(&ResourceRequest {
+                vm_targets: vec![10, 99, 0], // 99 > 30 Medium VMs
+                placement: Some(placement),
+            })
+            .unwrap_err();
+        assert!(matches!(err, CloudError::InsufficientVms { cluster: 1, .. }));
+        cloud.tick(60.0).unwrap();
+        assert_eq!(cloud.running_bandwidth(), 0.0, "no VMs launched");
+        assert_eq!(cloud.nfs_scheduler().placed_chunks(), 0, "no placement applied");
+    }
+
+    #[test]
+    fn scale_down_stops_billing_after_shutdown() {
+        let mut cloud = Cloud::paper_default().unwrap();
+        cloud
+            .submit_request(&ResourceRequest { vm_targets: vec![20, 0, 0], placement: None })
+            .unwrap();
+        cloud.tick(3600.0).unwrap();
+        cloud
+            .submit_request(&ResourceRequest { vm_targets: vec![0, 0, 0], placement: None })
+            .unwrap();
+        cloud.tick(3610.0).unwrap(); // shutdown completes
+        let cost_before = cloud.billing().total_cost();
+        cloud.tick(7200.0).unwrap();
+        let cost_after = cloud.billing().total_cost();
+        assert!((cost_after - cost_before).as_dollars() < 1e-9, "no further charges");
+    }
+
+    #[test]
+    fn zero_state_is_free() {
+        let mut cloud = Cloud::paper_default().unwrap();
+        cloud.tick(86_400.0).unwrap();
+        assert_eq!(cloud.billing().total_cost(), Money::ZERO);
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types for the cloud infrastructure model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the cloud model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CloudError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// A request referenced an unknown virtual or NFS cluster.
+    UnknownCluster {
+        /// The cluster identifier that failed to resolve.
+        cluster: usize,
+    },
+    /// A VM request exceeded a cluster's available instances.
+    InsufficientVms {
+        /// Cluster the request targeted.
+        cluster: usize,
+        /// Instances requested.
+        requested: usize,
+        /// Instances the cluster can provision.
+        available: usize,
+    },
+    /// A placement exceeded an NFS cluster's storage capacity.
+    InsufficientStorage {
+        /// Cluster the placement targeted.
+        cluster: usize,
+        /// Bytes requested.
+        requested_bytes: u64,
+        /// Bytes available.
+        available_bytes: u64,
+    },
+    /// Simulated time moved backwards.
+    TimeWentBackwards {
+        /// The clock value last observed.
+        last: f64,
+        /// The (earlier) time just submitted.
+        submitted: f64,
+    },
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            CloudError::UnknownCluster { cluster } => {
+                write!(f, "unknown cluster {cluster}")
+            }
+            CloudError::InsufficientVms { cluster, requested, available } => write!(
+                f,
+                "cluster {cluster} cannot provision {requested} VMs (only {available} available)"
+            ),
+            CloudError::InsufficientStorage { cluster, requested_bytes, available_bytes } => {
+                write!(
+                    f,
+                    "NFS cluster {cluster} cannot store {requested_bytes} bytes \
+                     (only {available_bytes} available)"
+                )
+            }
+            CloudError::TimeWentBackwards { last, submitted } => {
+                write!(f, "time went backwards: {submitted} < {last}")
+            }
+        }
+    }
+}
+
+impl Error for CloudError {}
+
+pub(crate) fn invalid_param(name: &'static str, message: impl Into<String>) -> CloudError {
+    CloudError::InvalidParameter { name, message: message.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(invalid_param("price", "negative").to_string().contains("price"));
+        assert!(CloudError::UnknownCluster { cluster: 3 }.to_string().contains('3'));
+        let e = CloudError::InsufficientVms { cluster: 1, requested: 80, available: 75 };
+        assert!(e.to_string().contains("80"));
+        let e = CloudError::InsufficientStorage {
+            cluster: 0,
+            requested_bytes: 10,
+            available_bytes: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        let e = CloudError::TimeWentBackwards { last: 5.0, submitted: 1.0 };
+        assert!(e.to_string().contains("backwards"));
+    }
+}

@@ -1,0 +1,194 @@
+//! The VM Monitor (paper Fig. 1): "keeps track of all the VM instances
+//! provisioned and monitors their activities and performance".
+//!
+//! Records per-cluster fleet states over time and summarizes utilization —
+//! how much of the billed capacity actually ran, and how much of the
+//! running capacity was used by traffic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{invalid_param, CloudError};
+
+/// One monitoring observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorSample {
+    /// Observation time, seconds.
+    pub time: f64,
+    /// Running instances per cluster.
+    pub running: Vec<usize>,
+    /// Billable (launched, not yet off) instances per cluster.
+    pub billable: Vec<usize>,
+    /// Bandwidth served to traffic at observation time, bytes per second.
+    pub served_bandwidth: f64,
+}
+
+/// Utilization summary over a window of samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSummary {
+    /// Mean fraction of billable instances that were running (boot and
+    /// shutdown overheads push this below 1).
+    pub running_over_billable: f64,
+    /// Mean fraction of running bandwidth actually serving traffic.
+    pub served_over_running: f64,
+    /// Mean running instances across clusters (total).
+    pub mean_running: f64,
+}
+
+/// Rolling monitor of VM fleet activity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VmMonitor {
+    clusters: usize,
+    vm_bandwidth: f64,
+    samples: Vec<MonitorSample>,
+    max_samples: usize,
+}
+
+impl VmMonitor {
+    /// Creates a monitor for `clusters` clusters of VMs with the given
+    /// per-VM bandwidth, retaining at most `max_samples` observations
+    /// (oldest evicted first).
+    ///
+    /// # Errors
+    ///
+    /// Rejects zero clusters, non-positive bandwidth, or zero retention.
+    pub fn new(clusters: usize, vm_bandwidth: f64, max_samples: usize) -> Result<Self, CloudError> {
+        if clusters == 0 {
+            return Err(invalid_param("clusters", "must be positive"));
+        }
+        if !(vm_bandwidth.is_finite() && vm_bandwidth > 0.0) {
+            return Err(invalid_param("vm_bandwidth", "must be positive"));
+        }
+        if max_samples == 0 {
+            return Err(invalid_param("max_samples", "must be positive"));
+        }
+        Ok(Self { clusters, vm_bandwidth, samples: Vec::new(), max_samples })
+    }
+
+    /// Records one observation.
+    ///
+    /// # Errors
+    ///
+    /// Rejects dimension mismatches and out-of-order times.
+    pub fn record(
+        &mut self,
+        time: f64,
+        running: Vec<usize>,
+        billable: Vec<usize>,
+        served_bandwidth: f64,
+    ) -> Result<(), CloudError> {
+        if running.len() != self.clusters || billable.len() != self.clusters {
+            return Err(invalid_param("running", "cluster-count mismatch"));
+        }
+        if let Some(last) = self.samples.last() {
+            if time < last.time {
+                return Err(CloudError::TimeWentBackwards { last: last.time, submitted: time });
+            }
+        }
+        self.samples.push(MonitorSample { time, running, billable, served_bandwidth });
+        if self.samples.len() > self.max_samples {
+            let excess = self.samples.len() - self.max_samples;
+            self.samples.drain(0..excess);
+        }
+        Ok(())
+    }
+
+    /// The retained samples, oldest first.
+    pub fn samples(&self) -> &[MonitorSample] {
+        &self.samples
+    }
+
+    /// Utilization summary over all retained samples; `None` if empty.
+    pub fn summary(&self) -> Option<UtilizationSummary> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut rb = 0.0;
+        let mut rb_n = 0usize;
+        let mut sr = 0.0;
+        let mut sr_n = 0usize;
+        let mut total_running = 0.0;
+        for s in &self.samples {
+            let running: usize = s.running.iter().sum();
+            let billable: usize = s.billable.iter().sum();
+            total_running += running as f64;
+            if billable > 0 {
+                rb += running as f64 / billable as f64;
+                rb_n += 1;
+            }
+            if running > 0 {
+                sr += (s.served_bandwidth / (running as f64 * self.vm_bandwidth)).min(1.0);
+                sr_n += 1;
+            }
+        }
+        Some(UtilizationSummary {
+            running_over_billable: if rb_n > 0 { rb / rb_n as f64 } else { 1.0 },
+            served_over_running: if sr_n > 0 { sr / sr_n as f64 } else { 0.0 },
+            mean_running: total_running / self.samples.len() as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> VmMonitor {
+        VmMonitor::new(3, 1.25e6, 100).unwrap()
+    }
+
+    #[test]
+    fn empty_monitor_has_no_summary() {
+        assert!(monitor().summary().is_none());
+    }
+
+    #[test]
+    fn summary_computes_utilizations() {
+        let mut m = monitor();
+        // 10 running of 10 billable, serving half the running bandwidth.
+        m.record(0.0, vec![10, 0, 0], vec![10, 0, 0], 10.0 * 1.25e6 / 2.0).unwrap();
+        // 5 running of 10 billable (5 shutting down), fully used.
+        m.record(10.0, vec![5, 0, 0], vec![10, 0, 0], 5.0 * 1.25e6).unwrap();
+        let s = m.summary().unwrap();
+        assert!((s.running_over_billable - 0.75).abs() < 1e-12);
+        assert!((s.served_over_running - 0.75).abs() < 1e-12);
+        assert!((s.mean_running - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn served_fraction_is_capped_at_one() {
+        let mut m = monitor();
+        m.record(0.0, vec![1, 0, 0], vec![1, 0, 0], 99.0 * 1.25e6).unwrap();
+        assert!((m.summary().unwrap().served_over_running - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retention_evicts_oldest() {
+        let mut m = VmMonitor::new(1, 1.0, 3).unwrap();
+        for i in 0..5 {
+            m.record(i as f64, vec![i], vec![i], 0.0).unwrap();
+        }
+        assert_eq!(m.samples().len(), 3);
+        assert_eq!(m.samples()[0].time, 2.0);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(VmMonitor::new(0, 1.0, 10).is_err());
+        assert!(VmMonitor::new(1, 0.0, 10).is_err());
+        assert!(VmMonitor::new(1, 1.0, 0).is_err());
+        let mut m = monitor();
+        assert!(m.record(0.0, vec![1], vec![1, 0, 0], 0.0).is_err());
+        m.record(10.0, vec![0, 0, 0], vec![0, 0, 0], 0.0).unwrap();
+        assert!(m.record(5.0, vec![0, 0, 0], vec![0, 0, 0], 0.0).is_err());
+    }
+
+    #[test]
+    fn idle_fleet_summary_is_sane() {
+        let mut m = monitor();
+        m.record(0.0, vec![0, 0, 0], vec![0, 0, 0], 0.0).unwrap();
+        let s = m.summary().unwrap();
+        assert_eq!(s.running_over_billable, 1.0);
+        assert_eq!(s.served_over_running, 0.0);
+        assert_eq!(s.mean_running, 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Virtual machine lifecycle.
+//!
+//! The paper measures "around 25 seconds to turn on a VM, and even less
+//! time to shut it down", with VMs launched and shut down in parallel so
+//! provisioning latency stays at seconds. Instances here follow the
+//! corresponding four-state lifecycle.
+
+use serde::{Deserialize, Serialize};
+
+/// Default boot latency, seconds (paper Sec. VI-C).
+pub const DEFAULT_BOOT_SECONDS: f64 = 25.0;
+
+/// Default shutdown latency, seconds ("even less time to shut it down").
+pub const DEFAULT_SHUTDOWN_SECONDS: f64 = 10.0;
+
+/// Lifecycle state of a VM instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VmState {
+    /// Pre-deployed but powered off (the paper pre-deploys images in "off"
+    /// state).
+    Off,
+    /// Booting; serves no traffic until `ready_at`.
+    Booting {
+        /// Absolute time the instance becomes `Running`.
+        ready_at: f64,
+    },
+    /// Running and serving its full allocated bandwidth.
+    Running {
+        /// Absolute time the instance entered `Running`.
+        since: f64,
+    },
+    /// Shutting down; already serving no traffic.
+    ShuttingDown {
+        /// Absolute time the instance becomes `Off`.
+        off_at: f64,
+    },
+}
+
+/// One VM instance inside a virtual cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VmInstance {
+    /// Identifier unique within the cluster.
+    pub id: usize,
+    /// Current lifecycle state.
+    pub state: VmState,
+}
+
+impl VmInstance {
+    /// Creates a powered-off instance.
+    pub fn new(id: usize) -> Self {
+        Self { id, state: VmState::Off }
+    }
+
+    /// Advances lifecycle transitions up to time `now`.
+    pub fn tick(&mut self, now: f64) {
+        match self.state {
+            VmState::Booting { ready_at } if now >= ready_at => {
+                self.state = VmState::Running { since: ready_at };
+            }
+            VmState::ShuttingDown { off_at } if now >= off_at => {
+                self.state = VmState::Off;
+            }
+            _ => {}
+        }
+    }
+
+    /// Starts booting at `now`; no-op unless the instance is `Off`.
+    pub fn launch(&mut self, now: f64, boot_seconds: f64) {
+        if matches!(self.state, VmState::Off) {
+            self.state = VmState::Booting { ready_at: now + boot_seconds };
+        }
+    }
+
+    /// Begins shutdown at `now`; no-op if already off or shutting down.
+    /// A booting instance aborts its boot and powers down.
+    pub fn shutdown(&mut self, now: f64, shutdown_seconds: f64) {
+        match self.state {
+            VmState::Running { .. } | VmState::Booting { .. } => {
+                self.state = VmState::ShuttingDown { off_at: now + shutdown_seconds };
+            }
+            VmState::Off | VmState::ShuttingDown { .. } => {}
+        }
+    }
+
+    /// True while the instance serves traffic.
+    pub fn is_running(&self) -> bool {
+        matches!(self.state, VmState::Running { .. })
+    }
+
+    /// True while the instance incurs rental charges (from launch until
+    /// fully off, matching usage-time billing).
+    pub fn is_billable(&self) -> bool {
+        !matches!(self.state, VmState::Off)
+    }
+
+    /// True if the instance is available for a new launch.
+    pub fn is_off(&self) -> bool {
+        matches!(self.state, VmState::Off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_takes_the_configured_latency() {
+        let mut vm = VmInstance::new(0);
+        vm.launch(100.0, DEFAULT_BOOT_SECONDS);
+        vm.tick(100.0);
+        assert!(!vm.is_running(), "not running immediately");
+        vm.tick(124.9);
+        assert!(!vm.is_running(), "not running before 25 s elapse");
+        vm.tick(125.0);
+        assert!(vm.is_running(), "running exactly at ready time");
+        assert_eq!(vm.state, VmState::Running { since: 125.0 });
+    }
+
+    #[test]
+    fn shutdown_transitions_to_off() {
+        let mut vm = VmInstance::new(1);
+        vm.launch(0.0, 25.0);
+        vm.tick(25.0);
+        vm.shutdown(30.0, DEFAULT_SHUTDOWN_SECONDS);
+        assert!(!vm.is_running(), "serves no traffic once shutting down");
+        assert!(vm.is_billable(), "still billed while shutting down");
+        vm.tick(40.0);
+        assert!(vm.is_off());
+        assert!(!vm.is_billable());
+    }
+
+    #[test]
+    fn launch_is_idempotent_while_not_off() {
+        let mut vm = VmInstance::new(2);
+        vm.launch(0.0, 25.0);
+        let s = vm.state;
+        vm.launch(5.0, 25.0);
+        assert_eq!(vm.state, s, "second launch ignored");
+    }
+
+    #[test]
+    fn booting_instance_can_be_aborted() {
+        let mut vm = VmInstance::new(3);
+        vm.launch(0.0, 25.0);
+        vm.shutdown(10.0, 10.0);
+        assert_eq!(vm.state, VmState::ShuttingDown { off_at: 20.0 });
+        vm.tick(20.0);
+        assert!(vm.is_off());
+    }
+
+    #[test]
+    fn shutdown_when_off_is_noop() {
+        let mut vm = VmInstance::new(4);
+        vm.shutdown(0.0, 10.0);
+        assert!(vm.is_off());
+    }
+
+    #[test]
+    fn billable_from_launch() {
+        let mut vm = VmInstance::new(5);
+        assert!(!vm.is_billable());
+        vm.launch(0.0, 25.0);
+        assert!(vm.is_billable(), "billing starts at launch, not at ready");
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests over the cloud model: scheduler convergence and
+//! billing invariants under arbitrary target/tick sequences.
+
+use cloudmedia_cloud::broker::{Cloud, ResourceRequest};
+use cloudmedia_cloud::cluster::paper_virtual_clusters;
+use proptest::prelude::*;
+
+/// Strategy: a sequence of (per-cluster targets, dwell seconds) steps.
+fn schedule_strategy() -> impl Strategy<Value = Vec<([usize; 3], f64)>> {
+    proptest::collection::vec(
+        ((0usize..=75, 0usize..=30, 0usize..=45), 1.0..7200.0f64)
+            .prop_map(|((a, b, c), dwell)| ([a, b, c], dwell)),
+        1..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fleet_converges_and_billing_is_monotone(schedule in schedule_strategy()) {
+        let mut cloud = Cloud::paper_default().unwrap();
+        let mut clock = 0.0;
+        let mut last_cost = 0.0;
+        for (targets, dwell) in &schedule {
+            cloud.submit_request(&ResourceRequest {
+                vm_targets: targets.to_vec(),
+                placement: None,
+            }).unwrap();
+            clock += dwell;
+            cloud.tick(clock).unwrap();
+            let cost = cloud.billing().total_cost().as_dollars();
+            prop_assert!(cost >= last_cost - 1e-12, "billing must be monotone");
+            last_cost = cost;
+        }
+        // After a settle period the fleet matches the last request exactly.
+        let (final_targets, _) = schedule.last().unwrap();
+        clock += 60.0;
+        cloud.tick(clock).unwrap();
+        for (c, &want) in final_targets.iter().enumerate() {
+            prop_assert_eq!(cloud.vm_scheduler().running(c), want, "cluster {} converged", c);
+        }
+    }
+
+    #[test]
+    fn billing_never_exceeds_full_fleet_rate(schedule in schedule_strategy()) {
+        let specs = paper_virtual_clusters();
+        let max_rate: f64 = specs
+            .iter()
+            .map(|s| s.max_vms as f64 * s.price.dollars_per_hour)
+            .sum();
+        let mut cloud = Cloud::paper_default().unwrap();
+        let mut clock = 0.0;
+        for (targets, dwell) in &schedule {
+            cloud.submit_request(&ResourceRequest {
+                vm_targets: targets.to_vec(),
+                placement: None,
+            }).unwrap();
+            clock += dwell;
+            cloud.tick(clock).unwrap();
+        }
+        let cost = cloud.billing().total_cost().as_dollars();
+        prop_assert!(
+            cost <= max_rate * clock / 3600.0 + 1e-9,
+            "cost {cost} above full-fleet bound"
+        );
+    }
+
+    #[test]
+    fn running_bandwidth_bounded_by_requests(schedule in schedule_strategy()) {
+        let mut cloud = Cloud::paper_default().unwrap();
+        let mut clock = 0.0;
+        let mut max_requested = 0usize;
+        for (targets, dwell) in &schedule {
+            cloud.submit_request(&ResourceRequest {
+                vm_targets: targets.to_vec(),
+                placement: None,
+            }).unwrap();
+            max_requested = max_requested.max(targets.iter().sum());
+            clock += dwell;
+            cloud.tick(clock).unwrap();
+            // Running VMs never exceed the largest fleet ever requested.
+            let running: usize = (0..3).map(|c| cloud.vm_scheduler().running(c)).sum();
+            prop_assert!(running <= max_requested);
+        }
+    }
+}

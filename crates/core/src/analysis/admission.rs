@@ -1,0 +1,212 @@
+//! Admission-control analysis (extension).
+//!
+//! The paper provisions capacity to *meet* demand and signals "increase
+//! the budget" when it cannot. An alternative under a hard capacity cap is
+//! to admit only what the fleet can serve and reject the rest at the
+//! tracker — this module quantifies that trade with the finite-capacity
+//! `M/M/m/K` model: given a fixed VM count for a channel, what fraction of
+//! chunk requests must be rejected to keep the admitted ones smooth?
+
+use cloudmedia_queueing::mmmk::MmmkQueue;
+use serde::{Deserialize, Serialize};
+
+use crate::channel::ChannelModel;
+use crate::error::{invalid_param, CoreError};
+
+/// Outcome of analyzing a channel under a fixed VM allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionOutcome {
+    /// VMs serving the channel pool.
+    pub vms: usize,
+    /// Waiting-room size `K − m` that keeps admitted requests within the
+    /// playback window.
+    pub waiting_room: usize,
+    /// Fraction of chunk requests rejected at the tracker.
+    pub rejection_probability: f64,
+    /// Mean sojourn time of admitted requests, seconds.
+    pub admitted_sojourn: f64,
+}
+
+/// Analyzes a channel whose pool is capped at `vms` VMs: the waiting room
+/// is sized as large as possible while the *admitted* requests' mean
+/// sojourn stays within `T0`, and the resulting rejection probability is
+/// reported.
+///
+/// With enough VMs the rejection probability is ≈ 0 (the paper's regime);
+/// as the cap shrinks below the equilibrium demand, rejections grow
+/// instead of quality collapsing for everyone — the admission-control
+/// trade.
+///
+/// # Errors
+///
+/// Propagates validation failures; rejects `vms == 0`.
+pub fn admission_outcome(
+    channel: &ChannelModel,
+    vms: usize,
+) -> Result<AdmissionOutcome, CoreError> {
+    channel.validate()?;
+    if vms == 0 {
+        return Err(invalid_param("vms", "must be positive"));
+    }
+    let lambdas = channel.chunk_arrival_rates()?;
+    let total_lambda: f64 = lambdas.iter().sum();
+    let mu = channel.service_rate();
+    let t0 = channel.chunk_seconds;
+
+    if total_lambda == 0.0 {
+        return Ok(AdmissionOutcome {
+            vms,
+            waiting_room: 0,
+            rejection_probability: 0.0,
+            admitted_sojourn: 1.0 / mu,
+        });
+    }
+
+    // Grow the waiting room while admitted sojourn stays within T0; a
+    // bigger room admits more (less rejection) but waits longer.
+    let mut best = None;
+    let mut k = vms;
+    loop {
+        let q = MmmkQueue::new(total_lambda, mu, vms, k)?;
+        if q.mean_sojourn_time() <= t0 {
+            best = Some((k, q.blocking_probability(), q.mean_sojourn_time()));
+        } else {
+            break;
+        }
+        // Blocking cannot improve once it is negligible.
+        if q.blocking_probability() < 1e-9 {
+            break;
+        }
+        k += (k / 4).max(1);
+        if k > 200_000 {
+            break;
+        }
+    }
+    let (k, reject, sojourn) = best.ok_or_else(|| {
+        invalid_param(
+            "vms",
+            format!("even a zero waiting room exceeds T0 with {vms} VMs"),
+        )
+    })?;
+    Ok(AdmissionOutcome {
+        vms,
+        waiting_room: k - vms,
+        rejection_probability: reject,
+        admitted_sojourn: sojourn,
+    })
+}
+
+/// Minimum VMs for a channel such that, with a suitable waiting room,
+/// fewer than `epsilon` of chunk requests are rejected while admitted
+/// requests stay within the playback window.
+///
+/// # Errors
+///
+/// Propagates validation failures; rejects `epsilon` outside `(0, 1)`.
+pub fn min_vms_for_rejection(
+    channel: &ChannelModel,
+    epsilon: f64,
+) -> Result<usize, CoreError> {
+    channel.validate()?;
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(invalid_param("epsilon", format!("must be in (0, 1), got {epsilon}")));
+    }
+    let lambdas = channel.chunk_arrival_rates()?;
+    let total_lambda: f64 = lambdas.iter().sum();
+    if total_lambda == 0.0 {
+        return Ok(0);
+    }
+    let mu = channel.service_rate();
+    let mut vms = 1;
+    loop {
+        // Overload floor check first (cheap).
+        if (vms as f64) * mu > total_lambda * (1.0 - epsilon) {
+            if let Ok(outcome) = admission_outcome(channel, vms) {
+                if outcome.rejection_probability <= epsilon {
+                    return Ok(vms);
+                }
+            }
+        }
+        vms += 1;
+        if vms > 100_000 {
+            return Err(invalid_param("epsilon", "no feasible VM count below 1e5"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudmedia_queueing::mmm::min_servers_for_sojourn;
+
+    fn channel(rate: f64) -> ChannelModel {
+        ChannelModel::paper_default(0, rate)
+    }
+
+    #[test]
+    fn ample_vms_reject_nothing() {
+        let c = channel(0.3);
+        let lambdas = c.chunk_arrival_rates().unwrap();
+        let total: f64 = lambdas.iter().sum();
+        let enough =
+            min_servers_for_sojourn(total, c.service_rate(), c.chunk_seconds).unwrap() + 2;
+        let o = admission_outcome(&c, enough).unwrap();
+        assert!(o.rejection_probability < 1e-6, "rejection {}", o.rejection_probability);
+        assert!(o.admitted_sojourn <= c.chunk_seconds);
+    }
+
+    #[test]
+    fn scarce_vms_trade_rejections_for_admitted_quality() {
+        let c = channel(0.3);
+        let lambdas = c.chunk_arrival_rates().unwrap();
+        let total: f64 = lambdas.iter().sum();
+        let needed = min_servers_for_sojourn(total, c.service_rate(), c.chunk_seconds).unwrap();
+        // Half the needed fleet: substantial rejection, but admitted
+        // viewers still make their deadlines.
+        let o = admission_outcome(&c, (needed / 2).max(1)).unwrap();
+        assert!(o.rejection_probability > 0.2, "rejection {}", o.rejection_probability);
+        assert!(o.admitted_sojourn <= c.chunk_seconds);
+    }
+
+    #[test]
+    fn rejection_decreases_with_vms() {
+        let c = channel(0.3);
+        let mut prev = 1.0;
+        for vms in [5, 10, 15, 20] {
+            let o = admission_outcome(&c, vms).unwrap();
+            assert!(o.rejection_probability <= prev + 1e-12, "vms {vms}");
+            prev = o.rejection_probability;
+        }
+    }
+
+    #[test]
+    fn min_vms_meets_epsilon_and_relates_to_mean_provisioning() {
+        let c = channel(0.3);
+        let vms = min_vms_for_rejection(&c, 0.01).unwrap();
+        let o = admission_outcome(&c, vms).unwrap();
+        assert!(o.rejection_probability <= 0.01);
+        // Near-zero rejection needs roughly the paper's mean-provisioned
+        // fleet; 1% rejection may shave a VM or two but not more than 30%.
+        let lambdas = c.chunk_arrival_rates().unwrap();
+        let total: f64 = lambdas.iter().sum();
+        let mean_m = min_servers_for_sojourn(total, c.service_rate(), c.chunk_seconds).unwrap();
+        assert!(vms as f64 >= 0.7 * mean_m as f64, "vms {vms} vs mean {mean_m}");
+        assert!(vms <= mean_m + 2);
+    }
+
+    #[test]
+    fn zero_arrivals_need_nothing() {
+        let c = channel(0.0);
+        assert_eq!(min_vms_for_rejection(&c, 0.05).unwrap(), 0);
+        let o = admission_outcome(&c, 1).unwrap();
+        assert_eq!(o.rejection_probability, 0.0);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let c = channel(0.2);
+        assert!(admission_outcome(&c, 0).is_err());
+        assert!(min_vms_for_rejection(&c, 0.0).is_err());
+        assert!(min_vms_for_rejection(&c, 1.0).is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! Baseline provisioning strategies.
+//!
+//! The paper's pitch is the *model-driven elastic* controller against two
+//! implicit baselines: **dedicated servers** (the fixed fleet a provider
+//! would buy without a cloud — the paper's "substantial advantages over
+//! private server clusters") and a **reactive autoscaler** (scale to the
+//! currently observed load plus headroom, no queueing model — what a
+//! generic cloud autoscaler does). Both produce the same
+//! [`ProvisioningPlan`] shape so the simulator and benches can swap them
+//! in for the paper's controller.
+
+use cloudmedia_cloud::broker::SlaTerms;
+use cloudmedia_cloud::scheduler::ChunkKey;
+use serde::{Deserialize, Serialize};
+
+use crate::controller::ProvisioningPlan;
+use crate::error::{invalid_param, CoreError};
+use crate::predictor::ChannelObservation;
+use crate::provisioning::storage::{ChunkDemand, StorageProblem};
+use crate::provisioning::vm::VmProblem;
+
+/// Which provisioning strategy drives the system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ProvisionerKind {
+    /// The paper's model-driven controller (queueing analysis + greedy
+    /// optimizers, last-interval prediction).
+    Model,
+    /// Reactive autoscaler: provision `(1 + headroom)` times the
+    /// *currently observed* streaming demand, uniformly across chunks —
+    /// no queueing model, no equilibrium analysis.
+    Reactive {
+        /// Fractional headroom above observed demand (e.g. 0.2 = +20%).
+        headroom: f64,
+    },
+    /// Dedicated servers: a constant fleet sized for the given peak
+    /// streaming demand (bytes/s), never rescaled. The paper's
+    /// private-cluster alternative.
+    Fixed {
+        /// Peak total streaming demand the fleet is sized for, bytes/s.
+        peak_demand: f64,
+    },
+}
+
+/// A baseline planner: produces [`ProvisioningPlan`]s from the same
+/// tracker statistics the paper's controller consumes.
+#[derive(Debug, Clone)]
+pub struct BaselinePlanner {
+    kind: ProvisionerKind,
+    streaming_rate: f64,
+    chunk_seconds: f64,
+    vm_budget_per_hour: f64,
+    storage_budget_per_hour: f64,
+    placed: bool,
+}
+
+impl BaselinePlanner {
+    /// Creates a baseline planner.
+    ///
+    /// # Errors
+    ///
+    /// Rejects the `Model` kind (use
+    /// [`Controller`](crate::controller::Controller)) and invalid
+    /// parameters.
+    pub fn new(
+        kind: ProvisionerKind,
+        streaming_rate: f64,
+        chunk_seconds: f64,
+        vm_budget_per_hour: f64,
+        storage_budget_per_hour: f64,
+    ) -> Result<Self, CoreError> {
+        match kind {
+            ProvisionerKind::Model => {
+                return Err(invalid_param(
+                    "kind",
+                    "Model is implemented by Controller, not BaselinePlanner",
+                ));
+            }
+            ProvisionerKind::Reactive { headroom } => {
+                if !(headroom.is_finite() && headroom >= 0.0) {
+                    return Err(invalid_param("headroom", "must be non-negative"));
+                }
+            }
+            ProvisionerKind::Fixed { peak_demand } => {
+                if !(peak_demand.is_finite() && peak_demand > 0.0) {
+                    return Err(invalid_param("peak_demand", "must be positive"));
+                }
+            }
+        }
+        if !(streaming_rate.is_finite() && streaming_rate > 0.0) {
+            return Err(invalid_param("streaming_rate", "must be positive"));
+        }
+        if !(chunk_seconds.is_finite() && chunk_seconds > 0.0) {
+            return Err(invalid_param("chunk_seconds", "must be positive"));
+        }
+        Ok(Self {
+            kind,
+            streaming_rate,
+            chunk_seconds,
+            vm_budget_per_hour,
+            storage_budget_per_hour,
+            placed: false,
+        })
+    }
+
+    /// Plans one interval from per-channel observations. Demands are
+    /// spread uniformly over each channel's chunks (baselines have no
+    /// per-chunk model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimizer failures (budget, capacity).
+    pub fn plan_interval(
+        &mut self,
+        stats: &[(usize, ChannelObservation)],
+        sla: &SlaTerms,
+    ) -> Result<ProvisioningPlan, CoreError> {
+        // Observed streaming demand per channel: population x r, with the
+        // population estimated from arrivals x mean session time (chunks
+        // estimated from the routing matrix row mass).
+        let mut chunk_demands: Vec<ChunkDemand> = Vec::new();
+        let mut total = 0.0;
+        // Observed arrival-rate shares: a dedicated cluster routes its
+        // fixed capacity to whichever channels are loaded right now.
+        let rate_total: f64 = stats.iter().map(|(_, o)| o.arrival_rate).sum();
+        for (channel, obs) in stats {
+            let chunks = obs.routing.len().max(1);
+            let demand_total = match self.kind {
+                ProvisionerKind::Fixed { peak_demand } => {
+                    let share = if rate_total > 0.0 {
+                        obs.arrival_rate / rate_total
+                    } else {
+                        1.0 / stats.len().max(1) as f64
+                    };
+                    peak_demand * share
+                }
+                ProvisionerKind::Reactive { headroom } => {
+                    // Population ~ arrivals x session chunks x T0 (crude:
+                    // mean sequential row mass as continue probability).
+                    let cont: f64 = obs
+                        .routing
+                        .iter()
+                        .map(|r| r.iter().sum::<f64>())
+                        .sum::<f64>()
+                        / chunks as f64;
+                    let session_chunks = 1.0 / (1.0 - cont.min(0.99));
+                    let population =
+                        obs.arrival_rate * session_chunks * self.chunk_seconds;
+                    population * self.streaming_rate * (1.0 + headroom)
+                }
+                ProvisionerKind::Model => unreachable!("rejected in constructor"),
+            };
+            total += demand_total;
+            let per_chunk = demand_total / chunks as f64;
+            for chunk in 0..chunks {
+                chunk_demands.push(ChunkDemand {
+                    key: ChunkKey { channel: *channel, chunk },
+                    demand: per_chunk,
+                });
+            }
+        }
+
+        let vm_plan = VmProblem {
+            demands: &chunk_demands,
+            clusters: &sla.virtual_clusters,
+            budget_per_hour: self.vm_budget_per_hour,
+        }
+        .greedy()?;
+
+        // Place storage once (uniform demands never shift the greedy
+        // placement afterwards).
+        let placement = if self.placed {
+            None
+        } else {
+            let plan = StorageProblem {
+                demands: &chunk_demands,
+                clusters: &sla.nfs_clusters,
+                chunk_bytes: (self.streaming_rate * self.chunk_seconds) as u64,
+                budget_per_hour: self.storage_budget_per_hour,
+            }
+            .greedy()?;
+            self.placed = true;
+            Some(plan.placement)
+        };
+
+        Ok(ProvisioningPlan {
+            vm_targets: vm_plan.vm_targets.clone(),
+            placement,
+            chunk_demands,
+            total_cloud_demand: total,
+            expected_peer_contribution: 0.0,
+            vm_plan,
+            storage_utility: 0.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelModel;
+    use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters};
+
+    fn sla() -> SlaTerms {
+        SlaTerms {
+            virtual_clusters: paper_virtual_clusters(),
+            nfs_clusters: paper_nfs_clusters(),
+        }
+    }
+
+    fn observation(rate: f64) -> ChannelObservation {
+        let model = ChannelModel::paper_default(0, rate);
+        ChannelObservation { arrival_rate: rate, alpha: model.alpha, routing: model.routing }
+    }
+
+    fn reactive(headroom: f64) -> BaselinePlanner {
+        BaselinePlanner::new(
+            ProvisionerKind::Reactive { headroom },
+            50_000.0,
+            300.0,
+            100.0,
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fixed_fleet_never_rescales() {
+        let mut p = BaselinePlanner::new(
+            ProvisionerKind::Fixed { peak_demand: 60e6 },
+            50_000.0,
+            300.0,
+            100.0,
+            1.0,
+        )
+        .unwrap();
+        let a = p.plan_interval(&[(0, observation(0.1))], &sla()).unwrap();
+        let b = p.plan_interval(&[(0, observation(0.5))], &sla()).unwrap();
+        assert_eq!(a.vm_targets, b.vm_targets, "fixed fleet ignores load");
+        assert!(a.placement.is_some() && b.placement.is_none(), "placed once");
+    }
+
+    #[test]
+    fn reactive_tracks_load_with_headroom() {
+        let mut p = reactive(0.2);
+        let lo = p.plan_interval(&[(0, observation(0.1))], &sla()).unwrap();
+        let hi = p.plan_interval(&[(0, observation(0.4))], &sla()).unwrap();
+        assert!(hi.total_cloud_demand > 3.0 * lo.total_cloud_demand);
+        // Headroom scales demand.
+        let mut no_pad = reactive(0.0);
+        let base = no_pad.plan_interval(&[(0, observation(0.1))], &sla()).unwrap();
+        assert!((lo.total_cloud_demand - 1.2 * base.total_cloud_demand).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reactive_demand_close_to_model_equilibrium() {
+        // The reactive population estimate should land in the same regime
+        // as the queueing model's (it lacks only the queueing margin).
+        let mut p = reactive(0.0);
+        let plan = p.plan_interval(&[(0, observation(0.3))], &sla()).unwrap();
+        let model = ChannelModel::paper_default(0, 0.3);
+        let pooled = crate::analysis::pooled_capacity_demand(&model).unwrap();
+        let ratio = plan.total_cloud_demand / pooled.total_upload_demand();
+        assert!((0.6..=1.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn model_kind_is_rejected() {
+        assert!(BaselinePlanner::new(ProvisionerKind::Model, 5e4, 300.0, 100.0, 1.0).is_err());
+        assert!(BaselinePlanner::new(
+            ProvisionerKind::Reactive { headroom: -0.1 },
+            5e4,
+            300.0,
+            100.0,
+            1.0
+        )
+        .is_err());
+        assert!(BaselinePlanner::new(
+            ProvisionerKind::Fixed { peak_demand: 0.0 },
+            5e4,
+            300.0,
+            100.0,
+            1.0
+        )
+        .is_err());
+    }
+}

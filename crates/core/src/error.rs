@@ -1,0 +1,143 @@
+//! Error types for the CloudMedia core.
+
+use std::error::Error;
+use std::fmt;
+
+use cloudmedia_cloud::CloudError;
+use cloudmedia_queueing::QueueingError;
+
+/// Which provisioning optimization could not be satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProblemKind {
+    /// The storage rental problem (paper Eqn. 6).
+    Storage,
+    /// The VM configuration problem (paper Eqn. 7).
+    VmConfiguration,
+}
+
+impl fmt::Display for ProblemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProblemKind::Storage => write!(f, "storage rental"),
+            ProblemKind::VmConfiguration => write!(f, "VM configuration"),
+        }
+    }
+}
+
+/// Errors produced by the capacity analysis and provisioning algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// A queueing computation failed.
+    Queueing(QueueingError),
+    /// A cloud operation failed.
+    Cloud(CloudError),
+    /// An optimization problem has no feasible solution within budget —
+    /// the paper's signal that "the set budget is not feasible given the
+    /// current prices, which should be increased".
+    Infeasible {
+        /// Which problem is infeasible.
+        problem: ProblemKind,
+        /// Budget required (dollars per hour) to cover the demand with the
+        /// cheapest feasible assignment.
+        required_budget: f64,
+        /// Budget configured.
+        configured_budget: f64,
+    },
+    /// Demand exceeds the cloud's total capacity regardless of budget.
+    CapacityExceeded {
+        /// Which problem ran out of capacity.
+        problem: ProblemKind,
+        /// Units requested (VMs or chunks).
+        requested: f64,
+        /// Units available across all clusters.
+        available: f64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            CoreError::Queueing(e) => write!(f, "queueing analysis failed: {e}"),
+            CoreError::Cloud(e) => write!(f, "cloud operation failed: {e}"),
+            CoreError::Infeasible { problem, required_budget, configured_budget } => write!(
+                f,
+                "{problem} problem is infeasible: requires ${required_budget:.4}/h \
+                 but budget is ${configured_budget:.4}/h — increase the budget"
+            ),
+            CoreError::CapacityExceeded { problem, requested, available } => write!(
+                f,
+                "{problem} problem exceeds total cloud capacity: \
+                 requested {requested:.2}, available {available:.2}"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Queueing(e) => Some(e),
+            CoreError::Cloud(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QueueingError> for CoreError {
+    fn from(e: QueueingError) -> Self {
+        CoreError::Queueing(e)
+    }
+}
+
+impl From<CloudError> for CoreError {
+    fn from(e: CloudError) -> Self {
+        CoreError::Cloud(e)
+    }
+}
+
+pub(crate) fn invalid_param(name: &'static str, message: impl Into<String>) -> CoreError {
+    CoreError::InvalidParameter { name, message: message.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants_are_informative() {
+        let e = CoreError::Infeasible {
+            problem: ProblemKind::Storage,
+            required_budget: 2.0,
+            configured_budget: 1.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("storage rental"));
+        assert!(s.contains("increase the budget"));
+
+        let e = CoreError::CapacityExceeded {
+            problem: ProblemKind::VmConfiguration,
+            requested: 200.0,
+            available: 150.0,
+        };
+        assert!(e.to_string().contains("VM configuration"));
+    }
+
+    #[test]
+    fn conversions_preserve_source() {
+        let qe = QueueingError::UnstableQueue { offered_load: 3.0, servers: 2 };
+        let ce: CoreError = qe.clone().into();
+        assert!(matches!(ce, CoreError::Queueing(ref inner) if *inner == qe));
+        assert!(Error::source(&ce).is_some());
+    }
+}

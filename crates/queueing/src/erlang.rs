@@ -1,0 +1,205 @@
+//! Erlang blocking and waiting formulas, computed with numerically stable
+//! recurrences (no factorials).
+//!
+//! The paper's Eqn. (2) expresses the M/M/m equilibrium distribution via
+//! Erlang's C formula; we expose both Erlang B (loss) and Erlang C (delay)
+//! here because B is the stable stepping stone to C:
+//!
+//! ```text
+//! B(0, a) = 1
+//! B(m, a) = a·B(m-1, a) / (m + a·B(m-1, a))
+//! C(m, a) = m·B(m, a) / (m - a·(1 - B(m, a)))        for a < m
+//! ```
+
+use crate::error::{invalid_param, QueueingError};
+
+/// Erlang B (blocking probability of an M/M/m/m loss system) for offered
+/// load `a = lambda / mu` and `m` servers.
+///
+/// Valid for any `a >= 0`; returns 1.0 for `m == 0`.
+///
+/// # Errors
+///
+/// Returns an error if `a` is negative or non-finite.
+pub fn erlang_b(servers: usize, offered_load: f64) -> Result<f64, QueueingError> {
+    if !offered_load.is_finite() || offered_load < 0.0 {
+        return Err(invalid_param(
+            "offered_load",
+            format!("must be finite and non-negative, got {offered_load}"),
+        ));
+    }
+    let mut b = 1.0;
+    for m in 1..=servers {
+        b = offered_load * b / (m as f64 + offered_load * b);
+    }
+    Ok(b)
+}
+
+/// Erlang C (probability an arriving job must wait in an M/M/m queue) for
+/// offered load `a = lambda / mu` and `m` servers.
+///
+/// # Errors
+///
+/// Returns [`QueueingError::UnstableQueue`] unless `a < m` (the stability
+/// condition `rho_i < m_i` of the paper's Eqn. 1), and an error for invalid
+/// `a`.
+pub fn erlang_c(servers: usize, offered_load: f64) -> Result<f64, QueueingError> {
+    if offered_load >= servers as f64 {
+        return Err(QueueingError::UnstableQueue { offered_load, servers });
+    }
+    if servers == 0 {
+        return Err(QueueingError::UnstableQueue { offered_load, servers });
+    }
+    let b = erlang_b(servers, offered_load)?;
+    let m = servers as f64;
+    Ok(m * b / (m - offered_load * (1.0 - b)))
+}
+
+/// Expected number of jobs *waiting* (not in service) in an M/M/m queue:
+/// `Lq = C(m, a) * a / (m - a)`.
+///
+/// # Errors
+///
+/// Same domain as [`erlang_c`].
+pub fn expected_queue_length(servers: usize, offered_load: f64) -> Result<f64, QueueingError> {
+    let c = erlang_c(servers, offered_load)?;
+    let m = servers as f64;
+    Ok(c * offered_load / (m - offered_load))
+}
+
+/// Expected number of jobs *in the system* (waiting plus in service):
+/// `L = Lq + a`. This is the paper's `E(n_i)` of Eqn. (3).
+///
+/// # Errors
+///
+/// Same domain as [`erlang_c`].
+pub fn expected_in_system(servers: usize, offered_load: f64) -> Result<f64, QueueingError> {
+    Ok(expected_queue_length(servers, offered_load)? + offered_load)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn erlang_b_zero_servers_blocks_everything() {
+        assert_eq!(erlang_b(0, 3.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn erlang_b_zero_load_never_blocks() {
+        assert_eq!(erlang_b(5, 0.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn erlang_b_single_server_closed_form() {
+        // B(1, a) = a / (1 + a)
+        for &a in &[0.1, 0.5, 1.0, 2.0, 10.0] {
+            assert_close(erlang_b(1, a).unwrap(), a / (1.0 + a), 1e-12);
+        }
+    }
+
+    #[test]
+    fn erlang_b_textbook_value() {
+        // Classic table entry: a = 9 Erlangs, m = 10 servers -> B ~ 0.1680.
+        assert_close(erlang_b(10, 9.0).unwrap(), 0.16796, 1e-4);
+    }
+
+    #[test]
+    fn erlang_b_decreases_in_servers_increases_in_load() {
+        let mut prev = 1.0;
+        for m in 1..30 {
+            let b = erlang_b(m, 5.0).unwrap();
+            assert!(b < prev, "B must strictly decrease with servers");
+            prev = b;
+        }
+        let mut prev = 0.0;
+        for i in 1..30 {
+            let b = erlang_b(10, i as f64 * 0.7).unwrap();
+            assert!(b > prev, "B must strictly increase with load");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn erlang_c_single_server_equals_utilization() {
+        // For M/M/1, P(wait) = rho.
+        for &a in &[0.1, 0.5, 0.9] {
+            assert_close(erlang_c(1, a).unwrap(), a, 1e-12);
+        }
+    }
+
+    #[test]
+    fn erlang_c_textbook_value() {
+        // a = 2, m = 3: B(3,2) = 4/19; C = 3*(4/19)/(3 - 2*(15/19)) = 4/9.
+        assert_close(erlang_c(3, 2.0).unwrap(), 4.0 / 9.0, 1e-12);
+    }
+
+    #[test]
+    fn erlang_c_unstable_is_error() {
+        assert!(matches!(
+            erlang_c(2, 2.0),
+            Err(QueueingError::UnstableQueue { .. })
+        ));
+        assert!(matches!(
+            erlang_c(2, 5.0),
+            Err(QueueingError::UnstableQueue { .. })
+        ));
+    }
+
+    #[test]
+    fn erlang_c_at_least_erlang_b() {
+        // C >= B always (delay systems wait instead of dropping).
+        for m in 1..20 {
+            let a = m as f64 * 0.8;
+            let b = erlang_b(m, a).unwrap();
+            let c = erlang_c(m, a).unwrap();
+            assert!(c >= b - 1e-15, "C({m},{a})={c} < B={b}");
+        }
+    }
+
+    #[test]
+    fn mm1_queue_length_closed_form() {
+        // M/M/1: L = rho / (1 - rho).
+        for &rho in &[0.1, 0.5, 0.9, 0.99] {
+            assert_close(
+                expected_in_system(1, rho).unwrap(),
+                rho / (1.0 - rho),
+                1e-9,
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_traffic_many_servers_is_stable_numerically() {
+        // Large systems must not overflow or lose precision.
+        let l = expected_in_system(1000, 990.0).unwrap();
+        assert!(l > 990.0 && l.is_finite());
+        let b = erlang_b(10_000, 9_500.0).unwrap();
+        assert!(b.is_finite() && (0.0..=1.0).contains(&b));
+    }
+
+    #[test]
+    fn negative_load_rejected() {
+        assert!(erlang_b(3, -1.0).is_err());
+        assert!(erlang_b(3, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn expected_in_system_decreases_with_servers() {
+        let a = 7.3;
+        let mut prev = f64::INFINITY;
+        for m in 8..40 {
+            let l = expected_in_system(m, a).unwrap();
+            // Non-strict: for large m the queueing term underflows to 0 and
+            // successive values tie at the offered load.
+            assert!(l <= prev, "E[n] must not increase as servers are added");
+            assert!(l >= a, "E[n] is at least the offered load");
+            prev = l;
+        }
+    }
+}

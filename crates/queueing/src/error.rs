@@ -1,0 +1,96 @@
+//! Error types for the queueing substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by queueing-theory computations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QueueingError {
+    /// A linear system was numerically singular at the given pivot column.
+    SingularSystem {
+        /// Pivot column at which elimination failed.
+        column: usize,
+    },
+    /// A queue was asked for equilibrium metrics while unstable
+    /// (offered load at least the number of servers).
+    UnstableQueue {
+        /// Offered load `a = lambda / mu`.
+        offered_load: f64,
+        /// Number of servers `m`.
+        servers: usize,
+    },
+    /// An input parameter was out of its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// The routing matrix is not substochastic or is otherwise malformed.
+    InvalidRouting {
+        /// Row of the routing matrix that is invalid.
+        row: usize,
+        /// Sum of that row.
+        row_sum: f64,
+    },
+    /// No equilibrium exists: a traffic equation produced a negative or
+    /// non-finite arrival rate.
+    NoEquilibrium {
+        /// Queue index with the invalid arrival rate.
+        queue: usize,
+        /// The computed arrival rate.
+        rate: f64,
+    },
+}
+
+impl fmt::Display for QueueingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueueingError::SingularSystem { column } => {
+                write!(f, "linear system is singular at pivot column {column}")
+            }
+            QueueingError::UnstableQueue { offered_load, servers } => write!(
+                f,
+                "queue is unstable: offered load {offered_load} >= {servers} servers"
+            ),
+            QueueingError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            QueueingError::InvalidRouting { row, row_sum } => write!(
+                f,
+                "routing matrix row {row} sums to {row_sum}, expected a value in [0, 1]"
+            ),
+            QueueingError::NoEquilibrium { queue, rate } => write!(
+                f,
+                "traffic equations produced invalid arrival rate {rate} for queue {queue}"
+            ),
+        }
+    }
+}
+
+impl Error for QueueingError {}
+
+/// Convenience helper for building [`QueueingError::InvalidParameter`].
+pub(crate) fn invalid_param(name: &'static str, message: impl Into<String>) -> QueueingError {
+    QueueingError::InvalidParameter { name, message: message.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = QueueingError::UnstableQueue { offered_load: 3.0, servers: 2 };
+        assert!(e.to_string().contains("unstable"));
+        let e = QueueingError::SingularSystem { column: 4 };
+        assert!(e.to_string().contains("column 4"));
+        let e = invalid_param("mu", "must be positive");
+        assert!(e.to_string().contains("mu"));
+        let e = QueueingError::InvalidRouting { row: 1, row_sum: 1.5 };
+        assert!(e.to_string().contains("row 1"));
+        let e = QueueingError::NoEquilibrium { queue: 2, rate: -1.0 };
+        assert!(e.to_string().contains("queue 2"));
+    }
+}

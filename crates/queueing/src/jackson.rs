@@ -1,0 +1,414 @@
+//! Open Jackson networks of M/M/m queues.
+//!
+//! This is the paper's channel model (Sec. IV-A): one queue per video chunk,
+//! a substochastic routing matrix `P` describing how viewers move between
+//! chunks, and external Poisson arrivals split across the queues. The
+//! traffic equations (paper Eqn. 1)
+//!
+//! ```text
+//! lambda_i = gamma_i + sum_j lambda_j P_ji
+//! ```
+//!
+//! are solved as the dense linear system `(I - P^T) lambda = gamma`.
+
+use crate::error::{invalid_param, QueueingError};
+use crate::linalg::Matrix;
+use crate::mmm::MmmQueue;
+
+/// Maximum tolerated violation when validating that routing rows sum to at
+/// most one.
+const ROW_SUM_TOL: f64 = 1e-9;
+
+/// A substochastic routing matrix: entry `(i, j)` is the probability that a
+/// job leaving queue `i` moves to queue `j`; the row deficit `1 - sum_j
+/// P_ij` is the probability of leaving the network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingMatrix {
+    inner: Matrix,
+}
+
+impl RoutingMatrix {
+    /// Validates and wraps a square matrix as a routing matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::InvalidRouting`] if any entry is negative
+    /// or any row sums to more than one.
+    pub fn new(matrix: Matrix) -> Result<Self, QueueingError> {
+        if matrix.rows() != matrix.cols() {
+            return Err(invalid_param(
+                "matrix",
+                format!("routing matrix must be square, got {}x{}", matrix.rows(), matrix.cols()),
+            ));
+        }
+        for i in 0..matrix.rows() {
+            let mut row_sum = 0.0;
+            for j in 0..matrix.cols() {
+                let p = matrix[(i, j)];
+                if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                    return Err(QueueingError::InvalidRouting { row: i, row_sum: p });
+                }
+                row_sum += p;
+            }
+            if row_sum > 1.0 + ROW_SUM_TOL {
+                return Err(QueueingError::InvalidRouting { row: i, row_sum });
+            }
+        }
+        Ok(Self { inner: matrix })
+    }
+
+    /// Builds a routing matrix from row slices.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, QueueingError> {
+        Self::new(Matrix::from_rows(rows))
+    }
+
+    /// Number of queues.
+    pub fn len(&self) -> usize {
+        self.inner.rows()
+    }
+
+    /// True if the network has no queues (never constructible; kept for
+    /// API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Probability of moving from queue `i` to queue `j`.
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        self.inner[(i, j)]
+    }
+
+    /// Probability that a job leaving queue `i` exits the network.
+    pub fn exit_prob(&self, i: usize) -> f64 {
+        let s: f64 = (0..self.len()).map(|j| self.prob(i, j)).sum();
+        (1.0 - s).max(0.0)
+    }
+
+    /// The underlying matrix.
+    pub fn as_matrix(&self) -> &Matrix {
+        &self.inner
+    }
+}
+
+/// An open Jackson network specification: routing plus external arrival
+/// rates per queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JacksonNetwork {
+    routing: RoutingMatrix,
+    external_arrivals: Vec<f64>,
+}
+
+impl JacksonNetwork {
+    /// Creates a network from routing and per-queue external Poisson
+    /// arrival rates `gamma_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if dimensions mismatch or any rate is negative.
+    pub fn new(routing: RoutingMatrix, external_arrivals: Vec<f64>) -> Result<Self, QueueingError> {
+        if external_arrivals.len() != routing.len() {
+            return Err(invalid_param(
+                "external_arrivals",
+                format!(
+                    "expected {} rates, got {}",
+                    routing.len(),
+                    external_arrivals.len()
+                ),
+            ));
+        }
+        if let Some(g) = external_arrivals
+            .iter()
+            .find(|g| !g.is_finite() || **g < 0.0)
+        {
+            return Err(invalid_param(
+                "external_arrivals",
+                format!("rates must be finite and non-negative, got {g}"),
+            ));
+        }
+        Ok(Self { routing, external_arrivals })
+    }
+
+    /// Number of queues.
+    pub fn len(&self) -> usize {
+        self.routing.len()
+    }
+
+    /// True if the network has no queues.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The routing matrix.
+    pub fn routing(&self) -> &RoutingMatrix {
+        &self.routing
+    }
+
+    /// External arrival rate into queue `i`.
+    pub fn external_arrival(&self, i: usize) -> f64 {
+        self.external_arrivals[i]
+    }
+
+    /// Total external arrival rate into the network.
+    pub fn total_external_arrival(&self) -> f64 {
+        self.external_arrivals.iter().sum()
+    }
+
+    /// Solves the traffic equations `lambda = gamma + P^T lambda`,
+    /// returning the aggregate arrival rate `lambda_i` at each queue
+    /// (paper Eqn. 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueingError::SingularSystem`] if `I - P^T` is singular
+    /// (the routing traps jobs forever) or [`QueueingError::NoEquilibrium`]
+    /// if a computed rate is negative/non-finite.
+    pub fn arrival_rates(&self) -> Result<Vec<f64>, QueueingError> {
+        let n = self.len();
+        let p = self.routing.as_matrix();
+        let mut a = Matrix::identity(n);
+        for i in 0..n {
+            for j in 0..n {
+                // (I - P^T)_{ij} = delta_ij - P_{ji}
+                a[(i, j)] -= p[(j, i)];
+            }
+        }
+        let lambda = a.solve(&self.external_arrivals)?;
+        for (i, &l) in lambda.iter().enumerate() {
+            if !l.is_finite() || l < -1e-9 {
+                return Err(QueueingError::NoEquilibrium { queue: i, rate: l });
+            }
+        }
+        Ok(lambda.into_iter().map(|l| l.max(0.0)).collect())
+    }
+
+    /// Builds the per-queue M/M/m queues for the given service rate and
+    /// server counts, verifying stability of every queue.
+    ///
+    /// # Errors
+    ///
+    /// Propagates traffic-equation failures and per-queue instability.
+    pub fn queues(
+        &self,
+        service_rate: f64,
+        servers: &[usize],
+    ) -> Result<Vec<MmmQueue>, QueueingError> {
+        if servers.len() != self.len() {
+            return Err(invalid_param(
+                "servers",
+                format!("expected {} counts, got {}", self.len(), servers.len()),
+            ));
+        }
+        let lambdas = self.arrival_rates()?;
+        lambdas
+            .iter()
+            .zip(servers)
+            .map(|(&l, &m)| MmmQueue::new(l, service_rate, m))
+            .collect()
+    }
+
+    /// Expected total number of jobs in the network given per-queue server
+    /// counts (sum of per-queue `E(n_i)`; valid by Jackson's product-form
+    /// theorem).
+    pub fn expected_total_in_system(
+        &self,
+        service_rate: f64,
+        servers: &[usize],
+    ) -> Result<f64, QueueingError> {
+        Ok(self
+            .queues(service_rate, servers)?
+            .iter()
+            .map(MmmQueue::expected_in_system)
+            .sum())
+    }
+
+    /// Joint equilibrium probability of the state `(k_1, ..., k_J)` —
+    /// Jackson's product-form theorem: the network state factorizes into
+    /// the per-queue M/M/m marginals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates traffic-equation and stability failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` or `servers.len()` mismatch the network.
+    pub fn state_probability(
+        &self,
+        service_rate: f64,
+        servers: &[usize],
+        state: &[usize],
+    ) -> Result<f64, QueueingError> {
+        assert_eq!(state.len(), self.len(), "state length mismatch");
+        let queues = self.queues(service_rate, servers)?;
+        Ok(queues
+            .iter()
+            .zip(state)
+            .map(|(q, &k)| q.state_probability(k))
+            .product())
+    }
+
+    /// Throughput conservation check: in equilibrium the total external
+    /// arrival rate equals the total departure rate
+    /// `sum_i lambda_i * exit_prob(i)`. Returns the relative imbalance
+    /// (zero for a well-posed open network); exposed for diagnostics and
+    /// tests.
+    pub fn flow_imbalance(&self) -> Result<f64, QueueingError> {
+        let lambdas = self.arrival_rates()?;
+        let out: f64 = lambdas
+            .iter()
+            .enumerate()
+            .map(|(i, l)| l * self.routing.exit_prob(i))
+            .sum();
+        let input = self.total_external_arrival();
+        if input == 0.0 {
+            return Ok(0.0);
+        }
+        Ok((out - input).abs() / input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn tandem_network_rates() {
+        // Two queues in series: all external arrivals enter queue 0 and
+        // proceed to queue 1, then leave. lambda_0 = lambda_1 = gamma.
+        let routing = RoutingMatrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 0.0]]).unwrap();
+        let net = JacksonNetwork::new(routing, vec![2.5, 0.0]).unwrap();
+        let l = net.arrival_rates().unwrap();
+        assert_close(l[0], 2.5, 1e-12);
+        assert_close(l[1], 2.5, 1e-12);
+    }
+
+    #[test]
+    fn feedback_queue_rates() {
+        // Single queue, jobs return with probability q: lambda = gamma/(1-q).
+        let q = 0.25;
+        let routing = RoutingMatrix::from_rows(&[vec![q]]).unwrap();
+        let net = JacksonNetwork::new(routing, vec![3.0]).unwrap();
+        let l = net.arrival_rates().unwrap();
+        assert_close(l[0], 3.0 / (1.0 - q), 1e-12);
+    }
+
+    #[test]
+    fn sequential_viewing_chain_rates() {
+        // A 5-chunk "video": watch chunk i then move to i+1 with prob 0.8,
+        // leave otherwise; everyone starts at chunk 0.
+        let j = 5;
+        let mut rows = vec![vec![0.0; j]; j];
+        for i in 0..j - 1 {
+            rows[i][i + 1] = 0.8;
+        }
+        let routing = RoutingMatrix::from_rows(&rows).unwrap();
+        let mut gamma = vec![0.0; j];
+        gamma[0] = 1.0;
+        let net = JacksonNetwork::new(routing, gamma).unwrap();
+        let l = net.arrival_rates().unwrap();
+        for (i, &li) in l.iter().enumerate() {
+            assert_close(li, 0.8f64.powi(i as i32), 1e-12);
+        }
+    }
+
+    #[test]
+    fn flow_conservation_holds() {
+        let routing = RoutingMatrix::from_rows(&[
+            vec![0.0, 0.5, 0.2],
+            vec![0.1, 0.0, 0.6],
+            vec![0.3, 0.3, 0.0],
+        ])
+        .unwrap();
+        let net = JacksonNetwork::new(routing, vec![1.0, 2.0, 0.5]).unwrap();
+        assert!(net.flow_imbalance().unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn trapping_routing_is_singular() {
+        // Queue 1 feeds itself forever: row sums to exactly 1 with no exit
+        // reachable -> I - P^T singular.
+        let routing =
+            RoutingMatrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 1.0]]).unwrap();
+        let net = JacksonNetwork::new(routing, vec![1.0, 0.0]).unwrap();
+        assert!(net.arrival_rates().is_err());
+    }
+
+    #[test]
+    fn super_stochastic_row_rejected() {
+        let err = RoutingMatrix::from_rows(&[vec![0.7, 0.7], vec![0.0, 0.0]]).unwrap_err();
+        assert!(matches!(err, QueueingError::InvalidRouting { row: 0, .. }));
+    }
+
+    #[test]
+    fn negative_entry_rejected() {
+        assert!(RoutingMatrix::from_rows(&[vec![-0.1, 0.5], vec![0.0, 0.0]]).is_err());
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let m = Matrix::from_rows(&[vec![0.0, 0.0]]);
+        assert!(RoutingMatrix::new(m).is_err());
+    }
+
+    #[test]
+    fn arrival_len_mismatch_rejected() {
+        let routing = RoutingMatrix::from_rows(&[vec![0.0]]).unwrap();
+        assert!(JacksonNetwork::new(routing, vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn queues_propagate_instability() {
+        let routing = RoutingMatrix::from_rows(&[vec![0.0]]).unwrap();
+        let net = JacksonNetwork::new(routing, vec![5.0]).unwrap();
+        // 5 jobs/s at service rate 1 with 3 servers is unstable.
+        assert!(net.queues(1.0, &[3]).is_err());
+        assert!(net.queues(1.0, &[6]).is_ok());
+    }
+
+    #[test]
+    fn expected_total_matches_sum_of_queue_metrics() {
+        let routing = RoutingMatrix::from_rows(&[vec![0.0, 0.6], vec![0.0, 0.0]]).unwrap();
+        let net = JacksonNetwork::new(routing, vec![2.0, 0.3]).unwrap();
+        let total = net.expected_total_in_system(1.0, &[4, 3]).unwrap();
+        let queues = net.queues(1.0, &[4, 3]).unwrap();
+        let sum: f64 = queues.iter().map(MmmQueue::expected_in_system).sum();
+        assert_close(total, sum, 1e-12);
+    }
+
+    #[test]
+    fn product_form_state_probabilities() {
+        let routing = RoutingMatrix::from_rows(&[vec![0.0, 0.6], vec![0.0, 0.0]]).unwrap();
+        let net = JacksonNetwork::new(routing, vec![2.0, 0.3]).unwrap();
+        let servers = [4usize, 3];
+        let queues = net.queues(1.0, &servers).unwrap();
+        // Factorization against the marginals.
+        let p = net.state_probability(1.0, &servers, &[2, 1]).unwrap();
+        let expect = queues[0].state_probability(2) * queues[1].state_probability(1);
+        assert_close(p, expect, 1e-15);
+        // Sums to ~1 over a generous grid.
+        let mut total = 0.0;
+        for k0 in 0..60 {
+            for k1 in 0..60 {
+                total += net.state_probability(1.0, &servers, &[k0, k1]).unwrap();
+            }
+        }
+        assert_close(total, 1.0, 1e-6);
+    }
+
+    #[test]
+    fn exit_probability_complements_row_sum() {
+        let routing = RoutingMatrix::from_rows(&[
+            vec![0.0, 0.5, 0.2],
+            vec![0.1, 0.0, 0.6],
+            vec![0.0, 0.0, 0.0],
+        ])
+        .unwrap();
+        assert_close(routing.exit_prob(0), 0.3, 1e-12);
+        assert_close(routing.exit_prob(1), 0.3, 1e-12);
+        assert_close(routing.exit_prob(2), 1.0, 1e-12);
+    }
+}

@@ -1,0 +1,245 @@
+//! The M/M/m/K queue: `m` servers and a finite waiting room of `K − m`
+//! positions; arrivals finding the system full are *blocked* (rejected).
+//!
+//! The paper assumes infinite waiting rooms (`M/M/m_i/∞`); this module
+//! provides the finite-capacity variant used by the admission-control
+//! extension — a VoD provider may prefer rejecting a small fraction of
+//! chunk requests outright over letting queues grow during overload.
+
+use crate::birth_death::BirthDeathChain;
+use crate::error::{invalid_param, QueueingError};
+
+/// An M/M/m/K queue in equilibrium.
+#[derive(Debug, Clone)]
+pub struct MmmkQueue {
+    arrival_rate: f64,
+    service_rate: f64,
+    servers: usize,
+    capacity: usize,
+    /// Cached equilibrium distribution over states `0..=capacity`.
+    pi: Vec<f64>,
+}
+
+impl MmmkQueue {
+    /// Creates an M/M/m/K queue (`capacity >= servers >= 1`). Unlike the
+    /// infinite-buffer queue, any positive arrival rate is admissible —
+    /// blocking keeps the system stable.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid rates or `capacity < servers`.
+    pub fn new(
+        arrival_rate: f64,
+        service_rate: f64,
+        servers: usize,
+        capacity: usize,
+    ) -> Result<Self, QueueingError> {
+        if !(arrival_rate.is_finite() && arrival_rate >= 0.0) {
+            return Err(invalid_param(
+                "arrival_rate",
+                format!("must be finite and non-negative, got {arrival_rate}"),
+            ));
+        }
+        if !(service_rate.is_finite() && service_rate > 0.0) {
+            return Err(invalid_param(
+                "service_rate",
+                format!("must be finite and positive, got {service_rate}"),
+            ));
+        }
+        if servers == 0 {
+            return Err(invalid_param("servers", "must be positive"));
+        }
+        if capacity < servers {
+            return Err(invalid_param(
+                "capacity",
+                format!("must be at least the server count {servers}, got {capacity}"),
+            ));
+        }
+        let pi = if arrival_rate == 0.0 {
+            let mut v = vec![0.0; capacity + 1];
+            v[0] = 1.0;
+            v
+        } else {
+            BirthDeathChain::mmm(arrival_rate, service_rate, servers, capacity)?.equilibrium()
+        };
+        Ok(Self { arrival_rate, service_rate, servers, capacity, pi })
+    }
+
+    /// Number of servers `m`.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Total capacity `K` (in service plus waiting).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Probability an arriving job is blocked, `P(N = K)` (PASTA).
+    pub fn blocking_probability(&self) -> f64 {
+        self.pi[self.capacity]
+    }
+
+    /// Effective throughput: admitted arrival rate `λ(1 − P_block)`.
+    pub fn throughput(&self) -> f64 {
+        self.arrival_rate * (1.0 - self.blocking_probability())
+    }
+
+    /// Expected number of jobs in the system.
+    pub fn expected_in_system(&self) -> f64 {
+        self.pi.iter().enumerate().map(|(k, p)| k as f64 * p).sum()
+    }
+
+    /// Mean sojourn time of *admitted* jobs (Little's law over the
+    /// effective arrival rate).
+    pub fn mean_sojourn_time(&self) -> f64 {
+        let thru = self.throughput();
+        if thru == 0.0 {
+            return 1.0 / self.service_rate;
+        }
+        self.expected_in_system() / thru
+    }
+
+    /// Equilibrium probability of exactly `k` jobs in the system.
+    pub fn state_probability(&self, k: usize) -> f64 {
+        self.pi.get(k).copied().unwrap_or(0.0)
+    }
+}
+
+/// Minimum capacity `K` (with `m` servers fixed) such that the blocking
+/// probability is at most `epsilon` — the admission-control sizing
+/// question.
+///
+/// # Errors
+///
+/// Returns an error for invalid inputs, or if even a huge waiting room
+/// cannot reach `epsilon` (overloaded system: `λ ≥ m·µ` has a blocking
+/// floor of `1 − mµ/λ`).
+pub fn min_capacity_for_blocking(
+    arrival_rate: f64,
+    service_rate: f64,
+    servers: usize,
+    epsilon: f64,
+) -> Result<usize, QueueingError> {
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(invalid_param("epsilon", format!("must be in (0, 1), got {epsilon}")));
+    }
+    if arrival_rate == 0.0 {
+        return Ok(servers.max(1));
+    }
+    // Overload floor: throughput cannot exceed m*mu, so blocking cannot
+    // fall below 1 - m*mu/lambda.
+    let floor = 1.0 - (servers as f64 * service_rate / arrival_rate).min(1.0);
+    if epsilon <= floor + 1e-12 {
+        return Err(invalid_param(
+            "epsilon",
+            format!("unreachable: overload blocking floor is {floor:.4}"),
+        ));
+    }
+    let mut k = servers.max(1);
+    loop {
+        let q = MmmkQueue::new(arrival_rate, service_rate, servers, k)?;
+        if q.blocking_probability() <= epsilon {
+            return Ok(k);
+        }
+        k += (k / 4).max(1);
+        if k > 1_000_000 {
+            return Err(invalid_param("epsilon", "no feasible capacity below 1e6"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mmm::MmmQueue;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn mm1_1_is_erlang_b_single_line() {
+        // M/M/1/1 blocking = a/(1+a).
+        for &a in &[0.2, 1.0, 5.0] {
+            let q = MmmkQueue::new(a, 1.0, 1, 1).unwrap();
+            assert_close(q.blocking_probability(), a / (1.0 + a), 1e-12);
+        }
+    }
+
+    #[test]
+    fn mmm_m_matches_erlang_b() {
+        // K = m is the Erlang loss system.
+        let q = MmmkQueue::new(9.0, 1.0, 10, 10).unwrap();
+        let b = crate::erlang::erlang_b(10, 9.0).unwrap();
+        assert_close(q.blocking_probability(), b, 1e-9);
+    }
+
+    #[test]
+    fn large_buffer_converges_to_infinite_queue() {
+        let q = MmmkQueue::new(3.0, 1.0, 5, 3000).unwrap();
+        let inf = MmmQueue::new(3.0, 1.0, 5).unwrap();
+        assert!(q.blocking_probability() < 1e-12);
+        assert_close(q.expected_in_system(), inf.expected_in_system(), 1e-6);
+        assert_close(q.mean_sojourn_time(), inf.mean_sojourn_time(), 1e-6);
+    }
+
+    #[test]
+    fn blocking_decreases_with_capacity() {
+        let mut prev = 1.0;
+        for k in 2..30 {
+            let q = MmmkQueue::new(1.8, 1.0, 2, k).unwrap();
+            assert!(q.blocking_probability() < prev);
+            prev = q.blocking_probability();
+        }
+    }
+
+    #[test]
+    fn overloaded_system_is_stable_with_blocking() {
+        // lambda = 3x service capacity: blocking ~ 2/3, throughput ~ m*mu.
+        let q = MmmkQueue::new(3.0, 1.0, 1, 50).unwrap();
+        assert!(q.blocking_probability() > 0.6);
+        assert_close(q.throughput(), 1.0, 0.02);
+    }
+
+    #[test]
+    fn min_capacity_meets_target_and_shrinks_with_looser_eps() {
+        let tight = min_capacity_for_blocking(4.0, 1.0, 5, 0.001).unwrap();
+        let loose = min_capacity_for_blocking(4.0, 1.0, 5, 0.05).unwrap();
+        assert!(tight >= loose);
+        let q = MmmkQueue::new(4.0, 1.0, 5, tight).unwrap();
+        assert!(q.blocking_probability() <= 0.001);
+    }
+
+    #[test]
+    fn min_capacity_detects_overload_floor() {
+        // lambda = 2, m*mu = 1: blocking floor 0.5; eps = 0.1 unreachable.
+        assert!(min_capacity_for_blocking(2.0, 1.0, 1, 0.1).is_err());
+        // eps = 0.6 is reachable.
+        assert!(min_capacity_for_blocking(2.0, 1.0, 1, 0.6).is_ok());
+    }
+
+    #[test]
+    fn distribution_sums_to_one() {
+        let q = MmmkQueue::new(7.0, 2.0, 3, 12).unwrap();
+        let total: f64 = (0..=12).map(|k| q.state_probability(k)).sum();
+        assert_close(total, 1.0, 1e-12);
+        assert_eq!(q.state_probability(13), 0.0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(MmmkQueue::new(1.0, 1.0, 0, 5).is_err());
+        assert!(MmmkQueue::new(1.0, 1.0, 5, 4).is_err());
+        assert!(MmmkQueue::new(-1.0, 1.0, 1, 1).is_err());
+        assert!(MmmkQueue::new(1.0, 0.0, 1, 1).is_err());
+        assert!(min_capacity_for_blocking(1.0, 1.0, 1, 0.0).is_err());
+    }
+
+    #[test]
+    fn zero_arrivals_idle_system() {
+        let q = MmmkQueue::new(0.0, 1.0, 2, 5).unwrap();
+        assert_eq!(q.blocking_probability(), 0.0);
+        assert_eq!(q.expected_in_system(), 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Event-driven simulation cross-check of the closed-form M/M/m metrics.
+//!
+//! Simulates an M/M/m queue with exponential interarrivals/services and
+//! compares the time-averaged number in system and the mean sojourn time
+//! against `MmmQueue`'s analytic values.
+
+use cloudmedia_queueing::mmm::MmmQueue;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn sample_exp(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.random();
+    -(1.0 - u).ln() / rate
+}
+
+struct SimResult {
+    mean_in_system: f64,
+    mean_sojourn: f64,
+}
+
+/// Simulates an M/M/m queue for `jobs` completed jobs and returns the
+/// time-averaged occupancy and mean sojourn time.
+fn simulate_mmm(lambda: f64, mu: f64, m: usize, jobs: usize, seed: u64) -> SimResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clock = 0.0_f64;
+    let mut next_arrival = sample_exp(&mut rng, lambda);
+    // Completion times of jobs currently in service (unsorted, small m).
+    let mut in_service: Vec<f64> = Vec::with_capacity(m);
+    // Arrival times of waiting jobs, FIFO.
+    let mut waiting: std::collections::VecDeque<f64> = std::collections::VecDeque::new();
+    // Arrival time attached to each in-service job, parallel to in_service.
+    let mut service_arrivals: Vec<f64> = Vec::with_capacity(m);
+
+    let mut completed = 0usize;
+    let mut area = 0.0_f64; // integral of n(t) dt
+    let mut total_sojourn = 0.0_f64;
+    let mut warmup = jobs / 10;
+    let mut measured_jobs = 0usize;
+    let mut measure_start = 0.0_f64;
+
+    while completed < jobs {
+        let next_completion = in_service
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let n = in_service.len() + waiting.len();
+        let t_next = next_arrival.min(next_completion);
+        if warmup == 0 {
+            area += n as f64 * (t_next - clock);
+        }
+        clock = t_next;
+        if next_arrival <= next_completion {
+            // Arrival event.
+            if in_service.len() < m {
+                in_service.push(clock + sample_exp(&mut rng, mu));
+                service_arrivals.push(clock);
+            } else {
+                waiting.push_back(clock);
+            }
+            next_arrival = clock + sample_exp(&mut rng, lambda);
+        } else {
+            // Completion event.
+            let idx = in_service
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .unwrap();
+            in_service.swap_remove(idx);
+            let arrived = service_arrivals.swap_remove(idx);
+            if warmup > 0 {
+                warmup -= 1;
+                if warmup == 0 {
+                    measure_start = clock;
+                }
+            } else {
+                total_sojourn += clock - arrived;
+                measured_jobs += 1;
+                completed += 1;
+            }
+            if let Some(wait_arrival) = waiting.pop_front() {
+                in_service.push(clock + sample_exp(&mut rng, mu));
+                service_arrivals.push(wait_arrival);
+            }
+        }
+    }
+
+    SimResult {
+        mean_in_system: area / (clock - measure_start),
+        mean_sojourn: total_sojourn / measured_jobs as f64,
+    }
+}
+
+fn check(lambda: f64, mu: f64, m: usize, rel_tol: f64) {
+    let q = MmmQueue::new(lambda, mu, m).unwrap();
+    let sim = simulate_mmm(lambda, mu, m, 200_000, 42);
+    let l_err = (sim.mean_in_system - q.expected_in_system()).abs() / q.expected_in_system();
+    let w_err = (sim.mean_sojourn - q.mean_sojourn_time()).abs() / q.mean_sojourn_time();
+    assert!(
+        l_err < rel_tol,
+        "L: sim {} vs analytic {} (rel err {l_err})",
+        sim.mean_in_system,
+        q.expected_in_system()
+    );
+    assert!(
+        w_err < rel_tol,
+        "W: sim {} vs analytic {} (rel err {w_err})",
+        sim.mean_sojourn,
+        q.mean_sojourn_time()
+    );
+}
+
+#[test]
+fn mm1_moderate_load_matches_analytic() {
+    check(0.7, 1.0, 1, 0.05);
+}
+
+#[test]
+fn mm5_matches_analytic() {
+    check(3.5, 1.0, 5, 0.05);
+}
+
+#[test]
+fn mm20_high_utilization_matches_analytic() {
+    check(18.0, 1.0, 20, 0.08);
+}
+
+#[test]
+fn paper_chunk_queue_matches_analytic() {
+    // mu = 1/12 (10 Mbps VM serving 15 MB chunks), lambda = 0.5 viewers/s.
+    check(0.5, 1.0 / 12.0, 8, 0.05);
+}

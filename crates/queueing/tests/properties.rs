@@ -1,0 +1,128 @@
+//! Property-based tests over the queueing substrate.
+
+use cloudmedia_queueing::absorbing::AbsorbingChain;
+use cloudmedia_queueing::erlang::{erlang_b, erlang_c, expected_in_system};
+use cloudmedia_queueing::jackson::{JacksonNetwork, RoutingMatrix};
+use cloudmedia_queueing::mmm::{min_servers_for_sojourn, MmmQueue};
+use proptest::prelude::*;
+
+/// Strategy: a substochastic routing matrix of dimension `n` whose rows sum
+/// to at most `max_row_sum` (< 1 keeps chains absorbing and networks open).
+fn routing_strategy(n: usize, max_row_sum: f64) -> impl Strategy<Value = RoutingMatrix> {
+    proptest::collection::vec(proptest::collection::vec(0.0..1.0f64, n), n).prop_map(
+        move |raw| {
+            let rows: Vec<Vec<f64>> = raw
+                .into_iter()
+                .map(|row| {
+                    let s: f64 = row.iter().sum();
+                    if s == 0.0 {
+                        row
+                    } else {
+                        // Normalize and scale to a random-ish row sum below the cap.
+                        row.iter().map(|v| v / s * max_row_sum * 0.9).collect()
+                    }
+                })
+                .collect();
+            RoutingMatrix::from_rows(&rows).expect("constructed rows are substochastic")
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn erlang_b_is_a_probability(m in 0usize..200, a in 0.0..500.0f64) {
+        let b = erlang_b(m, a).unwrap();
+        prop_assert!((0.0..=1.0).contains(&b));
+    }
+
+    #[test]
+    fn erlang_c_is_a_probability_and_dominates_b(m in 1usize..100, frac in 0.01..0.99f64) {
+        let a = m as f64 * frac;
+        let b = erlang_b(m, a).unwrap();
+        let c = erlang_c(m, a).unwrap();
+        prop_assert!((0.0..=1.0).contains(&c));
+        prop_assert!(c + 1e-12 >= b);
+    }
+
+    #[test]
+    fn expected_in_system_at_least_offered_load(m in 1usize..100, frac in 0.01..0.99f64) {
+        let a = m as f64 * frac;
+        let l = expected_in_system(m, a).unwrap();
+        prop_assert!(l >= a - 1e-9);
+    }
+
+    #[test]
+    fn min_servers_result_is_stable_and_sufficient(
+        lambda in 0.01..200.0f64,
+        mu in 0.05..10.0f64,
+        slack in 1.05..20.0f64,
+    ) {
+        let target = slack / mu; // always above the mean service time
+        let m = min_servers_for_sojourn(lambda, mu, target).unwrap();
+        let q = MmmQueue::new(lambda, mu, m).unwrap();
+        prop_assert!(q.mean_sojourn_time() <= target + 1e-9);
+        // Minimality: one fewer server either unstable or misses the target.
+        if m > 0 {
+            match MmmQueue::new(lambda, mu, m - 1) {
+                Ok(q2) => prop_assert!(q2.mean_sojourn_time() > target),
+                Err(_) => {} // unstable: fine
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_equations_conserve_flow(routing in routing_strategy(6, 0.95),
+                                       gammas in proptest::collection::vec(0.0..10.0f64, 6)) {
+        let net = JacksonNetwork::new(routing, gammas).unwrap();
+        prop_assert!(net.flow_imbalance().unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn arrival_rates_dominate_external_rates(routing in routing_strategy(5, 0.9),
+                                             gammas in proptest::collection::vec(0.0..5.0f64, 5)) {
+        let net = JacksonNetwork::new(routing, gammas.clone()).unwrap();
+        let lambdas = net.arrival_rates().unwrap();
+        for (l, g) in lambdas.iter().zip(&gammas) {
+            // Internal routing only adds traffic on top of external arrivals.
+            prop_assert!(*l >= *g - 1e-9);
+        }
+    }
+
+    #[test]
+    fn hitting_probabilities_are_probabilities(routing in routing_strategy(5, 0.9)) {
+        let chain = AbsorbingChain::new(routing).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                let h = chain.hitting_probability(i, j);
+                prop_assert!((0.0..=1.0).contains(&h), "h({i},{j}) = {h}");
+            }
+        }
+    }
+
+    #[test]
+    fn visits_both_bounded_by_min_individual(routing in routing_strategy(5, 0.9)) {
+        let chain = AbsorbingChain::new(routing).unwrap();
+        let start = vec![0.2; 5];
+        for j in 0..5 {
+            for k in (j + 1)..5 {
+                let both = chain.visits_both(&start, j, k).unwrap();
+                let hj: f64 = (0..5).map(|i| 0.2 * chain.hitting_probability(i, j)).sum();
+                let hk: f64 = (0..5).map(|i| 0.2 * chain.hitting_probability(i, k)).sum();
+                prop_assert!(both <= hj.min(hk) + 1e-9,
+                    "P(both {j},{k}) = {both} exceeds min({hj}, {hk})");
+            }
+        }
+    }
+
+    #[test]
+    fn hit_before_partitions_with_complement(routing in routing_strategy(4, 0.85)) {
+        let chain = AbsorbingChain::new(routing).unwrap();
+        let a = chain.hit_before(0, 1).unwrap();
+        let b = chain.hit_before(1, 0).unwrap();
+        for i in 0..4 {
+            // Either hit 0 first, hit 1 first, or absorb before both:
+            // the two probabilities cannot sum above 1.
+            prop_assert!(a[i] + b[i] <= 1.0 + 1e-9);
+        }
+    }
+}

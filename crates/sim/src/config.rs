@@ -1,0 +1,226 @@
+//! Simulation configuration.
+
+use cloudmedia_core::analysis::{ProvisioningTarget, PsiEstimator};
+use cloudmedia_core::baseline::ProvisionerKind;
+use cloudmedia_core::controller::StreamingMode;
+use cloudmedia_core::predictor::PredictorKind;
+use cloudmedia_workload::catalog::Catalog;
+use cloudmedia_workload::distributions::BoundedPareto;
+use cloudmedia_workload::trace::TraceConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{invalid_param, SimError};
+
+/// Which streaming architecture the simulated system runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimMode {
+    /// All chunks come from cloud VMs.
+    ClientServer,
+    /// Mesh P2P with rarest-first peer scheduling and cloud fallback.
+    P2p,
+}
+
+/// Full configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Channel catalog (popularity, viewing models, arrival rates).
+    pub catalog: Catalog,
+    /// Trace generation settings (horizon, diurnal profile, uploads, seed).
+    pub trace: TraceConfig,
+    /// Streaming architecture.
+    pub mode: SimMode,
+    /// Provisioning interval `T`, seconds.
+    pub provisioning_interval: f64,
+    /// VM rental budget `B_M`, dollars per hour.
+    pub vm_budget_per_hour: f64,
+    /// Storage budget `B_S`, dollars per hour.
+    pub storage_budget_per_hour: f64,
+    /// Demand predictor used by the controller.
+    pub predictor: PredictorKind,
+    /// Joint-ownership estimator for P2P analysis.
+    pub psi: PsiEstimator,
+    /// Retrieval-time guarantee used when sizing capacity.
+    pub provisioning_target: ProvisioningTarget,
+    /// Provisioning strategy: the paper's model-driven controller or a
+    /// baseline (reactive autoscaler / fixed dedicated fleet).
+    pub provisioner: ProvisionerKind,
+    /// Provisioning safety factor (1.0 = provision the raw equilibrium
+    /// demand).
+    pub safety_factor: f64,
+    /// Fluid allocation round, seconds.
+    pub round_seconds: f64,
+    /// Metrics sampling interval, seconds (paper's quality window: 5 min).
+    pub sample_interval: f64,
+    /// RNG seed for viewer behaviour inside the simulator.
+    pub behaviour_seed: u64,
+    /// Streaming playback rate `r`, bytes per second.
+    pub streaming_rate: f64,
+    /// Chunk playback time `T0`, seconds.
+    pub chunk_seconds: f64,
+    /// Fraction of peers' upload capacity usable per round in P2P mode,
+    /// in `(0, 1]`. Models mesh friction the fluid allocator does not see
+    /// — stale buffer maps, neighbor fan-out limits, request pipelining
+    /// gaps — which is why the paper's P2P quality (≈ 0.95) trails its
+    /// client–server quality (≈ 0.97).
+    pub peer_efficiency: f64,
+}
+
+impl SimConfig {
+    /// The paper's experimental setup for the given mode: 20 channels,
+    /// one week, hourly provisioning, `B_M` = $100/h, `B_S` = $1/h.
+    ///
+    /// The concurrent population is calibrated so the *flash-crowd peak*
+    /// is ≈ 2500 viewers (the paper's stated scale). The paper's Table II
+    /// fleet is 150 VMs = 1500 Mbps; at 400 kbps per viewer the peak
+    /// population a pure client–server deployment can serve is ≈ 3000, so
+    /// 2500 must be the peak, not the diurnal mean — otherwise the paper's
+    /// own flash crowds (Fig. 4 peaks ≈ 2250 Mbps) would be unservable.
+    pub fn paper_default(mode: SimMode) -> Self {
+        // Peak diurnal multiplier ≈ 3.5; unit-multiplier population of
+        // ~715 puts the flash-crowd peak at ≈ 2500 concurrent viewers.
+        let catalog = Catalog::zipf(
+            20,
+            0.8,
+            cloudmedia_workload::viewing::ViewingModel::paper_default(),
+            715.0,
+            300.0,
+        )
+        .expect("paper defaults are valid");
+        Self {
+            catalog,
+            trace: TraceConfig::paper_default(),
+            mode,
+            provisioning_interval: 3600.0,
+            vm_budget_per_hour: 100.0,
+            storage_budget_per_hour: 1.0,
+            predictor: PredictorKind::LastInterval,
+            psi: PsiEstimator::Independent,
+            provisioning_target: ProvisioningTarget::MeanSojourn,
+            provisioner: ProvisionerKind::Model,
+            safety_factor: 1.0,
+            round_seconds: 10.0,
+            sample_interval: 300.0,
+            behaviour_seed: 0x5EED_0001,
+            streaming_rate: 50_000.0,
+            chunk_seconds: 300.0,
+            peer_efficiency: 0.85,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive intervals or a sampling interval
+    /// finer than the round.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.trace.validate()?;
+        if !(self.round_seconds.is_finite() && self.round_seconds > 0.0) {
+            return Err(invalid_param("round_seconds", "must be positive"));
+        }
+        if self.sample_interval < self.round_seconds {
+            return Err(invalid_param(
+                "sample_interval",
+                "must be at least one allocation round",
+            ));
+        }
+        if self.provisioning_interval < self.sample_interval {
+            return Err(invalid_param(
+                "provisioning_interval",
+                "must be at least one sample interval",
+            ));
+        }
+        if !(self.safety_factor.is_finite() && self.safety_factor > 0.0) {
+            return Err(invalid_param("safety_factor", "must be positive"));
+        }
+        if self.catalog.is_empty() {
+            return Err(invalid_param("catalog", "must contain at least one channel"));
+        }
+        if !(self.streaming_rate.is_finite() && self.streaming_rate > 0.0) {
+            return Err(invalid_param("streaming_rate", "must be positive"));
+        }
+        if !(self.chunk_seconds.is_finite() && self.chunk_seconds > 0.0) {
+            return Err(invalid_param("chunk_seconds", "must be positive"));
+        }
+        if !(self.peer_efficiency > 0.0 && self.peer_efficiency <= 1.0) {
+            return Err(invalid_param("peer_efficiency", "must be in (0, 1]"));
+        }
+        Ok(())
+    }
+
+    /// Chunk size in bytes, `r · T0`.
+    pub fn chunk_bytes(&self) -> f64 {
+        self.streaming_rate * self.chunk_seconds
+    }
+
+    /// Mean per-peer upload capacity implied by the trace's Pareto
+    /// parameters; fed to the controller's P2P analysis.
+    pub fn mean_upload(&self) -> f64 {
+        BoundedPareto::new(self.trace.upload_min_bps, self.trace.upload_max_bps, self.trace.upload_shape)
+            .map(|p| p.mean())
+            .unwrap_or(0.0)
+    }
+
+    /// The controller streaming mode corresponding to [`SimMode`].
+    ///
+    /// The P2P mean upload fed to the analysis is the *effective* value
+    /// `mean_upload() × peer_efficiency`: the provider calibrates `u` from
+    /// the peer throughput its tracker actually observes, not from the
+    /// nominal access-link distribution. (Feeding the nominal mean makes
+    /// the analytic peer contribution systematically optimistic and the
+    /// cloud fallback vanishes exactly when peer supply ≈ demand.)
+    pub fn streaming_mode(&self) -> StreamingMode {
+        match self.mode {
+            SimMode::ClientServer => StreamingMode::ClientServer,
+            SimMode::P2p => StreamingMode::P2p {
+                mean_upload: self.mean_upload() * self.peer_efficiency,
+                psi: self.psi,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        SimConfig::paper_default(SimMode::ClientServer).validate().unwrap();
+        SimConfig::paper_default(SimMode::P2p).validate().unwrap();
+    }
+
+    #[test]
+    fn mean_upload_is_within_pareto_bounds() {
+        let c = SimConfig::paper_default(SimMode::P2p);
+        let u = c.mean_upload();
+        assert!(u > c.trace.upload_min_bps && u < c.trace.upload_max_bps);
+        // Shape-3 Pareto concentrates near the minimum: mean well below
+        // the midpoint.
+        assert!(u < (c.trace.upload_min_bps + c.trace.upload_max_bps) / 4.0);
+    }
+
+    #[test]
+    fn streaming_mode_maps_correctly() {
+        let cs = SimConfig::paper_default(SimMode::ClientServer);
+        assert!(matches!(cs.streaming_mode(), StreamingMode::ClientServer));
+        let p2p = SimConfig::paper_default(SimMode::P2p);
+        assert!(matches!(p2p.streaming_mode(), StreamingMode::P2p { .. }));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = SimConfig::paper_default(SimMode::P2p);
+        c.round_seconds = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::paper_default(SimMode::P2p);
+        c.sample_interval = 1.0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::paper_default(SimMode::P2p);
+        c.provisioning_interval = 100.0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::paper_default(SimMode::P2p);
+        c.safety_factor = -1.0;
+        assert!(c.validate().is_err());
+    }
+}

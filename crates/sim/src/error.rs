@@ -1,0 +1,87 @@
+//! Error types for the VoD simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use cloudmedia_cloud::CloudError;
+use cloudmedia_core::CoreError;
+use cloudmedia_workload::WorkloadError;
+
+/// Errors produced by the simulator.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// A provisioning computation failed.
+    Core(CoreError),
+    /// A cloud operation failed.
+    Cloud(CloudError),
+    /// Workload generation failed.
+    Workload(WorkloadError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            SimError::Core(e) => write!(f, "provisioning failed: {e}"),
+            SimError::Cloud(e) => write!(f, "cloud failed: {e}"),
+            SimError::Workload(e) => write!(f, "workload failed: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Core(e) => Some(e),
+            SimError::Cloud(e) => Some(e),
+            SimError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+impl From<CloudError> for SimError {
+    fn from(e: CloudError) -> Self {
+        SimError::Cloud(e)
+    }
+}
+
+impl From<WorkloadError> for SimError {
+    fn from(e: WorkloadError) -> Self {
+        SimError::Workload(e)
+    }
+}
+
+pub(crate) fn invalid_param(name: &'static str, message: impl Into<String>) -> SimError {
+    SimError::InvalidParameter { name, message: message.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = invalid_param("round", "too small");
+        assert!(e.to_string().contains("round"));
+        let e: SimError = CloudError::UnknownCluster { cluster: 1 }.into();
+        assert!(Error::source(&e).is_some());
+        assert!(e.to_string().contains("cloud"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Discrete-event VoD system simulator for the CloudMedia reproduction.
+//!
+//! The paper evaluated CloudMedia on 100+ lab machines running real VoD
+//! client processes; this crate substitutes a fluid-bandwidth system
+//! simulator that exercises the identical control path — trace-driven
+//! viewers, P2P mesh with rarest-first scheduling, the tracker's
+//! measurements, the hourly provisioning controller, the cloud broker, and
+//! usage-time billing — and records the series the paper's figures plot.
+//!
+//! - [`config`]: run configuration ([`config::SimConfig::paper_default`]
+//!   reproduces the paper's experimental setup),
+//! - [`peer`]: viewer state (downloads, buffer bitmap, stall accounting),
+//! - [`allocation`]: max–min fair cloud sharing and rarest-first peer
+//!   bandwidth allocation,
+//! - [`tracker`]: per-interval measurement of `Λ(c)`, `α`, `P(c)`,
+//! - [`simulator`]: the main loop,
+//! - [`metrics`]: recorded time series (quality, reserved/used bandwidth,
+//!   cost, per-channel breakdowns).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use cloudmedia_sim::config::{SimConfig, SimMode};
+//! use cloudmedia_sim::simulator::Simulator;
+//!
+//! let sim = Simulator::new(SimConfig::paper_default(SimMode::P2p)).unwrap();
+//! let metrics = sim.run().unwrap();
+//! println!("mean quality: {:.3}", metrics.mean_quality());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod allocation;
+pub mod config;
+mod error;
+pub mod metrics;
+pub mod peer;
+pub mod simulator;
+pub mod tracker;
+
+pub use config::{SimConfig, SimMode};
+pub use error::SimError;
+pub use metrics::Metrics;
+pub use simulator::Simulator;

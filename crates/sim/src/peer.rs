@@ -1,0 +1,235 @@
+//! Peer state: pipelined chunk downloads, buffer, playback smoothness.
+//!
+//! A viewer's player downloads the next chunk of its trajectory while the
+//! current one plays, starting up to one extra playback window early (the
+//! paper's clients buffer aggressively — "the local playback buffer is
+//! sufficient to cache any one video"). A chunk whose download finishes
+//! after its playback deadline causes a stall of `done − deadline`
+//! seconds; the paper's smooth-playback criterion is the absence of such
+//! stalls over the trailing five-minute window.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of chunks per channel supported by the `u64` buffer
+/// bitmap.
+pub const MAX_CHUNKS: usize = 64;
+
+/// How far ahead of a chunk's playback deadline its download may start,
+/// in playback windows (`T0`). Two windows bound the prefetch lead to one
+/// chunk beyond the currently playing one.
+pub const PREFETCH_WINDOWS: f64 = 2.0;
+
+/// What a peer is currently doing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PeerState {
+    /// Downloading `chunk`, needed for playback by `deadline`
+    /// (`f64::INFINITY` for the session's first chunk, whose playback
+    /// simply starts when it arrives).
+    Downloading {
+        /// Chunk being fetched.
+        chunk: usize,
+        /// Bytes still to download.
+        bytes_left: f64,
+        /// Playback deadline; finishing later is a stall.
+        deadline: f64,
+    },
+    /// Not downloading: either gated prefetch (the next download may not
+    /// start before `wake_at`) or draining playback before departure.
+    Waiting {
+        /// The next chunk to download and its deadline; `None` means the
+        /// peer leaves at `wake_at`.
+        next: Option<PendingChunk>,
+        /// Time to start the pending download, or to depart.
+        wake_at: f64,
+    },
+}
+
+/// A decided-but-not-yet-started chunk download.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PendingChunk {
+    /// Chunk to download.
+    pub chunk: usize,
+    /// Playback deadline of that chunk.
+    pub deadline: f64,
+}
+
+/// One connected viewer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Peer {
+    /// Stable identifier from the arrival trace.
+    pub id: u64,
+    /// Channel the peer is watching.
+    pub channel: usize,
+    /// Upload capacity, bytes per second (P2P mode).
+    pub upload_capacity: f64,
+    /// Current activity.
+    pub state: PeerState,
+    /// Bitmap of chunks buffered (available for upload).
+    pub buffer: u64,
+    /// Time of the most recent stall event, if any.
+    pub last_stall_at: Option<f64>,
+    /// Total stall seconds accumulated over the session.
+    pub total_stall: f64,
+    /// Time the peer joined the channel.
+    pub joined_at: f64,
+}
+
+impl Peer {
+    /// Creates a peer that starts downloading `chunk` at `now` with no
+    /// deadline (initial buffering is start-up delay, not a stall).
+    pub fn new(
+        id: u64,
+        channel: usize,
+        upload_capacity: f64,
+        chunk: usize,
+        chunk_bytes: f64,
+        now: f64,
+    ) -> Self {
+        debug_assert!(chunk < MAX_CHUNKS);
+        Self {
+            id,
+            channel,
+            upload_capacity,
+            state: PeerState::Downloading {
+                chunk,
+                bytes_left: chunk_bytes,
+                deadline: f64::INFINITY,
+            },
+            buffer: 0,
+            last_stall_at: None,
+            total_stall: 0.0,
+            joined_at: now,
+        }
+    }
+
+    /// The chunk the peer is currently fetching, if downloading.
+    pub fn downloading_chunk(&self) -> Option<usize> {
+        match self.state {
+            PeerState::Downloading { chunk, .. } => Some(chunk),
+            PeerState::Waiting { .. } => None,
+        }
+    }
+
+    /// True if the peer has `chunk` buffered.
+    pub fn owns(&self, chunk: usize) -> bool {
+        debug_assert!(chunk < MAX_CHUNKS);
+        self.buffer & (1u64 << chunk) != 0
+    }
+
+    /// Marks `chunk` as buffered.
+    pub fn add_to_buffer(&mut self, chunk: usize) {
+        debug_assert!(chunk < MAX_CHUNKS);
+        self.buffer |= 1u64 << chunk;
+    }
+
+    /// Number of buffered chunks.
+    pub fn buffered_chunks(&self) -> u32 {
+        self.buffer.count_ones()
+    }
+
+    /// Records a stall of `seconds` observed at `now`.
+    pub fn record_stall(&mut self, now: f64, seconds: f64) {
+        debug_assert!(seconds > 0.0);
+        self.last_stall_at = Some(now);
+        self.total_stall += seconds;
+    }
+
+    /// True if the peer experienced smooth playback throughout the window
+    /// `[now − window, now]`: no recorded stall in the window and no
+    /// in-flight download already past its deadline.
+    pub fn smooth_in_window(&self, now: f64, window: f64) -> bool {
+        if let Some(t) = self.last_stall_at {
+            if t >= now - window {
+                return false;
+            }
+        }
+        if let PeerState::Downloading { deadline, .. } = self.state {
+            if now > deadline {
+                return false; // currently stalled mid-download
+            }
+        }
+        true
+    }
+
+    /// Begins downloading `chunk` with the given playback `deadline`.
+    pub fn start_chunk(&mut self, chunk: usize, chunk_bytes: f64, deadline: f64) {
+        debug_assert!(chunk < MAX_CHUNKS);
+        self.state = PeerState::Downloading { chunk, bytes_left: chunk_bytes, deadline };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer() -> Peer {
+        Peer::new(1, 0, 100e3, 0, 15e6, 0.0)
+    }
+
+    #[test]
+    fn new_peer_downloads_start_chunk_without_deadline() {
+        let p = peer();
+        assert_eq!(p.downloading_chunk(), Some(0));
+        assert_eq!(p.buffered_chunks(), 0);
+        // No deadline: start-up buffering never counts as a stall.
+        assert!(p.smooth_in_window(1e9, 300.0));
+    }
+
+    #[test]
+    fn buffer_bitmap_roundtrip() {
+        let mut p = peer();
+        assert!(!p.owns(5));
+        p.add_to_buffer(5);
+        p.add_to_buffer(0);
+        assert!(p.owns(5));
+        assert!(p.owns(0));
+        assert!(!p.owns(1));
+        assert_eq!(p.buffered_chunks(), 2);
+        p.add_to_buffer(5);
+        assert_eq!(p.buffered_chunks(), 2, "idempotent");
+    }
+
+    #[test]
+    fn stall_breaks_smoothness_within_window_only() {
+        let mut p = peer();
+        p.state = PeerState::Waiting { next: None, wake_at: 1e9 };
+        p.record_stall(100.0, 5.0);
+        assert!(!p.smooth_in_window(150.0, 300.0));
+        assert!(p.smooth_in_window(500.0, 300.0), "stall aged out");
+        assert_eq!(p.total_stall, 5.0);
+    }
+
+    #[test]
+    fn overdue_download_counts_as_stalled() {
+        let mut p = peer();
+        p.start_chunk(3, 15e6, 400.0);
+        assert!(p.smooth_in_window(399.0, 300.0));
+        assert!(!p.smooth_in_window(401.0, 300.0));
+    }
+
+    #[test]
+    fn waiting_peer_is_smooth() {
+        let mut p = peer();
+        p.state = PeerState::Waiting {
+            next: Some(PendingChunk { chunk: 2, deadline: 900.0 }),
+            wake_at: 300.0,
+        };
+        assert!(p.smooth_in_window(500.0, 300.0));
+    }
+
+    #[test]
+    fn start_chunk_sets_deadline_and_preserves_buffer() {
+        let mut p = peer();
+        p.add_to_buffer(0);
+        p.start_chunk(3, 15e6, 777.0);
+        assert_eq!(p.downloading_chunk(), Some(3));
+        match p.state {
+            PeerState::Downloading { bytes_left, deadline, .. } => {
+                assert_eq!(bytes_left, 15e6);
+                assert_eq!(deadline, 777.0);
+            }
+            _ => panic!("expected Downloading"),
+        }
+        assert!(p.owns(0));
+    }
+}

@@ -1,0 +1,684 @@
+//! The CloudMedia system simulator.
+//!
+//! Replays a synthetic arrival trace against the full system: viewers join
+//! channels, download chunks (from cloud VMs in client–server mode, or
+//! from the P2P mesh with rarest-first scheduling plus cloud fallback),
+//! jump and leave per the viewing model; the tracker measures statistics;
+//! every provisioning interval the controller re-derives demand and
+//! reconfigures the cloud through the broker; billing meters the cost.
+//!
+//! Downloads progress in fixed fluid rounds (default 10 s): each round,
+//! bandwidth is allocated to in-flight chunk downloads, bytes advance, and
+//! completed chunks trigger viewing-model transitions.
+
+use cloudmedia_cloud::broker::{Cloud, ResourceRequest, SlaTerms};
+use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters};
+use cloudmedia_cloud::scheduler::{ChunkKey, PlacementPlan};
+use cloudmedia_core::baseline::{BaselinePlanner, ProvisionerKind};
+use cloudmedia_core::controller::{Controller, ControllerConfig, ProvisioningPlan};
+use cloudmedia_core::CoreError;
+use cloudmedia_core::predictor::ChannelObservation;
+use cloudmedia_workload::catalog::Catalog;
+use cloudmedia_workload::trace::generate_arrivals;
+use cloudmedia_workload::viewing::NextAction;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::allocation::{allocate_pool, peer_allocation, ChannelRound};
+use crate::config::{SimConfig, SimMode};
+use crate::error::SimError;
+use crate::metrics::{IntervalRecord, Metrics, Sample};
+use crate::peer::{PendingChunk, Peer, PeerState};
+use crate::tracker::Tracker;
+
+/// The system simulator. Construct with a [`SimConfig`] and call
+/// [`Simulator::run`].
+#[derive(Debug)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn new(config: SimConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the simulation over the trace horizon and returns the recorded
+    /// metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace generation, provisioning, and cloud failures.
+    pub fn run(&self) -> Result<Metrics, SimError> {
+        let cfg = &self.config;
+        let catalog = &cfg.catalog;
+        let n_channels = catalog.len();
+        let max_chunks = catalog
+            .channels()
+            .iter()
+            .map(|c| c.viewing.chunks)
+            .max()
+            .expect("catalog validated non-empty");
+        let chunk_bytes = cfg.chunk_bytes();
+
+        let trace = generate_arrivals(catalog, &cfg.trace)?;
+        let arrivals = trace.arrivals();
+        let mut next_arrival = 0usize;
+
+        let mut cloud = Cloud::new(
+            paper_virtual_clusters(),
+            paper_nfs_clusters(),
+            chunk_bytes as u64,
+        )?;
+        let sla = cloud.sla_terms();
+        let vm_bandwidth = sla.virtual_clusters[0].vm_bandwidth_bytes_per_sec;
+
+        let controller_config = ControllerConfig {
+            interval_seconds: cfg.provisioning_interval,
+            vm_budget_per_hour: cfg.vm_budget_per_hour,
+            storage_budget_per_hour: cfg.storage_budget_per_hour,
+            mode: cfg.streaming_mode(),
+            streaming_rate: cfg.streaming_rate,
+            chunk_seconds: cfg.chunk_seconds,
+            vm_bandwidth,
+            safety_factor: cfg.safety_factor,
+            target: cfg.provisioning_target,
+            ..ControllerConfig::paper_default(cfg.streaming_mode())
+        };
+        let mut planner = match cfg.provisioner {
+            ProvisionerKind::Model => {
+                Planner::Model(Controller::new(controller_config, cfg.predictor)?)
+            }
+            baseline => Planner::Baseline(BaselinePlanner::new(
+                baseline,
+                cfg.streaming_rate,
+                cfg.chunk_seconds,
+                cfg.vm_budget_per_hour,
+                cfg.storage_budget_per_hour,
+            )?),
+        };
+        let mut current_placement: Option<PlacementPlan> = None;
+        let mut tracker = Tracker::new(catalog)?;
+        let mut rng = StdRng::seed_from_u64(cfg.behaviour_seed);
+
+        let mut peers: Vec<Peer> = Vec::new();
+        let mut metrics = Metrics::default();
+
+        let horizon = cfg.trace.horizon_seconds;
+        let dt = cfg.round_seconds;
+        let mut clock = 0.0_f64;
+        let mut next_sample = cfg.sample_interval;
+        let mut next_provision = 0.0_f64;
+        let mut window_used = 0.0_f64; // integral of used bandwidth, bytes
+        let mut window_start = 0.0_f64;
+        let mut window_startup_sum = 0.0_f64;
+        let mut window_startup_count = 0usize;
+
+        // Scratch buffers reused across rounds.
+        let slots = n_channels * max_chunks;
+        let mut requested = vec![0.0_f64; slots];
+        let mut peer_served = vec![0.0_f64; slots];
+        // Per-channel cloud bandwidth reserved by the current plan. The
+        // paper's port-forwarding sends chunk requests to designated VMs,
+        // and a shared VM serves consecutive chunks of one channel — so a
+        // channel can use its own reserved VMs for any of its chunks, but
+        // cannot borrow another channel's.
+        let mut channel_reserved = vec![0.0_f64; n_channels];
+        let mut reserved_total = 0.0_f64;
+        let mut rounds: Vec<ChannelRound> = (0..n_channels)
+            .map(|_| ChannelRound {
+                requested_rate: vec![0.0; max_chunks],
+                owners: vec![0; max_chunks],
+                owner_upload: vec![0.0; max_chunks],
+                upload_pool: 0.0,
+            })
+            .collect();
+
+        while clock < horizon {
+            let t1 = (clock + dt).min(horizon);
+            let step = t1 - clock;
+
+            // --- Provisioning boundary ---------------------------------
+            if clock >= next_provision {
+                let stats = if metrics.intervals.is_empty() {
+                    bootstrap_stats(catalog, cfg)
+                } else {
+                    tracker.interval_stats(cfg.provisioning_interval)?
+                };
+                let plan = planner.plan_interval(&stats, &sla)?;
+                if let Some(p) = &plan.placement {
+                    current_placement = Some(p.clone());
+                }
+                cloud.submit_request(&ResourceRequest {
+                    vm_targets: plan.vm_targets.clone(),
+                    placement: plan.placement.clone(),
+                })?;
+                channel_reserved.iter_mut().for_each(|v| *v = 0.0);
+                for (key, allocs) in &plan.vm_plan.allocations {
+                    if key.channel >= n_channels {
+                        continue;
+                    }
+                    let bw: f64 = allocs
+                        .iter()
+                        .map(|a| a.vms * sla.virtual_clusters[a.cluster].vm_bandwidth_bytes_per_sec)
+                        .sum();
+                    channel_reserved[key.channel] += bw;
+                }
+                reserved_total = channel_reserved.iter().sum();
+                metrics.intervals.push(interval_record(
+                    clock,
+                    &plan,
+                    current_placement.as_ref(),
+                    &sla,
+                    n_channels,
+                    &peers,
+                ));
+                next_provision += cfg.provisioning_interval;
+            }
+
+            // --- Arrivals ----------------------------------------------
+            while next_arrival < arrivals.len() && arrivals[next_arrival].time < t1 {
+                let a = &arrivals[next_arrival];
+                peers.push(Peer::new(
+                    a.user_id,
+                    a.channel,
+                    a.upload_bytes_per_sec,
+                    a.start_chunk,
+                    chunk_bytes,
+                    a.time,
+                ));
+                tracker.record_join(a.channel, a.start_chunk);
+                next_arrival += 1;
+            }
+
+            // --- Demand aggregation ------------------------------------
+            requested[..slots].iter_mut().for_each(|v| *v = 0.0);
+            for p in &peers {
+                if let PeerState::Downloading { chunk, bytes_left, .. } = p.state {
+                    let req = (bytes_left / step).min(vm_bandwidth);
+                    requested[p.channel * max_chunks + chunk] += req;
+                }
+            }
+
+            // --- Peer-side allocation (P2P only) ------------------------
+            let cloud_pool = cloud.running_bandwidth();
+            let mut used_cloud_rate = 0.0;
+            if cfg.mode == SimMode::P2p {
+                for (c, round) in rounds.iter_mut().enumerate() {
+                    round.upload_pool = 0.0;
+                    round.owners.iter_mut().for_each(|v| *v = 0);
+                    round.owner_upload.iter_mut().for_each(|v| *v = 0.0);
+                    round
+                        .requested_rate
+                        .copy_from_slice(&requested[c * max_chunks..(c + 1) * max_chunks]);
+                }
+                let eff = cfg.peer_efficiency;
+                for p in &peers {
+                    let round = &mut rounds[p.channel];
+                    let usable = p.upload_capacity * eff;
+                    round.upload_pool += usable;
+                    let mut bits = p.buffer;
+                    while bits != 0 {
+                        let chunk = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        if chunk < max_chunks {
+                            round.owners[chunk] += 1;
+                            round.owner_upload[chunk] += usable;
+                        }
+                    }
+                }
+                for (c, round) in rounds.iter().enumerate() {
+                    let served = peer_allocation(round);
+                    peer_served[c * max_chunks..(c + 1) * max_chunks].copy_from_slice(&served);
+                }
+            } else {
+                peer_served[..slots].iter_mut().for_each(|v| *v = 0.0);
+            }
+
+            // --- Cloud allocation over the residual demand --------------
+            // Each channel is served by its designated VMs: capped at the
+            // plan's per-channel reservation, scaled by how much of the
+            // reservation is actually online (boot latency, fleet limits).
+            let online_scale = if reserved_total > 0.0 {
+                (cloud_pool / reserved_total).min(1.0)
+            } else {
+                0.0
+            };
+            let mut cloud_served = vec![0.0_f64; slots];
+            for c in 0..n_channels {
+                let span = c * max_chunks..(c + 1) * max_chunks;
+                let residual: Vec<f64> = span
+                    .clone()
+                    .map(|i| (requested[i] - peer_served[i]).max(0.0))
+                    .collect();
+                let served = allocate_pool(&residual, channel_reserved[c] * online_scale);
+                cloud_served[span].copy_from_slice(&served);
+            }
+            used_cloud_rate += cloud_served.iter().sum::<f64>();
+
+            // --- Progress downloads, handle completions -----------------
+            let mut removals: Vec<usize> = Vec::new();
+            for (idx, p) in peers.iter_mut().enumerate() {
+                match p.state {
+                    PeerState::Downloading { chunk, bytes_left, deadline } => {
+                        let slot = p.channel * max_chunks + chunk;
+                        let total_rate = peer_served[slot] + cloud_served[slot];
+                        let req_total = requested[slot];
+                        let my_req = (bytes_left / step).min(vm_bandwidth);
+                        let my_rate = if req_total > 0.0 {
+                            total_rate * my_req / req_total
+                        } else {
+                            0.0
+                        };
+                        let new_left = bytes_left - my_rate * step;
+                        if new_left <= 1e-6 {
+                            // Chunk complete at (approximately) t1.
+                            p.add_to_buffer(chunk);
+                            if deadline.is_finite() {
+                                if t1 > deadline {
+                                    p.record_stall(t1, t1 - deadline);
+                                }
+                            } else {
+                                // First chunk: playback starts now.
+                                window_startup_sum += t1 - p.joined_at;
+                                window_startup_count += 1;
+                            }
+                            // The chunk plays from its deadline (or from
+                            // now, after a stall or for the first chunk).
+                            let play_start =
+                                if deadline.is_finite() { deadline.max(t1) } else { t1 };
+                            advance_playback(
+                                p,
+                                idx,
+                                chunk,
+                                play_start + cfg.chunk_seconds,
+                                chunk_bytes,
+                                cfg.chunk_seconds,
+                                t1,
+                                catalog,
+                                &mut tracker,
+                                &mut rng,
+                                &mut removals,
+                            );
+                        } else {
+                            p.state = PeerState::Downloading {
+                                chunk,
+                                bytes_left: new_left,
+                                deadline,
+                            };
+                        }
+                    }
+                    PeerState::Waiting { next, wake_at } => {
+                        if wake_at <= t1 {
+                            match next {
+                                Some(pending) => {
+                                    p.start_chunk(pending.chunk, chunk_bytes, pending.deadline);
+                                }
+                                None => removals.push(idx),
+                            }
+                        }
+                    }
+                }
+            }
+            // Remove departed peers (descending index for swap_remove).
+            removals.sort_unstable_by(|a, b| b.cmp(a));
+            for idx in removals {
+                peers.swap_remove(idx);
+            }
+
+            // --- Advance the cloud (billing + VM lifecycle) --------------
+            cloud.tick(t1)?;
+            window_used += used_cloud_rate * step;
+
+            // --- Sampling ------------------------------------------------
+            if t1 >= next_sample || t1 >= horizon {
+                let elapsed = (t1 - window_start).max(1e-9);
+                let startup = if window_startup_count > 0 {
+                    window_startup_sum / window_startup_count as f64
+                } else {
+                    0.0
+                };
+                metrics.samples.push(sample(
+                    t1,
+                    cloud.running_bandwidth(),
+                    window_used / elapsed,
+                    startup,
+                    &peers,
+                    n_channels,
+                    cfg,
+                ));
+                window_used = 0.0;
+                window_startup_sum = 0.0;
+                window_startup_count = 0;
+                window_start = t1;
+                next_sample += cfg.sample_interval;
+            }
+
+            clock = t1;
+        }
+
+        metrics.total_vm_cost = cloud.billing().vm_cost().as_dollars();
+        metrics.total_storage_cost = cloud.billing().storage_cost().as_dollars();
+        Ok(metrics)
+    }
+}
+
+/// Advances a peer's playback pipeline after it finished downloading
+/// `chunk`: walks the viewing model through already-buffered chunks, then
+/// either starts (or gates) the next download or schedules departure.
+/// `play_end` is the playback end time of the just-finished chunk.
+#[allow(clippy::too_many_arguments)]
+fn advance_playback(
+    p: &mut Peer,
+    idx: usize,
+    chunk: usize,
+    mut play_end: f64,
+    chunk_bytes: f64,
+    chunk_seconds: f64,
+    now: f64,
+    catalog: &Catalog,
+    tracker: &mut Tracker,
+    rng: &mut StdRng,
+    removals: &mut Vec<usize>,
+) {
+    let viewing = &catalog.channel(p.channel).viewing;
+    let mut current = chunk;
+    loop {
+        match viewing.sample_next(rng, current) {
+            NextAction::Watch(next) => {
+                tracker.record_transition(p.channel, current, next);
+                if p.owns(next) {
+                    // Already buffered (a jump back): it plays straight
+                    // from the buffer; decide again after it.
+                    play_end += chunk_seconds;
+                    current = next;
+                    continue;
+                }
+                // Prefetch gate: the download may start up to
+                // PREFETCH_WINDOWS playback windows before its deadline.
+                let gate = play_end - crate::peer::PREFETCH_WINDOWS * chunk_seconds;
+                if gate > now {
+                    p.state = PeerState::Waiting {
+                        next: Some(PendingChunk { chunk: next, deadline: play_end }),
+                        wake_at: gate,
+                    };
+                } else {
+                    p.start_chunk(next, chunk_bytes, play_end);
+                }
+                return;
+            }
+            NextAction::Leave => {
+                tracker.record_leave(p.channel, current);
+                if play_end <= now {
+                    removals.push(idx);
+                } else {
+                    // Drain playback (still uploading), then depart.
+                    p.state = PeerState::Waiting { next: None, wake_at: play_end };
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Bootstrap observations for the very first interval: the provider's
+/// "empirical user scale and viewing pattern information" (paper Sec. V-B)
+/// — the catalog's base rates scaled by the diurnal multiplier at time 0.
+fn bootstrap_stats(catalog: &Catalog, cfg: &SimConfig) -> Vec<(usize, ChannelObservation)> {
+    let mult = cfg.trace.diurnal.multiplier(0.0);
+    catalog
+        .channels()
+        .iter()
+        .map(|spec| {
+            (
+                spec.id,
+                ChannelObservation {
+                    arrival_rate: spec.base_arrival_rate * mult,
+                    alpha: spec.viewing.start_at_beginning,
+                    routing: spec
+                        .viewing
+                        .routing_rows()
+                        .expect("catalog channels validated at construction"),
+                },
+            )
+        })
+        .collect()
+}
+
+/// The pluggable provisioning strategy driving the simulation.
+#[derive(Debug)]
+enum Planner {
+    /// The paper's model-driven controller.
+    Model(Controller),
+    /// A baseline strategy (reactive or fixed).
+    Baseline(BaselinePlanner),
+}
+
+impl Planner {
+    fn plan_interval(
+        &mut self,
+        stats: &[(usize, cloudmedia_core::predictor::ChannelObservation)],
+        sla: &SlaTerms,
+    ) -> Result<ProvisioningPlan, CoreError> {
+        match self {
+            Planner::Model(c) => c.plan_interval(stats, sla),
+            Planner::Baseline(b) => b.plan_interval(stats, sla),
+        }
+    }
+}
+
+fn interval_record(
+    time: f64,
+    plan: &ProvisioningPlan,
+    placement: Option<&PlacementPlan>,
+    sla: &SlaTerms,
+    n_channels: usize,
+    peers: &[Peer],
+) -> IntervalRecord {
+    let mut per_channel_demand = vec![0.0; n_channels];
+    let mut per_channel_storage = vec![0.0; n_channels];
+    let mut per_channel_vm = vec![0.0; n_channels];
+    for d in &plan.chunk_demands {
+        let c = d.key.channel;
+        if c >= n_channels {
+            continue;
+        }
+        per_channel_demand[c] += d.demand;
+        if let Some(pl) = placement {
+            if let Some(&f) = pl.get(&d.key) {
+                per_channel_storage[c] += sla.nfs_clusters[f].utility * d.demand;
+            }
+        }
+    }
+    for (key, allocs) in &plan.vm_plan.allocations {
+        if key.channel >= n_channels {
+            continue;
+        }
+        for a in allocs {
+            per_channel_vm[key.channel] += sla.virtual_clusters[a.cluster].utility * a.vms;
+        }
+    }
+    let mut per_channel_peers = vec![0usize; n_channels];
+    for p in peers {
+        per_channel_peers[p.channel] += 1;
+    }
+    IntervalRecord {
+        time,
+        vm_targets: plan.vm_targets.clone(),
+        vm_hourly_cost: plan.vm_plan.integer_hourly_cost,
+        total_cloud_demand: plan.total_cloud_demand,
+        expected_peer_contribution: plan.expected_peer_contribution,
+        per_channel_demand,
+        per_channel_storage_utility: per_channel_storage,
+        per_channel_vm_utility: per_channel_vm,
+        placement_refreshed: plan.placement.is_some(),
+        per_channel_peers,
+    }
+}
+
+fn sample(
+    time: f64,
+    reserved: f64,
+    used: f64,
+    mean_startup_delay: f64,
+    peers: &[Peer],
+    n_channels: usize,
+    cfg: &SimConfig,
+) -> Sample {
+    let window = cfg.sample_interval;
+    let mut per_channel_peers = vec![0usize; n_channels];
+    let mut per_channel_smooth = vec![0usize; n_channels];
+    let mut smooth = 0usize;
+    for p in peers {
+        per_channel_peers[p.channel] += 1;
+        if p.smooth_in_window(time, window) {
+            smooth += 1;
+            per_channel_smooth[p.channel] += 1;
+        }
+    }
+    let quality = if peers.is_empty() {
+        1.0
+    } else {
+        smooth as f64 / peers.len() as f64
+    };
+    let per_channel_quality = per_channel_peers
+        .iter()
+        .zip(&per_channel_smooth)
+        .map(|(&n, &s)| if n == 0 { 1.0 } else { s as f64 / n as f64 })
+        .collect();
+    Sample {
+        time,
+        reserved_bandwidth: reserved,
+        used_bandwidth: used,
+        quality,
+        active_peers: peers.len(),
+        per_channel_peers,
+        per_channel_quality,
+        mean_startup_delay,
+    }
+}
+
+/// A `(ChunkKey, demand)` pair list grouped per channel; helper shared by
+/// experiment harnesses.
+pub fn group_demand_by_channel(
+    demands: &[(ChunkKey, f64)],
+    n_channels: usize,
+) -> Vec<f64> {
+    let mut out = vec![0.0; n_channels];
+    for (key, demand) in demands {
+        if key.channel < n_channels {
+            out[key.channel] += demand;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small, fast configuration: 3 channels, ~120 viewers, 6 hours.
+    fn small_config(mode: SimMode) -> SimConfig {
+        let mut cfg = SimConfig::paper_default(mode);
+        cfg.catalog = Catalog::zipf(
+            3,
+            0.8,
+            cloudmedia_workload::viewing::ViewingModel::paper_default(),
+            60.0,
+            300.0,
+        )
+        .unwrap();
+        cfg.trace.horizon_seconds = 6.0 * 3600.0;
+        cfg.round_seconds = 10.0;
+        cfg
+    }
+
+    #[test]
+    fn client_server_run_produces_sane_metrics() {
+        let m = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
+        assert_eq!(m.intervals.len(), 6, "one record per hour");
+        assert!(!m.samples.is_empty());
+        assert!(m.mean_quality() > 0.9, "quality {q}", q = m.mean_quality());
+        assert!(m.peak_peers() > 20, "peers showed up: {}", m.peak_peers());
+        assert!(m.total_vm_cost > 0.0);
+        assert!(m.total_storage_cost > 0.0);
+        assert!(m.total_storage_cost < 0.01 * m.total_vm_cost, "storage is negligible");
+    }
+
+    #[test]
+    fn provisioned_covers_used_most_of_the_time() {
+        let m = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
+        assert!(
+            m.provision_coverage() > 0.85,
+            "coverage {c}",
+            c = m.provision_coverage()
+        );
+    }
+
+    #[test]
+    fn p2p_needs_less_cloud_than_client_server() {
+        let cs = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
+        let p2p = Simulator::new(small_config(SimMode::P2p)).unwrap().run().unwrap();
+        assert!(
+            p2p.mean_used_bandwidth() < cs.mean_used_bandwidth(),
+            "P2P used {p} vs C/S used {c}",
+            p = p2p.mean_used_bandwidth(),
+            c = cs.mean_used_bandwidth()
+        );
+        assert!(p2p.total_vm_cost < cs.total_vm_cost);
+        assert!(p2p.mean_quality() > 0.85, "P2P quality {q}", q = p2p.mean_quality());
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = Simulator::new(small_config(SimMode::P2p)).unwrap().run().unwrap();
+        let b = Simulator::new(small_config(SimMode::P2p)).unwrap().run().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn baseline_provisioners_run_end_to_end() {
+        use cloudmedia_core::baseline::ProvisionerKind;
+        let mut fixed_cfg = small_config(SimMode::ClientServer);
+        // Peak-size the fixed fleet for the small catalog (~120 avg users,
+        // flash-crowd peak ~3x): 360 viewers x 50 KB/s x margin.
+        fixed_cfg.provisioner =
+            ProvisionerKind::Fixed { peak_demand: 360.0 * 50_000.0 * 1.1 };
+        let fixed = Simulator::new(fixed_cfg).unwrap().run().unwrap();
+        let model = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
+        assert!(fixed.mean_quality() > 0.95, "fixed quality {}", fixed.mean_quality());
+        assert!(
+            fixed.mean_vm_hourly_cost() > model.mean_vm_hourly_cost(),
+            "the fixed peak fleet must cost more than the elastic controller              (fixed {f} vs model {m})",
+            f = fixed.mean_vm_hourly_cost(),
+            m = model.mean_vm_hourly_cost()
+        );
+
+        let mut reactive_cfg = small_config(SimMode::ClientServer);
+        reactive_cfg.provisioner = ProvisionerKind::Reactive { headroom: 0.2 };
+        let reactive = Simulator::new(reactive_cfg).unwrap().run().unwrap();
+        assert!(reactive.mean_quality() > 0.9, "reactive quality {}", reactive.mean_quality());
+    }
+
+    #[test]
+    fn group_demand_by_channel_sums() {
+        let demands = vec![
+            (ChunkKey { channel: 0, chunk: 0 }, 1.0),
+            (ChunkKey { channel: 0, chunk: 1 }, 2.0),
+            (ChunkKey { channel: 2, chunk: 0 }, 5.0),
+        ];
+        let grouped = group_demand_by_channel(&demands, 3);
+        assert_eq!(grouped, vec![3.0, 0.0, 5.0]);
+    }
+}

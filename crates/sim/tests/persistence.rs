@@ -1,0 +1,33 @@
+//! Metrics and configuration JSON round trips: experiment outputs are
+//! archived as JSON and must reload bit-exactly.
+
+use cloudmedia_sim::config::{SimConfig, SimMode};
+use cloudmedia_sim::metrics::Metrics;
+use cloudmedia_sim::simulator::Simulator;
+use cloudmedia_workload::catalog::Catalog;
+use cloudmedia_workload::viewing::ViewingModel;
+
+#[test]
+fn metrics_round_trip_exactly() {
+    let mut cfg = SimConfig::paper_default(SimMode::P2p);
+    cfg.catalog = Catalog::zipf(2, 0.8, ViewingModel::paper_default(), 50.0, 300.0).unwrap();
+    cfg.trace.horizon_seconds = 2.0 * 3600.0;
+    let metrics = Simulator::new(cfg).unwrap().run().unwrap();
+    let json = serde_json::to_string(&metrics).unwrap();
+    let back: Metrics = serde_json::from_str(&json).unwrap();
+    assert_eq!(metrics, back);
+}
+
+#[test]
+fn config_round_trip_preserves_simulation_results() {
+    // A config that survives serialization must reproduce the same run.
+    let mut cfg = SimConfig::paper_default(SimMode::ClientServer);
+    cfg.catalog = Catalog::zipf(2, 0.8, ViewingModel::paper_default(), 50.0, 300.0).unwrap();
+    cfg.trace.horizon_seconds = 2.0 * 3600.0;
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: SimConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(cfg, back);
+    let a = Simulator::new(cfg).unwrap().run().unwrap();
+    let b = Simulator::new(back).unwrap().run().unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,401 @@
+//! Random-variate generators used by the synthetic VoD workload.
+//!
+//! Implemented from `rand` primitives via inverse-transform and standard
+//! algorithms rather than pulling in `rand_distr`: the paper needs exactly
+//! four families — exponential (VCR jump intervals, session dynamics),
+//! bounded Pareto (peer upload capacities, `[180 kbps, 10 Mbps]`, shape
+//! `k = 3`), Zipf (channel popularity), and Poisson (batched arrivals).
+
+use rand::RngExt;
+
+use crate::error::{invalid_param, WorkloadError};
+
+/// Exponential distribution with rate `lambda` (mean `1 / lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `rate` is finite and positive.
+    pub fn new(rate: f64) -> Result<Self, WorkloadError> {
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(invalid_param("rate", format!("must be finite and positive, got {rate}")));
+        }
+        Ok(Self { rate })
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `mean` is finite and positive.
+    pub fn with_mean(mean: f64) -> Result<Self, WorkloadError> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(invalid_param("mean", format!("must be finite and positive, got {mean}")));
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// The rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The mean `1 / rate`.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    /// Draws one sample by inverse transform.
+    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        // 1 - u is in (0, 1]; ln of it is finite.
+        -(1.0 - u).ln() / self.rate
+    }
+}
+
+/// Pareto distribution truncated to `[min, max]`, sampled by inverse
+/// transform of the truncated CDF.
+///
+/// The paper draws peer upload capacities from a bounded Pareto on
+/// `[180 kbps, 10 Mbps]` with shape `k = 3`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    min: f64,
+    max: f64,
+    shape: f64,
+}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `0 < min < max` and `shape > 0`.
+    pub fn new(min: f64, max: f64, shape: f64) -> Result<Self, WorkloadError> {
+        if !(min.is_finite() && min > 0.0) {
+            return Err(invalid_param("min", format!("must be finite and positive, got {min}")));
+        }
+        if !(max.is_finite() && max > min) {
+            return Err(invalid_param("max", format!("must be finite and exceed min={min}, got {max}")));
+        }
+        if !(shape.is_finite() && shape > 0.0) {
+            return Err(invalid_param("shape", format!("must be finite and positive, got {shape}")));
+        }
+        Ok(Self { min, max, shape })
+    }
+
+    /// Lower bound `L`.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound `H`.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Mean of the truncated distribution (closed form).
+    pub fn mean(&self) -> f64 {
+        let (l, h, a) = (self.min, self.max, self.shape);
+        if (a - 1.0).abs() < 1e-12 {
+            // alpha = 1 special case: E = ln(h/l) * l*h/(h-l)
+            let la = l;
+            return la * h / (h - l) * (h / l).ln();
+        }
+        let num = l.powf(a) / (1.0 - (l / h).powf(a)) * a / (a - 1.0)
+            * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0));
+        num
+    }
+
+    /// Draws one sample by inverting the truncated CDF:
+    /// `x = ( -(u·(H^a − L^a) − H^a) / (L^a H^a) )^(−1/a) · L H` form,
+    /// simplified below.
+    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.random();
+        let (l, h, a) = (self.min, self.max, self.shape);
+        let la = l.powf(a);
+        let ha = h.powf(a);
+        // F(x) = (1 - (L/x)^a) / (1 - (L/H)^a); invert for x.
+        let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / a);
+        x.clamp(l, h)
+    }
+}
+
+/// Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank = i) ∝ 1 / (i + 1)^s`.
+///
+/// Used for channel popularity across the paper's 20 channels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    /// Cumulative probabilities, last entry == 1.
+    cdf: Vec<f64>,
+    /// Normalized probabilities per rank.
+    probs: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s >= 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n == 0` or `s` is negative/non-finite.
+    pub fn new(n: usize, exponent: f64) -> Result<Self, WorkloadError> {
+        if n == 0 {
+            return Err(invalid_param("n", "must be positive"));
+        }
+        if !(exponent.is_finite() && exponent >= 0.0) {
+            return Err(invalid_param(
+                "exponent",
+                format!("must be finite and non-negative, got {exponent}"),
+            ));
+        }
+        let mut probs: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).collect();
+        let total: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= total;
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for &p in &probs {
+            acc += p;
+            cdf.push(acc);
+        }
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Ok(Self { cdf, probs, exponent })
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// True if the distribution has no ranks (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.probs.is_empty()
+    }
+
+    /// The exponent `s`.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of the given rank.
+    pub fn prob(&self, rank: usize) -> f64 {
+        self.probs[rank]
+    }
+
+    /// All rank probabilities, most popular first.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Draws one rank by binary search on the CDF.
+    pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+            Ok(i) => (i + 1).min(self.len() - 1),
+            Err(i) => i.min(self.len() - 1),
+        }
+    }
+}
+
+/// Draws a Poisson-distributed count with the given mean.
+///
+/// Uses Knuth's product method for small means and a normal approximation
+/// (continuity-corrected, clamped at zero) for `mean > 30`, which is
+/// accurate to well under a percent in that regime.
+pub fn sample_poisson<R: RngExt + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean.is_finite() && mean >= 0.0, "mean must be finite and non-negative");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        // Box-Muller normal approximation.
+        let u1: f64 = rng.random::<f64>().max(1e-300);
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let x = mean + z * mean.sqrt();
+        return x.round().max(0.0) as u64;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn sample_mean(mut f: impl FnMut(&mut StdRng) -> f64, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| f(&mut r)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_sample_mean_matches() {
+        let d = Exponential::with_mean(4.0).unwrap();
+        let m = sample_mean(|r| d.sample(r), 100_000);
+        assert!((m - 4.0).abs() < 0.1, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_rate_mean_inverse() {
+        let d = Exponential::new(0.25).unwrap();
+        assert_eq!(d.mean(), 4.0);
+        assert_eq!(Exponential::with_mean(4.0).unwrap(), d);
+    }
+
+    #[test]
+    fn exponential_rejects_bad_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::INFINITY).is_err());
+        assert!(Exponential::with_mean(0.0).is_err());
+    }
+
+    #[test]
+    fn exponential_samples_are_positive() {
+        let d = Exponential::new(2.0).unwrap();
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(d.sample(&mut r) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn pareto_samples_within_bounds() {
+        // Paper parameters: [180 kbps, 10 Mbps], shape 3.
+        let d = BoundedPareto::new(180e3, 10e6, 3.0).unwrap();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = d.sample(&mut r);
+            assert!((180e3..=10e6).contains(&x), "sample {x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn pareto_sample_mean_matches_closed_form() {
+        let d = BoundedPareto::new(1.0, 100.0, 3.0).unwrap();
+        let m = sample_mean(|r| d.sample(r), 200_000);
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.02,
+            "sample mean {m} vs closed form {}",
+            d.mean()
+        );
+    }
+
+    #[test]
+    fn pareto_mass_concentrates_near_min() {
+        let d = BoundedPareto::new(1.0, 1000.0, 3.0).unwrap();
+        let mut r = rng();
+        let below2 = (0..50_000).filter(|_| d.sample(&mut r) < 2.0).count();
+        // P(X < 2) = 1 - (1/2)^3 = 0.875 (truncation correction tiny).
+        let frac = below2 as f64 / 50_000.0;
+        assert!((frac - 0.875).abs() < 0.01, "fraction below 2: {frac}");
+    }
+
+    #[test]
+    fn pareto_rejects_bad_parameters() {
+        assert!(BoundedPareto::new(0.0, 1.0, 3.0).is_err());
+        assert!(BoundedPareto::new(2.0, 1.0, 3.0).is_err());
+        assert!(BoundedPareto::new(1.0, 2.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn zipf_probabilities_sum_to_one_and_decrease() {
+        let z = Zipf::new(20, 0.8).unwrap();
+        let total: f64 = z.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        for i in 1..20 {
+            assert!(z.prob(i) <= z.prob(i - 1));
+        }
+    }
+
+    #[test]
+    fn zipf_exponent_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0).unwrap();
+        for i in 0..4 {
+            assert!((z.prob(i) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_matches_probabilities() {
+        let z = Zipf::new(5, 1.0).unwrap();
+        let mut r = rng();
+        let mut counts = [0usize; 5];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for i in 0..5 {
+            let emp = counts[i] as f64 / n as f64;
+            assert!(
+                (emp - z.prob(i)).abs() < 0.01,
+                "rank {i}: empirical {emp} vs {p}",
+                p = z.prob(i)
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(5, -1.0).is_err());
+    }
+
+    #[test]
+    fn poisson_small_mean_matches() {
+        let mut r = rng();
+        let n = 100_000;
+        let total: u64 = (0..n).map(|_| sample_poisson(&mut r, 3.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approx() {
+        let mut r = rng();
+        let n = 50_000;
+        let samples: Vec<u64> = (0..n).map(|_| sample_poisson(&mut r, 200.0)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        assert!((mean - 200.0).abs() < 1.0, "mean {mean}");
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((var - 200.0).abs() < 10.0, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut r = rng();
+        assert_eq!(sample_poisson(&mut r, 0.0), 0);
+    }
+}

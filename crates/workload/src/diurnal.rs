@@ -1,0 +1,314 @@
+//! Diurnal arrival-rate profiles with flash crowds.
+//!
+//! The paper's synthetic trace follows PPLive VoD measurements: "user
+//! population in each channel follows a daily pattern with two flash crowds
+//! around noon and in the evening". We model the instantaneous arrival-rate
+//! multiplier as a 24-hour-periodic baseline plus Gaussian bumps centred on
+//! the flash-crowd hours.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{invalid_param, WorkloadError};
+
+/// Seconds per day.
+pub const SECONDS_PER_DAY: f64 = 86_400.0;
+
+/// One flash-crowd bump in the daily profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowd {
+    /// Centre of the bump as an hour of day in `[0, 24)`.
+    pub peak_hour: f64,
+    /// Standard deviation of the bump, in hours.
+    pub width_hours: f64,
+    /// Peak multiplier added on top of the baseline at the centre.
+    pub amplitude: f64,
+}
+
+/// A 24-hour-periodic arrival-rate multiplier.
+///
+/// `multiplier(t)` is `baseline + Σ bumps`, evaluated with wrap-around so a
+/// bump near midnight spills into the neighbouring day correctly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalPattern {
+    baseline: f64,
+    crowds: Vec<FlashCrowd>,
+}
+
+impl DiurnalPattern {
+    /// Creates a pattern from a baseline multiplier and flash crowds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-positive baselines or malformed bumps.
+    pub fn new(baseline: f64, crowds: Vec<FlashCrowd>) -> Result<Self, WorkloadError> {
+        if !(baseline.is_finite() && baseline > 0.0) {
+            return Err(invalid_param("baseline", format!("must be positive, got {baseline}")));
+        }
+        for (i, c) in crowds.iter().enumerate() {
+            if !(0.0..24.0).contains(&c.peak_hour) {
+                return Err(invalid_param(
+                    "peak_hour",
+                    format!("crowd {i}: must be in [0, 24), got {}", c.peak_hour),
+                ));
+            }
+            if !(c.width_hours.is_finite() && c.width_hours > 0.0) {
+                return Err(invalid_param(
+                    "width_hours",
+                    format!("crowd {i}: must be positive, got {}", c.width_hours),
+                ));
+            }
+            if !(c.amplitude.is_finite() && c.amplitude >= 0.0) {
+                return Err(invalid_param(
+                    "amplitude",
+                    format!("crowd {i}: must be non-negative, got {}", c.amplitude),
+                ));
+            }
+        }
+        Ok(Self { baseline, crowds })
+    }
+
+    /// A flat profile with multiplier 1 everywhere.
+    pub fn flat() -> Self {
+        Self { baseline: 1.0, crowds: Vec::new() }
+    }
+
+    /// The paper's pattern: two flash crowds, around noon and in the
+    /// evening, each roughly tripling the baseline arrival rate at peak.
+    pub fn paper_default() -> Self {
+        Self::new(
+            1.0,
+            vec![
+                FlashCrowd { peak_hour: 12.0, width_hours: 1.5, amplitude: 2.0 },
+                FlashCrowd { peak_hour: 20.5, width_hours: 1.8, amplitude: 2.5 },
+            ],
+        )
+        .expect("paper defaults are valid")
+    }
+
+    /// The baseline multiplier.
+    pub fn baseline(&self) -> f64 {
+        self.baseline
+    }
+
+    /// The configured flash crowds.
+    pub fn crowds(&self) -> &[FlashCrowd] {
+        &self.crowds
+    }
+
+    /// Returns this pattern shifted `hours` later in local time — a
+    /// region whose clock is `hours` ahead sees its flash crowds that much
+    /// earlier in reference time.
+    pub fn shifted(&self, hours: f64) -> Self {
+        let crowds = self
+            .crowds
+            .iter()
+            .map(|c| FlashCrowd {
+                peak_hour: (c.peak_hour - hours).rem_euclid(24.0),
+                ..*c
+            })
+            .collect();
+        Self { baseline: self.baseline, crowds }
+    }
+
+    /// Weighted mixture of patterns: `Σ w_i · pattern_i(t)`. Used to model
+    /// a centralized site serving several time-zone-offset regions (the
+    /// sum of shifted diurnal curves is flatter than any single one).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty mixture or non-positive weights.
+    pub fn mixture(parts: &[(f64, DiurnalPattern)]) -> Result<Self, WorkloadError> {
+        if parts.is_empty() {
+            return Err(invalid_param("parts", "mixture must not be empty"));
+        }
+        let mut baseline = 0.0;
+        let mut crowds = Vec::new();
+        for (w, p) in parts {
+            if !(w.is_finite() && *w > 0.0) {
+                return Err(invalid_param("weight", format!("must be positive, got {w}")));
+            }
+            baseline += w * p.baseline;
+            for c in &p.crowds {
+                crowds.push(FlashCrowd { amplitude: w * c.amplitude, ..*c });
+            }
+        }
+        Self::new(baseline, crowds)
+    }
+
+    /// Arrival-rate multiplier at absolute time `t` seconds.
+    pub fn multiplier(&self, t_seconds: f64) -> f64 {
+        let hour = (t_seconds.rem_euclid(SECONDS_PER_DAY)) / 3600.0;
+        let mut m = self.baseline;
+        for c in &self.crowds {
+            // Wrap-around distance on the 24 h circle.
+            let mut d = (hour - c.peak_hour).abs();
+            if d > 12.0 {
+                d = 24.0 - d;
+            }
+            m += c.amplitude * (-0.5 * (d / c.width_hours).powi(2)).exp();
+        }
+        m
+    }
+
+    /// Maximum multiplier over the day; the thinning bound for
+    /// non-homogeneous Poisson sampling. Conservative (baseline + sum of
+    /// amplitudes) — always an upper bound even for overlapping bumps.
+    pub fn max_multiplier(&self) -> f64 {
+        self.baseline + self.crowds.iter().map(|c| c.amplitude).sum::<f64>()
+    }
+
+    /// Average multiplier over one day (numeric, 1-minute resolution);
+    /// useful for scaling a target mean population into a base rate.
+    pub fn mean_multiplier(&self) -> f64 {
+        let steps = 24 * 60;
+        let total: f64 = (0..steps)
+            .map(|i| self.multiplier(i as f64 * 60.0))
+            .sum();
+        total / steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_pattern_is_constant_one() {
+        let p = DiurnalPattern::flat();
+        for h in 0..24 {
+            assert_eq!(p.multiplier(h as f64 * 3600.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn paper_default_peaks_at_noon_and_evening() {
+        let p = DiurnalPattern::paper_default();
+        let noon = p.multiplier(12.0 * 3600.0);
+        let evening = p.multiplier(20.5 * 3600.0);
+        let early = p.multiplier(4.0 * 3600.0);
+        assert!(noon > 2.5, "noon multiplier {noon}");
+        assert!(evening > 3.0, "evening multiplier {evening}");
+        assert!(early < 1.3, "4am multiplier {early}");
+    }
+
+    #[test]
+    fn multiplier_is_periodic_over_days() {
+        let p = DiurnalPattern::paper_default();
+        for h in [0.0, 7.5, 12.0, 23.9] {
+            let a = p.multiplier(h * 3600.0);
+            let b = p.multiplier(h * 3600.0 + 3.0 * SECONDS_PER_DAY);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn max_multiplier_bounds_actual() {
+        let p = DiurnalPattern::paper_default();
+        let cap = p.max_multiplier();
+        for i in 0..(24 * 60) {
+            assert!(p.multiplier(i as f64 * 60.0) <= cap + 1e-12);
+        }
+    }
+
+    #[test]
+    fn wraparound_bump_near_midnight() {
+        let p = DiurnalPattern::new(
+            1.0,
+            vec![FlashCrowd { peak_hour: 23.5, width_hours: 1.0, amplitude: 2.0 }],
+        )
+        .unwrap();
+        // 00:30 is one hour from the 23:30 peak across midnight.
+        let just_after = p.multiplier(0.5 * 3600.0);
+        let symmetric = p.multiplier(22.5 * 3600.0);
+        assert!((just_after - symmetric).abs() < 1e-12);
+        assert!(just_after > 1.5);
+    }
+
+    #[test]
+    fn mean_multiplier_between_min_and_max() {
+        let p = DiurnalPattern::paper_default();
+        let mean = p.mean_multiplier();
+        assert!(mean > 1.0 && mean < p.max_multiplier());
+    }
+
+    #[test]
+    fn shifted_pattern_moves_the_peak() {
+        let p = DiurnalPattern::paper_default();
+        let s = p.shifted(8.0);
+        // The 20:30 local peak now happens at 12:30 reference time.
+        let at = |pat: &DiurnalPattern, h: f64| pat.multiplier(h * 3600.0);
+        assert!((at(&s, 12.5) - at(&p, 20.5)).abs() < 1e-9);
+        // Mean is shift-invariant.
+        assert!((s.mean_multiplier() - p.mean_multiplier()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shift_wraps_around_midnight() {
+        let p = DiurnalPattern::paper_default();
+        let s = p.shifted(23.0);
+        assert!(s.crowds().iter().all(|c| (0.0..24.0).contains(&c.peak_hour)));
+        assert!((s.mean_multiplier() - p.mean_multiplier()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mixture_is_weighted_sum() {
+        let p = DiurnalPattern::paper_default();
+        let m = DiurnalPattern::mixture(&[(0.4, p.clone()), (0.6, p.shifted(8.0))]).unwrap();
+        for h in [0.0, 6.0, 12.0, 20.5] {
+            let expect =
+                0.4 * p.multiplier(h * 3600.0) + 0.6 * p.shifted(8.0).multiplier(h * 3600.0);
+            assert!((m.multiplier(h * 3600.0) - expect).abs() < 1e-9, "hour {h}");
+        }
+    }
+
+    #[test]
+    fn timezone_mixture_is_flatter_than_single_region() {
+        // The whole point of geo multiplexing: peak-to-mean drops.
+        let p = DiurnalPattern::paper_default();
+        let m = DiurnalPattern::mixture(&[
+            (0.4, p.clone()),
+            (0.35, p.shifted(7.0)),
+            (0.25, p.shifted(14.0)),
+        ])
+        .unwrap();
+        let peak_to_mean = |pat: &DiurnalPattern| {
+            let peak = (0..24 * 60)
+                .map(|i| pat.multiplier(i as f64 * 60.0))
+                .fold(0.0_f64, f64::max);
+            peak / pat.mean_multiplier()
+        };
+        assert!(
+            peak_to_mean(&m) < 0.8 * peak_to_mean(&p),
+            "mixture {m:.2} vs single {s:.2}",
+            m = peak_to_mean(&m),
+            s = peak_to_mean(&p)
+        );
+    }
+
+    #[test]
+    fn mixture_rejects_bad_inputs() {
+        assert!(DiurnalPattern::mixture(&[]).is_err());
+        assert!(DiurnalPattern::mixture(&[(0.0, DiurnalPattern::flat())]).is_err());
+        assert!(DiurnalPattern::mixture(&[(-1.0, DiurnalPattern::flat())]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(DiurnalPattern::new(0.0, vec![]).is_err());
+        assert!(DiurnalPattern::new(
+            1.0,
+            vec![FlashCrowd { peak_hour: 25.0, width_hours: 1.0, amplitude: 1.0 }]
+        )
+        .is_err());
+        assert!(DiurnalPattern::new(
+            1.0,
+            vec![FlashCrowd { peak_hour: 1.0, width_hours: 0.0, amplitude: 1.0 }]
+        )
+        .is_err());
+        assert!(DiurnalPattern::new(
+            1.0,
+            vec![FlashCrowd { peak_hour: 1.0, width_hours: 1.0, amplitude: -1.0 }]
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Error types for workload generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing workload models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+pub(crate) fn invalid_param(name: &'static str, message: impl Into<String>) -> WorkloadError {
+    WorkloadError::InvalidParameter { name, message: message.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_parameter_name() {
+        let e = invalid_param("shape", "must exceed zero");
+        assert!(e.to_string().contains("shape"));
+        assert!(e.to_string().contains("must exceed zero"));
+    }
+}

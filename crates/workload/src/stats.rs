@@ -1,0 +1,302 @@
+//! Tracker-side statistics estimation.
+//!
+//! In the paper's dynamic provisioning algorithm (Sec. V-B), "during each
+//! interval T, the tracking server summarizes the average user arrival rate
+//! `Λ(c)` to each channel, as well as the viewing patterns `P_ij^(c)`" and
+//! reports them to the controller. This module implements that measurement
+//! function: it ingests observed join/transition/leave events and produces
+//! the empirical arrival rate, transition matrix, and first-chunk fraction
+//! `α` the capacity analysis consumes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{invalid_param, WorkloadError};
+
+/// An observation the tracker records for one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Observation {
+    /// A user joined the channel starting at `chunk`.
+    Join {
+        /// First chunk the user requested.
+        chunk: usize,
+    },
+    /// A user finished `from` and moved to `to` (sequential or VCR jump).
+    Transition {
+        /// Chunk just completed.
+        from: usize,
+        /// Chunk requested next.
+        to: usize,
+    },
+    /// A user left the channel after finishing `from`.
+    Leave {
+        /// Last chunk completed before leaving.
+        from: usize,
+    },
+}
+
+/// Accumulates per-channel observations over one measurement interval and
+/// produces the statistics of paper Sec. V-B.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelStatsCollector {
+    chunks: usize,
+    joins: u64,
+    first_chunk_joins: u64,
+    /// `transitions[i][j]` counts moves from chunk `i` to chunk `j`.
+    transitions: Vec<Vec<u64>>,
+    /// `departures[i]` counts users leaving after chunk `i`.
+    departures: Vec<u64>,
+}
+
+impl ChannelStatsCollector {
+    /// Creates a collector for a channel with `chunks` chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `chunks == 0`.
+    pub fn new(chunks: usize) -> Result<Self, WorkloadError> {
+        if chunks == 0 {
+            return Err(invalid_param("chunks", "must be positive"));
+        }
+        Ok(Self {
+            chunks,
+            joins: 0,
+            first_chunk_joins: 0,
+            transitions: vec![vec![0; chunks]; chunks],
+            departures: vec![0; chunks],
+        })
+    }
+
+    /// Number of chunks.
+    pub fn chunks(&self) -> usize {
+        self.chunks
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertion) on out-of-range chunk indices.
+    pub fn record(&mut self, obs: Observation) {
+        match obs {
+            Observation::Join { chunk } => {
+                debug_assert!(chunk < self.chunks);
+                self.joins += 1;
+                if chunk == 0 {
+                    self.first_chunk_joins += 1;
+                }
+            }
+            Observation::Transition { from, to } => {
+                debug_assert!(from < self.chunks && to < self.chunks);
+                self.transitions[from][to] += 1;
+            }
+            Observation::Leave { from } => {
+                debug_assert!(from < self.chunks);
+                self.departures[from] += 1;
+            }
+        }
+    }
+
+    /// Total joins recorded this interval.
+    pub fn joins(&self) -> u64 {
+        self.joins
+    }
+
+    /// Empirical arrival rate over an interval of `interval_seconds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_seconds` is not positive.
+    pub fn arrival_rate(&self, interval_seconds: f64) -> f64 {
+        assert!(interval_seconds > 0.0, "interval must be positive");
+        self.joins as f64 / interval_seconds
+    }
+
+    /// Empirical fraction of joins that started at the first chunk (`α`).
+    /// Returns the prior `fallback` when no joins were observed.
+    pub fn alpha(&self, fallback: f64) -> f64 {
+        if self.joins == 0 {
+            fallback
+        } else {
+            self.first_chunk_joins as f64 / self.joins as f64
+        }
+    }
+
+    /// Empirical transition matrix with additive smoothing.
+    ///
+    /// Each row is the observed frequency of `i → j` moves among all
+    /// completions of chunk `i` (transitions plus departures). Rows with no
+    /// observations fall back to `prior`, and every row is blended with the
+    /// prior at weight `smoothing` pseudo-counts so one quiet interval
+    /// cannot zero out a transition the equilibrium analysis depends on.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the prior's dimension mismatches or `smoothing`
+    /// is negative.
+    pub fn transition_matrix(
+        &self,
+        prior: &[Vec<f64>],
+        smoothing: f64,
+    ) -> Result<Vec<Vec<f64>>, WorkloadError> {
+        if prior.len() != self.chunks || prior.iter().any(|r| r.len() != self.chunks) {
+            return Err(invalid_param("prior", "dimension mismatch with collector"));
+        }
+        if !(smoothing.is_finite() && smoothing >= 0.0) {
+            return Err(invalid_param("smoothing", format!("must be non-negative, got {smoothing}")));
+        }
+        let mut rows = vec![vec![0.0; self.chunks]; self.chunks];
+        for i in 0..self.chunks {
+            let observed: u64 =
+                self.transitions[i].iter().sum::<u64>() + self.departures[i];
+            let denom = observed as f64 + smoothing;
+            if denom == 0.0 {
+                rows[i].clone_from_slice(&prior[i]);
+                continue;
+            }
+            let prior_row_mass: f64 = prior[i].iter().sum();
+            for j in 0..self.chunks {
+                let empirical = self.transitions[i][j] as f64;
+                // The prior row is substochastic; its deficit models
+                // departures, so smoothing also preserves departure mass.
+                rows[i][j] = (empirical + smoothing * prior[i][j]) / denom;
+            }
+            let _ = prior_row_mass;
+        }
+        Ok(rows)
+    }
+
+    /// Resets all counters for the next measurement interval.
+    pub fn reset(&mut self) {
+        self.joins = 0;
+        self.first_chunk_joins = 0;
+        for row in &mut self.transitions {
+            row.iter_mut().for_each(|c| *c = 0);
+        }
+        self.departures.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::viewing::{NextAction, ViewingModel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arrival_rate_counts_joins() {
+        let mut c = ChannelStatsCollector::new(4).unwrap();
+        for _ in 0..36 {
+            c.record(Observation::Join { chunk: 1 });
+        }
+        assert_eq!(c.arrival_rate(3600.0), 0.01);
+    }
+
+    #[test]
+    fn alpha_fraction_and_fallback() {
+        let mut c = ChannelStatsCollector::new(4).unwrap();
+        assert_eq!(c.alpha(0.5), 0.5);
+        c.record(Observation::Join { chunk: 0 });
+        c.record(Observation::Join { chunk: 0 });
+        c.record(Observation::Join { chunk: 2 });
+        assert!((c.alpha(0.5) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transition_matrix_pure_empirical() {
+        let mut c = ChannelStatsCollector::new(3).unwrap();
+        // From chunk 0: 3 moves to 1, 1 departure.
+        for _ in 0..3 {
+            c.record(Observation::Transition { from: 0, to: 1 });
+        }
+        c.record(Observation::Leave { from: 0 });
+        let prior = vec![vec![0.0; 3]; 3];
+        let m = c.transition_matrix(&prior, 0.0).unwrap();
+        assert!((m[0][1] - 0.75).abs() < 1e-12);
+        assert_eq!(m[0][0], 0.0);
+        // Row 0 deficit 0.25 = departure probability.
+        let row_sum: f64 = m[0].iter().sum();
+        assert!((row_sum - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unobserved_rows_fall_back_to_prior() {
+        let c = ChannelStatsCollector::new(2).unwrap();
+        let prior = vec![vec![0.0, 0.9], vec![0.1, 0.0]];
+        let m = c.transition_matrix(&prior, 0.0).unwrap();
+        assert_eq!(m, prior);
+    }
+
+    #[test]
+    fn smoothing_blends_toward_prior() {
+        let mut c = ChannelStatsCollector::new(2).unwrap();
+        c.record(Observation::Transition { from: 0, to: 1 });
+        let prior = vec![vec![0.0, 0.5], vec![0.0, 0.0]];
+        // One observation, one pseudo-count: (1 + 1*0.5) / 2 = 0.75.
+        let m = c.transition_matrix(&prior, 1.0).unwrap();
+        assert!((m[0][1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = ChannelStatsCollector::new(2).unwrap();
+        c.record(Observation::Join { chunk: 0 });
+        c.record(Observation::Transition { from: 0, to: 1 });
+        c.reset();
+        assert_eq!(c.joins(), 0);
+        let prior = vec![vec![0.0, 0.3], vec![0.0, 0.0]];
+        assert_eq!(c.transition_matrix(&prior, 0.0).unwrap(), prior);
+    }
+
+    #[test]
+    fn estimates_recover_viewing_model() {
+        // Feed sampled behaviour through the collector and verify the
+        // estimated matrix converges on the analytic routing rows.
+        let model = ViewingModel { chunks: 6, start_at_beginning: 0.6, jump_prob: 0.2, leave_prob: 0.15 };
+        let rows = model.routing_rows().unwrap();
+        let mut collector = ChannelStatsCollector::new(6).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20_000 {
+            let mut chunk = model.sample_start_chunk(&mut rng);
+            collector.record(Observation::Join { chunk });
+            loop {
+                match model.sample_next(&mut rng, chunk) {
+                    NextAction::Watch(next) => {
+                        collector.record(Observation::Transition { from: chunk, to: next });
+                        chunk = next;
+                    }
+                    NextAction::Leave => {
+                        collector.record(Observation::Leave { from: chunk });
+                        break;
+                    }
+                }
+            }
+        }
+        let prior = vec![vec![0.0; 6]; 6];
+        let est = collector.transition_matrix(&prior, 0.0).unwrap();
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!(
+                    (est[i][j] - rows[i][j]).abs() < 0.02,
+                    "P[{i}][{j}]: est {e} vs true {t}",
+                    e = est[i][j],
+                    t = rows[i][j]
+                );
+            }
+        }
+        assert!((collector.alpha(0.0) - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let c = ChannelStatsCollector::new(3).unwrap();
+        let prior = vec![vec![0.0; 2]; 2];
+        assert!(c.transition_matrix(&prior, 0.0).is_err());
+        assert!(c.transition_matrix(&vec![vec![0.0; 3]; 3], -1.0).is_err());
+    }
+
+    #[test]
+    fn zero_chunk_collector_rejected() {
+        assert!(ChannelStatsCollector::new(0).is_err());
+    }
+}

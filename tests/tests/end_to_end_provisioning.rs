@@ -1,0 +1,136 @@
+//! End-to-end behaviour of the full provisioning loop: paper-shape
+//! invariants that must hold for any healthy run.
+
+use cloudmedia_sim::config::{SimConfig, SimMode};
+use cloudmedia_sim::simulator::Simulator;
+use cloudmedia_workload::catalog::Catalog;
+use cloudmedia_workload::viewing::ViewingModel;
+
+fn small_config(mode: SimMode) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(mode);
+    cfg.catalog = Catalog::zipf(4, 0.8, ViewingModel::paper_default(), 120.0, 300.0).unwrap();
+    cfg.trace.horizon_seconds = 8.0 * 3600.0;
+    cfg
+}
+
+#[test]
+fn quality_stays_high_through_flash_crowds() {
+    for mode in [SimMode::ClientServer, SimMode::P2p] {
+        let m = Simulator::new(small_config(mode)).unwrap().run().unwrap();
+        assert!(
+            m.mean_quality() > 0.9,
+            "{mode:?}: mean quality {q}",
+            q = m.mean_quality()
+        );
+    }
+}
+
+#[test]
+fn vm_cost_respects_budget_every_interval() {
+    let cfg = small_config(SimMode::ClientServer);
+    let budget = cfg.vm_budget_per_hour;
+    let m = Simulator::new(cfg).unwrap().run().unwrap();
+    for rec in &m.intervals {
+        assert!(
+            rec.vm_hourly_cost <= budget + 1e-9,
+            "interval at {t}: ${c}/h over ${budget}/h budget",
+            t = rec.time,
+            c = rec.vm_hourly_cost
+        );
+    }
+}
+
+#[test]
+fn reserved_bandwidth_tracks_diurnal_demand() {
+    let mut cfg = small_config(SimMode::ClientServer);
+    cfg.trace.horizon_seconds = 24.0 * 3600.0;
+    let m = Simulator::new(cfg).unwrap().run().unwrap();
+    // The evening flash crowd (20:30) should force more reservation than
+    // the pre-dawn trough (04:00).
+    let at = |hour: f64| -> f64 {
+        m.samples
+            .iter()
+            .min_by(|a, b| {
+                let da = (a.time - hour * 3600.0).abs();
+                let db = (b.time - hour * 3600.0).abs();
+                da.partial_cmp(&db).unwrap()
+            })
+            .unwrap()
+            .reserved_bandwidth
+    };
+    let trough = at(4.5);
+    let peak = at(21.5);
+    assert!(
+        peak > 1.5 * trough,
+        "reserved at evening peak {peak:.0} should far exceed 4am trough {trough:.0}"
+    );
+}
+
+#[test]
+fn storage_cost_negligible_relative_to_vm_cost() {
+    let m = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
+    assert!(m.total_storage_cost > 0.0, "videos are stored");
+    assert!(
+        m.total_storage_cost < 0.005 * m.total_vm_cost,
+        "storage {s} vs VM {v}: the paper's 'cost lies at VM rentals'",
+        s = m.total_storage_cost,
+        v = m.total_vm_cost
+    );
+}
+
+#[test]
+fn popular_channels_provisioned_more() {
+    let m = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
+    let last = m.intervals.last().unwrap();
+    // Channel 0 (most popular, Zipf) should get the most bandwidth.
+    let d = &last.per_channel_demand;
+    assert!(
+        d[0] > d[3],
+        "channel demands not ordered by popularity: {d:?}"
+    );
+}
+
+#[test]
+fn placement_not_recomputed_every_hour() {
+    let m = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
+    let refreshes = m.intervals.iter().filter(|r| r.placement_refreshed).count();
+    assert!(refreshes >= 1, "initial placement happens");
+    assert!(
+        refreshes < m.intervals.len(),
+        "stable demand must not re-place storage every interval \
+         ({refreshes}/{} refreshed)",
+        m.intervals.len()
+    );
+}
+
+#[test]
+fn higher_budget_never_hurts_quality() {
+    let mut lo = small_config(SimMode::ClientServer);
+    lo.vm_budget_per_hour = 8.0;
+    let mut hi = small_config(SimMode::ClientServer);
+    hi.vm_budget_per_hour = 100.0;
+    let m_lo = Simulator::new(lo).unwrap().run().unwrap();
+    let m_hi = Simulator::new(hi).unwrap().run().unwrap();
+    assert!(m_hi.mean_quality() + 1e-9 >= m_lo.mean_quality());
+    assert!(m_hi.mean_vm_hourly_cost() + 1e-9 >= m_lo.mean_vm_hourly_cost());
+}
+
+#[test]
+fn safety_factor_increases_reservation_and_cost() {
+    let base = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
+    let mut padded_cfg = small_config(SimMode::ClientServer);
+    padded_cfg.safety_factor = 1.4;
+    let padded = Simulator::new(padded_cfg).unwrap().run().unwrap();
+    assert!(padded.mean_reserved_bandwidth() > base.mean_reserved_bandwidth());
+    assert!(padded.mean_vm_hourly_cost() >= base.mean_vm_hourly_cost());
+    assert!(padded.mean_quality() + 1e-9 >= base.mean_quality());
+}
+
+#[test]
+fn boot_latency_delays_capacity_but_not_for_long() {
+    // With the paper's 25 s boots the very first sample (5 min in) must
+    // already see running VMs.
+    let m = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
+    let first = &m.samples[0];
+    assert!(first.reserved_bandwidth > 0.0, "capacity online within the first sample");
+}

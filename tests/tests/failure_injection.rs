@@ -1,0 +1,128 @@
+//! Failure handling across the stack: infeasible budgets, over-capacity
+//! demand, rejected requests, and malformed configurations must surface
+//! as errors without corrupting state.
+
+use cloudmedia_cloud::broker::{Cloud, ResourceRequest};
+use cloudmedia_cloud::scheduler::{ChunkKey, PlacementPlan};
+use cloudmedia_cloud::CloudError;
+use cloudmedia_core::controller::{Controller, ControllerConfig, StreamingMode};
+use cloudmedia_core::predictor::{ChannelObservation, PredictorKind};
+use cloudmedia_core::CoreError;
+use cloudmedia_sim::config::{SimConfig, SimMode};
+use cloudmedia_sim::simulator::Simulator;
+use cloudmedia_workload::catalog::Catalog;
+use cloudmedia_workload::viewing::ViewingModel;
+
+fn observation(rate: f64) -> ChannelObservation {
+    let v = ViewingModel::paper_default();
+    ChannelObservation {
+        arrival_rate: rate,
+        alpha: v.start_at_beginning,
+        routing: v.routing_rows().unwrap(),
+    }
+}
+
+#[test]
+fn starved_budget_surfaces_papers_increase_signal() {
+    let mut cfg = ControllerConfig::paper_default(StreamingMode::ClientServer);
+    cfg.vm_budget_per_hour = 0.5;
+    let mut controller = Controller::new(cfg, PredictorKind::LastInterval).unwrap();
+    let sla = Cloud::paper_default().unwrap().sla_terms();
+    let err = controller.plan_interval(&[(0, observation(0.5))], &sla).unwrap_err();
+    match err {
+        CoreError::Infeasible { required_budget, configured_budget, .. } => {
+            assert!(required_budget > configured_budget);
+            assert_eq!(configured_budget, 0.5);
+        }
+        other => panic!("expected Infeasible, got {other:?}"),
+    }
+}
+
+#[test]
+fn demand_beyond_fleet_is_capacity_exceeded() {
+    let mut controller = Controller::new(
+        ControllerConfig::paper_default(StreamingMode::ClientServer),
+        PredictorKind::LastInterval,
+    )
+    .unwrap();
+    let sla = Cloud::paper_default().unwrap().sla_terms();
+    // ~4400 concurrent viewers need more than the 150-VM fleet.
+    let err = controller.plan_interval(&[(0, observation(2.0))], &sla).unwrap_err();
+    assert!(matches!(err, CoreError::CapacityExceeded { .. }), "got {err:?}");
+}
+
+#[test]
+fn rejected_cloud_request_changes_nothing() {
+    let mut cloud = Cloud::paper_default().unwrap();
+    cloud
+        .submit_request(&ResourceRequest { vm_targets: vec![5, 0, 0], placement: None })
+        .unwrap();
+    cloud.tick(100.0).unwrap();
+    let before_bw = cloud.running_bandwidth();
+    let before_chunks = cloud.nfs_scheduler().placed_chunks();
+
+    let mut placement = PlacementPlan::new();
+    placement.insert(ChunkKey { channel: 0, chunk: 0 }, 0);
+    let err = cloud
+        .submit_request(&ResourceRequest {
+            vm_targets: vec![5, 0, 46], // 46 > 45 Advanced
+            placement: Some(placement),
+        })
+        .unwrap_err();
+    assert!(matches!(err, CloudError::InsufficientVms { cluster: 2, .. }));
+    cloud.tick(200.0).unwrap();
+    assert_eq!(cloud.running_bandwidth(), before_bw);
+    assert_eq!(cloud.nfs_scheduler().placed_chunks(), before_chunks);
+}
+
+#[test]
+fn simulation_with_infeasible_budget_fails_cleanly() {
+    let mut cfg = SimConfig::paper_default(SimMode::ClientServer);
+    cfg.catalog = Catalog::zipf(2, 0.8, ViewingModel::paper_default(), 100.0, 300.0).unwrap();
+    cfg.trace.horizon_seconds = 2.0 * 3600.0;
+    cfg.vm_budget_per_hour = 0.1;
+    let err = Simulator::new(cfg).unwrap().run().unwrap_err();
+    assert!(err.to_string().contains("increase the budget"), "got: {err}");
+}
+
+#[test]
+fn time_never_goes_backwards_in_cloud() {
+    let mut cloud = Cloud::paper_default().unwrap();
+    cloud.tick(500.0).unwrap();
+    let err = cloud.tick(400.0).unwrap_err();
+    assert!(matches!(err, CloudError::TimeWentBackwards { .. }));
+    // The failed tick leaves the clock usable.
+    cloud.tick(600.0).unwrap();
+}
+
+#[test]
+fn malformed_sim_configs_rejected_up_front() {
+    let mut cfg = SimConfig::paper_default(SimMode::P2p);
+    cfg.round_seconds = -1.0;
+    assert!(Simulator::new(cfg).is_err());
+
+    let mut cfg = SimConfig::paper_default(SimMode::P2p);
+    cfg.trace.upload_min_bps = 0.0;
+    assert!(Simulator::new(cfg).is_err());
+
+    let mut cfg = SimConfig::paper_default(SimMode::P2p);
+    cfg.peer_efficiency = 1.5;
+    assert!(Simulator::new(cfg).is_err());
+}
+
+#[test]
+fn controller_recovers_after_transient_infeasibility() {
+    // An interval that fails (over-capacity) does not poison later,
+    // feasible intervals.
+    let mut controller = Controller::new(
+        ControllerConfig::paper_default(StreamingMode::ClientServer),
+        PredictorKind::LastInterval,
+    )
+    .unwrap();
+    let sla = Cloud::paper_default().unwrap().sla_terms();
+    assert!(controller.plan_interval(&[(0, observation(2.0))], &sla).is_err());
+    let plan = controller
+        .plan_interval(&[(0, observation(0.2))], &sla)
+        .expect("feasible load plans fine after a failure");
+    assert!(plan.vm_targets.iter().sum::<usize>() > 0);
+}
