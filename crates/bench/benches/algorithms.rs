@@ -8,13 +8,13 @@ use std::hint::black_box;
 
 use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters, PAPER_VM_BANDWIDTH};
 use cloudmedia_cloud::scheduler::ChunkKey;
+use cloudmedia_core::analysis::p2p::{p2p_capacity_hetero, UploadClass};
 use cloudmedia_core::analysis::{
     capacity_demand, p2p_capacity_with, pooled_capacity_demand, DemandPooling, PsiEstimator,
 };
 use cloudmedia_core::channel::ChannelModel;
 use cloudmedia_core::provisioning::storage::{ChunkDemand, StorageProblem};
 use cloudmedia_core::provisioning::vm::VmProblem;
-use cloudmedia_core::analysis::p2p::{p2p_capacity_hetero, UploadClass};
 use cloudmedia_queueing::erlang::erlang_c;
 use cloudmedia_queueing::mmm::{min_servers_for_sojourn, min_servers_for_sojourn_quantile};
 use cloudmedia_queueing::mmmk::MmmkQueue;
@@ -62,9 +62,18 @@ fn bench_capacity_analysis(c: &mut Criterion) {
     });
     c.bench_function("p2p_capacity_hetero_3_classes", |b| {
         let classes = [
-            UploadClass { share: 0.5, upload: 20_000.0 },
-            UploadClass { share: 0.3, upload: 40_000.0 },
-            UploadClass { share: 0.2, upload: 80_000.0 },
+            UploadClass {
+                share: 0.5,
+                upload: 20_000.0,
+            },
+            UploadClass {
+                share: 0.3,
+                upload: 40_000.0,
+            },
+            UploadClass {
+                share: 0.2,
+                upload: 80_000.0,
+            },
         ];
         b.iter(|| {
             p2p_capacity_hetero(
@@ -111,9 +120,13 @@ fn bench_optimizers(c: &mut Criterion) {
         b.iter_batched(
             || demands.clone(),
             |d| {
-                VmProblem { demands: &d, clusters: &vms, budget_per_hour: 100.0 }
-                    .greedy()
-                    .unwrap()
+                VmProblem {
+                    demands: &d,
+                    clusters: &vms,
+                    budget_per_hour: 100.0,
+                }
+                .greedy()
+                .unwrap()
             },
             BatchSize::SmallInput,
         )
@@ -122,9 +135,13 @@ fn bench_optimizers(c: &mut Criterion) {
         b.iter_batched(
             || demands.clone(),
             |d| {
-                VmProblem { demands: &d, clusters: &vms, budget_per_hour: 100.0 }
-                    .exact()
-                    .unwrap()
+                VmProblem {
+                    demands: &d,
+                    clusters: &vms,
+                    budget_per_hour: 100.0,
+                }
+                .exact()
+                .unwrap()
             },
             BatchSize::SmallInput,
         )
@@ -147,5 +164,10 @@ fn bench_optimizers(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_erlang, bench_capacity_analysis, bench_optimizers);
+criterion_group!(
+    benches,
+    bench_erlang,
+    bench_capacity_analysis,
+    bench_optimizers
+);
 criterion_main!(benches);

@@ -14,7 +14,10 @@ fn demands(seed: &mut u64, n: usize, scale: f64) -> Vec<ChunkDemand> {
             *seed ^= *seed >> 7;
             *seed ^= *seed << 17;
             ChunkDemand {
-                key: ChunkKey { channel: 0, chunk: i },
+                key: ChunkKey {
+                    channel: 0,
+                    chunk: i,
+                },
                 demand: (*seed % 1000) as f64 / 1000.0 * scale,
             }
         })
@@ -29,10 +32,17 @@ fn main() {
     for trial in 0..8 {
         let d = demands(&mut seed, 40, 2.0 * PAPER_VM_BANDWIDTH);
         let budget = 20.0 + trial as f64 * 10.0;
-        let p = VmProblem { demands: &d, clusters: &vms, budget_per_hour: budget };
+        let p = VmProblem {
+            demands: &d,
+            clusters: &vms,
+            budget_per_hour: budget,
+        };
         if let (Ok(g), Ok(e)) = (p.greedy(), p.exact()) {
             let gap = (e.total_utility - g.total_utility) / e.total_utility * 100.0;
-            println!("vm,{budget},{:.2},{:.2},{:.1}", g.total_utility, e.total_utility, gap);
+            println!(
+                "vm,{budget},{:.2},{:.2},{:.1}",
+                g.total_utility, e.total_utility, gap
+            );
         }
         let sd = demands(&mut seed, 40, 10.0);
         let sbudget = 0.001 + trial as f64 * 0.002;

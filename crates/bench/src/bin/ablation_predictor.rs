@@ -12,7 +12,10 @@ fn main() {
     println!("predictor,mode,mean_quality,mean_vm_cost_per_hour,mean_reserved_mbps");
     for (name, kind) in [
         ("last_interval", PredictorKind::LastInterval),
-        ("moving_average_3", PredictorKind::MovingAverage { window: 3 }),
+        (
+            "moving_average_3",
+            PredictorKind::MovingAverage { window: 3 },
+        ),
         ("ewma_0.5", PredictorKind::Ewma { weight: 0.5 }),
     ] {
         for mode in [SimMode::ClientServer, SimMode::P2p] {

@@ -18,12 +18,19 @@ use cloudmedia_core::predictor::{ChannelObservation, PredictorKind};
 use cloudmedia_workload::diurnal::DiurnalPattern;
 
 fn sla() -> SlaTerms {
-    SlaTerms { virtual_clusters: paper_virtual_clusters(), nfs_clusters: paper_nfs_clusters() }
+    SlaTerms {
+        virtual_clusters: paper_virtual_clusters(),
+        nfs_clusters: paper_nfs_clusters(),
+    }
 }
 
 fn observation(rate: f64) -> ChannelObservation {
     let model = ChannelModel::paper_default(0, rate);
-    ChannelObservation { arrival_rate: rate, alpha: model.alpha, routing: model.routing }
+    ChannelObservation {
+        arrival_rate: rate,
+        alpha: model.alpha,
+        routing: model.routing,
+    }
 }
 
 fn main() {
@@ -63,7 +70,9 @@ fn main() {
             .collect();
         let stats: Vec<Vec<(usize, ChannelObservation)>> =
             rates.iter().map(|&r| vec![(0, observation(r))]).collect();
-        let geo_plan = geo.plan_interval(&stats, &slas).expect("geo interval plans");
+        let geo_plan = geo
+            .plan_interval(&stats, &slas)
+            .expect("geo interval plans");
 
         let total_rate: f64 = rates.iter().sum();
         let central_plan = central
@@ -101,6 +110,10 @@ fn main() {
          and must rent pricier Medium/Advanced instances, while every geo site \
          stays within its own Standard fleet — and serves all viewers locally.",
         (geo_total / central_total - 1.0).abs() * 100.0,
-        if geo_total <= central_total { "cheaper" } else { "dearer" },
+        if geo_total <= central_total {
+            "cheaper"
+        } else {
+            "dearer"
+        },
     );
 }

@@ -82,7 +82,11 @@ pub fn csv(rows: &[ChunkSizeRow]) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:.0},{},{:.2},{:.2},{:.3}\n",
-            r.chunk_seconds, r.chunks, r.switches_per_session, r.provisioned_mbps, r.wasted_fetch_prob
+            r.chunk_seconds,
+            r.chunks,
+            r.switches_per_session,
+            r.provisioned_mbps,
+            r.wasted_fetch_prob
         ));
     }
     out

@@ -35,11 +35,11 @@ pub fn config_for_ratio(ratio: f64, hours: f64) -> SimConfig {
 ///
 /// Panics if a simulation fails.
 pub fn run(hours: f64) -> Vec<(f64, Metrics)> {
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = RATIOS
             .iter()
             .map(|&ratio| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let cfg = config_for_ratio(ratio, hours);
                     let m = Simulator::new(cfg)
                         .expect("fig11 config is valid")
@@ -49,9 +49,11 @@ pub fn run(hours: f64) -> Vec<(f64, Metrics)> {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("fig11 thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fig11 thread"))
+            .collect()
     })
-    .expect("scoped threads")
 }
 
 /// CSV: day, one quality column per ratio.

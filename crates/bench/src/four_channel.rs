@@ -23,7 +23,8 @@ pub fn four_channel_catalog() -> Catalog {
     let total: f64 = CHANNEL_SIZES.iter().sum();
     // Catalog::zipf calibrates population at multiplier 1; divide by the
     // diurnal mean so the *average* population lands on the target.
-    let diurnal_mean = cloudmedia_workload::diurnal::DiurnalPattern::paper_default().mean_multiplier();
+    let diurnal_mean =
+        cloudmedia_workload::diurnal::DiurnalPattern::paper_default().mean_multiplier();
     let base = Catalog::zipf(4, 0.0, viewing, total / diurnal_mean, 300.0)
         .expect("four-channel catalog parameters are valid");
     // Reweight the uniform catalog to the target size ratios.
@@ -58,9 +59,8 @@ pub fn run(hours: f64) -> Metrics {
 /// utility `Σ u_f Δ_i x_if` is reported with `Δ` in Mbps so the scale is
 /// comparable to the paper's 0–200 axis.
 pub fn fig8_csv(m: &Metrics) -> String {
-    let mut out = String::from(
-        "hour,ch1_size60_storage_utility,ch2_size100,ch3_size200,ch4_size600\n",
-    );
+    let mut out =
+        String::from("hour,ch1_size60_storage_utility,ch2_size100,ch3_size200,ch4_size600\n");
     let scale = 8.0 / 1e6;
     for rec in &m.intervals {
         out.push_str(&format!(

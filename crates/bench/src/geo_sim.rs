@@ -69,40 +69,50 @@ pub fn run(mode: SimMode, hours: f64) -> GeoSimResult {
             .iter()
             .map(|r| (r.population_share, diurnal.shifted(r.timezone_offset_hours)))
             .collect();
-        cfg.trace.diurnal =
-            DiurnalPattern::mixture(&parts).expect("region shares are positive");
+        cfg.trace.diurnal = DiurnalPattern::mixture(&parts).expect("region shares are positive");
         cfg
     };
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let region_handles: Vec<_> = regions
             .iter()
             .map(|r| {
                 let cfg = region_cfg(r);
-                s.spawn(move |_| {
-                    Simulator::new(cfg).expect("region config valid").run().expect("region run")
+                s.spawn(move || {
+                    Simulator::new(cfg)
+                        .expect("region config valid")
+                        .run()
+                        .expect("region run")
                 })
             })
             .collect();
-        let central_handle = s.spawn(move |_| {
-            Simulator::new(central_cfg).expect("central config valid").run().expect("central run")
+        let central_handle = s.spawn(move || {
+            Simulator::new(central_cfg)
+                .expect("central config valid")
+                .run()
+                .expect("central run")
         });
         let per_region = regions
             .iter()
             .cloned()
-            .zip(region_handles.into_iter().map(|h| h.join().expect("region thread")))
+            .zip(
+                region_handles
+                    .into_iter()
+                    .map(|h| h.join().expect("region thread")),
+            )
             .collect();
         let central = central_handle.join().expect("central thread");
-        GeoSimResult { per_region, central }
+        GeoSimResult {
+            per_region,
+            central,
+        }
     })
-    .expect("scoped threads")
 }
 
 /// CSV summary of the comparison.
 pub fn csv(result: &GeoSimResult) -> String {
-    let mut out = String::from(
-        "deployment,mean_quality,total_vm_cost,mean_reserved_mbps,peak_peers\n",
-    );
+    let mut out =
+        String::from("deployment,mean_quality,total_vm_cost,mean_reserved_mbps,peak_peers\n");
     for (r, m) in &result.per_region {
         out.push_str(&format!(
             "geo_{},{:.4},{:.2},{:.1},{}\n",
@@ -148,7 +158,12 @@ mod tests {
     #[test]
     fn central_peak_population_exceeds_any_single_region() {
         let r = run(SimMode::ClientServer, 4.0);
-        let max_region = r.per_region.iter().map(|(_, m)| m.peak_peers()).max().unwrap();
+        let max_region = r
+            .per_region
+            .iter()
+            .map(|(_, m)| m.peak_peers())
+            .max()
+            .unwrap();
         assert!(r.central.peak_peers() > max_region);
     }
 }

@@ -71,12 +71,7 @@ pub fn paper_runs(hours: f64) -> PaperRuns {
             .run()
             .expect("paper-scale run succeeds")
     };
-    let (cs, p2p) = crossbeam::thread::scope(|s| {
-        let cs = s.spawn(|_| run(SimMode::ClientServer));
-        let p2p = s.spawn(|_| run(SimMode::P2p));
-        (cs.join().expect("C/S run thread"), p2p.join().expect("P2P run thread"))
-    })
-    .expect("scoped threads");
+    let (cs, p2p) = rayon::join(|| run(SimMode::ClientServer), || run(SimMode::P2p));
     PaperRuns { cs, p2p }
 }
 

@@ -33,7 +33,10 @@ pub fn measure(fleet_sizes: &[usize], resolution: f64) -> Vec<LatencyRow> {
             // Spread the request across clusters like the controller does.
             let targets = spread(n);
             cloud
-                .submit_request(&ResourceRequest { vm_targets: targets.clone(), placement: None })
+                .submit_request(&ResourceRequest {
+                    vm_targets: targets.clone(),
+                    placement: None,
+                })
                 .expect("fleet fits Table II");
             let want_bw = n as f64 * 1.25e6;
             let mut t = 0.0;
@@ -44,7 +47,10 @@ pub fn measure(fleet_sizes: &[usize], resolution: f64) -> Vec<LatencyRow> {
             }
             let time_to_running = t;
             cloud
-                .submit_request(&ResourceRequest { vm_targets: vec![0, 0, 0], placement: None })
+                .submit_request(&ResourceRequest {
+                    vm_targets: vec![0, 0, 0],
+                    placement: None,
+                })
                 .expect("scale-down is valid");
             let down_start = t;
             while cloud.vm_scheduler().billable_counts().iter().sum::<usize>() > 0 {
@@ -52,7 +58,11 @@ pub fn measure(fleet_sizes: &[usize], resolution: f64) -> Vec<LatencyRow> {
                 cloud.tick(t).expect("time advances");
                 assert!(t < down_start + 3600.0, "scale-down did not converge");
             }
-            LatencyRow { fleet_size: n, time_to_running, time_to_off: t - down_start }
+            LatencyRow {
+                fleet_size: n,
+                time_to_running,
+                time_to_off: t - down_start,
+            }
         })
         .collect()
 }
@@ -74,7 +84,10 @@ fn spread(n: usize) -> Vec<usize> {
 pub fn csv(rows: &[LatencyRow]) -> String {
     let mut out = String::from("fleet_size,time_to_running_s,time_to_off_s\n");
     for r in rows {
-        out.push_str(&format!("{},{:.0},{:.0}\n", r.fleet_size, r.time_to_running, r.time_to_off));
+        out.push_str(&format!(
+            "{},{:.0},{:.0}\n",
+            r.fleet_size, r.time_to_running, r.time_to_off
+        ));
     }
     out
 }

@@ -8,7 +8,8 @@ use crate::harness::{mbps, q3, PaperRuns};
 /// Fig. 4 — cloud capacity provisioning vs usage over time, both modes.
 /// Columns: hour, C/S reserved, C/S used, P2P reserved, P2P used (Mbps).
 pub fn fig4(runs: &PaperRuns) -> String {
-    let mut out = String::from("hour,cs_reserved_mbps,cs_used_mbps,p2p_reserved_mbps,p2p_used_mbps\n");
+    let mut out =
+        String::from("hour,cs_reserved_mbps,cs_used_mbps,p2p_reserved_mbps,p2p_used_mbps\n");
     for (a, b) in runs.cs.samples.iter().zip(&runs.p2p.samples) {
         out.push_str(&format!(
             "{:.2},{},{},{},{}\n",
@@ -41,7 +42,12 @@ pub fn fig4_summary(runs: &PaperRuns) -> String {
 pub fn fig5(runs: &PaperRuns) -> String {
     let mut out = String::from("hour,cs_quality,p2p_quality\n");
     for (a, b) in runs.cs.samples.iter().zip(&runs.p2p.samples) {
-        out.push_str(&format!("{:.2},{},{}\n", a.time / 3600.0, q3(a.quality), q3(b.quality)));
+        out.push_str(&format!(
+            "{:.2},{},{}\n",
+            a.time / 3600.0,
+            q3(a.quality),
+            q3(b.quality)
+        ));
     }
     out
 }
@@ -95,8 +101,18 @@ pub fn fig10(runs: &PaperRuns, day: usize) -> String {
     let from = day as f64 * 86_400.0;
     let to = from + 86_400.0;
     let mut out = String::from("hour,cs_cost_per_hour,p2p_cost_per_hour\n");
-    let cs: Vec<_> = runs.cs.intervals.iter().filter(|r| r.time >= from && r.time < to).collect();
-    let p2p: Vec<_> = runs.p2p.intervals.iter().filter(|r| r.time >= from && r.time < to).collect();
+    let cs: Vec<_> = runs
+        .cs
+        .intervals
+        .iter()
+        .filter(|r| r.time >= from && r.time < to)
+        .collect();
+    let p2p: Vec<_> = runs
+        .p2p
+        .intervals
+        .iter()
+        .filter(|r| r.time >= from && r.time < to)
+        .collect();
     for (a, b) in cs.iter().zip(&p2p) {
         out.push_str(&format!(
             "{:.0},{:.2},{:.2}\n",

@@ -105,7 +105,9 @@ fn parse_mode(v: &str) -> Result<SimMode, CliError> {
     match v {
         "cs" | "client-server" => Ok(SimMode::ClientServer),
         "p2p" => Ok(SimMode::P2p),
-        other => Err(CliError::Usage(format!("unknown mode `{other}` (use cs|p2p)"))),
+        other => Err(CliError::Usage(format!(
+            "unknown mode `{other}` (use cs|p2p)"
+        ))),
     }
 }
 
@@ -113,7 +115,8 @@ fn take_value<'a>(
     args: &mut impl Iterator<Item = &'a str>,
     flag: &str,
 ) -> Result<&'a str, CliError> {
-    args.next().ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))
+    args.next()
+        .ok_or_else(|| CliError::Usage(format!("{flag} requires a value")))
 }
 
 /// Parses argv (without the program name) into a [`Command`].
@@ -142,7 +145,10 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
             }
             let arrival_rate = arrival_rate
                 .ok_or_else(|| CliError::Usage("analyze requires --arrival-rate".into()))?;
-            Ok(Command::Analyze { arrival_rate, mean_upload })
+            Ok(Command::Analyze {
+                arrival_rate,
+                mean_upload,
+            })
         }
         "plan" => {
             let mut rates = None;
@@ -168,7 +174,11 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
             if arrival_rates.is_empty() {
                 return Err(CliError::Usage("at least one arrival rate required".into()));
             }
-            Ok(Command::Plan { arrival_rates, mode, budget })
+            Ok(Command::Plan {
+                arrival_rates,
+                mode,
+                budget,
+            })
         }
         "simulate" => {
             let mut mode = SimMode::P2p;
@@ -184,7 +194,12 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                     other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
                 }
             }
-            Ok(Command::Simulate { mode, hours, config_path, out_path })
+            Ok(Command::Simulate {
+                mode,
+                hours,
+                config_path,
+                out_path,
+            })
         }
         "default-config" => {
             let mut mode = SimMode::P2p;
@@ -201,11 +216,15 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
 }
 
 fn parse_f64(v: &str, flag: &str) -> Result<f64, CliError> {
-    v.parse().map_err(|_| CliError::Usage(format!("bad value `{v}` for {flag}")))
+    v.parse()
+        .map_err(|_| CliError::Usage(format!("bad value `{v}` for {flag}")))
 }
 
 fn paper_sla() -> SlaTerms {
-    SlaTerms { virtual_clusters: paper_virtual_clusters(), nfs_clusters: paper_nfs_clusters() }
+    SlaTerms {
+        virtual_clusters: paper_virtual_clusters(),
+        nfs_clusters: paper_nfs_clusters(),
+    }
 }
 
 /// Executes a command and returns its stdout text.
@@ -216,11 +235,21 @@ fn paper_sla() -> SlaTerms {
 pub fn run(cmd: Command) -> Result<String, CliError> {
     match cmd {
         Command::Help => Ok(USAGE.to_owned()),
-        Command::Analyze { arrival_rate, mean_upload } => analyze(arrival_rate, mean_upload),
-        Command::Plan { arrival_rates, mode, budget } => plan(&arrival_rates, mode, budget),
-        Command::Simulate { mode, hours, config_path, out_path } => {
-            simulate(mode, hours, config_path.as_deref(), out_path.as_deref())
-        }
+        Command::Analyze {
+            arrival_rate,
+            mean_upload,
+        } => analyze(arrival_rate, mean_upload),
+        Command::Plan {
+            arrival_rates,
+            mode,
+            budget,
+        } => plan(&arrival_rates, mode, budget),
+        Command::Simulate {
+            mode,
+            hours,
+            config_path,
+            out_path,
+        } => simulate(mode, hours, config_path.as_deref(), out_path.as_deref()),
         Command::DefaultConfig { mode } => {
             serde_json::to_string_pretty(&SimConfig::paper_default(mode))
                 .map(|mut s| {
@@ -245,21 +274,40 @@ fn analyze(arrival_rate: f64, mean_upload: f64) -> Result<String, CliError> {
     .map_err(|e| CliError::Run(format!("P2P analysis failed: {e}")))?;
     let mut out = String::new();
     let mbps = |b: f64| b * 8.0 / 1e6;
-    let population: f64 =
-        cs.arrival_rates.iter().map(|l| l * channel.chunk_seconds).sum();
-    let _ = writeln!(out, "channel: arrival rate {arrival_rate}/s, ~{population:.0} concurrent viewers");
-    let _ = writeln!(out, "client-server cloud demand: {:.1} Mbps", mbps(cs.total_upload_demand()));
-    let _ = writeln!(out, "P2P peer contribution:      {:.1} Mbps", mbps(p2p.total_peer_contribution()));
-    let _ = writeln!(out, "P2P cloud demand:           {:.1} Mbps", mbps(p2p.total_cloud_demand()));
+    let population: f64 = cs
+        .arrival_rates
+        .iter()
+        .map(|l| l * channel.chunk_seconds)
+        .sum();
+    let _ = writeln!(
+        out,
+        "channel: arrival rate {arrival_rate}/s, ~{population:.0} concurrent viewers"
+    );
+    let _ = writeln!(
+        out,
+        "client-server cloud demand: {:.1} Mbps",
+        mbps(cs.total_upload_demand())
+    );
+    let _ = writeln!(
+        out,
+        "P2P peer contribution:      {:.1} Mbps",
+        mbps(p2p.total_peer_contribution())
+    );
+    let _ = writeln!(
+        out,
+        "P2P cloud demand:           {:.1} Mbps",
+        mbps(p2p.total_cloud_demand())
+    );
     Ok(out)
 }
 
 fn plan(rates: &[f64], mode: SimMode, budget: f64) -> Result<String, CliError> {
     let streaming_mode = match mode {
         SimMode::ClientServer => StreamingMode::ClientServer,
-        SimMode::P2p => {
-            StreamingMode::P2p { mean_upload: 34_000.0, psi: PsiEstimator::Independent }
-        }
+        SimMode::P2p => StreamingMode::P2p {
+            mean_upload: 34_000.0,
+            psi: PsiEstimator::Independent,
+        },
     };
     let mut config = ControllerConfig::paper_default(streaming_mode);
     config.vm_budget_per_hour = budget;
@@ -270,20 +318,35 @@ fn plan(rates: &[f64], mode: SimMode, budget: f64) -> Result<String, CliError> {
         .enumerate()
         .map(|(id, &rate)| {
             let model = ChannelModel::paper_default(id, rate);
-            (id, ChannelObservation { arrival_rate: rate, alpha: model.alpha, routing: model.routing })
+            (
+                id,
+                ChannelObservation {
+                    arrival_rate: rate,
+                    alpha: model.alpha,
+                    routing: model.routing,
+                },
+            )
         })
         .collect();
     let plan = controller
         .plan_interval(&stats, &paper_sla())
         .map_err(|e| CliError::Run(format!("planning failed: {e}")))?;
     let mut out = String::new();
-    let _ = writeln!(out, "channels: {}, mode: {mode:?}, budget ${budget}/h", rates.len());
+    let _ = writeln!(
+        out,
+        "channels: {}, mode: {mode:?}, budget ${budget}/h",
+        rates.len()
+    );
     let _ = writeln!(
         out,
         "VM targets [Standard, Medium, Advanced]: {:?} (${:.2}/h)",
         plan.vm_targets, plan.vm_plan.integer_hourly_cost
     );
-    let _ = writeln!(out, "cloud demand: {:.1} Mbps", plan.total_cloud_demand * 8.0 / 1e6);
+    let _ = writeln!(
+        out,
+        "cloud demand: {:.1} Mbps",
+        plan.total_cloud_demand * 8.0 / 1e6
+    );
     if plan.expected_peer_contribution > 0.0 {
         let _ = writeln!(
             out,
@@ -363,18 +426,42 @@ mod tests {
     #[test]
     fn parse_analyze() {
         let c = parse(&["analyze", "--arrival-rate", "0.2"]).unwrap();
-        assert_eq!(c, Command::Analyze { arrival_rate: 0.2, mean_upload: 34_000.0 });
+        assert_eq!(
+            c,
+            Command::Analyze {
+                arrival_rate: 0.2,
+                mean_upload: 34_000.0
+            }
+        );
         let c = parse(&["analyze", "--arrival-rate", "0.2", "--upload", "50000"]).unwrap();
-        assert_eq!(c, Command::Analyze { arrival_rate: 0.2, mean_upload: 50_000.0 });
+        assert_eq!(
+            c,
+            Command::Analyze {
+                arrival_rate: 0.2,
+                mean_upload: 50_000.0
+            }
+        );
     }
 
     #[test]
     fn parse_plan() {
-        let c = parse(&["plan", "--arrival-rates", "0.1,0.2", "--mode", "p2p", "--budget", "50"])
-            .unwrap();
+        let c = parse(&[
+            "plan",
+            "--arrival-rates",
+            "0.1,0.2",
+            "--mode",
+            "p2p",
+            "--budget",
+            "50",
+        ])
+        .unwrap();
         assert_eq!(
             c,
-            Command::Plan { arrival_rates: vec![0.1, 0.2], mode: SimMode::P2p, budget: 50.0 }
+            Command::Plan {
+                arrival_rates: vec![0.1, 0.2],
+                mode: SimMode::P2p,
+                budget: 50.0
+            }
         );
     }
 
@@ -383,7 +470,12 @@ mod tests {
         let c = parse(&["simulate"]).unwrap();
         assert_eq!(
             c,
-            Command::Simulate { mode: SimMode::P2p, hours: 24.0, config_path: None, out_path: None }
+            Command::Simulate {
+                mode: SimMode::P2p,
+                hours: 24.0,
+                config_path: None,
+                out_path: None
+            }
         );
     }
 
@@ -391,15 +483,31 @@ mod tests {
     fn parse_errors_are_usage_errors() {
         assert!(matches!(parse(&["bogus"]), Err(CliError::Usage(_))));
         assert!(matches!(parse(&["analyze"]), Err(CliError::Usage(_))));
-        assert!(matches!(parse(&["analyze", "--arrival-rate"]), Err(CliError::Usage(_))));
-        assert!(matches!(parse(&["analyze", "--arrival-rate", "abc"]), Err(CliError::Usage(_))));
-        assert!(matches!(parse(&["simulate", "--mode", "ftp"]), Err(CliError::Usage(_))));
-        assert!(matches!(parse(&["plan", "--arrival-rates", ""]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            parse(&["analyze", "--arrival-rate"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["analyze", "--arrival-rate", "abc"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["simulate", "--mode", "ftp"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["plan", "--arrival-rates", ""]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
     fn analyze_runs_and_reports_p2p_savings() {
-        let out = run(Command::Analyze { arrival_rate: 0.2, mean_upload: 34_000.0 }).unwrap();
+        let out = run(Command::Analyze {
+            arrival_rate: 0.2,
+            mean_upload: 34_000.0,
+        })
+        .unwrap();
         assert!(out.contains("client-server cloud demand"));
         assert!(out.contains("P2P cloud demand"));
     }
@@ -424,7 +532,10 @@ mod tests {
             budget: 0.5,
         })
         .unwrap_err();
-        assert!(err.to_string().contains("increase the budget"), "got: {err}");
+        assert!(
+            err.to_string().contains("increase the budget"),
+            "got: {err}"
+        );
     }
 
     #[test]

@@ -51,7 +51,10 @@ impl BillingMeter {
             s.validate()?;
         }
         Ok(Self {
-            vm_prices: virtual_clusters.iter().map(|s| s.price.dollars_per_hour).collect(),
+            vm_prices: virtual_clusters
+                .iter()
+                .map(|s| s.price.dollars_per_hour)
+                .collect(),
             storage_prices: nfs_clusters
                 .iter()
                 .map(|s| s.price_per_gb.dollars_per_hour)
@@ -78,12 +81,19 @@ impl BillingMeter {
         stored_bytes: &[u64],
     ) -> Result<LedgerEntry, CloudError> {
         if now < self.last_accrual {
-            return Err(CloudError::TimeWentBackwards { last: self.last_accrual, submitted: now });
+            return Err(CloudError::TimeWentBackwards {
+                last: self.last_accrual,
+                submitted: now,
+            });
         }
         if billable_vms.len() != self.vm_prices.len() {
             return Err(invalid_param(
                 "billable_vms",
-                format!("expected {} clusters, got {}", self.vm_prices.len(), billable_vms.len()),
+                format!(
+                    "expected {} clusters, got {}",
+                    self.vm_prices.len(),
+                    billable_vms.len()
+                ),
             ));
         }
         if stored_bytes.len() != self.storage_prices.len() {
@@ -111,7 +121,11 @@ impl BillingMeter {
         self.vm_cost += vm_inc;
         self.storage_cost += storage_inc;
         self.last_accrual = now;
-        let entry = LedgerEntry { time: now, vm_cost: vm_inc, storage_cost: storage_inc };
+        let entry = LedgerEntry {
+            time: now,
+            vm_cost: vm_inc,
+            storage_cost: storage_inc,
+        };
         self.ledger.push(entry);
         Ok(entry)
     }
@@ -190,7 +204,9 @@ mod tests {
     fn storage_cost_per_gb_hour() {
         let mut m = meter();
         // 1 GB on Standard for 1 h = $1.11e-4; 2 GB on High = $4.16e-4.
-        let e = m.accrue(3600.0, &[0, 0, 0], &[1_000_000_000, 2_000_000_000]).unwrap();
+        let e = m
+            .accrue(3600.0, &[0, 0, 0], &[1_000_000_000, 2_000_000_000])
+            .unwrap();
         assert!((e.storage_cost.as_dollars() - (1.11e-4 + 4.16e-4)).abs() < 1e-12);
     }
 
@@ -198,7 +214,10 @@ mod tests {
     fn accrual_is_prorated_by_time() {
         let mut m = meter();
         m.accrue(1800.0, &[2, 0, 0], &[0, 0]).unwrap();
-        assert!((m.vm_cost().as_dollars() - 0.45).abs() < 1e-12, "2 VMs x 0.5 h");
+        assert!(
+            (m.vm_cost().as_dollars() - 0.45).abs() < 1e-12,
+            "2 VMs x 0.5 h"
+        );
         m.accrue(3600.0, &[4, 0, 0], &[0, 0]).unwrap();
         assert!((m.vm_cost().as_dollars() - (0.45 + 0.9)).abs() < 1e-12);
     }

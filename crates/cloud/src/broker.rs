@@ -59,7 +59,12 @@ impl Cloud {
         let billing = BillingMeter::new(&virtual_clusters, &nfs_clusters)?;
         let vms = VmScheduler::new(virtual_clusters)?;
         let nfs = NfsScheduler::new(nfs_clusters, chunk_bytes)?;
-        Ok(Self { vms, nfs, billing, clock: 0.0 })
+        Ok(Self {
+            vms,
+            nfs,
+            billing,
+            clock: 0.0,
+        })
     }
 
     /// The paper's experimental cloud: Table II VM clusters, Table III NFS
@@ -101,15 +106,20 @@ impl Cloud {
     /// Rejects time moving backwards.
     pub fn tick(&mut self, now: f64) -> Result<(), CloudError> {
         if now < self.clock {
-            return Err(CloudError::TimeWentBackwards { last: self.clock, submitted: now });
+            return Err(CloudError::TimeWentBackwards {
+                last: self.clock,
+                submitted: now,
+            });
         }
         let mut cursor = self.clock;
         while let Some(change) = self.vms.next_billing_change(cursor, now) {
-            self.billing.accrue(change, &self.vms.billable_counts(), self.nfs.used_bytes())?;
+            self.billing
+                .accrue(change, self.vms.billable_counts(), self.nfs.used_bytes())?;
             self.vms.tick(change)?;
             cursor = change;
         }
-        self.billing.accrue(now, &self.vms.billable_counts(), self.nfs.used_bytes())?;
+        self.billing
+            .accrue(now, self.vms.billable_counts(), self.nfs.used_bytes())?;
         self.vms.tick(now)?;
         self.clock = now;
         Ok(())
@@ -138,7 +148,11 @@ impl Cloud {
         for (cluster, &target) in request.vm_targets.iter().enumerate() {
             let max = self.vms.specs()[cluster].max_vms;
             if target > max {
-                return Err(CloudError::InsufficientVms { cluster, requested: target, available: max });
+                return Err(CloudError::InsufficientVms {
+                    cluster,
+                    requested: target,
+                    available: max,
+                });
             }
         }
         for (cluster, &target) in request.vm_targets.iter().enumerate() {
@@ -195,7 +209,13 @@ mod tests {
         let mut cloud = Cloud::paper_default().unwrap();
         let mut placement = PlacementPlan::new();
         for i in 0..10 {
-            placement.insert(ChunkKey { channel: 0, chunk: i }, 1);
+            placement.insert(
+                ChunkKey {
+                    channel: 0,
+                    chunk: i,
+                },
+                1,
+            );
         }
         cloud
             .submit_request(&ResourceRequest {
@@ -221,7 +241,10 @@ mod tests {
         // ready within one boot latency.
         let mut cloud = Cloud::paper_default().unwrap();
         cloud
-            .submit_request(&ResourceRequest { vm_targets: vec![75, 30, 45], placement: None })
+            .submit_request(&ResourceRequest {
+                vm_targets: vec![75, 30, 45],
+                placement: None,
+            })
             .unwrap();
         cloud.tick(25.0).unwrap();
         let total = 75.0 + 30.0 + 45.0;
@@ -232,34 +255,56 @@ mod tests {
     fn rejected_vm_target_applies_nothing() {
         let mut cloud = Cloud::paper_default().unwrap();
         let mut placement = PlacementPlan::new();
-        placement.insert(ChunkKey { channel: 0, chunk: 0 }, 0);
+        placement.insert(
+            ChunkKey {
+                channel: 0,
+                chunk: 0,
+            },
+            0,
+        );
         let err = cloud
             .submit_request(&ResourceRequest {
                 vm_targets: vec![10, 99, 0], // 99 > 30 Medium VMs
                 placement: Some(placement),
             })
             .unwrap_err();
-        assert!(matches!(err, CloudError::InsufficientVms { cluster: 1, .. }));
+        assert!(matches!(
+            err,
+            CloudError::InsufficientVms { cluster: 1, .. }
+        ));
         cloud.tick(60.0).unwrap();
         assert_eq!(cloud.running_bandwidth(), 0.0, "no VMs launched");
-        assert_eq!(cloud.nfs_scheduler().placed_chunks(), 0, "no placement applied");
+        assert_eq!(
+            cloud.nfs_scheduler().placed_chunks(),
+            0,
+            "no placement applied"
+        );
     }
 
     #[test]
     fn scale_down_stops_billing_after_shutdown() {
         let mut cloud = Cloud::paper_default().unwrap();
         cloud
-            .submit_request(&ResourceRequest { vm_targets: vec![20, 0, 0], placement: None })
+            .submit_request(&ResourceRequest {
+                vm_targets: vec![20, 0, 0],
+                placement: None,
+            })
             .unwrap();
         cloud.tick(3600.0).unwrap();
         cloud
-            .submit_request(&ResourceRequest { vm_targets: vec![0, 0, 0], placement: None })
+            .submit_request(&ResourceRequest {
+                vm_targets: vec![0, 0, 0],
+                placement: None,
+            })
             .unwrap();
         cloud.tick(3610.0).unwrap(); // shutdown completes
         let cost_before = cloud.billing().total_cost();
         cloud.tick(7200.0).unwrap();
         let cost_after = cloud.billing().total_cost();
-        assert!((cost_after - cost_before).as_dollars() < 1e-9, "no further charges");
+        assert!(
+            (cost_after - cost_before).as_dollars() < 1e-9,
+            "no further charges"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ impl VirtualClusterSpec {
     /// Returns an error for non-positive utility, bandwidth, or price.
     pub fn validate(&self) -> Result<(), CloudError> {
         if !(self.utility.is_finite() && self.utility > 0.0) {
-            return Err(invalid_param("utility", format!("must be positive, got {}", self.utility)));
+            return Err(invalid_param(
+                "utility",
+                format!("must be positive, got {}", self.utility),
+            ));
         }
         if !(self.price.dollars_per_hour.is_finite() && self.price.dollars_per_hour > 0.0) {
             return Err(invalid_param(
@@ -78,14 +81,20 @@ impl NfsClusterSpec {
     /// Returns an error for non-positive utility, price, or capacity.
     pub fn validate(&self) -> Result<(), CloudError> {
         if !(self.utility.is_finite() && self.utility > 0.0) {
-            return Err(invalid_param("utility", format!("must be positive, got {}", self.utility)));
+            return Err(invalid_param(
+                "utility",
+                format!("must be positive, got {}", self.utility),
+            ));
         }
         if !(self.price_per_gb.dollars_per_hour.is_finite()
             && self.price_per_gb.dollars_per_hour > 0.0)
         {
             return Err(invalid_param(
                 "price_per_gb",
-                format!("must be positive, got {}", self.price_per_gb.dollars_per_hour),
+                format!(
+                    "must be positive, got {}",
+                    self.price_per_gb.dollars_per_hour
+                ),
             ));
         }
         if self.capacity_bytes == 0 {

@@ -55,11 +55,19 @@ impl fmt::Display for CloudError {
             CloudError::UnknownCluster { cluster } => {
                 write!(f, "unknown cluster {cluster}")
             }
-            CloudError::InsufficientVms { cluster, requested, available } => write!(
+            CloudError::InsufficientVms {
+                cluster,
+                requested,
+                available,
+            } => write!(
                 f,
                 "cluster {cluster} cannot provision {requested} VMs (only {available} available)"
             ),
-            CloudError::InsufficientStorage { cluster, requested_bytes, available_bytes } => {
+            CloudError::InsufficientStorage {
+                cluster,
+                requested_bytes,
+                available_bytes,
+            } => {
                 write!(
                     f,
                     "NFS cluster {cluster} cannot store {requested_bytes} bytes \
@@ -76,7 +84,10 @@ impl fmt::Display for CloudError {
 impl Error for CloudError {}
 
 pub(crate) fn invalid_param(name: &'static str, message: impl Into<String>) -> CloudError {
-    CloudError::InvalidParameter { name, message: message.into() }
+    CloudError::InvalidParameter {
+        name,
+        message: message.into(),
+    }
 }
 
 #[cfg(test)]
@@ -85,9 +96,17 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(invalid_param("price", "negative").to_string().contains("price"));
-        assert!(CloudError::UnknownCluster { cluster: 3 }.to_string().contains('3'));
-        let e = CloudError::InsufficientVms { cluster: 1, requested: 80, available: 75 };
+        assert!(invalid_param("price", "negative")
+            .to_string()
+            .contains("price"));
+        assert!(CloudError::UnknownCluster { cluster: 3 }
+            .to_string()
+            .contains('3'));
+        let e = CloudError::InsufficientVms {
+            cluster: 1,
+            requested: 80,
+            available: 75,
+        };
         assert!(e.to_string().contains("80"));
         let e = CloudError::InsufficientStorage {
             cluster: 0,
@@ -95,7 +114,10 @@ mod tests {
             available_bytes: 5,
         };
         assert!(e.to_string().contains("10"));
-        let e = CloudError::TimeWentBackwards { last: 5.0, submitted: 1.0 };
+        let e = CloudError::TimeWentBackwards {
+            last: 5.0,
+            submitted: 1.0,
+        };
         assert!(e.to_string().contains("backwards"));
     }
 }

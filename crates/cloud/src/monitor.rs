@@ -61,7 +61,12 @@ impl VmMonitor {
         if max_samples == 0 {
             return Err(invalid_param("max_samples", "must be positive"));
         }
-        Ok(Self { clusters, vm_bandwidth, samples: Vec::new(), max_samples })
+        Ok(Self {
+            clusters,
+            vm_bandwidth,
+            samples: Vec::new(),
+            max_samples,
+        })
     }
 
     /// Records one observation.
@@ -81,10 +86,18 @@ impl VmMonitor {
         }
         if let Some(last) = self.samples.last() {
             if time < last.time {
-                return Err(CloudError::TimeWentBackwards { last: last.time, submitted: time });
+                return Err(CloudError::TimeWentBackwards {
+                    last: last.time,
+                    submitted: time,
+                });
             }
         }
-        self.samples.push(MonitorSample { time, running, billable, served_bandwidth });
+        self.samples.push(MonitorSample {
+            time,
+            running,
+            billable,
+            served_bandwidth,
+        });
         if self.samples.len() > self.max_samples {
             let excess = self.samples.len() - self.max_samples;
             self.samples.drain(0..excess);
@@ -145,9 +158,11 @@ mod tests {
     fn summary_computes_utilizations() {
         let mut m = monitor();
         // 10 running of 10 billable, serving half the running bandwidth.
-        m.record(0.0, vec![10, 0, 0], vec![10, 0, 0], 10.0 * 1.25e6 / 2.0).unwrap();
+        m.record(0.0, vec![10, 0, 0], vec![10, 0, 0], 10.0 * 1.25e6 / 2.0)
+            .unwrap();
         // 5 running of 10 billable (5 shutting down), fully used.
-        m.record(10.0, vec![5, 0, 0], vec![10, 0, 0], 5.0 * 1.25e6).unwrap();
+        m.record(10.0, vec![5, 0, 0], vec![10, 0, 0], 5.0 * 1.25e6)
+            .unwrap();
         let s = m.summary().unwrap();
         assert!((s.running_over_billable - 0.75).abs() < 1e-12);
         assert!((s.served_over_running - 0.75).abs() < 1e-12);
@@ -157,7 +172,8 @@ mod tests {
     #[test]
     fn served_fraction_is_capped_at_one() {
         let mut m = monitor();
-        m.record(0.0, vec![1, 0, 0], vec![1, 0, 0], 99.0 * 1.25e6).unwrap();
+        m.record(0.0, vec![1, 0, 0], vec![1, 0, 0], 99.0 * 1.25e6)
+            .unwrap();
         assert!((m.summary().unwrap().served_over_running - 1.0).abs() < 1e-12);
     }
 

@@ -111,7 +111,9 @@ pub struct Rate {
 impl Rate {
     /// Creates a rate from dollars per hour.
     pub fn per_hour(dollars: f64) -> Self {
-        Self { dollars_per_hour: dollars }
+        Self {
+            dollars_per_hour: dollars,
+        }
     }
 
     /// The charge for using `units` units over `seconds` seconds.
@@ -167,7 +169,10 @@ mod tests {
         let gb = 6.0;
         let standard = Rate::per_hour(1.11e-4);
         let daily = standard.charge(gb, 86_400.0);
-        assert!(daily.as_dollars() > 0.01 && daily.as_dollars() < 0.03, "daily {daily}");
+        assert!(
+            daily.as_dollars() > 0.01 && daily.as_dollars() < 0.03,
+            "daily {daily}"
+        );
     }
 
     #[test]

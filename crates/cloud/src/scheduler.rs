@@ -15,6 +15,12 @@ use crate::error::CloudError;
 use crate::vm::{VmInstance, DEFAULT_BOOT_SECONDS, DEFAULT_SHUTDOWN_SECONDS};
 
 /// The VM scheduler: one fleet of instances per virtual cluster.
+///
+/// Fleet-wide aggregates (running/billable counts, the next lifecycle
+/// transition time) are cached and refreshed only when instance states
+/// can actually change, so the simulator's per-round `tick` calls cost
+/// `O(clusters)` instead of `O(fleet)`: between a boot completing and the
+/// next target change, every tick short-circuits.
 #[derive(Debug, Clone)]
 pub struct VmScheduler {
     specs: Vec<VirtualClusterSpec>,
@@ -22,6 +28,16 @@ pub struct VmScheduler {
     boot_seconds: f64,
     shutdown_seconds: f64,
     last_tick: f64,
+    /// Cached billable (launched, not yet off) instances per cluster.
+    billable_cache: Vec<usize>,
+    /// Cached running instances per cluster.
+    running_cache: Vec<usize>,
+    /// Earliest future instant any instance changes lifecycle state
+    /// (`ready_at` of a booting or `off_at` of a stopping instance);
+    /// `+inf` when the fleet is quiescent.
+    next_transition: f64,
+    /// Earliest `off_at` among shutting-down instances; `+inf` if none.
+    earliest_off: f64,
 }
 
 impl VmScheduler {
@@ -34,17 +50,54 @@ impl VmScheduler {
         for s in &specs {
             s.validate()?;
         }
-        let fleets = specs
+        let fleets: Vec<Vec<VmInstance>> = specs
             .iter()
             .map(|s| (0..s.max_vms).map(VmInstance::new).collect())
             .collect();
-        Ok(Self {
+        let clusters = specs.len();
+        let mut scheduler = Self {
             specs,
             fleets,
             boot_seconds: DEFAULT_BOOT_SECONDS,
             shutdown_seconds: DEFAULT_SHUTDOWN_SECONDS,
             last_tick: 0.0,
-        })
+            billable_cache: vec![0; clusters],
+            running_cache: vec![0; clusters],
+            next_transition: f64::INFINITY,
+            earliest_off: f64::INFINITY,
+        };
+        scheduler.refresh_caches();
+        Ok(scheduler)
+    }
+
+    /// Recomputes the cached fleet aggregates from instance states.
+    fn refresh_caches(&mut self) {
+        self.next_transition = f64::INFINITY;
+        self.earliest_off = f64::INFINITY;
+        for (c, fleet) in self.fleets.iter().enumerate() {
+            let mut billable = 0;
+            let mut running = 0;
+            for vm in fleet {
+                match vm.state {
+                    crate::vm::VmState::Running { .. } => {
+                        running += 1;
+                        billable += 1;
+                    }
+                    crate::vm::VmState::Booting { ready_at } => {
+                        billable += 1;
+                        self.next_transition = self.next_transition.min(ready_at);
+                    }
+                    crate::vm::VmState::ShuttingDown { off_at } => {
+                        billable += 1;
+                        self.next_transition = self.next_transition.min(off_at);
+                        self.earliest_off = self.earliest_off.min(off_at);
+                    }
+                    crate::vm::VmState::Off => {}
+                }
+            }
+            self.billable_cache[c] = billable;
+            self.running_cache[c] = running;
+        }
     }
 
     /// Overrides the boot/shutdown latencies (defaults follow the paper:
@@ -52,6 +105,7 @@ impl VmScheduler {
     pub fn with_latencies(mut self, boot_seconds: f64, shutdown_seconds: f64) -> Self {
         self.boot_seconds = boot_seconds;
         self.shutdown_seconds = shutdown_seconds;
+        self.refresh_caches();
         self
     }
 
@@ -73,14 +127,23 @@ impl VmScheduler {
     /// previous tick.
     pub fn tick(&mut self, now: f64) -> Result<(), CloudError> {
         if now < self.last_tick {
-            return Err(CloudError::TimeWentBackwards { last: self.last_tick, submitted: now });
+            return Err(CloudError::TimeWentBackwards {
+                last: self.last_tick,
+                submitted: now,
+            });
         }
         self.last_tick = now;
+        // Quiescent fast path: no instance can change state before
+        // `next_transition`, so the per-instance walk is skippable.
+        if now < self.next_transition {
+            return Ok(());
+        }
         for fleet in &mut self.fleets {
             for vm in fleet {
                 vm.tick(now);
             }
         }
+        self.refresh_caches();
         Ok(())
     }
 
@@ -94,7 +157,12 @@ impl VmScheduler {
     /// Returns [`CloudError::UnknownCluster`] for a bad index and
     /// [`CloudError::InsufficientVms`] if `target` exceeds the fleet size
     /// (nothing is changed in that case).
-    pub fn set_target(&mut self, cluster: usize, target: usize, now: f64) -> Result<(), CloudError> {
+    pub fn set_target(
+        &mut self,
+        cluster: usize,
+        target: usize,
+        now: f64,
+    ) -> Result<(), CloudError> {
         let spec_max = self
             .specs
             .get(cluster)
@@ -137,17 +205,18 @@ impl VmScheduler {
                 fleet[i].shutdown(now, self.shutdown_seconds);
             }
         }
+        self.refresh_caches();
         Ok(())
     }
 
     /// Number of running instances in a cluster.
     pub fn running(&self, cluster: usize) -> usize {
-        self.fleets[cluster].iter().filter(|v| v.is_running()).count()
+        self.running_cache[cluster]
     }
 
     /// Number of billable (launched, not yet off) instances in a cluster.
     pub fn billable(&self, cluster: usize) -> usize {
-        self.fleets[cluster].iter().filter(|v| v.is_billable()).count()
+        self.billable_cache[cluster]
     }
 
     /// Total bandwidth currently served by a cluster, bytes per second.
@@ -157,29 +226,22 @@ impl VmScheduler {
 
     /// Total running bandwidth across all clusters, bytes per second.
     pub fn total_running_bandwidth(&self) -> f64 {
-        (0..self.clusters()).map(|c| self.running_bandwidth(c)).sum()
+        (0..self.clusters())
+            .map(|c| self.running_bandwidth(c))
+            .sum()
     }
 
     /// Per-cluster billable instance counts; consumed by billing.
-    pub fn billable_counts(&self) -> Vec<usize> {
-        (0..self.clusters()).map(|c| self.billable(c)).collect()
+    pub fn billable_counts(&self) -> &[usize] {
+        &self.billable_cache
     }
 
     /// Earliest time in `(after, until]` at which some instance stops
     /// being billable (a shutdown completes). Billing must accrue at each
     /// such point to charge usage-time exactly.
     pub fn next_billing_change(&self, after: f64, until: f64) -> Option<f64> {
-        let mut earliest = f64::INFINITY;
-        for fleet in &self.fleets {
-            for vm in fleet {
-                if let crate::vm::VmState::ShuttingDown { off_at } = vm.state {
-                    if off_at > after && off_at <= until && off_at < earliest {
-                        earliest = off_at;
-                    }
-                }
-            }
-        }
-        earliest.is_finite().then_some(earliest)
+        let earliest = self.earliest_off;
+        (earliest > after && earliest <= until).then_some(earliest)
     }
 }
 
@@ -217,10 +279,18 @@ impl NfsScheduler {
             s.validate()?;
         }
         if chunk_bytes == 0 {
-            return Err(crate::error::invalid_param("chunk_bytes", "must be positive"));
+            return Err(crate::error::invalid_param(
+                "chunk_bytes",
+                "must be positive",
+            ));
         }
         let used = vec![0; specs.len()];
-        Ok(Self { specs, placement: BTreeMap::new(), used_bytes: used, chunk_bytes })
+        Ok(Self {
+            specs,
+            placement: BTreeMap::new(),
+            used_bytes: used,
+            chunk_bytes,
+        })
     }
 
     /// The cluster specifications.
@@ -347,7 +417,14 @@ mod tests {
     fn target_beyond_fleet_is_error() {
         let mut s = scheduler();
         let err = s.set_target(1, 31, 0.0).unwrap_err();
-        assert!(matches!(err, CloudError::InsufficientVms { cluster: 1, requested: 31, available: 30 }));
+        assert!(matches!(
+            err,
+            CloudError::InsufficientVms {
+                cluster: 1,
+                requested: 31,
+                available: 30
+            }
+        ));
     }
 
     #[test]
@@ -384,7 +461,13 @@ mod tests {
         let mut nfs = NfsScheduler::new(paper_nfs_clusters(), 15_000_000).unwrap();
         let mut plan = PlacementPlan::new();
         for i in 0..1000 {
-            plan.insert(ChunkKey { channel: 0, chunk: i }, 0);
+            plan.insert(
+                ChunkKey {
+                    channel: 0,
+                    chunk: i,
+                },
+                0,
+            );
         }
         nfs.apply_placement(plan).unwrap();
         assert_eq!(nfs.placed_chunks(), 1000);
@@ -396,17 +479,38 @@ mod tests {
     fn nfs_over_capacity_rejected_and_state_kept() {
         let mut nfs = NfsScheduler::new(paper_nfs_clusters(), 15_000_000).unwrap();
         let mut ok_plan = PlacementPlan::new();
-        ok_plan.insert(ChunkKey { channel: 0, chunk: 0 }, 1);
+        ok_plan.insert(
+            ChunkKey {
+                channel: 0,
+                chunk: 0,
+            },
+            1,
+        );
         nfs.apply_placement(ok_plan.clone()).unwrap();
 
         let mut bad = PlacementPlan::new();
         for i in 0..1400 {
-            bad.insert(ChunkKey { channel: 0, chunk: i }, 0);
+            bad.insert(
+                ChunkKey {
+                    channel: 0,
+                    chunk: i,
+                },
+                0,
+            );
         }
         let err = nfs.apply_placement(bad).unwrap_err();
-        assert!(matches!(err, CloudError::InsufficientStorage { cluster: 0, .. }));
+        assert!(matches!(
+            err,
+            CloudError::InsufficientStorage { cluster: 0, .. }
+        ));
         // Old placement survives the failed apply.
-        assert_eq!(nfs.location(ChunkKey { channel: 0, chunk: 0 }), Some(1));
+        assert_eq!(
+            nfs.location(ChunkKey {
+                channel: 0,
+                chunk: 0
+            }),
+            Some(1)
+        );
         assert_eq!(nfs.placed_chunks(), 1);
     }
 
@@ -414,7 +518,13 @@ mod tests {
     fn nfs_unknown_cluster_rejected() {
         let mut nfs = NfsScheduler::new(paper_nfs_clusters(), 15_000_000).unwrap();
         let mut plan = PlacementPlan::new();
-        plan.insert(ChunkKey { channel: 0, chunk: 0 }, 7);
+        plan.insert(
+            ChunkKey {
+                channel: 0,
+                chunk: 0,
+            },
+            7,
+        );
         assert!(matches!(
             nfs.apply_placement(plan),
             Err(CloudError::UnknownCluster { cluster: 7 })
@@ -424,8 +534,14 @@ mod tests {
     #[test]
     fn aggregate_utility_weights_demand_by_cluster_utility() {
         let mut nfs = NfsScheduler::new(paper_nfs_clusters(), 15_000_000).unwrap();
-        let k0 = ChunkKey { channel: 0, chunk: 0 };
-        let k1 = ChunkKey { channel: 0, chunk: 1 };
+        let k0 = ChunkKey {
+            channel: 0,
+            chunk: 0,
+        };
+        let k1 = ChunkKey {
+            channel: 0,
+            chunk: 1,
+        };
         let mut plan = PlacementPlan::new();
         plan.insert(k0, 1); // High, utility 1.0
         plan.insert(k1, 0); // Standard, utility 0.8

@@ -48,7 +48,10 @@ pub struct VmInstance {
 impl VmInstance {
     /// Creates a powered-off instance.
     pub fn new(id: usize) -> Self {
-        Self { id, state: VmState::Off }
+        Self {
+            id,
+            state: VmState::Off,
+        }
     }
 
     /// Advances lifecycle transitions up to time `now`.
@@ -67,7 +70,9 @@ impl VmInstance {
     /// Starts booting at `now`; no-op unless the instance is `Off`.
     pub fn launch(&mut self, now: f64, boot_seconds: f64) {
         if matches!(self.state, VmState::Off) {
-            self.state = VmState::Booting { ready_at: now + boot_seconds };
+            self.state = VmState::Booting {
+                ready_at: now + boot_seconds,
+            };
         }
     }
 
@@ -76,7 +81,9 @@ impl VmInstance {
     pub fn shutdown(&mut self, now: f64, shutdown_seconds: f64) {
         match self.state {
             VmState::Running { .. } | VmState::Booting { .. } => {
-                self.state = VmState::ShuttingDown { off_at: now + shutdown_seconds };
+                self.state = VmState::ShuttingDown {
+                    off_at: now + shutdown_seconds,
+                };
             }
             VmState::Off | VmState::ShuttingDown { .. } => {}
         }

@@ -103,13 +103,13 @@ pub fn admission_outcome(
 /// # Errors
 ///
 /// Propagates validation failures; rejects `epsilon` outside `(0, 1)`.
-pub fn min_vms_for_rejection(
-    channel: &ChannelModel,
-    epsilon: f64,
-) -> Result<usize, CoreError> {
+pub fn min_vms_for_rejection(channel: &ChannelModel, epsilon: f64) -> Result<usize, CoreError> {
     channel.validate()?;
     if !(epsilon > 0.0 && epsilon < 1.0) {
-        return Err(invalid_param("epsilon", format!("must be in (0, 1), got {epsilon}")));
+        return Err(invalid_param(
+            "epsilon",
+            format!("must be in (0, 1), got {epsilon}"),
+        ));
     }
     let lambdas = channel.chunk_arrival_rates()?;
     let total_lambda: f64 = lambdas.iter().sum();
@@ -148,10 +148,13 @@ mod tests {
         let c = channel(0.3);
         let lambdas = c.chunk_arrival_rates().unwrap();
         let total: f64 = lambdas.iter().sum();
-        let enough =
-            min_servers_for_sojourn(total, c.service_rate(), c.chunk_seconds).unwrap() + 2;
+        let enough = min_servers_for_sojourn(total, c.service_rate(), c.chunk_seconds).unwrap() + 2;
         let o = admission_outcome(&c, enough).unwrap();
-        assert!(o.rejection_probability < 1e-6, "rejection {}", o.rejection_probability);
+        assert!(
+            o.rejection_probability < 1e-6,
+            "rejection {}",
+            o.rejection_probability
+        );
         assert!(o.admitted_sojourn <= c.chunk_seconds);
     }
 
@@ -164,7 +167,11 @@ mod tests {
         // Half the needed fleet: substantial rejection, but admitted
         // viewers still make their deadlines.
         let o = admission_outcome(&c, (needed / 2).max(1)).unwrap();
-        assert!(o.rejection_probability > 0.2, "rejection {}", o.rejection_probability);
+        assert!(
+            o.rejection_probability > 0.2,
+            "rejection {}",
+            o.rejection_probability
+        );
         assert!(o.admitted_sojourn <= c.chunk_seconds);
     }
 
@@ -190,7 +197,10 @@ mod tests {
         let lambdas = c.chunk_arrival_rates().unwrap();
         let total: f64 = lambdas.iter().sum();
         let mean_m = min_servers_for_sojourn(total, c.service_rate(), c.chunk_seconds).unwrap();
-        assert!(vms as f64 >= 0.7 * mean_m as f64, "vms {vms} vs mean {mean_m}");
+        assert!(
+            vms as f64 >= 0.7 * mean_m as f64,
+            "vms {vms} vs mean {mean_m}"
+        );
         assert!(vms <= mean_m + 2);
     }
 

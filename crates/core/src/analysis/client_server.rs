@@ -17,9 +17,10 @@ use crate::error::{invalid_param, CoreError};
 
 /// What the per-queue server count must guarantee about chunk retrieval
 /// time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum ProvisioningTarget {
     /// The paper's criterion: mean sojourn time at most `T0`.
+    #[default]
     MeanSojourn,
     /// Tail-aware extension: `P(sojourn > T0) <= epsilon`, bounding the
     /// fraction of late chunk retrievals (and hence unsmooth playback)
@@ -30,19 +31,16 @@ pub enum ProvisioningTarget {
     },
 }
 
-impl Default for ProvisioningTarget {
-    fn default() -> Self {
-        ProvisioningTarget::MeanSojourn
-    }
-}
-
 impl ProvisioningTarget {
     fn min_servers(&self, lambda: f64, mu: f64, t0: f64) -> Result<usize, CoreError> {
         match *self {
             ProvisioningTarget::MeanSojourn => Ok(min_servers_for_sojourn(lambda, mu, t0)?),
             ProvisioningTarget::SojournQuantile { epsilon } => {
                 if !(epsilon > 0.0 && epsilon < 1.0) {
-                    return Err(invalid_param("epsilon", format!("must be in (0, 1), got {epsilon}")));
+                    return Err(invalid_param(
+                        "epsilon",
+                        format!("must be in (0, 1), got {epsilon}"),
+                    ));
                 }
                 Ok(min_servers_for_sojourn_quantile(lambda, mu, t0, epsilon)?)
             }

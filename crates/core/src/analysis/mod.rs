@@ -10,14 +10,14 @@ pub mod admission;
 pub mod client_server;
 pub mod p2p;
 
+pub use admission::{admission_outcome, min_vms_for_rejection, AdmissionOutcome};
 pub use client_server::{
     capacity_demand, capacity_demand_with_target, pooled_capacity_demand,
     pooled_capacity_demand_with_target, CapacityDemand, ProvisioningTarget,
 };
-pub use admission::{admission_outcome, min_vms_for_rejection, AdmissionOutcome};
 pub use p2p::{
-    p2p_capacity, p2p_capacity_hetero, p2p_capacity_opts, p2p_capacity_with,
-    P2pAnalysisOptions, P2pCapacity, PsiEstimator, UploadClass,
+    p2p_capacity, p2p_capacity_hetero, p2p_capacity_opts, p2p_capacity_with, P2pAnalysisOptions,
+    P2pCapacity, PsiEstimator, UploadClass,
 };
 
 use serde::{Deserialize, Serialize};

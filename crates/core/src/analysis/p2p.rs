@@ -13,12 +13,12 @@ use cloudmedia_queueing::jackson::RoutingMatrix;
 use cloudmedia_queueing::linalg::Matrix;
 use serde::{Deserialize, Serialize};
 
+#[cfg(test)]
+use crate::analysis::client_server::pooled_capacity_demand;
 use crate::analysis::client_server::{
     capacity_demand, capacity_demand_with_target, pooled_capacity_demand_with_target,
     CapacityDemand, ProvisioningTarget,
 };
-#[cfg(test)]
-use crate::analysis::client_server::pooled_capacity_demand;
 use crate::analysis::DemandPooling;
 use crate::channel::ChannelModel;
 use crate::error::{invalid_param, CoreError};
@@ -75,6 +75,7 @@ impl P2pCapacity {
 /// # Errors
 ///
 /// Propagates routing validation and solver failures.
+#[allow(clippy::needless_range_loop)] // index math mirrors the paper's equations
 pub fn replica_matrix(
     routing: &[Vec<f64>],
     expected_in_queue: &[f64],
@@ -83,7 +84,10 @@ pub fn replica_matrix(
     if expected_in_queue.len() != j_count {
         return Err(invalid_param(
             "expected_in_queue",
-            format!("expected {j_count} entries, got {}", expected_in_queue.len()),
+            format!(
+                "expected {j_count} entries, got {}",
+                expected_in_queue.len()
+            ),
         ));
     }
     RoutingMatrix::from_rows(routing)?;
@@ -129,12 +133,7 @@ pub fn replica_matrix(
 pub fn replica_counts(matrix: &[Vec<f64>]) -> Vec<f64> {
     let n = matrix.len();
     (0..n)
-        .map(|i| {
-            (0..n)
-                .filter(|&j| j != i)
-                .map(|j| matrix[i][j])
-                .sum()
-        })
+        .map(|i| (0..n).filter(|&j| j != i).map(|j| matrix[i][j]).sum())
         .collect()
 }
 
@@ -239,7 +238,11 @@ pub fn p2p_capacity_with(
     p2p_capacity_opts(
         channel,
         mean_upload,
-        P2pAnalysisOptions { psi: estimator, pooling, target: ProvisioningTarget::MeanSojourn },
+        P2pAnalysisOptions {
+            psi: estimator,
+            pooling,
+            target: ProvisioningTarget::MeanSojourn,
+        },
     )
 }
 
@@ -260,7 +263,14 @@ pub fn p2p_capacity_opts(
             format!("must be finite and non-negative, got {mean_upload}"),
         ));
     }
-    p2p_capacity_hetero(channel, &[UploadClass { share: 1.0, upload: mean_upload }], opts)
+    p2p_capacity_hetero(
+        channel,
+        &[UploadClass {
+            share: 1.0,
+            upload: mean_upload,
+        }],
+        opts,
+    )
 }
 
 /// One peer upload class for the heterogeneous-bandwidth analysis.
@@ -292,12 +302,18 @@ pub fn p2p_capacity_hetero(
 ) -> Result<P2pCapacity, CoreError> {
     let estimator = opts.psi;
     if classes.is_empty() {
-        return Err(invalid_param("classes", "at least one upload class required"));
+        return Err(invalid_param(
+            "classes",
+            "at least one upload class required",
+        ));
     }
     let mut share_sum = 0.0;
     for c in classes {
         if !(c.share > 0.0 && c.share <= 1.0) {
-            return Err(invalid_param("classes", format!("share must be in (0, 1], got {}", c.share)));
+            return Err(invalid_param(
+                "classes",
+                format!("share must be in (0, 1], got {}", c.share),
+            ));
         }
         if !(c.upload.is_finite() && c.upload >= 0.0) {
             return Err(invalid_param(
@@ -308,7 +324,10 @@ pub fn p2p_capacity_hetero(
         share_sum += c.share;
     }
     if (share_sum - 1.0).abs() > 1e-9 {
-        return Err(invalid_param("classes", format!("shares must sum to 1, got {share_sum}")));
+        return Err(invalid_param(
+            "classes",
+            format!("shares must sum to 1, got {share_sum}"),
+        ));
     }
     let demand = capacity_demand(channel)?;
     // Equilibrium chunk-queue occupancy: the paper derives m_i from
@@ -330,14 +349,19 @@ pub fn p2p_capacity_hetero(
     // Rarest first: ascending replica count.
     let mut order: Vec<usize> = (0..j_count).collect();
     order.sort_by(|&a, &b| {
-        replicas[a].partial_cmp(&replicas[b]).expect("replica counts are finite")
+        replicas[a]
+            .partial_cmp(&replicas[b])
+            .expect("replica counts are finite")
     });
 
     let r = channel.streaming_rate;
     // Richer classes are drawn from first at each chunk.
     let mut class_order: Vec<usize> = (0..classes.len()).collect();
     class_order.sort_by(|&a, &b| {
-        classes[b].upload.partial_cmp(&classes[a].upload).expect("uploads are finite")
+        classes[b]
+            .upload
+            .partial_cmp(&classes[a].upload)
+            .expect("uploads are finite")
     });
     // Per-class peer contribution to each chunk.
     let mut gamma_class = vec![vec![0.0; classes.len()]; j_count];
@@ -384,7 +408,12 @@ pub fn p2p_capacity_hetero(
     let cloud_demand: Vec<f64> = (0..j_count)
         .map(|i| (baseline[i] - gamma[i]).max(0.0))
         .collect();
-    Ok(P2pCapacity { demand, replicas, peer_contribution: gamma, cloud_demand })
+    Ok(P2pCapacity {
+        demand,
+        replicas,
+        peer_contribution: gamma,
+        cloud_demand,
+    })
 }
 
 #[cfg(test)]
@@ -401,8 +430,12 @@ mod tests {
         let d = capacity_demand(&c).unwrap();
         let m = replica_matrix(&c.routing, &d.expected_in_queue).unwrap();
         let j = c.chunks();
+        #[allow(clippy::needless_range_loop)]
         for i in 0..j {
-            assert!((m[i][i] - d.expected_in_queue[i]).abs() < 1e-9, "nu_ii = E(n_i)");
+            assert!(
+                (m[i][i] - d.expected_in_queue[i]).abs() < 1e-9,
+                "nu_ii = E(n_i)"
+            );
             for col in 0..j {
                 if col == i {
                     continue;
@@ -551,7 +584,10 @@ mod tests {
         let homo = p2p_capacity_opts(&c, 40_000.0, opts).unwrap();
         let hetero = p2p_capacity_hetero(
             &c,
-            &[UploadClass { share: 1.0, upload: 40_000.0 }],
+            &[UploadClass {
+                share: 1.0,
+                upload: 40_000.0,
+            }],
             opts,
         )
         .unwrap();
@@ -567,8 +603,14 @@ mod tests {
         let hetero = p2p_capacity_hetero(
             &c,
             &[
-                UploadClass { share: 0.5, upload: 20_000.0 },
-                UploadClass { share: 0.5, upload: 60_000.0 },
+                UploadClass {
+                    share: 0.5,
+                    upload: 20_000.0,
+                },
+                UploadClass {
+                    share: 0.5,
+                    upload: 60_000.0,
+                },
             ],
             opts,
         )
@@ -587,8 +629,14 @@ mod tests {
         let poor = p2p_capacity_hetero(
             &c,
             &[
-                UploadClass { share: 0.8, upload: 10_000.0 },
-                UploadClass { share: 0.2, upload: 30_000.0 },
+                UploadClass {
+                    share: 0.8,
+                    upload: 10_000.0,
+                },
+                UploadClass {
+                    share: 0.2,
+                    upload: 30_000.0,
+                },
             ],
             opts,
         )
@@ -596,8 +644,14 @@ mod tests {
         let rich = p2p_capacity_hetero(
             &c,
             &[
-                UploadClass { share: 0.8, upload: 30_000.0 },
-                UploadClass { share: 0.2, upload: 90_000.0 },
+                UploadClass {
+                    share: 0.8,
+                    upload: 30_000.0,
+                },
+                UploadClass {
+                    share: 0.2,
+                    upload: 90_000.0,
+                },
             ],
             opts,
         )
@@ -611,17 +665,29 @@ mod tests {
         let c = channel(0.5);
         let opts = P2pAnalysisOptions::default();
         assert!(p2p_capacity_hetero(&c, &[], opts).is_err());
-        assert!(p2p_capacity_hetero(
-            &c,
-            &[UploadClass { share: 0.5, upload: 1e4 }],
-            opts
-        )
-        .is_err(), "shares must sum to 1");
+        assert!(
+            p2p_capacity_hetero(
+                &c,
+                &[UploadClass {
+                    share: 0.5,
+                    upload: 1e4
+                }],
+                opts
+            )
+            .is_err(),
+            "shares must sum to 1"
+        );
         assert!(p2p_capacity_hetero(
             &c,
             &[
-                UploadClass { share: 0.5, upload: 1e4 },
-                UploadClass { share: 0.5, upload: -1.0 },
+                UploadClass {
+                    share: 0.5,
+                    upload: 1e4
+                },
+                UploadClass {
+                    share: 0.5,
+                    upload: -1.0
+                },
             ],
             opts
         )

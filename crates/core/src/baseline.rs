@@ -143,8 +143,7 @@ impl BaselinePlanner {
                         .sum::<f64>()
                         / chunks as f64;
                     let session_chunks = 1.0 / (1.0 - cont.min(0.99));
-                    let population =
-                        obs.arrival_rate * session_chunks * self.chunk_seconds;
+                    let population = obs.arrival_rate * session_chunks * self.chunk_seconds;
                     population * self.streaming_rate * (1.0 + headroom)
                 }
                 ProvisionerKind::Model => unreachable!("rejected in constructor"),
@@ -153,7 +152,10 @@ impl BaselinePlanner {
             let per_chunk = demand_total / chunks as f64;
             for chunk in 0..chunks {
                 chunk_demands.push(ChunkDemand {
-                    key: ChunkKey { channel: *channel, chunk },
+                    key: ChunkKey {
+                        channel: *channel,
+                        chunk,
+                    },
                     demand: per_chunk,
                 });
             }
@@ -209,7 +211,11 @@ mod tests {
 
     fn observation(rate: f64) -> ChannelObservation {
         let model = ChannelModel::paper_default(0, rate);
-        ChannelObservation { arrival_rate: rate, alpha: model.alpha, routing: model.routing }
+        ChannelObservation {
+            arrival_rate: rate,
+            alpha: model.alpha,
+            routing: model.routing,
+        }
     }
 
     fn reactive(headroom: f64) -> BaselinePlanner {
@@ -236,7 +242,10 @@ mod tests {
         let a = p.plan_interval(&[(0, observation(0.1))], &sla()).unwrap();
         let b = p.plan_interval(&[(0, observation(0.5))], &sla()).unwrap();
         assert_eq!(a.vm_targets, b.vm_targets, "fixed fleet ignores load");
-        assert!(a.placement.is_some() && b.placement.is_none(), "placed once");
+        assert!(
+            a.placement.is_some() && b.placement.is_none(),
+            "placed once"
+        );
     }
 
     #[test]
@@ -247,7 +256,9 @@ mod tests {
         assert!(hi.total_cloud_demand > 3.0 * lo.total_cloud_demand);
         // Headroom scales demand.
         let mut no_pad = reactive(0.0);
-        let base = no_pad.plan_interval(&[(0, observation(0.1))], &sla()).unwrap();
+        let base = no_pad
+            .plan_interval(&[(0, observation(0.1))], &sla())
+            .unwrap();
         assert!((lo.total_cloud_demand - 1.2 * base.total_cloud_demand).abs() < 1e-6);
     }
 

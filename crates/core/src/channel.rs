@@ -54,7 +54,10 @@ impl ChannelModel {
     /// or `alpha` outside `[0, 1]`.
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.routing.is_empty() {
-            return Err(invalid_param("routing", "channel must have at least one chunk"));
+            return Err(invalid_param(
+                "routing",
+                "channel must have at least one chunk",
+            ));
         }
         if !(self.streaming_rate.is_finite() && self.streaming_rate > 0.0) {
             return Err(invalid_param(
@@ -84,7 +87,10 @@ impl ChannelModel {
             ));
         }
         if !(0.0..=1.0).contains(&self.alpha) {
-            return Err(invalid_param("alpha", format!("must be in [0, 1], got {}", self.alpha)));
+            return Err(invalid_param(
+                "alpha",
+                format!("must be in [0, 1], got {}", self.alpha),
+            ));
         }
         // Delegate routing validation (squareness, substochastic rows).
         RoutingMatrix::from_rows(&self.routing)?;
@@ -167,7 +173,10 @@ mod tests {
         c.validate().unwrap();
         assert_eq!(c.chunks(), 20);
         assert!((c.chunk_bytes() - 15e6).abs() < 1e-6, "15 MB chunks");
-        assert!((c.service_rate() - 1.0 / 12.0).abs() < 1e-9, "mu = 1/12 per s");
+        assert!(
+            (c.service_rate() - 1.0 / 12.0).abs() < 1e-9,
+            "mu = 1/12 per s"
+        );
     }
 
     #[test]

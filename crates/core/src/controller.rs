@@ -133,7 +133,10 @@ impl ControllerConfig {
         if !(self.placement_refresh_threshold.is_finite()
             && self.placement_refresh_threshold >= 0.0)
         {
-            return Err(invalid_param("placement_refresh_threshold", "must be non-negative"));
+            return Err(invalid_param(
+                "placement_refresh_threshold",
+                "must be non-negative",
+            ));
         }
         if let StreamingMode::P2p { mean_upload, .. } = self.mode {
             if !(mean_upload.is_finite() && mean_upload >= 0.0) {
@@ -249,8 +252,7 @@ impl Controller {
                         capacity_demand_with_target(model, self.config.target)?.upload_demand
                     }
                     DemandPooling::ChannelPooled => {
-                        pooled_capacity_demand_with_target(model, self.config.target)?
-                            .upload_demand
+                        pooled_capacity_demand_with_target(model, self.config.target)?.upload_demand
                     }
                 })
             };
@@ -295,9 +297,12 @@ impl Controller {
             };
             match vm_problem.greedy() {
                 Ok(plan) => plan,
-                Err(CoreError::Infeasible { required_budget, configured_budget, .. })
-                    if self.config.budget_policy == BudgetPolicy::BestEffort
-                        && required_budget > 0.0 =>
+                Err(CoreError::Infeasible {
+                    required_budget,
+                    configured_budget,
+                    ..
+                }) if self.config.budget_policy == BudgetPolicy::BestEffort
+                    && required_budget > 0.0 =>
                 {
                     // Degrade uniformly to fit the budget (small headroom
                     // below the exact ratio absorbs rounding).
@@ -325,7 +330,9 @@ impl Controller {
             None => true,
             Some(placement) => {
                 // New chunks (new videos) force a re-placement.
-                chunk_demands.iter().any(|d| !placement.contains_key(&d.key))
+                chunk_demands
+                    .iter()
+                    .any(|d| !placement.contains_key(&d.key))
                     || demand_shift(&self.placement_demands, &new_demand_map)
                         > self.config.placement_refresh_threshold
             }
@@ -350,7 +357,11 @@ impl Controller {
             .current_placement
             .as_ref()
             .map(|p| {
-                crate::provisioning::storage::placement_utility(p, &sla.nfs_clusters, &new_demand_map)
+                crate::provisioning::storage::placement_utility(
+                    p,
+                    &sla.nfs_clusters,
+                    &new_demand_map,
+                )
             })
             .unwrap_or(0.0);
 
@@ -399,11 +410,19 @@ mod tests {
 
     fn observation(rate: f64) -> ChannelObservation {
         let model = ChannelModel::paper_default(0, rate);
-        ChannelObservation { arrival_rate: rate, alpha: model.alpha, routing: model.routing }
+        ChannelObservation {
+            arrival_rate: rate,
+            alpha: model.alpha,
+            routing: model.routing,
+        }
     }
 
     fn controller(mode: StreamingMode) -> Controller {
-        Controller::new(ControllerConfig::paper_default(mode), PredictorKind::LastInterval).unwrap()
+        Controller::new(
+            ControllerConfig::paper_default(mode),
+            PredictorKind::LastInterval,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -491,11 +510,13 @@ mod tests {
         let mut cfg = ControllerConfig::paper_default(StreamingMode::ClientServer);
         cfg.safety_factor = 1.5;
         let mut padded = Controller::new(cfg, PredictorKind::LastInterval).unwrap();
-        let p_base = base.plan_interval(&[(0, observation(0.4))], &sla()).unwrap();
-        let p_padded = padded.plan_interval(&[(0, observation(0.4))], &sla()).unwrap();
-        assert!(
-            (p_padded.total_cloud_demand - 1.5 * p_base.total_cloud_demand).abs() < 1e-6
-        );
+        let p_base = base
+            .plan_interval(&[(0, observation(0.4))], &sla())
+            .unwrap();
+        let p_padded = padded
+            .plan_interval(&[(0, observation(0.4))], &sla())
+            .unwrap();
+        assert!((p_padded.total_cloud_demand - 1.5 * p_base.total_cloud_demand).abs() < 1e-6);
     }
 
     #[test]
@@ -505,14 +526,19 @@ mod tests {
         cfg.budget_policy = BudgetPolicy::BestEffort;
         let mut c = Controller::new(cfg, PredictorKind::LastInterval).unwrap();
         let plan = c.plan_interval(&[(0, observation(1.0))], &sla()).unwrap();
-        assert!(plan.vm_plan.integer_hourly_cost <= 10.0 + 0.81, "cost capped (one VM of slack)");
+        assert!(
+            plan.vm_plan.integer_hourly_cost <= 10.0 + 0.81,
+            "cost capped (one VM of slack)"
+        );
         assert!(plan.total_cloud_demand > 0.0, "still provisions something");
 
         // Strict policy with the same inputs fails.
         let mut strict_cfg = ControllerConfig::paper_default(StreamingMode::ClientServer);
         strict_cfg.vm_budget_per_hour = 10.0;
         let mut strict = Controller::new(strict_cfg, PredictorKind::LastInterval).unwrap();
-        assert!(strict.plan_interval(&[(0, observation(1.0))], &sla()).is_err());
+        assert!(strict
+            .plan_interval(&[(0, observation(1.0))], &sla())
+            .is_err());
     }
 
     #[test]
@@ -521,8 +547,12 @@ mod tests {
         cfg.budget_policy = BudgetPolicy::BestEffort;
         let mut best = Controller::new(cfg, PredictorKind::LastInterval).unwrap();
         let mut strict = controller(StreamingMode::ClientServer);
-        let a = best.plan_interval(&[(0, observation(0.3))], &sla()).unwrap();
-        let b = strict.plan_interval(&[(0, observation(0.3))], &sla()).unwrap();
+        let a = best
+            .plan_interval(&[(0, observation(0.3))], &sla())
+            .unwrap();
+        let b = strict
+            .plan_interval(&[(0, observation(0.3))], &sla())
+            .unwrap();
         assert_eq!(a.vm_targets, b.vm_targets);
         assert!((a.total_cloud_demand - b.total_cloud_demand).abs() < 1e-9);
     }
@@ -532,7 +562,9 @@ mod tests {
         let mut cfg = ControllerConfig::paper_default(StreamingMode::ClientServer);
         cfg.vm_budget_per_hour = 0.01;
         let mut c = Controller::new(cfg, PredictorKind::LastInterval).unwrap();
-        let err = c.plan_interval(&[(0, observation(1.0))], &sla()).unwrap_err();
+        let err = c
+            .plan_interval(&[(0, observation(1.0))], &sla())
+            .unwrap_err();
         assert!(matches!(err, CoreError::Infeasible { .. }));
     }
 
@@ -543,14 +575,21 @@ mod tests {
             mean_upload: 34_000.0,
             psi: PsiEstimator::Independent,
         });
-        cfg.upload_classes = Some(vec![UploadClass { share: 1.0, upload: 34_000.0 }]);
+        cfg.upload_classes = Some(vec![UploadClass {
+            share: 1.0,
+            upload: 34_000.0,
+        }]);
         let mut hetero = Controller::new(cfg, PredictorKind::LastInterval).unwrap();
         let mut homo = controller(StreamingMode::P2p {
             mean_upload: 34_000.0,
             psi: PsiEstimator::Independent,
         });
-        let a = hetero.plan_interval(&[(0, observation(0.3))], &sla()).unwrap();
-        let b = homo.plan_interval(&[(0, observation(0.3))], &sla()).unwrap();
+        let a = hetero
+            .plan_interval(&[(0, observation(0.3))], &sla())
+            .unwrap();
+        let b = homo
+            .plan_interval(&[(0, observation(0.3))], &sla())
+            .unwrap();
         assert!((a.total_cloud_demand - b.total_cloud_demand).abs() < 1e-6);
 
         // A poorer class mix needs more cloud.
@@ -559,23 +598,49 @@ mod tests {
             psi: PsiEstimator::Independent,
         });
         poor_cfg.upload_classes = Some(vec![
-            UploadClass { share: 0.9, upload: 10_000.0 },
-            UploadClass { share: 0.1, upload: 34_000.0 },
+            UploadClass {
+                share: 0.9,
+                upload: 10_000.0,
+            },
+            UploadClass {
+                share: 0.1,
+                upload: 34_000.0,
+            },
         ]);
         let mut poor = Controller::new(poor_cfg, PredictorKind::LastInterval).unwrap();
-        let c = poor.plan_interval(&[(0, observation(0.3))], &sla()).unwrap();
+        let c = poor
+            .plan_interval(&[(0, observation(0.3))], &sla())
+            .unwrap();
         assert!(c.total_cloud_demand > b.total_cloud_demand);
     }
 
     #[test]
     fn demand_shift_metric() {
         let mut a = BTreeMap::new();
-        a.insert(ChunkKey { channel: 0, chunk: 0 }, 10.0);
+        a.insert(
+            ChunkKey {
+                channel: 0,
+                chunk: 0,
+            },
+            10.0,
+        );
         let mut b = a.clone();
         assert_eq!(demand_shift(&a, &b), 0.0);
-        b.insert(ChunkKey { channel: 0, chunk: 0 }, 15.0);
+        b.insert(
+            ChunkKey {
+                channel: 0,
+                chunk: 0,
+            },
+            15.0,
+        );
         assert!((demand_shift(&a, &b) - 0.5).abs() < 1e-12);
-        b.insert(ChunkKey { channel: 0, chunk: 1 }, 10.0);
+        b.insert(
+            ChunkKey {
+                channel: 0,
+                chunk: 1,
+            },
+            10.0,
+        );
         assert!((demand_shift(&a, &b) - 1.5).abs() < 1e-12);
         a.clear();
         assert_eq!(demand_shift(&a, &b), f64::INFINITY);

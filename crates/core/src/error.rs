@@ -70,12 +70,20 @@ impl fmt::Display for CoreError {
             }
             CoreError::Queueing(e) => write!(f, "queueing analysis failed: {e}"),
             CoreError::Cloud(e) => write!(f, "cloud operation failed: {e}"),
-            CoreError::Infeasible { problem, required_budget, configured_budget } => write!(
+            CoreError::Infeasible {
+                problem,
+                required_budget,
+                configured_budget,
+            } => write!(
                 f,
                 "{problem} problem is infeasible: requires ${required_budget:.4}/h \
                  but budget is ${configured_budget:.4}/h — increase the budget"
             ),
-            CoreError::CapacityExceeded { problem, requested, available } => write!(
+            CoreError::CapacityExceeded {
+                problem,
+                requested,
+                available,
+            } => write!(
                 f,
                 "{problem} problem exceeds total cloud capacity: \
                  requested {requested:.2}, available {available:.2}"
@@ -107,7 +115,10 @@ impl From<CloudError> for CoreError {
 }
 
 pub(crate) fn invalid_param(name: &'static str, message: impl Into<String>) -> CoreError {
-    CoreError::InvalidParameter { name, message: message.into() }
+    CoreError::InvalidParameter {
+        name,
+        message: message.into(),
+    }
 }
 
 #[cfg(test)]
@@ -135,7 +146,10 @@ mod tests {
 
     #[test]
     fn conversions_preserve_source() {
-        let qe = QueueingError::UnstableQueue { offered_load: 3.0, servers: 2 };
+        let qe = QueueingError::UnstableQueue {
+            offered_load: 3.0,
+            servers: 2,
+        };
         let ce: CoreError = qe.clone().into();
         assert!(matches!(ce, CoreError::Queueing(ref inner) if *inner == qe));
         assert!(Error::source(&ce).is_some());

@@ -50,9 +50,21 @@ impl RegionSpec {
 /// The classic three-site deployment: Americas, Europe, Asia-Pacific.
 pub fn three_sites() -> Vec<RegionSpec> {
     vec![
-        RegionSpec { name: "americas".into(), population_share: 0.40, timezone_offset_hours: 0.0 },
-        RegionSpec { name: "europe".into(), population_share: 0.35, timezone_offset_hours: 7.0 },
-        RegionSpec { name: "apac".into(), population_share: 0.25, timezone_offset_hours: 14.0 },
+        RegionSpec {
+            name: "americas".into(),
+            population_share: 0.40,
+            timezone_offset_hours: 0.0,
+        },
+        RegionSpec {
+            name: "europe".into(),
+            population_share: 0.35,
+            timezone_offset_hours: 7.0,
+        },
+        RegionSpec {
+            name: "apac".into(),
+            population_share: 0.25,
+            timezone_offset_hours: 14.0,
+        },
     ]
 }
 
@@ -98,7 +110,10 @@ impl GeoController {
             .iter()
             .map(|_| Controller::new(config.clone(), predictor))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { regions, controllers })
+        Ok(Self {
+            regions,
+            controllers,
+        })
     }
 
     /// Creates per-region controllers with the global budgets divided by
@@ -127,7 +142,10 @@ impl GeoController {
                 Controller::new(c, predictor)
             })
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { regions, controllers })
+        Ok(Self {
+            regions,
+            controllers,
+        })
     }
 
     /// The regions, in plan order.
@@ -159,14 +177,19 @@ impl GeoController {
             ));
         }
         let mut per_region = Vec::with_capacity(self.regions.len());
-        for ((controller, region_stats), sla) in
-            self.controllers.iter_mut().zip(stats).zip(slas)
-        {
+        for ((controller, region_stats), sla) in self.controllers.iter_mut().zip(stats).zip(slas) {
             per_region.push(controller.plan_interval(region_stats, sla)?);
         }
-        let total_hourly_cost = per_region.iter().map(|p| p.vm_plan.integer_hourly_cost).sum();
+        let total_hourly_cost = per_region
+            .iter()
+            .map(|p| p.vm_plan.integer_hourly_cost)
+            .sum();
         let total_cloud_demand = per_region.iter().map(|p| p.total_cloud_demand).sum();
-        Ok(GeoPlan { per_region, total_hourly_cost, total_cloud_demand })
+        Ok(GeoPlan {
+            per_region,
+            total_hourly_cost,
+            total_cloud_demand,
+        })
     }
 }
 
@@ -186,7 +209,11 @@ mod tests {
 
     fn observation(rate: f64) -> ChannelObservation {
         let model = ChannelModel::paper_default(0, rate);
-        ChannelObservation { arrival_rate: rate, alpha: model.alpha, routing: model.routing }
+        ChannelObservation {
+            arrival_rate: rate,
+            alpha: model.alpha,
+            routing: model.routing,
+        }
     }
 
     fn geo() -> GeoController {
@@ -215,8 +242,15 @@ mod tests {
         ];
         let plan = g.plan_interval(&stats, &slas).unwrap();
         assert_eq!(plan.per_region.len(), 3);
-        let d: Vec<f64> = plan.per_region.iter().map(|p| p.total_cloud_demand).collect();
-        assert!(d[0] > d[1] && d[1] > d[2], "demand order follows load: {d:?}");
+        let d: Vec<f64> = plan
+            .per_region
+            .iter()
+            .map(|p| p.total_cloud_demand)
+            .collect();
+        assert!(
+            d[0] > d[1] && d[1] > d[2],
+            "demand order follows load: {d:?}"
+        );
         assert!((plan.total_cloud_demand - d.iter().sum::<f64>()).abs() < 1e-9);
         assert!(plan.total_hourly_cost > 0.0);
     }
@@ -271,7 +305,10 @@ mod tests {
         ];
         let err = g.plan_interval(&stats, &slas).unwrap_err();
         assert!(
-            matches!(err, CoreError::Infeasible { .. } | CoreError::CapacityExceeded { .. }),
+            matches!(
+                err,
+                CoreError::Infeasible { .. } | CoreError::CapacityExceeded { .. }
+            ),
             "expected budget/capacity failure, got {err:?}"
         );
     }

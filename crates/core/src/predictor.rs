@@ -72,15 +72,22 @@ impl DemandPredictor {
     /// Rejects zero windows and EWMA weights outside `(0, 1]`.
     pub fn new(kind: PredictorKind) -> Result<Self, CoreError> {
         match kind {
-            PredictorKind::MovingAverage { window } if window == 0 => {
+            PredictorKind::MovingAverage { window: 0 } => {
                 return Err(invalid_param("window", "must be positive"));
             }
             PredictorKind::Ewma { weight } if !(weight > 0.0 && weight <= 1.0) => {
-                return Err(invalid_param("weight", format!("must be in (0, 1], got {weight}")));
+                return Err(invalid_param(
+                    "weight",
+                    format!("must be in (0, 1], got {weight}"),
+                ));
             }
             _ => {}
         }
-        Ok(Self { kind, history: HashMap::new(), smoothed: HashMap::new() })
+        Ok(Self {
+            kind,
+            history: HashMap::new(),
+            smoothed: HashMap::new(),
+        })
     }
 
     /// The configured strategy.

@@ -6,5 +6,7 @@
 pub mod storage;
 pub mod vm;
 
-pub use storage::{demands_from_channels, placement_utility, ChunkDemand, StoragePlan, StorageProblem};
+pub use storage::{
+    demands_from_channels, placement_utility, ChunkDemand, StoragePlan, StorageProblem,
+};
 pub use vm::{ChunkAllocation, VmPlan, VmProblem};

@@ -52,7 +52,10 @@ pub struct StorageProblem<'a> {
 impl StorageProblem<'_> {
     fn validate(&self) -> Result<(), CoreError> {
         if self.clusters.is_empty() {
-            return Err(invalid_param("clusters", "at least one NFS cluster required"));
+            return Err(invalid_param(
+                "clusters",
+                "at least one NFS cluster required",
+            ));
         }
         for c in self.clusters {
             c.validate()?;
@@ -90,7 +93,9 @@ impl StorageProblem<'_> {
     /// Total capacity and minimum cost to place all chunks; used for the
     /// feasibility diagnostics the paper asks to surface.
     fn feasibility(&self) -> Result<f64, CoreError> {
-        let total_capacity: usize = (0..self.clusters.len()).map(|f| self.capacity_chunks(f)).sum();
+        let total_capacity: usize = (0..self.clusters.len())
+            .map(|f| self.capacity_chunks(f))
+            .sum();
         if self.demands.len() > total_capacity {
             return Err(CoreError::CapacityExceeded {
                 problem: ProblemKind::Storage,
@@ -153,7 +158,9 @@ impl StorageProblem<'_> {
                 .expect("utilities are finite")
         });
 
-        let mut free: Vec<usize> = (0..self.clusters.len()).map(|f| self.capacity_chunks(f)).collect();
+        let mut free: Vec<usize> = (0..self.clusters.len())
+            .map(|f| self.capacity_chunks(f))
+            .collect();
         let mut spent = 0.0;
         let mut placement = PlacementPlan::new();
         let mut total_utility = 0.0;
@@ -184,7 +191,11 @@ impl StorageProblem<'_> {
                 });
             }
         }
-        Ok(StoragePlan { placement, total_utility, hourly_cost: spent })
+        Ok(StoragePlan {
+            placement,
+            total_utility,
+            hourly_cost: spent,
+        })
     }
 
     fn cheapest_available_cost(&self, free: &[usize]) -> f64 {
@@ -236,7 +247,14 @@ impl StorageProblem<'_> {
 
         let mut best: Option<(f64, Vec<usize>)> = None;
         let mut counts = vec![0usize; n_clusters];
-        self.enumerate_counts(&mut counts, 0, n_chunks, &chunk_order, &util_order, &mut best);
+        self.enumerate_counts(
+            &mut counts,
+            0,
+            n_chunks,
+            &chunk_order,
+            &util_order,
+            &mut best,
+        );
         let (_, counts) = best.ok_or(CoreError::Infeasible {
             problem: ProblemKind::Storage,
             required_budget: min_cost,
@@ -257,7 +275,11 @@ impl StorageProblem<'_> {
                 cost += self.chunk_cost(f);
             }
         }
-        Ok(StoragePlan { placement, total_utility, hourly_cost: cost })
+        Ok(StoragePlan {
+            placement,
+            total_utility,
+            hourly_cost: cost,
+        })
     }
 
     fn enumerate_counts(
@@ -274,7 +296,9 @@ impl StorageProblem<'_> {
                 return;
             }
             // Budget check.
-            let cost: f64 = (0..counts.len()).map(|f| counts[f] as f64 * self.chunk_cost(f)).sum();
+            let cost: f64 = (0..counts.len())
+                .map(|f| counts[f] as f64 * self.chunk_cost(f))
+                .sum();
             if cost > self.budget_per_hour + 1e-12 {
                 return;
             }
@@ -287,7 +311,7 @@ impl StorageProblem<'_> {
                     cursor += 1;
                 }
             }
-            if best.as_ref().map_or(true, |(u, _)| utility > *u) {
+            if best.as_ref().is_none_or(|(u, _)| utility > *u) {
                 *best = Some((utility, counts.clone()));
             }
             return;
@@ -304,7 +328,14 @@ impl StorageProblem<'_> {
         let cap = self.capacity_chunks(cluster).min(remaining);
         for take in 0..=cap {
             counts[cluster] = take;
-            self.enumerate_counts(counts, cluster + 1, remaining - take, chunk_order, util_order, best);
+            self.enumerate_counts(
+                counts,
+                cluster + 1,
+                remaining - take,
+                chunk_order,
+                util_order,
+                best,
+            );
         }
         counts[cluster] = 0;
     }
@@ -315,7 +346,13 @@ pub fn demands_from_channels(per_channel: &[(usize, Vec<f64>)]) -> Vec<ChunkDema
     let mut out = Vec::new();
     for (channel, demands) in per_channel {
         for (chunk, &demand) in demands.iter().enumerate() {
-            out.push(ChunkDemand { key: ChunkKey { channel: *channel, chunk }, demand });
+            out.push(ChunkDemand {
+                key: ChunkKey {
+                    channel: *channel,
+                    chunk,
+                },
+                demand,
+            });
         }
     }
     out
@@ -344,12 +381,27 @@ mod tests {
         values
             .iter()
             .enumerate()
-            .map(|(i, &demand)| ChunkDemand { key: ChunkKey { channel: 0, chunk: i }, demand })
+            .map(|(i, &demand)| ChunkDemand {
+                key: ChunkKey {
+                    channel: 0,
+                    chunk: i,
+                },
+                demand,
+            })
             .collect()
     }
 
-    fn problem<'a>(d: &'a [ChunkDemand], c: &'a [NfsClusterSpec], budget: f64) -> StorageProblem<'a> {
-        StorageProblem { demands: d, clusters: c, chunk_bytes: 15_000_000, budget_per_hour: budget }
+    fn problem<'a>(
+        d: &'a [ChunkDemand],
+        c: &'a [NfsClusterSpec],
+        budget: f64,
+    ) -> StorageProblem<'a> {
+        StorageProblem {
+            demands: d,
+            clusters: c,
+            chunk_bytes: 15_000_000,
+            budget_per_hour: budget,
+        }
     }
 
     #[test]
@@ -360,7 +412,13 @@ mod tests {
         // Standard (u/p = 0.8/1.11e-4) beats High (1.0/2.08e-4); greedy
         // sends everything to Standard while it has space.
         for i in 0..3 {
-            assert_eq!(plan.placement[&ChunkKey { channel: 0, chunk: i }], 0);
+            assert_eq!(
+                plan.placement[&ChunkKey {
+                    channel: 0,
+                    chunk: i
+                }],
+                0
+            );
         }
         assert!((plan.total_utility - 0.8 * 16.0).abs() < 1e-9);
     }
@@ -385,10 +443,34 @@ mod tests {
         let d = demands(&[4.0, 3.0, 2.0, 1.0]);
         let plan = problem(&d, &clusters, 1.0).greedy().unwrap();
         // Hot chunks 0,1 on A; 2,3 spill to B.
-        assert_eq!(plan.placement[&ChunkKey { channel: 0, chunk: 0 }], 0);
-        assert_eq!(plan.placement[&ChunkKey { channel: 0, chunk: 1 }], 0);
-        assert_eq!(plan.placement[&ChunkKey { channel: 0, chunk: 2 }], 1);
-        assert_eq!(plan.placement[&ChunkKey { channel: 0, chunk: 3 }], 1);
+        assert_eq!(
+            plan.placement[&ChunkKey {
+                channel: 0,
+                chunk: 0
+            }],
+            0
+        );
+        assert_eq!(
+            plan.placement[&ChunkKey {
+                channel: 0,
+                chunk: 1
+            }],
+            0
+        );
+        assert_eq!(
+            plan.placement[&ChunkKey {
+                channel: 0,
+                chunk: 2
+            }],
+            1
+        );
+        assert_eq!(
+            plan.placement[&ChunkKey {
+                channel: 0,
+                chunk: 3
+            }],
+            1
+        );
         assert!((plan.total_utility - (7.0 + 1.5)).abs() < 1e-9);
     }
 
@@ -398,7 +480,11 @@ mod tests {
         let d = demands(&[1.0; 100]);
         let err = problem(&d, &clusters, 0.0).greedy().unwrap_err();
         match err {
-            CoreError::Infeasible { problem: ProblemKind::Storage, required_budget, .. } => {
+            CoreError::Infeasible {
+                problem: ProblemKind::Storage,
+                required_budget,
+                ..
+            } => {
                 // 100 chunks * 15 MB * 1.11e-4 / GB ~ 1.665e-4.
                 assert!(required_budget > 0.0);
             }
@@ -417,7 +503,10 @@ mod tests {
         let d = demands(&[1.0, 1.0]);
         assert!(matches!(
             problem(&d, &clusters, 100.0).greedy(),
-            Err(CoreError::CapacityExceeded { problem: ProblemKind::Storage, .. })
+            Err(CoreError::CapacityExceeded {
+                problem: ProblemKind::Storage,
+                ..
+            })
         ));
     }
 
@@ -430,8 +519,14 @@ mod tests {
         let d = demands(&[10.0, 5.0, 1.0]);
         let g = problem(&d, &clusters, 1.0).greedy().unwrap();
         let e = problem(&d, &clusters, 1.0).exact().unwrap();
-        assert!((e.total_utility - 1.0 * 16.0).abs() < 1e-9, "exact uses High");
-        assert!((g.total_utility - 0.8 * 16.0).abs() < 1e-9, "greedy uses Standard");
+        assert!(
+            (e.total_utility - 1.0 * 16.0).abs() < 1e-9,
+            "exact uses High"
+        );
+        assert!(
+            (g.total_utility - 0.8 * 16.0).abs() < 1e-9,
+            "greedy uses Standard"
+        );
         assert!(e.total_utility > g.total_utility);
     }
 
@@ -463,7 +558,11 @@ mod tests {
         let g = problem(&d, &clusters, 0.2).greedy().unwrap();
         let e = problem(&d, &clusters, 0.2).exact().unwrap();
         // Optimal: hot chunk on A (u 1.0), cold on B: 10 + 0.5 = 10.5.
-        assert!((e.total_utility - 10.5).abs() < 1e-9, "exact utility {}", e.total_utility);
+        assert!(
+            (e.total_utility - 10.5).abs() < 1e-9,
+            "exact utility {}",
+            e.total_utility
+        );
         assert!(e.total_utility >= g.total_utility - 1e-9);
     }
 
@@ -520,8 +619,20 @@ mod tests {
         let d = demands(&[10.0, 1.0]);
         let plan = problem(&d, &clusters, 1.0).greedy().unwrap();
         let mut new_demand = BTreeMap::new();
-        new_demand.insert(ChunkKey { channel: 0, chunk: 0 }, 2.0);
-        new_demand.insert(ChunkKey { channel: 0, chunk: 1 }, 20.0);
+        new_demand.insert(
+            ChunkKey {
+                channel: 0,
+                chunk: 0,
+            },
+            2.0,
+        );
+        new_demand.insert(
+            ChunkKey {
+                channel: 0,
+                chunk: 1,
+            },
+            20.0,
+        );
         let u = placement_utility(&plan.placement, &clusters, &new_demand);
         assert!((u - 0.8 * 22.0).abs() < 1e-9);
     }
@@ -530,7 +641,13 @@ mod tests {
     fn demands_from_channels_flattens() {
         let d = demands_from_channels(&[(0, vec![1.0, 2.0]), (3, vec![5.0])]);
         assert_eq!(d.len(), 3);
-        assert_eq!(d[2].key, ChunkKey { channel: 3, chunk: 0 });
+        assert_eq!(
+            d[2].key,
+            ChunkKey {
+                channel: 3,
+                chunk: 0
+            }
+        );
         assert_eq!(d[2].demand, 5.0);
     }
 

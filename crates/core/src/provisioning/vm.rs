@@ -78,7 +78,10 @@ pub struct VmProblem<'a> {
 impl VmProblem<'_> {
     fn validate(&self) -> Result<f64, CoreError> {
         if self.clusters.is_empty() {
-            return Err(invalid_param("clusters", "at least one virtual cluster required"));
+            return Err(invalid_param(
+                "clusters",
+                "at least one virtual cluster required",
+            ));
         }
         for c in self.clusters {
             c.validate()?;
@@ -212,7 +215,11 @@ impl VmProblem<'_> {
                     break;
                 }
                 let price = self.clusters[v].price.dollars_per_hour;
-                let affordable = if price > 0.0 { budget / price } else { f64::INFINITY };
+                let affordable = if price > 0.0 {
+                    budget / price
+                } else {
+                    f64::INFINITY
+                };
                 let take = need.min(free[v]).min(affordable);
                 if take <= 1e-12 {
                     continue;
@@ -223,7 +230,10 @@ impl VmProblem<'_> {
                 fractions[v] += take;
                 utility += self.clusters[v].utility * take;
                 cost += take * price;
-                entry.push(ChunkAllocation { cluster: v, vms: take });
+                entry.push(ChunkAllocation {
+                    cluster: v,
+                    vms: take,
+                });
             }
             if need > 1e-9 {
                 // Budget blocked the preferred clusters; feasibility check
@@ -242,7 +252,11 @@ impl VmProblem<'_> {
                         break;
                     }
                     let price = self.clusters[v].price.dollars_per_hour;
-                    let affordable = if price > 0.0 { budget / price } else { f64::INFINITY };
+                    let affordable = if price > 0.0 {
+                        budget / price
+                    } else {
+                        f64::INFINITY
+                    };
                     let take = need.min(free[v]).min(affordable);
                     if take <= 1e-12 {
                         continue;
@@ -253,7 +267,10 @@ impl VmProblem<'_> {
                     fractions[v] += take;
                     utility += self.clusters[v].utility * take;
                     cost += take * price;
-                    entry.push(ChunkAllocation { cluster: v, vms: take });
+                    entry.push(ChunkAllocation {
+                        cluster: v,
+                        vms: take,
+                    });
                 }
             }
             if need > 1e-9 {
@@ -301,7 +318,11 @@ impl VmProblem<'_> {
         self.check_feasible(r)?;
         let n = self.clusters.len();
         let total = self.total_vm_demand(r);
-        let prices: Vec<f64> = self.clusters.iter().map(|c| c.price.dollars_per_hour).collect();
+        let prices: Vec<f64> = self
+            .clusters
+            .iter()
+            .map(|c| c.price.dollars_per_hour)
+            .collect();
         let utils: Vec<f64> = self.clusters.iter().map(|c| c.utility).collect();
         let caps: Vec<f64> = self.clusters.iter().map(|c| c.max_vms as f64).collect();
 
@@ -338,8 +359,10 @@ impl VmProblem<'_> {
                 2 => {
                     // Two free vars: sum constraint + tight budget.
                     let (i, j) = (free[0], free[1]);
-                    let fixed_cost: f64 =
-                        (0..n).filter(|&k| assign[k] != 2).map(|k| y[k] * prices[k]).sum();
+                    let fixed_cost: f64 = (0..n)
+                        .filter(|&k| assign[k] != 2)
+                        .map(|k| y[k] * prices[k])
+                        .sum();
                     let budget_left = self.budget_per_hour - fixed_cost;
                     // y_i + y_j = need; p_i y_i + p_j y_j = budget_left.
                     let det = prices[i] - prices[j];
@@ -366,7 +389,7 @@ impl VmProblem<'_> {
                 return;
             }
             let value: f64 = (0..n).map(|k| y[k] * utils[k]).sum();
-            if best.as_ref().map_or(true, |(b, _)| value > *b) {
+            if best.as_ref().is_none_or(|(b, _)| value > *b) {
                 best = Some((value, y.to_vec()));
             }
         });
@@ -401,7 +424,10 @@ impl VmProblem<'_> {
                 if take > 1e-12 {
                     remaining[v] -= take;
                     need -= take;
-                    entry.push(ChunkAllocation { cluster: v, vms: take });
+                    entry.push(ChunkAllocation {
+                        cluster: v,
+                        vms: take,
+                    });
                 }
                 if remaining[v] <= 1e-12 {
                     cursor += 1;
@@ -454,12 +480,26 @@ mod tests {
         values
             .iter()
             .enumerate()
-            .map(|(i, &demand)| ChunkDemand { key: ChunkKey { channel: 0, chunk: i }, demand })
+            .map(|(i, &demand)| ChunkDemand {
+                key: ChunkKey {
+                    channel: 0,
+                    chunk: i,
+                },
+                demand,
+            })
             .collect()
     }
 
-    fn problem<'a>(d: &'a [ChunkDemand], c: &'a [VirtualClusterSpec], budget: f64) -> VmProblem<'a> {
-        VmProblem { demands: d, clusters: c, budget_per_hour: budget }
+    fn problem<'a>(
+        d: &'a [ChunkDemand],
+        c: &'a [VirtualClusterSpec],
+        budget: f64,
+    ) -> VmProblem<'a> {
+        VmProblem {
+            demands: d,
+            clusters: c,
+            budget_per_hour: budget,
+        }
     }
 
     #[test]
@@ -484,7 +524,10 @@ mod tests {
         let clusters = paper_virtual_clusters();
         let d = demands(&[12.5e6]); // 10 VMs
         let plan = problem(&d, &clusters, 100.0).greedy().unwrap();
-        assert!((plan.vm_fractions[0] - 10.0).abs() < 1e-9, "all on Standard");
+        assert!(
+            (plan.vm_fractions[0] - 10.0).abs() < 1e-9,
+            "all on Standard"
+        );
         assert_eq!(plan.vm_targets, vec![10, 0, 0]);
         assert!((plan.integer_hourly_cost - 4.5).abs() < 1e-9);
     }
@@ -516,7 +559,10 @@ mod tests {
         let d = demands(&[151.0 * PAPER_VM_BANDWIDTH]);
         assert!(matches!(
             problem(&d, &clusters, 1e9).greedy(),
-            Err(CoreError::CapacityExceeded { problem: ProblemKind::VmConfiguration, .. })
+            Err(CoreError::CapacityExceeded {
+                problem: ProblemKind::VmConfiguration,
+                ..
+            })
         ));
     }
 
@@ -526,9 +572,16 @@ mod tests {
         let d = demands(&[100.0 * PAPER_VM_BANDWIDTH]);
         let err = problem(&d, &clusters, 10.0).greedy().unwrap_err();
         match err {
-            CoreError::Infeasible { required_budget, configured_budget, .. } => {
+            CoreError::Infeasible {
+                required_budget,
+                configured_budget,
+                ..
+            } => {
                 // Cheapest 100 VMs: 75x$0.45 + 25x$0.70 = $51.25.
-                assert!((required_budget - 51.25).abs() < 1e-6, "required {required_budget}");
+                assert!(
+                    (required_budget - 51.25).abs() < 1e-6,
+                    "required {required_budget}"
+                );
                 assert_eq!(configured_budget, 10.0);
             }
             other => panic!("expected Infeasible, got {other:?}"),
@@ -555,8 +608,16 @@ mod tests {
         let d = demands(&[5e6, 2.5e6]); // 6 VMs
         let g = problem(&d, &clusters, 100.0).greedy().unwrap();
         let e = problem(&d, &clusters, 100.0).exact().unwrap();
-        assert!((e.total_utility - 6.0).abs() < 1e-6, "exact all-Advanced: {}", e.total_utility);
-        assert!((g.total_utility - 3.6).abs() < 1e-6, "greedy all-Standard: {}", g.total_utility);
+        assert!(
+            (e.total_utility - 6.0).abs() < 1e-6,
+            "exact all-Advanced: {}",
+            e.total_utility
+        );
+        assert!(
+            (g.total_utility - 3.6).abs() < 1e-6,
+            "greedy all-Standard: {}",
+            g.total_utility
+        );
     }
 
     #[test]
@@ -573,7 +634,10 @@ mod tests {
             let vals: Vec<f64> = (0..8).map(|_| next() * PAPER_VM_BANDWIDTH / 10.0).collect();
             let d = demands(&vals);
             let budget = 20.0 + trial as f64 * 2.0;
-            match (problem(&d, &clusters, budget).greedy(), problem(&d, &clusters, budget).exact()) {
+            match (
+                problem(&d, &clusters, budget).greedy(),
+                problem(&d, &clusters, budget).exact(),
+            ) {
                 (Ok(g), Ok(e)) => assert!(
                     e.total_utility >= g.total_utility - 1e-6,
                     "trial {trial}: exact {eu} < greedy {gu}",

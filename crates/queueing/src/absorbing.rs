@@ -38,7 +38,10 @@ impl AbsorbingChain {
             }
         }
         let fundamental = a.inverse()?;
-        Ok(Self { routing, fundamental })
+        Ok(Self {
+            routing,
+            fundamental,
+        })
     }
 
     /// Number of transient states.
@@ -69,7 +72,11 @@ impl AbsorbingChain {
     ///
     /// Panics if `start.len() != self.len()`.
     pub fn expected_visits_from(&self, start: &[f64]) -> Vec<f64> {
-        assert_eq!(start.len(), self.len(), "start distribution length mismatch");
+        assert_eq!(
+            start.len(),
+            self.len(),
+            "start distribution length mismatch"
+        );
         self.fundamental.transpose().mul_vec(start)
     }
 
@@ -147,7 +154,11 @@ impl AbsorbingChain {
     ///
     /// Panics if `start.len() != self.len()`.
     pub fn visits_both(&self, start: &[f64], j: usize, k: usize) -> Result<f64, QueueingError> {
-        assert_eq!(start.len(), self.len(), "start distribution length mismatch");
+        assert_eq!(
+            start.len(),
+            self.len(),
+            "start distribution length mismatch"
+        );
         if j == k {
             // "Both" degenerates to visiting j at all.
             let p: f64 = start
@@ -220,11 +231,7 @@ mod tests {
     fn visits_both_sequential_chain() {
         // Deterministic sequence 0 -> 1 -> 2 with continue prob p each.
         let p = 0.8;
-        let c = chain(&[
-            vec![0.0, p, 0.0],
-            vec![0.0, 0.0, p],
-            vec![0.0, 0.0, 0.0],
-        ]);
+        let c = chain(&[vec![0.0, p, 0.0], vec![0.0, 0.0, p], vec![0.0, 0.0, 0.0]]);
         let start = vec![1.0, 0.0, 0.0];
         // Visiting both 1 and 2 requires surviving two hops: p^2.
         assert_close(c.visits_both(&start, 1, 2).unwrap(), p * p, 1e-12);

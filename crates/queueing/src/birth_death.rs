@@ -31,7 +31,10 @@ impl BirthDeathChain {
             ));
         }
         if birth.is_empty() {
-            return Err(invalid_param("birth", "chain must have at least one transition"));
+            return Err(invalid_param(
+                "birth",
+                "chain must have at least one transition",
+            ));
         }
         for &b in &birth {
             if !b.is_finite() || b < 0.0 {
@@ -107,7 +110,10 @@ impl BirthDeathChain {
     /// Probability mass at the truncation boundary; a proxy for truncation
     /// error when approximating an infinite chain.
     pub fn boundary_mass(&self) -> f64 {
-        *self.equilibrium().last().expect("chain has at least two states")
+        *self
+            .equilibrium()
+            .last()
+            .expect("chain has at least two states")
     }
 }
 
@@ -131,8 +137,8 @@ mod tests {
     fn truncated_mm1_matches_geometric() {
         let c = BirthDeathChain::mmm(0.5, 1.0, 1, 200).unwrap();
         let pi = c.equilibrium();
-        for k in 0..10 {
-            assert_close(pi[k], 0.5 * 0.5f64.powi(k as i32), 1e-9);
+        for (k, &p) in pi.iter().enumerate().take(10) {
+            assert_close(p, 0.5 * 0.5f64.powi(k as i32), 1e-9);
         }
     }
 
@@ -151,8 +157,8 @@ mod tests {
         let q = MmmQueue::new(4.0, 1.0, 6).unwrap();
         let chain = BirthDeathChain::mmm(4.0, 1.0, 6, 2000).unwrap();
         let pi = chain.equilibrium();
-        for k in 0..30 {
-            assert_close(pi[k], q.state_probability(k), 1e-9);
+        for (k, &p) in pi.iter().enumerate().take(30) {
+            assert_close(p, q.state_probability(k), 1e-9);
         }
     }
 

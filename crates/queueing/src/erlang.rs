@@ -45,10 +45,16 @@ pub fn erlang_b(servers: usize, offered_load: f64) -> Result<f64, QueueingError>
 /// `a`.
 pub fn erlang_c(servers: usize, offered_load: f64) -> Result<f64, QueueingError> {
     if offered_load >= servers as f64 {
-        return Err(QueueingError::UnstableQueue { offered_load, servers });
+        return Err(QueueingError::UnstableQueue {
+            offered_load,
+            servers,
+        });
     }
     if servers == 0 {
-        return Err(QueueingError::UnstableQueue { offered_load, servers });
+        return Err(QueueingError::UnstableQueue {
+            offered_load,
+            servers,
+        });
     }
     let b = erlang_b(servers, offered_load)?;
     let m = servers as f64;
@@ -166,11 +172,7 @@ mod tests {
     fn mm1_queue_length_closed_form() {
         // M/M/1: L = rho / (1 - rho).
         for &rho in &[0.1, 0.5, 0.9, 0.99] {
-            assert_close(
-                expected_in_system(1, rho).unwrap(),
-                rho / (1.0 - rho),
-                1e-9,
-            );
+            assert_close(expected_in_system(1, rho).unwrap(), rho / (1.0 - rho), 1e-9);
         }
     }
 

@@ -50,7 +50,10 @@ impl fmt::Display for QueueingError {
             QueueingError::SingularSystem { column } => {
                 write!(f, "linear system is singular at pivot column {column}")
             }
-            QueueingError::UnstableQueue { offered_load, servers } => write!(
+            QueueingError::UnstableQueue {
+                offered_load,
+                servers,
+            } => write!(
                 f,
                 "queue is unstable: offered load {offered_load} >= {servers} servers"
             ),
@@ -73,7 +76,10 @@ impl Error for QueueingError {}
 
 /// Convenience helper for building [`QueueingError::InvalidParameter`].
 pub(crate) fn invalid_param(name: &'static str, message: impl Into<String>) -> QueueingError {
-    QueueingError::InvalidParameter { name, message: message.into() }
+    QueueingError::InvalidParameter {
+        name,
+        message: message.into(),
+    }
 }
 
 #[cfg(test)]
@@ -82,15 +88,24 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = QueueingError::UnstableQueue { offered_load: 3.0, servers: 2 };
+        let e = QueueingError::UnstableQueue {
+            offered_load: 3.0,
+            servers: 2,
+        };
         assert!(e.to_string().contains("unstable"));
         let e = QueueingError::SingularSystem { column: 4 };
         assert!(e.to_string().contains("column 4"));
         let e = invalid_param("mu", "must be positive");
         assert!(e.to_string().contains("mu"));
-        let e = QueueingError::InvalidRouting { row: 1, row_sum: 1.5 };
+        let e = QueueingError::InvalidRouting {
+            row: 1,
+            row_sum: 1.5,
+        };
         assert!(e.to_string().contains("row 1"));
-        let e = QueueingError::NoEquilibrium { queue: 2, rate: -1.0 };
+        let e = QueueingError::NoEquilibrium {
+            queue: 2,
+            rate: -1.0,
+        };
         assert!(e.to_string().contains("queue 2"));
     }
 }

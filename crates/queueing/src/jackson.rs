@@ -38,7 +38,11 @@ impl RoutingMatrix {
         if matrix.rows() != matrix.cols() {
             return Err(invalid_param(
                 "matrix",
-                format!("routing matrix must be square, got {}x{}", matrix.rows(), matrix.cols()),
+                format!(
+                    "routing matrix must be square, got {}x{}",
+                    matrix.rows(),
+                    matrix.cols()
+                ),
             ));
         }
         for i in 0..matrix.rows() {
@@ -125,7 +129,10 @@ impl JacksonNetwork {
                 format!("rates must be finite and non-negative, got {g}"),
             ));
         }
-        Ok(Self { routing, external_arrivals })
+        Ok(Self {
+            routing,
+            external_arrivals,
+        })
     }
 
     /// Number of queues.
@@ -331,8 +338,7 @@ mod tests {
     fn trapping_routing_is_singular() {
         // Queue 1 feeds itself forever: row sums to exactly 1 with no exit
         // reachable -> I - P^T singular.
-        let routing =
-            RoutingMatrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 1.0]]).unwrap();
+        let routing = RoutingMatrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 1.0]]).unwrap();
         let net = JacksonNetwork::new(routing, vec![1.0, 0.0]).unwrap();
         assert!(net.arrival_rates().is_err());
     }

@@ -28,7 +28,11 @@ impl Matrix {
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
         let len = rows.checked_mul(cols).expect("matrix size overflow");
-        Self { rows, cols, data: vec![0.0; len] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -54,7 +58,11 @@ impl Matrix {
             "all rows must have the same length"
         );
         let data = rows.iter().flatten().copied().collect();
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -86,9 +94,9 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }

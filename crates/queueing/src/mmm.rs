@@ -25,7 +25,11 @@ impl MmmQueue {
     ///
     /// Returns an error if rates are non-positive/non-finite or the queue
     /// would be unstable (`lambda / mu >= m`).
-    pub fn new(arrival_rate: f64, service_rate: f64, servers: usize) -> Result<Self, QueueingError> {
+    pub fn new(
+        arrival_rate: f64,
+        service_rate: f64,
+        servers: usize,
+    ) -> Result<Self, QueueingError> {
         if !(arrival_rate.is_finite() && arrival_rate >= 0.0) {
             return Err(invalid_param(
                 "arrival_rate",
@@ -38,7 +42,11 @@ impl MmmQueue {
                 format!("must be finite and positive, got {service_rate}"),
             ));
         }
-        let q = Self { arrival_rate, service_rate, servers };
+        let q = Self {
+            arrival_rate,
+            service_rate,
+            servers,
+        };
         if arrival_rate > 0.0 && q.offered_load() >= servers as f64 {
             return Err(QueueingError::UnstableQueue {
                 offered_load: q.offered_load(),
@@ -81,8 +89,7 @@ impl MmmQueue {
         if self.arrival_rate == 0.0 {
             return 0.0;
         }
-        erlang_c(self.servers, self.offered_load())
-            .expect("constructor guarantees stability")
+        erlang_c(self.servers, self.offered_load()).expect("constructor guarantees stability")
     }
 
     /// Expected number of jobs in the system, `E(n)` of paper Eqn. (3).
@@ -134,7 +141,10 @@ impl MmmQueue {
     /// sojourn; sizing for a quantile bounds the fraction of late chunks
     /// directly.
     pub fn sojourn_tail(&self, t: f64) -> f64 {
-        assert!(t >= 0.0 && t.is_finite(), "t must be finite and non-negative");
+        assert!(
+            t >= 0.0 && t.is_finite(),
+            "t must be finite and non-negative"
+        );
         let mu = self.service_rate;
         if self.arrival_rate == 0.0 {
             return (-mu * t).exp();
@@ -318,7 +328,10 @@ pub fn min_servers_for_sojourn_quantile(
     epsilon: f64,
 ) -> Result<usize, QueueingError> {
     if !(service_rate.is_finite() && service_rate > 0.0) {
-        return Err(invalid_param("service_rate", format!("must be positive, got {service_rate}")));
+        return Err(invalid_param(
+            "service_rate",
+            format!("must be positive, got {service_rate}"),
+        ));
     }
     if !(arrival_rate.is_finite() && arrival_rate >= 0.0) {
         return Err(invalid_param(
@@ -333,7 +346,10 @@ pub fn min_servers_for_sojourn_quantile(
         ));
     }
     if !(epsilon > 0.0 && epsilon < 1.0) {
-        return Err(invalid_param("epsilon", format!("must be in (0, 1), got {epsilon}")));
+        return Err(invalid_param(
+            "epsilon",
+            format!("must be in (0, 1), got {epsilon}"),
+        ));
     }
     let floor_tail = (-service_rate * target_sojourn).exp();
     if epsilon < floor_tail {
@@ -578,7 +594,11 @@ mod tests {
         ] {
             let m = min_servers_for_sojourn_quantile(lambda, mu, t, eps).unwrap();
             let q = MmmQueue::new(lambda, mu, m).unwrap();
-            assert!(q.sojourn_tail(t) <= eps + 1e-12, "m={m}: tail {}", q.sojourn_tail(t));
+            assert!(
+                q.sojourn_tail(t) <= eps + 1e-12,
+                "m={m}: tail {}",
+                q.sojourn_tail(t)
+            );
             if let Ok(q2) = MmmQueue::new(lambda, mu, m - 1) {
                 assert!(q2.sojourn_tail(t) > eps, "m-1 already meets the quantile");
             }
@@ -604,7 +624,10 @@ mod tests {
 
     #[test]
     fn quantile_zero_arrivals_needs_no_servers() {
-        assert_eq!(min_servers_for_sojourn_quantile(0.0, 1.0, 10.0, 0.5).unwrap(), 0);
+        assert_eq!(
+            min_servers_for_sojourn_quantile(0.0, 1.0, 10.0, 0.5).unwrap(),
+            0
+        );
     }
 
     #[test]

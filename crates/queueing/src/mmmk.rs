@@ -62,7 +62,13 @@ impl MmmkQueue {
         } else {
             BirthDeathChain::mmm(arrival_rate, service_rate, servers, capacity)?.equilibrium()
         };
-        Ok(Self { arrival_rate, service_rate, servers, capacity, pi })
+        Ok(Self {
+            arrival_rate,
+            service_rate,
+            servers,
+            capacity,
+            pi,
+        })
     }
 
     /// Number of servers `m`.
@@ -122,7 +128,10 @@ pub fn min_capacity_for_blocking(
     epsilon: f64,
 ) -> Result<usize, QueueingError> {
     if !(epsilon > 0.0 && epsilon < 1.0) {
-        return Err(invalid_param("epsilon", format!("must be in (0, 1), got {epsilon}")));
+        return Err(invalid_param(
+            "epsilon",
+            format!("must be in (0, 1), got {epsilon}"),
+        ));
     }
     if arrival_rate == 0.0 {
         return Ok(servers.max(1));

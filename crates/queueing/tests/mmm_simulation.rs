@@ -39,10 +39,7 @@ fn simulate_mmm(lambda: f64, mu: f64, m: usize, jobs: usize, seed: u64) -> SimRe
     let mut measure_start = 0.0_f64;
 
     while completed < jobs {
-        let next_completion = in_service
-            .iter()
-            .cloned()
-            .fold(f64::INFINITY, f64::min);
+        let next_completion = in_service.iter().cloned().fold(f64::INFINITY, f64::min);
         let n = in_service.len() + waiting.len();
         let t_next = next_arrival.min(next_completion);
         if warmup == 0 {

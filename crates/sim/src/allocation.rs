@@ -5,37 +5,128 @@
 //! first serves itself from its peers' upload capacity using the paper's
 //! rarest-first discipline (requests for the rarest chunk are served
 //! first), and only the deficit falls through to the cloud.
+//!
+//! Both kernels come in two forms: an `_into` variant that writes into
+//! caller-owned output and sort-scratch buffers (the simulator's hot path
+//! — zero heap allocation per call), and an allocating wrapper keeping
+//! the original signature for tests and one-off callers. The in-place
+//! kernels are the *only* implementation; the wrappers delegate, so every
+//! caller computes bit-identical results.
 
 /// Max–min fair allocation of `pool` across entries with the given
-/// `demands`: everyone gets at most their demand, no entry can gain
-/// without a larger entry losing. Returns per-entry allocations.
+/// `demands`, written into `out`: everyone gets at most their demand, no
+/// entry can gain without a larger entry losing.
 ///
-/// Runs the classic progressive-filling algorithm on the sorted demands in
-/// `O(n log n)`.
-pub fn allocate_pool(demands: &[f64], pool: f64) -> Vec<f64> {
+/// `order` is caller-owned sort scratch, reused across calls. The kernel
+/// runs progressive filling over only the *positive* demands (zero
+/// entries receive zero without participating in the sort) and exits as
+/// soon as the pool drains; when total demand fits in the pool the sort
+/// is skipped entirely. Demands must be non-negative and finite.
+///
+/// # Panics
+///
+/// Panics if `out.len() != demands.len()`.
+pub fn allocate_pool_into(demands: &[f64], pool: f64, out: &mut [f64], order: &mut Vec<usize>) {
     let n = demands.len();
-    let mut out = vec![0.0; n];
+    assert_eq!(out.len(), n, "output buffer must match demand count");
+    out.fill(0.0);
     if n == 0 || pool <= 0.0 {
-        return out;
+        return;
     }
     let total: f64 = demands.iter().sum();
     if total <= pool {
         out.copy_from_slice(demands);
-        return out;
+        return;
     }
-    // Progressive filling: sort indices by demand ascending.
-    let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| demands[a].partial_cmp(&demands[b]).expect("demands are finite"));
+    // Progressive filling over positive demands, ascending. Ties break by
+    // index, which reproduces a stable sort over the full demand vector:
+    // the zero entries it would place first all receive zero and only
+    // decrement the active count, so starting from `active =
+    // positive_count` is arithmetically identical.
+    order.clear();
+    order.extend((0..n).filter(|&i| demands[i] > 0.0));
+    order.sort_unstable_by(|&a, &b| demands[a].total_cmp(&demands[b]).then(a.cmp(&b)));
     let mut remaining = pool;
-    let mut active = n;
-    for (k, &i) in idx.iter().enumerate() {
+    let mut active = order.len();
+    for &i in order.iter() {
+        if remaining <= 0.0 {
+            // Pool drained: every later (larger) demand gets zero, which
+            // `out` already holds.
+            break;
+        }
         let share = remaining / active as f64;
         let give = demands[i].min(share);
         out[i] = give;
         remaining -= give;
         active -= 1;
-        let _ = k;
     }
+}
+
+/// Mask-sparse max–min fair allocation: like [`allocate_pool_into`], but
+/// touches only the chunk slots whose bit is set in `mask` (ascending).
+///
+/// Contract: slots outside `mask` are neither read nor written — the
+/// caller guarantees `out` is already zero wherever it will later be read
+/// densely. Because a zero demand contributes exactly nothing to the
+/// progressive fill (it sorts first, receives zero, and leaves both the
+/// remaining pool and the share arithmetic untouched), the values written
+/// for in-mask slots are bit-identical to a dense
+/// [`allocate_pool_into`] call over the full slice.
+pub fn allocate_pool_sparse(
+    demands: &[f64],
+    pool: f64,
+    out: &mut [f64],
+    order: &mut Vec<usize>,
+    mask: u64,
+) {
+    if mask == 0 || pool <= 0.0 {
+        return;
+    }
+    let mut total = 0.0;
+    let mut m = mask;
+    while m != 0 {
+        let k = m.trailing_zeros() as usize;
+        m &= m - 1;
+        total += demands[k];
+    }
+    if total <= pool {
+        let mut m = mask;
+        while m != 0 {
+            let k = m.trailing_zeros() as usize;
+            m &= m - 1;
+            out[k] = demands[k];
+        }
+        return;
+    }
+    order.clear();
+    let mut m = mask;
+    while m != 0 {
+        let k = m.trailing_zeros() as usize;
+        m &= m - 1;
+        if demands[k] > 0.0 {
+            order.push(k);
+        }
+    }
+    order.sort_unstable_by(|&a, &b| demands[a].total_cmp(&demands[b]).then(a.cmp(&b)));
+    let mut remaining = pool;
+    let mut active = order.len();
+    for &i in order.iter() {
+        if remaining <= 0.0 {
+            break;
+        }
+        let share = remaining / active as f64;
+        let give = demands[i].min(share);
+        out[i] = give;
+        remaining -= give;
+        active -= 1;
+    }
+}
+
+/// Allocating wrapper over [`allocate_pool_into`].
+pub fn allocate_pool(demands: &[f64], pool: f64) -> Vec<f64> {
+    let mut out = vec![0.0; demands.len()];
+    let mut order = Vec::new();
+    allocate_pool_into(demands, pool, &mut out, &mut order);
     out
 }
 
@@ -55,27 +146,98 @@ pub struct ChannelRound {
     pub upload_pool: f64,
 }
 
-/// Rarest-first peer bandwidth allocation for one channel: chunks are
-/// served in increasing order of owner count; each chunk receives at most
-/// its requested rate, at most its owners' upload capacity, and at most
-/// what remains of the channel-wide upload pool. Returns the peer-served
-/// rate per chunk.
-pub fn peer_allocation(round: &ChannelRound) -> Vec<f64> {
-    let j = round.requested_rate.len();
-    debug_assert_eq!(round.owners.len(), j);
-    debug_assert_eq!(round.owner_upload.len(), j);
-    let mut order: Vec<usize> = (0..j).filter(|&i| round.requested_rate[i] > 0.0).collect();
-    order.sort_by_key(|&i| round.owners[i]);
-    let mut pool = round.upload_pool;
-    let mut served = vec![0.0; j];
-    for &i in &order {
+/// Rarest-first peer bandwidth allocation for one channel, written into
+/// `served`: chunks are served in increasing order of owner count (ties
+/// by chunk index); each chunk receives at most its requested rate, at
+/// most its owners' upload capacity, and at most what remains of the
+/// channel-wide upload pool. Unrequested chunks are skipped before the
+/// sort, and the fill loop exits once the pool drains.
+///
+/// `order` is caller-owned sort scratch, reused across calls.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+pub fn peer_allocation_into(
+    requested_rate: &[f64],
+    owners: &[usize],
+    owner_upload: &[f64],
+    upload_pool: f64,
+    served: &mut [f64],
+    order: &mut Vec<usize>,
+) {
+    let j = requested_rate.len();
+    assert_eq!(owners.len(), j, "owners length must match chunk count");
+    assert_eq!(
+        owner_upload.len(),
+        j,
+        "owner_upload length must match chunk count"
+    );
+    assert_eq!(served.len(), j, "output buffer must match chunk count");
+    served.fill(0.0);
+    order.clear();
+    order.extend((0..j).filter(|&i| requested_rate[i] > 0.0));
+    order.sort_unstable_by_key(|&i| (owners[i], i));
+    let mut pool = upload_pool;
+    for &i in order.iter() {
         if pool <= 0.0 {
             break;
         }
-        let give = round.requested_rate[i].min(round.owner_upload[i]).min(pool);
+        let give = requested_rate[i].min(owner_upload[i]).min(pool);
         served[i] = give;
         pool -= give;
     }
+}
+
+/// Mask-sparse rarest-first allocation: like [`peer_allocation_into`],
+/// but touches only the chunk slots whose bit is set in `mask`.
+///
+/// Same contract as [`allocate_pool_sparse`]: out-of-mask slots are
+/// neither read nor written, and in-mask results are bit-identical to
+/// the dense kernel because unrequested chunks never enter the fill.
+#[allow(clippy::too_many_arguments)]
+pub fn peer_allocation_sparse(
+    requested_rate: &[f64],
+    owners: &[usize],
+    owner_upload: &[f64],
+    upload_pool: f64,
+    served: &mut [f64],
+    order: &mut Vec<usize>,
+    mask: u64,
+) {
+    order.clear();
+    let mut m = mask;
+    while m != 0 {
+        let k = m.trailing_zeros() as usize;
+        m &= m - 1;
+        if requested_rate[k] > 0.0 {
+            order.push(k);
+        }
+    }
+    order.sort_unstable_by_key(|&i| (owners[i], i));
+    let mut pool = upload_pool;
+    for &i in order.iter() {
+        if pool <= 0.0 {
+            break;
+        }
+        let give = requested_rate[i].min(owner_upload[i]).min(pool);
+        served[i] = give;
+        pool -= give;
+    }
+}
+
+/// Allocating wrapper over [`peer_allocation_into`].
+pub fn peer_allocation(round: &ChannelRound) -> Vec<f64> {
+    let mut served = vec![0.0; round.requested_rate.len()];
+    let mut order = Vec::new();
+    peer_allocation_into(
+        &round.requested_rate,
+        &round.owners,
+        &round.owner_upload,
+        round.upload_pool,
+        &mut served,
+        &mut order,
+    );
     served
 }
 
@@ -132,6 +294,22 @@ mod tests {
     }
 
     #[test]
+    fn into_kernel_reuses_scratch_across_calls() {
+        let mut out = vec![9.9; 3];
+        let mut order = Vec::new();
+        allocate_pool_into(&[10.0, 1.0, 10.0], 9.0, &mut out, &mut order);
+        assert_close(out[1], 1.0, 1e-12);
+        // Second call with different shape of positive demands: stale
+        // scratch contents must not leak through.
+        let mut out2 = vec![9.9; 4];
+        allocate_pool_into(&[0.0, 2.0, 0.0, 2.0], 1.0, &mut out2, &mut order);
+        assert_eq!(out2[0], 0.0);
+        assert_eq!(out2[2], 0.0);
+        assert_close(out2[1], 0.5, 1e-12);
+        assert_close(out2[3], 0.5, 1e-12);
+    }
+
+    #[test]
     fn rarest_chunk_served_first() {
         let round = ChannelRound {
             requested_rate: vec![5.0, 5.0],
@@ -140,7 +318,7 @@ mod tests {
             upload_pool: 6.0,
         };
         let s = peer_allocation(&round);
-        assert_close(s[1], 5.0, 1e-12, );
+        assert_close(s[1], 5.0, 1e-12);
         assert_close(s[0], 1.0, 1e-12);
     }
 
@@ -166,8 +344,8 @@ mod tests {
         };
         let s = peer_allocation(&round);
         assert_close(s.iter().sum::<f64>(), 12.0, 1e-12);
-        // Rarity order: chunk 0 fully, chunk 1 partial ... wait, chunk 0
-        // gets 10, chunk 1 gets 2, chunk 2 gets 0.
+        // Rarity order: chunk 0 fully served, chunk 1 partial, chunk 2
+        // starved.
         assert_close(s[0], 10.0, 1e-12);
         assert_close(s[1], 2.0, 1e-12);
         assert_close(s[2], 0.0, 1e-12);
@@ -184,5 +362,19 @@ mod tests {
         let s = peer_allocation(&round);
         assert_eq!(s[0], 0.0);
         assert_close(s[1], 4.0, 1e-12);
+    }
+
+    #[test]
+    fn owner_ties_break_by_chunk_index() {
+        let round = ChannelRound {
+            requested_rate: vec![5.0, 5.0, 5.0],
+            owners: vec![2, 2, 2],
+            owner_upload: vec![10.0, 10.0, 10.0],
+            upload_pool: 7.0,
+        };
+        let s = peer_allocation(&round);
+        assert_close(s[0], 5.0, 1e-12);
+        assert_close(s[1], 2.0, 1e-12);
+        assert_close(s[2], 0.0, 1e-12);
     }
 }

@@ -20,6 +20,25 @@ pub enum SimMode {
     P2p,
 }
 
+/// Which round-engine implementation drives the per-round allocation
+/// stage. Both produce **bit-identical** metrics for the same seed; they
+/// differ only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SimKernel {
+    /// Reference engine: rescans the full peer population every round and
+    /// allocates fresh buffers per round, as the original implementation
+    /// did. Kept as the baseline for benchmarks and as the oracle for the
+    /// indexed engine's regression test.
+    Scan,
+    /// Production engine: per-channel peer index maintained incrementally
+    /// on join/leave, incrementally-tracked chunk-owner counts, fused
+    /// single-pass per-channel aggregation into reusable scratch, in-place
+    /// allocation kernels, and (for large populations) channel-parallel
+    /// execution.
+    #[default]
+    Indexed,
+}
+
 /// Full configuration of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -63,6 +82,8 @@ pub struct SimConfig {
     /// gaps — which is why the paper's P2P quality (≈ 0.95) trails its
     /// client–server quality (≈ 0.97).
     pub peer_efficiency: f64,
+    /// Round-engine implementation (identical results, different speed).
+    pub kernel: SimKernel,
 }
 
 impl SimConfig {
@@ -104,6 +125,7 @@ impl SimConfig {
             streaming_rate: 50_000.0,
             chunk_seconds: 300.0,
             peer_efficiency: 0.85,
+            kernel: SimKernel::default(),
         }
     }
 
@@ -134,7 +156,10 @@ impl SimConfig {
             return Err(invalid_param("safety_factor", "must be positive"));
         }
         if self.catalog.is_empty() {
-            return Err(invalid_param("catalog", "must contain at least one channel"));
+            return Err(invalid_param(
+                "catalog",
+                "must contain at least one channel",
+            ));
         }
         if !(self.streaming_rate.is_finite() && self.streaming_rate > 0.0) {
             return Err(invalid_param("streaming_rate", "must be positive"));
@@ -156,9 +181,13 @@ impl SimConfig {
     /// Mean per-peer upload capacity implied by the trace's Pareto
     /// parameters; fed to the controller's P2P analysis.
     pub fn mean_upload(&self) -> f64 {
-        BoundedPareto::new(self.trace.upload_min_bps, self.trace.upload_max_bps, self.trace.upload_shape)
-            .map(|p| p.mean())
-            .unwrap_or(0.0)
+        BoundedPareto::new(
+            self.trace.upload_min_bps,
+            self.trace.upload_max_bps,
+            self.trace.upload_shape,
+        )
+        .map(|p| p.mean())
+        .unwrap_or(0.0)
     }
 
     /// The controller streaming mode corresponding to [`SimMode`].
@@ -186,7 +215,9 @@ mod tests {
 
     #[test]
     fn paper_default_validates() {
-        SimConfig::paper_default(SimMode::ClientServer).validate().unwrap();
+        SimConfig::paper_default(SimMode::ClientServer)
+            .validate()
+            .unwrap();
         SimConfig::paper_default(SimMode::P2p).validate().unwrap();
     }
 

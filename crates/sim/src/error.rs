@@ -69,7 +69,10 @@ impl From<WorkloadError> for SimError {
 }
 
 pub(crate) fn invalid_param(name: &'static str, message: impl Into<String>) -> SimError {
-    SimError::InvalidParameter { name, message: message.into() }
+    SimError::InvalidParameter {
+        name,
+        message: message.into(),
+    }
 }
 
 #[cfg(test)]

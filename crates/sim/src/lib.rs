@@ -40,7 +40,7 @@ pub mod peer;
 pub mod simulator;
 pub mod tracker;
 
-pub use config::{SimConfig, SimMode};
+pub use config::{SimConfig, SimKernel, SimMode};
 pub use error::SimError;
 pub use metrics::Metrics;
 pub use simulator::Simulator;

@@ -83,7 +83,11 @@ impl Metrics {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|s| s.reserved_bandwidth).sum::<f64>() / self.samples.len() as f64
+        self.samples
+            .iter()
+            .map(|s| s.reserved_bandwidth)
+            .sum::<f64>()
+            / self.samples.len() as f64
     }
 
     /// Mean used cloud bandwidth, bytes per second.
@@ -134,12 +138,18 @@ impl Metrics {
 
     /// Peak connected users across samples.
     pub fn peak_peers(&self) -> usize {
-        self.samples.iter().map(|s| s.active_peers).max().unwrap_or(0)
+        self.samples
+            .iter()
+            .map(|s| s.active_peers)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Samples restricted to `[from, to)`.
     pub fn samples_in(&self, from: f64, to: f64) -> impl Iterator<Item = &Sample> {
-        self.samples.iter().filter(move |s| s.time >= from && s.time < to)
+        self.samples
+            .iter()
+            .filter(move |s| s.time >= from && s.time < to)
     }
 }
 

@@ -154,7 +154,11 @@ impl Peer {
     /// Begins downloading `chunk` with the given playback `deadline`.
     pub fn start_chunk(&mut self, chunk: usize, chunk_bytes: f64, deadline: f64) {
         debug_assert!(chunk < MAX_CHUNKS);
-        self.state = PeerState::Downloading { chunk, bytes_left: chunk_bytes, deadline };
+        self.state = PeerState::Downloading {
+            chunk,
+            bytes_left: chunk_bytes,
+            deadline,
+        };
     }
 }
 
@@ -192,7 +196,10 @@ mod tests {
     #[test]
     fn stall_breaks_smoothness_within_window_only() {
         let mut p = peer();
-        p.state = PeerState::Waiting { next: None, wake_at: 1e9 };
+        p.state = PeerState::Waiting {
+            next: None,
+            wake_at: 1e9,
+        };
         p.record_stall(100.0, 5.0);
         assert!(!p.smooth_in_window(150.0, 300.0));
         assert!(p.smooth_in_window(500.0, 300.0), "stall aged out");
@@ -211,7 +218,10 @@ mod tests {
     fn waiting_peer_is_smooth() {
         let mut p = peer();
         p.state = PeerState::Waiting {
-            next: Some(PendingChunk { chunk: 2, deadline: 900.0 }),
+            next: Some(PendingChunk {
+                chunk: 2,
+                deadline: 900.0,
+            }),
             wake_at: 300.0,
         };
         assert!(p.smooth_in_window(500.0, 300.0));
@@ -224,7 +234,11 @@ mod tests {
         p.start_chunk(3, 15e6, 777.0);
         assert_eq!(p.downloading_chunk(), Some(3));
         match p.state {
-            PeerState::Downloading { bytes_left, deadline, .. } => {
+            PeerState::Downloading {
+                bytes_left,
+                deadline,
+                ..
+            } => {
                 assert_eq!(bytes_left, 15e6);
                 assert_eq!(deadline, 777.0);
             }

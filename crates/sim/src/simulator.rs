@@ -10,26 +10,115 @@
 //! Downloads progress in fixed fluid rounds (default 10 s): each round,
 //! bandwidth is allocated to in-flight chunk downloads, bytes advance, and
 //! completed chunks trigger viewing-model transitions.
+//!
+//! # Round engines
+//!
+//! The per-round work is driven by one of two interchangeable engines
+//! selected by [`SimKernel`]:
+//!
+//! - [`SimKernel::Indexed`] (production): round cost scales with *what
+//!   happens*, not with how many viewers are connected. Per channel it
+//!   keeps a sorted peer index with struct-of-arrays mirrors of the hot
+//!   fields (upload capacity, buffer bitmap, in-flight download state),
+//!   an incrementally-maintained chunk-owner count, a cached upload
+//!   pool, and per-chunk owner-upload sums cached between invalidating
+//!   events. Demand aggregation streams only the *active downloaders*;
+//!   waiting peers sit in a calendar wheel bucketed by wake round and
+//!   are touched exactly once, when due. Allocation runs through
+//!   mask-sparse in-place kernels over each channel's requested chunks,
+//!   and fans out across channels (`rayon`) for very large populations.
+//!   **Zero heap allocation per round** in steady state: every buffer —
+//!   per-channel lanes, sort scratch, the wheel, the event lists — is
+//!   owned by the engine or the run loop and reused across all ~60 k
+//!   rounds of a week-long run. The only allocator traffic after warm-up
+//!   is amortized growth of index vectors on joins, metric pushes at
+//!   sampling boundaries, and the hourly provisioning work.
+//! - [`SimKernel::Scan`] (reference): the original engine — three full
+//!   peer-population scans per round and fresh `Vec`s for every cloud
+//!   allocation. Kept verbatim as the benchmark baseline and as the
+//!   oracle the indexed engine is tested against.
+//!
+//! Both engines produce **bit-identical** [`Metrics`] for the same seed.
+//! This is by construction:
+//!
+//! - Every floating-point accumulator (per-slot demand, per-channel
+//!   upload pool, per-chunk owner upload) receives contributions from
+//!   exactly one channel's peers, and the indexed engine's member lists
+//!   are kept sorted by global peer index — the same relative order a
+//!   full-population scan visits — so every sum is the same sequence of
+//!   f64 additions. Cached sums are invalidated whenever their member
+//!   set *or member order* changes (buffer additions, departures, and
+//!   the `swap_remove` re-keying that moves a peer's position), so a
+//!   cache hit is always bit-identical to a fresh walk.
+//! - Owner counts are integers, so their incremental maintenance is
+//!   exact; the mask-sparse kernels skip only slots whose demand is an
+//!   exact zero, which contributes nothing to any sum.
+//! - Round events (chunk completions, which draw from the shared RNG,
+//!   and wake-ups) are replayed in ascending peer order — the order the
+//!   reference scan encounters them — regardless of which lane or wheel
+//!   bucket discovered them.
+//! - Channel-parallelism cannot reorder anything: channels never share
+//!   an accumulator.
+//!
+//! Set `CLOUDMEDIA_PROFILE=1` to print a per-phase wall-time breakdown
+//! of a run on stderr (used by `cloudmedia-bench`'s `bench_sim`).
 
 use cloudmedia_cloud::broker::{Cloud, ResourceRequest, SlaTerms};
 use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters};
 use cloudmedia_cloud::scheduler::{ChunkKey, PlacementPlan};
 use cloudmedia_core::baseline::{BaselinePlanner, ProvisionerKind};
 use cloudmedia_core::controller::{Controller, ControllerConfig, ProvisioningPlan};
-use cloudmedia_core::CoreError;
 use cloudmedia_core::predictor::ChannelObservation;
+use cloudmedia_core::CoreError;
 use cloudmedia_workload::catalog::Catalog;
 use cloudmedia_workload::trace::generate_arrivals;
 use cloudmedia_workload::viewing::NextAction;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::allocation::{allocate_pool, peer_allocation, ChannelRound};
-use crate::config::{SimConfig, SimMode};
+use crate::allocation::peer_allocation;
+use crate::allocation::ChannelRound;
+use crate::config::{SimConfig, SimKernel, SimMode};
 use crate::error::SimError;
 use crate::metrics::{IntervalRecord, Metrics, Sample};
-use crate::peer::{PendingChunk, Peer, PeerState};
+use crate::peer::{Peer, PeerState, PendingChunk};
 use crate::tracker::Tracker;
+
+/// Wall-time spent in each phase of a profiled run (seconds), captured
+/// when `CLOUDMEDIA_PROFILE=1`; see [`last_phase_profile`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize)]
+pub struct PhaseProfile {
+    /// Hourly provisioning (controller + broker submission).
+    pub provisioning: f64,
+    /// Arrival ingestion.
+    pub arrivals: f64,
+    /// The engine's per-round allocation stage.
+    pub allocation: f64,
+    /// Download advancement and event handling.
+    pub progress: f64,
+    /// Cloud lifecycle + billing ticks.
+    pub cloud: f64,
+    /// Metric sampling.
+    pub sampling: f64,
+}
+
+thread_local! {
+    static LAST_PROFILE: std::cell::Cell<Option<PhaseProfile>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The phase breakdown of the most recent `Simulator::run` on this
+/// thread, if it ran with `CLOUDMEDIA_PROFILE=1`. Consumed by
+/// `cloudmedia-bench`'s `bench_sim` to report per-stage speedups.
+pub fn last_phase_profile() -> Option<PhaseProfile> {
+    LAST_PROFILE.with(|c| c.get())
+}
+
+/// Minimum connected population before the indexed engine fans the
+/// per-channel allocation stage out across threads. Below this, one core
+/// finishes the stage faster than threads can be dispatched (the vendored
+/// rayon spawns scoped threads rather than pooling).
+const PAR_MIN_PEERS: usize = 16_384;
 
 /// The system simulator. Construct with a [`SimConfig`] and call
 /// [`Simulator::run`].
@@ -62,94 +151,1014 @@ impl Simulator {
     /// Propagates trace generation, provisioning, and cloud failures.
     pub fn run(&self) -> Result<Metrics, SimError> {
         let cfg = &self.config;
-        let catalog = &cfg.catalog;
-        let n_channels = catalog.len();
-        let max_chunks = catalog
+        let n_channels = cfg.catalog.len();
+        let max_chunks = cfg
+            .catalog
             .channels()
             .iter()
             .map(|c| c.viewing.chunks)
             .max()
             .expect("catalog validated non-empty");
-        let chunk_bytes = cfg.chunk_bytes();
-
-        let trace = generate_arrivals(catalog, &cfg.trace)?;
-        let arrivals = trace.arrivals();
-        let mut next_arrival = 0usize;
-
-        let mut cloud = Cloud::new(
-            paper_virtual_clusters(),
-            paper_nfs_clusters(),
-            chunk_bytes as u64,
-        )?;
-        let sla = cloud.sla_terms();
-        let vm_bandwidth = sla.virtual_clusters[0].vm_bandwidth_bytes_per_sec;
-
-        let controller_config = ControllerConfig {
-            interval_seconds: cfg.provisioning_interval,
-            vm_budget_per_hour: cfg.vm_budget_per_hour,
-            storage_budget_per_hour: cfg.storage_budget_per_hour,
-            mode: cfg.streaming_mode(),
-            streaming_rate: cfg.streaming_rate,
-            chunk_seconds: cfg.chunk_seconds,
-            vm_bandwidth,
-            safety_factor: cfg.safety_factor,
-            target: cfg.provisioning_target,
-            ..ControllerConfig::paper_default(cfg.streaming_mode())
-        };
-        let mut planner = match cfg.provisioner {
-            ProvisionerKind::Model => {
-                Planner::Model(Controller::new(controller_config, cfg.predictor)?)
+        match cfg.kernel {
+            SimKernel::Scan => {
+                let mut engine = ScanEngine::new(n_channels, max_chunks);
+                run_loop(cfg, &mut engine)
             }
-            baseline => Planner::Baseline(BaselinePlanner::new(
-                baseline,
-                cfg.streaming_rate,
-                cfg.chunk_seconds,
-                cfg.vm_budget_per_hour,
-                cfg.storage_budget_per_hour,
-            )?),
-        };
-        let mut current_placement: Option<PlacementPlan> = None;
-        let mut tracker = Tracker::new(catalog)?;
-        let mut rng = StdRng::seed_from_u64(cfg.behaviour_seed);
+            SimKernel::Indexed => {
+                let mut engine = IndexedEngine::new(
+                    n_channels,
+                    max_chunks,
+                    cfg.peer_efficiency,
+                    cfg.round_seconds,
+                );
+                run_loop(cfg, &mut engine)
+            }
+        }
+    }
+}
 
-        let mut peers: Vec<Peer> = Vec::new();
-        let mut metrics = Metrics::default();
+/// Read-only per-round inputs handed to the engines.
+#[derive(Debug, Clone, Copy)]
+struct RoundCtx<'a> {
+    /// Round duration, seconds.
+    step: f64,
+    /// Per-connection rate cap (one VM's bandwidth), bytes/s.
+    vm_bandwidth: f64,
+    /// Usable fraction of peer upload capacity.
+    eff: f64,
+    /// True in P2P mode.
+    p2p: bool,
+    /// `min(1, online/reserved)` scaling of per-channel reservations.
+    online_scale: f64,
+    /// Cloud bandwidth reserved per channel by the current plan, bytes/s.
+    channel_reserved: &'a [f64],
+}
 
-        let horizon = cfg.trace.horizon_seconds;
-        let dt = cfg.round_seconds;
-        let mut clock = 0.0_f64;
-        let mut next_sample = cfg.sample_interval;
-        let mut next_provision = 0.0_f64;
-        let mut window_used = 0.0_f64; // integral of used bandwidth, bytes
-        let mut window_start = 0.0_f64;
-        let mut window_startup_sum = 0.0_f64;
-        let mut window_startup_count = 0usize;
+/// A per-round allocation engine: told about peer lifecycle events, asked
+/// once per round to run the allocation stage and to name the peers that
+/// can act this round.
+trait RoundEngine {
+    /// A peer was appended at global index `idx` (always in the
+    /// `Downloading` state).
+    fn on_join(&mut self, peers: &[Peer], idx: usize);
 
-        // Scratch buffers reused across rounds.
+    /// The peer at `idx` (watching `channel`) finished a chunk and added
+    /// it to its buffer.
+    fn on_buffer(&mut self, channel: usize, idx: usize, chunk: usize);
+
+    /// The peer at `idx` started downloading `chunk` (left the `Waiting`
+    /// state) with `bytes_left` to fetch by `deadline`.
+    fn on_download_started(
+        &mut self,
+        channel: usize,
+        idx: usize,
+        chunk: usize,
+        bytes_left: f64,
+        deadline: f64,
+    );
+
+    /// The peer at `idx` moved straight to its next download after a
+    /// completion: refresh the engine's view of its in-flight chunk.
+    fn sync_download(
+        &mut self,
+        channel: usize,
+        idx: usize,
+        chunk: usize,
+        bytes_left: f64,
+        deadline: f64,
+    );
+
+    /// The peer at `idx` (stable id `id`) stopped downloading and now
+    /// waits until `wake_at` (prefetch gate or playback drain before
+    /// departure).
+    fn on_download_stopped(&mut self, channel: usize, idx: usize, id: u64, wake_at: f64);
+
+    /// Called immediately before `peers.swap_remove(idx)` (the peer at
+    /// the last index moves into `idx`).
+    fn on_remove(&mut self, peers: &[Peer], idx: usize);
+
+    /// Runs demand aggregation, P2P allocation, and cloud allocation for
+    /// one round; returns the total cloud rate used.
+    fn allocate(&mut self, peers: &[Peer], ctx: &RoundCtx<'_>) -> f64;
+
+    /// Advances every in-flight download by one round (pro-rating each
+    /// peer's share of its slot's served rate, exactly as the original
+    /// scan did) and finds the waits that come due by `t1`. Indices of
+    /// peers whose chunk completed go to `completed`; indices of due
+    /// waiters go to `woken`; both sorted ascending. Downloads that did
+    /// not complete have their remaining bytes written back internally —
+    /// the caller only ever handles events.
+    fn advance_round(
+        &mut self,
+        peers: &mut [Peer],
+        ctx: &RoundCtx<'_>,
+        t1: f64,
+        completed: &mut Vec<usize>,
+        woken: &mut Vec<usize>,
+    );
+}
+
+// ----------------------------------------------------------------------
+// Scan engine: the original three-scans-per-round implementation.
+// ----------------------------------------------------------------------
+
+/// Reference engine preserving the pre-index implementation: per round it
+/// rescans the entire peer population for demand, again for P2P upload
+/// state, and allocates fresh vectors for the cloud stage — exactly the
+/// allocation profile the indexed engine was built to eliminate.
+#[derive(Debug)]
+struct ScanEngine {
+    n_channels: usize,
+    max_chunks: usize,
+    requested: Vec<f64>,
+    peer_served: Vec<f64>,
+    cloud_served: Vec<f64>,
+    rounds: Vec<ChannelRound>,
+}
+
+impl ScanEngine {
+    fn new(n_channels: usize, max_chunks: usize) -> Self {
         let slots = n_channels * max_chunks;
-        let mut requested = vec![0.0_f64; slots];
-        let mut peer_served = vec![0.0_f64; slots];
-        // Per-channel cloud bandwidth reserved by the current plan. The
-        // paper's port-forwarding sends chunk requests to designated VMs,
-        // and a shared VM serves consecutive chunks of one channel — so a
-        // channel can use its own reserved VMs for any of its chunks, but
-        // cannot borrow another channel's.
-        let mut channel_reserved = vec![0.0_f64; n_channels];
-        let mut reserved_total = 0.0_f64;
-        let mut rounds: Vec<ChannelRound> = (0..n_channels)
-            .map(|_| ChannelRound {
-                requested_rate: vec![0.0; max_chunks],
-                owners: vec![0; max_chunks],
-                owner_upload: vec![0.0; max_chunks],
-                upload_pool: 0.0,
-            })
-            .collect();
+        Self {
+            n_channels,
+            max_chunks,
+            requested: vec![0.0; slots],
+            peer_served: vec![0.0; slots],
+            cloud_served: vec![0.0; slots],
+            rounds: (0..n_channels)
+                .map(|_| ChannelRound {
+                    requested_rate: vec![0.0; max_chunks],
+                    owners: vec![0; max_chunks],
+                    owner_upload: vec![0.0; max_chunks],
+                    upload_pool: 0.0,
+                })
+                .collect(),
+        }
+    }
+}
 
-        while clock < horizon {
-            let t1 = (clock + dt).min(horizon);
-            let step = t1 - clock;
+impl RoundEngine for ScanEngine {
+    fn on_join(&mut self, _peers: &[Peer], _idx: usize) {}
 
-            // --- Provisioning boundary ---------------------------------
+    fn on_buffer(&mut self, _channel: usize, _idx: usize, _chunk: usize) {}
+
+    fn on_download_started(
+        &mut self,
+        _channel: usize,
+        _idx: usize,
+        _chunk: usize,
+        _bytes_left: f64,
+        _deadline: f64,
+    ) {
+    }
+
+    fn sync_download(
+        &mut self,
+        _channel: usize,
+        _idx: usize,
+        _chunk: usize,
+        _bytes_left: f64,
+        _deadline: f64,
+    ) {
+    }
+
+    fn on_download_stopped(&mut self, _channel: usize, _idx: usize, _id: u64, _wake_at: f64) {}
+
+    fn on_remove(&mut self, _peers: &[Peer], _idx: usize) {}
+
+    fn allocate(&mut self, peers: &[Peer], ctx: &RoundCtx<'_>) -> f64 {
+        let max_chunks = self.max_chunks;
+        let slots = self.n_channels * max_chunks;
+
+        // --- Demand aggregation: full-population scan ---------------
+        self.requested[..slots].iter_mut().for_each(|v| *v = 0.0);
+        for p in peers {
+            if let PeerState::Downloading {
+                chunk, bytes_left, ..
+            } = p.state
+            {
+                let req = (bytes_left / ctx.step).min(ctx.vm_bandwidth);
+                self.requested[p.channel * max_chunks + chunk] += req;
+            }
+        }
+
+        // --- Peer-side allocation (P2P only): second full scan ------
+        if ctx.p2p {
+            for (c, round) in self.rounds.iter_mut().enumerate() {
+                round.upload_pool = 0.0;
+                round.owners.iter_mut().for_each(|v| *v = 0);
+                round.owner_upload.iter_mut().for_each(|v| *v = 0.0);
+                round
+                    .requested_rate
+                    .copy_from_slice(&self.requested[c * max_chunks..(c + 1) * max_chunks]);
+            }
+            for p in peers {
+                let round = &mut self.rounds[p.channel];
+                let usable = p.upload_capacity * ctx.eff;
+                round.upload_pool += usable;
+                let mut bits = p.buffer;
+                while bits != 0 {
+                    let chunk = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if chunk < max_chunks {
+                        round.owners[chunk] += 1;
+                        round.owner_upload[chunk] += usable;
+                    }
+                }
+            }
+            for (c, round) in self.rounds.iter().enumerate() {
+                let served = peer_allocation(round);
+                self.peer_served[c * max_chunks..(c + 1) * max_chunks].copy_from_slice(&served);
+            }
+        } else {
+            self.peer_served[..slots].iter_mut().for_each(|v| *v = 0.0);
+        }
+
+        // --- Cloud allocation over the residual demand ---------------
+        // Fresh buffers every round, as the original implementation
+        // allocated them.
+        let mut cloud_served = vec![0.0_f64; slots];
+        for c in 0..self.n_channels {
+            let span = c * max_chunks..(c + 1) * max_chunks;
+            let residual: Vec<f64> = span
+                .clone()
+                .map(|i| (self.requested[i] - self.peer_served[i]).max(0.0))
+                .collect();
+            let served = crate::allocation::allocate_pool(
+                &residual,
+                ctx.channel_reserved[c] * ctx.online_scale,
+            );
+            cloud_served[span].copy_from_slice(&served);
+        }
+        let used: f64 = cloud_served.iter().sum();
+        self.cloud_served = cloud_served;
+        used
+    }
+
+    fn advance_round(
+        &mut self,
+        peers: &mut [Peer],
+        ctx: &RoundCtx<'_>,
+        t1: f64,
+        completed: &mut Vec<usize>,
+        woken: &mut Vec<usize>,
+    ) {
+        // Full-population scan, as the original implementation advanced
+        // downloads.
+        for (idx, p) in peers.iter_mut().enumerate() {
+            match p.state {
+                PeerState::Downloading {
+                    chunk,
+                    bytes_left,
+                    deadline,
+                } => {
+                    let slot = p.channel * self.max_chunks + chunk;
+                    let total_rate = self.peer_served[slot] + self.cloud_served[slot];
+                    let req_total = self.requested[slot];
+                    let my_req = (bytes_left / ctx.step).min(ctx.vm_bandwidth);
+                    let my_rate = if req_total > 0.0 {
+                        total_rate * my_req / req_total
+                    } else {
+                        0.0
+                    };
+                    let new_left = bytes_left - my_rate * ctx.step;
+                    if new_left <= 1e-6 {
+                        completed.push(idx);
+                    } else {
+                        p.state = PeerState::Downloading {
+                            chunk,
+                            bytes_left: new_left,
+                            deadline,
+                        };
+                    }
+                }
+                PeerState::Waiting { wake_at, .. } => {
+                    if wake_at <= t1 {
+                        woken.push(idx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Indexed engine: per-channel peer index + incremental aggregates.
+// ----------------------------------------------------------------------
+
+/// One channel's round state and scratch, owned by the indexed engine.
+///
+/// All per-chunk vectors are sized `max_chunks` (≤ 64, so chunk sets are
+/// `u64` masks) at construction and reused for the entire run; the index
+/// vectors retain capacity across rounds, so a steady-state round
+/// performs no heap allocation.
+#[derive(Debug)]
+struct ChannelLane {
+    /// This channel's index (for `channel_reserved` lookup).
+    id: usize,
+    /// Global indices into the peer vector of this channel's viewers,
+    /// sorted ascending. Sorted order is what makes the lane's float
+    /// accumulations bit-identical to a full-population scan.
+    members: Vec<usize>,
+    /// Usable upload (capacity × efficiency) of each member, parallel to
+    /// `members` — a struct-of-arrays mirror so upload aggregation
+    /// streams 8-byte values instead of gathering whole `Peer` structs.
+    member_usable: Vec<f64>,
+    /// Buffer bitmap of each member (parallel to `members`), mirrored on
+    /// every buffer addition.
+    member_buffer: Vec<u64>,
+    /// Global indices of members currently downloading, sorted
+    /// ascending. Per-round demand cost scales with this set — the
+    /// active downloaders — not with channel membership.
+    downloaders: Vec<usize>,
+    /// Chunk each downloader is fetching (parallel to `downloaders`).
+    dl_chunk: Vec<usize>,
+    /// Bytes left for each in-flight download (parallel to
+    /// `downloaders`). This is the authoritative copy while a download
+    /// is in flight; the peer's own state is only refreshed at
+    /// completion boundaries.
+    dl_bytes: Vec<f64>,
+    /// Playback deadline of each in-flight download (parallel to
+    /// `downloaders`).
+    dl_deadline: Vec<f64>,
+    /// Number of peers owning each chunk — maintained incrementally on
+    /// buffer additions and departures (integers, so maintenance is
+    /// exact).
+    owners: Vec<usize>,
+    /// Σ usable upload over members, cached between membership changes.
+    /// Recomputed in member order when `members_dirty`, which yields the
+    /// same bits as the per-round rescan it replaces.
+    upload_pool: f64,
+    /// Membership changed since `upload_pool` was computed.
+    members_dirty: bool,
+    /// Chunks whose `owner_upload` entry is current. A chunk's
+    /// owner-upload sum — taken in member order — changes only when a
+    /// member buffers it, an owner departs, or a member's position in
+    /// the sorted order moves (swap-remove re-keying); all three clear
+    /// the bit, so a set bit means the cached sum is bit-identical to a
+    /// fresh walk.
+    owner_cached: u64,
+    /// Chunk slots written last processed round (cleared lazily at the
+    /// start of the next).
+    written_mask: u64,
+    /// Requested download rate per chunk this round.
+    requested: Vec<f64>,
+    /// Peer-served rate per chunk this round.
+    peer_served: Vec<f64>,
+    /// Cloud-served rate per chunk this round.
+    cloud_served: Vec<f64>,
+    /// Residual (cloud-facing) demand per chunk this round.
+    residual: Vec<f64>,
+    /// Total upload capacity of the chunk owners, per chunk — computed
+    /// each round for the requested chunks only (the allocation kernel
+    /// reads no others).
+    owner_upload: Vec<f64>,
+    /// Sort scratch for the allocation kernels.
+    order: Vec<usize>,
+}
+
+impl ChannelLane {
+    fn new(id: usize, max_chunks: usize) -> Self {
+        assert!(max_chunks <= 64, "chunk sets are u64 masks");
+        Self {
+            id,
+            members: Vec::new(),
+            member_usable: Vec::new(),
+            member_buffer: Vec::new(),
+            downloaders: Vec::new(),
+            dl_chunk: Vec::new(),
+            dl_bytes: Vec::new(),
+            dl_deadline: Vec::new(),
+            owners: vec![0; max_chunks],
+            upload_pool: 0.0,
+            members_dirty: false,
+            owner_cached: 0,
+            written_mask: 0,
+            requested: vec![0.0; max_chunks],
+            peer_served: vec![0.0; max_chunks],
+            cloud_served: vec![0.0; max_chunks],
+            residual: vec![0.0; max_chunks],
+            owner_upload: vec![0.0; max_chunks],
+            order: Vec::new(),
+        }
+    }
+
+    /// Position of global peer index `idx` in the member list.
+    fn member_pos(&self, idx: usize) -> usize {
+        self.members
+            .binary_search(&idx)
+            .expect("peer is indexed in its channel's member list")
+    }
+
+    /// Fused per-round pass for this channel: demand aggregation over the
+    /// active downloaders, P2P upload aggregation (pool cached between
+    /// membership changes, per-chunk owner upload computed for requested
+    /// chunks only), and both allocation kernels — all confined to the
+    /// requested chunk slots, so per-round cost scales with active
+    /// downloads rather than channel size or chunk count.
+    fn process(&mut self, ctx: &RoundCtx<'_>) {
+        // Lazily clear last round's written slots; after this, every
+        // per-chunk buffer is all-zero.
+        let mut m = self.written_mask;
+        while m != 0 {
+            let k = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.requested[k] = 0.0;
+            self.peer_served[k] = 0.0;
+            self.cloud_served[k] = 0.0;
+            self.residual[k] = 0.0;
+        }
+        self.written_mask = 0;
+        if self.downloaders.is_empty() {
+            // Nothing is requested: every output stays zero and the lane
+            // costs O(1) this round.
+            return;
+        }
+
+        let mut req_mask: u64 = 0;
+        for (j, &chunk) in self.dl_chunk.iter().enumerate() {
+            let req = (self.dl_bytes[j] / ctx.step).min(ctx.vm_bandwidth);
+            self.requested[chunk] += req;
+            req_mask |= 1 << chunk;
+        }
+        self.written_mask = req_mask;
+
+        if ctx.p2p {
+            if self.members_dirty {
+                let mut pool = 0.0;
+                for &u in &self.member_usable {
+                    pool += u;
+                }
+                self.upload_pool = pool;
+                self.members_dirty = false;
+            }
+            // Owner upload for the requested chunks only (the kernel
+            // reads no other entries), and among those only the chunks
+            // whose cached sum was invalidated since the last walk. A
+            // chunk owned by every member sums the same sequence as the
+            // pool itself; the rest walk the member buffers. Either way
+            // the summation is in member order, bit-identical to a full
+            // rescan.
+            let mut walk_mask = 0u64;
+            let mut m = req_mask & !self.owner_cached;
+            while m != 0 {
+                let k = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if self.owners[k] == self.members.len() {
+                    self.owner_upload[k] = self.upload_pool;
+                } else {
+                    self.owner_upload[k] = 0.0;
+                    walk_mask |= 1 << k;
+                }
+            }
+            if walk_mask != 0 {
+                for (i, &buf) in self.member_buffer.iter().enumerate() {
+                    let mut bits = buf & walk_mask;
+                    if bits != 0 {
+                        let usable = self.member_usable[i];
+                        while bits != 0 {
+                            let k = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            self.owner_upload[k] += usable;
+                        }
+                    }
+                }
+            }
+            self.owner_cached |= req_mask;
+            crate::allocation::peer_allocation_sparse(
+                &self.requested,
+                &self.owners,
+                &self.owner_upload,
+                self.upload_pool,
+                &mut self.peer_served,
+                &mut self.order,
+                req_mask,
+            );
+        }
+        let mut m = req_mask;
+        while m != 0 {
+            let k = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.residual[k] = (self.requested[k] - self.peer_served[k]).max(0.0);
+        }
+        crate::allocation::allocate_pool_sparse(
+            &self.residual,
+            ctx.channel_reserved[self.id] * ctx.online_scale,
+            &mut self.cloud_served,
+            &mut self.order,
+            req_mask,
+        );
+    }
+
+    /// Advances this lane's in-flight downloads by one round, streaming
+    /// the downloader arrays; completed downloads are appended to
+    /// `completed` (in ascending index order within the lane).
+    fn advance(&mut self, ctx: &RoundCtx<'_>, completed: &mut Vec<usize>) {
+        for j in 0..self.downloaders.len() {
+            let chunk = self.dl_chunk[j];
+            let bytes_left = self.dl_bytes[j];
+            let total_rate = self.peer_served[chunk] + self.cloud_served[chunk];
+            let req_total = self.requested[chunk];
+            let my_req = (bytes_left / ctx.step).min(ctx.vm_bandwidth);
+            let my_rate = if req_total > 0.0 {
+                total_rate * my_req / req_total
+            } else {
+                0.0
+            };
+            let new_left = bytes_left - my_rate * ctx.step;
+            if new_left <= 1e-6 {
+                completed.push(self.downloaders[j]);
+            } else {
+                self.dl_bytes[j] = new_left;
+            }
+        }
+    }
+}
+
+/// `u64`-keyed hash map with a multiply-mix hasher — peer ids are
+/// sequential trace ids, so SipHash is pure overhead on this hot path.
+type IdMap = std::collections::HashMap<u64, usize, std::hash::BuildHasherDefault<IdHasher>>;
+
+/// Multiplicative hasher for 8-byte keys.
+#[derive(Debug, Default)]
+struct IdHasher(u64);
+
+impl std::hash::Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 29;
+    }
+}
+
+/// A waiting peer's wheel entry: stable id (indices are renumbered by
+/// `swap_remove`) plus its wake time.
+#[derive(Debug, Clone, Copy)]
+struct WakeEntry {
+    wake_at: f64,
+    id: u64,
+}
+
+/// Calendar wheel of waiting peers, bucketed by round. Pushing is O(1);
+/// each round drains exactly the buckets the clock passed. An entry more
+/// than one revolution ahead (never at realistic wait lengths — gates
+/// wait minutes, drains at most a session's buffered playback) simply
+/// stays in its wrapped bucket until its own revolution comes around.
+/// Due-ness is always re-checked against the actual round clock, so
+/// bucket placement never changes behavior — only where an entry waits.
+#[derive(Debug)]
+struct WakeWheel {
+    /// Round duration (bucket width), seconds.
+    dt: f64,
+    /// `buckets[b]` holds entries with `floor(wake_at / dt) % LEN == b`.
+    buckets: Vec<Vec<WakeEntry>>,
+    /// Highest absolute bucket index already drained.
+    drained: i64,
+    /// Scratch for entries drained early (same bucket, later in the
+    /// round window); re-checked next round.
+    pending: Vec<WakeEntry>,
+}
+
+impl WakeWheel {
+    /// One week of 10-second rounds is 60 480 buckets; 8192 (~22 h at the
+    /// default round) keeps the wheel compact while far exceeding any
+    /// prefetch-gate or drain wait.
+    const LEN: usize = 8192;
+
+    fn new(dt: f64) -> Self {
+        Self {
+            dt,
+            buckets: (0..Self::LEN).map(|_| Vec::new()).collect(),
+            drained: -1,
+            pending: Vec::new(),
+        }
+    }
+
+    fn abs_bucket(&self, wake_at: f64) -> i64 {
+        (wake_at / self.dt).floor() as i64
+    }
+
+    fn push(&mut self, entry: WakeEntry) {
+        let b = self.abs_bucket(entry.wake_at);
+        if b <= self.drained {
+            // The wake falls inside a bucket the clock already passed
+            // this round (possible whenever wake times are not aligned
+            // to round boundaries, e.g. chunk_seconds not a multiple of
+            // round_seconds). The bucket will not be drained again for a
+            // full revolution, so park the entry in `pending`, which is
+            // re-checked at the start of every round.
+            self.pending.push(entry);
+        } else {
+            self.buckets[(b.rem_euclid(Self::LEN as i64)) as usize].push(entry);
+        }
+    }
+
+    /// Collects every entry with `wake_at <= t1` into `due`.
+    fn drain_due(&mut self, t1: f64, due: &mut Vec<WakeEntry>) {
+        // Entries drained early in a previous pass.
+        self.pending.retain(|e| {
+            if e.wake_at <= t1 {
+                due.push(*e);
+                false
+            } else {
+                true
+            }
+        });
+        let target = self.abs_bucket(t1);
+        while self.drained < target {
+            self.drained += 1;
+            let drained = self.drained;
+            let dt = self.dt;
+            let slot = (drained.rem_euclid(Self::LEN as i64)) as usize;
+            let bucket = &mut self.buckets[slot];
+            for i in (0..bucket.len()).rev() {
+                let e = bucket[i];
+                // Same-revolution entries only; a far-future collision
+                // (> one revolution ahead) stays for a later pass.
+                if (e.wake_at / dt).floor() as i64 != drained {
+                    continue;
+                }
+                bucket.swap_remove(i);
+                if e.wake_at <= t1 {
+                    due.push(e);
+                } else {
+                    self.pending.push(e);
+                }
+            }
+        }
+    }
+}
+
+/// Production engine; see the module docs for the design and the
+/// bit-exactness argument.
+#[derive(Debug)]
+struct IndexedEngine {
+    lanes: Vec<ChannelLane>,
+    max_chunks: usize,
+    /// Usable-upload factor (`peer_efficiency`), applied once at join.
+    eff: f64,
+    /// Waiting peers, bucketed by wake round.
+    wheel: WakeWheel,
+    /// Stable peer id → current index (kept current across
+    /// `swap_remove`), used to resolve drained wake entries.
+    id_to_idx: IdMap,
+    /// Scratch for drained wake entries.
+    due: Vec<WakeEntry>,
+}
+
+impl IndexedEngine {
+    fn new(n_channels: usize, max_chunks: usize, eff: f64, round_seconds: f64) -> Self {
+        Self {
+            lanes: (0..n_channels)
+                .map(|c| ChannelLane::new(c, max_chunks))
+                .collect(),
+            max_chunks,
+            eff,
+            wheel: WakeWheel::new(round_seconds),
+            id_to_idx: IdMap::default(),
+            due: Vec::new(),
+        }
+    }
+}
+
+impl RoundEngine for IndexedEngine {
+    fn on_join(&mut self, peers: &[Peer], idx: usize) {
+        debug_assert_eq!(idx, peers.len() - 1, "joins append at the end");
+        let p = &peers[idx];
+        let lane = &mut self.lanes[p.channel];
+        // `idx` exceeds every existing index, so pushing keeps the
+        // member and downloader lists sorted.
+        lane.members.push(idx);
+        lane.member_usable.push(p.upload_capacity * self.eff);
+        lane.member_buffer.push(p.buffer);
+        let PeerState::Downloading {
+            chunk,
+            bytes_left,
+            deadline,
+        } = p.state
+        else {
+            unreachable!("peers join downloading their start chunk");
+        };
+        lane.downloaders.push(idx);
+        lane.dl_chunk.push(chunk);
+        lane.dl_bytes.push(bytes_left);
+        lane.dl_deadline.push(deadline);
+        lane.members_dirty = true;
+        self.id_to_idx.insert(p.id, idx);
+    }
+
+    fn on_buffer(&mut self, channel: usize, idx: usize, chunk: usize) {
+        let lane = &mut self.lanes[channel];
+        lane.owners[chunk] += 1;
+        lane.owner_cached &= !(1 << chunk);
+        let pos = lane.member_pos(idx);
+        lane.member_buffer[pos] |= 1 << chunk;
+    }
+
+    fn on_download_started(
+        &mut self,
+        channel: usize,
+        idx: usize,
+        chunk: usize,
+        bytes_left: f64,
+        deadline: f64,
+    ) {
+        let lane = &mut self.lanes[channel];
+        let ins = lane
+            .downloaders
+            .binary_search(&idx)
+            .expect_err("peer was not downloading");
+        lane.downloaders.insert(ins, idx);
+        lane.dl_chunk.insert(ins, chunk);
+        lane.dl_bytes.insert(ins, bytes_left);
+        lane.dl_deadline.insert(ins, deadline);
+    }
+
+    fn sync_download(
+        &mut self,
+        channel: usize,
+        idx: usize,
+        chunk: usize,
+        bytes_left: f64,
+        deadline: f64,
+    ) {
+        let lane = &mut self.lanes[channel];
+        let pos = lane
+            .downloaders
+            .binary_search(&idx)
+            .expect("syncing peer is downloading");
+        lane.dl_chunk[pos] = chunk;
+        lane.dl_bytes[pos] = bytes_left;
+        lane.dl_deadline[pos] = deadline;
+    }
+
+    fn on_download_stopped(&mut self, channel: usize, idx: usize, id: u64, wake_at: f64) {
+        let lane = &mut self.lanes[channel];
+        let pos = lane
+            .downloaders
+            .binary_search(&idx)
+            .expect("stopping peer was downloading");
+        lane.downloaders.remove(pos);
+        lane.dl_chunk.remove(pos);
+        lane.dl_bytes.remove(pos);
+        lane.dl_deadline.remove(pos);
+        // `wake_at` is strictly in the future (gates and drains both
+        // check against `now` before waiting).
+        self.wheel.push(WakeEntry { wake_at, id });
+    }
+
+    fn on_remove(&mut self, peers: &[Peer], idx: usize) {
+        let removed = &peers[idx];
+        let lane = &mut self.lanes[removed.channel];
+        // Drop the departing peer's chunks from the owner counts.
+        let mut bits = removed.buffer;
+        while bits != 0 {
+            let chunk = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            if chunk < self.max_chunks {
+                lane.owners[chunk] -= 1;
+            }
+        }
+        let pos = lane.member_pos(idx);
+        lane.members.remove(pos);
+        lane.member_usable.remove(pos);
+        lane.member_buffer.remove(pos);
+        lane.members_dirty = true;
+        lane.owner_cached &= !removed.buffer;
+        if matches!(removed.state, PeerState::Downloading { .. }) {
+            let dpos = lane
+                .downloaders
+                .binary_search(&idx)
+                .expect("downloading peer is in the downloader list");
+            lane.downloaders.remove(dpos);
+            lane.dl_chunk.remove(dpos);
+            lane.dl_bytes.remove(dpos);
+            lane.dl_deadline.remove(dpos);
+        }
+        self.id_to_idx.remove(&removed.id);
+        // `swap_remove` moves the peer at the last global index into
+        // `idx`; re-key it everywhere. Being the largest index, it sits
+        // at the tail of whichever sorted lists hold it.
+        let last = peers.len() - 1;
+        if last != idx {
+            let moved = &peers[last];
+            let moved_lane = &mut self.lanes[moved.channel];
+            // Re-keying moves this member's position in the sorted
+            // order, so every cached member-order sum it contributes to
+            // (the upload pool and the chunks it owns) must be
+            // recomputed to stay bit-identical to a fresh scan.
+            moved_lane.owner_cached &= !moved.buffer;
+            moved_lane.members_dirty = true;
+            let mpos = moved_lane.member_pos(last);
+            debug_assert_eq!(mpos, moved_lane.members.len() - 1);
+            moved_lane.members.pop();
+            let usable = moved_lane.member_usable.pop().expect("parallel arrays");
+            let buffer = moved_lane.member_buffer.pop().expect("parallel arrays");
+            let ins = moved_lane
+                .members
+                .binary_search(&idx)
+                .expect_err("slot index vacated by removal");
+            moved_lane.members.insert(ins, idx);
+            moved_lane.member_usable.insert(ins, usable);
+            moved_lane.member_buffer.insert(ins, buffer);
+            if matches!(moved.state, PeerState::Downloading { .. }) {
+                let popped = moved_lane.downloaders.pop();
+                debug_assert_eq!(popped, Some(last));
+                let chunk = moved_lane.dl_chunk.pop().expect("parallel arrays");
+                let bytes = moved_lane.dl_bytes.pop().expect("parallel arrays");
+                let deadline = moved_lane.dl_deadline.pop().expect("parallel arrays");
+                let dins = moved_lane
+                    .downloaders
+                    .binary_search(&idx)
+                    .expect_err("slot index vacated by removal");
+                moved_lane.downloaders.insert(dins, idx);
+                moved_lane.dl_chunk.insert(dins, chunk);
+                moved_lane.dl_bytes.insert(dins, bytes);
+                moved_lane.dl_deadline.insert(dins, deadline);
+            }
+            self.id_to_idx.insert(moved.id, idx);
+        }
+    }
+
+    fn allocate(&mut self, peers: &[Peer], ctx: &RoundCtx<'_>) -> f64 {
+        if peers.len() >= PAR_MIN_PEERS && self.lanes.len() > 1 {
+            // Contiguous channel groups across threads. Channels never
+            // share an accumulator, so scheduling cannot affect results.
+            let threads = rayon::current_num_threads().min(self.lanes.len()).max(1);
+            let group = self.lanes.len().div_ceil(threads);
+            rayon::scope(|s| {
+                for lanes in self.lanes.chunks_mut(group) {
+                    s.spawn(move |_| {
+                        for lane in lanes {
+                            lane.process(ctx);
+                        }
+                    });
+                }
+            });
+        } else {
+            for lane in &mut self.lanes {
+                lane.process(ctx);
+            }
+        }
+        // One running accumulator over channels in order, visiting only
+        // written slots — the same addition sequence as a dense flat sum,
+        // since the skipped slots hold exact zeros.
+        let mut used = 0.0;
+        for lane in &self.lanes {
+            let mut m = lane.written_mask;
+            while m != 0 {
+                let k = m.trailing_zeros() as usize;
+                m &= m - 1;
+                used += lane.cloud_served[k];
+            }
+        }
+        used
+    }
+
+    fn advance_round(
+        &mut self,
+        peers: &mut [Peer],
+        ctx: &RoundCtx<'_>,
+        t1: f64,
+        completed: &mut Vec<usize>,
+        woken: &mut Vec<usize>,
+    ) {
+        for lane in &mut self.lanes {
+            lane.advance(ctx, completed);
+        }
+        completed.sort_unstable();
+        self.due.clear();
+        self.wheel.drain_due(t1, &mut self.due);
+        for e in &self.due {
+            let idx = *self
+                .id_to_idx
+                .get(&e.id)
+                .expect("waiting peers stay until they wake");
+            debug_assert!(matches!(peers[idx].state, PeerState::Waiting { .. }));
+            woken.push(idx);
+        }
+        woken.sort_unstable();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Shared run loop.
+// ----------------------------------------------------------------------
+
+/// The round loop shared by both engines: provisioning, arrivals, the
+/// engine's allocation stage, download progress and viewing-model
+/// transitions, cloud billing, and sampling.
+fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<Metrics, SimError> {
+    let catalog = &cfg.catalog;
+    let n_channels = catalog.len();
+    let chunk_bytes = cfg.chunk_bytes();
+
+    let trace = generate_arrivals(catalog, &cfg.trace)?;
+    let arrivals = trace.arrivals();
+    let mut next_arrival = 0usize;
+
+    let mut cloud = Cloud::new(
+        paper_virtual_clusters(),
+        paper_nfs_clusters(),
+        chunk_bytes as u64,
+    )?;
+    let sla = cloud.sla_terms();
+    let vm_bandwidth = sla.virtual_clusters[0].vm_bandwidth_bytes_per_sec;
+
+    let controller_config = ControllerConfig {
+        interval_seconds: cfg.provisioning_interval,
+        vm_budget_per_hour: cfg.vm_budget_per_hour,
+        storage_budget_per_hour: cfg.storage_budget_per_hour,
+        mode: cfg.streaming_mode(),
+        streaming_rate: cfg.streaming_rate,
+        chunk_seconds: cfg.chunk_seconds,
+        vm_bandwidth,
+        safety_factor: cfg.safety_factor,
+        target: cfg.provisioning_target,
+        ..ControllerConfig::paper_default(cfg.streaming_mode())
+    };
+    let mut planner = match cfg.provisioner {
+        ProvisionerKind::Model => {
+            Planner::Model(Box::new(Controller::new(controller_config, cfg.predictor)?))
+        }
+        baseline => Planner::Baseline(BaselinePlanner::new(
+            baseline,
+            cfg.streaming_rate,
+            cfg.chunk_seconds,
+            cfg.vm_budget_per_hour,
+            cfg.storage_budget_per_hour,
+        )?),
+    };
+    let mut current_placement: Option<PlacementPlan> = None;
+    let mut tracker = Tracker::new(catalog)?;
+    let mut rng = StdRng::seed_from_u64(cfg.behaviour_seed);
+
+    let mut peers: Vec<Peer> = Vec::new();
+    let mut metrics = Metrics::default();
+
+    let horizon = cfg.trace.horizon_seconds;
+    let dt = cfg.round_seconds;
+    let mut clock = 0.0_f64;
+    let mut next_sample = cfg.sample_interval;
+    let mut next_provision = 0.0_f64;
+    let mut window_used = 0.0_f64; // integral of used bandwidth, bytes
+    let mut window_start = 0.0_f64;
+    let mut window_startup_sum = 0.0_f64;
+    let mut window_startup_count = 0usize;
+
+    // Per-channel cloud bandwidth reserved by the current plan. The
+    // paper's port-forwarding sends chunk requests to designated VMs,
+    // and a shared VM serves consecutive chunks of one channel — so a
+    // channel can use its own reserved VMs for any of its chunks, but
+    // cannot borrow another channel's.
+    let mut channel_reserved = vec![0.0_f64; n_channels];
+    let mut reserved_total = 0.0_f64;
+    // Event scratch, reused across rounds.
+    let mut removals: Vec<usize> = Vec::new();
+    let mut completed: Vec<usize> = Vec::new();
+    let mut woken: Vec<usize> = Vec::new();
+
+    // Temporary instrumentation (CLOUDMEDIA_PROFILE=1): phase totals.
+    let profile = std::env::var("CLOUDMEDIA_PROFILE").is_ok();
+    let mut t_prov = 0.0f64;
+    let mut t_arr = 0.0f64;
+    let mut t_alloc = 0.0f64;
+    let mut t_prog = 0.0f64;
+    let mut t_cloud = 0.0f64;
+    let mut t_sample = 0.0f64;
+    let mut t_adv = 0.0f64;
+    let mut n_completed = 0u64;
+    let mut n_woken = 0u64;
+    let mut n_rounds = 0u64;
+    macro_rules! timed {
+        ($acc:ident, $e:expr) => {{
+            if profile {
+                let __t = std::time::Instant::now();
+                let __r = $e;
+                $acc += __t.elapsed().as_secs_f64();
+                __r
+            } else {
+                $e
+            }
+        }};
+    }
+
+    while clock < horizon {
+        let t1 = (clock + dt).min(horizon);
+        let step = t1 - clock;
+
+        // --- Provisioning boundary ---------------------------------
+        timed!(
+            t_prov,
             if clock >= next_provision {
                 let stats = if metrics.intervals.is_empty() {
                     bootstrap_stats(catalog, cfg)
@@ -186,8 +1195,11 @@ impl Simulator {
                 ));
                 next_provision += cfg.provisioning_interval;
             }
+        );
 
-            // --- Arrivals ----------------------------------------------
+        // --- Arrivals ----------------------------------------------
+        timed!(
+            t_arr,
             while next_arrival < arrivals.len() && arrivals[next_arrival].time < t1 {
                 let a = &arrivals[next_arrival];
                 peers.push(Peer::new(
@@ -198,150 +1210,152 @@ impl Simulator {
                     chunk_bytes,
                     a.time,
                 ));
+                engine.on_join(&peers, peers.len() - 1);
                 tracker.record_join(a.channel, a.start_chunk);
                 next_arrival += 1;
             }
+        );
 
-            // --- Demand aggregation ------------------------------------
-            requested[..slots].iter_mut().for_each(|v| *v = 0.0);
-            for p in &peers {
-                if let PeerState::Downloading { chunk, bytes_left, .. } = p.state {
-                    let req = (bytes_left / step).min(vm_bandwidth);
-                    requested[p.channel * max_chunks + chunk] += req;
-                }
+        // --- Allocation stage (engine-specific) ---------------------
+        let cloud_pool = cloud.running_bandwidth();
+        let online_scale = if reserved_total > 0.0 {
+            (cloud_pool / reserved_total).min(1.0)
+        } else {
+            0.0
+        };
+        let ctx = RoundCtx {
+            step,
+            vm_bandwidth,
+            eff: cfg.peer_efficiency,
+            p2p: cfg.mode == SimMode::P2p,
+            online_scale,
+            channel_reserved: &channel_reserved,
+        };
+        let used_cloud_rate = timed!(t_alloc, engine.allocate(&peers, &ctx));
+
+        // --- Progress downloads, handle completions -----------------
+        // The engine advances every in-flight download and reports the
+        // round's events: completed chunks and due wake-ups. Events are
+        // then handled in ascending peer order — the same order the
+        // original full scan encountered them — so RNG draws, tracker
+        // records, and removals are identical.
+        timed!(t_prog, {
+            completed.clear();
+            woken.clear();
+            timed!(
+                t_adv,
+                engine.advance_round(&mut peers, &ctx, t1, &mut completed, &mut woken)
+            );
+            if profile {
+                n_rounds += 1;
+                n_completed += completed.len() as u64;
+                n_woken += woken.len() as u64;
             }
-
-            // --- Peer-side allocation (P2P only) ------------------------
-            let cloud_pool = cloud.running_bandwidth();
-            let mut used_cloud_rate = 0.0;
-            if cfg.mode == SimMode::P2p {
-                for (c, round) in rounds.iter_mut().enumerate() {
-                    round.upload_pool = 0.0;
-                    round.owners.iter_mut().for_each(|v| *v = 0);
-                    round.owner_upload.iter_mut().for_each(|v| *v = 0.0);
-                    round
-                        .requested_rate
-                        .copy_from_slice(&requested[c * max_chunks..(c + 1) * max_chunks]);
-                }
-                let eff = cfg.peer_efficiency;
-                for p in &peers {
-                    let round = &mut rounds[p.channel];
-                    let usable = p.upload_capacity * eff;
-                    round.upload_pool += usable;
-                    let mut bits = p.buffer;
-                    while bits != 0 {
-                        let chunk = bits.trailing_zeros() as usize;
-                        bits &= bits - 1;
-                        if chunk < max_chunks {
-                            round.owners[chunk] += 1;
-                            round.owner_upload[chunk] += usable;
+            let (mut ci, mut wi) = (0usize, 0usize);
+            while ci < completed.len() || wi < woken.len() {
+                let is_completion = match (completed.get(ci), woken.get(wi)) {
+                    (Some(&c), Some(&w)) => c < w,
+                    (Some(_), None) => true,
+                    (None, _) => false,
+                };
+                if is_completion {
+                    let idx = completed[ci];
+                    ci += 1;
+                    let p = &mut peers[idx];
+                    let PeerState::Downloading {
+                        chunk, deadline, ..
+                    } = p.state
+                    else {
+                        unreachable!("completion events come from downloading peers");
+                    };
+                    // Chunk complete at (approximately) t1.
+                    debug_assert!(!p.owns(chunk), "a chunk downloads at most once");
+                    p.add_to_buffer(chunk);
+                    engine.on_buffer(p.channel, idx, chunk);
+                    if deadline.is_finite() {
+                        if t1 > deadline {
+                            p.record_stall(t1, t1 - deadline);
+                        }
+                    } else {
+                        // First chunk: playback starts now.
+                        window_startup_sum += t1 - p.joined_at;
+                        window_startup_count += 1;
+                    }
+                    // The chunk plays from its deadline (or from now,
+                    // after a stall or for the first chunk).
+                    let play_start = if deadline.is_finite() {
+                        deadline.max(t1)
+                    } else {
+                        t1
+                    };
+                    advance_playback(
+                        p,
+                        idx,
+                        chunk,
+                        play_start + cfg.chunk_seconds,
+                        chunk_bytes,
+                        cfg.chunk_seconds,
+                        t1,
+                        catalog,
+                        &mut tracker,
+                        &mut rng,
+                        &mut removals,
+                    );
+                    // The playback walk either began the next download,
+                    // gated it (or a departure drain) behind a wake-up,
+                    // or scheduled an immediate departure.
+                    match p.state {
+                        PeerState::Waiting { wake_at, .. } => {
+                            engine.on_download_stopped(p.channel, idx, p.id, wake_at);
+                        }
+                        PeerState::Downloading {
+                            chunk,
+                            bytes_left,
+                            deadline,
+                        } => {
+                            engine.sync_download(p.channel, idx, chunk, bytes_left, deadline);
                         }
                     }
-                }
-                for (c, round) in rounds.iter().enumerate() {
-                    let served = peer_allocation(round);
-                    peer_served[c * max_chunks..(c + 1) * max_chunks].copy_from_slice(&served);
-                }
-            } else {
-                peer_served[..slots].iter_mut().for_each(|v| *v = 0.0);
-            }
-
-            // --- Cloud allocation over the residual demand --------------
-            // Each channel is served by its designated VMs: capped at the
-            // plan's per-channel reservation, scaled by how much of the
-            // reservation is actually online (boot latency, fleet limits).
-            let online_scale = if reserved_total > 0.0 {
-                (cloud_pool / reserved_total).min(1.0)
-            } else {
-                0.0
-            };
-            let mut cloud_served = vec![0.0_f64; slots];
-            for c in 0..n_channels {
-                let span = c * max_chunks..(c + 1) * max_chunks;
-                let residual: Vec<f64> = span
-                    .clone()
-                    .map(|i| (requested[i] - peer_served[i]).max(0.0))
-                    .collect();
-                let served = allocate_pool(&residual, channel_reserved[c] * online_scale);
-                cloud_served[span].copy_from_slice(&served);
-            }
-            used_cloud_rate += cloud_served.iter().sum::<f64>();
-
-            // --- Progress downloads, handle completions -----------------
-            let mut removals: Vec<usize> = Vec::new();
-            for (idx, p) in peers.iter_mut().enumerate() {
-                match p.state {
-                    PeerState::Downloading { chunk, bytes_left, deadline } => {
-                        let slot = p.channel * max_chunks + chunk;
-                        let total_rate = peer_served[slot] + cloud_served[slot];
-                        let req_total = requested[slot];
-                        let my_req = (bytes_left / step).min(vm_bandwidth);
-                        let my_rate = if req_total > 0.0 {
-                            total_rate * my_req / req_total
-                        } else {
-                            0.0
-                        };
-                        let new_left = bytes_left - my_rate * step;
-                        if new_left <= 1e-6 {
-                            // Chunk complete at (approximately) t1.
-                            p.add_to_buffer(chunk);
-                            if deadline.is_finite() {
-                                if t1 > deadline {
-                                    p.record_stall(t1, t1 - deadline);
-                                }
-                            } else {
-                                // First chunk: playback starts now.
-                                window_startup_sum += t1 - p.joined_at;
-                                window_startup_count += 1;
-                            }
-                            // The chunk plays from its deadline (or from
-                            // now, after a stall or for the first chunk).
-                            let play_start =
-                                if deadline.is_finite() { deadline.max(t1) } else { t1 };
-                            advance_playback(
-                                p,
+                } else {
+                    let idx = woken[wi];
+                    wi += 1;
+                    let p = &mut peers[idx];
+                    let PeerState::Waiting { next, wake_at } = p.state else {
+                        unreachable!("wake events come from waiting peers");
+                    };
+                    debug_assert!(wake_at <= t1);
+                    match next {
+                        Some(pending) => {
+                            p.start_chunk(pending.chunk, chunk_bytes, pending.deadline);
+                            engine.on_download_started(
+                                p.channel,
                                 idx,
-                                chunk,
-                                play_start + cfg.chunk_seconds,
+                                pending.chunk,
                                 chunk_bytes,
-                                cfg.chunk_seconds,
-                                t1,
-                                catalog,
-                                &mut tracker,
-                                &mut rng,
-                                &mut removals,
+                                pending.deadline,
                             );
-                        } else {
-                            p.state = PeerState::Downloading {
-                                chunk,
-                                bytes_left: new_left,
-                                deadline,
-                            };
                         }
-                    }
-                    PeerState::Waiting { next, wake_at } => {
-                        if wake_at <= t1 {
-                            match next {
-                                Some(pending) => {
-                                    p.start_chunk(pending.chunk, chunk_bytes, pending.deadline);
-                                }
-                                None => removals.push(idx),
-                            }
-                        }
+                        None => removals.push(idx),
                     }
                 }
             }
-            // Remove departed peers (descending index for swap_remove).
-            removals.sort_unstable_by(|a, b| b.cmp(a));
-            for idx in removals {
-                peers.swap_remove(idx);
-            }
+        });
+        // Remove departed peers, highest index first so earlier indices
+        // stay valid across `swap_remove`.
+        removals.sort_unstable();
+        for &idx in removals.iter().rev() {
+            engine.on_remove(&peers, idx);
+            peers.swap_remove(idx);
+        }
+        removals.clear();
 
-            // --- Advance the cloud (billing + VM lifecycle) --------------
-            cloud.tick(t1)?;
-            window_used += used_cloud_rate * step;
+        // --- Advance the cloud (billing + VM lifecycle) --------------
+        timed!(t_cloud, cloud.tick(t1)?);
+        window_used += used_cloud_rate * step;
 
-            // --- Sampling ------------------------------------------------
+        // --- Sampling ------------------------------------------------
+        timed!(
+            t_sample,
             if t1 >= next_sample || t1 >= horizon {
                 let elapsed = (t1 - window_start).max(1e-9);
                 let startup = if window_startup_count > 0 {
@@ -364,14 +1378,31 @@ impl Simulator {
                 window_start = t1;
                 next_sample += cfg.sample_interval;
             }
+        );
 
-            clock = t1;
-        }
-
-        metrics.total_vm_cost = cloud.billing().vm_cost().as_dollars();
-        metrics.total_storage_cost = cloud.billing().storage_cost().as_dollars();
-        Ok(metrics)
+        clock = t1;
     }
+
+    if profile {
+        eprintln!(
+            "phases: prov={t_prov:.3}s arrivals={t_arr:.3}s alloc={t_alloc:.3}s progress={t_prog:.3}s (advance={t_adv:.3}s, {:.1} done + {:.1} woken / round) cloud={t_cloud:.3}s sample={t_sample:.3}s",
+            n_completed as f64 / n_rounds.max(1) as f64,
+            n_woken as f64 / n_rounds.max(1) as f64
+        );
+        LAST_PROFILE.with(|c| {
+            c.set(Some(PhaseProfile {
+                provisioning: t_prov,
+                arrivals: t_arr,
+                allocation: t_alloc,
+                progress: t_prog,
+                cloud: t_cloud,
+                sampling: t_sample,
+            }));
+        });
+    }
+    metrics.total_vm_cost = cloud.billing().vm_cost().as_dollars();
+    metrics.total_storage_cost = cloud.billing().storage_cost().as_dollars();
+    Ok(metrics)
 }
 
 /// Advances a peer's playback pipeline after it finished downloading
@@ -410,7 +1441,10 @@ fn advance_playback(
                 let gate = play_end - crate::peer::PREFETCH_WINDOWS * chunk_seconds;
                 if gate > now {
                     p.state = PeerState::Waiting {
-                        next: Some(PendingChunk { chunk: next, deadline: play_end }),
+                        next: Some(PendingChunk {
+                            chunk: next,
+                            deadline: play_end,
+                        }),
                         wake_at: gate,
                     };
                 } else {
@@ -424,7 +1458,10 @@ fn advance_playback(
                     removals.push(idx);
                 } else {
                     // Drain playback (still uploading), then depart.
-                    p.state = PeerState::Waiting { next: None, wake_at: play_end };
+                    p.state = PeerState::Waiting {
+                        next: None,
+                        wake_at: play_end,
+                    };
                 }
                 return;
             }
@@ -459,8 +1496,9 @@ fn bootstrap_stats(catalog: &Catalog, cfg: &SimConfig) -> Vec<(usize, ChannelObs
 /// The pluggable provisioning strategy driving the simulation.
 #[derive(Debug)]
 enum Planner {
-    /// The paper's model-driven controller.
-    Model(Controller),
+    /// The paper's model-driven controller (boxed: it dwarfs the
+    /// baseline variant).
+    Model(Box<Controller>),
     /// A baseline strategy (reactive or fixed).
     Baseline(BaselinePlanner),
 }
@@ -571,10 +1609,7 @@ fn sample(
 
 /// A `(ChunkKey, demand)` pair list grouped per channel; helper shared by
 /// experiment harnesses.
-pub fn group_demand_by_channel(
-    demands: &[(ChunkKey, f64)],
-    n_channels: usize,
-) -> Vec<f64> {
+pub fn group_demand_by_channel(demands: &[(ChunkKey, f64)], n_channels: usize) -> Vec<f64> {
     let mut out = vec![0.0; n_channels];
     for (key, demand) in demands {
         if key.channel < n_channels {
@@ -606,19 +1641,28 @@ mod tests {
 
     #[test]
     fn client_server_run_produces_sane_metrics() {
-        let m = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
+        let m = Simulator::new(small_config(SimMode::ClientServer))
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(m.intervals.len(), 6, "one record per hour");
         assert!(!m.samples.is_empty());
         assert!(m.mean_quality() > 0.9, "quality {q}", q = m.mean_quality());
         assert!(m.peak_peers() > 20, "peers showed up: {}", m.peak_peers());
         assert!(m.total_vm_cost > 0.0);
         assert!(m.total_storage_cost > 0.0);
-        assert!(m.total_storage_cost < 0.01 * m.total_vm_cost, "storage is negligible");
+        assert!(
+            m.total_storage_cost < 0.01 * m.total_vm_cost,
+            "storage is negligible"
+        );
     }
 
     #[test]
     fn provisioned_covers_used_most_of_the_time() {
-        let m = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
+        let m = Simulator::new(small_config(SimMode::ClientServer))
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(
             m.provision_coverage() > 0.85,
             "coverage {c}",
@@ -628,8 +1672,14 @@ mod tests {
 
     #[test]
     fn p2p_needs_less_cloud_than_client_server() {
-        let cs = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
-        let p2p = Simulator::new(small_config(SimMode::P2p)).unwrap().run().unwrap();
+        let cs = Simulator::new(small_config(SimMode::ClientServer))
+            .unwrap()
+            .run()
+            .unwrap();
+        let p2p = Simulator::new(small_config(SimMode::P2p))
+            .unwrap()
+            .run()
+            .unwrap();
         assert!(
             p2p.mean_used_bandwidth() < cs.mean_used_bandwidth(),
             "P2P used {p} vs C/S used {c}",
@@ -637,14 +1687,37 @@ mod tests {
             c = cs.mean_used_bandwidth()
         );
         assert!(p2p.total_vm_cost < cs.total_vm_cost);
-        assert!(p2p.mean_quality() > 0.85, "P2P quality {q}", q = p2p.mean_quality());
+        assert!(
+            p2p.mean_quality() > 0.85,
+            "P2P quality {q}",
+            q = p2p.mean_quality()
+        );
     }
 
     #[test]
     fn runs_are_deterministic() {
-        let a = Simulator::new(small_config(SimMode::P2p)).unwrap().run().unwrap();
-        let b = Simulator::new(small_config(SimMode::P2p)).unwrap().run().unwrap();
+        let a = Simulator::new(small_config(SimMode::P2p))
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = Simulator::new(small_config(SimMode::P2p))
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scan_and_indexed_engines_agree_exactly() {
+        for mode in [SimMode::ClientServer, SimMode::P2p] {
+            let mut scan_cfg = small_config(mode);
+            scan_cfg.kernel = SimKernel::Scan;
+            let mut indexed_cfg = small_config(mode);
+            indexed_cfg.kernel = SimKernel::Indexed;
+            let scan = Simulator::new(scan_cfg).unwrap().run().unwrap();
+            let indexed = Simulator::new(indexed_cfg).unwrap().run().unwrap();
+            assert_eq!(scan, indexed, "engines diverged in {mode:?}");
+        }
     }
 
     #[test]
@@ -653,11 +1726,19 @@ mod tests {
         let mut fixed_cfg = small_config(SimMode::ClientServer);
         // Peak-size the fixed fleet for the small catalog (~120 avg users,
         // flash-crowd peak ~3x): 360 viewers x 50 KB/s x margin.
-        fixed_cfg.provisioner =
-            ProvisionerKind::Fixed { peak_demand: 360.0 * 50_000.0 * 1.1 };
+        fixed_cfg.provisioner = ProvisionerKind::Fixed {
+            peak_demand: 360.0 * 50_000.0 * 1.1,
+        };
         let fixed = Simulator::new(fixed_cfg).unwrap().run().unwrap();
-        let model = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
-        assert!(fixed.mean_quality() > 0.95, "fixed quality {}", fixed.mean_quality());
+        let model = Simulator::new(small_config(SimMode::ClientServer))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            fixed.mean_quality() > 0.95,
+            "fixed quality {}",
+            fixed.mean_quality()
+        );
         assert!(
             fixed.mean_vm_hourly_cost() > model.mean_vm_hourly_cost(),
             "the fixed peak fleet must cost more than the elastic controller              (fixed {f} vs model {m})",
@@ -668,15 +1749,111 @@ mod tests {
         let mut reactive_cfg = small_config(SimMode::ClientServer);
         reactive_cfg.provisioner = ProvisionerKind::Reactive { headroom: 0.2 };
         let reactive = Simulator::new(reactive_cfg).unwrap().run().unwrap();
-        assert!(reactive.mean_quality() > 0.9, "reactive quality {}", reactive.mean_quality());
+        assert!(
+            reactive.mean_quality() > 0.9,
+            "reactive quality {}",
+            reactive.mean_quality()
+        );
+    }
+
+    /// The channel-parallel allocation path (engaged above
+    /// `PAR_MIN_PEERS`) must produce exactly the same per-slot rates as
+    /// the reference engine's sequential scan.
+    #[test]
+    fn parallel_allocation_is_bit_identical_to_scan() {
+        let n_channels = 5;
+        let max_chunks = 16;
+        let n_peers = PAR_MIN_PEERS + 1024;
+        let mut scan = ScanEngine::new(n_channels, max_chunks);
+        let mut indexed = IndexedEngine::new(n_channels, max_chunks, 0.85, 10.0);
+        let mut peers: Vec<Peer> = Vec::new();
+        // Deterministic synthetic population with buffered history.
+        let mut state = 0x1234_5678_u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for i in 0..n_peers {
+            let channel = (next() as usize) % n_channels;
+            let chunk = (next() as usize) % max_chunks;
+            let upload = 1e4 + (next() % 100_000) as f64;
+            peers.push(Peer::new(i as u64, channel, upload, chunk, 15e6, 0.0));
+            scan.on_join(&peers, i);
+            indexed.on_join(&peers, i);
+            for _ in 0..(next() % 6) {
+                let owned = (next() as usize) % max_chunks;
+                if owned != chunk && !peers[i].owns(owned) {
+                    peers[i].add_to_buffer(owned);
+                    scan.on_buffer(channel, i, owned);
+                    indexed.on_buffer(channel, i, owned);
+                }
+            }
+        }
+        let channel_reserved = vec![5.0e7; n_channels];
+        let ctx = RoundCtx {
+            step: 10.0,
+            vm_bandwidth: 1.25e6,
+            eff: 0.85,
+            p2p: true,
+            online_scale: 1.0,
+            channel_reserved: &channel_reserved,
+        };
+        let used_scan = scan.allocate(&peers, &ctx);
+        let used_indexed = indexed.allocate(&peers, &ctx);
+        assert_eq!(
+            used_scan.to_bits(),
+            used_indexed.to_bits(),
+            "used-rate sums differ"
+        );
+        for c in 0..n_channels {
+            let lane = &indexed.lanes[c];
+            for k in 0..max_chunks {
+                let i = c * max_chunks + k;
+                assert_eq!(
+                    scan.requested[i].to_bits(),
+                    lane.requested[k].to_bits(),
+                    "requested[{c}][{k}]"
+                );
+                assert_eq!(
+                    scan.peer_served[i].to_bits(),
+                    lane.peer_served[k].to_bits(),
+                    "peer_served[{c}][{k}]"
+                );
+                assert_eq!(
+                    scan.cloud_served[i].to_bits(),
+                    lane.cloud_served[k].to_bits(),
+                    "cloud_served[{c}][{k}]"
+                );
+            }
+        }
     }
 
     #[test]
     fn group_demand_by_channel_sums() {
         let demands = vec![
-            (ChunkKey { channel: 0, chunk: 0 }, 1.0),
-            (ChunkKey { channel: 0, chunk: 1 }, 2.0),
-            (ChunkKey { channel: 2, chunk: 0 }, 5.0),
+            (
+                ChunkKey {
+                    channel: 0,
+                    chunk: 0,
+                },
+                1.0,
+            ),
+            (
+                ChunkKey {
+                    channel: 0,
+                    chunk: 1,
+                },
+                2.0,
+            ),
+            (
+                ChunkKey {
+                    channel: 2,
+                    chunk: 0,
+                },
+                5.0,
+            ),
         ];
         let grouped = group_demand_by_channel(&demands, 3);
         assert_eq!(grouped, vec![3.0, 0.0, 5.0]);

@@ -42,7 +42,11 @@ impl Tracker {
             priors.push(spec.viewing.routing_rows()?);
             prior_alphas.push(spec.viewing.start_at_beginning);
         }
-        Ok(Self { collectors, priors, prior_alphas })
+        Ok(Self {
+            collectors,
+            priors,
+            prior_alphas,
+        })
     }
 
     /// Records a user joining `channel` at `chunk`.

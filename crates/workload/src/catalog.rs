@@ -99,7 +99,10 @@ impl Catalog {
             if !(c.base_arrival_rate.is_finite() && c.base_arrival_rate >= 0.0) {
                 return Err(invalid_param(
                     "base_arrival_rate",
-                    format!("channel {i}: must be non-negative, got {}", c.base_arrival_rate),
+                    format!(
+                        "channel {i}: must be non-negative, got {}",
+                        c.base_arrival_rate
+                    ),
                 ));
             }
         }

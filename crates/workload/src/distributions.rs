@@ -24,7 +24,10 @@ impl Exponential {
     /// Returns an error unless `rate` is finite and positive.
     pub fn new(rate: f64) -> Result<Self, WorkloadError> {
         if !(rate.is_finite() && rate > 0.0) {
-            return Err(invalid_param("rate", format!("must be finite and positive, got {rate}")));
+            return Err(invalid_param(
+                "rate",
+                format!("must be finite and positive, got {rate}"),
+            ));
         }
         Ok(Self { rate })
     }
@@ -36,7 +39,10 @@ impl Exponential {
     /// Returns an error unless `mean` is finite and positive.
     pub fn with_mean(mean: f64) -> Result<Self, WorkloadError> {
         if !(mean.is_finite() && mean > 0.0) {
-            return Err(invalid_param("mean", format!("must be finite and positive, got {mean}")));
+            return Err(invalid_param(
+                "mean",
+                format!("must be finite and positive, got {mean}"),
+            ));
         }
         Self::new(1.0 / mean)
     }
@@ -79,13 +85,22 @@ impl BoundedPareto {
     /// Returns an error unless `0 < min < max` and `shape > 0`.
     pub fn new(min: f64, max: f64, shape: f64) -> Result<Self, WorkloadError> {
         if !(min.is_finite() && min > 0.0) {
-            return Err(invalid_param("min", format!("must be finite and positive, got {min}")));
+            return Err(invalid_param(
+                "min",
+                format!("must be finite and positive, got {min}"),
+            ));
         }
         if !(max.is_finite() && max > min) {
-            return Err(invalid_param("max", format!("must be finite and exceed min={min}, got {max}")));
+            return Err(invalid_param(
+                "max",
+                format!("must be finite and exceed min={min}, got {max}"),
+            ));
         }
         if !(shape.is_finite() && shape > 0.0) {
-            return Err(invalid_param("shape", format!("must be finite and positive, got {shape}")));
+            return Err(invalid_param(
+                "shape",
+                format!("must be finite and positive, got {shape}"),
+            ));
         }
         Ok(Self { min, max, shape })
     }
@@ -113,9 +128,9 @@ impl BoundedPareto {
             let la = l;
             return la * h / (h - l) * (h / l).ln();
         }
-        let num = l.powf(a) / (1.0 - (l / h).powf(a)) * a / (a - 1.0)
-            * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0));
-        num
+
+        l.powf(a) / (1.0 - (l / h).powf(a)) * a / (a - 1.0)
+            * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
     }
 
     /// Draws one sample by inverting the truncated CDF:
@@ -161,7 +176,9 @@ impl Zipf {
                 format!("must be finite and non-negative, got {exponent}"),
             ));
         }
-        let mut probs: Vec<f64> = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).collect();
+        let mut probs: Vec<f64> = (0..n)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+            .collect();
         let total: f64 = probs.iter().sum();
         for p in &mut probs {
             *p /= total;
@@ -173,7 +190,11 @@ impl Zipf {
             cdf.push(acc);
         }
         *cdf.last_mut().expect("n > 0") = 1.0;
-        Ok(Self { cdf, probs, exponent })
+        Ok(Self {
+            cdf,
+            probs,
+            exponent,
+        })
     }
 
     /// Number of ranks.
@@ -204,7 +225,10 @@ impl Zipf {
     /// Draws one rank by binary search on the CDF.
     pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.random();
-        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
             Ok(i) => (i + 1).min(self.len() - 1),
             Err(i) => i.min(self.len() - 1),
         }
@@ -217,7 +241,10 @@ impl Zipf {
 /// (continuity-corrected, clamped at zero) for `mean > 30`, which is
 /// accurate to well under a percent in that regime.
 pub fn sample_poisson<R: RngExt + ?Sized>(rng: &mut R, mean: f64) -> u64 {
-    assert!(mean.is_finite() && mean >= 0.0, "mean must be finite and non-negative");
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "mean must be finite and non-negative"
+    );
     if mean == 0.0 {
         return 0;
     }
@@ -353,8 +380,8 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut r)] += 1;
         }
-        for i in 0..5 {
-            let emp = counts[i] as f64 / n as f64;
+        for (i, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
             assert!(
                 (emp - z.prob(i)).abs() < 0.01,
                 "rank {i}: empirical {emp} vs {p}",

@@ -42,7 +42,10 @@ impl DiurnalPattern {
     /// Returns an error for non-positive baselines or malformed bumps.
     pub fn new(baseline: f64, crowds: Vec<FlashCrowd>) -> Result<Self, WorkloadError> {
         if !(baseline.is_finite() && baseline > 0.0) {
-            return Err(invalid_param("baseline", format!("must be positive, got {baseline}")));
+            return Err(invalid_param(
+                "baseline",
+                format!("must be positive, got {baseline}"),
+            ));
         }
         for (i, c) in crowds.iter().enumerate() {
             if !(0.0..24.0).contains(&c.peak_hour) {
@@ -69,7 +72,10 @@ impl DiurnalPattern {
 
     /// A flat profile with multiplier 1 everywhere.
     pub fn flat() -> Self {
-        Self { baseline: 1.0, crowds: Vec::new() }
+        Self {
+            baseline: 1.0,
+            crowds: Vec::new(),
+        }
     }
 
     /// The paper's pattern: two flash crowds, around noon and in the
@@ -78,8 +84,16 @@ impl DiurnalPattern {
         Self::new(
             1.0,
             vec![
-                FlashCrowd { peak_hour: 12.0, width_hours: 1.5, amplitude: 2.0 },
-                FlashCrowd { peak_hour: 20.5, width_hours: 1.8, amplitude: 2.5 },
+                FlashCrowd {
+                    peak_hour: 12.0,
+                    width_hours: 1.5,
+                    amplitude: 2.0,
+                },
+                FlashCrowd {
+                    peak_hour: 20.5,
+                    width_hours: 1.8,
+                    amplitude: 2.5,
+                },
             ],
         )
         .expect("paper defaults are valid")
@@ -107,7 +121,10 @@ impl DiurnalPattern {
                 ..*c
             })
             .collect();
-        Self { baseline: self.baseline, crowds }
+        Self {
+            baseline: self.baseline,
+            crowds,
+        }
     }
 
     /// Weighted mixture of patterns: `Σ w_i · pattern_i(t)`. Used to model
@@ -125,11 +142,17 @@ impl DiurnalPattern {
         let mut crowds = Vec::new();
         for (w, p) in parts {
             if !(w.is_finite() && *w > 0.0) {
-                return Err(invalid_param("weight", format!("must be positive, got {w}")));
+                return Err(invalid_param(
+                    "weight",
+                    format!("must be positive, got {w}"),
+                ));
             }
             baseline += w * p.baseline;
             for c in &p.crowds {
-                crowds.push(FlashCrowd { amplitude: w * c.amplitude, ..*c });
+                crowds.push(FlashCrowd {
+                    amplitude: w * c.amplitude,
+                    ..*c
+                });
             }
         }
         Self::new(baseline, crowds)
@@ -161,9 +184,7 @@ impl DiurnalPattern {
     /// useful for scaling a target mean population into a base rate.
     pub fn mean_multiplier(&self) -> f64 {
         let steps = 24 * 60;
-        let total: f64 = (0..steps)
-            .map(|i| self.multiplier(i as f64 * 60.0))
-            .sum();
+        let total: f64 = (0..steps).map(|i| self.multiplier(i as f64 * 60.0)).sum();
         total / steps as f64
     }
 }
@@ -214,7 +235,11 @@ mod tests {
     fn wraparound_bump_near_midnight() {
         let p = DiurnalPattern::new(
             1.0,
-            vec![FlashCrowd { peak_hour: 23.5, width_hours: 1.0, amplitude: 2.0 }],
+            vec![FlashCrowd {
+                peak_hour: 23.5,
+                width_hours: 1.0,
+                amplitude: 2.0,
+            }],
         )
         .unwrap();
         // 00:30 is one hour from the 23:30 peak across midnight.
@@ -246,7 +271,10 @@ mod tests {
     fn shift_wraps_around_midnight() {
         let p = DiurnalPattern::paper_default();
         let s = p.shifted(23.0);
-        assert!(s.crowds().iter().all(|c| (0.0..24.0).contains(&c.peak_hour)));
+        assert!(s
+            .crowds()
+            .iter()
+            .all(|c| (0.0..24.0).contains(&c.peak_hour)));
         assert!((s.mean_multiplier() - p.mean_multiplier()).abs() < 1e-6);
     }
 
@@ -297,17 +325,29 @@ mod tests {
         assert!(DiurnalPattern::new(0.0, vec![]).is_err());
         assert!(DiurnalPattern::new(
             1.0,
-            vec![FlashCrowd { peak_hour: 25.0, width_hours: 1.0, amplitude: 1.0 }]
+            vec![FlashCrowd {
+                peak_hour: 25.0,
+                width_hours: 1.0,
+                amplitude: 1.0
+            }]
         )
         .is_err());
         assert!(DiurnalPattern::new(
             1.0,
-            vec![FlashCrowd { peak_hour: 1.0, width_hours: 0.0, amplitude: 1.0 }]
+            vec![FlashCrowd {
+                peak_hour: 1.0,
+                width_hours: 0.0,
+                amplitude: 1.0
+            }]
         )
         .is_err());
         assert!(DiurnalPattern::new(
             1.0,
-            vec![FlashCrowd { peak_hour: 1.0, width_hours: 1.0, amplitude: -1.0 }]
+            vec![FlashCrowd {
+                peak_hour: 1.0,
+                width_hours: 1.0,
+                amplitude: -1.0
+            }]
         )
         .is_err());
     }

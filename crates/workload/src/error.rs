@@ -29,7 +29,10 @@ impl fmt::Display for WorkloadError {
 impl Error for WorkloadError {}
 
 pub(crate) fn invalid_param(name: &'static str, message: impl Into<String>) -> WorkloadError {
-    WorkloadError::InvalidParameter { name, message: message.into() }
+    WorkloadError::InvalidParameter {
+        name,
+        message: message.into(),
+    }
 }
 
 #[cfg(test)]

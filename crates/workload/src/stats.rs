@@ -41,8 +41,10 @@ pub struct ChannelStatsCollector {
     chunks: usize,
     joins: u64,
     first_chunk_joins: u64,
-    /// `transitions[i][j]` counts moves from chunk `i` to chunk `j`.
-    transitions: Vec<Vec<u64>>,
+    /// Flattened row-major transition counts: entry `i * chunks + j`
+    /// counts moves from chunk `i` to chunk `j`. Flat storage keeps the
+    /// simulator's per-completion increment a single indexed write.
+    transitions: Vec<u64>,
     /// `departures[i]` counts users leaving after chunk `i`.
     departures: Vec<u64>,
 }
@@ -61,7 +63,7 @@ impl ChannelStatsCollector {
             chunks,
             joins: 0,
             first_chunk_joins: 0,
-            transitions: vec![vec![0; chunks]; chunks],
+            transitions: vec![0; chunks * chunks],
             departures: vec![0; chunks],
         })
     }
@@ -87,7 +89,7 @@ impl ChannelStatsCollector {
             }
             Observation::Transition { from, to } => {
                 debug_assert!(from < self.chunks && to < self.chunks);
-                self.transitions[from][to] += 1;
+                self.transitions[from * self.chunks + to] += 1;
             }
             Observation::Leave { from } => {
                 debug_assert!(from < self.chunks);
@@ -142,25 +144,26 @@ impl ChannelStatsCollector {
             return Err(invalid_param("prior", "dimension mismatch with collector"));
         }
         if !(smoothing.is_finite() && smoothing >= 0.0) {
-            return Err(invalid_param("smoothing", format!("must be non-negative, got {smoothing}")));
+            return Err(invalid_param(
+                "smoothing",
+                format!("must be non-negative, got {smoothing}"),
+            ));
         }
         let mut rows = vec![vec![0.0; self.chunks]; self.chunks];
         for i in 0..self.chunks {
-            let observed: u64 =
-                self.transitions[i].iter().sum::<u64>() + self.departures[i];
+            let row = &self.transitions[i * self.chunks..(i + 1) * self.chunks];
+            let observed: u64 = row.iter().sum::<u64>() + self.departures[i];
             let denom = observed as f64 + smoothing;
             if denom == 0.0 {
                 rows[i].clone_from_slice(&prior[i]);
                 continue;
             }
-            let prior_row_mass: f64 = prior[i].iter().sum();
             for j in 0..self.chunks {
-                let empirical = self.transitions[i][j] as f64;
+                let empirical = row[j] as f64;
                 // The prior row is substochastic; its deficit models
                 // departures, so smoothing also preserves departure mass.
                 rows[i][j] = (empirical + smoothing * prior[i][j]) / denom;
             }
-            let _ = prior_row_mass;
         }
         Ok(rows)
     }
@@ -169,9 +172,7 @@ impl ChannelStatsCollector {
     pub fn reset(&mut self) {
         self.joins = 0;
         self.first_chunk_joins = 0;
-        for row in &mut self.transitions {
-            row.iter_mut().for_each(|c| *c = 0);
-        }
+        self.transitions.iter_mut().for_each(|c| *c = 0);
         self.departures.iter_mut().for_each(|c| *c = 0);
     }
 }
@@ -252,7 +253,12 @@ mod tests {
     fn estimates_recover_viewing_model() {
         // Feed sampled behaviour through the collector and verify the
         // estimated matrix converges on the analytic routing rows.
-        let model = ViewingModel { chunks: 6, start_at_beginning: 0.6, jump_prob: 0.2, leave_prob: 0.15 };
+        let model = ViewingModel {
+            chunks: 6,
+            start_at_beginning: 0.6,
+            jump_prob: 0.2,
+            leave_prob: 0.15,
+        };
         let rows = model.routing_rows().unwrap();
         let mut collector = ChannelStatsCollector::new(6).unwrap();
         let mut rng = StdRng::seed_from_u64(77);
@@ -262,7 +268,10 @@ mod tests {
             loop {
                 match model.sample_next(&mut rng, chunk) {
                     NextAction::Watch(next) => {
-                        collector.record(Observation::Transition { from: chunk, to: next });
+                        collector.record(Observation::Transition {
+                            from: chunk,
+                            to: next,
+                        });
                         chunk = next;
                     }
                     NextAction::Leave => {

@@ -130,10 +130,16 @@ impl TraceConfig {
 /// # Errors
 ///
 /// Propagates configuration validation failures.
-pub fn generate_arrivals(catalog: &Catalog, config: &TraceConfig) -> Result<ArrivalTrace, WorkloadError> {
+pub fn generate_arrivals(
+    catalog: &Catalog,
+    config: &TraceConfig,
+) -> Result<ArrivalTrace, WorkloadError> {
     config.validate()?;
-    let upload =
-        BoundedPareto::new(config.upload_min_bps, config.upload_max_bps, config.upload_shape)?;
+    let upload = BoundedPareto::new(
+        config.upload_min_bps,
+        config.upload_max_bps,
+        config.upload_shape,
+    )?;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut arrivals = Vec::new();
     let mut user_id = 0u64;
@@ -171,7 +177,10 @@ pub fn generate_arrivals(catalog: &Catalog, config: &TraceConfig) -> Result<Arri
     for (i, a) in arrivals.iter_mut().enumerate() {
         a.user_id = i as u64;
     }
-    Ok(ArrivalTrace { arrivals, horizon: config.horizon_seconds })
+    Ok(ArrivalTrace {
+        arrivals,
+        horizon: config.horizon_seconds,
+    })
 }
 
 /// One event inside a materialized session.
@@ -241,7 +250,11 @@ pub fn materialize_sessions(
                 }
             }
         }
-        sessions.push(Session { user_id: a.user_id, channel: a.channel, events });
+        sessions.push(Session {
+            user_id: a.user_id,
+            channel: a.channel,
+            events,
+        });
     }
     SessionTrace { sessions }
 }
@@ -321,11 +334,13 @@ mod tests {
     #[test]
     fn arrival_volume_matches_rate_integral() {
         let catalog = small_catalog();
-        let cfg = TraceConfig { horizon_seconds: 5.0 * 24.0 * 3600.0, ..short_config() };
+        let cfg = TraceConfig {
+            horizon_seconds: 5.0 * 24.0 * 3600.0,
+            ..short_config()
+        };
         let trace = generate_arrivals(&catalog, &cfg).unwrap();
-        let expected = catalog.total_arrival_rate()
-            * cfg.diurnal.mean_multiplier()
-            * cfg.horizon_seconds;
+        let expected =
+            catalog.total_arrival_rate() * cfg.diurnal.mean_multiplier() * cfg.horizon_seconds;
         let got = trace.len() as f64;
         assert!(
             (got - expected).abs() / expected < 0.05,
@@ -336,14 +351,19 @@ mod tests {
     #[test]
     fn flash_crowd_hours_are_busier() {
         let catalog = small_catalog();
-        let cfg = TraceConfig { horizon_seconds: 3.0 * 24.0 * 3600.0, ..short_config() };
+        let cfg = TraceConfig {
+            horizon_seconds: 3.0 * 24.0 * 3600.0,
+            ..short_config()
+        };
         let trace = generate_arrivals(&catalog, &cfg).unwrap();
         // Compare noon hour vs 4am hour across days.
         let mut noon = 0usize;
         let mut night = 0usize;
         for d in 0..3 {
             let base = d as f64 * 86_400.0;
-            noon += trace.window(base + 11.5 * 3600.0, base + 12.5 * 3600.0).len();
+            noon += trace
+                .window(base + 11.5 * 3600.0, base + 12.5 * 3600.0)
+                .len();
             night += trace.window(base + 3.5 * 3600.0, base + 4.5 * 3600.0).len();
         }
         assert!(

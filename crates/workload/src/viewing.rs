@@ -268,15 +268,28 @@ mod tests {
 
     #[test]
     fn last_chunk_row_has_only_jumps() {
-        let m = ViewingModel { chunks: 5, start_at_beginning: 0.8, jump_prob: 0.2, leave_prob: 0.1 };
+        let m = ViewingModel {
+            chunks: 5,
+            start_at_beginning: 0.8,
+            jump_prob: 0.2,
+            leave_prob: 0.1,
+        };
         let rows = m.routing_rows().unwrap();
         let last: f64 = rows[4].iter().sum();
-        assert!((last - 0.2).abs() < 1e-12, "last row keeps only jump mass, got {last}");
+        assert!(
+            (last - 0.2).abs() < 1e-12,
+            "last row keeps only jump mass, got {last}"
+        );
     }
 
     #[test]
     fn arrival_split_matches_alpha() {
-        let m = ViewingModel { chunks: 5, start_at_beginning: 0.6, jump_prob: 0.1, leave_prob: 0.1 };
+        let m = ViewingModel {
+            chunks: 5,
+            start_at_beginning: 0.6,
+            jump_prob: 0.1,
+            leave_prob: 0.1,
+        };
         let v = m.arrival_split(10.0).unwrap();
         assert!((v[0] - 6.0).abs() < 1e-12);
         for &x in &v[1..] {
@@ -287,28 +300,45 @@ mod tests {
 
     #[test]
     fn single_chunk_arrivals_all_go_to_it() {
-        let m = ViewingModel { chunks: 1, start_at_beginning: 0.3, jump_prob: 0.0, leave_prob: 0.5 };
+        let m = ViewingModel {
+            chunks: 1,
+            start_at_beginning: 0.3,
+            jump_prob: 0.0,
+            leave_prob: 0.5,
+        };
         assert_eq!(m.arrival_split(4.0).unwrap(), vec![4.0]);
     }
 
     #[test]
     fn sample_start_chunk_respects_alpha() {
-        let m = ViewingModel { chunks: 10, start_at_beginning: 0.7, jump_prob: 0.1, leave_prob: 0.1 };
+        let m = ViewingModel {
+            chunks: 10,
+            start_at_beginning: 0.7,
+            jump_prob: 0.1,
+            leave_prob: 0.1,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let n = 100_000;
-        let firsts = (0..n).filter(|_| m.sample_start_chunk(&mut rng) == 0).count();
+        let firsts = (0..n)
+            .filter(|_| m.sample_start_chunk(&mut rng) == 0)
+            .count();
         let frac = firsts as f64 / n as f64;
         assert!((frac - 0.7).abs() < 0.01, "fraction starting at 0: {frac}");
     }
 
     #[test]
     fn sample_next_frequencies_match_routing() {
-        let m = ViewingModel { chunks: 6, start_at_beginning: 0.5, jump_prob: 0.3, leave_prob: 0.2 };
+        let m = ViewingModel {
+            chunks: 6,
+            start_at_beginning: 0.5,
+            jump_prob: 0.3,
+            leave_prob: 0.2,
+        };
         let rows = m.routing_rows().unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let n = 200_000;
         let current = 2;
-        let mut counts = vec![0usize; 6];
+        let mut counts = [0usize; 6];
         let mut leaves = 0usize;
         for _ in 0..n {
             match m.sample_next(&mut rng, current) {
@@ -330,7 +360,12 @@ mod tests {
 
     #[test]
     fn jump_never_targets_current_chunk() {
-        let m = ViewingModel { chunks: 4, start_at_beginning: 0.5, jump_prob: 1.0, leave_prob: 0.0 };
+        let m = ViewingModel {
+            chunks: 4,
+            start_at_beginning: 0.5,
+            jump_prob: 1.0,
+            leave_prob: 0.0,
+        };
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..1000 {
             match m.sample_next(&mut rng, 2) {
@@ -344,7 +379,12 @@ mod tests {
     fn expected_chunks_per_session_sequential_geometric() {
         // Pure sequential with leave prob l: E[chunks] for start at 0 is
         // sum_{i=0}^{J-1} (1-l)^i when J large enough not to truncate much.
-        let m = ViewingModel { chunks: 50, start_at_beginning: 1.0, jump_prob: 0.0, leave_prob: 0.3 };
+        let m = ViewingModel {
+            chunks: 50,
+            start_at_beginning: 1.0,
+            jump_prob: 0.0,
+            leave_prob: 0.3,
+        };
         let e = m.expected_chunks_per_session().unwrap();
         let analytic: f64 = (0..50).map(|i| 0.7f64.powi(i)).sum();
         assert!((e - analytic).abs() < 1e-9, "{e} vs {analytic}");
@@ -360,15 +400,10 @@ mod tests {
         for _ in 0..n {
             let mut chunk = m.sample_start_chunk(&mut rng);
             let mut watched = 1usize;
-            loop {
-                match m.sample_next(&mut rng, chunk) {
-                    NextAction::Watch(c) => {
-                        chunk = c;
-                        watched += 1;
-                        assert!(watched < 10_000, "runaway session");
-                    }
-                    NextAction::Leave => break,
-                }
+            while let NextAction::Watch(c) = m.sample_next(&mut rng, chunk) {
+                chunk = c;
+                watched += 1;
+                assert!(watched < 10_000, "runaway session");
             }
             total += watched;
         }
@@ -381,11 +416,26 @@ mod tests {
 
     #[test]
     fn invalid_models_rejected() {
-        let bad = ViewingModel { chunks: 0, start_at_beginning: 0.5, jump_prob: 0.1, leave_prob: 0.1 };
+        let bad = ViewingModel {
+            chunks: 0,
+            start_at_beginning: 0.5,
+            jump_prob: 0.1,
+            leave_prob: 0.1,
+        };
         assert!(bad.validate().is_err());
-        let bad = ViewingModel { chunks: 5, start_at_beginning: 1.5, jump_prob: 0.1, leave_prob: 0.1 };
+        let bad = ViewingModel {
+            chunks: 5,
+            start_at_beginning: 1.5,
+            jump_prob: 0.1,
+            leave_prob: 0.1,
+        };
         assert!(bad.validate().is_err());
-        let bad = ViewingModel { chunks: 5, start_at_beginning: 0.5, jump_prob: 0.7, leave_prob: 0.7 };
+        let bad = ViewingModel {
+            chunks: 5,
+            start_at_beginning: 0.5,
+            jump_prob: 0.7,
+            leave_prob: 0.7,
+        };
         assert!(bad.validate().is_err());
     }
 }

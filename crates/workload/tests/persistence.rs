@@ -11,7 +11,10 @@ fn catalog() -> Catalog {
 
 #[test]
 fn arrival_trace_round_trips_exactly() {
-    let cfg = TraceConfig { horizon_seconds: 4.0 * 3600.0, ..TraceConfig::paper_default() };
+    let cfg = TraceConfig {
+        horizon_seconds: 4.0 * 3600.0,
+        ..TraceConfig::paper_default()
+    };
     let trace = generate_arrivals(&catalog(), &cfg).unwrap();
     let json = serde_json::to_string(&trace).unwrap();
     let back: cloudmedia_workload::trace::ArrivalTrace = serde_json::from_str(&json).unwrap();
@@ -30,7 +33,10 @@ fn catalog_and_config_round_trip_exactly() {
 
 #[test]
 fn session_trace_round_trips() {
-    let cfg = TraceConfig { horizon_seconds: 3600.0, ..TraceConfig::paper_default() };
+    let cfg = TraceConfig {
+        horizon_seconds: 3600.0,
+        ..TraceConfig::paper_default()
+    };
     let arrivals = generate_arrivals(&catalog(), &cfg).unwrap();
     let sessions = materialize_sessions(&catalog(), &arrivals, 300.0, 7);
     let json = serde_json::to_string(&sessions).unwrap();

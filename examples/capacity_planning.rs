@@ -7,8 +7,8 @@
 
 use cloudmedia_cloud::cluster::paper_virtual_clusters;
 use cloudmedia_cloud::scheduler::ChunkKey;
-use cloudmedia_core::analysis::{pooled_capacity_demand, DemandPooling, PsiEstimator};
 use cloudmedia_core::analysis::p2p_capacity_with;
+use cloudmedia_core::analysis::{pooled_capacity_demand, DemandPooling, PsiEstimator};
 use cloudmedia_core::channel::ChannelModel;
 use cloudmedia_core::provisioning::storage::ChunkDemand;
 use cloudmedia_core::provisioning::vm::VmProblem;
@@ -17,16 +17,26 @@ use cloudmedia_core::CoreError;
 fn demands_for(rate: f64, p2p: bool) -> Vec<ChunkDemand> {
     let channel = ChannelModel::paper_default(0, rate);
     let per_chunk = if p2p {
-        p2p_capacity_with(&channel, 34_000.0, PsiEstimator::Independent, DemandPooling::ChannelPooled)
-            .expect("valid channel")
-            .cloud_demand
+        p2p_capacity_with(
+            &channel,
+            34_000.0,
+            PsiEstimator::Independent,
+            DemandPooling::ChannelPooled,
+        )
+        .expect("valid channel")
+        .cloud_demand
     } else {
-        pooled_capacity_demand(&channel).expect("valid channel").upload_demand
+        pooled_capacity_demand(&channel)
+            .expect("valid channel")
+            .upload_demand
     };
     per_chunk
         .iter()
         .enumerate()
-        .map(|(chunk, &demand)| ChunkDemand { key: ChunkKey { channel: 0, chunk }, demand })
+        .map(|(chunk, &demand)| ChunkDemand {
+            key: ChunkKey { channel: 0, chunk },
+            demand,
+        })
         .collect()
 }
 
@@ -38,17 +48,24 @@ fn main() {
         for &rate in &[0.1, 0.3, 0.5] {
             let demands = demands_for(rate, p2p);
             for &budget in &[5.0, 20.0, 50.0, 100.0] {
-                let problem =
-                    VmProblem { demands: &demands, clusters: &clusters, budget_per_hour: budget };
+                let problem = VmProblem {
+                    demands: &demands,
+                    clusters: &clusters,
+                    budget_per_hour: budget,
+                };
                 match problem.greedy() {
                     Ok(plan) => println!(
                         "{mode},{rate},{budget},feasible,{:.2},{:.1}",
                         plan.integer_hourly_cost, plan.total_utility
                     ),
-                    Err(CoreError::Infeasible { required_budget, .. }) => println!(
-                        "{mode},{rate},{budget},needs_${required_budget:.2}_per_hour,,"
-                    ),
-                    Err(CoreError::CapacityExceeded { requested, available, .. }) => println!(
+                    Err(CoreError::Infeasible {
+                        required_budget, ..
+                    }) => println!("{mode},{rate},{budget},needs_${required_budget:.2}_per_hour,,"),
+                    Err(CoreError::CapacityExceeded {
+                        requested,
+                        available,
+                        ..
+                    }) => println!(
                         "{mode},{rate},{budget},exceeds_fleet_{requested:.0}_of_{available:.0},,"
                     ),
                     Err(e) => println!("{mode},{rate},{budget},error:{e},,"),
@@ -56,6 +73,8 @@ fn main() {
             }
         }
     }
-    println!("\nP2P rows stay feasible at budgets where client-server needs more; \
-              the infeasibility signal tells the provider the minimum viable budget.");
+    println!(
+        "\nP2P rows stay feasible at budgets where client-server needs more; \
+              the infeasibility signal tells the provider the minimum viable budget."
+    );
 }

@@ -19,7 +19,9 @@ fn main() {
     .expect("paper config is valid");
 
     let viewing = ViewingModel::paper_default();
-    let routing = viewing.routing_rows().expect("paper viewing model is valid");
+    let routing = viewing
+        .routing_rows()
+        .expect("paper viewing model is valid");
 
     // A flash crowd: arrivals ramp 4x over three hours, then recede.
     let arrival_rates = [0.10, 0.15, 0.25, 0.40, 0.38, 0.25, 0.15, 0.10];

@@ -39,7 +39,10 @@ fn main() {
 
     // Fractional VM sharing within the channel (what the controller uses).
     let pooled = pooled_capacity_demand(&channel).expect("channel is valid");
-    println!("  pooled (VM-sharing) demand: {:.1} Mbps", mbps(pooled.total_upload_demand()));
+    println!(
+        "  pooled (VM-sharing) demand: {:.1} Mbps",
+        mbps(pooled.total_upload_demand())
+    );
 
     // Sec. IV-C: subtract the equilibrium peer contribution.
     let p2p = p2p_capacity_with(
@@ -50,8 +53,14 @@ fn main() {
     )
     .expect("channel is valid");
     println!("\nP2P with mean peer upload 272 kbps:");
-    println!("  peers contribute: {:.1} Mbps", mbps(p2p.total_peer_contribution()));
-    println!("  cloud must supply: {:.1} Mbps", mbps(p2p.total_cloud_demand()));
+    println!(
+        "  peers contribute: {:.1} Mbps",
+        mbps(p2p.total_peer_contribution())
+    );
+    println!(
+        "  cloud must supply: {:.1} Mbps",
+        mbps(p2p.total_cloud_demand())
+    );
 
     // Sec. V-A: provision the P2P demand on the paper's clusters.
     let demands: Vec<ChunkDemand> = p2p
@@ -72,7 +81,10 @@ fn main() {
     .greedy()
     .expect("within budget");
     println!("\nVM configuration (greedy heuristic):");
-    println!("  targets per cluster [Standard, Medium, Advanced]: {:?}", vm_plan.vm_targets);
+    println!(
+        "  targets per cluster [Standard, Medium, Advanced]: {:?}",
+        vm_plan.vm_targets
+    );
     println!("  hourly cost: ${:.2}", vm_plan.integer_hourly_cost);
 
     let storage_plan = StorageProblem {

@@ -2,7 +2,9 @@
 //! system: the equilibrium the queueing network predicts should be what
 //! the discrete-event simulator actually produces.
 
-use cloudmedia_core::analysis::{p2p_capacity_with, pooled_capacity_demand, DemandPooling, PsiEstimator};
+use cloudmedia_core::analysis::{
+    p2p_capacity_with, pooled_capacity_demand, DemandPooling, PsiEstimator,
+};
 use cloudmedia_core::channel::ChannelModel;
 use cloudmedia_sim::config::{SimConfig, SimMode};
 use cloudmedia_sim::simulator::Simulator;
@@ -39,7 +41,9 @@ fn provisioned_bandwidth_matches_analytic_demand() {
     let m = Simulator::new(cfg).unwrap().run().unwrap();
     // Analytic pooled demand for the true arrival rate.
     let model = ChannelModel::paper_default(0, arrival);
-    let analytic = pooled_capacity_demand(&model).unwrap().total_upload_demand();
+    let analytic = pooled_capacity_demand(&model)
+        .unwrap()
+        .total_upload_demand();
     // Post-warm-up intervals should reserve close to the analytic demand.
     let tail: Vec<_> = m.intervals.iter().skip(3).collect();
     let mean_demand: f64 =
@@ -58,8 +62,11 @@ fn p2p_peer_contribution_prediction_is_conservative() {
     let cfg = single_channel_config(SimMode::P2p, 300.0);
     let m = Simulator::new(cfg).unwrap().run().unwrap();
     let tail: Vec<_> = m.intervals.iter().skip(3).collect();
-    let predicted_peer: f64 =
-        tail.iter().map(|r| r.expected_peer_contribution).sum::<f64>() / tail.len() as f64;
+    let predicted_peer: f64 = tail
+        .iter()
+        .map(|r| r.expected_peer_contribution)
+        .sum::<f64>()
+        / tail.len() as f64;
     // Actual peer serving = total streaming consumption - cloud used.
     let samples: Vec<_> = m.samples_in(3.0 * 3600.0, 12.0 * 3600.0).collect();
     let used_cloud: f64 =
@@ -77,10 +84,17 @@ fn p2p_peer_contribution_prediction_is_conservative() {
 #[test]
 fn p2p_cloud_demand_below_client_server_demand_analytically_and_in_sim() {
     let model = ChannelModel::paper_default(0, 0.2);
-    let cs = pooled_capacity_demand(&model).unwrap().total_upload_demand();
-    let p2p = p2p_capacity_with(&model, 34_000.0, PsiEstimator::Independent, DemandPooling::ChannelPooled)
+    let cs = pooled_capacity_demand(&model)
         .unwrap()
-        .total_cloud_demand();
+        .total_upload_demand();
+    let p2p = p2p_capacity_with(
+        &model,
+        34_000.0,
+        PsiEstimator::Independent,
+        DemandPooling::ChannelPooled,
+    )
+    .unwrap()
+    .total_cloud_demand();
     assert!(p2p < cs, "analytic: P2P {p2p} < C/S {cs}");
 
     let m_cs = Simulator::new(single_channel_config(SimMode::ClientServer, 300.0))
@@ -109,7 +123,9 @@ fn tracker_measurements_recover_catalog_parameters() {
     // Demand scales with measured arrivals; compare the demand of the
     // last interval against the analytically expected demand.
     let model = ChannelModel::paper_default(0, arrival);
-    let analytic = pooled_capacity_demand(&model).unwrap().total_upload_demand();
+    let analytic = pooled_capacity_demand(&model)
+        .unwrap()
+        .total_upload_demand();
     let last = m.intervals.last().unwrap();
     assert!(
         (last.total_cloud_demand - analytic).abs() / analytic < 0.3,

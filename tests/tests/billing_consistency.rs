@@ -10,7 +10,10 @@ use cloudmedia_workload::viewing::ViewingModel;
 fn ledger_sums_to_totals() {
     let mut cloud = Cloud::paper_default().unwrap();
     cloud
-        .submit_request(&ResourceRequest { vm_targets: vec![10, 5, 3], placement: None })
+        .submit_request(&ResourceRequest {
+            vm_targets: vec![10, 5, 3],
+            placement: None,
+        })
         .unwrap();
     for h in 1..=12 {
         cloud.tick(h as f64 * 3600.0).unwrap();
@@ -30,11 +33,18 @@ fn ledger_sums_to_totals() {
 fn per_cluster_costs_sum_to_vm_total() {
     let mut cloud = Cloud::paper_default().unwrap();
     cloud
-        .submit_request(&ResourceRequest { vm_targets: vec![7, 2, 9], placement: None })
+        .submit_request(&ResourceRequest {
+            vm_targets: vec![7, 2, 9],
+            placement: None,
+        })
         .unwrap();
     cloud.tick(7200.0).unwrap();
     let billing = cloud.billing();
-    let per: f64 = billing.vm_cost_per_cluster().iter().map(|m| m.as_dollars()).sum();
+    let per: f64 = billing
+        .vm_cost_per_cluster()
+        .iter()
+        .map(|m| m.as_dollars())
+        .sum();
     assert!((per - billing.vm_cost().as_dollars()).abs() < 1e-9);
 }
 
@@ -70,11 +80,17 @@ fn scaling_down_saves_money() {
     let mut fixed = Cloud::paper_default().unwrap();
     let targets = [30usize, 10, 10, 10, 40, 40, 10, 10];
     fixed
-        .submit_request(&ResourceRequest { vm_targets: vec![40, 0, 0], placement: None })
+        .submit_request(&ResourceRequest {
+            vm_targets: vec![40, 0, 0],
+            placement: None,
+        })
         .unwrap();
     for (h, &t) in targets.iter().enumerate() {
         elastic
-            .submit_request(&ResourceRequest { vm_targets: vec![t, 0, 0], placement: None })
+            .submit_request(&ResourceRequest {
+                vm_targets: vec![t, 0, 0],
+                placement: None,
+            })
             .unwrap();
         elastic.tick((h + 1) as f64 * 3600.0).unwrap();
         fixed.tick((h + 1) as f64 * 3600.0).unwrap();
@@ -92,11 +108,17 @@ fn billing_includes_boot_and_shutdown_periods() {
     // immediately shut down still costs its boot + shutdown window.
     let mut cloud = Cloud::paper_default().unwrap();
     cloud
-        .submit_request(&ResourceRequest { vm_targets: vec![1, 0, 0], placement: None })
+        .submit_request(&ResourceRequest {
+            vm_targets: vec![1, 0, 0],
+            placement: None,
+        })
         .unwrap();
     cloud.tick(10.0).unwrap(); // still booting
     cloud
-        .submit_request(&ResourceRequest { vm_targets: vec![0, 0, 0], placement: None })
+        .submit_request(&ResourceRequest {
+            vm_targets: vec![0, 0, 0],
+            placement: None,
+        })
         .unwrap();
     cloud.tick(3600.0).unwrap();
     let cost = cloud.billing().vm_cost().as_dollars();

@@ -68,7 +68,10 @@ fn reserved_bandwidth_tracks_diurnal_demand() {
 
 #[test]
 fn storage_cost_negligible_relative_to_vm_cost() {
-    let m = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
+    let m = Simulator::new(small_config(SimMode::ClientServer))
+        .unwrap()
+        .run()
+        .unwrap();
     assert!(m.total_storage_cost > 0.0, "videos are stored");
     assert!(
         m.total_storage_cost < 0.005 * m.total_vm_cost,
@@ -80,7 +83,10 @@ fn storage_cost_negligible_relative_to_vm_cost() {
 
 #[test]
 fn popular_channels_provisioned_more() {
-    let m = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
+    let m = Simulator::new(small_config(SimMode::ClientServer))
+        .unwrap()
+        .run()
+        .unwrap();
     let last = m.intervals.last().unwrap();
     // Channel 0 (most popular, Zipf) should get the most bandwidth.
     let d = &last.per_channel_demand;
@@ -92,7 +98,10 @@ fn popular_channels_provisioned_more() {
 
 #[test]
 fn placement_not_recomputed_every_hour() {
-    let m = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
+    let m = Simulator::new(small_config(SimMode::ClientServer))
+        .unwrap()
+        .run()
+        .unwrap();
     let refreshes = m.intervals.iter().filter(|r| r.placement_refreshed).count();
     assert!(refreshes >= 1, "initial placement happens");
     assert!(
@@ -117,7 +126,10 @@ fn higher_budget_never_hurts_quality() {
 
 #[test]
 fn safety_factor_increases_reservation_and_cost() {
-    let base = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
+    let base = Simulator::new(small_config(SimMode::ClientServer))
+        .unwrap()
+        .run()
+        .unwrap();
     let mut padded_cfg = small_config(SimMode::ClientServer);
     padded_cfg.safety_factor = 1.4;
     let padded = Simulator::new(padded_cfg).unwrap().run().unwrap();
@@ -130,7 +142,13 @@ fn safety_factor_increases_reservation_and_cost() {
 fn boot_latency_delays_capacity_but_not_for_long() {
     // With the paper's 25 s boots the very first sample (5 min in) must
     // already see running VMs.
-    let m = Simulator::new(small_config(SimMode::ClientServer)).unwrap().run().unwrap();
+    let m = Simulator::new(small_config(SimMode::ClientServer))
+        .unwrap()
+        .run()
+        .unwrap();
     let first = &m.samples[0];
-    assert!(first.reserved_bandwidth > 0.0, "capacity online within the first sample");
+    assert!(
+        first.reserved_bandwidth > 0.0,
+        "capacity online within the first sample"
+    );
 }

@@ -28,9 +28,15 @@ fn starved_budget_surfaces_papers_increase_signal() {
     cfg.vm_budget_per_hour = 0.5;
     let mut controller = Controller::new(cfg, PredictorKind::LastInterval).unwrap();
     let sla = Cloud::paper_default().unwrap().sla_terms();
-    let err = controller.plan_interval(&[(0, observation(0.5))], &sla).unwrap_err();
+    let err = controller
+        .plan_interval(&[(0, observation(0.5))], &sla)
+        .unwrap_err();
     match err {
-        CoreError::Infeasible { required_budget, configured_budget, .. } => {
+        CoreError::Infeasible {
+            required_budget,
+            configured_budget,
+            ..
+        } => {
             assert!(required_budget > configured_budget);
             assert_eq!(configured_budget, 0.5);
         }
@@ -47,29 +53,46 @@ fn demand_beyond_fleet_is_capacity_exceeded() {
     .unwrap();
     let sla = Cloud::paper_default().unwrap().sla_terms();
     // ~4400 concurrent viewers need more than the 150-VM fleet.
-    let err = controller.plan_interval(&[(0, observation(2.0))], &sla).unwrap_err();
-    assert!(matches!(err, CoreError::CapacityExceeded { .. }), "got {err:?}");
+    let err = controller
+        .plan_interval(&[(0, observation(2.0))], &sla)
+        .unwrap_err();
+    assert!(
+        matches!(err, CoreError::CapacityExceeded { .. }),
+        "got {err:?}"
+    );
 }
 
 #[test]
 fn rejected_cloud_request_changes_nothing() {
     let mut cloud = Cloud::paper_default().unwrap();
     cloud
-        .submit_request(&ResourceRequest { vm_targets: vec![5, 0, 0], placement: None })
+        .submit_request(&ResourceRequest {
+            vm_targets: vec![5, 0, 0],
+            placement: None,
+        })
         .unwrap();
     cloud.tick(100.0).unwrap();
     let before_bw = cloud.running_bandwidth();
     let before_chunks = cloud.nfs_scheduler().placed_chunks();
 
     let mut placement = PlacementPlan::new();
-    placement.insert(ChunkKey { channel: 0, chunk: 0 }, 0);
+    placement.insert(
+        ChunkKey {
+            channel: 0,
+            chunk: 0,
+        },
+        0,
+    );
     let err = cloud
         .submit_request(&ResourceRequest {
             vm_targets: vec![5, 0, 46], // 46 > 45 Advanced
             placement: Some(placement),
         })
         .unwrap_err();
-    assert!(matches!(err, CloudError::InsufficientVms { cluster: 2, .. }));
+    assert!(matches!(
+        err,
+        CloudError::InsufficientVms { cluster: 2, .. }
+    ));
     cloud.tick(200.0).unwrap();
     assert_eq!(cloud.running_bandwidth(), before_bw);
     assert_eq!(cloud.nfs_scheduler().placed_chunks(), before_chunks);
@@ -82,7 +105,10 @@ fn simulation_with_infeasible_budget_fails_cleanly() {
     cfg.trace.horizon_seconds = 2.0 * 3600.0;
     cfg.vm_budget_per_hour = 0.1;
     let err = Simulator::new(cfg).unwrap().run().unwrap_err();
-    assert!(err.to_string().contains("increase the budget"), "got: {err}");
+    assert!(
+        err.to_string().contains("increase the budget"),
+        "got: {err}"
+    );
 }
 
 #[test]
@@ -120,7 +146,9 @@ fn controller_recovers_after_transient_infeasibility() {
     )
     .unwrap();
     let sla = Cloud::paper_default().unwrap().sla_terms();
-    assert!(controller.plan_interval(&[(0, observation(2.0))], &sla).is_err());
+    assert!(controller
+        .plan_interval(&[(0, observation(2.0))], &sla)
+        .is_err());
     let plan = controller
         .plan_interval(&[(0, observation(0.2))], &sla)
         .expect("feasible load plans fine after a failure");

@@ -1,0 +1,255 @@
+//! Offline stand-in for `criterion`, vendored because this build
+//! environment has no registry access.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! `benchmark_group` / `bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!` / `criterion_main!` macros —
+//! backed by a simple adaptive wall-clock timer instead of criterion's
+//! statistical machinery. Each benchmark reports the mean time per
+//! iteration on stdout as `bench <name> ... <mean> <unit>/iter`.
+//!
+//! Set `CRITERION_QUICK=1` to cap sampling at one measurement iteration
+//! per bench (used by CI smoke runs).
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized (accepted for API compatibility; the
+/// stand-in times each batch individually regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    target_time: Duration,
+    max_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+        Self {
+            target_time: if quick {
+                Duration::from_millis(1)
+            } else {
+                Duration::from_millis(300)
+            },
+            max_samples: if quick { 1 } else { 50 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name.into(), self.target_time, self.max_samples, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.into(),
+            target_time: self.target_time,
+            max_samples: self.max_samples,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    target_time: Duration,
+    max_samples: usize,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.max_samples = self.max_samples.min(n.max(1));
+        self
+    }
+
+    /// Extends the per-bench measurement time budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.target_time = t;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name.into());
+        run_bench(full, self.target_time, self.max_samples, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; captures what to measure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+
+    /// Times `routine` over inputs built by `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters_per_sample {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push(total);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: String,
+    target_time: Duration,
+    max_samples: usize,
+    mut f: F,
+) {
+    // Calibration pass: one iteration, to size the measurement loop.
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    let cal_start = Instant::now();
+    f(&mut b);
+    let once = cal_start.elapsed().max(Duration::from_nanos(1));
+    let per_sample_budget = target_time.as_secs_f64() / max_samples as f64;
+    let iters = (per_sample_budget / once.as_secs_f64()).clamp(1.0, 1e6) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    let mut samples = 0usize;
+    while samples < max_samples && total < target_time {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: iters,
+        };
+        f(&mut b);
+        for s in b.samples {
+            total += s;
+            total_iters += iters;
+        }
+        samples += 1;
+    }
+    if total_iters == 0 {
+        total_iters = 1;
+    }
+    let per_iter = total.as_secs_f64() / total_iters as f64;
+    let (value, unit) = humanize(per_iter);
+    println!("bench {name:<50} {value:>10.3} {unit}/iter ({total_iters} iters)");
+}
+
+fn humanize(seconds: f64) -> (f64, &'static str) {
+    if seconds >= 1.0 {
+        (seconds, "s")
+    } else if seconds >= 1e-3 {
+        (seconds * 1e3, "ms")
+    } else if seconds >= 1e-6 {
+        (seconds * 1e6, "us")
+    } else {
+        (seconds * 1e9, "ns")
+    }
+}
+
+/// Re-export for benches that import it from criterion.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+///
+/// Ignores harness arguments (`--bench`); exits immediately when invoked
+/// as a test (`--test`) so `cargo test --benches` stays fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                count += 1;
+            })
+        });
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn groups_and_batched_iteration() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,273 @@
+//! Offline stand-in for `rand`, vendored because this build environment
+//! has no registry access.
+//!
+//! Provides the exact surface this workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `RngExt::{random, random_range}`.
+//! The generator is xoshiro256++ seeded through SplitMix64 — fast,
+//! deterministic, and statistically strong enough for the workload
+//! generators' distribution tests. It is **not** the ChaCha12 generator
+//! real `StdRng` wraps, so streams differ from upstream rand; everything
+//! in this workspace only relies on seeded determinism, not on matching
+//! upstream streams.
+
+/// Core trait: a source of uniformly random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling extension methods, mirroring rand's `RngExt`/`Rng`.
+pub trait RngExt: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64`/`f32`: uniform in `[0, 1)`; integers: uniform over the full
+    /// range; `bool`: fair coin).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: IntRange<T>,
+    {
+        let (lo, hi_inclusive) = range.bounds();
+        T::sample_inclusive(self, lo, hi_inclusive)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Types samplable from their standard distribution.
+pub trait Standard: Sized {
+    /// Draws one sample from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types usable with [`RngExt::random_range`].
+pub trait UniformInt: Copy + PartialOrd {
+    /// Uniform sample in `[lo, hi]` (inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 range.
+                    return rng.next_u64() as $t;
+                }
+                // Debiased multiply-shift (Lemire).
+                let mut x = rng.next_u64();
+                let mut m = (x as u128).wrapping_mul(span as u128);
+                let mut l = m as u64;
+                if l < span {
+                    let t = span.wrapping_neg() % span;
+                    while l < t {
+                        x = rng.next_u64();
+                        m = (x as u128).wrapping_mul(span as u128);
+                        l = m as u64;
+                    }
+                }
+                lo + (m >> 64) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_uint!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                let offset = u64::sample_inclusive(rng, 0, span);
+                ((lo as i64).wrapping_add(offset as i64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(isize, i64, i32, i16, i8);
+
+/// Range forms accepted by [`RngExt::random_range`].
+pub trait IntRange<T> {
+    /// The `(low, high_inclusive)` bounds.
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: UniformInt + Dec> IntRange<T> for std::ops::Range<T> {
+    fn bounds(self) -> (T, T) {
+        (self.start, self.end.dec())
+    }
+}
+
+impl<T: UniformInt> IntRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        self.into_inner()
+    }
+}
+
+/// Decrement helper for converting half-open to inclusive bounds.
+pub trait Dec {
+    /// `self - 1`, panicking if the half-open range was empty.
+    fn dec(self) -> Self;
+}
+
+macro_rules! impl_dec {
+    ($($t:ty),*) => {$(
+        impl Dec for $t {
+            fn dec(self) -> Self {
+                self.checked_sub(1).expect("empty range in random_range")
+            }
+        }
+    )*};
+}
+
+impl_dec!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the recommended xoshiro seeding.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_samples_are_uniform_unit() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn random_range_covers_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let k = rng.random_range(0..5usize);
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let k = rng.random_range(3..=4usize);
+            assert!((3..=4).contains(&k));
+        }
+        assert_eq!(rng.random_range(9..10usize), 9);
+    }
+
+    #[test]
+    fn bool_and_ints_sample() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let heads = (0..1000).filter(|_| rng.random::<bool>()).count();
+        assert!((300..700).contains(&heads));
+        let _: u64 = rng.random();
+        let _: u32 = rng.random();
+        let _: f32 = rng.random();
+    }
+}

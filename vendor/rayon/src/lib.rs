@@ -1,0 +1,132 @@
+//! Offline stand-in for `rayon`, vendored because this build environment
+//! has no registry access.
+//!
+//! Provides structured parallelism with rayon's `join`/`scope` call
+//! shapes, implemented over `std::thread::scope` rather than a
+//! work-stealing pool. Thread spawn costs ~10 µs, so callers should gate
+//! parallel dispatch on work size — which the simulator does anyway,
+//! because at small populations sequential execution beats any pool.
+//! Unlike real rayon, the closures passed to [`join`] must be `Send`.
+
+/// Runs two closures, potentially in parallel, returning both results.
+///
+/// `a` runs on the calling thread while `b` runs on a scoped worker
+/// thread.
+///
+/// # Panics
+///
+/// Propagates panics from either closure.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// A scope in which parallel tasks can be spawned, mirroring
+/// `rayon::Scope`.
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task into the scope; all tasks complete before
+    /// [`scope`] returns.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let s = Scope { inner };
+            f(&s);
+        });
+    }
+}
+
+/// Creates a scope for spawning parallel tasks; blocks until every
+/// spawned task finishes.
+///
+/// # Panics
+///
+/// Propagates panics from spawned tasks.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    })
+}
+
+/// Number of hardware threads available (rayon's default pool size).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "two".len());
+        assert_eq!(a, 4);
+        assert_eq!(b, 3);
+    }
+
+    #[test]
+    fn join_runs_in_parallel_with_shared_data() {
+        let data: Vec<u64> = (0..1000).collect();
+        let (left, right) = join(
+            || data[..500].iter().sum::<u64>(),
+            || data[500..].iter().sum::<u64>(),
+        );
+        assert_eq!(left + right, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn scope_spawns_disjoint_mutations() {
+        let mut buf = vec![0u64; 64];
+        let (left, right) = buf.split_at_mut(32);
+        scope(|s| {
+            s.spawn(move |_| left.iter_mut().for_each(|x| *x = 1));
+            s.spawn(move |_| right.iter_mut().for_each(|x| *x = 2));
+        });
+        assert_eq!(buf[..32].iter().sum::<u64>(), 32);
+        assert_eq!(buf[32..].iter().sum::<u64>(), 64);
+    }
+
+    #[test]
+    fn nested_scope_spawn() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s2| {
+                count.fetch_add(1, Ordering::SeqCst);
+                s2.spawn(|_| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn threads_available() {
+        assert!(current_num_threads() >= 1);
+    }
+}

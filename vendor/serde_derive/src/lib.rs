@@ -1,0 +1,415 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Parses the deriving item's token stream by hand (no `syn`/`quote`
+//! available offline) and emits `Serialize`/`Deserialize` impls against
+//! the Value-tree data model. Supports the shapes this workspace uses:
+//! plain structs with named fields, tuple structs, unit structs, and
+//! enums with unit / named-field / tuple variants. Generics and
+//! `#[serde(...)]` attributes are intentionally unsupported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of the item being derived.
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Derives `serde::Serialize` (Value-tree lowering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!("::serde::Value::Object(vec![{entries}])")
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let entries: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(vec![{entries}])")
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| serialize_variant_arm(&name, v))
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (Value-tree rebuilding).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let inits: String = fields.iter().map(|f| named_field_init(&name, f)).collect();
+            format!("::std::result::Result::Ok(Self {{ {inits} }})")
+        }
+        Shape::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+        }
+        Shape::TupleStruct(n) => {
+            let inits: String = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                         ::serde::de_error(\"{name}: tuple too short\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) => \
+                         ::std::result::Result::Ok(Self({inits})),\n\
+                     _ => ::std::result::Result::Err(::serde::de_error(\
+                         \"{name}: expected array\")),\n\
+                 }}"
+            )
+        }
+        Shape::UnitStruct => "::std::result::Result::Ok(Self)".to_string(),
+        Shape::Enum(variants) => deserialize_enum_body(&name, variants),
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
+
+fn named_field_init(name: &str, field: &str) -> String {
+    format!(
+        "{field}: ::serde::Deserialize::from_value(v.get({field:?}).ok_or_else(|| \
+         ::serde::de_error(\"{name}: missing field `{field}`\"))?)?,"
+    )
+}
+
+fn serialize_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{name}::{vname} => ::serde::Value::String({vname:?}.to_string()),")
+        }
+        VariantKind::Named(fields) => {
+            let bindings = fields.join(", ");
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f})),"))
+                .collect();
+            format!(
+                "{name}::{vname} {{ {bindings} }} => ::serde::Value::Object(vec![\
+                     ({vname:?}.to_string(), ::serde::Value::Object(vec![{entries}]))\
+                 ]),"
+            )
+        }
+        VariantKind::Tuple(1) => format!(
+            "{name}::{vname}(f0) => ::serde::Value::Object(vec![\
+                 ({vname:?}.to_string(), ::serde::Serialize::to_value(f0))\
+             ]),"
+        ),
+        VariantKind::Tuple(n) => {
+            let bindings: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let entries: String = bindings
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                .collect();
+            format!(
+                "{name}::{vname}({}) => ::serde::Value::Object(vec![\
+                     ({vname:?}.to_string(), ::serde::Value::Array(vec![{entries}]))\
+                 ]),",
+                bindings.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "if s == {vn:?} {{ return ::std::result::Result::Ok({name}::{vn}); }}\n",
+                vn = v.name
+            )
+        })
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|v| match &v.kind {
+            VariantKind::Unit => None,
+            VariantKind::Named(fields) => {
+                let inits: String = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(inner.get({f:?})\
+                             .ok_or_else(|| ::serde::de_error(\
+                             \"{name}::{vn}: missing field `{f}`\"))?)?,",
+                            vn = v.name
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "if let ::std::option::Option::Some(inner) = v.get({vn:?}) {{\n\
+                         return ::std::result::Result::Ok({name}::{vn} {{ {inits} }});\n\
+                     }}\n",
+                    vn = v.name
+                ))
+            }
+            VariantKind::Tuple(1) => Some(format!(
+                "if let ::std::option::Option::Some(inner) = v.get({vn:?}) {{\n\
+                     return ::std::result::Result::Ok(\
+                         {name}::{vn}(::serde::Deserialize::from_value(inner)?));\n\
+                 }}\n",
+                vn = v.name
+            )),
+            VariantKind::Tuple(n) => {
+                let inits: String = (0..*n)
+                    .map(|i| {
+                        format!(
+                            "::serde::Deserialize::from_value(items.get({i})\
+                             .ok_or_else(|| ::serde::de_error(\
+                             \"{name}::{vn}: tuple too short\"))?)?,",
+                            vn = v.name
+                        )
+                    })
+                    .collect();
+                Some(format!(
+                    "if let ::std::option::Option::Some(::serde::Value::Array(items)) = \
+                         v.get({vn:?}) {{\n\
+                         return ::std::result::Result::Ok({name}::{vn}({inits}));\n\
+                     }}\n",
+                    vn = v.name
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "if let ::serde::Value::String(s) = v {{\n\
+             {unit_arms}\n\
+         }}\n\
+         {tagged_arms}\n\
+         ::std::result::Result::Err(::serde::de_error(\
+             \"no variant of {name} matched\"))"
+    )
+}
+
+// --- token-stream parsing ----------------------------------------------
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    // Skip attributes and visibility, find `struct` / `enum`.
+    let mut is_enum = false;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                i += 1;
+                break;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            Some(_) => i += 1,
+            None => panic!("serde derive: expected `struct` or `enum`"),
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive: generic types are not supported by the vendored serde");
+        }
+    }
+    // Skip a `where` clause if present (none in this workspace, cheap to allow).
+    while let Some(tt) = tokens.get(i) {
+        match tt {
+            TokenTree::Group(_) | TokenTree::Punct(_) => break,
+            TokenTree::Ident(id) if id.to_string() == "where" => {
+                panic!("serde derive: `where` clauses are not supported");
+            }
+            _ => i += 1,
+        }
+    }
+    let shape = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Shape::Enum(parse_variants(g.stream()))
+            } else {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(count_segments(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+        other => panic!("serde derive: unexpected item body {other:?}"),
+    };
+    (name, shape)
+}
+
+/// Extracts field names from a named-field body
+/// (`attrs vis name: Type, ...`). Tracks angle-bracket depth so commas
+/// inside `Vec<Vec<f64>>`-style types do not split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break; // trailing comma
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Skip `: Type` up to the next top-level comma.
+        let mut angle = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated segments at angle-depth zero (tuple arity).
+fn count_segments(stream: TokenStream) -> usize {
+    let mut segments = 0usize;
+    let mut seen_token = false;
+    let mut angle = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if seen_token {
+                        segments += 1;
+                    }
+                    seen_token = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        seen_token = true;
+    }
+    if seen_token {
+        segments += 1;
+    }
+    segments
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // Skip attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break; // trailing comma
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_segments(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the comma separating variants (covers discriminants).
+        while let Some(tt) = tokens.get(i) {
+            i += 1;
+            if let TokenTree::Punct(p) = tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
