@@ -1,0 +1,179 @@
+//! DES-vs-Indexed benchmark: runs the paper-default configuration under
+//! the Indexed round engine and the EventDriven engine in both streaming
+//! modes, measures wall time and the steady-state agreement (mean used
+//! cloud bandwidth, total VM cost), and appends the comparison as a
+//! `des_comparison` section to `BENCH_sim.json` so the model gap and the
+//! DES engine's speed are tracked from PR to PR. Every row names the
+//! kernel that produced it.
+//!
+//! Usage: `bench_des [--hours N] [--out PATH]`
+//!   - `--hours` simulated horizon per run (default 24; use 168 for the
+//!     paper's full week — the tolerance the regression suite documents
+//!     is validated against that horizon),
+//!   - `--out` the benchmark file to append to (default `BENCH_sim.json`
+//!     in the working directory; created if missing).
+
+use std::time::Instant;
+
+use cloudmedia_sim::config::{SimConfig, SimKernel, SimMode};
+use cloudmedia_sim::event_driven::{run as des_run, DesScenario, LatencySummary};
+use cloudmedia_sim::simulator::Simulator;
+use serde::Serialize;
+
+/// One mode's Indexed-vs-DES measurement. `*_ratio` fields are
+/// DES / Indexed.
+#[derive(Debug, Serialize)]
+struct ModeComparison {
+    mode: String,
+    indexed_kernel: String,
+    des_kernel: String,
+    sim_hours: f64,
+    indexed_wall_seconds: f64,
+    des_wall_seconds: f64,
+    des_events_delivered: u64,
+    indexed_mean_used_bandwidth: f64,
+    des_mean_used_bandwidth: f64,
+    used_bandwidth_ratio: f64,
+    indexed_vm_cost: f64,
+    des_vm_cost: f64,
+    vm_cost_ratio: f64,
+    indexed_mean_quality: f64,
+    des_mean_quality: f64,
+    des_admission_latency: LatencySummary,
+    des_cloud_requests: u64,
+    des_peer_requests: u64,
+    erlang_c_predicted_wait_fraction: f64,
+    measured_wait_fraction: f64,
+}
+
+/// The `des_comparison` section appended to `BENCH_sim.json`.
+#[derive(Debug, Serialize)]
+struct DesComparison {
+    schema: String,
+    notes: Vec<String>,
+    used_bandwidth_tolerance: f64,
+    vm_cost_tolerance: f64,
+    modes: Vec<ModeComparison>,
+}
+
+fn main() {
+    let mut hours = 24.0_f64;
+    let mut out_path = "BENCH_sim.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--hours" => {
+                hours = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                out_path = args.next().unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let mut modes = Vec::new();
+    for mode in [SimMode::ClientServer, SimMode::P2p] {
+        let mut cfg = SimConfig::paper_default(mode);
+        cfg.trace.horizon_seconds = hours * 3600.0;
+
+        cfg.kernel = SimKernel::Indexed;
+        let start = Instant::now();
+        let indexed = Simulator::new(cfg.clone())
+            .expect("paper config is valid")
+            .run()
+            .expect("indexed run succeeds");
+        let indexed_wall = start.elapsed().as_secs_f64();
+        eprintln!("{mode:?}/Indexed {hours}h: {indexed_wall:.3}s wall");
+
+        let start = Instant::now();
+        let des = des_run(&cfg, &DesScenario::default()).expect("event-driven run succeeds");
+        let des_wall = start.elapsed().as_secs_f64();
+        eprintln!(
+            "{mode:?}/EventDriven {hours}h: {des_wall:.3}s wall ({} events)",
+            des.report.events_delivered
+        );
+
+        let m = &des.metrics;
+        let row = ModeComparison {
+            mode: format!("{mode:?}"),
+            indexed_kernel: format!("{:?}", SimKernel::Indexed),
+            des_kernel: format!("{:?}", SimKernel::EventDriven),
+            sim_hours: hours,
+            indexed_wall_seconds: indexed_wall,
+            des_wall_seconds: des_wall,
+            des_events_delivered: des.report.events_delivered,
+            indexed_mean_used_bandwidth: indexed.mean_used_bandwidth(),
+            des_mean_used_bandwidth: m.mean_used_bandwidth(),
+            used_bandwidth_ratio: m.mean_used_bandwidth() / indexed.mean_used_bandwidth(),
+            indexed_vm_cost: indexed.total_vm_cost,
+            des_vm_cost: m.total_vm_cost,
+            vm_cost_ratio: m.total_vm_cost / indexed.total_vm_cost,
+            indexed_mean_quality: indexed.mean_quality(),
+            des_mean_quality: m.mean_quality(),
+            des_admission_latency: des.report.admission_latency,
+            des_cloud_requests: des.report.cloud_requests,
+            des_peer_requests: des.report.peer_requests,
+            erlang_c_predicted_wait_fraction: des.report.predicted_wait_fraction,
+            measured_wait_fraction: des.report.measured_wait_fraction,
+        };
+        println!(
+            "{mode:?}: kernel=EventDriven vs kernel=Indexed — used-bw ratio {:.3}, \
+             cost ratio {:.3}, p99 admission wait {:.1}s",
+            row.used_bandwidth_ratio, row.vm_cost_ratio, row.des_admission_latency.p99
+        );
+        modes.push(row);
+    }
+
+    let comparison = DesComparison {
+        schema: "cloudmedia-bench-des/v1".into(),
+        notes: vec![
+            "EventDriven is a different microscopic model (per-request FIFO \
+             M/M/m service on the cloudmedia-des kernel); agreement with the \
+             Indexed round engine is in steady-state means, not bit-for-bit. \
+             See crates/sim/src/event_driven for the tolerance argument."
+                .into(),
+        ],
+        used_bandwidth_tolerance: 0.15,
+        vm_cost_tolerance: 0.10,
+        modes,
+    };
+    let section = serde_json::to_string_pretty(&comparison).expect("comparison serializes");
+
+    // Append (or refresh) the section inside BENCH_sim.json. The section
+    // is always the last key before the closing brace, so replacing from
+    // its marker is lossless for the rest of the report.
+    const MARKER: &str = "\"des_comparison\":";
+    let base = match std::fs::read_to_string(&out_path) {
+        Ok(text) => {
+            let text = text.trim_end();
+            if let Some(i) = text.find(MARKER) {
+                text[..i]
+                    .trim_end()
+                    .trim_end_matches(',')
+                    .trim_end()
+                    .to_string()
+            } else {
+                text.strip_suffix('}')
+                    .map(|s| s.trim_end().to_string())
+                    .unwrap_or_else(|| "{\n  \"schema\": \"cloudmedia-bench-sim/v1\"".into())
+            }
+        }
+        Err(_) => "{\n  \"schema\": \"cloudmedia-bench-sim/v1\"".into(),
+    };
+    let merged = format!("{base},\n  {MARKER} {section}\n}}");
+    std::fs::write(&out_path, &merged).expect("write benchmark file");
+    println!("appended des_comparison to {out_path}");
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_des [--hours N] [--out PATH]");
+    std::process::exit(2)
+}

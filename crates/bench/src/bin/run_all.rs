@@ -29,8 +29,9 @@ fn main() {
     write(dir, "table3.csv", &tables::table_iii());
 
     eprintln!(
-        "running the experiment suite ({} h paper-scale horizon)...",
-        args.hours
+        "running the experiment suite ({} h paper-scale horizon, {:?} kernel)...",
+        args.hours,
+        cloudmedia_sim::config::SimKernel::default()
     );
     let ((runs, four), (f11, (latency_rows, chunk_rows))) = rayon::join(
         || {

@@ -27,8 +27,10 @@ pub fn fig4(runs: &PaperRuns) -> String {
 /// exceeds used in the majority of time").
 pub fn fig4_summary(runs: &PaperRuns) -> String {
     format!(
-        "# C/S: mean reserved {} Mbps, mean used {} Mbps, coverage {:.3}\n\
+        "# kernel: {:?}\n\
+         # C/S: mean reserved {} Mbps, mean used {} Mbps, coverage {:.3}\n\
          # P2P: mean reserved {} Mbps, mean used {} Mbps, coverage {:.3}\n",
+        runs.kernel,
         mbps(runs.cs.mean_reserved_bandwidth()),
         mbps(runs.cs.mean_used_bandwidth()),
         runs.cs.provision_coverage(),
@@ -55,7 +57,8 @@ pub fn fig5(runs: &PaperRuns) -> String {
 /// Summary for Fig. 5 (the paper reports C/S avg 0.97, P2P avg 0.95).
 pub fn fig5_summary(runs: &PaperRuns) -> String {
     format!(
-        "# mean quality: C/S {:.3}, P2P {:.3}\n",
+        "# kernel: {:?}\n# mean quality: C/S {:.3}, P2P {:.3}\n",
+        runs.kernel,
         runs.cs.mean_quality(),
         runs.p2p.mean_quality()
     )
@@ -135,8 +138,10 @@ pub fn fig10_summary(runs: &PaperRuns) -> String {
         .unwrap_or(1.0)
         .max(1e-9);
     format!(
-        "# mean VM cost: C/S ${:.2}/h, P2P ${:.2}/h (ratio {:.1}x)\n\
+        "# kernel: {:?}\n\
+         # mean VM cost: C/S ${:.2}/h, P2P ${:.2}/h (ratio {:.1}x)\n\
          # storage cost: C/S ${:.4}/day (negligible vs VM rental)\n",
+        runs.kernel,
         runs.cs.mean_vm_hourly_cost(),
         runs.p2p.mean_vm_hourly_cost(),
         runs.cs.mean_vm_hourly_cost() / runs.p2p.mean_vm_hourly_cost().max(1e-9),

@@ -8,6 +8,9 @@
 //!   channel arrival rates (VM targets, costs, placement size),
 //! - `cloudmedia simulate` — a full system simulation with JSON config
 //!   in / JSON metrics out,
+//! - `cloudmedia des` — an event-driven scenario run on the
+//!   `cloudmedia-des` kernel (per-request admission latency, VM
+//!   boot-delay, VM failure injection, sub-round flash crowds),
 //! - `cloudmedia default-config` — prints the paper-default simulation
 //!   configuration as editable JSON.
 //!
@@ -28,6 +31,7 @@ use cloudmedia_core::channel::ChannelModel;
 use cloudmedia_core::controller::{Controller, ControllerConfig, StreamingMode};
 use cloudmedia_core::predictor::{ChannelObservation, PredictorKind};
 use cloudmedia_sim::config::{SimConfig, SimMode};
+use cloudmedia_sim::event_driven::{DesScenario, FlashCrowdSpec, VmFailureSpec};
 use cloudmedia_sim::simulator::Simulator;
 
 /// A parsed CLI invocation.
@@ -60,6 +64,17 @@ pub enum Command {
         /// Optional path to write the full metrics JSON.
         out_path: Option<String>,
     },
+    /// Run an event-driven scenario on the DES kernel.
+    Des {
+        /// Scenario name.
+        scenario: DesScenarioKind,
+        /// Streaming architecture.
+        mode: SimMode,
+        /// Horizon in hours.
+        hours: f64,
+        /// Optional path to write the full `DesRun` JSON.
+        out_path: Option<String>,
+    },
     /// Print the paper-default simulation config as JSON.
     DefaultConfig {
         /// Streaming architecture.
@@ -67,6 +82,60 @@ pub enum Command {
     },
     /// Print usage.
     Help,
+}
+
+/// The named event-driven scenarios `cloudmedia des` offers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesScenarioKind {
+    /// Paper defaults, no injections.
+    Baseline,
+    /// VM boots stretched to 5 minutes (cold-capacity stress).
+    BootDelay,
+    /// 50 % of the running fleet fails mid-run.
+    VmFailure,
+    /// A sharp mid-run flash crowd on the most popular channel.
+    FlashCrowd,
+}
+
+impl DesScenarioKind {
+    fn parse(v: &str) -> Result<Self, CliError> {
+        match v {
+            "baseline" => Ok(Self::Baseline),
+            "boot-delay" => Ok(Self::BootDelay),
+            "vm-failure" => Ok(Self::VmFailure),
+            "flash-crowd" => Ok(Self::FlashCrowd),
+            other => Err(CliError::Usage(format!(
+                "unknown des scenario `{other}` (use baseline|boot-delay|vm-failure|flash-crowd)"
+            ))),
+        }
+    }
+
+    /// Builds the scenario spec for a run of `horizon` seconds.
+    fn build(self, horizon: f64) -> DesScenario {
+        match self {
+            Self::Baseline => DesScenario::default(),
+            Self::BootDelay => DesScenario {
+                vm_boot_seconds: Some(300.0),
+                ..DesScenario::default()
+            },
+            Self::VmFailure => DesScenario {
+                failures: vec![VmFailureSpec {
+                    at: horizon * 0.5,
+                    fraction: 0.5,
+                }],
+                ..DesScenario::default()
+            },
+            Self::FlashCrowd => DesScenario {
+                flash_crowds: vec![FlashCrowdSpec {
+                    at: horizon * 0.6 + 17.0,
+                    channel: 0,
+                    extra_viewers: 800,
+                    window_seconds: 90.0,
+                }],
+                ..DesScenario::default()
+            },
+        }
+    }
 }
 
 /// Errors from parsing or executing a command.
@@ -97,6 +166,8 @@ USAGE:
   cloudmedia analyze --arrival-rate R [--upload BYTES_PER_S]
   cloudmedia plan --arrival-rates R1,R2,... [--mode cs|p2p] [--budget DOLLARS]
   cloudmedia simulate [--mode cs|p2p] [--hours H] [--config FILE] [--out FILE]
+  cloudmedia des <baseline|boot-delay|vm-failure|flash-crowd>
+                 [--mode cs|p2p] [--hours H] [--out FILE]
   cloudmedia default-config [--mode cs|p2p]
   cloudmedia help
 ";
@@ -201,6 +272,29 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                 out_path,
             })
         }
+        "des" => {
+            let scenario = it
+                .next()
+                .ok_or_else(|| CliError::Usage("des requires a scenario".into()))
+                .and_then(DesScenarioKind::parse)?;
+            let mut mode = SimMode::P2p;
+            let mut hours = 24.0;
+            let mut out_path = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--mode" => mode = parse_mode(take_value(&mut it, flag)?)?,
+                    "--hours" => hours = parse_f64(take_value(&mut it, flag)?, flag)?,
+                    "--out" => out_path = Some(take_value(&mut it, flag)?.to_owned()),
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Des {
+                scenario,
+                mode,
+                hours,
+                out_path,
+            })
+        }
         "default-config" => {
             let mut mode = SimMode::P2p;
             while let Some(flag) = it.next() {
@@ -250,6 +344,12 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             config_path,
             out_path,
         } => simulate(mode, hours, config_path.as_deref(), out_path.as_deref()),
+        Command::Des {
+            scenario,
+            mode,
+            hours,
+            out_path,
+        } => des(scenario, mode, hours, out_path.as_deref()),
         Command::DefaultConfig { mode } => {
             serde_json::to_string_pretty(&SimConfig::paper_default(mode))
                 .map(|mut s| {
@@ -412,6 +512,79 @@ fn simulate(
     Ok(out)
 }
 
+fn des(
+    scenario: DesScenarioKind,
+    mode: SimMode,
+    hours: f64,
+    out_path: Option<&str>,
+) -> Result<String, CliError> {
+    let mut config = SimConfig::paper_default(mode);
+    config.trace.horizon_seconds = hours * 3600.0;
+    let spec = scenario.build(config.trace.horizon_seconds);
+    let run = cloudmedia_sim::event_driven::run(&config, &spec)
+        .map_err(|e| CliError::Run(format!("event-driven run failed: {e}")))?;
+    if let Some(path) = out_path {
+        let json = serde_json::to_string(&run)
+            .map_err(|e| CliError::Run(format!("serializing run failed: {e}")))?;
+        std::fs::write(path, json)
+            .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+    }
+    let m = &run.metrics;
+    let r = &run.report;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "event-driven run: {scenario:?} scenario, {hours:.1} h in {mode:?} mode \
+         ({} events)",
+        r.events_delivered
+    );
+    let _ = writeln!(out, "mean streaming quality: {:.4}", m.mean_quality());
+    let _ = writeln!(
+        out,
+        "cloud bandwidth: reserved {:.1} Mbps, used {:.1} Mbps (coverage {:.3})",
+        m.mean_reserved_bandwidth() * 8.0 / 1e6,
+        m.mean_used_bandwidth() * 8.0 / 1e6,
+        m.provision_coverage(),
+    );
+    let _ = writeln!(
+        out,
+        "VM rental: ${:.2} total (${:.2}/h mean)",
+        m.total_vm_cost,
+        m.mean_vm_hourly_cost(),
+    );
+    let l = &r.admission_latency;
+    let _ = writeln!(
+        out,
+        "admission latency over {} requests: mean {:.2}s, p50 {:.2}s, p90 {:.2}s, \
+         p99 {:.2}s, max {:.2}s",
+        l.count, l.mean, l.p50, l.p90, l.p99, l.max
+    );
+    let _ = writeln!(
+        out,
+        "request split: {} cloud / {} peer; Erlang-C predicted wait fraction {:.3}, \
+         measured {:.3}",
+        r.cloud_requests, r.peer_requests, r.predicted_wait_fraction, r.measured_wait_fraction
+    );
+    let _ = writeln!(
+        out,
+        "peak concurrent viewers: {} (injected: {}); mean startup delay {:.2}s",
+        m.peak_peers(),
+        r.injected_viewers,
+        m.mean_startup_delay()
+    );
+    if r.vms_killed > 0 {
+        let _ = writeln!(
+            out,
+            "failure injection killed {} VM instances",
+            r.vms_killed
+        );
+    }
+    if let Some(path) = out_path {
+        let _ = writeln!(out, "full run written to {path}");
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -477,6 +650,63 @@ mod tests {
                 out_path: None
             }
         );
+    }
+
+    #[test]
+    fn parse_des_scenarios() {
+        let c = parse(&["des", "baseline"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Des {
+                scenario: DesScenarioKind::Baseline,
+                mode: SimMode::P2p,
+                hours: 24.0,
+                out_path: None
+            }
+        );
+        let c = parse(&["des", "vm-failure", "--mode", "cs", "--hours", "6"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Des {
+                scenario: DesScenarioKind::VmFailure,
+                mode: SimMode::ClientServer,
+                hours: 6.0,
+                out_path: None
+            }
+        );
+        assert!(matches!(parse(&["des"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["des", "meteor"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn des_scenarios_build_their_specs() {
+        let horizon = 10.0 * 3600.0;
+        assert_eq!(
+            DesScenarioKind::Baseline.build(horizon),
+            DesScenario::default()
+        );
+        let boot = DesScenarioKind::BootDelay.build(horizon);
+        assert_eq!(boot.vm_boot_seconds, Some(300.0));
+        let fail = DesScenarioKind::VmFailure.build(horizon);
+        assert_eq!(fail.failures.len(), 1);
+        assert!(fail.failures[0].at < horizon);
+        let crowd = DesScenarioKind::FlashCrowd.build(horizon);
+        assert_eq!(crowd.flash_crowds.len(), 1);
+        assert!(crowd.flash_crowds[0].at < horizon);
+    }
+
+    #[test]
+    fn des_baseline_short_run_reports_latency() {
+        let out = run(Command::Des {
+            scenario: DesScenarioKind::Baseline,
+            mode: SimMode::ClientServer,
+            hours: 1.0,
+            out_path: None,
+        })
+        .unwrap();
+        assert!(out.contains("admission latency"), "got: {out}");
+        assert!(out.contains("Erlang-C predicted wait fraction"));
+        assert!(out.contains("mean streaming quality"));
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! The typed component-handler trait.
+//!
+//! A simulation is a set of components exchanging events through one
+//! [`Kernel`]. The engine that owns the components assigns each a
+//! [`ComponentId`], pops events in a loop, and dispatches each event to
+//! the component named by its destination:
+//!
+//! ```text
+//! while let Some(ev) = kernel.pop() {
+//!     match ev.dest {
+//!         SESSIONS  => self.sessions.handle(ev, &mut kernel),
+//!         ADMISSION => self.admission.handle(ev, &mut kernel),
+//!         ...
+//!     }
+//! }
+//! ```
+//!
+//! Handlers receive the kernel mutably so they can schedule follow-up
+//! events (including to themselves — self-rescheduling ticks — and
+//! cancellable timers), but they never receive other components:
+//! cross-component communication happens exclusively through events,
+//! which is what keeps the execution order — and with it the determinism
+//! contract — fully captured by the kernel's `(time, seq)` ordering.
+
+use crate::kernel::{Event, Kernel};
+
+/// A simulation component: a typed handler for the events addressed to
+/// it.
+pub trait Component<E> {
+    /// Handles one delivered event. `kernel.now()` equals `event.time`.
+    fn handle(&mut self, event: Event<E>, kernel: &mut Kernel<E>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::ComponentId;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Msg {
+        Tick,
+        Echo(u64),
+    }
+
+    /// Self-rescheduling ticker that echoes to a peer.
+    struct Ticker {
+        peer: ComponentId,
+        me: ComponentId,
+        ticks: u64,
+        limit: u64,
+    }
+
+    impl Component<Msg> for Ticker {
+        fn handle(&mut self, event: Event<Msg>, kernel: &mut Kernel<Msg>) {
+            if let Msg::Tick = event.payload {
+                self.ticks += 1;
+                kernel.schedule_in(0.0, self.peer, Msg::Echo(self.ticks));
+                if self.ticks < self.limit {
+                    kernel.schedule_in(1.0, self.me, Msg::Tick);
+                }
+            }
+        }
+    }
+
+    /// Records every echo it receives, with its timestamp.
+    struct Sink {
+        received: Vec<(f64, u64)>,
+    }
+
+    impl Component<Msg> for Sink {
+        fn handle(&mut self, event: Event<Msg>, _kernel: &mut Kernel<Msg>) {
+            if let Msg::Echo(n) = event.payload {
+                self.received.push((event.time, n));
+            }
+        }
+    }
+
+    #[test]
+    fn components_exchange_events_through_the_kernel() {
+        const TICKER: ComponentId = ComponentId(0);
+        const SINK: ComponentId = ComponentId(1);
+        let mut kernel: Kernel<Msg> = Kernel::new();
+        let mut ticker = Ticker {
+            peer: SINK,
+            me: TICKER,
+            ticks: 0,
+            limit: 3,
+        };
+        let mut sink = Sink {
+            received: Vec::new(),
+        };
+        kernel.schedule_at(0.0, TICKER, Msg::Tick);
+        while let Some(ev) = kernel.pop() {
+            match ev.dest {
+                TICKER => ticker.handle(ev, &mut kernel),
+                SINK => sink.handle(ev, &mut kernel),
+                other => panic!("unroutable destination {other:?}"),
+            }
+        }
+        assert_eq!(ticker.ticks, 3);
+        assert_eq!(sink.received, vec![(0.0, 1), (1.0, 2), (2.0, 3)]);
+    }
+}

@@ -1,0 +1,341 @@
+//! The event queue and logical clock.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifier of a component (an event destination). Scenario engines
+/// assign these; the kernel only routes on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub usize);
+
+/// Identifier of a scheduled event, usable to cancel it before delivery.
+/// Events are numbered sequentially from 0 in schedule order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub u64);
+
+/// A delivered event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event<E> {
+    /// The event's identifier (its schedule sequence number).
+    pub id: EventId,
+    /// Delivery time on the logical clock.
+    pub time: f64,
+    /// Destination component.
+    pub dest: ComponentId,
+    /// The typed payload.
+    pub payload: E,
+}
+
+/// Heap entry. Ordered so that `BinaryHeap` (a max-heap) pops the
+/// *earliest* time first, and among equal times the *lowest* sequence
+/// number first — i.e. FIFO within a timestamp. The sequence number is
+/// a total tie-breaker, so the ordering is total and never falls back to
+/// heap insertion internals.
+#[derive(Debug)]
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    dest: ComponentId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the max-heap must surface the smallest (time, seq).
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The deterministic event kernel: logical clock + event queue +
+/// cancellation set.
+///
+/// See the crate docs for the determinism contract. The kernel is generic
+/// over the payload type `E`, so one simulation's whole event vocabulary
+/// is a single enum and dispatch is exhaustively type-checked.
+#[derive(Debug)]
+pub struct Kernel<E> {
+    clock: f64,
+    queue: BinaryHeap<Entry<E>>,
+    /// Next schedule sequence number (doubles as the event id).
+    next_seq: u64,
+    /// Ids currently scheduled and not yet delivered or cancelled.
+    pending_ids: HashSet<u64>,
+    /// Ids cancelled before delivery; lazily swept from the heap.
+    cancelled: HashSet<u64>,
+    /// Events delivered so far.
+    delivered: u64,
+}
+
+impl<E> Default for Kernel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Kernel<E> {
+    /// Creates an empty kernel with the clock at 0.
+    pub fn new() -> Self {
+        Self {
+            clock: 0.0,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            pending_ids: HashSet::new(),
+            cancelled: HashSet::new(),
+            delivered: 0,
+        }
+    }
+
+    /// The current logical time. Advances only through [`Kernel::pop`].
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Schedules `payload` for delivery to `dest` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is NaN or earlier than the current clock —
+    /// scheduling into the past would break clock monotonicity, and a
+    /// silent clamp would hide the modeling bug that produced it.
+    pub fn schedule_at(&mut self, at: f64, dest: ComponentId, payload: E) -> EventId {
+        assert!(!at.is_nan(), "event time must not be NaN");
+        assert!(
+            at >= self.clock,
+            "cannot schedule into the past: {at} < clock {}",
+            self.clock
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending_ids.insert(seq);
+        self.queue.push(Entry {
+            time: at,
+            seq,
+            dest,
+            payload,
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `payload` for delivery to `dest` after `delay` seconds.
+    /// A zero delay delivers at the current instant, after every event
+    /// already scheduled for it (FIFO).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or NaN.
+    pub fn schedule_in(&mut self, delay: f64, dest: ComponentId, payload: E) -> EventId {
+        assert!(delay >= 0.0, "delay must be non-negative, got {delay}");
+        self.schedule_at(self.clock + delay, dest, payload)
+    }
+
+    /// Cancels a scheduled event (a cancellable timer). Returns `true` if
+    /// the event was still pending; cancelling an already-delivered,
+    /// already-cancelled, or never-scheduled event returns `false` and
+    /// has no effect.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if !self.pending_ids.remove(&id.0) {
+            return false;
+        }
+        // The entry stays in the heap until it surfaces; `skip_cancelled`
+        // sweeps it then.
+        self.cancelled.insert(id.0);
+        true
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<f64> {
+        self.skip_cancelled();
+        self.queue.peek().map(|e| e.time)
+    }
+
+    /// Pops the next event and advances the clock to its time.
+    ///
+    /// Delivery order is the lexicographic order of `(time, sequence
+    /// number)`: strictly increasing time, and FIFO among events
+    /// scheduled for the same instant. The sequence number makes the
+    /// order total, so two runs with the same schedule sequence pop the
+    /// same sequence of events — the foundation of the determinism
+    /// contract.
+    pub fn pop(&mut self) -> Option<Event<E>> {
+        self.skip_cancelled();
+        let entry = self.queue.pop()?;
+        debug_assert!(
+            entry.time >= self.clock,
+            "heap order preserves monotonicity"
+        );
+        self.clock = entry.time;
+        self.delivered += 1;
+        self.pending_ids.remove(&entry.seq);
+        Some(Event {
+            id: EventId(entry.seq),
+            time: entry.time,
+            dest: entry.dest,
+            payload: entry.payload,
+        })
+    }
+
+    /// Drops cancelled entries sitting at the top of the heap.
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.queue.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.queue.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of pending (scheduled, not yet delivered or cancelled)
+    /// events. Cancelled-but-unswept heap entries do not count.
+    pub fn pending(&self) -> usize {
+        self.pending_ids.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Total events scheduled so far (delivered, pending, or cancelled).
+    pub fn scheduled_count(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Total events delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ComponentId = ComponentId(0);
+    const B: ComponentId = ComponentId(1);
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut k: Kernel<u32> = Kernel::new();
+        k.schedule_at(5.0, A, 1);
+        k.schedule_at(1.0, A, 2);
+        k.schedule_at(3.0, B, 3);
+        let order: Vec<u32> = std::iter::from_fn(|| k.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+        assert_eq!(k.now(), 5.0);
+    }
+
+    #[test]
+    fn same_time_events_are_fifo() {
+        let mut k: Kernel<u32> = Kernel::new();
+        for i in 0..100 {
+            k.schedule_at(7.0, A, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| k.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_delay_delivers_after_existing_same_instant_events() {
+        let mut k: Kernel<&'static str> = Kernel::new();
+        k.schedule_at(2.0, A, "first");
+        k.schedule_at(2.0, A, "second");
+        let e = k.pop().unwrap();
+        assert_eq!(e.payload, "first");
+        // Now at t=2: a zero-delay event lands after "second".
+        k.schedule_in(0.0, B, "third");
+        assert_eq!(k.pop().unwrap().payload, "second");
+        assert_eq!(k.pop().unwrap().payload, "third");
+    }
+
+    #[test]
+    fn clock_is_monotonic_and_starts_at_zero() {
+        let mut k: Kernel<()> = Kernel::new();
+        assert_eq!(k.now(), 0.0);
+        k.schedule_at(10.0, A, ());
+        k.schedule_at(10.0, A, ());
+        let mut last = 0.0;
+        while let Some(e) = k.pop() {
+            assert!(e.time >= last);
+            last = e.time;
+        }
+        assert_eq!(k.now(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut k: Kernel<()> = Kernel::new();
+        k.schedule_at(5.0, A, ());
+        k.pop();
+        k.schedule_at(1.0, A, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_time_panics() {
+        let mut k: Kernel<()> = Kernel::new();
+        k.schedule_at(f64::NAN, A, ());
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut k: Kernel<u32> = Kernel::new();
+        let a = k.schedule_at(1.0, A, 1);
+        let b = k.schedule_at(2.0, A, 2);
+        k.schedule_at(3.0, A, 3);
+        assert!(k.cancel(b));
+        assert!(!k.cancel(b), "double cancel reports false");
+        assert_eq!(k.pending(), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| k.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec![1, 3]);
+        assert!(!k.cancel(a), "cancelling a delivered event is a no-op");
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut k: Kernel<()> = Kernel::new();
+        assert!(!k.cancel(EventId(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut k: Kernel<u32> = Kernel::new();
+        let head = k.schedule_at(1.0, A, 1);
+        k.schedule_at(5.0, A, 2);
+        k.cancel(head);
+        assert_eq!(k.peek_time(), Some(5.0));
+        assert_eq!(k.pop().unwrap().payload, 2);
+    }
+
+    #[test]
+    fn counters_track_lifecycle() {
+        let mut k: Kernel<()> = Kernel::new();
+        let a = k.schedule_at(1.0, A, ());
+        k.schedule_at(2.0, A, ());
+        assert_eq!(k.scheduled_count(), 2);
+        assert_eq!(k.pending(), 2);
+        k.cancel(a);
+        assert_eq!(k.pending(), 1);
+        k.pop();
+        assert_eq!(k.delivered_count(), 1);
+        assert!(k.is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests of the kernel's determinism contract: the same
+//! schedule produces the identical delivery sequence (event ids, times,
+//! destinations), same-timestamp ties are delivered strictly in schedule
+//! (FIFO) order, and cancellation never perturbs the order of the
+//! surviving events.
+
+use cloudmedia_des::{Component, ComponentId, Event, Kernel};
+use proptest::prelude::*;
+
+/// A schedule entry: delay bucket, destination, and a cancel coin.
+fn schedule_strategy() -> impl Strategy<Value = Vec<(f64, usize, f64)>> {
+    collection::vec((0.0..50.0f64, 0usize..4, 0.0..1.0f64), 1..200)
+}
+
+/// Quantizes delays onto a coarse grid so that same-timestamp ties are
+/// frequent (the interesting case for FIFO stability).
+fn grid(delay: f64) -> f64 {
+    (delay * 0.5).floor() * 2.0
+}
+
+/// Replays a schedule and returns the delivery log.
+fn deliver(schedule: &[(f64, usize, f64)], cancel_below: f64) -> Vec<(u64, f64, usize, usize)> {
+    let mut kernel: Kernel<usize> = Kernel::new();
+    let mut cancel_ids = Vec::new();
+    for (i, &(delay, dest, coin)) in schedule.iter().enumerate() {
+        let id = kernel.schedule_at(grid(delay), ComponentId(dest), i);
+        if coin < cancel_below {
+            cancel_ids.push(id);
+        }
+    }
+    for id in cancel_ids {
+        assert!(
+            kernel.cancel(id),
+            "first cancel of a pending event succeeds"
+        );
+    }
+    let mut log = Vec::new();
+    while let Some(ev) = kernel.pop() {
+        log.push((ev.id.0, ev.time, ev.dest.0, ev.payload));
+    }
+    log
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Same schedule ⇒ identical event sequence, run to run.
+    #[test]
+    fn identical_schedules_deliver_identically(schedule in schedule_strategy()) {
+        let a = deliver(&schedule, 0.0);
+        let b = deliver(&schedule, 0.0);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Delivery order is sorted by time, FIFO within a timestamp.
+    #[test]
+    fn delivery_is_time_ordered_and_fifo_on_ties(schedule in schedule_strategy()) {
+        let log = deliver(&schedule, 0.0);
+        prop_assert_eq!(log.len(), schedule.len());
+        for w in log.windows(2) {
+            let (prev, next) = (&w[0], &w[1]);
+            prop_assert!(prev.1 <= next.1, "time order violated");
+            if prev.1 == next.1 {
+                // Same timestamp: schedule order (== event id order)
+                // must be preserved.
+                prop_assert!(
+                    prev.0 < next.0,
+                    "FIFO violated at t={}: id {} before id {}",
+                    prev.1, prev.0, next.0
+                );
+            }
+        }
+    }
+
+    /// Cancelling a subset never reorders or drops the survivors.
+    #[test]
+    fn cancellation_preserves_survivor_order(schedule in schedule_strategy()) {
+        let full = deliver(&schedule, 0.0);
+        let partial = deliver(&schedule, 0.4);
+        // `partial` must be a subsequence of `full`.
+        let mut it = full.iter();
+        for ev in &partial {
+            prop_assert!(
+                it.any(|f| f == ev),
+                "cancellation reordered survivor {ev:?}"
+            );
+        }
+        // And the cancelled count matches the coins drawn below 0.4.
+        let cancelled = schedule.iter().filter(|(_, _, coin)| *coin < 0.4).count();
+        prop_assert_eq!(partial.len() + cancelled, full.len());
+    }
+}
+
+/// A deterministic multi-component simulation: components whose handlers
+/// draw from their own seeded RNGs produce identical outputs run to run
+/// (the full determinism contract, not just queue ordering).
+#[test]
+fn seeded_component_simulation_is_deterministic() {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Msg {
+        Kick,
+        Work(u64),
+    }
+
+    struct Worker {
+        me: ComponentId,
+        peer: ComponentId,
+        rng: StdRng,
+        log: Vec<(f64, u64)>,
+        remaining: u32,
+    }
+
+    impl Component<Msg> for Worker {
+        fn handle(&mut self, event: Event<Msg>, kernel: &mut Kernel<Msg>) {
+            match event.payload {
+                Msg::Kick | Msg::Work(_) => {
+                    if let Msg::Work(x) = event.payload {
+                        self.log.push((event.time, x));
+                    }
+                    if self.remaining > 0 {
+                        self.remaining -= 1;
+                        let delay = self.rng.random::<f64>() * 3.0;
+                        let x = self.rng.random::<u64>();
+                        kernel.schedule_in(delay, self.peer, Msg::Work(x));
+                    }
+                }
+            }
+        }
+    }
+
+    let run = |seed: u64| -> Vec<Vec<(f64, u64)>> {
+        let mut kernel: Kernel<Msg> = Kernel::new();
+        let ids = [ComponentId(0), ComponentId(1)];
+        let mut workers = vec![
+            Worker {
+                me: ids[0],
+                peer: ids[1],
+                rng: StdRng::seed_from_u64(seed),
+                log: Vec::new(),
+                remaining: 50,
+            },
+            Worker {
+                me: ids[1],
+                peer: ids[0],
+                rng: StdRng::seed_from_u64(seed ^ 0xABCD),
+                log: Vec::new(),
+                remaining: 50,
+            },
+        ];
+        kernel.schedule_at(0.0, ids[0], Msg::Kick);
+        while let Some(ev) = kernel.pop() {
+            let w = &mut workers[ev.dest.0];
+            debug_assert_eq!(w.me, ev.dest);
+            w.handle(ev, &mut kernel);
+        }
+        workers.into_iter().map(|w| w.log).collect()
+    };
+
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(a, b, "same seeds, same event schedule, same outputs");
+    assert!(!a[0].is_empty() && !a[1].is_empty(), "work happened");
+    let c = run(43);
+    assert_ne!(a, c, "different seeds diverge");
+}

@@ -61,6 +61,32 @@ pub fn erlang_c(servers: usize, offered_load: f64) -> Result<f64, QueueingError>
     Ok(m * b / (m - offered_load * (1.0 - b)))
 }
 
+/// Total-function Erlang C: the probability an arriving job must wait,
+/// defined on the *whole* parameter domain so callers on hot paths (the
+/// event-driven engine's admission component) need no error handling:
+///
+/// - zero offered load never waits (`0.0`),
+/// - an unstable or serverless queue (`a >= m`, or `m == 0` with load)
+///   always waits (`1.0`) — the transient backlog grows without bound,
+///   so an arriving job finds every server busy with certainty,
+/// - otherwise exactly [`erlang_c`].
+///
+/// Non-finite or negative loads are treated as always-waiting rather
+/// than propagated, matching the saturate-don't-crash behavior the
+/// admission path wants for corrupt measurements.
+pub fn erlang_c_wait_probability(servers: usize, offered_load: f64) -> f64 {
+    if offered_load == 0.0 {
+        return 0.0;
+    }
+    if !offered_load.is_finite() || offered_load < 0.0 {
+        return 1.0;
+    }
+    if servers == 0 || offered_load >= servers as f64 {
+        return 1.0;
+    }
+    erlang_c(servers, offered_load).expect("domain checked above")
+}
+
 /// Expected number of jobs *waiting* (not in service) in an M/M/m queue:
 /// `Lq = C(m, a) * a / (m - a)`.
 ///
@@ -189,6 +215,38 @@ mod tests {
     fn negative_load_rejected() {
         assert!(erlang_b(3, -1.0).is_err());
         assert!(erlang_b(3, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn wait_probability_matches_tabulated_values() {
+        // Standard Erlang-C table entries (queueing-theory textbooks).
+        assert_close(erlang_c_wait_probability(1, 0.5), 0.5, 1e-12); // M/M/1: rho
+        assert_close(erlang_c_wait_probability(2, 1.0), 1.0 / 3.0, 1e-12);
+        assert_close(erlang_c_wait_probability(3, 2.0), 4.0 / 9.0, 1e-12);
+        assert_close(erlang_c_wait_probability(5, 3.0), 0.2362, 1e-4);
+        assert_close(erlang_c_wait_probability(10, 9.0), 0.6687, 1e-4);
+    }
+
+    #[test]
+    fn wait_probability_is_total() {
+        assert_eq!(erlang_c_wait_probability(5, 0.0), 0.0, "no load");
+        assert_eq!(erlang_c_wait_probability(0, 1.0), 1.0, "no servers");
+        assert_eq!(erlang_c_wait_probability(2, 2.0), 1.0, "critical load");
+        assert_eq!(erlang_c_wait_probability(2, 7.5), 1.0, "overload");
+        assert_eq!(erlang_c_wait_probability(2, f64::NAN), 1.0, "corrupt");
+        assert_eq!(erlang_c_wait_probability(2, -1.0), 1.0, "negative");
+    }
+
+    #[test]
+    fn wait_probability_agrees_with_fallible_erlang_c() {
+        for m in 1..20 {
+            let a = m as f64 * 0.6;
+            assert_close(
+                erlang_c_wait_probability(m, a),
+                erlang_c(m, a).unwrap(),
+                1e-15,
+            );
+        }
     }
 
     #[test]

@@ -47,4 +47,5 @@ pub mod linalg;
 pub mod mmm;
 pub mod mmmk;
 
+pub use erlang::erlang_c_wait_probability;
 pub use error::QueueingError;

@@ -20,23 +20,34 @@ pub enum SimMode {
     P2p,
 }
 
-/// Which round-engine implementation drives the per-round allocation
-/// stage. Both produce **bit-identical** metrics for the same seed; they
-/// differ only in speed.
+/// Which simulation engine drives the run.
+///
+/// The two *round* engines (`Scan`, `Indexed`) produce **bit-identical**
+/// metrics for the same seed and differ only in speed. The *event-driven*
+/// engine is a different microscopic model on the `cloudmedia-des`
+/// kernel: it agrees with the round engines in steady-state means (see
+/// [`crate::event_driven`] for the tolerance argument) and additionally
+/// models per-request admission latency, VM boot delay, and failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SimKernel {
-    /// Reference engine: rescans the full peer population every round and
-    /// allocates fresh buffers per round, as the original implementation
-    /// did. Kept as the baseline for benchmarks and as the oracle for the
-    /// indexed engine's regression test.
+    /// Reference round engine: rescans the full peer population every
+    /// round and allocates fresh buffers per round, as the original
+    /// implementation did. Kept as the baseline for benchmarks and as
+    /// the oracle for the indexed engine's regression test.
     Scan,
-    /// Production engine: per-channel peer index maintained incrementally
-    /// on join/leave, incrementally-tracked chunk-owner counts, fused
-    /// single-pass per-channel aggregation into reusable scratch, in-place
-    /// allocation kernels, and (for large populations) channel-parallel
-    /// execution.
+    /// Production round engine: per-channel peer index maintained
+    /// incrementally on join/leave, incrementally-tracked chunk-owner
+    /// counts, fused single-pass per-channel aggregation into reusable
+    /// scratch, in-place allocation kernels, and (for large populations)
+    /// channel-parallel execution.
     #[default]
     Indexed,
+    /// Event-driven engine on the deterministic DES kernel: components
+    /// (viewer sessions, admission, provisioner) exchange timestamped
+    /// events instead of being scanned per round, which adds per-request
+    /// latency, VM boot/teardown delay, failure injection, and
+    /// sub-round-timed flash crowds to the scenario space.
+    EventDriven,
 }
 
 /// Full configuration of one simulation run.
@@ -161,6 +172,22 @@ impl SimConfig {
                 "must contain at least one channel",
             ));
         }
+        // Every engine keeps per-peer chunk sets as u64 bitmaps; a
+        // channel beyond 64 chunks would silently alias buffer slots in
+        // release builds, so reject it at the configuration boundary.
+        for spec in self.catalog.channels() {
+            if spec.viewing.chunks > crate::peer::MAX_CHUNKS {
+                return Err(invalid_param(
+                    "catalog",
+                    format!(
+                        "channel {} has {} chunks; chunk sets are u64 bitmaps, max {}",
+                        spec.id,
+                        spec.viewing.chunks,
+                        crate::peer::MAX_CHUNKS
+                    ),
+                ));
+            }
+        }
         if !(self.streaming_rate.is_finite() && self.streaming_rate > 0.0) {
             return Err(invalid_param("streaming_rate", "must be positive"));
         }
@@ -253,5 +280,16 @@ mod tests {
         let mut c = SimConfig::paper_default(SimMode::P2p);
         c.safety_factor = -1.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn over_64_chunk_channels_rejected() {
+        let mut c = SimConfig::paper_default(SimMode::P2p);
+        let mut viewing = cloudmedia_workload::viewing::ViewingModel::paper_default();
+        viewing.chunks = 80;
+        c.catalog =
+            cloudmedia_workload::catalog::Catalog::zipf(2, 0.8, viewing, 40.0, 300.0).unwrap();
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("u64 bitmaps"), "got: {err}");
     }
 }

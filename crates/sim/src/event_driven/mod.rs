@@ -1,0 +1,345 @@
+//! Event-driven CloudMedia engine on the `cloudmedia-des` kernel.
+//!
+//! The round engines ([`crate::simulator`]) advance the whole world in
+//! fixed fluid rounds; everything that happens *between* round
+//! boundaries — a VM finishing its boot 25 s into an hour, a request
+//! waiting 3 s for a free server, a flash crowd ramping over 90 s — is
+//! quantized away. This engine replaces the round scan with components
+//! that exchange timestamped events through a deterministic DES kernel:
+//!
+//! - [`sessions::Sessions`] — every viewer session: arrivals (pulled
+//!   lazily from [`cloudmedia_workload::trace::ArrivalStream`]), the
+//!   viewing-model walk, prefetch gating, stall accounting, departures.
+//! - [`admission::Admission`] — per-chunk request admission and service:
+//!   an M/M/m wait at the channel's VM fleet (Erlang C, via
+//!   [`cloudmedia_queueing::erlang_c_wait_probability`]) plus a transfer
+//!   at the request's frozen capacity share; integrates used cloud
+//!   bandwidth exactly between events.
+//! - [`provisioner::Provisioner`] — the identical control path as the
+//!   round engines (tracker → controller/baseline planner → broker →
+//!   billing), driven by hourly `ProvisionTick` events, plus the VM
+//!   failure-injection hook.
+//!
+//! Components never touch each other's state: every interaction is an
+//! event (`ChunkRequest`, `Delivered`, `PoolUpdate`, `CapacityUpdate`,
+//! `Track*`, …) delivered in deterministic `(time, sequence)` order. The
+//! engine itself only routes events, samples metrics at the 5-minute
+//! boundaries (an out-of-band observer, like the paper's measurement
+//! harness), and injects scenario events.
+//!
+//! # What the model adds over the round engines
+//!
+//! - **Per-request admission latency**: each chunk request records the
+//!   wait it experienced before service; [`DesReport`] summarizes the
+//!   distribution (mean, p50/p90/p99, max).
+//! - **VM boot/teardown delay at full fidelity**: capacity follows the
+//!   broker's actual VM lifecycle (boot completions re-announce capacity
+//!   mid-interval through `CloudSync` events), and a scenario can stretch
+//!   the boot latency arbitrarily ([`DesScenario::vm_boot_seconds`]).
+//! - **VM failure injection**: [`VmFailureSpec`] kills a fraction of the
+//!   running fleet at an arbitrary instant; the hourly controller then
+//!   re-provisions on its next tick.
+//! - **Sub-round flash crowds**: [`FlashCrowdSpec`] injects a burst of
+//!   extra viewers whose arrival times are sampled inside an arbitrary
+//!   window — timing no round boundary ever sees.
+//!
+//! # Tolerance vs the round engines
+//!
+//! The event-driven engine is a *different microscopic model*, so its
+//! metrics are not bit-identical to the round engines'. They agree in
+//! the mean because all three engines share every macroscopic driver:
+//! the same viewing-model Markov chain (hence the same per-channel
+//! session-count equilibria), the same diurnal arrival-rate profile
+//! (the DES arrival stream is an independent sample of the identical
+//! non-homogeneous Poisson process), and — most importantly for cost —
+//! the *identical* provisioning control path, which reacts to tracker
+//! measurements of those equilibria. The residual differences are
+//! (a) trace sampling noise, (b) the frozen-share service model versus
+//! per-round max–min fair reallocation, and (c) the pooled peer-supply
+//! approximation (the DES pool ignores per-chunk ownership constraints,
+//! so P2P cloud usage reads slightly lower). Over the paper-default
+//! week these contribute a few percent each; the regression test
+//! (`crates/sim/tests/des_vs_indexed.rs`) pins **mean used cloud
+//! bandwidth, mean per-channel provisioned demand, and total VM cost to
+//! within 15 % of the Indexed engine**, and `bench_des` records the
+//! actual deltas in `BENCH_sim.json` so the gap is tracked PR to PR.
+
+pub mod admission;
+mod events;
+pub mod provisioner;
+pub mod sessions;
+
+use cloudmedia_des::Kernel;
+use serde::Serialize;
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::metrics::Metrics;
+use events::{CmEvent, ADMISSION, ENGINE, PROVISIONER, SESSIONS};
+
+/// A VM failure burst: at `at` seconds, `fraction` of the currently
+/// billable fleet (per cluster, rounded down) is killed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct VmFailureSpec {
+    /// Failure instant, seconds from run start.
+    pub at: f64,
+    /// Fraction of each cluster's active instances lost, in `[0, 1]`.
+    pub fraction: f64,
+}
+
+/// A flash-crowd burst: `extra_viewers` additional arrivals to `channel`,
+/// spread uniformly over `[at, at + window_seconds)` — sub-round timing
+/// the fixed-round engines cannot express.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FlashCrowdSpec {
+    /// Burst start, seconds from run start.
+    pub at: f64,
+    /// Channel hit by the crowd.
+    pub channel: usize,
+    /// Number of extra viewers injected.
+    pub extra_viewers: usize,
+    /// Window over which their arrivals spread, seconds.
+    pub window_seconds: f64,
+}
+
+/// Scenario knobs layered on top of a [`SimConfig`] for an event-driven
+/// run. `Default` is the plain scenario (paper VM latencies, no
+/// injections) — what `SimKernel::EventDriven` under [`crate::Simulator`]
+/// runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct DesScenario {
+    /// Override the VM boot latency (paper default: 25 s).
+    pub vm_boot_seconds: Option<f64>,
+    /// Override the VM shutdown latency (paper default: 10 s).
+    pub vm_shutdown_seconds: Option<f64>,
+    /// VM failure bursts to inject.
+    pub failures: Vec<VmFailureSpec>,
+    /// Flash-crowd bursts to inject.
+    pub flash_crowds: Vec<FlashCrowdSpec>,
+}
+
+/// Summary of a latency distribution, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LatencySummary {
+    /// Number of observations.
+    pub count: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a set of observations (sorted internally). All-zero
+    /// for an empty set.
+    fn from_samples(mut samples: Vec<f32>) -> Self {
+        if samples.is_empty() {
+            return Self {
+                count: 0,
+                mean: 0.0,
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let count = samples.len();
+        let pick = |q: f64| -> f64 {
+            let idx = ((count as f64 - 1.0) * q).round() as usize;
+            f64::from(samples[idx])
+        };
+        let mean = samples.iter().map(|&w| f64::from(w)).sum::<f64>() / count as f64;
+        Self {
+            count,
+            mean,
+            p50: pick(0.50),
+            p90: pick(0.90),
+            p99: pick(0.99),
+            max: f64::from(*samples.last().expect("non-empty")),
+        }
+    }
+}
+
+/// Event-driven-specific outputs accompanying the standard [`Metrics`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DesReport {
+    /// Per-request admission latency (emergent FIFO wait for a free VM;
+    /// 0 for peer-served requests).
+    pub admission_latency: LatencySummary,
+    /// Chunk deliveries completed.
+    pub deliveries: u64,
+    /// Requests routed to the cloud queue.
+    pub cloud_requests: u64,
+    /// Requests served by the peer mesh.
+    pub peer_requests: u64,
+    /// Mean Erlang-C wait probability predicted at each cloud admission
+    /// from the measured `(m, λ/μ)` operating point…
+    pub predicted_wait_fraction: f64,
+    /// …versus the fraction of cloud requests that measurably waited —
+    /// the M/M/m model validated against its event-driven realization.
+    pub measured_wait_fraction: f64,
+    /// Total events the kernel delivered.
+    pub events_delivered: u64,
+    /// Sessions injected by flash-crowd bursts.
+    pub injected_viewers: u64,
+    /// VM instances killed by failure bursts.
+    pub vms_killed: u64,
+}
+
+/// Everything an event-driven run produces.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DesRun {
+    /// The standard metric series (same schema as the round engines).
+    pub metrics: Metrics,
+    /// Event-driven-only outputs.
+    pub report: DesReport,
+}
+
+/// Runs the event-driven engine over the configured horizon.
+///
+/// # Errors
+///
+/// Propagates configuration validation, trace, provisioning, and cloud
+/// failures.
+pub fn run(cfg: &SimConfig, scenario: &DesScenario) -> Result<DesRun, SimError> {
+    cfg.validate()?;
+    let horizon = cfg.trace.horizon_seconds;
+    let n_channels = cfg.catalog.len();
+
+    let mut kernel: Kernel<CmEvent> = Kernel::new();
+    let mut provisioner = provisioner::Provisioner::new(cfg, scenario)?;
+    let mut admission = admission::Admission::new(cfg, provisioner.vm_bandwidth());
+    let mut sessions = sessions::Sessions::new(cfg)?;
+
+    // Initial schedule. Provisioning precedes everything else at t = 0
+    // (sequence order breaks the tie), so the first capacity announcement
+    // exists before any request.
+    kernel.schedule_at(0.0, PROVISIONER, CmEvent::ProvisionTick);
+    sessions.schedule_first_arrival(&mut kernel);
+    kernel.schedule_at(
+        cfg.sample_interval.min(horizon),
+        ENGINE,
+        CmEvent::SampleTick,
+    );
+    for f in &scenario.failures {
+        if f.at < horizon && f.fraction > 0.0 {
+            kernel.schedule_at(
+                f.at,
+                PROVISIONER,
+                CmEvent::VmFailure {
+                    fraction: f.fraction,
+                },
+            );
+        }
+    }
+    for fc in &scenario.flash_crowds {
+        if fc.at < horizon && fc.extra_viewers > 0 {
+            kernel.schedule_at(
+                fc.at,
+                SESSIONS,
+                CmEvent::FlashCrowd {
+                    channel: fc.channel.min(n_channels - 1),
+                    extra: fc.extra_viewers,
+                    window: fc.window_seconds.max(1e-3),
+                },
+            );
+        }
+    }
+
+    let mut metrics = Metrics::default();
+    let mut last_sample = 0.0_f64;
+    let mut next_sample = cfg.sample_interval;
+
+    // The event loop: route every event at or before the horizon.
+    use cloudmedia_des::Component as _;
+    while let Some(t) = kernel.peek_time() {
+        if t > horizon {
+            break;
+        }
+        let ev = kernel.pop().expect("peeked event exists");
+        match ev.dest {
+            SESSIONS => sessions.handle(ev, &mut kernel),
+            ADMISSION => admission.handle(ev, &mut kernel),
+            PROVISIONER => provisioner.handle(ev, &mut kernel),
+            ENGINE => {
+                // Metrics sampling: the engine observes the components
+                // out-of-band, as the paper's measurement harness did.
+                let now = ev.time;
+                metrics.samples.push(sample_now(
+                    now,
+                    now - last_sample,
+                    &mut sessions,
+                    &mut admission,
+                    &provisioner,
+                ));
+                last_sample = now;
+                next_sample += cfg.sample_interval;
+                if now < horizon {
+                    kernel.schedule_at(next_sample.min(horizon), ENGINE, CmEvent::SampleTick);
+                }
+            }
+            other => unreachable!("unrouted component id {other:?}"),
+        }
+    }
+
+    // Epilogue: settle the cloud (billing) to the horizon and flush a
+    // final sample if the horizon was not sample-aligned.
+    provisioner.finish(horizon)?;
+    if last_sample < horizon {
+        metrics.samples.push(sample_now(
+            horizon,
+            horizon - last_sample,
+            &mut sessions,
+            &mut admission,
+            &provisioner,
+        ));
+    }
+    metrics.intervals = provisioner.take_intervals();
+    metrics.total_vm_cost = provisioner.vm_cost();
+    metrics.total_storage_cost = provisioner.storage_cost();
+
+    let (cloud_requests, peer_requests) = admission.request_split();
+    let (predicted_wait_fraction, measured_wait_fraction) = admission.wait_model_check();
+    let report = DesReport {
+        admission_latency: LatencySummary::from_samples(admission.take_waits()),
+        deliveries: admission.deliveries(),
+        cloud_requests,
+        peer_requests,
+        predicted_wait_fraction,
+        measured_wait_fraction,
+        events_delivered: kernel.delivered_count(),
+        injected_viewers: sessions.injected_viewers(),
+        vms_killed: provisioner.vms_killed(),
+    };
+    Ok(DesRun { metrics, report })
+}
+
+/// Assembles one [`crate::metrics::Sample`] at `now` over the elapsed
+/// window.
+fn sample_now(
+    now: f64,
+    window: f64,
+    sessions: &mut sessions::Sessions,
+    admission: &mut admission::Admission,
+    provisioner: &provisioner::Provisioner,
+) -> crate::metrics::Sample {
+    let quality = sessions.quality_snapshot(now);
+    let used = admission.window_used(now) / window.max(1e-9);
+    crate::metrics::Sample {
+        time: now,
+        reserved_bandwidth: provisioner.running_bandwidth(),
+        used_bandwidth: used,
+        quality: quality.quality,
+        active_peers: quality.active,
+        per_channel_peers: quality.per_channel_peers,
+        per_channel_quality: quality.per_channel_quality,
+        mean_startup_delay: quality.mean_startup_delay,
+    }
+}

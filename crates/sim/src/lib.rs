@@ -35,6 +35,7 @@
 pub mod allocation;
 pub mod config;
 mod error;
+pub mod event_driven;
 pub mod metrics;
 pub mod peer;
 pub mod simulator;
@@ -42,5 +43,6 @@ pub mod tracker;
 
 pub use config::{SimConfig, SimKernel, SimMode};
 pub use error::SimError;
+pub use event_driven::{DesReport, DesRun, DesScenario, FlashCrowdSpec, VmFailureSpec};
 pub use metrics::Metrics;
 pub use simulator::Simulator;

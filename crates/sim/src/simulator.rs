@@ -173,6 +173,10 @@ impl Simulator {
                 );
                 run_loop(cfg, &mut engine)
             }
+            SimKernel::EventDriven => {
+                crate::event_driven::run(cfg, &crate::event_driven::DesScenario::default())
+                    .map(|run| run.metrics)
+            }
         }
     }
 }
@@ -1074,30 +1078,7 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<Metrics, 
     let sla = cloud.sla_terms();
     let vm_bandwidth = sla.virtual_clusters[0].vm_bandwidth_bytes_per_sec;
 
-    let controller_config = ControllerConfig {
-        interval_seconds: cfg.provisioning_interval,
-        vm_budget_per_hour: cfg.vm_budget_per_hour,
-        storage_budget_per_hour: cfg.storage_budget_per_hour,
-        mode: cfg.streaming_mode(),
-        streaming_rate: cfg.streaming_rate,
-        chunk_seconds: cfg.chunk_seconds,
-        vm_bandwidth,
-        safety_factor: cfg.safety_factor,
-        target: cfg.provisioning_target,
-        ..ControllerConfig::paper_default(cfg.streaming_mode())
-    };
-    let mut planner = match cfg.provisioner {
-        ProvisionerKind::Model => {
-            Planner::Model(Box::new(Controller::new(controller_config, cfg.predictor)?))
-        }
-        baseline => Planner::Baseline(BaselinePlanner::new(
-            baseline,
-            cfg.streaming_rate,
-            cfg.chunk_seconds,
-            cfg.vm_budget_per_hour,
-            cfg.storage_budget_per_hour,
-        )?),
-    };
+    let mut planner = make_planner(cfg, vm_bandwidth)?;
     let mut current_placement: Option<PlacementPlan> = None;
     let mut tracker = Tracker::new(catalog)?;
     let mut rng = StdRng::seed_from_u64(cfg.behaviour_seed);
@@ -1185,13 +1166,17 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<Metrics, 
                     channel_reserved[key.channel] += bw;
                 }
                 reserved_total = channel_reserved.iter().sum();
+                let mut per_channel_peers = vec![0usize; n_channels];
+                for p in &peers {
+                    per_channel_peers[p.channel] += 1;
+                }
                 metrics.intervals.push(interval_record(
                     clock,
                     &plan,
                     current_placement.as_ref(),
                     &sla,
                     n_channels,
-                    &peers,
+                    per_channel_peers,
                 ));
                 next_provision += cfg.provisioning_interval;
             }
@@ -1472,7 +1457,10 @@ fn advance_playback(
 /// Bootstrap observations for the very first interval: the provider's
 /// "empirical user scale and viewing pattern information" (paper Sec. V-B)
 /// — the catalog's base rates scaled by the diurnal multiplier at time 0.
-fn bootstrap_stats(catalog: &Catalog, cfg: &SimConfig) -> Vec<(usize, ChannelObservation)> {
+pub(crate) fn bootstrap_stats(
+    catalog: &Catalog,
+    cfg: &SimConfig,
+) -> Vec<(usize, ChannelObservation)> {
     let mult = cfg.trace.diurnal.multiplier(0.0);
     catalog
         .channels()
@@ -1493,9 +1481,10 @@ fn bootstrap_stats(catalog: &Catalog, cfg: &SimConfig) -> Vec<(usize, ChannelObs
         .collect()
 }
 
-/// The pluggable provisioning strategy driving the simulation.
+/// The pluggable provisioning strategy driving the simulation. Shared
+/// with the event-driven engine, which runs the identical control path.
 #[derive(Debug)]
-enum Planner {
+pub(crate) enum Planner {
     /// The paper's model-driven controller (boxed: it dwarfs the
     /// baseline variant).
     Model(Box<Controller>),
@@ -1503,8 +1492,37 @@ enum Planner {
     Baseline(BaselinePlanner),
 }
 
+/// Builds the configured provisioning planner for a run (the controller
+/// configuration mirrors the paper's defaults with the run's overrides).
+pub(crate) fn make_planner(cfg: &SimConfig, vm_bandwidth: f64) -> Result<Planner, SimError> {
+    let controller_config = ControllerConfig {
+        interval_seconds: cfg.provisioning_interval,
+        vm_budget_per_hour: cfg.vm_budget_per_hour,
+        storage_budget_per_hour: cfg.storage_budget_per_hour,
+        mode: cfg.streaming_mode(),
+        streaming_rate: cfg.streaming_rate,
+        chunk_seconds: cfg.chunk_seconds,
+        vm_bandwidth,
+        safety_factor: cfg.safety_factor,
+        target: cfg.provisioning_target,
+        ..ControllerConfig::paper_default(cfg.streaming_mode())
+    };
+    Ok(match cfg.provisioner {
+        ProvisionerKind::Model => {
+            Planner::Model(Box::new(Controller::new(controller_config, cfg.predictor)?))
+        }
+        baseline => Planner::Baseline(BaselinePlanner::new(
+            baseline,
+            cfg.streaming_rate,
+            cfg.chunk_seconds,
+            cfg.vm_budget_per_hour,
+            cfg.storage_budget_per_hour,
+        )?),
+    })
+}
+
 impl Planner {
-    fn plan_interval(
+    pub(crate) fn plan_interval(
         &mut self,
         stats: &[(usize, cloudmedia_core::predictor::ChannelObservation)],
         sla: &SlaTerms,
@@ -1516,13 +1534,13 @@ impl Planner {
     }
 }
 
-fn interval_record(
+pub(crate) fn interval_record(
     time: f64,
     plan: &ProvisioningPlan,
     placement: Option<&PlacementPlan>,
     sla: &SlaTerms,
     n_channels: usize,
-    peers: &[Peer],
+    per_channel_peers: Vec<usize>,
 ) -> IntervalRecord {
     let mut per_channel_demand = vec![0.0; n_channels];
     let mut per_channel_storage = vec![0.0; n_channels];
@@ -1546,10 +1564,6 @@ fn interval_record(
         for a in allocs {
             per_channel_vm[key.channel] += sla.virtual_clusters[a.cluster].utility * a.vms;
         }
-    }
-    let mut per_channel_peers = vec![0usize; n_channels];
-    for p in peers {
-        per_channel_peers[p.channel] += 1;
     }
     IntervalRecord {
         time,

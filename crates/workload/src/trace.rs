@@ -183,6 +183,179 @@ pub fn generate_arrivals(
     })
 }
 
+/// A lazily generated arrival stream: the same non-homogeneous Poisson
+/// model as [`generate_arrivals`], but producing arrivals one at a time
+/// in global time order instead of materializing the whole horizon.
+///
+/// Memory is `O(channels)` — one pending arrival and one RNG per channel
+/// in a binary heap — so a full simulated week (or year) never holds the
+/// trace in memory. The event-driven engine consumes this; the eager
+/// [`generate_arrivals`] path is kept for the round engines and their
+/// bit-exact regression goldens.
+///
+/// # Determinism and relation to the eager path
+///
+/// The stream is fully deterministic in `TraceConfig::seed`: channel `c`
+/// draws from its own `StdRng` seeded with a splitmix of `(seed, c)`, and
+/// the per-channel streams are merged by `(time, channel)`. Because the
+/// eager path interleaves all channels through a *single* RNG before
+/// sorting, the streaming trace is a *different sample of the same
+/// process* — identical rate profile, channel mix, and upload
+/// distribution, but not arrival-for-arrival equal. Engines compared
+/// across the two paths therefore agree in distribution (and, over a
+/// steady-state horizon, in their means), not bit-for-bit.
+#[derive(Debug)]
+pub struct ArrivalStream {
+    /// Per-channel generator state, keyed into `heap` by next arrival.
+    channels: Vec<ChannelStream>,
+    /// Min-heap of `(next_time, channel_slot)`.
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<HeapKey>>,
+    horizon: f64,
+    diurnal: DiurnalPattern,
+    max_mult: f64,
+    upload: BoundedPareto,
+    next_user_id: u64,
+}
+
+/// Heap key ordering arrivals by time, then channel id for a total,
+/// deterministic order even on exact ties.
+#[derive(Debug, PartialEq)]
+struct HeapKey {
+    time: f64,
+    slot: usize,
+}
+
+impl Eq for HeapKey {}
+
+impl PartialOrd for HeapKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.slot.cmp(&other.slot))
+    }
+}
+
+/// One channel's lazy thinned-Poisson generator.
+#[derive(Debug)]
+struct ChannelStream {
+    id: usize,
+    rng: StdRng,
+    inter: Exponential,
+    viewing: crate::viewing::ViewingModel,
+    /// Candidate clock of the *unthinned* capped-rate process.
+    t: f64,
+}
+
+/// SplitMix64 finalizer: decorrelates per-channel seeds derived from the
+/// shared trace seed.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ArrivalStream {
+    /// Creates a stream over the catalog with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn new(catalog: &Catalog, config: &TraceConfig) -> Result<Self, WorkloadError> {
+        config.validate()?;
+        let upload = BoundedPareto::new(
+            config.upload_min_bps,
+            config.upload_max_bps,
+            config.upload_shape,
+        )?;
+        let max_mult = config.diurnal.max_multiplier();
+        let mut channels = Vec::new();
+        let mut heap = std::collections::BinaryHeap::new();
+        for spec in catalog.channels() {
+            let cap_rate = spec.base_arrival_rate * max_mult;
+            if cap_rate <= 0.0 {
+                continue;
+            }
+            let slot = channels.len();
+            let mut stream = ChannelStream {
+                id: spec.id,
+                rng: StdRng::seed_from_u64(splitmix(config.seed ^ splitmix(spec.id as u64))),
+                inter: Exponential::new(cap_rate)?,
+                viewing: spec.viewing,
+                t: 0.0,
+            };
+            if let Some(time) = stream.advance(config.horizon_seconds, &config.diurnal, max_mult) {
+                heap.push(std::cmp::Reverse(HeapKey { time, slot }));
+            }
+            channels.push(stream);
+        }
+        Ok(Self {
+            channels,
+            heap,
+            horizon: config.horizon_seconds,
+            diurnal: config.diurnal.clone(),
+            max_mult,
+            upload,
+            next_user_id: 0,
+        })
+    }
+
+    /// Trace horizon in seconds.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+}
+
+impl ChannelStream {
+    /// Advances this channel's thinned process to its next accepted
+    /// arrival time, or `None` when the horizon is exhausted. Thinning
+    /// draws (the accept coin) come from the same per-channel RNG as the
+    /// exponential gaps, keeping the channel's draw sequence a pure
+    /// function of its seed.
+    fn advance(&mut self, horizon: f64, diurnal: &DiurnalPattern, max_mult: f64) -> Option<f64> {
+        loop {
+            self.t += self.inter.sample(&mut self.rng);
+            if self.t >= horizon {
+                return None;
+            }
+            let accept = diurnal.multiplier(self.t) / max_mult;
+            if self.rng.random::<f64>() < accept {
+                return Some(self.t);
+            }
+        }
+    }
+}
+
+impl Iterator for ArrivalStream {
+    type Item = UserArrival;
+
+    fn next(&mut self) -> Option<UserArrival> {
+        let std::cmp::Reverse(key) = self.heap.pop()?;
+        let stream = &mut self.channels[key.slot];
+        let arrival = UserArrival {
+            time: key.time,
+            user_id: self.next_user_id,
+            channel: stream.id,
+            start_chunk: stream.viewing.sample_start_chunk(&mut stream.rng),
+            upload_bytes_per_sec: self.upload.sample(&mut stream.rng),
+        };
+        self.next_user_id += 1;
+        if let Some(time) = stream.advance(self.horizon, &self.diurnal, self.max_mult) {
+            self.heap.push(std::cmp::Reverse(HeapKey {
+                time,
+                slot: key.slot,
+            }));
+        }
+        Some(arrival)
+    }
+}
+
 /// One event inside a materialized session.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum SessionEvent {
@@ -405,6 +578,57 @@ mod tests {
                 other => panic!("first event must be StartChunk, got {other:?}"),
             }
             assert!(matches!(s.events.last(), Some(SessionEvent::Leave { .. })));
+        }
+    }
+
+    #[test]
+    fn stream_is_sorted_deterministic_and_within_horizon() {
+        let catalog = small_catalog();
+        let cfg = short_config();
+        let a: Vec<UserArrival> = ArrivalStream::new(&catalog, &cfg).unwrap().collect();
+        let b: Vec<UserArrival> = ArrivalStream::new(&catalog, &cfg).unwrap().collect();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same seed, same stream");
+        for w in a.windows(2) {
+            assert!(w[0].time <= w[1].time, "stream is globally time-sorted");
+        }
+        for (i, arr) in a.iter().enumerate() {
+            assert_eq!(arr.user_id, i as u64, "ids ascend in pop order");
+            assert!(arr.time >= 0.0 && arr.time < cfg.horizon_seconds);
+            assert!(arr.channel < 3);
+            assert!(arr.upload_bytes_per_sec >= cfg.upload_min_bps);
+            assert!(arr.upload_bytes_per_sec <= cfg.upload_max_bps);
+        }
+        let mut cfg2 = cfg;
+        cfg2.seed += 1;
+        let c: Vec<UserArrival> = ArrivalStream::new(&catalog, &cfg2).unwrap().collect();
+        assert_ne!(a, c, "different seed, different stream");
+    }
+
+    #[test]
+    fn stream_volume_matches_eager_path() {
+        // Different samples of the same process: arrival counts (total
+        // and per channel) agree within sampling noise.
+        let catalog = small_catalog();
+        let cfg = TraceConfig {
+            horizon_seconds: 4.0 * 24.0 * 3600.0,
+            ..short_config()
+        };
+        let eager = generate_arrivals(&catalog, &cfg).unwrap();
+        let streamed: Vec<UserArrival> = ArrivalStream::new(&catalog, &cfg).unwrap().collect();
+        let e = eager.len() as f64;
+        let s = streamed.len() as f64;
+        assert!((s - e).abs() / e < 0.05, "stream {s} vs eager {e} arrivals");
+        let mut counts = [[0usize; 3]; 2];
+        for a in eager.arrivals() {
+            counts[0][a.channel] += 1;
+        }
+        for a in &streamed {
+            counts[1][a.channel] += 1;
+        }
+        for (c, (e, s)) in counts[0].iter().zip(&counts[1]).enumerate() {
+            let (e, s) = (*e as f64, *s as f64);
+            assert!((s - e).abs() / e < 0.1, "channel {c}: {s} vs {e}");
         }
     }
 
