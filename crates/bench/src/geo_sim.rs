@@ -1,141 +1,241 @@
-//! Simulation-level multi-region experiment (paper's future work,
-//! end-to-end version of `ext_multi_region`).
+//! Simulation-level multi-region experiment (paper's future work): the
+//! **three-way deployment comparison** behind the `geo_federation`
+//! section of `BENCH_sim.json`.
 //!
-//! The geo deployment runs one full system simulation per region — each
-//! with its population share and its diurnal pattern shifted to local
-//! time — and sums cost; the central deployment runs a single simulation
-//! whose arrival profile is the *mixture* of the shifted patterns
-//! (time-zone multiplexing). Both therefore serve the exact same global
-//! demand through the real provisioning loop.
+//! All three deployments serve the identical global demand through the
+//! real provisioning loop, with each region billing at its own site's
+//! prices ([`cloudmedia_core::federation::paper_sites`]):
+//!
+//! - **independent** — one full system simulation per region (local-time
+//!   diurnal patterns, population-share catalogs), no traffic exchange;
+//! - **federated** — the same per-region simulations coupled by the
+//!   global placement optimizer: peak/premium demand is redirected into
+//!   cheaper off-peak sites, paying egress + SLA latency penalty per
+//!   redirected gigabyte;
+//! - **central** — a single reference-priced site simulating the
+//!   time-zone-multiplexed *mixture* of the shifted patterns.
+//!
+//! The interesting outcome is the cost sandwich `central ≤ federated ≤
+//! independent` (pinned by `crates/sim/tests/federation.rs`): time-zone
+//! multiplexing bounds what any placement can save, and the federation
+//! recovers part of that gap while keeping every byte in a regional
+//! site.
 
-use cloudmedia_core::geo::{three_sites, RegionSpec};
-use cloudmedia_sim::config::{SimConfig, SimMode};
-use cloudmedia_sim::metrics::Metrics;
-use cloudmedia_sim::simulator::Simulator;
-use cloudmedia_workload::diurnal::DiurnalPattern;
+use cloudmedia_sim::config::SimMode;
+use cloudmedia_sim::federation::{
+    DeploymentKind, FederatedConfig, FederatedMetrics, FederatedSimulator,
+};
+use serde::Serialize;
 
-/// Outcome of the two deployments.
+/// Outcome of the three deployments for one streaming mode.
 #[derive(Debug, Clone)]
-pub struct GeoSimResult {
-    /// Per-region metrics of the geo deployment, in region order.
-    pub per_region: Vec<(RegionSpec, Metrics)>,
-    /// Metrics of the centralized deployment.
-    pub central: Metrics,
+pub struct ThreeWayResult {
+    /// Streaming mode the comparison ran in.
+    pub mode: SimMode,
+    /// Simulated horizon, hours.
+    pub hours: f64,
+    /// Per-region sites, no redirection.
+    pub independent: FederatedMetrics,
+    /// Per-region sites plus the global placement optimizer.
+    pub federated: FederatedMetrics,
+    /// One multiplexed reference-priced site.
+    pub central: FederatedMetrics,
 }
 
-impl GeoSimResult {
-    /// Total VM cost of the geo deployment, dollars.
-    pub fn geo_vm_cost(&self) -> f64 {
-        self.per_region.iter().map(|(_, m)| m.total_vm_cost).sum()
-    }
-
-    /// Viewer-weighted mean quality of the geo deployment.
-    pub fn geo_quality(&self) -> f64 {
-        let mut q = 0.0;
-        let mut w = 0.0;
-        for (r, m) in &self.per_region {
-            q += r.population_share * m.mean_quality();
-            w += r.population_share;
-        }
-        q / w
-    }
-}
-
-/// Runs both deployments over `hours` hours in `mode`, scaling the paper
-/// catalog by each region's population share (all simulations run in
-/// parallel).
+/// Runs the three deployments over `hours` hours in `mode` (in
+/// parallel — they are independent simulations).
 ///
 /// # Panics
 ///
 /// Panics if a simulation fails.
-pub fn run(mode: SimMode, hours: f64) -> GeoSimResult {
-    let regions = three_sites();
-    let base = SimConfig::paper_default(mode);
-    let diurnal = base.trace.diurnal.clone();
-
-    let region_cfg = |r: &RegionSpec| -> SimConfig {
-        let mut cfg = base.clone();
-        cfg.catalog = cfg.catalog.scaled(r.population_share);
-        cfg.trace.horizon_seconds = hours * 3600.0;
-        cfg.trace.diurnal = diurnal.shifted(r.timezone_offset_hours);
-        // Distinct seed per region so the swarms are independent.
-        cfg.trace.seed ^= (r.timezone_offset_hours as u64 + 1).wrapping_mul(0x9E37_79B9);
-        cfg
+pub fn run_three_way(mode: SimMode, hours: f64) -> ThreeWayResult {
+    let deploy = |kind: DeploymentKind| -> FederatedMetrics {
+        FederatedSimulator::new(FederatedConfig::paper_default(kind, mode, hours))
+            .expect("paper federation config is valid")
+            .run()
+            .expect("deployment run succeeds")
     };
-    let central_cfg = {
-        let mut cfg = base.clone();
-        cfg.trace.horizon_seconds = hours * 3600.0;
-        let parts: Vec<(f64, DiurnalPattern)> = regions
-            .iter()
-            .map(|r| (r.population_share, diurnal.shifted(r.timezone_offset_hours)))
-            .collect();
-        cfg.trace.diurnal = DiurnalPattern::mixture(&parts).expect("region shares are positive");
-        cfg
-    };
-
     std::thread::scope(|s| {
-        let region_handles: Vec<_> = regions
-            .iter()
-            .map(|r| {
-                let cfg = region_cfg(r);
-                s.spawn(move || {
-                    Simulator::new(cfg)
-                        .expect("region config valid")
-                        .run()
-                        .expect("region run")
-                })
-            })
-            .collect();
-        let central_handle = s.spawn(move || {
-            Simulator::new(central_cfg)
-                .expect("central config valid")
-                .run()
-                .expect("central run")
-        });
-        let per_region = regions
-            .iter()
-            .cloned()
-            .zip(
-                region_handles
-                    .into_iter()
-                    .map(|h| h.join().expect("region thread")),
-            )
-            .collect();
-        let central = central_handle.join().expect("central thread");
-        GeoSimResult {
-            per_region,
-            central,
+        let independent = s.spawn(|| deploy(DeploymentKind::Independent));
+        let federated = s.spawn(|| deploy(DeploymentKind::Federated));
+        let central = s.spawn(|| deploy(DeploymentKind::Central));
+        ThreeWayResult {
+            mode,
+            hours,
+            independent: independent.join().expect("independent thread"),
+            federated: federated.join().expect("federated thread"),
+            central: central.join().expect("central thread"),
         }
     })
 }
 
-/// CSV summary of the comparison.
-pub fn csv(result: &GeoSimResult) -> String {
-    let mut out =
-        String::from("deployment,mean_quality,total_vm_cost,mean_reserved_mbps,peak_peers\n");
-    for (r, m) in &result.per_region {
+/// CSV summary of the comparison (one row per deployment, plus one per
+/// federated region showing where traffic moved).
+pub fn csv(result: &ThreeWayResult) -> String {
+    let mut out = String::from(
+        "deployment,total_cost,vm_cost,transfer_cost,latency_penalty_cost,\
+         redirected_share,mean_quality\n",
+    );
+    for (name, m) in [
+        ("independent", &result.independent),
+        ("federated", &result.federated),
+        ("central", &result.central),
+    ] {
         out.push_str(&format!(
-            "geo_{},{:.4},{:.2},{:.1},{}\n",
-            r.name,
-            m.mean_quality(),
+            "{name},{:.2},{:.2},{:.4},{:.4},{:.4},{:.4}\n",
+            m.total_cost(),
             m.total_vm_cost,
-            m.mean_reserved_bandwidth() * 8.0 / 1e6,
-            m.peak_peers(),
+            m.total_transfer_cost,
+            m.total_latency_penalty_cost,
+            m.redirected_share(),
+            m.mean_quality(),
         ));
     }
-    out.push_str(&format!(
-        "geo_total,{:.4},{:.2},,\n",
-        result.geo_quality(),
-        result.geo_vm_cost(),
-    ));
-    out.push_str(&format!(
-        "central,{:.4},{:.2},{:.1},{}\n",
-        result.central.mean_quality(),
-        result.central.total_vm_cost,
-        result.central.mean_reserved_bandwidth() * 8.0 / 1e6,
-        result.central.peak_peers(),
-    ));
+    for r in &result.federated.per_region {
+        out.push_str(&format!(
+            "federated_{},{:.2},{:.2},{:.4},{:.4},{:.4},{:.4}\n",
+            r.region.name,
+            // Same cost composition as the deployment rows (VM + storage
+            // + transfer + penalty), so the three region totals sum to
+            // the federated deployment total.
+            r.metrics.total_vm_cost
+                + r.metrics.total_storage_cost
+                + r.transfer_cost
+                + r.latency_penalty_cost,
+            r.metrics.total_vm_cost,
+            r.transfer_cost,
+            r.latency_penalty_cost,
+            r.redirected_share(),
+            r.metrics.mean_quality(),
+        ));
+    }
     out
+}
+
+/// One deployment's row in the `geo_federation` section.
+#[derive(Debug, Serialize)]
+pub struct DeploymentRow {
+    /// Deployment name (`independent` / `federated` / `central`).
+    pub deployment: String,
+    /// Total cost (VM + storage + transfer + latency penalty), dollars.
+    pub total_cost: f64,
+    /// VM rental across sites, dollars.
+    pub vm_cost: f64,
+    /// Egress charges, dollars.
+    pub transfer_cost: f64,
+    /// SLA latency-penalty credits, dollars.
+    pub latency_penalty_cost: f64,
+    /// Fraction of cloud-served bytes redirected.
+    pub redirected_share: f64,
+    /// Population-weighted mean streaming quality.
+    pub mean_quality: f64,
+    /// Peak concurrent viewers.
+    pub peak_peers: usize,
+}
+
+impl DeploymentRow {
+    fn new(name: &str, m: &FederatedMetrics) -> Self {
+        Self {
+            deployment: name.to_owned(),
+            total_cost: m.total_cost(),
+            vm_cost: m.total_vm_cost,
+            transfer_cost: m.total_transfer_cost,
+            latency_penalty_cost: m.total_latency_penalty_cost,
+            redirected_share: m.redirected_share(),
+            mean_quality: m.mean_quality(),
+            peak_peers: m.peak_peers(),
+        }
+    }
+}
+
+/// One streaming mode's comparison in the `geo_federation` section.
+#[derive(Debug, Serialize)]
+pub struct ModeComparison {
+    /// Streaming mode.
+    pub mode: String,
+    /// Simulated horizon, hours.
+    pub sim_hours: f64,
+    /// The three deployments, independent first.
+    pub deployments: Vec<DeploymentRow>,
+    /// Federated-vs-independent saving, fraction of independent cost.
+    pub federated_saving_vs_independent: f64,
+    /// Central-vs-independent saving (the multiplexing bound).
+    pub central_saving_vs_independent: f64,
+}
+
+/// The `geo_federation` section appended to `BENCH_sim.json`.
+#[derive(Debug, Serialize)]
+pub struct GeoFederationSection {
+    /// Schema tag.
+    pub schema: String,
+    /// Reading notes.
+    pub notes: Vec<String>,
+    /// One comparison per streaming mode.
+    pub modes: Vec<ModeComparison>,
+}
+
+/// Builds one mode's section entry from a three-way result.
+pub fn mode_comparison(result: &ThreeWayResult) -> ModeComparison {
+    let ind = result.independent.total_cost();
+    let saving = |m: &FederatedMetrics| {
+        if ind > 0.0 {
+            1.0 - m.total_cost() / ind
+        } else {
+            0.0
+        }
+    };
+    ModeComparison {
+        mode: format!("{:?}", result.mode),
+        sim_hours: result.hours,
+        deployments: vec![
+            DeploymentRow::new("independent", &result.independent),
+            DeploymentRow::new("federated", &result.federated),
+            DeploymentRow::new("central", &result.central),
+        ],
+        federated_saving_vs_independent: saving(&result.federated),
+        central_saving_vs_independent: saving(&result.central),
+    }
+}
+
+/// Wraps mode comparisons into the full section.
+pub fn section(modes: Vec<ModeComparison>) -> GeoFederationSection {
+    GeoFederationSection {
+        schema: "cloudmedia-bench-geo-federation/v1".into(),
+        notes: vec![
+            "Three-site deployment (americas 1.0x / europe 1.15x / apac 1.30x VM \
+             prices, $0.01/GB egress, $0.005/GB SLA latency penalty). The cost \
+             sandwich central <= federated <= independent is pinned by \
+             crates/sim/tests/federation.rs."
+                .into(),
+        ],
+        modes,
+    }
+}
+
+/// Appends (or refreshes) a named JSON section inside the benchmark
+/// file, assuming sections are appended in regeneration order
+/// (`bench_sim`, `bench_des`, then this) so each marker-to-end
+/// replacement is lossless for earlier sections.
+pub fn append_section(out_path: &str, marker_key: &str, section_json: &str) -> std::io::Result<()> {
+    let marker = format!("\"{marker_key}\":");
+    let base = match std::fs::read_to_string(out_path) {
+        Ok(text) => {
+            let text = text.trim_end();
+            if let Some(i) = text.find(&marker) {
+                text[..i]
+                    .trim_end()
+                    .trim_end_matches(',')
+                    .trim_end()
+                    .to_string()
+            } else {
+                text.strip_suffix('}')
+                    .map(|s| s.trim_end().to_string())
+                    .unwrap_or_else(|| "{\n  \"schema\": \"cloudmedia-bench-sim/v1\"".into())
+            }
+        }
+        Err(_) => "{\n  \"schema\": \"cloudmedia-bench-sim/v1\"".into(),
+    };
+    std::fs::write(out_path, format!("{base},\n  {marker} {section_json}\n}}"))
 }
 
 #[cfg(test)]
@@ -143,27 +243,54 @@ mod tests {
     use super::*;
 
     #[test]
-    fn both_deployments_serve_the_same_demand_well() {
-        let r = run(SimMode::ClientServer, 4.0);
-        assert_eq!(r.per_region.len(), 3);
-        assert!(r.geo_quality() > 0.9, "geo quality {}", r.geo_quality());
-        assert!(r.central.mean_quality() > 0.9);
-        // Same global demand: total costs are within 2x of each other.
-        let ratio = r.geo_vm_cost() / r.central.total_vm_cost;
-        assert!((0.5..2.0).contains(&ratio), "cost ratio {ratio}");
+    fn three_deployments_serve_the_same_demand_well() {
+        let r = run_three_way(SimMode::ClientServer, 4.0);
+        assert_eq!(r.independent.per_region.len(), 3);
+        assert_eq!(r.federated.per_region.len(), 3);
+        assert_eq!(r.central.per_region.len(), 1);
+        for m in [&r.independent, &r.federated, &r.central] {
+            assert!(m.mean_quality() > 0.9, "quality {}", m.mean_quality());
+            assert!(m.total_vm_cost > 0.0);
+        }
         let c = csv(&r);
-        assert_eq!(c.lines().count(), 6);
+        assert_eq!(c.lines().count(), 7, "3 deployments + 3 regions + header");
+        let section = mode_comparison(&r);
+        assert_eq!(section.deployments.len(), 3);
+        assert!(serde_json::to_string(&section).is_ok());
     }
 
     #[test]
     fn central_peak_population_exceeds_any_single_region() {
-        let r = run(SimMode::ClientServer, 4.0);
+        let r = run_three_way(SimMode::ClientServer, 4.0);
         let max_region = r
+            .independent
             .per_region
             .iter()
-            .map(|(_, m)| m.peak_peers())
+            .map(|reg| {
+                reg.metrics
+                    .samples
+                    .iter()
+                    .map(|s| s.active_peers)
+                    .max()
+                    .unwrap_or(0)
+            })
             .max()
             .unwrap();
         assert!(r.central.peak_peers() > max_region);
+    }
+
+    #[test]
+    fn append_section_is_idempotent_per_key() {
+        let dir = std::env::temp_dir().join("cloudmedia-geo-fed-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+        append_section(path, "geo_federation", "{\"a\": 1}").unwrap();
+        append_section(path, "geo_federation", "{\"a\": 2}").unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        let parsed: serde::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(text.matches("geo_federation").count(), 1, "{text}");
+        drop(parsed);
     }
 }

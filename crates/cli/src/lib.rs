@@ -11,6 +11,9 @@
 //! - `cloudmedia des` — an event-driven scenario run on the
 //!   `cloudmedia-des` kernel (per-request admission latency, VM
 //!   boot-delay, VM failure injection, sub-round flash crowds),
+//! - `cloudmedia geo` — a multi-region deployment run (independent
+//!   regional sites, the federated overflow-redirecting deployment, or
+//!   one centralized multiplexed site),
 //! - `cloudmedia default-config` — prints the paper-default simulation
 //!   configuration as editable JSON.
 //!
@@ -32,6 +35,7 @@ use cloudmedia_core::controller::{Controller, ControllerConfig, StreamingMode};
 use cloudmedia_core::predictor::{ChannelObservation, PredictorKind};
 use cloudmedia_sim::config::{SimConfig, SimMode};
 use cloudmedia_sim::event_driven::{DesScenario, FlashCrowdSpec, VmFailureSpec};
+use cloudmedia_sim::federation::{DeploymentKind, FederatedConfig, FederatedSimulator};
 use cloudmedia_sim::simulator::Simulator;
 
 /// A parsed CLI invocation.
@@ -75,6 +79,15 @@ pub enum Command {
         /// Optional path to write the full `DesRun` JSON.
         out_path: Option<String>,
     },
+    /// Run a multi-region deployment.
+    Geo {
+        /// Which deployment to run.
+        deployment: DeploymentKind,
+        /// Streaming architecture.
+        mode: SimMode,
+        /// Horizon in hours.
+        hours: f64,
+    },
     /// Print the paper-default simulation config as JSON.
     DefaultConfig {
         /// Streaming architecture.
@@ -82,6 +95,17 @@ pub enum Command {
     },
     /// Print usage.
     Help,
+}
+
+fn parse_deployment(v: &str) -> Result<DeploymentKind, CliError> {
+    match v {
+        "independent" => Ok(DeploymentKind::Independent),
+        "federated" => Ok(DeploymentKind::Federated),
+        "central" => Ok(DeploymentKind::Central),
+        other => Err(CliError::Usage(format!(
+            "unknown geo deployment `{other}` (use independent|federated|central)"
+        ))),
+    }
 }
 
 /// The named event-driven scenarios `cloudmedia des` offers.
@@ -168,6 +192,7 @@ USAGE:
   cloudmedia simulate [--mode cs|p2p] [--hours H] [--config FILE] [--out FILE]
   cloudmedia des <baseline|boot-delay|vm-failure|flash-crowd>
                  [--mode cs|p2p] [--hours H] [--out FILE]
+  cloudmedia geo <independent|federated|central> [--mode cs|p2p] [--hours H]
   cloudmedia default-config [--mode cs|p2p]
   cloudmedia help
 ";
@@ -295,6 +320,26 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                 out_path,
             })
         }
+        "geo" => {
+            let deployment = it
+                .next()
+                .ok_or_else(|| CliError::Usage("geo requires a deployment".into()))
+                .and_then(parse_deployment)?;
+            let mut mode = SimMode::ClientServer;
+            let mut hours = 24.0;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--mode" => mode = parse_mode(take_value(&mut it, flag)?)?,
+                    "--hours" => hours = parse_f64(take_value(&mut it, flag)?, flag)?,
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Geo {
+                deployment,
+                mode,
+                hours,
+            })
+        }
         "default-config" => {
             let mut mode = SimMode::P2p;
             while let Some(flag) = it.next() {
@@ -350,6 +395,11 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             hours,
             out_path,
         } => des(scenario, mode, hours, out_path.as_deref()),
+        Command::Geo {
+            deployment,
+            mode,
+            hours,
+        } => geo(deployment, mode, hours),
         Command::DefaultConfig { mode } => {
             serde_json::to_string_pretty(&SimConfig::paper_default(mode))
                 .map(|mut s| {
@@ -579,9 +629,62 @@ fn des(
             r.vms_killed
         );
     }
+    if r.redirected_requests > 0 {
+        let _ = writeln!(
+            out,
+            "remote overflow absorbed {} redirected requests",
+            r.redirected_requests
+        );
+    }
     if let Some(path) = out_path {
         let _ = writeln!(out, "full run written to {path}");
     }
+    Ok(out)
+}
+
+fn geo(deployment: DeploymentKind, mode: SimMode, hours: f64) -> Result<String, CliError> {
+    let config = FederatedConfig::paper_default(deployment, mode, hours);
+    let m = FederatedSimulator::new(config)
+        .map_err(|e| CliError::Run(format!("invalid federation config: {e}")))?
+        .run()
+        .map_err(|e| CliError::Run(format!("federated run failed: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "geo {deployment:?} deployment: {hours:.1} h in {mode:?} mode, {} region(s)",
+        m.per_region.len()
+    );
+    for r in &m.per_region {
+        let _ = writeln!(
+            out,
+            "  {:<9} site {:.2}x prices: VM ${:.2}, redirected {:.1}% of its cloud \
+             traffic (egress ${:.2}, SLA penalty ${:.2}), quality {:.4}",
+            r.region.name,
+            r.site.vm_price_factor,
+            r.metrics.total_vm_cost,
+            r.redirected_share() * 100.0,
+            r.transfer_cost,
+            r.latency_penalty_cost,
+            r.metrics.mean_quality(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total cost: ${:.2} (VM ${:.2} + storage ${:.4} + transfer ${:.2} + latency \
+         penalty ${:.2})",
+        m.total_cost(),
+        m.total_vm_cost,
+        m.total_storage_cost,
+        m.total_transfer_cost,
+        m.total_latency_penalty_cost,
+    );
+    let _ = writeln!(
+        out,
+        "redirected share: {:.1}%; mean quality {:.4}; peak viewers {}",
+        m.redirected_share() * 100.0,
+        m.mean_quality(),
+        m.peak_peers(),
+    );
     Ok(out)
 }
 
@@ -707,6 +810,43 @@ mod tests {
         assert!(out.contains("admission latency"), "got: {out}");
         assert!(out.contains("Erlang-C predicted wait fraction"));
         assert!(out.contains("mean streaming quality"));
+    }
+
+    #[test]
+    fn parse_geo_deployments() {
+        let c = parse(&["geo", "federated"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Geo {
+                deployment: DeploymentKind::Federated,
+                mode: SimMode::ClientServer,
+                hours: 24.0
+            }
+        );
+        let c = parse(&["geo", "central", "--mode", "p2p", "--hours", "6"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Geo {
+                deployment: DeploymentKind::Central,
+                mode: SimMode::P2p,
+                hours: 6.0
+            }
+        );
+        assert!(matches!(parse(&["geo"]), Err(CliError::Usage(_))));
+        assert!(matches!(parse(&["geo", "mars"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn geo_federated_short_run_reports_redirection() {
+        let out = run(Command::Geo {
+            deployment: DeploymentKind::Federated,
+            mode: SimMode::ClientServer,
+            hours: 2.0,
+        })
+        .unwrap();
+        assert!(out.contains("total cost"), "got: {out}");
+        assert!(out.contains("redirected share"));
+        assert!(out.contains("americas"));
     }
 
     #[test]

@@ -25,6 +25,46 @@ pub struct SlaTerms {
     pub nfs_clusters: Vec<NfsClusterSpec>,
 }
 
+impl SlaTerms {
+    /// The cheapest marginal price of cloud bandwidth under these terms,
+    /// in dollars per (byte/s)·hour: the minimum over virtual clusters of
+    /// `price / vm_bandwidth`. This is the unit price the federation
+    /// optimizer uses to compare sites (the integer VM plan mixes
+    /// clusters, but the greedy heuristic fills the best-value cluster
+    /// first, so the cheapest ratio is the marginal one).
+    pub fn bandwidth_price_per_bps_hour(&self) -> f64 {
+        self.virtual_clusters
+            .iter()
+            .map(|c| c.price.dollars_per_hour / c.vm_bandwidth_bytes_per_sec)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// A copy of these terms with every VM rental price multiplied by
+    /// `factor` — the price book of a regional site whose market differs
+    /// from the reference region's. Storage prices are left untouched
+    /// (NFS cost is negligible at the paper's scale).
+    pub fn with_vm_price_factor(&self, factor: f64) -> Self {
+        Self {
+            virtual_clusters: scale_vm_prices(&self.virtual_clusters, factor),
+            nfs_clusters: self.nfs_clusters.clone(),
+        }
+    }
+}
+
+/// Virtual cluster specs with rental prices multiplied by `factor`;
+/// shared by [`SlaTerms::with_vm_price_factor`] and the federated
+/// simulator (which builds each regional [`Cloud`] from scaled specs so
+/// billing happens at the site's own prices).
+pub fn scale_vm_prices(specs: &[VirtualClusterSpec], factor: f64) -> Vec<VirtualClusterSpec> {
+    specs
+        .iter()
+        .map(|c| VirtualClusterSpec {
+            price: crate::pricing::Rate::per_hour(c.price.dollars_per_hour * factor),
+            ..c.clone()
+        })
+        .collect()
+}
+
 /// A resource change request submitted via the broker at the start of a
 /// provisioning interval.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -312,5 +352,30 @@ mod tests {
         let mut cloud = Cloud::paper_default().unwrap();
         cloud.tick(86_400.0).unwrap();
         assert_eq!(cloud.billing().total_cost(), Money::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_price_is_the_cheapest_cluster_ratio() {
+        let sla = Cloud::paper_default().unwrap().sla_terms();
+        // Paper Table II: Standard $0.45/h at 1.25 MB/s is the cheapest
+        // ratio (3.6e-7 $/Bps·h); Medium and Advanced cost more per unit.
+        assert!((sla.bandwidth_price_per_bps_hour() - 0.45 / 1.25e6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn vm_price_factor_scales_rental_only() {
+        let sla = Cloud::paper_default().unwrap().sla_terms();
+        let scaled = sla.with_vm_price_factor(1.5);
+        for (a, b) in sla.virtual_clusters.iter().zip(&scaled.virtual_clusters) {
+            assert!((b.price.dollars_per_hour - 1.5 * a.price.dollars_per_hour).abs() < 1e-12);
+            assert_eq!(a.max_vms, b.max_vms);
+            assert_eq!(a.vm_bandwidth_bytes_per_sec, b.vm_bandwidth_bytes_per_sec);
+        }
+        assert_eq!(sla.nfs_clusters, scaled.nfs_clusters);
+        assert!(
+            (scaled.bandwidth_price_per_bps_hour() - 1.5 * sla.bandwidth_price_per_bps_hour())
+                .abs()
+                < 1e-15
+        );
     }
 }

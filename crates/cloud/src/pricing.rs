@@ -16,6 +16,16 @@ use serde::{Deserialize, Serialize};
 ///
 /// Thin wrapper over `f64` dollars providing arithmetic, ordering helpers
 /// and consistent display; constructed via [`Money::dollars`].
+///
+/// ```
+/// use cloudmedia_cloud::pricing::Money;
+///
+/// let vm_hour = Money::dollars(0.45);
+/// let two_hours = vm_hour * 2.0;
+/// assert_eq!((vm_hour + two_hours).as_dollars(), 1.35);
+/// assert_eq!(vm_hour.saturating_sub(two_hours), Money::ZERO);
+/// assert_eq!(two_hours.to_string(), "$0.90");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
 pub struct Money(f64);
 
@@ -122,6 +132,47 @@ impl Rate {
     }
 }
 
+/// A per-volume price: dollars per gigabyte moved, the charging model
+/// cloud providers apply to inter-region (egress) traffic. Used by the
+/// federation layer to bill redirected streaming bytes.
+///
+/// ```
+/// use cloudmedia_cloud::pricing::VolumeRate;
+///
+/// // $0.01/GB egress: a 15 MB chunk costs $0.00015 to redirect.
+/// let egress = VolumeRate::per_gb(0.01);
+/// assert!((egress.charge_bytes(15e6).as_dollars() - 1.5e-4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VolumeRate {
+    /// Dollars charged per decimal gigabyte (1e9 bytes) transferred.
+    pub dollars_per_gb: f64,
+}
+
+impl VolumeRate {
+    /// Creates a volume rate from dollars per gigabyte.
+    pub fn per_gb(dollars: f64) -> Self {
+        Self {
+            dollars_per_gb: dollars,
+        }
+    }
+
+    /// The charge for moving `bytes` bytes.
+    pub fn charge_bytes(&self, bytes: f64) -> Money {
+        Money::dollars(self.dollars_per_gb * bytes / 1e9)
+    }
+
+    /// This price expressed per *sustained bandwidth-hour*: the dollars
+    /// charged for moving one byte/s continuously for one hour
+    /// (`3600 bytes = 3.6e-6 GB`). This puts transfer prices in the same
+    /// unit as VM rental per unit bandwidth, which is how the federation
+    /// optimizer compares "serve locally" against "serve remotely and
+    /// haul the bytes over".
+    pub fn dollars_per_bps_hour(&self) -> f64 {
+        self.dollars_per_gb * 3600.0 / 1e9
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,6 +224,15 @@ mod tests {
             daily.as_dollars() > 0.01 && daily.as_dollars() < 0.03,
             "daily {daily}"
         );
+    }
+
+    #[test]
+    fn volume_rate_charges_per_gb_and_converts_to_bandwidth_hours() {
+        let r = VolumeRate::per_gb(0.02);
+        assert!((r.charge_bytes(5e9).as_dollars() - 0.10).abs() < 1e-12);
+        assert_eq!(r.charge_bytes(0.0), Money::ZERO);
+        // 1 byte/s for an hour is 3600 bytes = 3.6e-6 GB.
+        assert!((r.dollars_per_bps_hour() - 0.02 * 3.6e-6).abs() < 1e-18);
     }
 
     #[test]

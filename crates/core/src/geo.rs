@@ -16,9 +16,24 @@ use serde::{Deserialize, Serialize};
 
 use crate::controller::{Controller, ControllerConfig, ProvisioningPlan};
 use crate::error::{invalid_param, CoreError};
+use crate::federation::{plan_global_placement, FederationPolicy, GlobalPlacement, SiteSpec};
 use crate::predictor::{ChannelObservation, PredictorKind};
 
 /// A geographic region: its share of the viewer base and its clock.
+///
+/// ```
+/// use cloudmedia_core::geo::{three_sites, RegionSpec};
+///
+/// let apac = RegionSpec {
+///     name: "apac".into(),
+///     population_share: 0.25,
+///     timezone_offset_hours: 14.0,
+/// };
+/// assert_eq!(three_sites()[2], apac);
+/// // Shares across a deployment must sum to ~1.
+/// let total: f64 = three_sites().iter().map(|r| r.population_share).sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RegionSpec {
     /// Display name (e.g. "us-east").
@@ -45,6 +60,35 @@ impl RegionSpec {
         }
         Ok(())
     }
+}
+
+/// Tolerance on the deployment-wide population-share sum.
+const SHARE_SUM_TOLERANCE: f64 = 1e-3;
+
+/// Validates a deployment's region list: at least one region, each
+/// region individually valid, and the population shares summing to ~1
+/// (a deployment that covers 80 % of its viewers — or 120 % — is a
+/// configuration bug, not a smaller system). Shared by [`GeoController`]
+/// and the federated simulator.
+///
+/// # Errors
+///
+/// Names the offending region or the off-by share sum.
+pub fn validate_regions(regions: &[RegionSpec]) -> Result<(), CoreError> {
+    if regions.is_empty() {
+        return Err(invalid_param("regions", "at least one region required"));
+    }
+    for r in regions {
+        r.validate()?;
+    }
+    let total: f64 = regions.iter().map(|r| r.population_share).sum();
+    if (total - 1.0).abs() > SHARE_SUM_TOLERANCE {
+        return Err(invalid_param(
+            "population_share",
+            format!("shares across the deployment must sum to ~1.0, got {total}"),
+        ));
+    }
+    Ok(())
 }
 
 /// The classic three-site deployment: Americas, Europe, Asia-Pacific.
@@ -77,13 +121,23 @@ pub struct GeoPlan {
     pub total_hourly_cost: f64,
     /// Total cloud demand across regions, bytes per second.
     pub total_cloud_demand: f64,
+    /// The global placement, when the controller runs a federation (see
+    /// [`GeoController::with_federation`]): how much of each region's
+    /// demand is served locally vs redirected.
+    pub federation: Option<GlobalPlacement>,
 }
 
 /// One provisioning controller per region, fed region-local statistics.
+///
+/// Optionally carries a [`FederationPolicy`] plus per-region
+/// [`SiteSpec`]s; [`GeoController::plan_interval`] then also runs the
+/// global placement optimizer over the per-region demands and reports
+/// the redirection decision in [`GeoPlan::federation`].
 #[derive(Debug)]
 pub struct GeoController {
     regions: Vec<RegionSpec>,
     controllers: Vec<Controller>,
+    federation: Option<(Vec<SiteSpec>, FederationPolicy)>,
 }
 
 impl GeoController {
@@ -94,18 +148,15 @@ impl GeoController {
     ///
     /// # Errors
     ///
-    /// Propagates region and configuration validation failures.
+    /// Propagates region and configuration validation failures,
+    /// including population shares not summing to ~1 across the
+    /// deployment.
     pub fn new(
         config: ControllerConfig,
         predictor: PredictorKind,
         regions: Vec<RegionSpec>,
     ) -> Result<Self, CoreError> {
-        if regions.is_empty() {
-            return Err(invalid_param("regions", "at least one region required"));
-        }
-        for r in &regions {
-            r.validate()?;
-        }
+        validate_regions(&regions)?;
         let controllers = regions
             .iter()
             .map(|_| Controller::new(config.clone(), predictor))
@@ -113,6 +164,7 @@ impl GeoController {
         Ok(Self {
             regions,
             controllers,
+            federation: None,
         })
     }
 
@@ -127,12 +179,7 @@ impl GeoController {
         predictor: PredictorKind,
         regions: Vec<RegionSpec>,
     ) -> Result<Self, CoreError> {
-        if regions.is_empty() {
-            return Err(invalid_param("regions", "at least one region required"));
-        }
-        for r in &regions {
-            r.validate()?;
-        }
+        validate_regions(&regions)?;
         let controllers = regions
             .iter()
             .map(|r| {
@@ -145,7 +192,38 @@ impl GeoController {
         Ok(Self {
             regions,
             controllers,
+            federation: None,
         })
+    }
+
+    /// Creates a *federated* geo controller: per-region controllers plus
+    /// the global placement optimizer over the given site economics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates region/site/policy validation failures and requires one
+    /// site per region.
+    pub fn with_federation(
+        config: ControllerConfig,
+        predictor: PredictorKind,
+        regions: Vec<RegionSpec>,
+        sites: Vec<SiteSpec>,
+        policy: FederationPolicy,
+    ) -> Result<Self, CoreError> {
+        if sites.len() != regions.len() {
+            return Err(invalid_param(
+                "sites",
+                format!(
+                    "expected one site per region, got {} sites / {} regions",
+                    sites.len(),
+                    regions.len()
+                ),
+            ));
+        }
+        policy.validate()?;
+        let mut this = Self::new(config, predictor, regions)?;
+        this.federation = Some((sites, policy));
+        Ok(this)
     }
 
     /// The regions, in plan order.
@@ -185,10 +263,25 @@ impl GeoController {
             .map(|p| p.vm_plan.integer_hourly_cost)
             .sum();
         let total_cloud_demand = per_region.iter().map(|p| p.total_cloud_demand).sum();
+        let federation = match &self.federation {
+            Some((sites, policy)) => {
+                let demands: Vec<f64> = per_region.iter().map(|p| p.total_cloud_demand).collect();
+                // Each site's marginal bandwidth price comes from its own
+                // published SLA, so no region ordering or reference-market
+                // assumption is baked in.
+                let prices: Vec<f64> = slas
+                    .iter()
+                    .map(SlaTerms::bandwidth_price_per_bps_hour)
+                    .collect();
+                Some(plan_global_placement(&demands, sites, &prices, policy)?)
+            }
+            None => None,
+        };
         Ok(GeoPlan {
             per_region,
             total_hourly_cost,
             total_cloud_demand,
+            federation,
         })
     }
 }
@@ -318,6 +411,101 @@ mod tests {
         let mut g = geo();
         let slas = vec![sla()];
         assert!(g.plan_interval(&[], &slas).is_err());
+    }
+
+    #[test]
+    fn shares_not_summing_to_one_rejected() {
+        // Two regions covering only 60 % of the population: a deployment
+        // bug the per-region checks used to miss.
+        let partial = vec![
+            RegionSpec {
+                name: "a".into(),
+                population_share: 0.4,
+                timezone_offset_hours: 0.0,
+            },
+            RegionSpec {
+                name: "b".into(),
+                population_share: 0.2,
+                timezone_offset_hours: 7.0,
+            },
+        ];
+        let err = GeoController::new(
+            ControllerConfig::paper_default(StreamingMode::ClientServer),
+            PredictorKind::LastInterval,
+            partial.clone(),
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("sum to ~1.0"),
+            "expected share-sum error, got: {err}"
+        );
+        assert!(GeoController::with_budget_split(
+            ControllerConfig::paper_default(StreamingMode::ClientServer),
+            PredictorKind::LastInterval,
+            partial,
+        )
+        .is_err());
+        // Over-covered deployments fail too.
+        let over = vec![
+            RegionSpec {
+                name: "a".into(),
+                population_share: 0.8,
+                timezone_offset_hours: 0.0,
+            },
+            RegionSpec {
+                name: "b".into(),
+                population_share: 0.8,
+                timezone_offset_hours: 7.0,
+            },
+        ];
+        assert!(validate_regions(&over).is_err());
+        // A single full-coverage region (the central deployment) passes.
+        assert!(validate_regions(&[RegionSpec {
+            name: "central".into(),
+            population_share: 1.0,
+            timezone_offset_hours: 0.0,
+        }])
+        .is_ok());
+    }
+
+    #[test]
+    fn federated_controller_reports_a_placement() {
+        use crate::federation::{paper_sites, FederationPolicy};
+        let mut g = GeoController::with_federation(
+            ControllerConfig::paper_default(StreamingMode::ClientServer),
+            PredictorKind::LastInterval,
+            three_sites(),
+            paper_sites(),
+            FederationPolicy::federated(),
+        )
+        .unwrap();
+        // Each region publishes its own price book: the premium factors
+        // of `paper_sites` are reflected in the SLAs the caller passes,
+        // which is where the optimizer reads marginal prices from.
+        let slas: Vec<SlaTerms> = crate::federation::paper_sites()
+            .iter()
+            .map(|s| sla().with_vm_price_factor(s.vm_price_factor))
+            .collect();
+        // Apac at its evening peak while the others idle: its premium
+        // site redirects into the cheap reference region.
+        let stats = vec![
+            vec![(0, observation(0.02))],
+            vec![(0, observation(0.02))],
+            vec![(0, observation(0.5))],
+        ];
+        let plan = g.plan_interval(&stats, &slas).unwrap();
+        let placement = plan.federation.expect("federated controller places");
+        assert_eq!(placement.assignment.len(), 3);
+        assert!(
+            placement.redirect_fraction(2) > 0.5,
+            "apac redirects its peak: {:?}",
+            placement.assignment
+        );
+        // Conservation: every region's demand is fully assigned.
+        for (i, p) in plan.per_region.iter().enumerate() {
+            let served: f64 = placement.assignment[i].iter().sum();
+            assert!((served - p.total_cloud_demand).abs() < 1e-6);
+        }
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   Sec. V-B tying it all together,
 //! - [`geo`]: the multi-region extension the paper lists as future work
 //!   (per-region controllers, time-zone-offset demand),
+//! - [`federation`]: the global placement optimizer that redirects
+//!   overflow and peak-priced demand between regional sites,
 //! - [`baseline`]: the comparison strategies the paper argues against —
 //!   dedicated (fixed) servers and a model-free reactive autoscaler.
 //!
@@ -43,6 +45,7 @@ pub mod baseline;
 pub mod channel;
 pub mod controller;
 mod error;
+pub mod federation;
 pub mod geo;
 pub mod predictor;
 pub mod provisioning;

@@ -2,8 +2,8 @@
 //!
 //! A simulation is a set of components exchanging events through one
 //! [`Kernel`]. The engine that owns the components assigns each a
-//! [`ComponentId`], pops events in a loop, and dispatches each event to
-//! the component named by its destination:
+//! [`ComponentId`](crate::ComponentId), pops events in a loop, and
+//! dispatches each event to the component named by its destination:
 //!
 //! ```text
 //! while let Some(ev) = kernel.pop() {

@@ -74,6 +74,17 @@ pub fn erlang_c(servers: usize, offered_load: f64) -> Result<f64, QueueingError>
 /// Non-finite or negative loads are treated as always-waiting rather
 /// than propagated, matching the saturate-don't-crash behavior the
 /// admission path wants for corrupt measurements.
+///
+/// ```
+/// use cloudmedia_queueing::erlang_c_wait_probability;
+///
+/// // M/M/1 at ρ = 0.5 waits with probability ρ.
+/// assert_eq!(erlang_c_wait_probability(1, 0.5), 0.5);
+/// // Saturated or serverless queues always wait; idle ones never do.
+/// assert_eq!(erlang_c_wait_probability(2, 2.0), 1.0);
+/// assert_eq!(erlang_c_wait_probability(0, 1.0), 1.0);
+/// assert_eq!(erlang_c_wait_probability(8, 0.0), 0.0);
+/// ```
 pub fn erlang_c_wait_probability(servers: usize, offered_load: f64) -> f64 {
     if offered_load == 0.0 {
         return 0.0;

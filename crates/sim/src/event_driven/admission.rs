@@ -38,6 +38,14 @@
 //! analogue of a fluid download that does not progress until capacity
 //! exists.
 //!
+//! - **Remote overflow (federation hook).** With
+//!   [`super::DesScenario::remote_overflow`] set, a request that would
+//!   have to queue locally may instead take a slot at a remote
+//!   federation site: served immediately, delivered late by the
+//!   inter-region latency, never touching the local queue or the local
+//!   used-bandwidth meter — the per-request analogue of
+//!   [`crate::federation`]'s overflow redirection.
+//!
 //! Used cloud bandwidth is integrated *exactly* between events: the
 //! channel's take is `busy servers × per-VM bandwidth` (capped at the
 //! online reservation while a shrinking fleet drains), piecewise
@@ -52,6 +60,7 @@ use cloudmedia_des::{Component, Event, Kernel};
 use cloudmedia_queueing::erlang_c_wait_probability;
 
 use super::events::{CmEvent, ADMISSION, SESSIONS};
+use super::RemoteOverflowSpec;
 use crate::config::{SimConfig, SimMode};
 
 /// EWMA weight for the per-channel mean inter-request gap.
@@ -125,12 +134,39 @@ pub struct Admission {
     predicted_wait_prob_sum: f64,
     /// Cloud requests that measurably waited for a server.
     waited_requests: u64,
+    /// Remote overflow pool (federation hook): slot fleet, occupancy,
+    /// and the latency its deliveries pay.
+    remote: Option<RemoteState>,
+    /// Requests redirected to the remote pool.
+    redirected: u64,
+}
+
+/// Live state of the remote overflow pool.
+#[derive(Debug)]
+struct RemoteState {
+    /// Transfer slots the remote capacity funds.
+    slots: u64,
+    /// Slots currently serving a redirected transfer.
+    busy: u64,
+    /// Extra delivery latency per redirected chunk, seconds.
+    extra_latency: f64,
 }
 
 impl Admission {
-    pub(crate) fn new(cfg: &SimConfig, vm_bandwidth: f64) -> Self {
+    pub(crate) fn new(
+        cfg: &SimConfig,
+        vm_bandwidth: f64,
+        remote_overflow: Option<RemoteOverflowSpec>,
+    ) -> Self {
         let n = cfg.catalog.len();
+        let remote = remote_overflow.map(|spec| RemoteState {
+            slots: (spec.capacity_bps.max(0.0) / vm_bandwidth).floor() as u64,
+            busy: 0,
+            extra_latency: spec.extra_latency_seconds.max(0.0),
+        });
         Self {
+            remote,
+            redirected: 0,
             p2p: cfg.mode == SimMode::P2p,
             vm_bandwidth,
             chunk_bytes: cfg.chunk_bytes(),
@@ -200,6 +236,11 @@ impl Admission {
     /// Requests routed to the cloud queue / served by peers.
     pub(crate) fn request_split(&self) -> (u64, u64) {
         (self.cloud_requests, self.peer_requests)
+    }
+
+    /// Requests redirected to the remote overflow site.
+    pub(crate) fn redirected_requests(&self) -> u64 {
+        self.redirected
     }
 
     /// Mean Erlang-C wait probability predicted at admission over all
@@ -342,6 +383,36 @@ impl Component<CmEvent> for Admission {
                     return;
                 }
 
+                // Federation hook: a request that would have to *queue*
+                // locally (every online server busy) may instead take a
+                // free slot at the remote overflow site — served
+                // immediately, delivered late by the inter-region
+                // latency, and never touching the local queue or the
+                // local used-bandwidth meter. (With redirection active
+                // the local queue is an overflow system, so the Erlang-C
+                // check below applies to the non-redirected stream only.)
+                if self.channels[c].busy >= self.channels[c].servers {
+                    if let Some(remote) = &mut self.remote {
+                        if remote.busy < remote.slots {
+                            remote.busy += 1;
+                            self.redirected += 1;
+                            self.waits.push(0.0);
+                            let transfer = self.chunk_bytes / self.vm_bandwidth;
+                            kernel.schedule_in(transfer, ADMISSION, CmEvent::RemoteTransferDone);
+                            kernel.schedule_in(
+                                transfer + remote.extra_latency,
+                                SESSIONS,
+                                CmEvent::Delivered {
+                                    session,
+                                    chunk,
+                                    admission_wait: 0.0,
+                                },
+                            );
+                            return;
+                        }
+                    }
+                }
+
                 // Cloud-served: record the analytic wait prediction at
                 // the measured operating point, then queue FIFO. The
                 // cloud-facing rate is the residual of the measured
@@ -380,6 +451,13 @@ impl Component<CmEvent> for Admission {
                     debug_assert!(self.channels[channel].active_peer > 0);
                     self.channels[channel].active_peer -= 1;
                 }
+            }
+            CmEvent::RemoteTransferDone => {
+                self.advance(now);
+                self.deliveries += 1;
+                let remote = self.remote.as_mut().expect("remote transfers need a pool");
+                debug_assert!(remote.busy > 0);
+                remote.busy -= 1;
             }
             CmEvent::PoolUpdate {
                 channel,

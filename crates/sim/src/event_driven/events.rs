@@ -76,6 +76,10 @@ pub(crate) enum CmEvent {
         /// True if the transfer was cloud-served (occupied a VM).
         cloud: bool,
     },
+    /// A transfer redirected to the remote overflow site finishes now;
+    /// release its remote slot (remote slots are one global pool, so no
+    /// channel is needed).
+    RemoteTransferDone,
     /// The sessions component's usable upload pool for `channel` changed.
     PoolUpdate {
         /// Channel.

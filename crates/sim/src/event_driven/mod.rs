@@ -102,6 +102,21 @@ pub struct FlashCrowdSpec {
     pub window_seconds: f64,
 }
 
+/// A federation partner absorbing admission overflow: when a cloud-bound
+/// request would have to *queue* locally (every online server busy), the
+/// admission component may instead serve it from this remote pool —
+/// immediately, but with the inter-region latency added to its delivery.
+/// The event-driven analogue of the federated simulator's overflow
+/// redirection ([`crate::federation`]), at per-request granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RemoteOverflowSpec {
+    /// Bandwidth the remote site offers for overflow, bytes per second
+    /// (a fleet of `capacity / per-VM bandwidth` transfer slots).
+    pub capacity_bps: f64,
+    /// Extra delivery latency a redirected chunk pays, seconds.
+    pub extra_latency_seconds: f64,
+}
+
 /// Scenario knobs layered on top of a [`SimConfig`] for an event-driven
 /// run. `Default` is the plain scenario (paper VM latencies, no
 /// injections) — what `SimKernel::EventDriven` under [`crate::Simulator`]
@@ -116,6 +131,8 @@ pub struct DesScenario {
     pub failures: Vec<VmFailureSpec>,
     /// Flash-crowd bursts to inject.
     pub flash_crowds: Vec<FlashCrowdSpec>,
+    /// Redirect queue overflow to a remote federation site.
+    pub remote_overflow: Option<RemoteOverflowSpec>,
 }
 
 /// Summary of a latency distribution, in seconds.
@@ -191,6 +208,9 @@ pub struct DesReport {
     pub injected_viewers: u64,
     /// VM instances killed by failure bursts.
     pub vms_killed: u64,
+    /// Requests the admission hook redirected to the remote overflow
+    /// site ([`DesScenario::remote_overflow`]); 0 without one.
+    pub redirected_requests: u64,
 }
 
 /// Everything an event-driven run produces.
@@ -215,7 +235,8 @@ pub fn run(cfg: &SimConfig, scenario: &DesScenario) -> Result<DesRun, SimError> 
 
     let mut kernel: Kernel<CmEvent> = Kernel::new();
     let mut provisioner = provisioner::Provisioner::new(cfg, scenario)?;
-    let mut admission = admission::Admission::new(cfg, provisioner.vm_bandwidth());
+    let mut admission =
+        admission::Admission::new(cfg, provisioner.vm_bandwidth(), scenario.remote_overflow);
     let mut sessions = sessions::Sessions::new(cfg)?;
 
     // Initial schedule. Provisioning precedes everything else at t = 0
@@ -317,6 +338,7 @@ pub fn run(cfg: &SimConfig, scenario: &DesScenario) -> Result<DesRun, SimError> 
         events_delivered: kernel.delivered_count(),
         injected_viewers: sessions.injected_viewers(),
         vms_killed: provisioner.vms_killed(),
+        redirected_requests: admission.redirected_requests(),
     };
     Ok(DesRun { metrics, report })
 }

@@ -1,0 +1,936 @@
+//! The federated multi-region simulator.
+//!
+//! [`FederatedSimulator`] runs one full CloudMedia system per region —
+//! each with its population share of the catalog, its diurnal pattern
+//! shifted to local time, and its *own cloud site* billing at regional
+//! prices — in lockstep rounds, and couples them through the global
+//! placement optimizer ([`cloudmedia_core::federation`]): every
+//! provisioning interval each region's controller derives its predicted
+//! cloud demand exactly as in a single-site run, then the optimizer
+//! decides how much of each region's demand is served by its local site
+//! and how much is **redirected** to remote sites (peak overflow into
+//! off-peak capacity, or price arbitrage into cheaper markets).
+//!
+//! # What redirection means mechanically
+//!
+//! The viewer-facing side of a region is unchanged: its channels keep
+//! the reservation its controller planned, and its round engine (the
+//! same [`SimKernel::Indexed`]/[`SimKernel::Scan`] engines the
+//! single-site [`crate::Simulator`] uses) allocates bandwidth per round
+//! as always. What moves is *where the VMs backing that reservation
+//! run*: region `i`'s integer VM targets are apportioned across sites
+//! according to the placement (largest-remainder per cluster, so totals
+//! are conserved), each site's broker receives the aggregate targets it
+//! must run, and each site's billing meters its own fleet at its own
+//! prices. A region whose capacity is partly remote sees its effective
+//! online scale blend the boot progress of every site serving it.
+//!
+//! Redirected *traffic* is metered per round: the used cloud bandwidth
+//! of region `i` times its current redirected share, integrated over
+//! time, is billed the serving sites' egress price plus the policy's SLA
+//! latency penalty (per gigabyte). The penalty monetizes the remote-
+//! serving quality loss instead of simulating packet-level latency — the
+//! same modeling level as the paper's cost objective.
+//!
+//! # The three deployments
+//!
+//! [`DeploymentKind`] selects the comparison points the `geo_federation`
+//! benchmark and the acceptance test pin:
+//!
+//! - **Independent** — redirection disabled; every region serves all of
+//!   its demand locally at its own prices (the two-extreme baseline the
+//!   plain `geo_sim` bench measured).
+//! - **Federated** — the optimizer redirects where marginal cost says
+//!   so; total cost is bounded above by the independent deployment
+//!   (all-local remains feasible) while every byte is still served from
+//!   a region-priced site.
+//! - **Central** — one site in the reference (cheapest) market serves
+//!   the time-zone-multiplexed mixture of all regional demand curves;
+//!   flattest curve and cheapest prices, but *every* remote viewer's
+//!   latency is outside the model (the paper's motivation for regional
+//!   sites in the first place).
+
+use cloudmedia_cloud::broker::{scale_vm_prices, Cloud, ResourceRequest};
+use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters};
+use cloudmedia_core::federation::{paper_sites, plan_global_placement, FederationPolicy, SiteSpec};
+use cloudmedia_core::geo::{three_sites, validate_regions, RegionSpec};
+use cloudmedia_workload::diurnal::DiurnalPattern;
+use cloudmedia_workload::trace::generate_arrivals;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{SimConfig, SimKernel, SimMode};
+use crate::error::{invalid_param, SimError};
+use crate::metrics::Metrics;
+use crate::peer::Peer;
+use crate::simulator::{
+    bootstrap_stats, interval_record, make_planner, process_round_events, sample, IndexedEngine,
+    Planner, RoundCtx, RoundEngine, ScanEngine,
+};
+use crate::tracker::Tracker;
+
+/// Which multi-region deployment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeploymentKind {
+    /// Per-region sites, no traffic exchange.
+    Independent,
+    /// Per-region sites plus the global placement optimizer.
+    Federated,
+    /// One reference-priced site serving the multiplexed mixture.
+    Central,
+}
+
+/// Configuration of a federated run: the per-region template plus the
+/// deployment's regions, site economics, and placement policy.
+#[derive(Debug, Clone)]
+pub struct FederatedConfig {
+    /// Template configuration; each region derives its own copy (catalog
+    /// scaled by population share, diurnal shifted to local time,
+    /// distinct trace seed). The `kernel` must be a round engine.
+    pub base: SimConfig,
+    /// The regions (shares must sum to ~1).
+    pub regions: Vec<RegionSpec>,
+    /// One cloud site per region, in region order.
+    pub sites: Vec<SiteSpec>,
+    /// The placement policy.
+    pub policy: FederationPolicy,
+}
+
+impl FederatedConfig {
+    /// The paper-default three-site deployment ([`three_sites`] regions,
+    /// [`paper_sites`] economics) for `kind`, over `hours` hours.
+    pub fn paper_default(kind: DeploymentKind, mode: SimMode, hours: f64) -> Self {
+        let mut base = SimConfig::paper_default(mode);
+        base.trace.horizon_seconds = hours * 3600.0;
+        match kind {
+            DeploymentKind::Independent => Self {
+                base,
+                regions: three_sites(),
+                sites: paper_sites(),
+                policy: FederationPolicy::independent(),
+            },
+            DeploymentKind::Federated => Self {
+                base,
+                regions: three_sites(),
+                sites: paper_sites(),
+                policy: FederationPolicy::federated(),
+            },
+            DeploymentKind::Central => {
+                // One site in the reference market serving the mixture of
+                // the shifted regional patterns — time-zone multiplexing.
+                let regions = three_sites();
+                let parts: Vec<(f64, DiurnalPattern)> = regions
+                    .iter()
+                    .map(|r| {
+                        (
+                            r.population_share,
+                            base.trace.diurnal.shifted(r.timezone_offset_hours),
+                        )
+                    })
+                    .collect();
+                base.trace.diurnal =
+                    DiurnalPattern::mixture(&parts).expect("region shares are positive");
+                let reference_factor = paper_sites()
+                    .iter()
+                    .map(|s| s.vm_price_factor)
+                    .fold(f64::INFINITY, f64::min);
+                Self {
+                    base,
+                    regions: vec![RegionSpec {
+                        name: "central".into(),
+                        population_share: 1.0,
+                        timezone_offset_hours: 0.0,
+                    }],
+                    sites: vec![SiteSpec {
+                        vm_price_factor: reference_factor,
+                        capacity_cap_bps: f64::INFINITY,
+                        egress_price_per_gb: 0.0,
+                    }],
+                    policy: FederationPolicy::independent(),
+                }
+            }
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects mismatched region/site lists, invalid regions or policy,
+    /// an event-driven kernel (the federation drives round engines), and
+    /// any invalid derived per-region configuration.
+    pub fn validate(&self) -> Result<(), SimError> {
+        validate_regions(&self.regions).map_err(SimError::from)?;
+        if self.sites.len() != self.regions.len() {
+            return Err(invalid_param(
+                "sites",
+                format!(
+                    "expected one site per region, got {} sites / {} regions",
+                    self.sites.len(),
+                    self.regions.len()
+                ),
+            ));
+        }
+        self.policy.validate().map_err(SimError::from)?;
+        if self.base.kernel == SimKernel::EventDriven {
+            return Err(invalid_param(
+                "kernel",
+                "the federated simulator drives round engines; use Indexed or Scan \
+                 (the event-driven engine models single-site redirection via \
+                 DesScenario::remote_overflow)",
+            ));
+        }
+        for idx in 0..self.regions.len() {
+            self.region_config(idx).validate()?;
+        }
+        Ok(())
+    }
+
+    /// Region `idx`'s derived simulation configuration.
+    fn region_config(&self, idx: usize) -> SimConfig {
+        let r = &self.regions[idx];
+        let mut cfg = self.base.clone();
+        cfg.catalog = cfg.catalog.scaled(r.population_share);
+        cfg.trace.diurnal = cfg.trace.diurnal.shifted(r.timezone_offset_hours);
+        // Distinct seed per region so the swarms are independent.
+        cfg.trace.seed ^= (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        cfg
+    }
+}
+
+/// One region's outcome of a federated run.
+#[derive(Debug, Clone)]
+pub struct RegionOutcome {
+    /// The region.
+    pub region: RegionSpec,
+    /// Its site economics.
+    pub site: SiteSpec,
+    /// Viewer-side metric series (samples, intervals). `total_vm_cost`
+    /// and `total_storage_cost` hold the *site's* bill — the VM-hours
+    /// this region's cloud ran for everyone it served, local and
+    /// imported, at its own prices.
+    pub metrics: Metrics,
+    /// Cloud-served bytes delivered to this region's viewers.
+    pub cloud_bytes: f64,
+    /// Of those, bytes served by a remote site.
+    pub redirected_bytes: f64,
+    /// Egress charges paid for this region's redirected bytes, dollars.
+    pub transfer_cost: f64,
+    /// SLA latency-penalty credits for those bytes, dollars.
+    pub latency_penalty_cost: f64,
+}
+
+impl RegionOutcome {
+    /// Fraction of this region's cloud-served bytes that came from a
+    /// remote site.
+    pub fn redirected_share(&self) -> f64 {
+        if self.cloud_bytes <= 0.0 {
+            return 0.0;
+        }
+        self.redirected_bytes / self.cloud_bytes
+    }
+}
+
+/// Aggregate outcome of a federated run.
+#[derive(Debug, Clone)]
+pub struct FederatedMetrics {
+    /// Per-region outcomes, in region order.
+    pub per_region: Vec<RegionOutcome>,
+    /// Σ site VM bills, dollars.
+    pub total_vm_cost: f64,
+    /// Σ site storage bills, dollars.
+    pub total_storage_cost: f64,
+    /// Σ egress charges, dollars.
+    pub total_transfer_cost: f64,
+    /// Σ SLA latency-penalty credits, dollars.
+    pub total_latency_penalty_cost: f64,
+}
+
+impl FederatedMetrics {
+    /// The deployment's total cost: VM + storage + transfer + latency
+    /// penalty, dollars.
+    pub fn total_cost(&self) -> f64 {
+        self.total_vm_cost
+            + self.total_storage_cost
+            + self.total_transfer_cost
+            + self.total_latency_penalty_cost
+    }
+
+    /// Fraction of all cloud-served bytes that were redirected.
+    pub fn redirected_share(&self) -> f64 {
+        let total: f64 = self.per_region.iter().map(|r| r.cloud_bytes).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.per_region
+            .iter()
+            .map(|r| r.redirected_bytes)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Population-weighted mean streaming quality.
+    pub fn mean_quality(&self) -> f64 {
+        let mut q = 0.0;
+        let mut w = 0.0;
+        for r in &self.per_region {
+            q += r.region.population_share * r.metrics.mean_quality();
+            w += r.region.population_share;
+        }
+        if w > 0.0 {
+            q / w
+        } else {
+            1.0
+        }
+    }
+
+    /// Peak concurrent viewers across regions (summed per region, not
+    /// per instant — regions sample in lockstep, so sums align).
+    pub fn peak_peers(&self) -> usize {
+        let samples = self
+            .per_region
+            .iter()
+            .map(|r| r.metrics.samples.len())
+            .min()
+            .unwrap_or(0);
+        (0..samples)
+            .map(|k| {
+                self.per_region
+                    .iter()
+                    .map(|r| r.metrics.samples[k].active_peers)
+                    .sum()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Splits `total` integer units across `shares` (which need not be
+/// normalized) by largest remainder; the result sums to `total`.
+fn apportion(total: usize, shares: &[f64]) -> Vec<usize> {
+    let sum: f64 = shares.iter().sum();
+    if sum <= 0.0 || shares.is_empty() {
+        let mut out = vec![0; shares.len()];
+        if let Some(first) = out.first_mut() {
+            *first = total;
+        }
+        return out;
+    }
+    let exact: Vec<f64> = shares
+        .iter()
+        .map(|s| total as f64 * (s / sum).max(0.0))
+        .collect();
+    let mut out: Vec<usize> = exact.iter().map(|e| e.floor() as usize).collect();
+    let mut assigned: usize = out.iter().sum();
+    // Hand out the remainder to the largest fractional parts (stable on
+    // ties by index).
+    let mut order: Vec<usize> = (0..shares.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.partial_cmp(&fa)
+            .expect("finite fractions")
+            .then(a.cmp(&b))
+    });
+    let mut k = 0;
+    while assigned < total {
+        out[order[k % order.len()]] += 1;
+        assigned += 1;
+        k += 1;
+    }
+    out
+}
+
+/// One region's live simulation state: the engine, its viewers, its
+/// tracker/planner, and its site's cloud.
+struct RegionRuntime {
+    cfg: SimConfig,
+    engine: Box<dyn RoundEngine>,
+    /// The region's site (broker + schedulers + billing at its prices).
+    cloud: Cloud,
+    planner: Planner,
+    tracker: Tracker,
+    rng: StdRng,
+    peers: Vec<Peer>,
+    metrics: Metrics,
+    arrivals: Vec<cloudmedia_workload::trace::UserArrival>,
+    next_arrival: usize,
+    /// SLA latency penalty on redirected traffic, dollars per GB.
+    penalty_per_gb: f64,
+    vm_bandwidth: f64,
+    chunk_bytes: f64,
+    /// The storage placement currently in force (sticky across
+    /// non-refresh intervals, as in the single-site run loop).
+    current_placement: Option<cloudmedia_cloud::scheduler::PlacementPlan>,
+    /// Viewer-side per-channel reservation from this region's own plan.
+    channel_reserved: Vec<f64>,
+    reserved_total: f64,
+    /// Current interval's placement row: share of this region's demand
+    /// served by each site.
+    serve_share: Vec<f64>,
+    /// Fraction of this region's cloud demand served remotely.
+    redirect_fraction: f64,
+    /// Blended egress price of the sites serving this region's exported
+    /// traffic, dollars per GB.
+    blended_egress_per_gb: f64,
+    /// This site's aggregate VM targets (its own + imports), per cluster.
+    site_targets: Vec<usize>,
+    /// Bandwidth those targets add up to, bytes/s.
+    site_target_bw: f64,
+    // Sampling windows (mirror the single-site run loop).
+    window_used: f64,
+    window_start: f64,
+    window_startup_sum: f64,
+    window_startup_count: usize,
+    // Federation accounting.
+    cloud_bytes: f64,
+    redirected_bytes: f64,
+    transfer_cost: f64,
+    latency_penalty_cost: f64,
+    // Round-event scratch.
+    removals: Vec<usize>,
+    completed: Vec<usize>,
+    woken: Vec<usize>,
+}
+
+impl std::fmt::Debug for RegionRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegionRuntime")
+            .field("peers", &self.peers.len())
+            .field("redirect_fraction", &self.redirect_fraction)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The federated multi-region simulator. Construct with a
+/// [`FederatedConfig`] and call [`FederatedSimulator::run`].
+#[derive(Debug)]
+pub struct FederatedSimulator {
+    config: FederatedConfig,
+}
+
+impl FederatedSimulator {
+    /// Creates a simulator after validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn new(config: FederatedConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FederatedConfig {
+        &self.config
+    }
+
+    /// Runs every region in lockstep over the shared horizon and returns
+    /// the per-region and aggregate outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace generation, provisioning, placement, and cloud
+    /// failures.
+    pub fn run(&self) -> Result<FederatedMetrics, SimError> {
+        let fc = &self.config;
+        let n_regions = fc.regions.len();
+        let n_sites = n_regions;
+
+        let penalty_per_gb = fc.policy.latency_penalty_per_gb;
+
+        let mut regions: Vec<RegionRuntime> = Vec::with_capacity(n_regions);
+        for idx in 0..n_regions {
+            let cfg = fc.region_config(idx);
+            let n_channels = cfg.catalog.len();
+            let max_chunks = cfg
+                .catalog
+                .channels()
+                .iter()
+                .map(|c| c.viewing.chunks)
+                .max()
+                .expect("catalog validated non-empty");
+            let chunk_bytes = cfg.chunk_bytes();
+            let cloud = Cloud::new(
+                scale_vm_prices(&paper_virtual_clusters(), fc.sites[idx].vm_price_factor),
+                paper_nfs_clusters(),
+                chunk_bytes as u64,
+            )?;
+            let sla = cloud.sla_terms();
+            let vm_bandwidth = sla.virtual_clusters[0].vm_bandwidth_bytes_per_sec;
+            let engine: Box<dyn RoundEngine> = match cfg.kernel {
+                SimKernel::Scan => Box::new(ScanEngine::new(n_channels, max_chunks)),
+                SimKernel::Indexed => Box::new(IndexedEngine::new(
+                    n_channels,
+                    max_chunks,
+                    cfg.peer_efficiency,
+                    cfg.round_seconds,
+                )),
+                SimKernel::EventDriven => unreachable!("rejected by validate"),
+            };
+            let planner = make_planner(&cfg, vm_bandwidth)?;
+            let tracker = Tracker::new(&cfg.catalog)?;
+            let trace = generate_arrivals(&cfg.catalog, &cfg.trace)?;
+            let arrivals = trace.arrivals().to_vec();
+            let rng = StdRng::seed_from_u64(cfg.behaviour_seed);
+            let n_clusters = sla.virtual_clusters.len();
+            regions.push(RegionRuntime {
+                engine,
+                cloud,
+                planner,
+                tracker,
+                rng,
+                peers: Vec::new(),
+                metrics: Metrics::default(),
+                arrivals,
+                next_arrival: 0,
+                penalty_per_gb,
+                vm_bandwidth,
+                chunk_bytes,
+                current_placement: None,
+                channel_reserved: vec![0.0; n_channels],
+                reserved_total: 0.0,
+                serve_share: {
+                    let mut s = vec![0.0; n_sites];
+                    s[idx] = 1.0;
+                    s
+                },
+                redirect_fraction: 0.0,
+                blended_egress_per_gb: 0.0,
+                site_targets: vec![0; n_clusters],
+                site_target_bw: 0.0,
+                window_used: 0.0,
+                window_start: 0.0,
+                window_startup_sum: 0.0,
+                window_startup_count: 0,
+                cloud_bytes: 0.0,
+                redirected_bytes: 0.0,
+                transfer_cost: 0.0,
+                latency_penalty_cost: 0.0,
+                removals: Vec::new(),
+                completed: Vec::new(),
+                woken: Vec::new(),
+                cfg,
+            });
+        }
+
+        let horizon = fc.base.trace.horizon_seconds;
+        let dt = fc.base.round_seconds;
+        let sample_interval = fc.base.sample_interval;
+        let provisioning_interval = fc.base.provisioning_interval;
+        let mut clock = 0.0_f64;
+        let mut next_sample = sample_interval;
+        let mut next_provision = 0.0_f64;
+
+        while clock < horizon {
+            let t1 = (clock + dt).min(horizon);
+            let step = t1 - clock;
+
+            // --- Global provisioning boundary ------------------------
+            if clock >= next_provision {
+                self.provision(&mut regions, clock)?;
+                next_provision += provisioning_interval;
+            }
+
+            // --- Per-region round (arrivals → allocate → progress) ---
+            // Site online fractions feed every region's blended scale.
+            let site_online: Vec<f64> = regions
+                .iter()
+                .map(|r| {
+                    if r.site_target_bw > 0.0 {
+                        (r.cloud.running_bandwidth() / r.site_target_bw).min(1.0)
+                    } else {
+                        1.0
+                    }
+                })
+                .collect();
+            for r in regions.iter_mut() {
+                r.step_round(clock, t1, step, &site_online)?;
+            }
+
+            // --- Sampling --------------------------------------------
+            if t1 >= next_sample || t1 >= horizon {
+                for r in regions.iter_mut() {
+                    r.flush_sample(t1);
+                }
+                next_sample += sample_interval;
+            }
+
+            clock = t1;
+        }
+
+        // Close out billing and assemble outcomes.
+        let mut per_region = Vec::with_capacity(n_regions);
+        let mut total_vm = 0.0;
+        let mut total_storage = 0.0;
+        let mut total_transfer = 0.0;
+        let mut total_penalty = 0.0;
+        for (idx, mut r) in regions.into_iter().enumerate() {
+            r.cloud.tick(horizon)?;
+            r.metrics.total_vm_cost = r.cloud.billing().vm_cost().as_dollars();
+            r.metrics.total_storage_cost = r.cloud.billing().storage_cost().as_dollars();
+            total_vm += r.metrics.total_vm_cost;
+            total_storage += r.metrics.total_storage_cost;
+            total_transfer += r.transfer_cost;
+            total_penalty += r.latency_penalty_cost;
+            per_region.push(RegionOutcome {
+                region: fc.regions[idx].clone(),
+                site: fc.sites[idx].clone(),
+                metrics: r.metrics,
+                cloud_bytes: r.cloud_bytes,
+                redirected_bytes: r.redirected_bytes,
+                transfer_cost: r.transfer_cost,
+                latency_penalty_cost: r.latency_penalty_cost,
+            });
+        }
+        Ok(FederatedMetrics {
+            per_region,
+            total_vm_cost: total_vm,
+            total_storage_cost: total_storage,
+            total_transfer_cost: total_transfer,
+            total_latency_penalty_cost: total_penalty,
+        })
+    }
+
+    /// One global provisioning boundary: per-region plans, the global
+    /// placement, the integer VM-target apportionment, and each site's
+    /// broker submission.
+    fn provision(&self, regions: &mut [RegionRuntime], clock: f64) -> Result<(), SimError> {
+        let fc = &self.config;
+        let n = regions.len();
+
+        // 1. Per-region controller plans (identical to a single-site run).
+        let mut plans = Vec::with_capacity(n);
+        let mut site_prices = Vec::with_capacity(n);
+        for r in regions.iter_mut() {
+            let stats = if r.metrics.intervals.is_empty() {
+                bootstrap_stats(&r.cfg.catalog, &r.cfg)
+            } else {
+                r.tracker.interval_stats(r.cfg.provisioning_interval)?
+            };
+            let sla = r.cloud.sla_terms();
+            site_prices.push(sla.bandwidth_price_per_bps_hour());
+            plans.push(r.planner.plan_interval(&stats, &sla)?);
+        }
+
+        // 2. Global placement over the per-region demands, priced at each
+        //    site's own published bandwidth rate.
+        let demands: Vec<f64> = plans.iter().map(|p| p.total_cloud_demand).collect();
+        let placement = plan_global_placement(&demands, &fc.sites, &site_prices, &fc.policy)?;
+
+        // 3. Apportion each region's integer VM targets across the sites
+        //    serving it; aggregate per site.
+        let n_clusters = plans
+            .first()
+            .map(|p| p.vm_targets.len())
+            .unwrap_or_default();
+        let mut site_targets = vec![vec![0usize; n_clusters]; n];
+        for (i, plan) in plans.iter().enumerate() {
+            let row = &placement.assignment[i];
+            for (v, &target) in plan.vm_targets.iter().enumerate() {
+                for (j, share) in apportion(target, row).into_iter().enumerate() {
+                    site_targets[j][v] += share;
+                }
+            }
+        }
+        // Respect each site's physical fleet: clamp to cluster maxima
+        // (the paper fleet is far larger than any default-week placement,
+        // so this is a guard, not a steady-state path).
+        let max_vms: Vec<usize> = paper_virtual_clusters().iter().map(|c| c.max_vms).collect();
+        for targets in site_targets.iter_mut() {
+            for (v, t) in targets.iter_mut().enumerate() {
+                *t = (*t).min(max_vms[v]);
+            }
+        }
+
+        // 4. Submit each site's aggregate request and refresh each
+        //    region's viewer-side state.
+        for (i, (r, plan)) in regions.iter_mut().zip(&plans).enumerate() {
+            let sla = r.cloud.sla_terms();
+            if let Some(pl) = &plan.placement {
+                r.current_placement = Some(pl.clone());
+            }
+            r.cloud.submit_request(&ResourceRequest {
+                vm_targets: site_targets[i].clone(),
+                placement: plan.placement.clone(),
+            })?;
+            r.site_targets = site_targets[i].clone();
+            r.site_target_bw = r
+                .site_targets
+                .iter()
+                .zip(&sla.virtual_clusters)
+                .map(|(&t, c)| t as f64 * c.vm_bandwidth_bytes_per_sec)
+                .sum();
+
+            // Viewer-side reservation from the region's own plan.
+            let n_channels = r.cfg.catalog.len();
+            r.channel_reserved.iter_mut().for_each(|v| *v = 0.0);
+            for (key, allocs) in &plan.vm_plan.allocations {
+                if key.channel >= n_channels {
+                    continue;
+                }
+                let bw: f64 = allocs
+                    .iter()
+                    .map(|a| a.vms * sla.virtual_clusters[a.cluster].vm_bandwidth_bytes_per_sec)
+                    .sum();
+                r.channel_reserved[key.channel] += bw;
+            }
+            r.reserved_total = r.channel_reserved.iter().sum();
+
+            // Redirection bookkeeping for the interval.
+            let row = &placement.assignment[i];
+            let total: f64 = row.iter().sum();
+            r.serve_share = if total > 0.0 {
+                row.iter().map(|x| x / total).collect()
+            } else {
+                let mut s = vec![0.0; n];
+                s[i] = 1.0;
+                s
+            };
+            r.redirect_fraction = placement.redirect_fraction(i);
+            let exported: f64 = total - row[i];
+            r.blended_egress_per_gb = if exported > 0.0 {
+                row.iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(j, x)| x * fc.sites[j].egress_price_per_gb)
+                    .sum::<f64>()
+                    / exported
+            } else {
+                0.0
+            };
+
+            let mut per_channel_peers = vec![0usize; n_channels];
+            for p in &r.peers {
+                per_channel_peers[p.channel] += 1;
+            }
+            r.metrics.intervals.push(interval_record(
+                clock,
+                plan,
+                r.current_placement.as_ref(),
+                &sla,
+                n_channels,
+                per_channel_peers,
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl RegionRuntime {
+    /// One allocation round for this region: ingest arrivals, run the
+    /// engine's allocation stage, advance downloads, handle the round's
+    /// events, tick the site's cloud, and meter redirected traffic.
+    fn step_round(
+        &mut self,
+        _t0: f64,
+        t1: f64,
+        step: f64,
+        site_online: &[f64],
+    ) -> Result<(), SimError> {
+        let chunk_bytes = self.chunk_bytes;
+        // --- Arrivals ------------------------------------------------
+        while self.next_arrival < self.arrivals.len() && self.arrivals[self.next_arrival].time < t1
+        {
+            let a = &self.arrivals[self.next_arrival];
+            self.peers.push(Peer::new(
+                a.user_id,
+                a.channel,
+                a.upload_bytes_per_sec,
+                a.start_chunk,
+                chunk_bytes,
+                a.time,
+            ));
+            self.engine.on_join(&self.peers, self.peers.len() - 1);
+            self.tracker.record_join(a.channel, a.start_chunk);
+            self.next_arrival += 1;
+        }
+
+        // --- Allocation stage ---------------------------------------
+        // The region's capacity comes online as fast as the sites
+        // actually serving it boot their fleets.
+        let online_scale = if self.reserved_total > 0.0 {
+            self.serve_share
+                .iter()
+                .zip(site_online)
+                .map(|(s, u)| s * u)
+                .sum::<f64>()
+                .min(1.0)
+        } else {
+            0.0
+        };
+        let ctx = RoundCtx {
+            step,
+            vm_bandwidth: self.vm_bandwidth,
+            eff: self.cfg.peer_efficiency,
+            p2p: self.cfg.mode == SimMode::P2p,
+            online_scale,
+            channel_reserved: &self.channel_reserved,
+        };
+        let used_cloud_rate = self.engine.allocate(&self.peers, &ctx);
+
+        // --- Progress + events (identical ordering to the run loop) --
+        self.completed.clear();
+        self.woken.clear();
+        self.engine.advance_round(
+            &mut self.peers,
+            &ctx,
+            t1,
+            &mut self.completed,
+            &mut self.woken,
+        );
+        process_round_events(
+            self.engine.as_mut(),
+            &mut self.peers,
+            &self.completed,
+            &self.woken,
+            &mut self.removals,
+            &mut self.tracker,
+            &mut self.rng,
+            &self.cfg.catalog,
+            chunk_bytes,
+            self.cfg.chunk_seconds,
+            t1,
+            &mut self.window_startup_sum,
+            &mut self.window_startup_count,
+        );
+
+        // --- Cloud lifecycle + billing -------------------------------
+        self.cloud.tick(t1)?;
+
+        // --- Usage + redirection metering ----------------------------
+        let used_bytes = used_cloud_rate * step;
+        self.window_used += used_bytes;
+        self.cloud_bytes += used_bytes;
+        let redirected = used_bytes * self.redirect_fraction;
+        if redirected > 0.0 {
+            self.redirected_bytes += redirected;
+            self.transfer_cost += redirected * self.blended_egress_per_gb / 1e9;
+            self.latency_penalty_cost += redirected * self.penalty_per_gb / 1e9;
+        }
+        Ok(())
+    }
+
+    /// Closes the current sampling window at `t1`.
+    fn flush_sample(&mut self, t1: f64) {
+        let elapsed = (t1 - self.window_start).max(1e-9);
+        let startup = if self.window_startup_count > 0 {
+            self.window_startup_sum / self.window_startup_count as f64
+        } else {
+            0.0
+        };
+        self.metrics.samples.push(sample(
+            t1,
+            self.cloud.running_bandwidth(),
+            self.window_used / elapsed,
+            startup,
+            &self.peers,
+            self.cfg.catalog.len(),
+            &self.cfg,
+        ));
+        self.window_used = 0.0;
+        self.window_startup_sum = 0.0;
+        self.window_startup_count = 0;
+        self.window_start = t1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudmedia_workload::catalog::Catalog;
+    use cloudmedia_workload::viewing::ViewingModel;
+
+    /// A small, fast three-region configuration.
+    fn small(kind: DeploymentKind, hours: f64) -> FederatedConfig {
+        let mut fc = FederatedConfig::paper_default(kind, SimMode::ClientServer, hours);
+        fc.base.catalog =
+            Catalog::zipf(3, 0.8, ViewingModel::paper_default(), 120.0, 300.0).unwrap();
+        fc
+    }
+
+    #[test]
+    fn apportion_conserves_and_follows_shares() {
+        assert_eq!(apportion(10, &[1.0, 0.0, 0.0]), vec![10, 0, 0]);
+        assert_eq!(apportion(10, &[0.5, 0.5]), vec![5, 5]);
+        let split = apportion(7, &[0.6, 0.3, 0.1]);
+        assert_eq!(split.iter().sum::<usize>(), 7);
+        assert!(split[0] >= split[1] && split[1] >= split[2], "{split:?}");
+        assert_eq!(apportion(3, &[0.0, 0.0]), vec![3, 0], "degenerate shares");
+        assert_eq!(apportion(0, &[0.4, 0.6]), vec![0, 0]);
+    }
+
+    #[test]
+    fn independent_run_produces_sane_per_region_metrics() {
+        let m = FederatedSimulator::new(small(DeploymentKind::Independent, 4.0))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(m.per_region.len(), 3);
+        assert_eq!(m.redirected_share(), 0.0, "no redirection when disabled");
+        assert_eq!(m.total_transfer_cost, 0.0);
+        assert!(m.total_vm_cost > 0.0);
+        assert!(m.mean_quality() > 0.9, "quality {}", m.mean_quality());
+        for r in &m.per_region {
+            assert_eq!(r.metrics.intervals.len(), 4, "one record per hour");
+            assert!(!r.metrics.samples.is_empty());
+        }
+    }
+
+    #[test]
+    fn central_runs_one_region_with_the_mixture() {
+        let m = FederatedSimulator::new(small(DeploymentKind::Central, 4.0))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(m.per_region.len(), 1);
+        assert_eq!(m.redirected_share(), 0.0);
+        assert!(m.total_vm_cost > 0.0);
+    }
+
+    #[test]
+    fn federated_runs_are_deterministic() {
+        let a = FederatedSimulator::new(small(DeploymentKind::Federated, 3.0))
+            .unwrap()
+            .run()
+            .unwrap();
+        let b = FederatedSimulator::new(small(DeploymentKind::Federated, 3.0))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(a.total_cost(), b.total_cost());
+        assert_eq!(a.redirected_share(), b.redirected_share());
+        for (x, y) in a.per_region.iter().zip(&b.per_region) {
+            assert_eq!(x.metrics, y.metrics);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut fc = small(DeploymentKind::Federated, 2.0);
+        fc.sites.pop();
+        assert!(FederatedSimulator::new(fc).is_err(), "site count mismatch");
+
+        let mut fc = small(DeploymentKind::Federated, 2.0);
+        fc.base.kernel = SimKernel::EventDriven;
+        assert!(FederatedSimulator::new(fc).is_err(), "event-driven kernel");
+
+        let mut fc = small(DeploymentKind::Federated, 2.0);
+        fc.regions[0].population_share = 0.05;
+        assert!(FederatedSimulator::new(fc).is_err(), "shares must sum to 1");
+    }
+
+    #[test]
+    fn scan_and_indexed_federations_agree() {
+        let mut a_cfg = small(DeploymentKind::Federated, 3.0);
+        a_cfg.base.kernel = SimKernel::Indexed;
+        let mut b_cfg = small(DeploymentKind::Federated, 3.0);
+        b_cfg.base.kernel = SimKernel::Scan;
+        let a = FederatedSimulator::new(a_cfg).unwrap().run().unwrap();
+        let b = FederatedSimulator::new(b_cfg).unwrap().run().unwrap();
+        for (x, y) in a.per_region.iter().zip(&b.per_region) {
+            assert_eq!(x.metrics, y.metrics, "engines diverged");
+        }
+        assert_eq!(a.total_cost(), b.total_cost());
+    }
+}

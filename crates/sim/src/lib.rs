@@ -14,6 +14,8 @@
 //!   bandwidth allocation,
 //! - [`tracker`]: per-interval measurement of `Λ(c)`, `α`, `P(c)`,
 //! - [`simulator`]: the main loop,
+//! - [`federation`]: the multi-region simulator (per-region engines in
+//!   lockstep, coupled by the global placement optimizer),
 //! - [`metrics`]: recorded time series (quality, reserved/used bandwidth,
 //!   cost, per-channel breakdowns).
 //!
@@ -36,6 +38,7 @@ pub mod allocation;
 pub mod config;
 mod error;
 pub mod event_driven;
+pub mod federation;
 pub mod metrics;
 pub mod peer;
 pub mod simulator;
@@ -43,6 +46,9 @@ pub mod tracker;
 
 pub use config::{SimConfig, SimKernel, SimMode};
 pub use error::SimError;
-pub use event_driven::{DesReport, DesRun, DesScenario, FlashCrowdSpec, VmFailureSpec};
+pub use event_driven::{
+    DesReport, DesRun, DesScenario, FlashCrowdSpec, RemoteOverflowSpec, VmFailureSpec,
+};
+pub use federation::{DeploymentKind, FederatedConfig, FederatedMetrics, FederatedSimulator};
 pub use metrics::Metrics;
 pub use simulator::Simulator;

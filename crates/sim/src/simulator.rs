@@ -181,27 +181,29 @@ impl Simulator {
     }
 }
 
-/// Read-only per-round inputs handed to the engines.
+/// Read-only per-round inputs handed to the engines. Shared with the
+/// federated simulator (`crate::federation`), which drives one engine per
+/// region through the same interface.
 #[derive(Debug, Clone, Copy)]
-struct RoundCtx<'a> {
+pub(crate) struct RoundCtx<'a> {
     /// Round duration, seconds.
-    step: f64,
+    pub(crate) step: f64,
     /// Per-connection rate cap (one VM's bandwidth), bytes/s.
-    vm_bandwidth: f64,
+    pub(crate) vm_bandwidth: f64,
     /// Usable fraction of peer upload capacity.
-    eff: f64,
+    pub(crate) eff: f64,
     /// True in P2P mode.
-    p2p: bool,
+    pub(crate) p2p: bool,
     /// `min(1, online/reserved)` scaling of per-channel reservations.
-    online_scale: f64,
+    pub(crate) online_scale: f64,
     /// Cloud bandwidth reserved per channel by the current plan, bytes/s.
-    channel_reserved: &'a [f64],
+    pub(crate) channel_reserved: &'a [f64],
 }
 
 /// A per-round allocation engine: told about peer lifecycle events, asked
 /// once per round to run the allocation stage and to name the peers that
 /// can act this round.
-trait RoundEngine {
+pub(crate) trait RoundEngine {
     /// A peer was appended at global index `idx` (always in the
     /// `Downloading` state).
     fn on_join(&mut self, peers: &[Peer], idx: usize);
@@ -271,7 +273,7 @@ trait RoundEngine {
 /// state, and allocates fresh vectors for the cloud stage — exactly the
 /// allocation profile the indexed engine was built to eliminate.
 #[derive(Debug)]
-struct ScanEngine {
+pub(crate) struct ScanEngine {
     n_channels: usize,
     max_chunks: usize,
     requested: Vec<f64>,
@@ -281,7 +283,7 @@ struct ScanEngine {
 }
 
 impl ScanEngine {
-    fn new(n_channels: usize, max_chunks: usize) -> Self {
+    pub(crate) fn new(n_channels: usize, max_chunks: usize) -> Self {
         let slots = n_channels * max_chunks;
         Self {
             n_channels,
@@ -805,7 +807,7 @@ impl WakeWheel {
 /// Production engine; see the module docs for the design and the
 /// bit-exactness argument.
 #[derive(Debug)]
-struct IndexedEngine {
+pub(crate) struct IndexedEngine {
     lanes: Vec<ChannelLane>,
     max_chunks: usize,
     /// Usable-upload factor (`peer_efficiency`), applied once at join.
@@ -820,7 +822,7 @@ struct IndexedEngine {
 }
 
 impl IndexedEngine {
-    fn new(n_channels: usize, max_chunks: usize, eff: f64, round_seconds: f64) -> Self {
+    pub(crate) fn new(n_channels: usize, max_chunks: usize, eff: f64, round_seconds: f64) -> Self {
         Self {
             lanes: (0..n_channels)
                 .map(|c| ChannelLane::new(c, max_chunks))
@@ -1236,103 +1238,22 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<Metrics, 
                 n_completed += completed.len() as u64;
                 n_woken += woken.len() as u64;
             }
-            let (mut ci, mut wi) = (0usize, 0usize);
-            while ci < completed.len() || wi < woken.len() {
-                let is_completion = match (completed.get(ci), woken.get(wi)) {
-                    (Some(&c), Some(&w)) => c < w,
-                    (Some(_), None) => true,
-                    (None, _) => false,
-                };
-                if is_completion {
-                    let idx = completed[ci];
-                    ci += 1;
-                    let p = &mut peers[idx];
-                    let PeerState::Downloading {
-                        chunk, deadline, ..
-                    } = p.state
-                    else {
-                        unreachable!("completion events come from downloading peers");
-                    };
-                    // Chunk complete at (approximately) t1.
-                    debug_assert!(!p.owns(chunk), "a chunk downloads at most once");
-                    p.add_to_buffer(chunk);
-                    engine.on_buffer(p.channel, idx, chunk);
-                    if deadline.is_finite() {
-                        if t1 > deadline {
-                            p.record_stall(t1, t1 - deadline);
-                        }
-                    } else {
-                        // First chunk: playback starts now.
-                        window_startup_sum += t1 - p.joined_at;
-                        window_startup_count += 1;
-                    }
-                    // The chunk plays from its deadline (or from now,
-                    // after a stall or for the first chunk).
-                    let play_start = if deadline.is_finite() {
-                        deadline.max(t1)
-                    } else {
-                        t1
-                    };
-                    advance_playback(
-                        p,
-                        idx,
-                        chunk,
-                        play_start + cfg.chunk_seconds,
-                        chunk_bytes,
-                        cfg.chunk_seconds,
-                        t1,
-                        catalog,
-                        &mut tracker,
-                        &mut rng,
-                        &mut removals,
-                    );
-                    // The playback walk either began the next download,
-                    // gated it (or a departure drain) behind a wake-up,
-                    // or scheduled an immediate departure.
-                    match p.state {
-                        PeerState::Waiting { wake_at, .. } => {
-                            engine.on_download_stopped(p.channel, idx, p.id, wake_at);
-                        }
-                        PeerState::Downloading {
-                            chunk,
-                            bytes_left,
-                            deadline,
-                        } => {
-                            engine.sync_download(p.channel, idx, chunk, bytes_left, deadline);
-                        }
-                    }
-                } else {
-                    let idx = woken[wi];
-                    wi += 1;
-                    let p = &mut peers[idx];
-                    let PeerState::Waiting { next, wake_at } = p.state else {
-                        unreachable!("wake events come from waiting peers");
-                    };
-                    debug_assert!(wake_at <= t1);
-                    match next {
-                        Some(pending) => {
-                            p.start_chunk(pending.chunk, chunk_bytes, pending.deadline);
-                            engine.on_download_started(
-                                p.channel,
-                                idx,
-                                pending.chunk,
-                                chunk_bytes,
-                                pending.deadline,
-                            );
-                        }
-                        None => removals.push(idx),
-                    }
-                }
-            }
+            process_round_events(
+                engine,
+                &mut peers,
+                &completed,
+                &woken,
+                &mut removals,
+                &mut tracker,
+                &mut rng,
+                catalog,
+                chunk_bytes,
+                cfg.chunk_seconds,
+                t1,
+                &mut window_startup_sum,
+                &mut window_startup_count,
+            );
         });
-        // Remove departed peers, highest index first so earlier indices
-        // stay valid across `swap_remove`.
-        removals.sort_unstable();
-        for &idx in removals.iter().rev() {
-            engine.on_remove(&peers, idx);
-            peers.swap_remove(idx);
-        }
-        removals.clear();
 
         // --- Advance the cloud (billing + VM lifecycle) --------------
         timed!(t_cloud, cloud.tick(t1)?);
@@ -1395,7 +1316,7 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<Metrics, 
 /// either starts (or gates) the next download or schedules departure.
 /// `play_end` is the playback end time of the just-finished chunk.
 #[allow(clippy::too_many_arguments)]
-fn advance_playback(
+pub(crate) fn advance_playback(
     p: &mut Peer,
     idx: usize,
     chunk: usize,
@@ -1452,6 +1373,128 @@ fn advance_playback(
             }
         }
     }
+}
+
+/// Handles one round's events — chunk completions and due wake-ups,
+/// merged in ascending peer order (the order the original full scan
+/// encountered them, so RNG draws, tracker records, and removals are
+/// identical) — then removes departed peers, highest index first so
+/// earlier indices stay valid across `swap_remove`. Shared verbatim by
+/// the single-site run loop and the federated per-region runtime
+/// (`crate::federation`), so event ordering can never diverge between
+/// them.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn process_round_events<E: RoundEngine + ?Sized>(
+    engine: &mut E,
+    peers: &mut Vec<Peer>,
+    completed: &[usize],
+    woken: &[usize],
+    removals: &mut Vec<usize>,
+    tracker: &mut Tracker,
+    rng: &mut StdRng,
+    catalog: &Catalog,
+    chunk_bytes: f64,
+    chunk_seconds: f64,
+    t1: f64,
+    window_startup_sum: &mut f64,
+    window_startup_count: &mut usize,
+) {
+    let (mut ci, mut wi) = (0usize, 0usize);
+    while ci < completed.len() || wi < woken.len() {
+        let is_completion = match (completed.get(ci), woken.get(wi)) {
+            (Some(&c), Some(&w)) => c < w,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if is_completion {
+            let idx = completed[ci];
+            ci += 1;
+            let p = &mut peers[idx];
+            let PeerState::Downloading {
+                chunk, deadline, ..
+            } = p.state
+            else {
+                unreachable!("completion events come from downloading peers");
+            };
+            // Chunk complete at (approximately) t1.
+            debug_assert!(!p.owns(chunk), "a chunk downloads at most once");
+            p.add_to_buffer(chunk);
+            engine.on_buffer(p.channel, idx, chunk);
+            if deadline.is_finite() {
+                if t1 > deadline {
+                    p.record_stall(t1, t1 - deadline);
+                }
+            } else {
+                // First chunk: playback starts now.
+                *window_startup_sum += t1 - p.joined_at;
+                *window_startup_count += 1;
+            }
+            // The chunk plays from its deadline (or from now, after a
+            // stall or for the first chunk).
+            let play_start = if deadline.is_finite() {
+                deadline.max(t1)
+            } else {
+                t1
+            };
+            advance_playback(
+                p,
+                idx,
+                chunk,
+                play_start + chunk_seconds,
+                chunk_bytes,
+                chunk_seconds,
+                t1,
+                catalog,
+                tracker,
+                rng,
+                removals,
+            );
+            // The playback walk either began the next download, gated it
+            // (or a departure drain) behind a wake-up, or scheduled an
+            // immediate departure.
+            match p.state {
+                PeerState::Waiting { wake_at, .. } => {
+                    engine.on_download_stopped(p.channel, idx, p.id, wake_at);
+                }
+                PeerState::Downloading {
+                    chunk,
+                    bytes_left,
+                    deadline,
+                } => {
+                    engine.sync_download(p.channel, idx, chunk, bytes_left, deadline);
+                }
+            }
+        } else {
+            let idx = woken[wi];
+            wi += 1;
+            let p = &mut peers[idx];
+            let PeerState::Waiting { next, wake_at } = p.state else {
+                unreachable!("wake events come from waiting peers");
+            };
+            debug_assert!(wake_at <= t1);
+            match next {
+                Some(pending) => {
+                    p.start_chunk(pending.chunk, chunk_bytes, pending.deadline);
+                    engine.on_download_started(
+                        p.channel,
+                        idx,
+                        pending.chunk,
+                        chunk_bytes,
+                        pending.deadline,
+                    );
+                }
+                None => removals.push(idx),
+            }
+        }
+    }
+    // Remove departed peers, highest index first so earlier indices stay
+    // valid across `swap_remove`.
+    removals.sort_unstable();
+    for &idx in removals.iter().rev() {
+        engine.on_remove(peers, idx);
+        peers.swap_remove(idx);
+    }
+    removals.clear();
 }
 
 /// Bootstrap observations for the very first interval: the provider's
@@ -1579,7 +1622,7 @@ pub(crate) fn interval_record(
     }
 }
 
-fn sample(
+pub(crate) fn sample(
     time: f64,
     reserved: f64,
     used: f64,

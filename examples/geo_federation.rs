@@ -1,0 +1,71 @@
+//! Federated multi-region provisioning walkthrough.
+//!
+//! Runs the three-site deployment (americas / europe / apac, offset time
+//! zones, regional VM prices) three ways over the same 48 hours —
+//! independent sites, the federated deployment with overflow/price
+//! redirection, and one centralized multiplexed site — and prints where
+//! the global placement optimizer moved traffic and what it saved.
+//!
+//! Run with: `cargo run --release --example geo_federation`
+
+use cloudmedia_sim::config::SimMode;
+use cloudmedia_sim::federation::{DeploymentKind, FederatedConfig, FederatedSimulator};
+
+fn main() {
+    let hours = 48.0;
+    let mode = SimMode::ClientServer;
+    let deploy = |kind: DeploymentKind| {
+        FederatedSimulator::new(FederatedConfig::paper_default(kind, mode, hours))
+            .expect("paper federation config is valid")
+            .run()
+            .expect("deployment run succeeds")
+    };
+
+    println!("three-site deployment, {hours:.0} h, {mode:?} mode\n");
+
+    let independent = deploy(DeploymentKind::Independent);
+    let federated = deploy(DeploymentKind::Federated);
+    let central = deploy(DeploymentKind::Central);
+
+    // Where the federation moved traffic: each region's site prices VMs
+    // at its own market (americas 1.00x, europe 1.15x, apac 1.30x), so
+    // the optimizer redirects premium-market demand into the reference
+    // region whenever VM savings beat egress + SLA latency penalty.
+    println!("federated deployment, per region:");
+    for r in &federated.per_region {
+        println!(
+            "  {:<9} {:.2}x prices: VM bill ${:>8.2}, {:>5.1}% of its cloud traffic \
+             served remotely (egress ${:.2}, SLA penalty ${:.2})",
+            r.region.name,
+            r.site.vm_price_factor,
+            r.metrics.total_vm_cost,
+            r.redirected_share() * 100.0,
+            r.transfer_cost,
+            r.latency_penalty_cost,
+        );
+    }
+
+    // The cost sandwich: central <= federated <= independent.
+    println!("\ntotal cost (VM + storage + transfer + latency penalty):");
+    for (name, m) in [
+        ("independent", &independent),
+        ("federated", &federated),
+        ("central", &central),
+    ] {
+        println!(
+            "  {name:<12} ${:>8.2}   quality {:.4}   redirected {:>5.1}%",
+            m.total_cost(),
+            m.mean_quality(),
+            m.redirected_share() * 100.0,
+        );
+    }
+    println!(
+        "\nfederated saves {:.1}% vs independent; the centralized bound is {:.1}% \
+         (but serves ~60% of viewers from a remote region — the latency cost the \
+         dollar metric does not see)",
+        (1.0 - federated.total_cost() / independent.total_cost()) * 100.0,
+        (1.0 - central.total_cost() / independent.total_cost()) * 100.0,
+    );
+    assert!(federated.total_cost() <= independent.total_cost() * 1.001);
+    assert!(federated.total_cost() >= central.total_cost() * 0.999);
+}

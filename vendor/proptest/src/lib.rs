@@ -259,7 +259,7 @@ impl<T: Clone> Strategy for Just<T> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: a fixed size or a size range.
+    /// Length specification for [`vec()`]: a fixed size or a size range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,
