@@ -1,0 +1,118 @@
+//! Criterion benchmarks of the DES kernel's event schedulers: the
+//! reference binary heap vs the hierarchical timing wheel, on the
+//! operation mixes a discrete-event simulation actually issues.
+//!
+//! - `hold`: the classic hold model — pop the earliest event, schedule a
+//!   replacement a random delay ahead — at a steady pending-set size.
+//!   This is the regime where the heap pays `O(log n)` sifts per
+//!   operation and the wheel stays O(1).
+//! - `schedule_cancel`: timer churn — schedule a timeout, cancel it
+//!   before it fires — the cancellable-timer pattern the admission
+//!   component uses. The heap's lazy tombstones double its hash-set
+//!   traffic; the wheel unlinks in O(1).
+//! - `fifo_burst`: many events on one instant (synchronized component
+//!   fan-out), stressing the FIFO tie-breaking path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cloudmedia_des::{ComponentId, Kernel, SchedulerKind};
+
+const DEST: ComponentId = ComponentId(0);
+
+/// Deterministic delay sequence (no external RNG in benches).
+fn delays(n: usize) -> Vec<f64> {
+    let mut state = 0x1234_5678_9ABC_DEF0_u64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Delays in [0.125, 128.125) seconds — the spread of chunk
+            // service times and provisioning timers.
+            (state >> 40) as f64 * (128.0 / (1u64 << 24) as f64) + 0.125
+        })
+        .collect()
+}
+
+/// Builds a kernel pre-loaded with `pending` events.
+fn preloaded(kind: SchedulerKind, pending: usize, delays: &[f64]) -> Kernel<u64> {
+    let mut k = Kernel::with_scheduler(kind);
+    for (i, d) in delays.iter().cycle().take(pending).enumerate() {
+        k.schedule_in(*d, DEST, i as u64);
+    }
+    k
+}
+
+fn bench_hold(c: &mut Criterion) {
+    let ds = delays(4096);
+    for pending in [1usize << 10, 1 << 16] {
+        let mut group = c.benchmark_group(format!("des_hold_{pending}"));
+        for (name, kind) in [
+            ("heap", SchedulerKind::BinaryHeap),
+            ("wheel", SchedulerKind::TimingWheel),
+        ] {
+            let mut kernel = preloaded(kind, pending, &ds);
+            let mut i = 0usize;
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    let ev = kernel.pop().expect("hold model never drains");
+                    i = (i + 1) % ds.len();
+                    kernel.schedule_in(black_box(ds[i]), DEST, ev.payload);
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_schedule_cancel(c: &mut Criterion) {
+    let ds = delays(4096);
+    let pending = 1usize << 14;
+    let mut group = c.benchmark_group("des_schedule_cancel");
+    for (name, kind) in [
+        ("heap", SchedulerKind::BinaryHeap),
+        ("wheel", SchedulerKind::TimingWheel),
+    ] {
+        let mut kernel = preloaded(kind, pending, &ds);
+        let mut i = 0usize;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                // A timer that never fires: schedule far out, cancel.
+                i = (i + 1) % ds.len();
+                let id = kernel.schedule_in(black_box(1e4 + ds[i]), DEST, 7);
+                assert!(kernel.cancel(black_box(id)));
+                // Keep the clock moving like a real run.
+                let ev = kernel.pop().expect("base load never drains");
+                kernel.schedule_in(ds[i], DEST, ev.payload);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fifo_burst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_fifo_burst");
+    for (name, kind) in [
+        ("heap", SchedulerKind::BinaryHeap),
+        ("wheel", SchedulerKind::TimingWheel),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut kernel: Kernel<u64> = Kernel::with_scheduler(kind);
+                for i in 0..256u64 {
+                    kernel.schedule_at(black_box(5.0), DEST, i);
+                }
+                let mut last = 0;
+                while let Some(ev) = kernel.pop() {
+                    last = ev.payload;
+                }
+                black_box(last)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hold, bench_schedule_cancel, bench_fifo_burst);
+criterion_main!(benches);

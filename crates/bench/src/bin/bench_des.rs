@@ -6,6 +6,12 @@
 //! DES engine's speed are tracked from PR to PR. Every row names the
 //! kernel that produced it.
 //!
+//! Also emits an `engine_throughput` section: raw DES scheduler
+//! throughput (schedule/cancel/pop ns per op, binary heap vs timing
+//! wheel, on the hold and timer-churn operation mixes) plus full
+//! event-driven engine runs per scheduler (events/sec, ns/event) — the
+//! record of the timing wheel's edge over the heap.
+//!
 //! Usage: `bench_des [--hours N] [--out PATH]`
 //!   - `--hours` simulated horizon per run (default 24; use 168 for the
 //!     paper's full week — the tolerance the regression suite documents
@@ -15,7 +21,9 @@
 
 use std::time::Instant;
 
-use cloudmedia_sim::config::{SimConfig, SimKernel, SimMode};
+use cloudmedia_bench::geo_sim::append_section;
+use cloudmedia_des::{ComponentId, Kernel, SchedulerKind};
+use cloudmedia_sim::config::{SchedulerChoice, SimConfig, SimKernel, SimMode};
 use cloudmedia_sim::event_driven::{run as des_run, DesScenario, LatencySummary};
 use cloudmedia_sim::simulator::Simulator;
 use serde::Serialize;
@@ -132,6 +140,51 @@ fn main() {
         modes.push(row);
     }
 
+    // --- engine_throughput: scheduler micro-ops + engine runs ---------
+    let kernel_ops = kernel_ops();
+    let hold_speedup = speedup(&kernel_ops, "hold_262144");
+    let cancel_speedup = speedup(&kernel_ops, "schedule_cancel_16384");
+    let mut engine_runs = Vec::new();
+    for mode in [SimMode::ClientServer, SimMode::P2p] {
+        for scheduler in [SchedulerChoice::Heap, SchedulerChoice::Wheel] {
+            let mut cfg = SimConfig::paper_default(mode);
+            cfg.trace.horizon_seconds = hours * 3600.0;
+            cfg.scheduler = scheduler;
+            let start = Instant::now();
+            let run = des_run(&cfg, &DesScenario::default()).expect("engine run succeeds");
+            let wall = start.elapsed().as_secs_f64();
+            let events = run.report.events_delivered;
+            eprintln!(
+                "{mode:?}/{scheduler:?} engine: {wall:.3}s for {events} events \
+                 ({:.2}M events/s)",
+                events as f64 / wall / 1e6
+            );
+            engine_runs.push(EngineRun {
+                mode: format!("{mode:?}"),
+                scheduler: format!("{scheduler:?}"),
+                sim_hours: hours,
+                wall_seconds: wall,
+                events_delivered: events,
+                events_per_sec: events as f64 / wall,
+                ns_per_event: wall * 1e9 / events as f64,
+            });
+        }
+    }
+    let throughput = EngineThroughput {
+        schema: "cloudmedia-bench-des-throughput/v1".into(),
+        notes: vec![
+            "kernel_ops are raw scheduler operations (no component handlers): the \
+             hold model (pop + schedule at a steady pending-set size) and the \
+             cancellable-timer churn mix. engine_runs are full event-driven \
+             CloudMedia runs, so handler work dilutes the scheduler gap."
+                .into(),
+        ],
+        kernel_ops,
+        wheel_speedup_hold: hold_speedup,
+        wheel_speedup_cancel: cancel_speedup,
+        engine_runs,
+    };
+
     let comparison = DesComparison {
         schema: "cloudmedia-bench-des/v1".into(),
         notes: vec![
@@ -146,31 +199,126 @@ fn main() {
         modes,
     };
     let section = serde_json::to_string_pretty(&comparison).expect("comparison serializes");
+    append_section(&out_path, "des_comparison", &section).expect("write benchmark file");
+    let section = serde_json::to_string_pretty(&throughput).expect("throughput serializes");
+    append_section(&out_path, "engine_throughput", &section).expect("write benchmark file");
+    println!(
+        "appended des_comparison + engine_throughput to {out_path} \
+         (wheel vs heap: {hold_speedup:.2}x hold, {cancel_speedup:.2}x cancel)"
+    );
+}
 
-    // Append (or refresh) the section inside BENCH_sim.json. The section
-    // is always the last key before the closing brace, so replacing from
-    // its marker is lossless for the rest of the report.
-    const MARKER: &str = "\"des_comparison\":";
-    let base = match std::fs::read_to_string(&out_path) {
-        Ok(text) => {
-            let text = text.trim_end();
-            if let Some(i) = text.find(MARKER) {
-                text[..i]
-                    .trim_end()
-                    .trim_end_matches(',')
-                    .trim_end()
-                    .to_string()
-            } else {
-                text.strip_suffix('}')
-                    .map(|s| s.trim_end().to_string())
-                    .unwrap_or_else(|| "{\n  \"schema\": \"cloudmedia-bench-sim/v1\"".into())
-            }
-        }
-        Err(_) => "{\n  \"schema\": \"cloudmedia-bench-sim/v1\"".into(),
+/// One raw scheduler measurement.
+#[derive(Debug, Serialize)]
+struct KernelOp {
+    pattern: String,
+    scheduler: String,
+    ns_per_op: f64,
+    ops_per_sec: f64,
+}
+
+/// One full engine run under a named scheduler.
+#[derive(Debug, Serialize)]
+struct EngineRun {
+    mode: String,
+    scheduler: String,
+    sim_hours: f64,
+    wall_seconds: f64,
+    events_delivered: u64,
+    events_per_sec: f64,
+    ns_per_event: f64,
+}
+
+/// The `engine_throughput` section.
+#[derive(Debug, Serialize)]
+struct EngineThroughput {
+    schema: String,
+    notes: Vec<String>,
+    kernel_ops: Vec<KernelOp>,
+    wheel_speedup_hold: f64,
+    wheel_speedup_cancel: f64,
+    engine_runs: Vec<EngineRun>,
+}
+
+/// Heap-vs-wheel ratio for one pattern (heap ns / wheel ns).
+fn speedup(ops: &[KernelOp], pattern: &str) -> f64 {
+    let ns = |s: &str| {
+        ops.iter()
+            .find(|o| o.pattern == pattern && o.scheduler == s)
+            .map(|o| o.ns_per_op)
+            .unwrap_or(f64::NAN)
     };
-    let merged = format!("{base},\n  {MARKER} {section}\n}}");
-    std::fs::write(&out_path, &merged).expect("write benchmark file");
-    println!("appended des_comparison to {out_path}");
+    ns("BinaryHeap") / ns("TimingWheel")
+}
+
+/// Deterministic delay sequence shared by the operation mixes.
+fn op_delays(n: usize) -> Vec<f64> {
+    let mut state = 0x1234_5678_9ABC_DEF0_u64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 40) as f64 * (128.0 / (1u64 << 24) as f64) + 0.125
+        })
+        .collect()
+}
+
+/// Measures the raw schedulers on the hold and timer-churn mixes
+/// (mirrors `benches/des_kernel.rs`, embedded here so the JSON record
+/// regenerates alongside the engine numbers).
+fn kernel_ops() -> Vec<KernelOp> {
+    const DEST: ComponentId = ComponentId(0);
+    let delays = op_delays(4096);
+    let mut out = Vec::new();
+    for (name, kind) in [
+        ("BinaryHeap", SchedulerKind::BinaryHeap),
+        ("TimingWheel", SchedulerKind::TimingWheel),
+    ] {
+        // Hold model at 2^18 (262144) pending events.
+        let pending = 1usize << 18;
+        let mut kernel: Kernel<u64> = Kernel::with_scheduler(kind);
+        for (i, d) in delays.iter().cycle().take(pending).enumerate() {
+            kernel.schedule_in(*d, DEST, i as u64);
+        }
+        let iters = 2_000_000u64;
+        let start = Instant::now();
+        for i in 0..iters {
+            let ev = kernel.pop().expect("hold model never drains");
+            kernel.schedule_in(delays[(i as usize) % delays.len()], DEST, ev.payload);
+        }
+        let ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        out.push(KernelOp {
+            pattern: "hold_262144".into(),
+            scheduler: name.into(),
+            ns_per_op: ns,
+            ops_per_sec: 1e9 / ns,
+        });
+
+        // Timer churn at 2^14 base load.
+        let pending = 1usize << 14;
+        let mut kernel: Kernel<u64> = Kernel::with_scheduler(kind);
+        for (i, d) in delays.iter().cycle().take(pending).enumerate() {
+            kernel.schedule_in(*d, DEST, i as u64);
+        }
+        let iters = 1_000_000u64;
+        let start = Instant::now();
+        for i in 0..iters {
+            let d = delays[(i as usize) % delays.len()];
+            let id = kernel.schedule_in(1e4 + d, DEST, 7);
+            assert!(kernel.cancel(id));
+            let ev = kernel.pop().expect("base load never drains");
+            kernel.schedule_in(d, DEST, ev.payload);
+        }
+        let ns = start.elapsed().as_secs_f64() * 1e9 / iters as f64;
+        out.push(KernelOp {
+            pattern: "schedule_cancel_16384".into(),
+            scheduler: name.into(),
+            ns_per_op: ns,
+            ops_per_sec: 1e9 / ns,
+        });
+    }
+    out
 }
 
 fn usage() -> ! {

@@ -33,7 +33,7 @@ use cloudmedia_core::analysis::{
 use cloudmedia_core::channel::ChannelModel;
 use cloudmedia_core::controller::{Controller, ControllerConfig, StreamingMode};
 use cloudmedia_core::predictor::{ChannelObservation, PredictorKind};
-use cloudmedia_sim::config::{SimConfig, SimMode};
+use cloudmedia_sim::config::{SchedulerChoice, SimConfig, SimKernel, SimMode};
 use cloudmedia_sim::event_driven::{DesScenario, FlashCrowdSpec, VmFailureSpec};
 use cloudmedia_sim::federation::{DeploymentKind, FederatedConfig, FederatedSimulator};
 use cloudmedia_sim::simulator::Simulator;
@@ -63,6 +63,8 @@ pub enum Command {
         mode: SimMode,
         /// Horizon in hours.
         hours: f64,
+        /// Simulation engine override (`--kernel scan|indexed|event-driven`).
+        kernel: Option<SimKernel>,
         /// Optional JSON config file overriding the paper defaults.
         config_path: Option<String>,
         /// Optional path to write the full metrics JSON.
@@ -76,6 +78,8 @@ pub enum Command {
         mode: SimMode,
         /// Horizon in hours.
         hours: f64,
+        /// Event-queue scheduler (`--scheduler heap|wheel`).
+        scheduler: SchedulerChoice,
         /// Optional path to write the full `DesRun` JSON.
         out_path: Option<String>,
     },
@@ -189,9 +193,10 @@ cloudmedia — CloudMedia VoD cloud-provisioning toolkit (ICDCS 2011 reproductio
 USAGE:
   cloudmedia analyze --arrival-rate R [--upload BYTES_PER_S]
   cloudmedia plan --arrival-rates R1,R2,... [--mode cs|p2p] [--budget DOLLARS]
-  cloudmedia simulate [--mode cs|p2p] [--hours H] [--config FILE] [--out FILE]
+  cloudmedia simulate [--mode cs|p2p] [--hours H] [--kernel scan|indexed|event-driven]
+                      [--config FILE] [--out FILE]
   cloudmedia des <baseline|boot-delay|vm-failure|flash-crowd>
-                 [--mode cs|p2p] [--hours H] [--out FILE]
+                 [--mode cs|p2p] [--hours H] [--scheduler heap|wheel] [--out FILE]
   cloudmedia geo <independent|federated|central> [--mode cs|p2p] [--hours H]
   cloudmedia default-config [--mode cs|p2p]
   cloudmedia help
@@ -203,6 +208,32 @@ fn parse_mode(v: &str) -> Result<SimMode, CliError> {
         "p2p" => Ok(SimMode::P2p),
         other => Err(CliError::Usage(format!(
             "unknown mode `{other}` (use cs|p2p)"
+        ))),
+    }
+}
+
+/// Parses a `--kernel` value. An unknown kernel name is a hard usage
+/// error — never a silent fallback to the default engine, which would
+/// quietly benchmark or validate the wrong implementation.
+fn parse_kernel(v: &str) -> Result<SimKernel, CliError> {
+    match v {
+        "scan" => Ok(SimKernel::Scan),
+        "indexed" => Ok(SimKernel::Indexed),
+        "event-driven" | "des" => Ok(SimKernel::EventDriven),
+        other => Err(CliError::Usage(format!(
+            "unknown kernel `{other}` (use scan|indexed|event-driven)"
+        ))),
+    }
+}
+
+/// Parses a `--scheduler` value (the DES event-queue backend). Unknown
+/// names are usage errors, not fallbacks.
+fn parse_scheduler(v: &str) -> Result<SchedulerChoice, CliError> {
+    match v {
+        "heap" => Ok(SchedulerChoice::Heap),
+        "wheel" => Ok(SchedulerChoice::Wheel),
+        other => Err(CliError::Usage(format!(
+            "unknown scheduler `{other}` (use heap|wheel)"
         ))),
     }
 }
@@ -279,12 +310,14 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
         "simulate" => {
             let mut mode = SimMode::P2p;
             let mut hours = 24.0;
+            let mut kernel = None;
             let mut config_path = None;
             let mut out_path = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "--mode" => mode = parse_mode(take_value(&mut it, flag)?)?,
                     "--hours" => hours = parse_f64(take_value(&mut it, flag)?, flag)?,
+                    "--kernel" => kernel = Some(parse_kernel(take_value(&mut it, flag)?)?),
                     "--config" => config_path = Some(take_value(&mut it, flag)?.to_owned()),
                     "--out" => out_path = Some(take_value(&mut it, flag)?.to_owned()),
                     other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
@@ -293,6 +326,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
             Ok(Command::Simulate {
                 mode,
                 hours,
+                kernel,
                 config_path,
                 out_path,
             })
@@ -304,11 +338,13 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                 .and_then(DesScenarioKind::parse)?;
             let mut mode = SimMode::P2p;
             let mut hours = 24.0;
+            let mut scheduler = SchedulerChoice::default();
             let mut out_path = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "--mode" => mode = parse_mode(take_value(&mut it, flag)?)?,
                     "--hours" => hours = parse_f64(take_value(&mut it, flag)?, flag)?,
+                    "--scheduler" => scheduler = parse_scheduler(take_value(&mut it, flag)?)?,
                     "--out" => out_path = Some(take_value(&mut it, flag)?.to_owned()),
                     other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
                 }
@@ -317,6 +353,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                 scenario,
                 mode,
                 hours,
+                scheduler,
                 out_path,
             })
         }
@@ -386,15 +423,23 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
         Command::Simulate {
             mode,
             hours,
+            kernel,
             config_path,
             out_path,
-        } => simulate(mode, hours, config_path.as_deref(), out_path.as_deref()),
+        } => simulate(
+            mode,
+            hours,
+            kernel,
+            config_path.as_deref(),
+            out_path.as_deref(),
+        ),
         Command::Des {
             scenario,
             mode,
             hours,
+            scheduler,
             out_path,
-        } => des(scenario, mode, hours, out_path.as_deref()),
+        } => des(scenario, mode, hours, scheduler, out_path.as_deref()),
         Command::Geo {
             deployment,
             mode,
@@ -513,6 +558,7 @@ fn plan(rates: &[f64], mode: SimMode, budget: f64) -> Result<String, CliError> {
 fn simulate(
     mode: SimMode,
     hours: f64,
+    kernel: Option<SimKernel>,
     config_path: Option<&str>,
     out_path: Option<&str>,
 ) -> Result<String, CliError> {
@@ -527,6 +573,9 @@ fn simulate(
     };
     if config_path.is_none() {
         config.trace.horizon_seconds = hours * 3600.0;
+    }
+    if let Some(kernel) = kernel {
+        config.kernel = kernel;
     }
     let metrics = Simulator::new(config)
         .map_err(|e| CliError::Run(format!("invalid configuration: {e}")))?
@@ -566,10 +615,12 @@ fn des(
     scenario: DesScenarioKind,
     mode: SimMode,
     hours: f64,
+    scheduler: SchedulerChoice,
     out_path: Option<&str>,
 ) -> Result<String, CliError> {
     let mut config = SimConfig::paper_default(mode);
     config.trace.horizon_seconds = hours * 3600.0;
+    config.scheduler = scheduler;
     let spec = scenario.build(config.trace.horizon_seconds);
     let run = cloudmedia_sim::event_driven::run(&config, &spec)
         .map_err(|e| CliError::Run(format!("event-driven run failed: {e}")))?;
@@ -749,10 +800,66 @@ mod tests {
             Command::Simulate {
                 mode: SimMode::P2p,
                 hours: 24.0,
+                kernel: None,
                 config_path: None,
                 out_path: None
             }
         );
+    }
+
+    #[test]
+    fn parse_simulate_kernel_selection() {
+        for (name, kernel) in [
+            ("scan", SimKernel::Scan),
+            ("indexed", SimKernel::Indexed),
+            ("event-driven", SimKernel::EventDriven),
+            ("des", SimKernel::EventDriven),
+        ] {
+            let c = parse(&["simulate", "--kernel", name]).unwrap();
+            assert!(
+                matches!(c, Command::Simulate { kernel: Some(k), .. } if k == kernel),
+                "--kernel {name} parsed wrong"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_kernel_string_is_a_usage_error_not_a_fallback() {
+        // The whole point: a typo must never silently run the default
+        // engine (which would e.g. benchmark the wrong kernel).
+        for bad in ["Indexed", "quantum", "scan2", ""] {
+            let err = parse(&["simulate", "--kernel", bad]).unwrap_err();
+            match err {
+                CliError::Usage(msg) => {
+                    assert!(
+                        msg.contains("unknown kernel") && msg.contains("scan|indexed"),
+                        "unhelpful message for `{bad}`: {msg}"
+                    );
+                }
+                other => panic!("expected usage error for `{bad}`, got {other:?}"),
+            }
+        }
+        // Missing value is also a usage error.
+        assert!(matches!(
+            parse(&["simulate", "--kernel"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_scheduler_string_is_a_usage_error_not_a_fallback() {
+        for bad in ["Wheel", "calendar", "binary-heap", ""] {
+            let err = parse(&["des", "baseline", "--scheduler", bad]).unwrap_err();
+            match err {
+                CliError::Usage(msg) => {
+                    assert!(
+                        msg.contains("unknown scheduler") && msg.contains("heap|wheel"),
+                        "unhelpful message for `{bad}`: {msg}"
+                    );
+                }
+                other => panic!("expected usage error for `{bad}`, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -764,16 +871,28 @@ mod tests {
                 scenario: DesScenarioKind::Baseline,
                 mode: SimMode::P2p,
                 hours: 24.0,
+                scheduler: SchedulerChoice::Wheel,
                 out_path: None
             }
         );
-        let c = parse(&["des", "vm-failure", "--mode", "cs", "--hours", "6"]).unwrap();
+        let c = parse(&[
+            "des",
+            "vm-failure",
+            "--mode",
+            "cs",
+            "--hours",
+            "6",
+            "--scheduler",
+            "heap",
+        ])
+        .unwrap();
         assert_eq!(
             c,
             Command::Des {
                 scenario: DesScenarioKind::VmFailure,
                 mode: SimMode::ClientServer,
                 hours: 6.0,
+                scheduler: SchedulerChoice::Heap,
                 out_path: None
             }
         );
@@ -804,6 +923,7 @@ mod tests {
             scenario: DesScenarioKind::Baseline,
             mode: SimMode::ClientServer,
             hours: 1.0,
+            scheduler: SchedulerChoice::Wheel,
             out_path: None,
         })
         .unwrap();
@@ -937,6 +1057,7 @@ mod tests {
         let out = run(Command::Simulate {
             mode: SimMode::ClientServer,
             hours: 1.0,
+            kernel: None,
             config_path: Some(cfg_path.to_string_lossy().into_owned()),
             out_path: Some(out_path.to_string_lossy().into_owned()),
         })

@@ -70,12 +70,22 @@ impl P2pCapacity {
 /// `E(ν_ij) = Σ_l E(ν_il) P_lj (j ≠ i)` with `E(ν_ii) = E(n_i)`, one
 /// linear system per chunk `i`.
 ///
+/// All `J` per-chunk systems are principal submatrices of the same
+/// `M = I − Pᵀ` (row/column `i` deleted), so instead of `J` independent
+/// `O(J³)` eliminations this factorizes `M` **once**, computes its
+/// inverse columns, and recovers each deleted-row solution with a
+/// Sherman–Morrison rank-one update in `O(J²)` — `O(J³ + J·J²)` total,
+/// roughly `J/3` times fewer flops. The controller runs this for every
+/// channel every provisioning interval, which made it the hottest part
+/// of the P2P provisioning phase. An ill-conditioned update (denominator
+/// collapse, never observed for substochastic routing) falls back to the
+/// direct per-chunk elimination.
+///
 /// Returns the full matrix (row `i`, column `j`).
 ///
 /// # Errors
 ///
 /// Propagates routing validation and solver failures.
-#[allow(clippy::needless_range_loop)] // index math mirrors the paper's equations
 pub fn replica_matrix(
     routing: &[Vec<f64>],
     expected_in_queue: &[f64],
@@ -96,35 +106,112 @@ pub fn replica_matrix(
         result[0][0] = expected_in_queue[0];
         return Ok(result);
     }
-    for i in 0..j_count {
-        // Unknowns: x_j for j != i; index mapping skips i.
-        let n = j_count - 1;
-        let map = |j: usize| if j < i { j } else { j - 1 };
-        let mut a = Matrix::identity(n);
-        let mut b = vec![0.0; n];
-        for j in 0..j_count {
-            if j == i {
+    let n = j_count;
+    // M = I − Pᵀ: M[j][l] = δ_jl − P_lj.
+    let mut m = Matrix::zeros(n, n);
+    for j in 0..n {
+        for (l, row) in routing.iter().enumerate() {
+            m[(j, l)] = f64::from(u8::from(j == l)) - row[j];
+        }
+    }
+    let Ok(lu) = m.lu() else {
+        // M = I − Pᵀ is singular for perfectly recirculating routing
+        // (row sums exactly 1, no departures) — a valid input whose
+        // *deleted* per-chunk systems are still well posed. Solve them
+        // directly, as the original algorithm did.
+        for (i, (out, &occupancy)) in result.iter_mut().zip(expected_in_queue).enumerate() {
+            replica_row_direct(routing, occupancy, i, out)?;
+        }
+        return Ok(result);
+    };
+    // Inverse columns: inv[i·n ..][k] = (M⁻¹ e_i)_k.
+    let mut inv = vec![0.0; n * n];
+    let mut scratch = Vec::with_capacity(n);
+    for i in 0..n {
+        let col = &mut inv[i * n..(i + 1) * n];
+        col[i] = 1.0;
+        lu.solve_into(col, &mut scratch);
+    }
+    let mut z = vec![0.0; n];
+    for (i, (out, &occupancy)) in result.iter_mut().zip(expected_in_queue).enumerate() {
+        // Deleting row/column i of M equals replacing row i by e_iᵀ and
+        // pinning x_i = 0: M' = M + e_i vᵀ with v_l = P_li (column i of
+        // the routing matrix). Solve M' y = c, c_j = P_ij (j ≠ i),
+        // c_i = 0, then scale by E(n_i) — the RHS is linear in it.
+        z.iter_mut().for_each(|x| *x = 0.0);
+        for (j, &c_j) in routing[i].iter().enumerate() {
+            if j == i || c_j == 0.0 {
                 continue;
             }
-            let row = map(j);
-            // x_j - sum_{l != i} P_lj x_l = E(n_i) P_ij
-            for l in 0..j_count {
-                if l == i {
-                    continue;
-                }
-                a[(row, map(l))] -= routing[l][j];
+            let col = &inv[j * n..(j + 1) * n];
+            for (zk, &ck) in z.iter_mut().zip(col) {
+                *zk += c_j * ck;
             }
-            b[row] = expected_in_queue[i] * routing[i][j];
         }
-        let x = a.solve(&b).map_err(CoreError::from)?;
-        result[i][i] = expected_in_queue[i];
-        for j in 0..j_count {
-            if j != i {
-                result[i][j] = x[map(j)].max(0.0);
+        let inv_i = &inv[i * n..(i + 1) * n];
+        let mut v_dot_z = 0.0;
+        let mut v_dot_inv_i = 0.0;
+        for (l, row) in routing.iter().enumerate() {
+            let v_l = row[i];
+            v_dot_z += v_l * z[l];
+            v_dot_inv_i += v_l * inv_i[l];
+        }
+        let denom = 1.0 + v_dot_inv_i;
+        if denom.abs() < 1e-10 {
+            // Rank-one update degenerate: solve this row's deleted
+            // system directly (never hit for valid routing; kept as a
+            // correctness backstop).
+            replica_row_direct(routing, occupancy, i, out)?;
+            continue;
+        }
+        let correction = v_dot_z / denom;
+        for (j, out_j) in out.iter_mut().enumerate() {
+            if j == i {
+                *out_j = occupancy;
+            } else {
+                *out_j = (occupancy * (z[j] - correction * inv_i[j])).max(0.0);
             }
         }
     }
     Ok(result)
+}
+
+/// Direct elimination fallback for one row of [`replica_matrix`]: the
+/// original per-chunk deleted-system solve.
+#[allow(clippy::needless_range_loop)] // index math mirrors the paper's equations
+fn replica_row_direct(
+    routing: &[Vec<f64>],
+    occupancy: f64,
+    i: usize,
+    out: &mut [f64],
+) -> Result<(), CoreError> {
+    let j_count = routing.len();
+    let n = j_count - 1;
+    let map = |j: usize| if j < i { j } else { j - 1 };
+    let mut a = Matrix::identity(n);
+    let mut b = vec![0.0; n];
+    for j in 0..j_count {
+        if j == i {
+            continue;
+        }
+        let row = map(j);
+        // x_j - sum_{l != i} P_lj x_l = E(n_i) P_ij
+        for l in 0..j_count {
+            if l == i {
+                continue;
+            }
+            a[(row, map(l))] -= routing[l][j];
+        }
+        b[row] = occupancy * routing[i][j];
+    }
+    let x = a.solve(&b).map_err(CoreError::from)?;
+    out[i] = occupancy;
+    for j in 0..j_count {
+        if j != i {
+            out[j] = x[map(j)].max(0.0);
+        }
+    }
+    Ok(())
 }
 
 /// Expected total replica count per chunk: `E(ν_i) = Σ_{j≠i} E(ν_ij)`
@@ -448,6 +535,24 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn replica_matrix_handles_singular_recirculating_routing() {
+        // Perfectly recirculating routing (row sums exactly 1, no
+        // departures) makes the full M = I − Pᵀ singular, but every
+        // *deleted* per-chunk system is still well posed; the LU +
+        // Sherman–Morrison fast path must fall back to the direct
+        // per-row elimination instead of erroring.
+        let routing = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let occupancy = vec![3.0, 5.0];
+        let m = replica_matrix(&routing, &occupancy).unwrap();
+        assert_eq!(m[0][0], 3.0);
+        assert_eq!(m[1][1], 5.0);
+        // Row 0's deleted system: x_1 = E(n_0)·P_01 = 3 (no other
+        // chunks feed chunk 1 once chunk 0's queue is pinned).
+        assert!((m[0][1] - 3.0).abs() < 1e-9, "got {}", m[0][1]);
+        assert!((m[1][0] - 5.0).abs() < 1e-9, "got {}", m[1][0]);
     }
 
     #[test]

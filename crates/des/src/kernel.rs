@@ -3,6 +3,8 @@
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
 
+use crate::wheel::TimingWheel;
+
 /// Identifier of a component (an event destination). Scenario engines
 /// assign these; the kernel only routes on them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -12,6 +14,30 @@ pub struct ComponentId(pub usize);
 /// Events are numbered sequentially from 0 in schedule order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(pub u64);
+
+/// Which event-queue scheduler backs a [`Kernel`].
+///
+/// Both schedulers implement the identical delivery contract — strict
+/// `(time, sequence number)` order, FIFO within a timestamp — and are
+/// property-tested to produce bit-identical event sequences for the same
+/// schedule. They differ only in cost model:
+///
+/// - [`SchedulerKind::BinaryHeap`]: `O(log n)` sift work per schedule and
+///   pop, lazy cancellation through a tombstone set. Kept as the simple
+///   reference implementation and benchmark baseline.
+/// - [`SchedulerKind::TimingWheel`] (default): the hierarchical
+///   timing-wheel scheduler (`src/wheel.rs`) — O(1) amortized
+///   schedule/cancel/pop over slab-allocated events with free-list
+///   recycling, the design high-event-rate simulators (ns-3, OMNeT++)
+///   converged on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// Binary-heap priority queue with lazy cancellation.
+    BinaryHeap,
+    /// Hierarchical timing wheel with eager O(1) cancellation.
+    #[default]
+    TimingWheel,
+}
 
 /// A delivered event.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,22 +89,60 @@ impl<E> PartialOrd for Entry<E> {
     }
 }
 
-/// The deterministic event kernel: logical clock + event queue +
-/// cancellation set.
-///
-/// See the crate docs for the determinism contract. The kernel is generic
-/// over the payload type `E`, so one simulation's whole event vocabulary
-/// is a single enum and dispatch is exhaustively type-checked.
+/// The binary-heap backend: the original queue implementation, preserved
+/// verbatim as the reference scheduler.
 #[derive(Debug)]
-pub struct Kernel<E> {
-    clock: f64,
-    queue: BinaryHeap<Entry<E>>,
-    /// Next schedule sequence number (doubles as the event id).
-    next_seq: u64,
+struct HeapQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
     /// Ids currently scheduled and not yet delivered or cancelled.
     pending_ids: HashSet<u64>,
     /// Ids cancelled before delivery; lazily swept from the heap.
     cancelled: HashSet<u64>,
+}
+
+impl<E> HeapQueue<E> {
+    fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            pending_ids: HashSet::new(),
+            cancelled: HashSet::new(),
+        }
+    }
+
+    /// Drops cancelled entries sitting at the top of the heap.
+    fn skip_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// The scheduler backend selected at kernel construction.
+#[derive(Debug)]
+enum Queue<E> {
+    Heap(HeapQueue<E>),
+    Wheel(TimingWheel<E>),
+}
+
+/// The deterministic event kernel: logical clock + event queue +
+/// cancellation.
+///
+/// See the crate docs for the determinism contract. The kernel is generic
+/// over the payload type `E`, so one simulation's whole event vocabulary
+/// is a single enum and dispatch is exhaustively type-checked. The queue
+/// backend is chosen by [`SchedulerKind`] at construction
+/// ([`Kernel::with_scheduler`]); both backends deliver the identical
+/// event sequence for the same schedule.
+#[derive(Debug)]
+pub struct Kernel<E> {
+    clock: f64,
+    queue: Queue<E>,
+    /// Next schedule sequence number (doubles as the event id).
+    next_seq: u64,
     /// Events delivered so far.
     delivered: u64,
 }
@@ -90,15 +154,30 @@ impl<E> Default for Kernel<E> {
 }
 
 impl<E> Kernel<E> {
-    /// Creates an empty kernel with the clock at 0.
+    /// Creates an empty kernel with the clock at 0 and the default
+    /// scheduler ([`SchedulerKind::TimingWheel`]).
     pub fn new() -> Self {
+        Self::with_scheduler(SchedulerKind::default())
+    }
+
+    /// Creates an empty kernel backed by the given scheduler.
+    pub fn with_scheduler(kind: SchedulerKind) -> Self {
         Self {
             clock: 0.0,
-            queue: BinaryHeap::new(),
+            queue: match kind {
+                SchedulerKind::BinaryHeap => Queue::Heap(HeapQueue::new()),
+                SchedulerKind::TimingWheel => Queue::Wheel(TimingWheel::new()),
+            },
             next_seq: 0,
-            pending_ids: HashSet::new(),
-            cancelled: HashSet::new(),
             delivered: 0,
+        }
+    }
+
+    /// The scheduler backing this kernel.
+    pub fn scheduler(&self) -> SchedulerKind {
+        match self.queue {
+            Queue::Heap(_) => SchedulerKind::BinaryHeap,
+            Queue::Wheel(_) => SchedulerKind::TimingWheel,
         }
     }
 
@@ -123,13 +202,18 @@ impl<E> Kernel<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.pending_ids.insert(seq);
-        self.queue.push(Entry {
-            time: at,
-            seq,
-            dest,
-            payload,
-        });
+        match &mut self.queue {
+            Queue::Heap(q) => {
+                q.pending_ids.insert(seq);
+                q.heap.push(Entry {
+                    time: at,
+                    seq,
+                    dest,
+                    payload,
+                });
+            }
+            Queue::Wheel(w) => w.schedule(at, seq, dest, payload),
+        }
         EventId(seq)
     }
 
@@ -150,19 +234,29 @@ impl<E> Kernel<E> {
     /// already-cancelled, or never-scheduled event returns `false` and
     /// has no effect.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if !self.pending_ids.remove(&id.0) {
-            return false;
+        match &mut self.queue {
+            Queue::Heap(q) => {
+                if !q.pending_ids.remove(&id.0) {
+                    return false;
+                }
+                // The entry stays in the heap until it surfaces;
+                // `skip_cancelled` sweeps it then.
+                q.cancelled.insert(id.0);
+                true
+            }
+            Queue::Wheel(w) => w.cancel(id.0),
         }
-        // The entry stays in the heap until it surfaces; `skip_cancelled`
-        // sweeps it then.
-        self.cancelled.insert(id.0);
-        true
     }
 
     /// Time of the next pending event, if any.
     pub fn peek_time(&mut self) -> Option<f64> {
-        self.skip_cancelled();
-        self.queue.peek().map(|e| e.time)
+        match &mut self.queue {
+            Queue::Heap(q) => {
+                q.skip_cancelled();
+                q.heap.peek().map(|e| e.time)
+            }
+            Queue::Wheel(w) => w.peek_time(),
+        }
     }
 
     /// Pops the next event and advances the clock to its time.
@@ -172,40 +266,47 @@ impl<E> Kernel<E> {
     /// scheduled for the same instant. The sequence number makes the
     /// order total, so two runs with the same schedule sequence pop the
     /// same sequence of events — the foundation of the determinism
-    /// contract.
+    /// contract. The order is a property of the contract, not the
+    /// backend: both schedulers produce it bit-identically.
     pub fn pop(&mut self) -> Option<Event<E>> {
-        self.skip_cancelled();
-        let entry = self.queue.pop()?;
-        debug_assert!(
-            entry.time >= self.clock,
-            "heap order preserves monotonicity"
-        );
-        self.clock = entry.time;
-        self.delivered += 1;
-        self.pending_ids.remove(&entry.seq);
-        Some(Event {
-            id: EventId(entry.seq),
-            time: entry.time,
-            dest: entry.dest,
-            payload: entry.payload,
-        })
-    }
-
-    /// Drops cancelled entries sitting at the top of the heap.
-    fn skip_cancelled(&mut self) {
-        while let Some(top) = self.queue.peek() {
-            if self.cancelled.remove(&top.seq) {
-                self.queue.pop();
-            } else {
-                break;
+        let event = match &mut self.queue {
+            Queue::Heap(q) => {
+                q.skip_cancelled();
+                let entry = q.heap.pop()?;
+                q.pending_ids.remove(&entry.seq);
+                Event {
+                    id: EventId(entry.seq),
+                    time: entry.time,
+                    dest: entry.dest,
+                    payload: entry.payload,
+                }
             }
-        }
+            Queue::Wheel(w) => {
+                let e = w.pop()?;
+                Event {
+                    id: EventId(e.seq),
+                    time: e.time,
+                    dest: e.dest,
+                    payload: e.payload,
+                }
+            }
+        };
+        debug_assert!(
+            event.time >= self.clock,
+            "queue order preserves monotonicity"
+        );
+        self.clock = event.time;
+        self.delivered += 1;
+        Some(event)
     }
 
     /// Number of pending (scheduled, not yet delivered or cancelled)
-    /// events. Cancelled-but-unswept heap entries do not count.
+    /// events.
     pub fn pending(&self) -> usize {
-        self.pending_ids.len()
+        match &self.queue {
+            Queue::Heap(q) => q.pending_ids.len(),
+            Queue::Wheel(w) => w.pending(),
+        }
     }
 
     /// True if no events are pending.
@@ -231,52 +332,72 @@ mod tests {
     const A: ComponentId = ComponentId(0);
     const B: ComponentId = ComponentId(1);
 
+    /// Both backends, so every contract test runs against each.
+    fn kernels<E>() -> Vec<Kernel<E>> {
+        vec![
+            Kernel::with_scheduler(SchedulerKind::BinaryHeap),
+            Kernel::with_scheduler(SchedulerKind::TimingWheel),
+        ]
+    }
+
+    #[test]
+    fn default_scheduler_is_the_wheel() {
+        let k: Kernel<()> = Kernel::new();
+        assert_eq!(k.scheduler(), SchedulerKind::TimingWheel);
+        let k: Kernel<()> = Kernel::with_scheduler(SchedulerKind::BinaryHeap);
+        assert_eq!(k.scheduler(), SchedulerKind::BinaryHeap);
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut k: Kernel<u32> = Kernel::new();
-        k.schedule_at(5.0, A, 1);
-        k.schedule_at(1.0, A, 2);
-        k.schedule_at(3.0, B, 3);
-        let order: Vec<u32> = std::iter::from_fn(|| k.pop()).map(|e| e.payload).collect();
-        assert_eq!(order, vec![2, 3, 1]);
-        assert_eq!(k.now(), 5.0);
+        for mut k in kernels::<u32>() {
+            k.schedule_at(5.0, A, 1);
+            k.schedule_at(1.0, A, 2);
+            k.schedule_at(3.0, B, 3);
+            let order: Vec<u32> = std::iter::from_fn(|| k.pop()).map(|e| e.payload).collect();
+            assert_eq!(order, vec![2, 3, 1]);
+            assert_eq!(k.now(), 5.0);
+        }
     }
 
     #[test]
     fn same_time_events_are_fifo() {
-        let mut k: Kernel<u32> = Kernel::new();
-        for i in 0..100 {
-            k.schedule_at(7.0, A, i);
+        for mut k in kernels::<u32>() {
+            for i in 0..100 {
+                k.schedule_at(7.0, A, i);
+            }
+            let order: Vec<u32> = std::iter::from_fn(|| k.pop()).map(|e| e.payload).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>());
         }
-        let order: Vec<u32> = std::iter::from_fn(|| k.pop()).map(|e| e.payload).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn zero_delay_delivers_after_existing_same_instant_events() {
-        let mut k: Kernel<&'static str> = Kernel::new();
-        k.schedule_at(2.0, A, "first");
-        k.schedule_at(2.0, A, "second");
-        let e = k.pop().unwrap();
-        assert_eq!(e.payload, "first");
-        // Now at t=2: a zero-delay event lands after "second".
-        k.schedule_in(0.0, B, "third");
-        assert_eq!(k.pop().unwrap().payload, "second");
-        assert_eq!(k.pop().unwrap().payload, "third");
+        for mut k in kernels::<&'static str>() {
+            k.schedule_at(2.0, A, "first");
+            k.schedule_at(2.0, A, "second");
+            let e = k.pop().unwrap();
+            assert_eq!(e.payload, "first");
+            // Now at t=2: a zero-delay event lands after "second".
+            k.schedule_in(0.0, B, "third");
+            assert_eq!(k.pop().unwrap().payload, "second");
+            assert_eq!(k.pop().unwrap().payload, "third");
+        }
     }
 
     #[test]
     fn clock_is_monotonic_and_starts_at_zero() {
-        let mut k: Kernel<()> = Kernel::new();
-        assert_eq!(k.now(), 0.0);
-        k.schedule_at(10.0, A, ());
-        k.schedule_at(10.0, A, ());
-        let mut last = 0.0;
-        while let Some(e) = k.pop() {
-            assert!(e.time >= last);
-            last = e.time;
+        for mut k in kernels::<()>() {
+            assert_eq!(k.now(), 0.0);
+            k.schedule_at(10.0, A, ());
+            k.schedule_at(10.0, A, ());
+            let mut last = 0.0;
+            while let Some(e) = k.pop() {
+                assert!(e.time >= last);
+                last = e.time;
+            }
+            assert_eq!(k.now(), 10.0);
         }
-        assert_eq!(k.now(), 10.0);
     }
 
     #[test]
@@ -297,45 +418,101 @@ mod tests {
 
     #[test]
     fn cancel_prevents_delivery() {
-        let mut k: Kernel<u32> = Kernel::new();
-        let a = k.schedule_at(1.0, A, 1);
-        let b = k.schedule_at(2.0, A, 2);
-        k.schedule_at(3.0, A, 3);
-        assert!(k.cancel(b));
-        assert!(!k.cancel(b), "double cancel reports false");
-        assert_eq!(k.pending(), 2);
-        let order: Vec<u32> = std::iter::from_fn(|| k.pop()).map(|e| e.payload).collect();
-        assert_eq!(order, vec![1, 3]);
-        assert!(!k.cancel(a), "cancelling a delivered event is a no-op");
+        for mut k in kernels::<u32>() {
+            let a = k.schedule_at(1.0, A, 1);
+            let b = k.schedule_at(2.0, A, 2);
+            k.schedule_at(3.0, A, 3);
+            assert!(k.cancel(b));
+            assert!(!k.cancel(b), "double cancel reports false");
+            assert_eq!(k.pending(), 2);
+            let order: Vec<u32> = std::iter::from_fn(|| k.pop()).map(|e| e.payload).collect();
+            assert_eq!(order, vec![1, 3]);
+            assert!(!k.cancel(a), "cancelling a delivered event is a no-op");
+        }
     }
 
     #[test]
     fn cancel_unknown_id_is_false() {
-        let mut k: Kernel<()> = Kernel::new();
-        assert!(!k.cancel(EventId(42)));
+        for mut k in kernels::<()>() {
+            assert!(!k.cancel(EventId(42)));
+        }
     }
 
     #[test]
     fn peek_time_skips_cancelled_head() {
-        let mut k: Kernel<u32> = Kernel::new();
-        let head = k.schedule_at(1.0, A, 1);
-        k.schedule_at(5.0, A, 2);
-        k.cancel(head);
-        assert_eq!(k.peek_time(), Some(5.0));
-        assert_eq!(k.pop().unwrap().payload, 2);
+        for mut k in kernels::<u32>() {
+            let head = k.schedule_at(1.0, A, 1);
+            k.schedule_at(5.0, A, 2);
+            k.cancel(head);
+            assert_eq!(k.peek_time(), Some(5.0));
+            assert_eq!(k.pop().unwrap().payload, 2);
+        }
     }
 
     #[test]
     fn counters_track_lifecycle() {
-        let mut k: Kernel<()> = Kernel::new();
-        let a = k.schedule_at(1.0, A, ());
-        k.schedule_at(2.0, A, ());
-        assert_eq!(k.scheduled_count(), 2);
-        assert_eq!(k.pending(), 2);
-        k.cancel(a);
-        assert_eq!(k.pending(), 1);
-        k.pop();
-        assert_eq!(k.delivered_count(), 1);
-        assert!(k.is_empty());
+        for mut k in kernels::<()>() {
+            let a = k.schedule_at(1.0, A, ());
+            k.schedule_at(2.0, A, ());
+            assert_eq!(k.scheduled_count(), 2);
+            assert_eq!(k.pending(), 2);
+            k.cancel(a);
+            assert_eq!(k.pending(), 1);
+            k.pop();
+            assert_eq!(k.delivered_count(), 1);
+            assert!(k.is_empty());
+        }
+    }
+
+    /// The two backends deliver bit-identical sequences for an
+    /// interleaved schedule/pop/cancel workload (the exhaustive random
+    /// version lives in `tests/determinism.rs`).
+    #[test]
+    fn backends_agree_on_interleaved_workload() {
+        let mut heap: Kernel<u64> = Kernel::with_scheduler(SchedulerKind::BinaryHeap);
+        let mut wheel: Kernel<u64> = Kernel::with_scheduler(SchedulerKind::TimingWheel);
+        let mut state = 0xFEED_u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut live: Vec<EventId> = Vec::new();
+        for round in 0..2000u64 {
+            let op = next() % 10;
+            if op < 6 {
+                let delay = (next() % 1000) as f64 * 0.037;
+                let dest = ComponentId((next() % 3) as usize);
+                let ha = heap.schedule_in(delay, dest, round);
+                let wa = wheel.schedule_in(delay, dest, round);
+                assert_eq!(ha, wa);
+                live.push(ha);
+            } else if op < 8 {
+                if !live.is_empty() {
+                    let id = live.swap_remove((next() as usize) % live.len());
+                    assert_eq!(heap.cancel(id), wheel.cancel(id));
+                }
+            } else {
+                let he = heap.pop();
+                let we = wheel.pop();
+                match (&he, &we) {
+                    (Some(h), Some(w)) => {
+                        assert_eq!(h, w);
+                        live.retain(|&id| id != h.id);
+                    }
+                    (None, None) => {}
+                    _ => panic!("backends diverged: {he:?} vs {we:?}"),
+                }
+            }
+        }
+        loop {
+            let he = heap.pop();
+            let we = wheel.pop();
+            assert_eq!(he, we);
+            if he.is_none() {
+                break;
+            }
+        }
     }
 }

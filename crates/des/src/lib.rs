@@ -8,10 +8,14 @@
 //! frameworks (dslab, SimPy, CloudSim), stripped to exactly what the
 //! CloudMedia scenario engine needs.
 //!
-//! - [`kernel::Kernel`]: a monotonic `f64` logical clock plus a
-//!   binary-heap event queue. Events scheduled for the same instant are
-//!   delivered in schedule order (stable FIFO tie-breaking via sequence
-//!   numbers), and timers are cancellable in O(1) amortized time.
+//! - [`kernel::Kernel`]: a monotonic `f64` logical clock plus an event
+//!   queue. Events scheduled for the same instant are delivered in
+//!   schedule order (stable FIFO tie-breaking via sequence numbers), and
+//!   timers are cancellable in O(1) amortized time. The queue backend is
+//!   selected by [`kernel::SchedulerKind`]: the default hierarchical
+//!   timing wheel (O(1) amortized schedule/cancel/pop over
+//!   slab-allocated events; see `src/wheel.rs` for the design), or the
+//!   reference binary heap. Both deliver bit-identical event sequences.
 //! - [`component::Component`]: the typed handler trait. A scenario engine
 //!   owns its components as concrete struct fields and dispatches each
 //!   popped [`kernel::Event`] to the component named by its destination
@@ -102,6 +106,7 @@
 
 pub mod component;
 pub mod kernel;
+mod wheel;
 
 pub use component::Component;
-pub use kernel::{ComponentId, Event, EventId, Kernel};
+pub use kernel::{ComponentId, Event, EventId, Kernel, SchedulerKind};

@@ -1,0 +1,693 @@
+//! Hierarchical timing-wheel event scheduler.
+//!
+//! The binary-heap queue in [`crate::kernel`] pays `O(log n)` sift work
+//! on every schedule and pop, plus hash-set traffic for its lazy
+//! cancellation protocol. Calendar-queue and timing-wheel schedulers (the
+//! design ns-3, OMNeT++, and the Linux/tokio timer subsystems converged
+//! on) replace that with O(1) amortized bucket operations. This module is
+//! the workspace's instance of that design, tuned for the deterministic
+//! kernel's contract:
+//!
+//! - **Slab/arena event storage with free-list recycling.** Every pending
+//!   event lives in one slot of a single `Vec`; delivered and cancelled
+//!   slots go on an intrusive free list and are reused, so a steady-state
+//!   simulation performs no per-event heap allocation.
+//! - **Hierarchical wheel.** Logical time is quantized into ticks
+//!   (`resolution` seconds each). `LEVELS` levels of `SLOTS` slots
+//!   each cover the full 64-bit tick range: level `l` groups ticks by
+//!   bits `[6l, 6l+6)`, exactly like the Linux timer wheel. An event is
+//!   filed at the level of the *highest* tick-bit group in which it
+//!   differs from the wheel's current position, and cascades toward
+//!   level 0 as the clock approaches it — at most `LEVELS` re-files
+//!   over its lifetime, i.e. O(1) amortized.
+//! - **Exact FIFO order preserved.** A level-0 slot holds exactly one
+//!   tick's events. When the wheel advances onto it, the slot drains into
+//!   a `ready` run sorted by `(time, sequence number)` — the identical
+//!   total order the binary heap pops — so the two schedulers deliver
+//!   bit-identical event sequences (property-tested in
+//!   `crates/des/tests`).
+//! - **O(1) cancellation.** A multiplicative-hash index maps sequence
+//!   numbers to slab slots; cancelling unlinks the slot from its wheel
+//!   bucket's doubly-linked list (or marks it if already staged in the
+//!   ready run) and recycles it immediately — no tombstones survive in
+//!   the structure.
+//!
+//! The occupancy of every level is mirrored in a 64-bit bitmap, so
+//! advancing across an arbitrarily long empty stretch of ticks costs a
+//! handful of `trailing_zeros` instructions instead of a per-tick scan.
+
+use crate::kernel::ComponentId;
+
+/// Bits of the tick index consumed per wheel level (64 slots).
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Levels needed to cover every 64-bit tick (`ceil(64 / 6)`).
+const LEVELS: usize = 11;
+/// Null link in the slab's intrusive lists.
+const NIL: u32 = u32::MAX;
+
+/// Default tick width, seconds. A power of two so tick boundaries are
+/// exact for binary-friendly timestamps; fine enough that same-tick
+/// collisions (which cost a small sort on drain) stay rare at the event
+/// densities the CloudMedia engine produces.
+pub const DEFAULT_RESOLUTION: f64 = 1.0 / 1024.0;
+
+/// Where a slab slot currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Linked into a wheel bucket.
+    InWheel,
+    /// Staged in the sorted ready run, awaiting pop.
+    Ready,
+    /// Cancelled while staged in the ready run; skipped and recycled at
+    /// pop time (wheel-resident slots are recycled eagerly instead).
+    CancelledInReady,
+    /// On the free list.
+    Free,
+}
+
+/// One arena slot: the event payload plus its intrusive list links.
+#[derive(Debug)]
+struct Slot<E> {
+    time: f64,
+    seq: u64,
+    dest: ComponentId,
+    /// `None` only while the slot is free.
+    payload: Option<E>,
+    /// Tick the event is filed under.
+    tick: u64,
+    /// Wheel bucket links (`next` doubles as the free-list link).
+    prev: u32,
+    next: u32,
+    state: SlotState,
+}
+
+/// Sentinel for an empty [`SeqMap`] slot (`next_seq` counts up from 0,
+/// so `u64::MAX` is unreachable as a real sequence number).
+const EMPTY_KEY: u64 = u64::MAX;
+
+/// Minimal open-addressed `u64 → u32` map (multiplicative hash, linear
+/// probing) for the sequence-number → slab-slot index that backs
+/// cancellation.
+///
+/// The map is **insert-only on the hot path**: a pop never touches it
+/// (that would be a second random cache miss per event). Instead,
+/// entries for delivered or cancelled events go *stale* and are detected
+/// at lookup by validating against the slab (`slab[slot].seq == key`
+/// and the slot is live — sequence numbers are never reused, so a match
+/// is conclusive). Stale entries are swept out whenever the table would
+/// otherwise grow: a rebuild keeps only the entries the caller's
+/// validator confirms live and only doubles capacity when the live load
+/// is genuinely high. Sweeps are O(capacity) per O(capacity) inserts —
+/// amortized O(1).
+#[derive(Debug)]
+struct SeqMap {
+    /// Interleaved `(key, slot)` entries — one cache line per probe.
+    entries: Vec<(u64, u32)>,
+    /// `capacity - 1` (capacity is a power of two).
+    mask: usize,
+    /// Occupied entries, live or stale.
+    len: usize,
+}
+
+impl SeqMap {
+    fn new() -> Self {
+        const CAP: usize = 64;
+        Self {
+            entries: vec![(EMPTY_KEY, 0); CAP],
+            mask: CAP - 1,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn ideal(key: u64, mask: usize) -> usize {
+        // Fibonacci hashing: sequential keys scatter, upper bits decide.
+        ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 32) as usize & mask
+    }
+
+    /// Drops stale entries (those the validator rejects), doubling
+    /// capacity only if the surviving load still exceeds ¼.
+    fn sweep(&mut self, live: impl Fn(u64, u32) -> bool) {
+        let survivors: Vec<(u64, u32)> = self
+            .entries
+            .iter()
+            .filter(|&&(k, v)| k != EMPTY_KEY && live(k, v))
+            .copied()
+            .collect();
+        let mut cap = self.mask + 1;
+        while survivors.len() * 4 > cap {
+            cap *= 2;
+        }
+        self.entries.clear();
+        self.entries.resize(cap, (EMPTY_KEY, 0));
+        self.mask = cap - 1;
+        self.len = survivors.len();
+        for (k, v) in survivors {
+            let mut i = Self::ideal(k, self.mask);
+            while self.entries[i].0 != EMPTY_KEY {
+                i = (i + 1) & self.mask;
+            }
+            self.entries[i] = (k, v);
+        }
+    }
+
+    /// Inserts a fresh key (sequence numbers are unique, so the key is
+    /// never already present). `live` validates entries if a sweep is
+    /// needed.
+    fn insert(&mut self, key: u64, val: u32, live: impl Fn(u64, u32) -> bool) {
+        if (self.len + 1) * 2 > self.mask + 1 {
+            self.sweep(live);
+        }
+        let mut i = Self::ideal(key, self.mask);
+        loop {
+            if self.entries[i].0 == EMPTY_KEY {
+                self.entries[i] = (key, val);
+                self.len += 1;
+                return;
+            }
+            debug_assert_ne!(self.entries[i].0, key, "duplicate sequence number");
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Looks up a key. The caller validates the returned slot against
+    /// the slab (the entry may be stale).
+    fn get(&self, key: u64) -> Option<u32> {
+        let mut i = Self::ideal(key, self.mask);
+        loop {
+            let (k, v) = self.entries[i];
+            if k == EMPTY_KEY {
+                return None;
+            }
+            if k == key {
+                return Some(v);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Removes `key` if present (backward-shift deletion keeps probe
+    /// chains intact without tombstones). Used by the cancel path so
+    /// timer churn does not accumulate stale entries; delivered events
+    /// skip this and are swept lazily instead.
+    fn remove(&mut self, key: u64) {
+        let mut i = Self::ideal(key, self.mask);
+        loop {
+            let k = self.entries[i].0;
+            if k == EMPTY_KEY {
+                return;
+            }
+            if k == key {
+                break;
+            }
+            i = (i + 1) & self.mask;
+        }
+        self.len -= 1;
+        let mut hole = i;
+        let mut j = i;
+        loop {
+            j = (j + 1) & self.mask;
+            let entry = self.entries[j];
+            if entry.0 == EMPTY_KEY {
+                break;
+            }
+            let h = Self::ideal(entry.0, self.mask);
+            // Move `j` into the hole unless its ideal slot lies strictly
+            // inside (hole, j] — moving would break its own chain.
+            let in_between = if hole <= j {
+                hole < h && h <= j
+            } else {
+                h > hole || h <= j
+            };
+            if !in_between {
+                self.entries[hole] = entry;
+                hole = j;
+            }
+        }
+        self.entries[hole].0 = EMPTY_KEY;
+    }
+}
+
+/// A popped event, in the wheel's internal representation.
+#[derive(Debug)]
+pub(crate) struct WheelEvent<E> {
+    pub(crate) time: f64,
+    pub(crate) seq: u64,
+    pub(crate) dest: ComponentId,
+    pub(crate) payload: E,
+}
+
+/// The hierarchical timing wheel. See the module docs for the design.
+#[derive(Debug)]
+pub struct TimingWheel<E> {
+    /// `1 / resolution`, for the hot tick computation.
+    inv_resolution: f64,
+    /// The wheel's current tick position. Only ever advances onto ticks
+    /// that hold (or held) events, so it may run ahead of the kernel
+    /// clock between deliveries — never past a pending event.
+    current: u64,
+    /// Doubly-linked bucket heads, `heads[level][slot]`.
+    heads: Vec<[u32; SLOTS]>,
+    /// Per-level slot-occupancy bitmaps.
+    occupied: [u64; LEVELS],
+    /// The arena.
+    slab: Vec<Slot<E>>,
+    /// Head of the free list (threaded through `Slot::next`).
+    free: u32,
+    /// Pending sequence number → slab slot.
+    index: SeqMap,
+    /// The current tick's events, sorted by `(time, seq)`; delivered
+    /// front to back through `ready_cursor`.
+    ready: Vec<u32>,
+    ready_cursor: usize,
+    /// Live (scheduled, not yet delivered or cancelled) events.
+    pending: usize,
+}
+
+impl<E> TimingWheel<E> {
+    /// Creates an empty wheel with the [`DEFAULT_RESOLUTION`].
+    pub fn new() -> Self {
+        Self::with_resolution(DEFAULT_RESOLUTION)
+    }
+
+    /// Creates an empty wheel with `resolution` seconds per tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resolution` is not finite and positive.
+    pub fn with_resolution(resolution: f64) -> Self {
+        assert!(
+            resolution.is_finite() && resolution > 0.0,
+            "wheel resolution must be positive, got {resolution}"
+        );
+        Self {
+            inv_resolution: 1.0 / resolution,
+            current: 0,
+            heads: vec![[NIL; SLOTS]; LEVELS],
+            occupied: [0; LEVELS],
+            slab: Vec::new(),
+            free: NIL,
+            index: SeqMap::new(),
+            ready: Vec::new(),
+            ready_cursor: 0,
+            pending: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub(crate) fn pending(&self) -> usize {
+        self.pending
+    }
+
+    fn tick_of(&self, time: f64) -> u64 {
+        // `time` is validated non-negative and non-NaN by the kernel; the
+        // cast saturates enormous times at u64::MAX, which still orders
+        // correctly against every realistic tick.
+        (time * self.inv_resolution) as u64
+    }
+
+    fn alloc(&mut self, time: f64, seq: u64, dest: ComponentId, payload: E, tick: u64) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            let slot = &mut self.slab[idx as usize];
+            self.free = slot.next;
+            slot.time = time;
+            slot.seq = seq;
+            slot.dest = dest;
+            slot.payload = Some(payload);
+            slot.tick = tick;
+            slot.prev = NIL;
+            slot.next = NIL;
+            slot.state = SlotState::Free; // caller sets the real state
+            idx
+        } else {
+            let idx = u32::try_from(self.slab.len()).expect("slab capacity exceeds u32");
+            self.slab.push(Slot {
+                time,
+                seq,
+                dest,
+                payload: Some(payload),
+                tick,
+                prev: NIL,
+                next: NIL,
+                state: SlotState::Free,
+            });
+            idx
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        let free = self.free;
+        let slot = &mut self.slab[idx as usize];
+        slot.payload = None;
+        slot.state = SlotState::Free;
+        slot.prev = NIL;
+        slot.next = free;
+        self.free = idx;
+    }
+
+    /// The level an event filed at `tick` belongs to, given the wheel's
+    /// current position: the highest 6-bit group in which they differ.
+    fn level_for(&self, tick: u64) -> usize {
+        let diff = tick ^ self.current;
+        debug_assert!(diff != 0, "same-tick events go straight to ready");
+        ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize
+    }
+
+    fn slot_for(tick: u64, level: usize) -> usize {
+        ((tick >> (LEVEL_BITS as usize * level)) & (SLOTS as u64 - 1)) as usize
+    }
+
+    fn link(&mut self, idx: u32, level: usize, slot: usize) {
+        let head = self.heads[level][slot];
+        {
+            let s = &mut self.slab[idx as usize];
+            s.prev = NIL;
+            s.next = head;
+            s.state = SlotState::InWheel;
+        }
+        if head != NIL {
+            self.slab[head as usize].prev = idx;
+        }
+        self.heads[level][slot] = idx;
+        self.occupied[level] |= 1 << slot;
+    }
+
+    fn unlink(&mut self, idx: u32, level: usize, slot: usize) {
+        let (prev, next) = {
+            let s = &self.slab[idx as usize];
+            (s.prev, s.next)
+        };
+        if prev != NIL {
+            self.slab[prev as usize].next = next;
+        } else {
+            self.heads[level][slot] = next;
+        }
+        if next != NIL {
+            self.slab[next as usize].prev = prev;
+        }
+        if self.heads[level][slot] == NIL {
+            self.occupied[level] &= !(1 << slot);
+        }
+    }
+
+    /// Inserts a staged slab index into the sorted ready run. New events
+    /// are never earlier than anything already delivered, so the
+    /// insertion point is always at or after the cursor.
+    fn stage_ready(&mut self, idx: u32) {
+        let (time, seq) = {
+            let s = &self.slab[idx as usize];
+            (s.time, s.seq)
+        };
+        let tail = &self.ready[self.ready_cursor..];
+        let pos = tail.partition_point(|&other| {
+            let o = &self.slab[other as usize];
+            match o.time.total_cmp(&time) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => o.seq < seq,
+                std::cmp::Ordering::Greater => false,
+            }
+        });
+        self.slab[idx as usize].state = SlotState::Ready;
+        self.ready.insert(self.ready_cursor + pos, idx);
+    }
+
+    /// Schedules an event. `time` is already validated by the kernel
+    /// (non-NaN, not in the past).
+    pub(crate) fn schedule(&mut self, time: f64, seq: u64, dest: ComponentId, payload: E) {
+        let tick = self.tick_of(time);
+        let idx = self.alloc(time, seq, dest, payload, tick);
+        if tick <= self.current {
+            // Due within the tick the wheel already sits on (or one it
+            // passed while running ahead of the kernel clock): stage it
+            // directly in delivery order.
+            self.stage_ready(idx);
+        } else {
+            let level = self.level_for(tick);
+            self.link(idx, level, Self::slot_for(tick, level));
+        }
+        let slab = &self.slab;
+        self.index.insert(seq, idx, |k, v| {
+            let s = &slab[v as usize];
+            s.seq == k && matches!(s.state, SlotState::InWheel | SlotState::Ready)
+        });
+        self.pending += 1;
+    }
+
+    /// Cancels a pending event. Returns `false` if the sequence number is
+    /// unknown (delivered, already cancelled, or never scheduled).
+    pub(crate) fn cancel(&mut self, seq: u64) -> bool {
+        let Some(idx) = self.index.get(seq) else {
+            return false;
+        };
+        {
+            // The index is insert-only; validate against the slab (the
+            // entry may refer to an already-delivered or cancelled
+            // event, or to a recycled slot).
+            let s = &self.slab[idx as usize];
+            if s.seq != seq || !matches!(s.state, SlotState::InWheel | SlotState::Ready) {
+                return false;
+            }
+        }
+        self.index.remove(seq);
+        self.pending -= 1;
+        match self.slab[idx as usize].state {
+            SlotState::InWheel => {
+                let tick = self.slab[idx as usize].tick;
+                let level = self.level_for(tick);
+                self.unlink(idx, level, Self::slot_for(tick, level));
+                self.release(idx);
+            }
+            SlotState::Ready => {
+                // Removing from the middle of the sorted run would shift
+                // the cursor bookkeeping; mark it and let pop skip it.
+                self.slab[idx as usize].state = SlotState::CancelledInReady;
+            }
+            s => unreachable!("cancelling a slot in state {s:?}"),
+        }
+        true
+    }
+
+    /// Ensures the next live event (if any) sits at the ready cursor.
+    /// Returns its slab index without consuming it.
+    fn prepare_next(&mut self) -> Option<u32> {
+        loop {
+            // Skip cancelled entries staged in the ready run.
+            while self.ready_cursor < self.ready.len() {
+                let idx = self.ready[self.ready_cursor];
+                if self.slab[idx as usize].state == SlotState::CancelledInReady {
+                    self.ready_cursor += 1;
+                    self.release(idx);
+                } else {
+                    return Some(idx);
+                }
+            }
+            self.ready.clear();
+            self.ready_cursor = 0;
+            if self.pending == 0 {
+                return None;
+            }
+            self.advance();
+        }
+    }
+
+    /// Sorts the freshly bulk-staged ready run by `(time, seq)`. Called
+    /// at the end of an [`TimingWheel::advance`], when every entry was
+    /// appended unsorted — one O(k log k) sort per drained tick instead
+    /// of per-element sorted insertion (which would make a k-event
+    /// same-instant burst cost Θ(k²) shifts).
+    fn sort_ready(&mut self) {
+        let mut ready = std::mem::take(&mut self.ready);
+        ready.sort_unstable_by(|&a, &b| {
+            let sa = &self.slab[a as usize];
+            let sb = &self.slab[b as usize];
+            sa.time.total_cmp(&sb.time).then(sa.seq.cmp(&sb.seq))
+        });
+        self.ready = ready;
+    }
+
+    /// Advances the wheel to the next occupied tick: cascades the
+    /// earliest occupied slot of the lowest occupied level, repeating
+    /// until a level-0 slot drains into the ready run.
+    ///
+    /// Only called with the ready run empty (see
+    /// [`TimingWheel::prepare_next`]), so staged events are appended
+    /// unsorted and sorted once at the end.
+    fn advance(&mut self) {
+        debug_assert!(self.ready.is_empty() && self.ready_cursor == 0);
+        loop {
+            let level = (0..LEVELS)
+                .find(|&l| self.occupied[l] != 0)
+                .expect("advance called with pending events");
+            // Within a level every occupied slot is at or after the
+            // current position's slot (earlier ones were processed when
+            // the wheel passed them), so the numerically smallest
+            // occupied slot is the earliest.
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            if level == 0 {
+                // One tick's events: move onto the tick and stage them.
+                let base = self.current & !(SLOTS as u64 - 1);
+                self.current = base | slot as u64;
+                let mut idx = self.heads[0][slot];
+                self.heads[0][slot] = NIL;
+                self.occupied[0] &= !(1 << slot);
+                while idx != NIL {
+                    let next = self.slab[idx as usize].next;
+                    self.slab[idx as usize].state = SlotState::Ready;
+                    self.ready.push(idx);
+                    idx = next;
+                }
+                self.sort_ready();
+                return;
+            }
+            // Cascade: move onto the slot's base tick (groups strictly
+            // above `level` kept, group `level` set to the slot index,
+            // lower groups zeroed) and re-file its events downward.
+            let shift = LEVEL_BITS as usize * level;
+            let group_end = shift + LEVEL_BITS as usize;
+            let high_mask = if group_end >= 64 {
+                0
+            } else {
+                !((1u64 << group_end) - 1)
+            };
+            self.current = (self.current & high_mask) | ((slot as u64) << shift);
+            let mut idx = self.heads[level][slot];
+            self.heads[level][slot] = NIL;
+            self.occupied[level] &= !(1 << slot);
+            while idx != NIL {
+                let next = self.slab[idx as usize].next;
+                let tick = self.slab[idx as usize].tick;
+                if tick <= self.current {
+                    self.slab[idx as usize].state = SlotState::Ready;
+                    self.ready.push(idx);
+                } else {
+                    let l = self.level_for(tick);
+                    debug_assert!(l < level, "cascade must move events down");
+                    self.link(idx, l, Self::slot_for(tick, l));
+                }
+                idx = next;
+            }
+            if !self.ready.is_empty() {
+                // The cascade landed events exactly on the new position:
+                // they are the earliest pending, so stop here.
+                self.sort_ready();
+                return;
+            }
+        }
+    }
+
+    /// Time of the next pending event, if any.
+    pub(crate) fn peek_time(&mut self) -> Option<f64> {
+        self.prepare_next().map(|idx| self.slab[idx as usize].time)
+    }
+
+    /// Pops the next event in `(time, seq)` order.
+    pub(crate) fn pop(&mut self) -> Option<WheelEvent<E>> {
+        let idx = self.prepare_next()?;
+        self.ready_cursor += 1;
+        let (time, seq, dest) = {
+            let s = &self.slab[idx as usize];
+            (s.time, s.seq, s.dest)
+        };
+        let payload = self.slab[idx as usize]
+            .payload
+            .take()
+            .expect("ready slot holds a payload");
+        self.pending -= 1;
+        self.release(idx);
+        Some(WheelEvent {
+            time,
+            seq,
+            dest,
+            payload,
+        })
+    }
+}
+
+impl<E> Default for TimingWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: ComponentId = ComponentId(0);
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        w.schedule(5.0, 0, A, 10);
+        w.schedule(1.0, 1, A, 11);
+        w.schedule(1.0, 2, A, 12);
+        w.schedule(3.0, 3, A, 13);
+        let order: Vec<u32> = std::iter::from_fn(|| w.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec![11, 12, 13, 10]);
+    }
+
+    #[test]
+    fn same_tick_different_times_sorted() {
+        // Distinct times inside one tick must still come out time-sorted.
+        let mut w: TimingWheel<u32> = TimingWheel::with_resolution(1.0);
+        w.schedule(2.9, 0, A, 0);
+        w.schedule(2.1, 1, A, 1);
+        w.schedule(2.5, 2, A, 2);
+        let order: Vec<u32> = std::iter::from_fn(|| w.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn cancel_unlinks_and_recycles() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        w.schedule(1.0, 0, A, 0);
+        w.schedule(2.0, 1, A, 1);
+        w.schedule(3.0, 2, A, 2);
+        assert!(w.cancel(1));
+        assert!(!w.cancel(1));
+        assert_eq!(w.pending(), 2);
+        let order: Vec<u64> = std::iter::from_fn(|| w.pop()).map(|e| e.seq).collect();
+        assert_eq!(order, vec![0, 2]);
+        // All three slots recycled onto the free list.
+        assert_eq!(w.slab.len(), 3);
+        w.schedule(4.0, 3, A, 3);
+        assert_eq!(w.slab.len(), 3, "slab slots are reused");
+    }
+
+    #[test]
+    fn cancel_staged_ready_entry() {
+        let mut w: TimingWheel<u32> = TimingWheel::with_resolution(1.0);
+        w.schedule(1.25, 0, A, 0);
+        w.schedule(1.75, 1, A, 1);
+        assert_eq!(w.peek_time(), Some(1.25)); // both staged in ready
+        assert!(w.cancel(0));
+        assert_eq!(w.pop().unwrap().seq, 1);
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn long_empty_stretches_are_skipped() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        w.schedule(1e6, 0, A, 0);
+        w.schedule(2e6, 1, A, 1);
+        assert_eq!(w.pop().unwrap().seq, 0);
+        assert_eq!(w.pop().unwrap().seq, 1);
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut w: TimingWheel<u32> = TimingWheel::new();
+        w.schedule(10.0, 0, A, 0);
+        assert_eq!(w.pop().unwrap().seq, 0);
+        // The wheel's position ran ahead; a later event still works, and
+        // an event at the same instant as the last pop stages directly.
+        w.schedule(10.0, 1, A, 1);
+        w.schedule(12.0, 2, A, 2);
+        assert_eq!(w.pop().unwrap().seq, 1);
+        assert_eq!(w.pop().unwrap().seq, 2);
+    }
+}

@@ -4,7 +4,7 @@
 //! (FIFO) order, and cancellation never perturbs the order of the
 //! surviving events.
 
-use cloudmedia_des::{Component, ComponentId, Event, Kernel};
+use cloudmedia_des::{Component, ComponentId, Event, Kernel, SchedulerKind};
 use proptest::prelude::*;
 
 /// A schedule entry: delay bucket, destination, and a cancel coin.
@@ -20,7 +20,15 @@ fn grid(delay: f64) -> f64 {
 
 /// Replays a schedule and returns the delivery log.
 fn deliver(schedule: &[(f64, usize, f64)], cancel_below: f64) -> Vec<(u64, f64, usize, usize)> {
-    let mut kernel: Kernel<usize> = Kernel::new();
+    deliver_on(Kernel::new(), schedule, cancel_below)
+}
+
+/// Replays a schedule on a specific kernel and returns the delivery log.
+fn deliver_on(
+    mut kernel: Kernel<usize>,
+    schedule: &[(f64, usize, f64)],
+    cancel_below: f64,
+) -> Vec<(u64, f64, usize, usize)> {
     let mut cancel_ids = Vec::new();
     for (i, &(delay, dest, coin)) in schedule.iter().enumerate() {
         let id = kernel.schedule_at(grid(delay), ComponentId(dest), i);
@@ -88,6 +96,66 @@ proptest! {
         // And the cancelled count matches the coins drawn below 0.4.
         let cancelled = schedule.iter().filter(|(_, _, coin)| *coin < 0.4).count();
         prop_assert_eq!(partial.len() + cancelled, full.len());
+    }
+
+    /// The determinism contract is a property of the kernel, not of the
+    /// scheduler backend: the binary heap and the timing wheel deliver
+    /// **identical** event sequences (ids, times, destinations, payloads)
+    /// for the same schedule, with and without cancellations.
+    #[test]
+    fn heap_and_wheel_orderings_are_identical(schedule in schedule_strategy()) {
+        for cancel_below in [0.0, 0.4, 0.9] {
+            let heap = deliver_on(
+                Kernel::with_scheduler(SchedulerKind::BinaryHeap),
+                &schedule,
+                cancel_below,
+            );
+            let wheel = deliver_on(
+                Kernel::with_scheduler(SchedulerKind::TimingWheel),
+                &schedule,
+                cancel_below,
+            );
+            prop_assert_eq!(heap, wheel, "schedulers diverged at cancel rate {}", cancel_below);
+        }
+    }
+
+    /// Same equivalence under an *interleaved* workload: schedules, pops,
+    /// and cancellations mixed in data-dependent order, driven against
+    /// both backends in lockstep.
+    #[test]
+    fn heap_and_wheel_agree_under_interleaving(
+        ops in collection::vec((0u8..10, 0.0..200.0f64, 0usize..4), 1..300)
+    ) {
+        let mut heap: Kernel<usize> = Kernel::with_scheduler(SchedulerKind::BinaryHeap);
+        let mut wheel: Kernel<usize> = Kernel::with_scheduler(SchedulerKind::TimingWheel);
+        let mut live = Vec::new();
+        for (i, &(op, delay, dest)) in ops.iter().enumerate() {
+            if op < 6 {
+                let h = heap.schedule_in(grid(delay), ComponentId(dest), i);
+                let w = wheel.schedule_in(grid(delay), ComponentId(dest), i);
+                prop_assert_eq!(h, w, "ids diverged");
+                live.push(h);
+            } else if op < 8 {
+                if !live.is_empty() {
+                    let id = live.swap_remove(i % live.len());
+                    prop_assert_eq!(heap.cancel(id), wheel.cancel(id));
+                }
+            } else {
+                let h = heap.pop();
+                let w = wheel.pop();
+                prop_assert_eq!(&h, &w, "pop diverged");
+                if let Some(ev) = h {
+                    live.retain(|&id| id != ev.id);
+                }
+            }
+            prop_assert_eq!(heap.pending(), wheel.pending());
+        }
+        loop {
+            let h = heap.pop();
+            let w = wheel.pop();
+            prop_assert_eq!(&h, &w, "drain diverged");
+            if h.is_none() { break; }
+        }
     }
 }
 

@@ -200,9 +200,122 @@ impl Matrix {
         Ok(inv)
     }
 
+    /// Factorizes the matrix as `P A = L U` (partial pivoting). Factor
+    /// once in O(n³), then [`LuFactors::solve_into`] each right-hand side
+    /// in O(n²) — the tool for families of systems sharing one matrix
+    /// (e.g. the replica-balance systems of the P2P analysis, which
+    /// solve against the same routing structure for every chunk).
+    ///
+    /// Returns [`QueueingError::SingularSystem`] if the matrix is
+    /// (numerically) singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn lu(&self) -> Result<LuFactors, QueueingError> {
+        assert_eq!(self.rows, self.cols, "lu requires a square matrix");
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        for col in 0..n {
+            let mut pivot_row = col;
+            let mut pivot_mag = lu[col * n + col].abs();
+            for r in (col + 1)..n {
+                let mag = lu[r * n + col].abs();
+                if mag > pivot_mag {
+                    pivot_row = r;
+                    pivot_mag = mag;
+                }
+            }
+            if pivot_mag < 1e-12 {
+                return Err(QueueingError::SingularSystem { column: col });
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    lu.swap(col * n + c, pivot_row * n + c);
+                }
+                perm.swap(col, pivot_row);
+            }
+            let pivot = lu[col * n + col];
+            for r in (col + 1)..n {
+                let factor = lu[r * n + col] / pivot;
+                lu[r * n + col] = factor; // store L below the diagonal
+                if factor != 0.0 {
+                    for c in (col + 1)..n {
+                        lu[r * n + c] -= factor * lu[col * n + c];
+                    }
+                }
+            }
+        }
+        Ok(LuFactors { n, lu, perm })
+    }
+
     /// Maximum absolute entry; useful for residual checks in tests.
     pub fn max_abs(&self) -> f64 {
         self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+}
+
+/// An LU factorization with partial pivoting (`P A = L U`), produced by
+/// [`Matrix::lu`]. `L` is unit lower triangular (stored below the
+/// diagonal), `U` upper triangular (diagonal and above), packed in one
+/// row-major array.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A x = b` in place (`b` becomes `x`), using `scratch` for
+    /// the permuted right-hand side (resized as needed, so a reused
+    /// scratch buffer makes repeated solves allocation-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the system dimension.
+    pub fn solve_into(&self, b: &mut [f64], scratch: &mut Vec<f64>) {
+        let n = self.n;
+        assert_eq!(b.len(), n, "dimension mismatch in LU solve");
+        scratch.clear();
+        scratch.extend(self.perm.iter().map(|&p| b[p]));
+        // Forward substitution with unit-diagonal L.
+        for i in 0..n {
+            let mut sum = scratch[i];
+            let row = &self.lu[i * n..i * n + i];
+            for (l, x) in row.iter().zip(scratch.iter()) {
+                sum -= l * x;
+            }
+            scratch[i] = sum;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut sum = scratch[i];
+            let row = &self.lu[i * n + i + 1..(i + 1) * n];
+            for (u, x) in row.iter().zip(scratch[i + 1..].iter()) {
+                sum -= u * x;
+            }
+            scratch[i] = sum / self.lu[i * n + i];
+        }
+        b.copy_from_slice(scratch);
+    }
+
+    /// Solves `A x = b`, allocating the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` differs from the system dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = b.to_vec();
+        let mut scratch = Vec::with_capacity(self.n);
+        self.solve_into(&mut x, &mut scratch);
+        x
     }
 }
 
@@ -317,6 +430,43 @@ mod tests {
     fn mul_vec_dimension_mismatch_panics() {
         let a = Matrix::identity(2);
         let _ = a.mul_vec(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn lu_solve_matches_direct_solve() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.5],
+            vec![-1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ]);
+        let lu = a.lu().unwrap();
+        assert_eq!(lu.dim(), 3);
+        let mut scratch = Vec::new();
+        for b in [[1.0, 2.0, 3.0], [0.0, -5.0, 0.25], [1e3, -1e3, 0.0]] {
+            let direct = a.solve(&b).unwrap();
+            let mut x = b.to_vec();
+            lu.solve_into(&mut x, &mut scratch);
+            for (d, l) in direct.iter().zip(&x) {
+                assert_close(*d, *l, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn lu_requires_pivoting() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = a.lu().unwrap().solve(&[3.0, 7.0]);
+        assert_close(x[0], 7.0, 1e-12);
+        assert_close(x[1], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(
+            a.lu().unwrap_err(),
+            QueueingError::SingularSystem { .. }
+        ));
     }
 
     #[test]

@@ -50,8 +50,41 @@ pub enum SimKernel {
     EventDriven,
 }
 
+/// Which event-queue scheduler backs the DES kernel when
+/// [`SimKernel::EventDriven`] runs.
+///
+/// Both schedulers deliver **bit-identical** event sequences (the
+/// determinism contract is property-tested in `crates/des/tests`); they
+/// differ only in speed. The timing wheel is the default — O(1)
+/// amortized schedule/cancel/pop over slab-allocated events versus the
+/// heap's `O(log n)` sifts — and the `des_kernel` criterion bench plus
+/// the `engine_throughput` section of `BENCH_sim.json` track the gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SchedulerChoice {
+    /// Reference binary-heap queue with lazy cancellation.
+    Heap,
+    /// Hierarchical timing wheel (slab storage, free-list recycling,
+    /// eager O(1) cancellation).
+    #[default]
+    Wheel,
+}
+
+impl From<SchedulerChoice> for cloudmedia_des::SchedulerKind {
+    fn from(choice: SchedulerChoice) -> Self {
+        match choice {
+            SchedulerChoice::Heap => cloudmedia_des::SchedulerKind::BinaryHeap,
+            SchedulerChoice::Wheel => cloudmedia_des::SchedulerKind::TimingWheel,
+        }
+    }
+}
+
 /// Full configuration of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is implemented by hand (the vendored derive has no
+/// `#[serde(default)]`): the `scheduler` field is optional in JSON and
+/// defaults to [`SchedulerChoice::Wheel`], so config files written
+/// before the field existed keep loading.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SimConfig {
     /// Channel catalog (popularity, viewing models, arrival rates).
     pub catalog: Catalog,
@@ -95,6 +128,48 @@ pub struct SimConfig {
     pub peer_efficiency: f64,
     /// Round-engine implementation (identical results, different speed).
     pub kernel: SimKernel,
+    /// DES event-queue scheduler used by [`SimKernel::EventDriven`]
+    /// (identical event order, different speed). Ignored by the round
+    /// engines.
+    pub scheduler: SchedulerChoice,
+}
+
+impl serde::Deserialize for SimConfig {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        fn req<T: serde::Deserialize>(v: &serde::Value, field: &str) -> Result<T, serde::DeError> {
+            T::from_value(
+                v.get(field).ok_or_else(|| {
+                    serde::de_error(format!("SimConfig: missing field `{field}`"))
+                })?,
+            )
+        }
+        Ok(Self {
+            catalog: req(v, "catalog")?,
+            trace: req(v, "trace")?,
+            mode: req(v, "mode")?,
+            provisioning_interval: req(v, "provisioning_interval")?,
+            vm_budget_per_hour: req(v, "vm_budget_per_hour")?,
+            storage_budget_per_hour: req(v, "storage_budget_per_hour")?,
+            predictor: req(v, "predictor")?,
+            psi: req(v, "psi")?,
+            provisioning_target: req(v, "provisioning_target")?,
+            provisioner: req(v, "provisioner")?,
+            safety_factor: req(v, "safety_factor")?,
+            round_seconds: req(v, "round_seconds")?,
+            sample_interval: req(v, "sample_interval")?,
+            behaviour_seed: req(v, "behaviour_seed")?,
+            streaming_rate: req(v, "streaming_rate")?,
+            chunk_seconds: req(v, "chunk_seconds")?,
+            peer_efficiency: req(v, "peer_efficiency")?,
+            kernel: req(v, "kernel")?,
+            // Optional with a default: added after configs were already
+            // in the wild.
+            scheduler: match v.get("scheduler") {
+                Some(value) => serde::Deserialize::from_value(value)?,
+                None => SchedulerChoice::default(),
+            },
+        })
+    }
 }
 
 impl SimConfig {
@@ -137,6 +212,7 @@ impl SimConfig {
             chunk_seconds: 300.0,
             peer_efficiency: 0.85,
             kernel: SimKernel::default(),
+            scheduler: SchedulerChoice::default(),
         }
     }
 
@@ -239,6 +315,22 @@ impl SimConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn config_json_without_scheduler_field_still_loads() {
+        // `scheduler` was added after config files were already in the
+        // wild; a pre-existing JSON config (no such key) must load with
+        // the default instead of failing deserialization.
+        let cfg = SimConfig::paper_default(SimMode::P2p);
+        let serde::Value::Object(mut fields) = serde::Serialize::to_value(&cfg) else {
+            panic!("config serializes to an object");
+        };
+        fields.retain(|(k, _)| k != "scheduler");
+        let legacy = serde::Value::Object(fields);
+        let parsed = <SimConfig as serde::Deserialize>::from_value(&legacy).unwrap();
+        assert_eq!(parsed.scheduler, SchedulerChoice::Wheel);
+        assert_eq!(parsed, cfg);
+    }
 
     #[test]
     fn paper_default_validates() {

@@ -233,7 +233,7 @@ pub fn run(cfg: &SimConfig, scenario: &DesScenario) -> Result<DesRun, SimError> 
     let horizon = cfg.trace.horizon_seconds;
     let n_channels = cfg.catalog.len();
 
-    let mut kernel: Kernel<CmEvent> = Kernel::new();
+    let mut kernel: Kernel<CmEvent> = Kernel::with_scheduler(cfg.scheduler.into());
     let mut provisioner = provisioner::Provisioner::new(cfg, scenario)?;
     let mut admission =
         admission::Admission::new(cfg, provisioner.vm_bandwidth(), scenario.remote_overflow);

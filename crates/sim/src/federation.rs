@@ -55,7 +55,7 @@ use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters};
 use cloudmedia_core::federation::{paper_sites, plan_global_placement, FederationPolicy, SiteSpec};
 use cloudmedia_core::geo::{three_sites, validate_regions, RegionSpec};
 use cloudmedia_workload::diurnal::DiurnalPattern;
-use cloudmedia_workload::trace::generate_arrivals;
+use cloudmedia_workload::trace::{ArrivalStream, UserArrival};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -94,6 +94,14 @@ pub struct FederatedConfig {
     pub sites: Vec<SiteSpec>,
     /// The placement policy.
     pub policy: FederationPolicy,
+    /// Run the per-region round engines on the rayon pool (default).
+    /// Regions never share an accumulator inside a round and every
+    /// cross-region coupling (global placement, site online fractions)
+    /// happens at synchronization barriers, so the parallel and serial
+    /// executions are **bit-identical** — pinned by
+    /// `crates/sim/tests/federation.rs`. Disable to force serial
+    /// execution (debugging, single-core baselines).
+    pub parallel_regions: bool,
 }
 
 impl FederatedConfig {
@@ -108,12 +116,14 @@ impl FederatedConfig {
                 regions: three_sites(),
                 sites: paper_sites(),
                 policy: FederationPolicy::independent(),
+                parallel_regions: true,
             },
             DeploymentKind::Federated => Self {
                 base,
                 regions: three_sites(),
                 sites: paper_sites(),
                 policy: FederationPolicy::federated(),
+                parallel_regions: true,
             },
             DeploymentKind::Central => {
                 // One site in the reference market serving the mixture of
@@ -147,6 +157,7 @@ impl FederatedConfig {
                         egress_price_per_gb: 0.0,
                     }],
                     policy: FederationPolicy::independent(),
+                    parallel_regions: true,
                 }
             }
         }
@@ -353,8 +364,10 @@ struct RegionRuntime {
     rng: StdRng,
     peers: Vec<Peer>,
     metrics: Metrics,
-    arrivals: Vec<cloudmedia_workload::trace::UserArrival>,
-    next_arrival: usize,
+    /// Lazily generated arrival stream (O(channels) memory).
+    arrivals: ArrivalStream,
+    /// The next arrival not yet ingested, if any.
+    next_arrival: Option<UserArrival>,
     /// SLA latency penalty on redirected traffic, dollars per GB.
     penalty_per_gb: f64,
     vm_bandwidth: f64,
@@ -470,8 +483,8 @@ impl FederatedSimulator {
             };
             let planner = make_planner(&cfg, vm_bandwidth)?;
             let tracker = Tracker::new(&cfg.catalog)?;
-            let trace = generate_arrivals(&cfg.catalog, &cfg.trace)?;
-            let arrivals = trace.arrivals().to_vec();
+            let mut arrivals = ArrivalStream::new(&cfg.catalog, &cfg.trace)?;
+            let next_arrival = arrivals.next();
             let rng = StdRng::seed_from_u64(cfg.behaviour_seed);
             let n_clusters = sla.virtual_clusters.len();
             regions.push(RegionRuntime {
@@ -483,7 +496,7 @@ impl FederatedSimulator {
                 peers: Vec::new(),
                 metrics: Metrics::default(),
                 arrivals,
-                next_arrival: 0,
+                next_arrival,
                 penalty_per_gb,
                 vm_bandwidth,
                 chunk_bytes,
@@ -533,7 +546,9 @@ impl FederatedSimulator {
             }
 
             // --- Per-region round (arrivals → allocate → progress) ---
-            // Site online fractions feed every region's blended scale.
+            // Site online fractions feed every region's blended scale;
+            // computing them *before* the fan-out is the read barrier
+            // that keeps the parallel execution bit-identical to serial.
             let site_online: Vec<f64> = regions
                 .iter()
                 .map(|r| {
@@ -544,8 +559,30 @@ impl FederatedSimulator {
                     }
                 })
                 .collect();
-            for r in regions.iter_mut() {
-                r.step_round(clock, t1, step, &site_online)?;
+            if fc.parallel_regions && regions.len() > 1 {
+                // Regions are fully independent within a round (no shared
+                // accumulator; coupling happens only at provisioning
+                // boundaries and through the pre-computed `site_online`
+                // snapshot), so the fan-out cannot reorder any
+                // arithmetic. Results are reduced in region order below,
+                // so even error reporting is deterministic.
+                let mut results: Vec<Result<(), SimError>> = Vec::new();
+                results.resize_with(regions.len(), || Ok(()));
+                let online = &site_online;
+                rayon::scope(|s| {
+                    for (r, slot) in regions.iter_mut().zip(results.iter_mut()) {
+                        s.spawn(move |_| {
+                            *slot = r.step_round(clock, t1, step, online);
+                        });
+                    }
+                });
+                for result in results {
+                    result?;
+                }
+            } else {
+                for r in regions.iter_mut() {
+                    r.step_round(clock, t1, step, &site_online)?;
+                }
             }
 
             // --- Sampling --------------------------------------------
@@ -730,9 +767,7 @@ impl RegionRuntime {
     ) -> Result<(), SimError> {
         let chunk_bytes = self.chunk_bytes;
         // --- Arrivals ------------------------------------------------
-        while self.next_arrival < self.arrivals.len() && self.arrivals[self.next_arrival].time < t1
-        {
-            let a = &self.arrivals[self.next_arrival];
+        while let Some(a) = self.next_arrival.as_ref().filter(|a| a.time < t1) {
             self.peers.push(Peer::new(
                 a.user_id,
                 a.channel,
@@ -743,7 +778,7 @@ impl RegionRuntime {
             ));
             self.engine.on_join(&self.peers, self.peers.len() - 1);
             self.tracker.record_join(a.channel, a.start_chunk);
-            self.next_arrival += 1;
+            self.next_arrival = self.arrivals.next();
         }
 
         // --- Allocation stage ---------------------------------------
@@ -761,6 +796,7 @@ impl RegionRuntime {
         };
         let ctx = RoundCtx {
             step,
+            inv_step: 1.0 / step,
             vm_bandwidth: self.vm_bandwidth,
             eff: self.cfg.peer_efficiency,
             p2p: self.cfg.mode == SimMode::P2p,

@@ -18,38 +18,43 @@
 //!
 //! - [`SimKernel::Indexed`] (production): round cost scales with *what
 //!   happens*, not with how many viewers are connected. Per channel it
-//!   keeps a sorted peer index with struct-of-arrays mirrors of the hot
-//!   fields (upload capacity, buffer bitmap, in-flight download state),
-//!   an incrementally-maintained chunk-owner count, a cached upload
-//!   pool, and per-chunk owner-upload sums cached between invalidating
-//!   events. Demand aggregation streams only the *active downloaders*;
-//!   waiting peers sit in a calendar wheel bucketed by wake round and
-//!   are touched exactly once, when due. Allocation runs through
-//!   mask-sparse in-place kernels over each channel's requested chunks,
-//!   and fans out across channels (`rayon`) for very large populations.
-//!   **Zero heap allocation per round** in steady state: every buffer —
-//!   per-channel lanes, sort scratch, the wheel, the event lists — is
-//!   owned by the engine or the run loop and reused across all ~60 k
-//!   rounds of a week-long run. The only allocator traffic after warm-up
-//!   is amortized growth of index vectors on joins, metric pushes at
-//!   sampling boundaries, and the hourly provisioning work.
+//!   keeps a sorted struct-of-arrays index of the in-flight downloads,
+//!   incrementally-maintained chunk-owner counts, and **fixed-point peer
+//!   supply aggregates** — the upload pool and per-chunk owner-upload
+//!   sums are integers in 1/1024-byte/s units, updated in O(1) on every
+//!   join, buffer addition, and departure, so no per-round walk of the
+//!   channel membership exists at all. Demand aggregation streams only
+//!   the *active downloaders*; waiting peers sit in a calendar wheel
+//!   bucketed by wake round and are touched exactly once, when due.
+//!   Allocation runs through mask-sparse in-place kernels over each
+//!   channel's requested chunks, and fans out across channels (`rayon`)
+//!   for very large populations. **Zero heap allocation per round** in
+//!   steady state: every buffer — per-channel lanes, sort scratch, the
+//!   wheel, the event lists — is owned by the engine or the run loop and
+//!   reused across all ~60 k rounds of a week-long run. Arrivals are
+//!   pulled lazily from the streaming
+//!   [`cloudmedia_workload::trace::ArrivalStream`], so a full simulated
+//!   week (or year) never materializes its trace.
 //! - [`SimKernel::Scan`] (reference): the original engine — three full
 //!   peer-population scans per round and fresh `Vec`s for every cloud
-//!   allocation. Kept verbatim as the benchmark baseline and as the
-//!   oracle the indexed engine is tested against.
+//!   allocation. Kept as the benchmark baseline and as the oracle the
+//!   indexed engine is tested against.
 //!
 //! Both engines produce **bit-identical** [`Metrics`] for the same seed.
 //! This is by construction:
 //!
-//! - Every floating-point accumulator (per-slot demand, per-channel
-//!   upload pool, per-chunk owner upload) receives contributions from
-//!   exactly one channel's peers, and the indexed engine's member lists
-//!   are kept sorted by global peer index — the same relative order a
-//!   full-population scan visits — so every sum is the same sequence of
-//!   f64 additions. Cached sums are invalidated whenever their member
-//!   set *or member order* changes (buffer additions, departures, and
-//!   the `swap_remove` re-keying that moves a peer's position), so a
-//!   cache hit is always bit-identical to a fresh walk.
+//! - Per-slot *demand* sums are f64, but each receives contributions from
+//!   exactly one channel's downloaders, and the indexed engine's download
+//!   index is kept sorted by global peer index — the same relative order
+//!   the full-population scan visits — so every demand sum is the same
+//!   sequence of f64 additions.
+//! - Peer *supply* aggregates (upload pool, per-chunk owner upload) are
+//!   integers in fixed-point units shared by both engines
+//!   (`quantize_usable`). Integer addition is associative, so the scan
+//!   engine's per-round rescan and the indexed engine's incremental
+//!   updates produce the identical value regardless of order, and the
+//!   `u64 → f64` conversion both engines apply is exact (sums stay far
+//!   below 2^53).
 //! - Owner counts are integers, so their incremental maintenance is
 //!   exact; the mask-sparse kernels skip only slots whose demand is an
 //!   exact zero, which contributes nothing to any sum.
@@ -71,7 +76,7 @@ use cloudmedia_core::controller::{Controller, ControllerConfig, ProvisioningPlan
 use cloudmedia_core::predictor::ChannelObservation;
 use cloudmedia_core::CoreError;
 use cloudmedia_workload::catalog::Catalog;
-use cloudmedia_workload::trace::generate_arrivals;
+use cloudmedia_workload::trace::ArrivalStream;
 use cloudmedia_workload::viewing::NextAction;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -116,9 +121,48 @@ pub fn last_phase_profile() -> Option<PhaseProfile> {
 
 /// Minimum connected population before the indexed engine fans the
 /// per-channel allocation stage out across threads. Below this, one core
-/// finishes the stage faster than threads can be dispatched (the vendored
-/// rayon spawns scoped threads rather than pooling).
+/// finishes the stage faster than pool dispatch costs.
 const PAR_MIN_PEERS: usize = 16_384;
+
+/// Fixed-point scale for peer upload-supply aggregation: 1/1024 byte/s
+/// units. A power of two, so quantization and the `u64 → f64` readback
+/// are exact binary operations; integer sums are associative, which is
+/// what lets the indexed engine maintain the upload pool and per-chunk
+/// owner-upload sums incrementally while staying bit-identical to the
+/// scan engine's per-round rescan (see the module docs).
+///
+/// Headroom: a 10 Mbps peer is ~1.3e9 units; a hundred million such
+/// peers sum to ~1.3e17, inside `u64`; realistic pools stay below 2^53,
+/// so the f64 conversion is exact.
+pub(crate) const UPLOAD_SCALE: f64 = 1024.0;
+
+/// Quantizes one peer's usable upload (`capacity × efficiency`) onto the
+/// fixed-point supply grid. Both engines call this — it is the single
+/// definition of a peer's supply contribution.
+#[inline]
+pub(crate) fn quantize_usable(capacity: f64, eff: f64) -> u64 {
+    (capacity * eff * UPLOAD_SCALE).round() as u64
+}
+
+/// Converts a fixed-point supply aggregate back to bytes/s.
+#[inline]
+pub(crate) fn dequantize(units: u64) -> f64 {
+    units as f64 * (1.0 / UPLOAD_SCALE)
+}
+
+/// Quantizes one download's requested rate for this round —
+/// `min(bytes_left / step, vm_bandwidth)` — onto the fixed-point grid
+/// (`inv_step` is the precomputed `1 / step`; the multiply replaces a
+/// per-downloader division). Per-slot demand sums are integers for the
+/// same reason the supply aggregates are: order-free summation, so
+/// neither engine needs to visit downloaders in any particular order.
+/// Rounds **up** so an almost-finished download (a sub-unit trickle)
+/// still requests a nonzero rate and can complete instead of stalling
+/// forever.
+#[inline]
+pub(crate) fn quantize_rate(bytes_left: f64, inv_step: f64, vm_bandwidth: f64) -> u64 {
+    ((bytes_left * inv_step).min(vm_bandwidth) * UPLOAD_SCALE).ceil() as u64
+}
 
 /// The system simulator. Construct with a [`SimConfig`] and call
 /// [`Simulator::run`].
@@ -188,6 +232,8 @@ impl Simulator {
 pub(crate) struct RoundCtx<'a> {
     /// Round duration, seconds.
     pub(crate) step: f64,
+    /// `1 / step`, precomputed for the demand quantization.
+    pub(crate) inv_step: f64,
     /// Per-connection rate cap (one VM's bandwidth), bytes/s.
     pub(crate) vm_bandwidth: f64,
     /// Usable fraction of peer upload capacity.
@@ -202,8 +248,9 @@ pub(crate) struct RoundCtx<'a> {
 
 /// A per-round allocation engine: told about peer lifecycle events, asked
 /// once per round to run the allocation stage and to name the peers that
-/// can act this round.
-pub(crate) trait RoundEngine {
+/// can act this round. `Send` so the federated simulator can drive one
+/// engine per region on the rayon pool.
+pub(crate) trait RoundEngine: Send {
     /// A peer was appended at global index `idx` (always in the
     /// `Downloading` state).
     fn on_join(&mut self, peers: &[Peer], idx: usize);
@@ -280,6 +327,15 @@ pub(crate) struct ScanEngine {
     peer_served: Vec<f64>,
     cloud_served: Vec<f64>,
     rounds: Vec<ChannelRound>,
+    /// Fixed-point upload-pool accumulator per channel (rescanned every
+    /// round; shared supply grid with the indexed engine).
+    pool_units: Vec<u64>,
+    /// Fixed-point owner-upload accumulator per slot.
+    owner_units: Vec<u64>,
+    /// Fixed-point demand accumulator per slot.
+    req_units: Vec<u64>,
+    /// Served-rate ratio per slot (recomputed each round).
+    ratio: Vec<f64>,
 }
 
 impl ScanEngine {
@@ -299,6 +355,10 @@ impl ScanEngine {
                     upload_pool: 0.0,
                 })
                 .collect(),
+            pool_units: vec![0; n_channels],
+            owner_units: vec![0; slots],
+            req_units: vec![0; slots],
+            ratio: vec![0.0; slots],
         }
     }
 }
@@ -337,39 +397,48 @@ impl RoundEngine for ScanEngine {
         let slots = self.n_channels * max_chunks;
 
         // --- Demand aggregation: full-population scan ---------------
-        self.requested[..slots].iter_mut().for_each(|v| *v = 0.0);
+        self.req_units[..slots].iter_mut().for_each(|v| *v = 0);
         for p in peers {
             if let PeerState::Downloading {
                 chunk, bytes_left, ..
             } = p.state
             {
-                let req = (bytes_left / ctx.step).min(ctx.vm_bandwidth);
-                self.requested[p.channel * max_chunks + chunk] += req;
+                self.req_units[p.channel * max_chunks + chunk] +=
+                    quantize_rate(bytes_left, ctx.inv_step, ctx.vm_bandwidth);
             }
+        }
+        for (out, &units) in self.requested[..slots].iter_mut().zip(&self.req_units) {
+            *out = dequantize(units);
         }
 
         // --- Peer-side allocation (P2P only): second full scan ------
         if ctx.p2p {
             for (c, round) in self.rounds.iter_mut().enumerate() {
-                round.upload_pool = 0.0;
                 round.owners.iter_mut().for_each(|v| *v = 0);
-                round.owner_upload.iter_mut().for_each(|v| *v = 0.0);
                 round
                     .requested_rate
                     .copy_from_slice(&self.requested[c * max_chunks..(c + 1) * max_chunks]);
             }
+            self.pool_units.iter_mut().for_each(|v| *v = 0);
+            self.owner_units[..slots].iter_mut().for_each(|v| *v = 0);
             for p in peers {
                 let round = &mut self.rounds[p.channel];
-                let usable = p.upload_capacity * ctx.eff;
-                round.upload_pool += usable;
+                let usable = quantize_usable(p.upload_capacity, ctx.eff);
+                self.pool_units[p.channel] += usable;
                 let mut bits = p.buffer;
                 while bits != 0 {
                     let chunk = bits.trailing_zeros() as usize;
                     bits &= bits - 1;
                     if chunk < max_chunks {
                         round.owners[chunk] += 1;
-                        round.owner_upload[chunk] += usable;
+                        self.owner_units[p.channel * max_chunks + chunk] += usable;
                     }
+                }
+            }
+            for (c, round) in self.rounds.iter_mut().enumerate() {
+                round.upload_pool = dequantize(self.pool_units[c]);
+                for (k, out) in round.owner_upload.iter_mut().enumerate() {
+                    *out = dequantize(self.owner_units[c * max_chunks + k]);
                 }
             }
             for (c, round) in self.rounds.iter().enumerate() {
@@ -398,6 +467,13 @@ impl RoundEngine for ScanEngine {
         }
         let used: f64 = cloud_served.iter().sum();
         self.cloud_served = cloud_served;
+        for i in 0..slots {
+            self.ratio[i] = if self.requested[i] > 0.0 {
+                (self.peer_served[i] + self.cloud_served[i]) / self.requested[i]
+            } else {
+                0.0
+            };
+        }
         used
     }
 
@@ -419,14 +495,9 @@ impl RoundEngine for ScanEngine {
                     deadline,
                 } => {
                     let slot = p.channel * self.max_chunks + chunk;
-                    let total_rate = self.peer_served[slot] + self.cloud_served[slot];
-                    let req_total = self.requested[slot];
-                    let my_req = (bytes_left / ctx.step).min(ctx.vm_bandwidth);
-                    let my_rate = if req_total > 0.0 {
-                        total_rate * my_req / req_total
-                    } else {
-                        0.0
-                    };
+                    let my_req =
+                        dequantize(quantize_rate(bytes_left, ctx.inv_step, ctx.vm_bandwidth));
+                    let my_rate = my_req * self.ratio[slot];
                     let new_left = bytes_left - my_rate * ctx.step;
                     if new_left <= 1e-6 {
                         completed.push(idx);
@@ -452,58 +523,53 @@ impl RoundEngine for ScanEngine {
 // Indexed engine: per-channel peer index + incremental aggregates.
 // ----------------------------------------------------------------------
 
+/// One in-flight download in a lane's index: the downloader's global
+/// peer index, the chunk it fetches, and the authoritative bytes-left
+/// counter (the peer's own state is only refreshed at completion
+/// boundaries). 16 bytes, so a lane's whole download index streams
+/// through cache in the advance loop.
+#[derive(Debug, Clone, Copy)]
+struct DlEntry {
+    /// Global peer index (re-keyed on `swap_remove`).
+    idx: u32,
+    /// Chunk being fetched.
+    chunk: u32,
+    /// Bytes still to download.
+    bytes: f64,
+    /// This round's requested rate (the dequantized fixed-point value),
+    /// cached by `process` so `advance` reads it instead of recomputing
+    /// the quantization.
+    req: f64,
+}
+
 /// One channel's round state and scratch, owned by the indexed engine.
 ///
 /// All per-chunk vectors are sized `max_chunks` (≤ 64, so chunk sets are
-/// `u64` masks) at construction and reused for the entire run; the index
-/// vectors retain capacity across rounds, so a steady-state round
-/// performs no heap allocation.
+/// `u64` masks) at construction and reused for the entire run; the
+/// download index retains capacity across rounds, so a steady-state
+/// round performs no heap allocation. Peer supply (upload pool,
+/// per-chunk owner upload) lives in fixed-point integers maintained
+/// incrementally — there is no per-round membership walk.
 #[derive(Debug)]
 struct ChannelLane {
     /// This channel's index (for `channel_reserved` lookup).
     id: usize,
-    /// Global indices into the peer vector of this channel's viewers,
-    /// sorted ascending. Sorted order is what makes the lane's float
-    /// accumulations bit-identical to a full-population scan.
-    members: Vec<usize>,
-    /// Usable upload (capacity × efficiency) of each member, parallel to
-    /// `members` — a struct-of-arrays mirror so upload aggregation
-    /// streams 8-byte values instead of gathering whole `Peer` structs.
-    member_usable: Vec<f64>,
-    /// Buffer bitmap of each member (parallel to `members`), mirrored on
-    /// every buffer addition.
-    member_buffer: Vec<u64>,
-    /// Global indices of members currently downloading, sorted
-    /// ascending. Per-round demand cost scales with this set — the
-    /// active downloaders — not with channel membership.
-    downloaders: Vec<usize>,
-    /// Chunk each downloader is fetching (parallel to `downloaders`).
-    dl_chunk: Vec<usize>,
-    /// Bytes left for each in-flight download (parallel to
-    /// `downloaders`). This is the authoritative copy while a download
-    /// is in flight; the peer's own state is only refreshed at
-    /// completion boundaries.
-    dl_bytes: Vec<f64>,
-    /// Playback deadline of each in-flight download (parallel to
-    /// `downloaders`).
-    dl_deadline: Vec<f64>,
+    /// In-flight downloads, in no particular order (every cross-peer sum
+    /// is fixed-point and therefore order-free, so the index uses O(1)
+    /// push / swap-remove; the engine's `dl_slot` map locates entries).
+    dl: Vec<DlEntry>,
     /// Number of peers owning each chunk — maintained incrementally on
     /// buffer additions and departures (integers, so maintenance is
     /// exact).
     owners: Vec<usize>,
-    /// Σ usable upload over members, cached between membership changes.
-    /// Recomputed in member order when `members_dirty`, which yields the
-    /// same bits as the per-round rescan it replaces.
-    upload_pool: f64,
-    /// Membership changed since `upload_pool` was computed.
-    members_dirty: bool,
-    /// Chunks whose `owner_upload` entry is current. A chunk's
-    /// owner-upload sum — taken in member order — changes only when a
-    /// member buffers it, an owner departs, or a member's position in
-    /// the sorted order moves (swap-remove re-keying); all three clear
-    /// the bit, so a set bit means the cached sum is bit-identical to a
-    /// fresh walk.
-    owner_cached: u64,
+    /// Σ usable upload over owners of each chunk, fixed-point units
+    /// (incremental; see [`UPLOAD_SCALE`]).
+    owner_units: Vec<u64>,
+    /// Σ usable upload over the channel's members, fixed-point units
+    /// (incremental).
+    pool_units: u64,
+    /// Fixed-point demand accumulator per chunk this round.
+    req_units: Vec<u64>,
     /// Chunk slots written last processed round (cleared lazily at the
     /// start of the next).
     written_mask: u64,
@@ -515,10 +581,12 @@ struct ChannelLane {
     cloud_served: Vec<f64>,
     /// Residual (cloud-facing) demand per chunk this round.
     residual: Vec<f64>,
-    /// Total upload capacity of the chunk owners, per chunk — computed
-    /// each round for the requested chunks only (the allocation kernel
-    /// reads no others).
+    /// f64 view of `owner_units`, refreshed for the requested chunks
+    /// each round (the allocation kernel reads no others).
     owner_upload: Vec<f64>,
+    /// Served-rate ratio `(peer + cloud) / requested` per chunk this
+    /// round — hoists the advance loop's division out to one per chunk.
+    ratio: Vec<f64>,
     /// Sort scratch for the allocation kernels.
     order: Vec<usize>,
 }
@@ -528,40 +596,27 @@ impl ChannelLane {
         assert!(max_chunks <= 64, "chunk sets are u64 masks");
         Self {
             id,
-            members: Vec::new(),
-            member_usable: Vec::new(),
-            member_buffer: Vec::new(),
-            downloaders: Vec::new(),
-            dl_chunk: Vec::new(),
-            dl_bytes: Vec::new(),
-            dl_deadline: Vec::new(),
+            dl: Vec::new(),
             owners: vec![0; max_chunks],
-            upload_pool: 0.0,
-            members_dirty: false,
-            owner_cached: 0,
+            owner_units: vec![0; max_chunks],
+            pool_units: 0,
+            req_units: vec![0; max_chunks],
             written_mask: 0,
             requested: vec![0.0; max_chunks],
             peer_served: vec![0.0; max_chunks],
             cloud_served: vec![0.0; max_chunks],
             residual: vec![0.0; max_chunks],
             owner_upload: vec![0.0; max_chunks],
+            ratio: vec![0.0; max_chunks],
             order: Vec::new(),
         }
     }
 
-    /// Position of global peer index `idx` in the member list.
-    fn member_pos(&self, idx: usize) -> usize {
-        self.members
-            .binary_search(&idx)
-            .expect("peer is indexed in its channel's member list")
-    }
-
     /// Fused per-round pass for this channel: demand aggregation over the
-    /// active downloaders, P2P upload aggregation (pool cached between
-    /// membership changes, per-chunk owner upload computed for requested
-    /// chunks only), and both allocation kernels — all confined to the
-    /// requested chunk slots, so per-round cost scales with active
-    /// downloads rather than channel size or chunk count.
+    /// active downloaders, fixed-point supply readback, and both
+    /// allocation kernels — all confined to the requested chunk slots,
+    /// so per-round cost scales with active downloads rather than
+    /// channel size or chunk count.
     fn process(&mut self, ctx: &RoundCtx<'_>) {
         // Lazily clear last round's written slots; after this, every
         // per-chunk buffer is all-zero.
@@ -573,69 +628,44 @@ impl ChannelLane {
             self.peer_served[k] = 0.0;
             self.cloud_served[k] = 0.0;
             self.residual[k] = 0.0;
+            self.req_units[k] = 0;
         }
         self.written_mask = 0;
-        if self.downloaders.is_empty() {
+        if self.dl.is_empty() {
             // Nothing is requested: every output stays zero and the lane
             // costs O(1) this round.
             return;
         }
 
         let mut req_mask: u64 = 0;
-        for (j, &chunk) in self.dl_chunk.iter().enumerate() {
-            let req = (self.dl_bytes[j] / ctx.step).min(ctx.vm_bandwidth);
-            self.requested[chunk] += req;
-            req_mask |= 1 << chunk;
+        for e in &mut self.dl {
+            let units = quantize_rate(e.bytes, ctx.inv_step, ctx.vm_bandwidth);
+            e.req = dequantize(units);
+            self.req_units[e.chunk as usize] += units;
+            req_mask |= 1 << e.chunk;
+        }
+        let mut m = req_mask;
+        while m != 0 {
+            let k = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.requested[k] = dequantize(self.req_units[k]);
         }
         self.written_mask = req_mask;
 
         if ctx.p2p {
-            if self.members_dirty {
-                let mut pool = 0.0;
-                for &u in &self.member_usable {
-                    pool += u;
-                }
-                self.upload_pool = pool;
-                self.members_dirty = false;
-            }
-            // Owner upload for the requested chunks only (the kernel
-            // reads no other entries), and among those only the chunks
-            // whose cached sum was invalidated since the last walk. A
-            // chunk owned by every member sums the same sequence as the
-            // pool itself; the rest walk the member buffers. Either way
-            // the summation is in member order, bit-identical to a full
-            // rescan.
-            let mut walk_mask = 0u64;
-            let mut m = req_mask & !self.owner_cached;
+            // Supply readback: the incremental integer aggregates convert
+            // exactly; only the requested chunks are materialized.
+            let mut m = req_mask;
             while m != 0 {
                 let k = m.trailing_zeros() as usize;
                 m &= m - 1;
-                if self.owners[k] == self.members.len() {
-                    self.owner_upload[k] = self.upload_pool;
-                } else {
-                    self.owner_upload[k] = 0.0;
-                    walk_mask |= 1 << k;
-                }
+                self.owner_upload[k] = dequantize(self.owner_units[k]);
             }
-            if walk_mask != 0 {
-                for (i, &buf) in self.member_buffer.iter().enumerate() {
-                    let mut bits = buf & walk_mask;
-                    if bits != 0 {
-                        let usable = self.member_usable[i];
-                        while bits != 0 {
-                            let k = bits.trailing_zeros() as usize;
-                            bits &= bits - 1;
-                            self.owner_upload[k] += usable;
-                        }
-                    }
-                }
-            }
-            self.owner_cached |= req_mask;
             crate::allocation::peer_allocation_sparse(
                 &self.requested,
                 &self.owners,
                 &self.owner_upload,
-                self.upload_pool,
+                dequantize(self.pool_units),
                 &mut self.peer_served,
                 &mut self.order,
                 req_mask,
@@ -654,28 +684,27 @@ impl ChannelLane {
             &mut self.order,
             req_mask,
         );
+        // One division per requested chunk; the advance loop then costs
+        // a single multiply per downloader.
+        let mut m = req_mask;
+        while m != 0 {
+            let k = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.ratio[k] = (self.peer_served[k] + self.cloud_served[k]) / self.requested[k];
+        }
     }
 
     /// Advances this lane's in-flight downloads by one round, streaming
-    /// the downloader arrays; completed downloads are appended to
-    /// `completed` (in ascending index order within the lane).
+    /// the download index; completed downloads are appended to
+    /// `completed` (order restored by the caller's global sort).
     fn advance(&mut self, ctx: &RoundCtx<'_>, completed: &mut Vec<usize>) {
-        for j in 0..self.downloaders.len() {
-            let chunk = self.dl_chunk[j];
-            let bytes_left = self.dl_bytes[j];
-            let total_rate = self.peer_served[chunk] + self.cloud_served[chunk];
-            let req_total = self.requested[chunk];
-            let my_req = (bytes_left / ctx.step).min(ctx.vm_bandwidth);
-            let my_rate = if req_total > 0.0 {
-                total_rate * my_req / req_total
-            } else {
-                0.0
-            };
-            let new_left = bytes_left - my_rate * ctx.step;
+        for e in &mut self.dl {
+            let my_rate = e.req * self.ratio[e.chunk as usize];
+            let new_left = e.bytes - my_rate * ctx.step;
             if new_left <= 1e-6 {
-                completed.push(self.downloaders[j]);
+                completed.push(e.idx as usize);
             } else {
-                self.dl_bytes[j] = new_left;
+                e.bytes = new_left;
             }
         }
     }
@@ -804,6 +833,9 @@ impl WakeWheel {
     }
 }
 
+/// "Not downloading" marker in [`IndexedEngine::dl_slot`].
+const DL_NONE: u32 = u32::MAX;
+
 /// Production engine; see the module docs for the design and the
 /// bit-exactness argument.
 #[derive(Debug)]
@@ -812,6 +844,12 @@ pub(crate) struct IndexedEngine {
     max_chunks: usize,
     /// Usable-upload factor (`peer_efficiency`), applied once at join.
     eff: f64,
+    /// Each connected peer's fixed-point usable upload, indexed by
+    /// global peer index (mirrors `peers` across `swap_remove`).
+    usable_units: Vec<u64>,
+    /// Each connected peer's position in its lane's download index
+    /// ([`DL_NONE`] while waiting), indexed by global peer index.
+    dl_slot: Vec<u32>,
     /// Waiting peers, bucketed by wake round.
     wheel: WakeWheel,
     /// Stable peer id → current index (kept current across
@@ -829,6 +867,8 @@ impl IndexedEngine {
                 .collect(),
             max_chunks,
             eff,
+            usable_units: Vec::new(),
+            dl_slot: Vec::new(),
             wheel: WakeWheel::new(round_seconds),
             id_to_idx: IdMap::default(),
             due: Vec::new(),
@@ -840,34 +880,31 @@ impl RoundEngine for IndexedEngine {
     fn on_join(&mut self, peers: &[Peer], idx: usize) {
         debug_assert_eq!(idx, peers.len() - 1, "joins append at the end");
         let p = &peers[idx];
+        debug_assert_eq!(p.buffer, 0, "peers join with an empty buffer");
+        let usable = quantize_usable(p.upload_capacity, self.eff);
+        self.usable_units.push(usable);
         let lane = &mut self.lanes[p.channel];
-        // `idx` exceeds every existing index, so pushing keeps the
-        // member and downloader lists sorted.
-        lane.members.push(idx);
-        lane.member_usable.push(p.upload_capacity * self.eff);
-        lane.member_buffer.push(p.buffer);
+        lane.pool_units += usable;
         let PeerState::Downloading {
-            chunk,
-            bytes_left,
-            deadline,
+            chunk, bytes_left, ..
         } = p.state
         else {
             unreachable!("peers join downloading their start chunk");
         };
-        lane.downloaders.push(idx);
-        lane.dl_chunk.push(chunk);
-        lane.dl_bytes.push(bytes_left);
-        lane.dl_deadline.push(deadline);
-        lane.members_dirty = true;
+        self.dl_slot.push(lane.dl.len() as u32);
+        lane.dl.push(DlEntry {
+            idx: idx as u32,
+            chunk: chunk as u32,
+            bytes: bytes_left,
+            req: 0.0,
+        });
         self.id_to_idx.insert(p.id, idx);
     }
 
     fn on_buffer(&mut self, channel: usize, idx: usize, chunk: usize) {
         let lane = &mut self.lanes[channel];
         lane.owners[chunk] += 1;
-        lane.owner_cached &= !(1 << chunk);
-        let pos = lane.member_pos(idx);
-        lane.member_buffer[pos] |= 1 << chunk;
+        lane.owner_units[chunk] += self.usable_units[idx];
     }
 
     fn on_download_started(
@@ -876,17 +913,17 @@ impl RoundEngine for IndexedEngine {
         idx: usize,
         chunk: usize,
         bytes_left: f64,
-        deadline: f64,
+        _deadline: f64,
     ) {
         let lane = &mut self.lanes[channel];
-        let ins = lane
-            .downloaders
-            .binary_search(&idx)
-            .expect_err("peer was not downloading");
-        lane.downloaders.insert(ins, idx);
-        lane.dl_chunk.insert(ins, chunk);
-        lane.dl_bytes.insert(ins, bytes_left);
-        lane.dl_deadline.insert(ins, deadline);
+        debug_assert_eq!(self.dl_slot[idx], DL_NONE, "peer was not downloading");
+        self.dl_slot[idx] = lane.dl.len() as u32;
+        lane.dl.push(DlEntry {
+            idx: idx as u32,
+            chunk: chunk as u32,
+            bytes: bytes_left,
+            req: 0.0,
+        });
     }
 
     fn sync_download(
@@ -895,28 +932,24 @@ impl RoundEngine for IndexedEngine {
         idx: usize,
         chunk: usize,
         bytes_left: f64,
-        deadline: f64,
+        _deadline: f64,
     ) {
-        let lane = &mut self.lanes[channel];
-        let pos = lane
-            .downloaders
-            .binary_search(&idx)
-            .expect("syncing peer is downloading");
-        lane.dl_chunk[pos] = chunk;
-        lane.dl_bytes[pos] = bytes_left;
-        lane.dl_deadline[pos] = deadline;
+        let pos = self.dl_slot[idx] as usize;
+        let entry = &mut self.lanes[channel].dl[pos];
+        debug_assert_eq!(entry.idx as usize, idx, "download index is consistent");
+        entry.chunk = chunk as u32;
+        entry.bytes = bytes_left;
     }
 
     fn on_download_stopped(&mut self, channel: usize, idx: usize, id: u64, wake_at: f64) {
         let lane = &mut self.lanes[channel];
-        let pos = lane
-            .downloaders
-            .binary_search(&idx)
-            .expect("stopping peer was downloading");
-        lane.downloaders.remove(pos);
-        lane.dl_chunk.remove(pos);
-        lane.dl_bytes.remove(pos);
-        lane.dl_deadline.remove(pos);
+        let pos = self.dl_slot[idx] as usize;
+        debug_assert_eq!(lane.dl[pos].idx as usize, idx);
+        lane.dl.swap_remove(pos);
+        if let Some(moved) = lane.dl.get(pos) {
+            self.dl_slot[moved.idx as usize] = pos as u32;
+        }
+        self.dl_slot[idx] = DL_NONE;
         // `wake_at` is strictly in the future (gates and drains both
         // check against `now` before waiting).
         self.wheel.push(WakeEntry { wake_at, id });
@@ -925,71 +958,41 @@ impl RoundEngine for IndexedEngine {
     fn on_remove(&mut self, peers: &[Peer], idx: usize) {
         let removed = &peers[idx];
         let lane = &mut self.lanes[removed.channel];
-        // Drop the departing peer's chunks from the owner counts.
+        let usable = self.usable_units[idx];
+        lane.pool_units -= usable;
+        // Drop the departing peer's chunks from the owner aggregates —
+        // integer subtraction, so the running sums stay exact.
         let mut bits = removed.buffer;
         while bits != 0 {
             let chunk = bits.trailing_zeros() as usize;
             bits &= bits - 1;
             if chunk < self.max_chunks {
                 lane.owners[chunk] -= 1;
+                lane.owner_units[chunk] -= usable;
             }
         }
-        let pos = lane.member_pos(idx);
-        lane.members.remove(pos);
-        lane.member_usable.remove(pos);
-        lane.member_buffer.remove(pos);
-        lane.members_dirty = true;
-        lane.owner_cached &= !removed.buffer;
         if matches!(removed.state, PeerState::Downloading { .. }) {
-            let dpos = lane
-                .downloaders
-                .binary_search(&idx)
-                .expect("downloading peer is in the downloader list");
-            lane.downloaders.remove(dpos);
-            lane.dl_chunk.remove(dpos);
-            lane.dl_bytes.remove(dpos);
-            lane.dl_deadline.remove(dpos);
+            let pos = self.dl_slot[idx] as usize;
+            debug_assert_eq!(lane.dl[pos].idx as usize, idx);
+            lane.dl.swap_remove(pos);
+            if let Some(moved_entry) = lane.dl.get(pos) {
+                self.dl_slot[moved_entry.idx as usize] = pos as u32;
+            }
         }
         self.id_to_idx.remove(&removed.id);
         // `swap_remove` moves the peer at the last global index into
-        // `idx`; re-key it everywhere. Being the largest index, it sits
-        // at the tail of whichever sorted lists hold it.
+        // `idx`; re-key it. The supply aggregates are value-based, not
+        // position-based, so only the download index and the id map care.
+        self.usable_units.swap_remove(idx);
+        self.dl_slot.swap_remove(idx);
         let last = peers.len() - 1;
         if last != idx {
             let moved = &peers[last];
-            let moved_lane = &mut self.lanes[moved.channel];
-            // Re-keying moves this member's position in the sorted
-            // order, so every cached member-order sum it contributes to
-            // (the upload pool and the chunks it owns) must be
-            // recomputed to stay bit-identical to a fresh scan.
-            moved_lane.owner_cached &= !moved.buffer;
-            moved_lane.members_dirty = true;
-            let mpos = moved_lane.member_pos(last);
-            debug_assert_eq!(mpos, moved_lane.members.len() - 1);
-            moved_lane.members.pop();
-            let usable = moved_lane.member_usable.pop().expect("parallel arrays");
-            let buffer = moved_lane.member_buffer.pop().expect("parallel arrays");
-            let ins = moved_lane
-                .members
-                .binary_search(&idx)
-                .expect_err("slot index vacated by removal");
-            moved_lane.members.insert(ins, idx);
-            moved_lane.member_usable.insert(ins, usable);
-            moved_lane.member_buffer.insert(ins, buffer);
             if matches!(moved.state, PeerState::Downloading { .. }) {
-                let popped = moved_lane.downloaders.pop();
-                debug_assert_eq!(popped, Some(last));
-                let chunk = moved_lane.dl_chunk.pop().expect("parallel arrays");
-                let bytes = moved_lane.dl_bytes.pop().expect("parallel arrays");
-                let deadline = moved_lane.dl_deadline.pop().expect("parallel arrays");
-                let dins = moved_lane
-                    .downloaders
-                    .binary_search(&idx)
-                    .expect_err("slot index vacated by removal");
-                moved_lane.downloaders.insert(dins, idx);
-                moved_lane.dl_chunk.insert(dins, chunk);
-                moved_lane.dl_bytes.insert(dins, bytes);
-                moved_lane.dl_deadline.insert(dins, deadline);
+                let pos = self.dl_slot[idx] as usize;
+                let entry = &mut self.lanes[moved.channel].dl[pos];
+                debug_assert_eq!(entry.idx as usize, last);
+                entry.idx = idx as u32;
             }
             self.id_to_idx.insert(moved.id, idx);
         }
@@ -1068,9 +1071,10 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<Metrics, 
     let n_channels = catalog.len();
     let chunk_bytes = cfg.chunk_bytes();
 
-    let trace = generate_arrivals(catalog, &cfg.trace)?;
-    let arrivals = trace.arrivals();
-    let mut next_arrival = 0usize;
+    // Arrivals stream lazily in global time order — O(channels) memory
+    // and no up-front trace materialization or sort.
+    let mut arrival_stream = ArrivalStream::new(catalog, &cfg.trace)?;
+    let mut next_arrival = arrival_stream.next();
 
     let mut cloud = Cloud::new(
         paper_virtual_clusters(),
@@ -1187,8 +1191,7 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<Metrics, 
         // --- Arrivals ----------------------------------------------
         timed!(
             t_arr,
-            while next_arrival < arrivals.len() && arrivals[next_arrival].time < t1 {
-                let a = &arrivals[next_arrival];
+            while let Some(a) = next_arrival.as_ref().filter(|a| a.time < t1) {
                 peers.push(Peer::new(
                     a.user_id,
                     a.channel,
@@ -1199,7 +1202,7 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<Metrics, 
                 ));
                 engine.on_join(&peers, peers.len() - 1);
                 tracker.record_join(a.channel, a.start_chunk);
-                next_arrival += 1;
+                next_arrival = arrival_stream.next();
             }
         );
 
@@ -1212,6 +1215,7 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<Metrics, 
         };
         let ctx = RoundCtx {
             step,
+            inv_step: 1.0 / step,
             vm_bandwidth,
             eff: cfg.peer_efficiency,
             p2p: cfg.mode == SimMode::P2p,
@@ -1851,6 +1855,7 @@ mod tests {
         let channel_reserved = vec![5.0e7; n_channels];
         let ctx = RoundCtx {
             step: 10.0,
+            inv_step: 0.1,
             vm_bandwidth: 1.25e6,
             eff: 0.85,
             p2p: true,

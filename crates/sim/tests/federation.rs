@@ -114,6 +114,42 @@ fn federated_viewers_see_the_same_demand_as_independent() {
 }
 
 #[test]
+fn parallel_and_serial_region_execution_are_bit_identical() {
+    // The federated simulator fans its regions out on the rayon pool;
+    // regions share no accumulator inside a round and every coupling
+    // happens at a barrier, so the parallel execution must reproduce the
+    // serial one exactly — every float bit of every region's metrics.
+    const HOURS: f64 = 8.0;
+    let mut serial_cfg =
+        FederatedConfig::paper_default(DeploymentKind::Federated, SimMode::ClientServer, HOURS);
+    serial_cfg.parallel_regions = false;
+    let mut parallel_cfg = serial_cfg.clone();
+    parallel_cfg.parallel_regions = true;
+
+    let serial = FederatedSimulator::new(serial_cfg).unwrap().run().unwrap();
+    let parallel = FederatedSimulator::new(parallel_cfg)
+        .unwrap()
+        .run()
+        .unwrap();
+
+    assert_eq!(
+        serial.total_cost().to_bits(),
+        parallel.total_cost().to_bits(),
+        "total cost diverged"
+    );
+    assert_eq!(
+        serial.total_transfer_cost.to_bits(),
+        parallel.total_transfer_cost.to_bits()
+    );
+    assert_eq!(serial.per_region.len(), parallel.per_region.len());
+    for (s, p) in serial.per_region.iter().zip(&parallel.per_region) {
+        assert_eq!(s.metrics, p.metrics, "region {} diverged", s.region.name);
+        assert_eq!(s.cloud_bytes.to_bits(), p.cloud_bytes.to_bits());
+        assert_eq!(s.redirected_bytes.to_bits(), p.redirected_bytes.to_bits());
+    }
+}
+
+#[test]
 fn premium_regions_are_the_ones_redirecting() {
     const HOURS: f64 = 24.0;
     let federated = run(DeploymentKind::Federated, HOURS);

@@ -75,6 +75,13 @@ pub struct BoundedPareto {
     min: f64,
     max: f64,
     shape: f64,
+    /// `min^shape`, precomputed — `sample` sits on the trace-generation
+    /// hot path and these powers are constants of the distribution.
+    pow_min: f64,
+    /// `max^shape`, precomputed.
+    pow_max: f64,
+    /// `-1 / shape`, precomputed.
+    neg_inv_shape: f64,
 }
 
 impl BoundedPareto {
@@ -102,7 +109,14 @@ impl BoundedPareto {
                 format!("must be finite and positive, got {shape}"),
             ));
         }
-        Ok(Self { min, max, shape })
+        Ok(Self {
+            min,
+            max,
+            shape,
+            pow_min: min.powf(shape),
+            pow_max: max.powf(shape),
+            neg_inv_shape: -1.0 / shape,
+        })
     }
 
     /// Lower bound `L`.
@@ -138,11 +152,10 @@ impl BoundedPareto {
     /// simplified below.
     pub fn sample<R: RngExt + ?Sized>(&self, rng: &mut R) -> f64 {
         let u: f64 = rng.random();
-        let (l, h, a) = (self.min, self.max, self.shape);
-        let la = l.powf(a);
-        let ha = h.powf(a);
+        let (l, h) = (self.min, self.max);
+        let (la, ha) = (self.pow_min, self.pow_max);
         // F(x) = (1 - (L/x)^a) / (1 - (L/H)^a); invert for x.
-        let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / a);
+        let x = (-(u * ha - u * la - ha) / (ha * la)).powf(self.neg_inv_shape);
         x.clamp(l, h)
     }
 }

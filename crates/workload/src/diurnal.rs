@@ -180,6 +180,35 @@ impl DiurnalPattern {
         self.baseline + self.crowds.iter().map(|c| c.amplitude).sum::<f64>()
     }
 
+    /// An **exact upper bound** of [`DiurnalPattern::multiplier`] over the
+    /// hour-of-day window `[h0, h1)` (with wrap-around; `h1 − h0 ≤ 24`).
+    /// Each Gaussian bump is monotone in the circular distance to its
+    /// peak, so bounding the distance from the window to the peak bounds
+    /// the bump. Piecewise-window bounds make Poisson thinning far
+    /// tighter than the global [`DiurnalPattern::max_multiplier`] cap —
+    /// the acceptance ratio approaches 1, so the arrival stream draws a
+    /// fraction of the candidates (see `trace::ArrivalStream`).
+    pub fn window_bound(&self, h0: f64, h1: f64) -> f64 {
+        debug_assert!(h1 > h0 && h1 - h0 <= 24.0);
+        let span = h1 - h0;
+        let mut m = self.baseline;
+        for c in &self.crowds {
+            // Position of the peak relative to the window start on the
+            // 24 h circle; inside the window ⇒ distance 0.
+            let rel = (c.peak_hour - h0).rem_euclid(24.0);
+            let d = if rel <= span {
+                0.0
+            } else {
+                // Distance to the nearer window edge, wrap-aware.
+                let to_start = (24.0 - rel).min(rel);
+                let to_end = (rel - span).min(24.0 - (rel - span));
+                to_start.min(to_end)
+            };
+            m += c.amplitude * (-0.5 * (d / c.width_hours).powi(2)).exp();
+        }
+        m
+    }
+
     /// Average multiplier over one day (numeric, 1-minute resolution);
     /// useful for scaling a target mean population into a base rate.
     pub fn mean_multiplier(&self) -> f64 {
