@@ -26,6 +26,7 @@ pub mod geo_sim;
 pub mod harness;
 pub mod latency;
 pub mod report;
+pub mod scale;
 pub mod tables;
 
 pub use harness::{paper_runs, HarnessArgs, PaperRuns};

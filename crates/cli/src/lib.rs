@@ -63,7 +63,8 @@ pub enum Command {
         mode: SimMode,
         /// Horizon in hours.
         hours: f64,
-        /// Simulation engine override (`--kernel scan|indexed|event-driven`).
+        /// Simulation engine override
+        /// (`--kernel scan|indexed|event-driven|sharded`).
         kernel: Option<SimKernel>,
         /// Optional JSON config file overriding the paper defaults.
         config_path: Option<String>,
@@ -91,6 +92,21 @@ pub enum Command {
         mode: SimMode,
         /// Horizon in hours.
         hours: f64,
+    },
+    /// Run a scale-out mega-catalog scenario on the sharded engine.
+    Scale {
+        /// Target steady-state concurrent viewers.
+        peers: f64,
+        /// Number of Zipf channels in the mega catalog.
+        channels: usize,
+        /// Streaming architecture.
+        mode: SimMode,
+        /// Horizon in hours.
+        hours: f64,
+        /// Force serial shard stepping (`--serial`).
+        serial: bool,
+        /// Optional path to write the full metrics JSON.
+        out_path: Option<String>,
     },
     /// Print the paper-default simulation config as JSON.
     DefaultConfig {
@@ -193,11 +209,14 @@ cloudmedia — CloudMedia VoD cloud-provisioning toolkit (ICDCS 2011 reproductio
 USAGE:
   cloudmedia analyze --arrival-rate R [--upload BYTES_PER_S]
   cloudmedia plan --arrival-rates R1,R2,... [--mode cs|p2p] [--budget DOLLARS]
-  cloudmedia simulate [--mode cs|p2p] [--hours H] [--kernel scan|indexed|event-driven]
+  cloudmedia simulate [--mode cs|p2p] [--hours H]
+                      [--kernel scan|indexed|event-driven|sharded]
                       [--config FILE] [--out FILE]
   cloudmedia des <baseline|boot-delay|vm-failure|flash-crowd>
                  [--mode cs|p2p] [--hours H] [--scheduler heap|wheel] [--out FILE]
   cloudmedia geo <independent|federated|central> [--mode cs|p2p] [--hours H]
+  cloudmedia scale [--peers N] [--channels C] [--mode cs|p2p] [--hours H]
+                   [--serial] [--out FILE]
   cloudmedia default-config [--mode cs|p2p]
   cloudmedia help
 ";
@@ -220,8 +239,9 @@ fn parse_kernel(v: &str) -> Result<SimKernel, CliError> {
         "scan" => Ok(SimKernel::Scan),
         "indexed" => Ok(SimKernel::Indexed),
         "event-driven" | "des" => Ok(SimKernel::EventDriven),
+        "sharded" => Ok(SimKernel::Sharded),
         other => Err(CliError::Usage(format!(
-            "unknown kernel `{other}` (use scan|indexed|event-driven)"
+            "unknown kernel `{other}` (use scan|indexed|event-driven|sharded)"
         ))),
     }
 }
@@ -377,6 +397,38 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                 hours,
             })
         }
+        "scale" => {
+            let mut peers = 1_000_000.0_f64;
+            let mut channels = 2000usize;
+            let mut mode = SimMode::ClientServer;
+            let mut hours = 1.0;
+            let mut serial = false;
+            let mut out_path = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--peers" => peers = parse_f64(take_value(&mut it, flag)?, flag)?,
+                    "--channels" => {
+                        let v = take_value(&mut it, flag)?;
+                        channels = v.parse().map_err(|_| {
+                            CliError::Usage(format!("bad value `{v}` for --channels"))
+                        })?;
+                    }
+                    "--mode" => mode = parse_mode(take_value(&mut it, flag)?)?,
+                    "--hours" => hours = parse_f64(take_value(&mut it, flag)?, flag)?,
+                    "--serial" => serial = true,
+                    "--out" => out_path = Some(take_value(&mut it, flag)?.to_owned()),
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Scale {
+                peers,
+                channels,
+                mode,
+                hours,
+                serial,
+                out_path,
+            })
+        }
         "default-config" => {
             let mut mode = SimMode::P2p;
             while let Some(flag) = it.next() {
@@ -445,6 +497,14 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             mode,
             hours,
         } => geo(deployment, mode, hours),
+        Command::Scale {
+            peers,
+            channels,
+            mode,
+            hours,
+            serial,
+            out_path,
+        } => scale(peers, channels, mode, hours, serial, out_path.as_deref()),
         Command::DefaultConfig { mode } => {
             serde_json::to_string_pretty(&SimConfig::paper_default(mode))
                 .map(|mut s| {
@@ -739,6 +799,69 @@ fn geo(deployment: DeploymentKind, mode: SimMode, hours: f64) -> Result<String, 
     Ok(out)
 }
 
+fn scale(
+    peers: f64,
+    channels: usize,
+    mode: SimMode,
+    hours: f64,
+    serial: bool,
+    out_path: Option<&str>,
+) -> Result<String, CliError> {
+    let mut config = SimConfig::scale_out(mode, channels, peers)
+        .map_err(|e| CliError::Run(format!("invalid scale configuration: {e}")))?;
+    config.trace.horizon_seconds = hours * 3600.0;
+    config.parallel_channels = !serial;
+    let started = std::time::Instant::now();
+    let metrics = Simulator::new(config)
+        .map_err(|e| CliError::Run(format!("invalid configuration: {e}")))?
+        .run()
+        .map_err(|e| CliError::Run(format!("simulation failed: {e}")))?;
+    let wall = started.elapsed().as_secs_f64();
+    if let Some(path) = out_path {
+        let json = serde_json::to_string(&metrics)
+            .map_err(|e| CliError::Run(format!("serializing metrics failed: {e}")))?;
+        std::fs::write(path, json)
+            .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scale run: {channels} channels, target {peers:.0} concurrent viewers, \
+         {hours:.1} h in {mode:?} mode ({} shard stepping, {} pool threads)",
+        if serial { "serial" } else { "parallel" },
+        rayon_threads(),
+    );
+    let _ = writeln!(
+        out,
+        "peak concurrent viewers: {}; mean streaming quality: {:.4}",
+        metrics.peak_peers(),
+        metrics.mean_quality()
+    );
+    let _ = writeln!(
+        out,
+        "cloud bandwidth: reserved {:.1} Mbps, used {:.1} Mbps (coverage {:.3})",
+        metrics.mean_reserved_bandwidth() * 8.0 / 1e6,
+        metrics.mean_used_bandwidth() * 8.0 / 1e6,
+        metrics.provision_coverage(),
+    );
+    let _ = writeln!(
+        out,
+        "wall time: {wall:.2}s ({:.1} sim-hours per wall-second)",
+        hours / wall.max(1e-9)
+    );
+    if let Some(rss) = cloudmedia_sim::peak_rss_bytes() {
+        let _ = writeln!(out, "peak RSS: {:.0} MB", rss as f64 / 1e6);
+    }
+    if let Some(path) = out_path {
+        let _ = writeln!(out, "full metrics written to {path}");
+    }
+    Ok(out)
+}
+
+fn rayon_threads() -> usize {
+    rayon::current_num_threads()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -814,6 +937,7 @@ mod tests {
             ("indexed", SimKernel::Indexed),
             ("event-driven", SimKernel::EventDriven),
             ("des", SimKernel::EventDriven),
+            ("sharded", SimKernel::Sharded),
         ] {
             let c = parse(&["simulate", "--kernel", name]).unwrap();
             assert!(
@@ -967,6 +1091,89 @@ mod tests {
         assert!(out.contains("total cost"), "got: {out}");
         assert!(out.contains("redirected share"));
         assert!(out.contains("americas"));
+    }
+
+    #[test]
+    fn parse_scale_defaults_and_flags() {
+        let c = parse(&["scale"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Scale {
+                peers: 1_000_000.0,
+                channels: 2000,
+                mode: SimMode::ClientServer,
+                hours: 1.0,
+                serial: false,
+                out_path: None
+            }
+        );
+        let c = parse(&[
+            "scale",
+            "--peers",
+            "200000",
+            "--channels",
+            "500",
+            "--mode",
+            "p2p",
+            "--hours",
+            "0.5",
+            "--serial",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Scale {
+                peers: 200_000.0,
+                channels: 500,
+                mode: SimMode::P2p,
+                hours: 0.5,
+                serial: true,
+                out_path: None
+            }
+        );
+        assert!(matches!(
+            parse(&["scale", "--channels", "many"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["scale", "--warp-speed"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn scale_short_run_reports_throughput() {
+        // Small but definitely sharded: population and channel count kept
+        // tiny so the test stays fast.
+        let out = run(Command::Scale {
+            peers: 300.0,
+            channels: 6,
+            mode: SimMode::ClientServer,
+            hours: 1.0,
+            serial: false,
+            out_path: None,
+        })
+        .unwrap();
+        assert!(out.contains("scale run: 6 channels"), "got: {out}");
+        assert!(out.contains("sim-hours per wall-second"));
+        assert!(out.contains("peak concurrent viewers"));
+    }
+
+    #[test]
+    fn scale_rejects_bad_configs() {
+        let err = run(Command::Scale {
+            peers: -5.0,
+            channels: 6,
+            mode: SimMode::ClientServer,
+            hours: 1.0,
+            serial: false,
+            out_path: None,
+        })
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("invalid scale configuration"),
+            "got: {err}"
+        );
     }
 
     #[test]

@@ -65,6 +65,37 @@ pub fn scale_vm_prices(specs: &[VirtualClusterSpec], factor: f64) -> Vec<Virtual
         .collect()
 }
 
+/// Virtual cluster specs with fleet sizes (`max_vms`) multiplied by
+/// `factor` (rounded up, so a factor of 1.0 is the identity). The
+/// scale-out simulations use this to grow the paper's Table II testbed —
+/// 150 VMs sized for ~2500 viewers — in proportion to the simulated
+/// population, keeping per-VM bandwidth, utilities, and prices exactly
+/// the paper's.
+pub fn scale_fleet_capacity(specs: &[VirtualClusterSpec], factor: f64) -> Vec<VirtualClusterSpec> {
+    specs
+        .iter()
+        .map(|c| VirtualClusterSpec {
+            max_vms: (c.max_vms as f64 * factor).ceil() as usize,
+            ..c.clone()
+        })
+        .collect()
+}
+
+/// NFS cluster specs with storage capacities multiplied by `factor`
+/// (the scale-out analogue of [`scale_fleet_capacity`] for Table III).
+pub fn scale_nfs_capacity(
+    specs: &[crate::cluster::NfsClusterSpec],
+    factor: f64,
+) -> Vec<crate::cluster::NfsClusterSpec> {
+    specs
+        .iter()
+        .map(|c| crate::cluster::NfsClusterSpec {
+            capacity_bytes: (c.capacity_bytes as f64 * factor).ceil() as u64,
+            ..c.clone()
+        })
+        .collect()
+}
+
 /// A resource change request submitted via the broker at the start of a
 /// provisioning interval.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -30,6 +30,28 @@ pub struct EventId(pub u64);
 ///   schedule/cancel/pop over slab-allocated events with free-list
 ///   recycling, the design high-event-rate simulators (ns-3, OMNeT++)
 ///   converged on.
+///
+/// ```
+/// use cloudmedia_des::{ComponentId, Kernel, SchedulerKind};
+///
+/// // Same schedule on both backends → identical delivery order.
+/// const DEST: ComponentId = ComponentId(0);
+/// let mut deliveries: Vec<Vec<(f64, &str)>> = Vec::new();
+/// for kind in [SchedulerKind::BinaryHeap, SchedulerKind::TimingWheel] {
+///     let mut kernel: Kernel<&str> = Kernel::with_scheduler(kind);
+///     assert_eq!(kernel.scheduler(), kind);
+///     kernel.schedule_at(3.0, DEST, "provision");
+///     kernel.schedule_at(1.0, DEST, "arrival");
+///     kernel.schedule_at(1.0, DEST, "arrival-tie"); // FIFO on equal times
+///     let mut seen = Vec::new();
+///     while let Some(event) = kernel.pop() {
+///         seen.push((event.time, event.payload));
+///     }
+///     deliveries.push(seen);
+/// }
+/// assert_eq!(deliveries[0], deliveries[1]);
+/// assert_eq!(deliveries[0][0].1, "arrival");
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedulerKind {
     /// Binary-heap priority queue with lazy cancellation.

@@ -48,6 +48,24 @@ pub enum SimKernel {
     /// latency, VM boot/teardown delay, failure injection, and
     /// sub-round-timed flash crowds to the scenario space.
     EventDriven,
+    /// Scale-out round engine for very large catalogs and populations:
+    /// every channel is an independent **shard** owning its peers, its
+    /// round state, its lazy arrival sub-stream, its tracker collector,
+    /// and its own behaviour RNG (a splitmix child of `behaviour_seed`).
+    /// Rounds fan the shards across the rayon worker pool when
+    /// [`SimConfig::parallel_channels`] is set, and every cross-shard
+    /// reduction runs in fixed channel order — so serial and parallel
+    /// execution (at any thread count) produce **bit-identical**
+    /// [`crate::metrics::Metrics`], pinned by
+    /// `crates/sim/tests/sharding.rs`.
+    ///
+    /// Because each channel draws from its own RNG stream (the
+    /// single-RNG round engines interleave all channels through one
+    /// stream), a sharded run is a *different sample of the same
+    /// process* than an `Indexed`/`Scan` run — identical model,
+    /// matching distributions, but not bit-equal to them. See
+    /// `docs/SCALING.md` for the determinism rules.
+    Sharded,
 }
 
 /// Which event-queue scheduler backs the DES kernel when
@@ -59,6 +77,19 @@ pub enum SimKernel {
 /// amortized schedule/cancel/pop over slab-allocated events versus the
 /// heap's `O(log n)` sifts — and the `des_kernel` criterion bench plus
 /// the `engine_throughput` section of `BENCH_sim.json` track the gap.
+///
+/// ```
+/// use cloudmedia_sim::config::{SchedulerChoice, SimConfig, SimMode};
+///
+/// let mut cfg = SimConfig::paper_default(SimMode::P2p);
+/// assert_eq!(cfg.scheduler, SchedulerChoice::Wheel);
+/// // Select the reference heap (identical events, slower queue):
+/// cfg.scheduler = SchedulerChoice::Heap;
+/// assert_eq!(
+///     cloudmedia_des::SchedulerKind::from(cfg.scheduler),
+///     cloudmedia_des::SchedulerKind::BinaryHeap,
+/// );
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum SchedulerChoice {
     /// Reference binary-heap queue with lazy cancellation.
@@ -132,6 +163,21 @@ pub struct SimConfig {
     /// (identical event order, different speed). Ignored by the round
     /// engines.
     pub scheduler: SchedulerChoice,
+    /// Fan [`SimKernel::Sharded`] channel shards across the rayon worker
+    /// pool (default). Shards never share an accumulator inside a round
+    /// and every cross-shard coupling (provisioning, the online scale,
+    /// metric assembly) happens at synchronization barriers in fixed
+    /// channel order, so serial and parallel execution are
+    /// **bit-identical**. Disable to force serial shard stepping
+    /// (debugging, single-core baselines). Ignored by every other
+    /// kernel.
+    pub parallel_channels: bool,
+    /// Multiplier on the paper's Table II/III cloud capacity (fleet
+    /// sizes and NFS storage; per-VM bandwidth and prices unchanged).
+    /// 1.0 is the paper testbed — 150 VMs sized for ~2500 concurrent
+    /// viewers; [`SimConfig::scale_out`] grows it (and the budgets) in
+    /// proportion to the target population.
+    pub fleet_scale: f64,
 }
 
 impl serde::Deserialize for SimConfig {
@@ -167,6 +213,15 @@ impl serde::Deserialize for SimConfig {
             scheduler: match v.get("scheduler") {
                 Some(value) => serde::Deserialize::from_value(value)?,
                 None => SchedulerChoice::default(),
+            },
+            // Same story: optional, defaulting to parallel execution.
+            parallel_channels: match v.get("parallel_channels") {
+                Some(value) => serde::Deserialize::from_value(value)?,
+                None => true,
+            },
+            fleet_scale: match v.get("fleet_scale") {
+                Some(value) => serde::Deserialize::from_value(value)?,
+                None => 1.0,
             },
         })
     }
@@ -213,7 +268,47 @@ impl SimConfig {
             peer_efficiency: 0.85,
             kernel: SimKernel::default(),
             scheduler: SchedulerChoice::default(),
+            parallel_channels: true,
+            fleet_scale: 1.0,
         }
+    }
+
+    /// A scale-out configuration: a [`Catalog::mega_catalog`] of
+    /// `channels` Zipf channels calibrated to `population` expected
+    /// concurrent viewers, driven by the [`SimKernel::Sharded`] engine
+    /// with channel-parallel rounds. Everything else follows the paper
+    /// defaults (hourly provisioning, 10-second rounds, 5-minute
+    /// sampling); set `trace.horizon_seconds` for the run length.
+    ///
+    /// ```
+    /// use cloudmedia_sim::config::{SimConfig, SimKernel, SimMode};
+    ///
+    /// let mut cfg = SimConfig::scale_out(SimMode::ClientServer, 500, 50_000.0).unwrap();
+    /// cfg.trace.horizon_seconds = 2.0 * 3600.0;
+    /// assert_eq!(cfg.kernel, SimKernel::Sharded);
+    /// assert_eq!(cfg.catalog.len(), 500);
+    /// cfg.validate().unwrap();
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates catalog validation failures (zero channels,
+    /// non-positive population).
+    pub fn scale_out(mode: SimMode, channels: usize, population: f64) -> Result<Self, SimError> {
+        let mut cfg = Self::paper_default(mode);
+        cfg.catalog = Catalog::mega_catalog(channels, population)
+            .map_err(|e| invalid_param("catalog", e.to_string()))?;
+        cfg.kernel = SimKernel::Sharded;
+        cfg.parallel_channels = true;
+        // The paper testbed (150 VMs, $100/h + $1/h budgets) serves
+        // ~2500 concurrent viewers; grow capacity and budgets in
+        // proportion so the controller's optimization stays feasible at
+        // any population.
+        let factor = (population / 2500.0).max(1.0);
+        cfg.fleet_scale = factor;
+        cfg.vm_budget_per_hour *= factor;
+        cfg.storage_budget_per_hour *= factor;
+        Ok(cfg)
     }
 
     /// Validates the configuration.
@@ -273,6 +368,12 @@ impl SimConfig {
         if !(self.peer_efficiency > 0.0 && self.peer_efficiency <= 1.0) {
             return Err(invalid_param("peer_efficiency", "must be in (0, 1]"));
         }
+        if !(self.fleet_scale.is_finite() && self.fleet_scale >= 1.0) {
+            return Err(invalid_param(
+                "fleet_scale",
+                "must be at least 1.0 (the paper testbed)",
+            ));
+        }
         Ok(())
     }
 
@@ -330,6 +431,46 @@ mod tests {
         let parsed = <SimConfig as serde::Deserialize>::from_value(&legacy).unwrap();
         assert_eq!(parsed.scheduler, SchedulerChoice::Wheel);
         assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn config_json_without_parallel_channels_field_still_loads() {
+        let cfg = SimConfig::paper_default(SimMode::P2p);
+        let serde::Value::Object(mut fields) = serde::Serialize::to_value(&cfg) else {
+            panic!("config serializes to an object");
+        };
+        fields.retain(|(k, _)| k != "parallel_channels");
+        let legacy = serde::Value::Object(fields);
+        let parsed = <SimConfig as serde::Deserialize>::from_value(&legacy).unwrap();
+        assert!(parsed.parallel_channels, "defaults to parallel");
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn sharded_config_round_trips_through_json() {
+        let mut cfg = SimConfig::paper_default(SimMode::P2p);
+        cfg.kernel = SimKernel::Sharded;
+        cfg.parallel_channels = false;
+        cfg.fleet_scale = 40.0;
+        let value = serde::Serialize::to_value(&cfg);
+        let parsed = <SimConfig as serde::Deserialize>::from_value(&value).unwrap();
+        assert_eq!(parsed, cfg);
+        assert_eq!(parsed.kernel, SimKernel::Sharded);
+        assert!(!parsed.parallel_channels);
+        assert_eq!(parsed.fleet_scale, 40.0);
+    }
+
+    #[test]
+    fn scale_out_builds_a_sharded_mega_config() {
+        let cfg = SimConfig::scale_out(SimMode::P2p, 300, 25_000.0).unwrap();
+        assert_eq!(cfg.kernel, SimKernel::Sharded);
+        assert!(cfg.parallel_channels);
+        assert_eq!(cfg.catalog.len(), 300);
+        let pop = cfg.catalog.expected_population(cfg.chunk_seconds);
+        assert!((pop - 25_000.0).abs() / 25_000.0 < 1e-9, "population {pop}");
+        cfg.validate().unwrap();
+        assert!(SimConfig::scale_out(SimMode::P2p, 0, 25_000.0).is_err());
+        assert!(SimConfig::scale_out(SimMode::P2p, 10, -5.0).is_err());
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! provider would meter a crashed-but-reserved instance). The next
 //! provisioning tick re-plans from measured demand and relaunches.
 
-use cloudmedia_cloud::broker::{Cloud, ResourceRequest, SlaTerms};
+use cloudmedia_cloud::broker::{
+    scale_fleet_capacity, scale_nfs_capacity, Cloud, ResourceRequest, SlaTerms,
+};
 use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters};
 use cloudmedia_cloud::scheduler::PlacementPlan;
 use cloudmedia_cloud::vm::{DEFAULT_BOOT_SECONDS, DEFAULT_SHUTDOWN_SECONDS};
@@ -73,8 +75,8 @@ impl Provisioner {
             .vm_shutdown_seconds
             .unwrap_or(DEFAULT_SHUTDOWN_SECONDS);
         let cloud = Cloud::new(
-            paper_virtual_clusters(),
-            paper_nfs_clusters(),
+            scale_fleet_capacity(&paper_virtual_clusters(), cfg.fleet_scale),
+            scale_nfs_capacity(&paper_nfs_clusters(), cfg.fleet_scale),
             cfg.chunk_bytes() as u64,
         )?
         .with_vm_latencies(boot_seconds, shutdown_seconds);

@@ -50,7 +50,9 @@
 //!   latency is outside the model (the paper's motivation for regional
 //!   sites in the first place).
 
-use cloudmedia_cloud::broker::{scale_vm_prices, Cloud, ResourceRequest};
+use cloudmedia_cloud::broker::{
+    scale_fleet_capacity, scale_nfs_capacity, scale_vm_prices, Cloud, ResourceRequest,
+};
 use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters};
 use cloudmedia_core::federation::{paper_sites, plan_global_placement, FederationPolicy, SiteSpec};
 use cloudmedia_core::geo::{three_sites, validate_regions, RegionSpec};
@@ -101,6 +103,17 @@ pub struct FederatedConfig {
     /// executions are **bit-identical** — pinned by
     /// `crates/sim/tests/federation.rs`. Disable to force serial
     /// execution (debugging, single-core baselines).
+    ///
+    /// ```
+    /// use cloudmedia_sim::federation::{DeploymentKind, FederatedConfig, FederatedSimulator};
+    /// use cloudmedia_sim::config::SimMode;
+    ///
+    /// let mut cfg =
+    ///     FederatedConfig::paper_default(DeploymentKind::Federated, SimMode::ClientServer, 24.0);
+    /// assert!(cfg.parallel_regions, "parallel by default");
+    /// cfg.parallel_regions = false; // serial run: bit-identical metrics
+    /// assert!(FederatedSimulator::new(cfg).is_ok());
+    /// ```
     pub parallel_regions: bool,
 }
 
@@ -189,6 +202,15 @@ impl FederatedConfig {
                 "the federated simulator drives round engines; use Indexed or Scan \
                  (the event-driven engine models single-site redirection via \
                  DesScenario::remote_overflow)",
+            ));
+        }
+        if self.base.kernel == SimKernel::Sharded {
+            return Err(invalid_param(
+                "kernel",
+                "the federated simulator already parallelizes across regions \
+                 (parallel_regions); nesting the channel-sharded engine inside it \
+                 would contend for the same worker pool — use Indexed per region, \
+                 or a single-site Sharded run with parallel_channels",
             ));
         }
         for idx in 0..self.regions.len() {
@@ -465,8 +487,11 @@ impl FederatedSimulator {
                 .expect("catalog validated non-empty");
             let chunk_bytes = cfg.chunk_bytes();
             let cloud = Cloud::new(
-                scale_vm_prices(&paper_virtual_clusters(), fc.sites[idx].vm_price_factor),
-                paper_nfs_clusters(),
+                scale_fleet_capacity(
+                    &scale_vm_prices(&paper_virtual_clusters(), fc.sites[idx].vm_price_factor),
+                    cfg.fleet_scale,
+                ),
+                scale_nfs_capacity(&paper_nfs_clusters(), cfg.fleet_scale),
                 chunk_bytes as u64,
             )?;
             let sla = cloud.sla_terms();
@@ -479,7 +504,9 @@ impl FederatedSimulator {
                     cfg.peer_efficiency,
                     cfg.round_seconds,
                 )),
-                SimKernel::EventDriven => unreachable!("rejected by validate"),
+                SimKernel::EventDriven | SimKernel::Sharded => {
+                    unreachable!("rejected by validate")
+                }
             };
             let planner = make_planner(&cfg, vm_bandwidth)?;
             let tracker = Tracker::new(&cfg.catalog)?;
@@ -673,7 +700,11 @@ impl FederatedSimulator {
         // Respect each site's physical fleet: clamp to cluster maxima
         // (the paper fleet is far larger than any default-week placement,
         // so this is a guard, not a steady-state path).
-        let max_vms: Vec<usize> = paper_virtual_clusters().iter().map(|c| c.max_vms).collect();
+        let max_vms: Vec<usize> =
+            scale_fleet_capacity(&paper_virtual_clusters(), fc.base.fleet_scale)
+                .iter()
+                .map(|c| c.max_vms)
+                .collect();
         for targets in site_targets.iter_mut() {
             for (v, t) in targets.iter_mut().enumerate() {
                 *t = (*t).min(max_vms[v]);

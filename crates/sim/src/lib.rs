@@ -14,6 +14,9 @@
 //!   bandwidth allocation,
 //! - [`tracker`]: per-interval measurement of `Λ(c)`, `α`, `P(c)`,
 //! - [`simulator`]: the main loop,
+//! - `sharded` (via [`config::SimKernel::Sharded`]): the scale-out
+//!   channel-parallel round engine (one shard per channel, fanned
+//!   across the worker pool; see `docs/SCALING.md`),
 //! - [`federation`]: the multi-region simulator (per-region engines in
 //!   lockstep, coupled by the global placement optimizer),
 //! - [`metrics`]: recorded time series (quality, reserved/used bandwidth,
@@ -41,6 +44,7 @@ pub mod event_driven;
 pub mod federation;
 pub mod metrics;
 pub mod peer;
+mod sharded;
 pub mod simulator;
 pub mod tracker;
 
@@ -52,3 +56,16 @@ pub use event_driven::{
 pub use federation::{DeploymentKind, FederatedConfig, FederatedMetrics, FederatedSimulator};
 pub use metrics::Metrics;
 pub use simulator::Simulator;
+
+/// The process's peak resident set size (`VmHWM` from
+/// `/proc/self/status`), if the platform exposes it. Scale-out
+/// reporting (the `cloudmedia scale` CLI, `bench_scale`'s
+/// `scale_sweep` rows) uses this to record the memory footprint of
+/// very large runs; it is a high-water mark, monotone over the
+/// process lifetime.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}

@@ -1,0 +1,485 @@
+//! The sharded channel-parallel round engine ([`SimKernel::Sharded`]).
+//!
+//! The single-site round engines ([`SimKernel::Indexed`] /
+//! [`SimKernel::Scan`]) thread every channel through one behaviour RNG
+//! and one event loop, which caps a run at one core no matter how many
+//! channels the catalog holds. This module removes that cap for
+//! scale-out experiments — thousands of channels, millions of
+//! concurrent viewers — by making **the channel the unit of state**:
+//!
+//! - Each channel is a [`ChannelShard`] owning its peers (struct-of-
+//!   arrays hot fields inside its single-lane `IndexedEngine`: the
+//!   fixed-point usable-upload units, the download-slot map, the
+//!   download index), its lazy arrival sub-stream
+//!   ([`cloudmedia_workload::trace::ChannelArrivals`]), its tracker
+//!   collector, and its own behaviour RNG seeded with a splitmix child
+//!   of [`SimConfig::behaviour_seed`]
+//!   ([`cloudmedia_workload::trace::child_seed`]).
+//! - Every round, shards step independently — arrivals, allocation,
+//!   download progress, viewing-model events — and the run loop fans
+//!   them across the rayon worker pool when
+//!   [`SimConfig::parallel_channels`] is set.
+//! - Everything the shards share is either **read-only during the
+//!   fan-out** (the catalog, the per-channel reservations, the online
+//!   scale — all snapshotted before dispatch, the same read-barrier
+//!   discipline the federated simulator uses) or **reduced in fixed
+//!   channel order after it** (the round's used cloud rate, interval
+//!   statistics, sample assembly).
+//!
+//! # Determinism contract
+//!
+//! Serial execution, parallel execution, any worker-pool size, and any
+//! shard-to-task grouping all produce **bit-identical**
+//! [`Metrics`]. The argument:
+//!
+//! 1. No two shards ever write the same accumulator: peers never change
+//!    channels, arrivals are generated per channel, and the engine state
+//!    is per shard. The fan-out therefore cannot reorder any arithmetic
+//!    *inside* a shard, and shards have no arithmetic *between* them.
+//! 2. Every cross-shard sum (`Σ` used cloud rate, startup-delay window
+//!    sums, sample aggregation) is computed by the coordinator after the
+//!    barrier, iterating shards in ascending channel order — one fixed
+//!    f64 addition sequence regardless of which thread finished first.
+//! 3. Each shard's RNG stream is a pure function of
+//!    `(behaviour_seed, channel id)`, and each shard's arrival stream is
+//!    a pure function of `(trace seed, channel id)` — neither depends on
+//!    scheduling, shard grouping, or thread count.
+//!
+//! `crates/sim/tests/sharding.rs` pins serial ≡ parallel over random
+//! configurations, and the unit tests below pin invariance to the
+//! shard-to-task grouping (the knob thread count actually turns).
+//!
+//! Because each channel draws from its own RNG stream, a sharded run is
+//! a *different sample of the same viewer-behaviour process* than an
+//! `Indexed` run (which interleaves all channels through one RNG): the
+//! two agree in distribution and in steady-state means, not
+//! bit-for-bit. `docs/SCALING.md` discusses when that trade is the
+//! right one.
+
+use cloudmedia_cloud::broker::{scale_fleet_capacity, scale_nfs_capacity, Cloud, ResourceRequest};
+use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters};
+use cloudmedia_cloud::scheduler::PlacementPlan;
+use cloudmedia_workload::catalog::Catalog;
+use cloudmedia_workload::stats::{ChannelStatsCollector, Observation};
+use cloudmedia_workload::trace::{child_seed, ChannelArrivals, UserArrival};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{SimConfig, SimMode};
+use crate::error::SimError;
+use crate::metrics::{Metrics, Sample};
+use crate::peer::Peer;
+use crate::simulator::{
+    bootstrap_stats, interval_record, make_planner, process_round_events, IndexedEngine, RoundCtx,
+    RoundEngine,
+};
+use crate::tracker::summarize_channel;
+
+/// One channel's complete simulation state: the unit the run loop fans
+/// out. See the module docs for what lives here and why nothing is
+/// shared.
+struct ChannelShard {
+    /// Global channel id (shards are stored in channel order, so this
+    /// equals the shard's index; kept explicit for clarity).
+    channel: usize,
+    /// Single-lane round engine holding the SoA hot fields (download
+    /// index, fixed-point supply aggregates, wake wheel).
+    engine: IndexedEngine,
+    /// This channel's connected viewers.
+    peers: Vec<Peer>,
+    /// Behaviour RNG: splitmix child stream of `behaviour_seed`.
+    rng: StdRng,
+    /// Lazy arrival sub-stream for this channel.
+    arrivals: ChannelArrivals,
+    next_arrival: Option<UserArrival>,
+    /// Tracker-side statistics for this channel.
+    collector: ChannelStatsCollector,
+    prior_routing: Vec<Vec<f64>>,
+    prior_alpha: f64,
+    // Round-event scratch, reused every round.
+    removals: Vec<usize>,
+    completed: Vec<usize>,
+    woken: Vec<usize>,
+    /// Cloud rate used by this shard in the round just stepped.
+    round_used: f64,
+    // Startup-delay window accumulators (flushed at sample boundaries).
+    startup_sum: f64,
+    startup_count: usize,
+}
+
+impl std::fmt::Debug for ChannelShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelShard")
+            .field("channel", &self.channel)
+            .field("peers", &self.peers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChannelShard {
+    /// One allocation round for this shard: ingest arrivals, run the
+    /// allocation stage, advance downloads, and handle the round's
+    /// events — the exact per-round sequence of the single-site run
+    /// loop, confined to one channel.
+    fn step_round(
+        &mut self,
+        t1: f64,
+        ctx: &RoundCtx<'_>,
+        catalog: &Catalog,
+        chunk_bytes: f64,
+        chunk_seconds: f64,
+    ) {
+        while let Some(a) = self.next_arrival.as_ref().filter(|a| a.time < t1) {
+            self.peers.push(Peer::new(
+                a.user_id,
+                a.channel,
+                a.upload_bytes_per_sec,
+                a.start_chunk,
+                chunk_bytes,
+                a.time,
+            ));
+            self.engine.on_join(&self.peers, self.peers.len() - 1);
+            self.collector.record(Observation::Join {
+                chunk: a.start_chunk,
+            });
+            self.next_arrival = self.arrivals.next();
+        }
+
+        self.round_used = self.engine.allocate(&self.peers, ctx);
+
+        self.completed.clear();
+        self.woken.clear();
+        self.engine.advance_round(
+            &mut self.peers,
+            ctx,
+            t1,
+            &mut self.completed,
+            &mut self.woken,
+        );
+        process_round_events(
+            &mut self.engine,
+            &mut self.peers,
+            &self.completed,
+            &self.woken,
+            &mut self.removals,
+            &mut self.collector,
+            &mut self.rng,
+            catalog,
+            chunk_bytes,
+            chunk_seconds,
+            t1,
+            &mut self.startup_sum,
+            &mut self.startup_count,
+        );
+    }
+}
+
+/// Runs a sharded simulation over the configured horizon.
+pub(crate) fn run(cfg: &SimConfig) -> Result<Metrics, SimError> {
+    run_with_groups(cfg, None)
+}
+
+/// [`run`] with an explicit shard-to-task group size (tests use this to
+/// pin that the grouping — the knob thread count actually turns —
+/// cannot change results; `None` picks the load-balancing default).
+pub(crate) fn run_with_groups(
+    cfg: &SimConfig,
+    group_override: Option<usize>,
+) -> Result<Metrics, SimError> {
+    let catalog = &cfg.catalog;
+    let n_channels = catalog.len();
+    let chunk_bytes = cfg.chunk_bytes();
+
+    let mut cloud = Cloud::new(
+        scale_fleet_capacity(&paper_virtual_clusters(), cfg.fleet_scale),
+        scale_nfs_capacity(&paper_nfs_clusters(), cfg.fleet_scale),
+        chunk_bytes as u64,
+    )?;
+    let sla = cloud.sla_terms();
+    let vm_bandwidth = sla.virtual_clusters[0].vm_bandwidth_bytes_per_sec;
+    let mut planner = make_planner(cfg, vm_bandwidth)?;
+    let mut current_placement: Option<PlacementPlan> = None;
+    let mut metrics = Metrics::default();
+
+    let mut shards: Vec<ChannelShard> = Vec::with_capacity(n_channels);
+    for spec in catalog.channels() {
+        let mut arrivals = ChannelArrivals::new(spec, &cfg.trace)?;
+        let next_arrival = arrivals.next();
+        shards.push(ChannelShard {
+            channel: spec.id,
+            engine: IndexedEngine::for_shard(
+                spec.id,
+                spec.viewing.chunks,
+                cfg.peer_efficiency,
+                cfg.round_seconds,
+            ),
+            peers: Vec::new(),
+            rng: StdRng::seed_from_u64(child_seed(cfg.behaviour_seed, spec.id as u64)),
+            arrivals,
+            next_arrival,
+            collector: ChannelStatsCollector::new(spec.viewing.chunks)?,
+            prior_routing: spec.viewing.routing_rows()?,
+            prior_alpha: spec.viewing.start_at_beginning,
+            removals: Vec::new(),
+            completed: Vec::new(),
+            woken: Vec::new(),
+            round_used: 0.0,
+            startup_sum: 0.0,
+            startup_count: 0,
+        });
+    }
+
+    let horizon = cfg.trace.horizon_seconds;
+    let dt = cfg.round_seconds;
+    let mut clock = 0.0_f64;
+    let mut next_sample = cfg.sample_interval;
+    let mut next_provision = 0.0_f64;
+    let mut window_used = 0.0_f64;
+    let mut window_start = 0.0_f64;
+
+    let mut channel_reserved = vec![0.0_f64; n_channels];
+    let mut reserved_total = 0.0_f64;
+
+    while clock < horizon {
+        let t1 = (clock + dt).min(horizon);
+        let step = t1 - clock;
+
+        // --- Provisioning boundary (coordinator, serial) ------------
+        if clock >= next_provision {
+            let stats = if metrics.intervals.is_empty() {
+                bootstrap_stats(catalog, cfg)
+            } else {
+                let mut out = Vec::with_capacity(n_channels);
+                for s in shards.iter_mut() {
+                    let obs = summarize_channel(
+                        &mut s.collector,
+                        &s.prior_routing,
+                        s.prior_alpha,
+                        cfg.provisioning_interval,
+                    )?;
+                    out.push((s.channel, obs));
+                }
+                out
+            };
+            let plan = planner.plan_interval(&stats, &sla)?;
+            if let Some(p) = &plan.placement {
+                current_placement = Some(p.clone());
+            }
+            cloud.submit_request(&ResourceRequest {
+                vm_targets: plan.vm_targets.clone(),
+                placement: plan.placement.clone(),
+            })?;
+            channel_reserved.iter_mut().for_each(|v| *v = 0.0);
+            for (key, allocs) in &plan.vm_plan.allocations {
+                if key.channel >= n_channels {
+                    continue;
+                }
+                let bw: f64 = allocs
+                    .iter()
+                    .map(|a| a.vms * sla.virtual_clusters[a.cluster].vm_bandwidth_bytes_per_sec)
+                    .sum();
+                channel_reserved[key.channel] += bw;
+            }
+            reserved_total = channel_reserved.iter().sum();
+            let per_channel_peers: Vec<usize> = shards.iter().map(|s| s.peers.len()).collect();
+            metrics.intervals.push(interval_record(
+                clock,
+                &plan,
+                current_placement.as_ref(),
+                &sla,
+                n_channels,
+                per_channel_peers,
+            ));
+            next_provision += cfg.provisioning_interval;
+        }
+
+        // --- Round fan-out -------------------------------------------
+        // Everything the shards read is snapshotted here (the read
+        // barrier): the reservations, the online scale, the context.
+        let online_scale = if reserved_total > 0.0 {
+            (cloud.running_bandwidth() / reserved_total).min(1.0)
+        } else {
+            0.0
+        };
+        let ctx = RoundCtx {
+            step,
+            inv_step: 1.0 / step,
+            vm_bandwidth,
+            eff: cfg.peer_efficiency,
+            p2p: cfg.mode == SimMode::P2p,
+            online_scale,
+            channel_reserved: &channel_reserved,
+        };
+        if cfg.parallel_channels && shards.len() > 1 {
+            // Several groups per worker so the Zipf-skewed head
+            // channels level out across the pool (workers pull groups
+            // as they free up).
+            let tasks = (rayon::current_num_threads() * 8).max(1);
+            let group = group_override
+                .unwrap_or_else(|| shards.len().div_ceil(tasks))
+                .max(1);
+            let ctx_ref = &ctx;
+            rayon::scope(|s| {
+                for chunk in shards.chunks_mut(group) {
+                    s.spawn(move |_| {
+                        for shard in chunk {
+                            shard.step_round(t1, ctx_ref, catalog, chunk_bytes, cfg.chunk_seconds);
+                        }
+                    });
+                }
+            });
+        } else {
+            for shard in shards.iter_mut() {
+                shard.step_round(t1, &ctx, catalog, chunk_bytes, cfg.chunk_seconds);
+            }
+        }
+
+        // --- Channel-order reduction ---------------------------------
+        let mut used_cloud_rate = 0.0_f64;
+        for shard in &shards {
+            used_cloud_rate += shard.round_used;
+        }
+
+        cloud.tick(t1)?;
+        window_used += used_cloud_rate * step;
+
+        // --- Sampling ------------------------------------------------
+        if t1 >= next_sample || t1 >= horizon {
+            let elapsed = (t1 - window_start).max(1e-9);
+            metrics.samples.push(assemble_sample(
+                &mut shards,
+                t1,
+                cloud.running_bandwidth(),
+                window_used / elapsed,
+                cfg.sample_interval,
+            ));
+            window_used = 0.0;
+            window_start = t1;
+            next_sample += cfg.sample_interval;
+        }
+
+        clock = t1;
+    }
+
+    metrics.total_vm_cost = cloud.billing().vm_cost().as_dollars();
+    metrics.total_storage_cost = cloud.billing().storage_cost().as_dollars();
+    Ok(metrics)
+}
+
+/// Builds one [`Sample`] by folding the shards in channel order (fixed
+/// f64 addition sequence), and resets their startup-window accumulators.
+fn assemble_sample(
+    shards: &mut [ChannelShard],
+    time: f64,
+    reserved: f64,
+    used: f64,
+    window: f64,
+) -> Sample {
+    let mut per_channel_peers = Vec::with_capacity(shards.len());
+    let mut per_channel_quality = Vec::with_capacity(shards.len());
+    let mut total = 0usize;
+    let mut smooth_total = 0usize;
+    let mut startup_sum = 0.0_f64;
+    let mut startup_count = 0usize;
+    for shard in shards.iter_mut() {
+        let n = shard.peers.len();
+        let smooth = shard
+            .peers
+            .iter()
+            .filter(|p| p.smooth_in_window(time, window))
+            .count();
+        per_channel_peers.push(n);
+        per_channel_quality.push(if n == 0 {
+            1.0
+        } else {
+            smooth as f64 / n as f64
+        });
+        total += n;
+        smooth_total += smooth;
+        startup_sum += shard.startup_sum;
+        startup_count += shard.startup_count;
+        shard.startup_sum = 0.0;
+        shard.startup_count = 0;
+    }
+    Sample {
+        time,
+        reserved_bandwidth: reserved,
+        used_bandwidth: used,
+        quality: if total == 0 {
+            1.0
+        } else {
+            smooth_total as f64 / total as f64
+        },
+        active_peers: total,
+        per_channel_peers,
+        per_channel_quality,
+        mean_startup_delay: if startup_count > 0 {
+            startup_sum / startup_count as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimKernel;
+    use cloudmedia_workload::viewing::ViewingModel;
+
+    /// A small, fast sharded configuration.
+    fn small(mode: SimMode, channels: usize, population: f64) -> SimConfig {
+        let mut cfg = SimConfig::paper_default(mode);
+        cfg.catalog = Catalog::zipf(
+            channels,
+            0.8,
+            ViewingModel::paper_default(),
+            population,
+            300.0,
+        )
+        .unwrap();
+        cfg.trace.horizon_seconds = 4.0 * 3600.0;
+        cfg.kernel = SimKernel::Sharded;
+        cfg
+    }
+
+    /// The shard-to-task grouping is what worker-pool size actually
+    /// changes; results must not depend on it — including the serial
+    /// path (no grouping at all).
+    #[test]
+    fn grouping_cannot_change_results() {
+        let cfg = small(SimMode::P2p, 5, 150.0);
+        let baseline = {
+            let mut serial = cfg.clone();
+            serial.parallel_channels = false;
+            run(&serial).unwrap()
+        };
+        for group in [1, 2, 3, usize::MAX] {
+            let m = run_with_groups(&cfg, Some(group)).unwrap();
+            assert_eq!(m, baseline, "group size {group} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn sharded_run_produces_sane_metrics() {
+        let m = run(&small(SimMode::ClientServer, 4, 150.0)).unwrap();
+        assert_eq!(m.intervals.len(), 4, "one record per hour");
+        assert!(!m.samples.is_empty());
+        assert!(m.mean_quality() > 0.9, "quality {}", m.mean_quality());
+        assert!(m.peak_peers() > 30, "peers showed up: {}", m.peak_peers());
+        assert!(m.total_vm_cost > 0.0);
+    }
+
+    #[test]
+    fn sharded_samples_split_by_channel() {
+        let m = run(&small(SimMode::ClientServer, 3, 120.0)).unwrap();
+        for s in &m.samples {
+            assert_eq!(s.per_channel_peers.len(), 3);
+            assert_eq!(s.per_channel_quality.len(), 3);
+            assert_eq!(s.per_channel_peers.iter().sum::<usize>(), s.active_peers);
+        }
+        // Zipf head channel sees the most viewers.
+        let last = m.samples.last().unwrap();
+        assert!(last.per_channel_peers[0] >= last.per_channel_peers[2]);
+    }
+}

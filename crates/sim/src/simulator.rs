@@ -68,7 +68,9 @@
 //! Set `CLOUDMEDIA_PROFILE=1` to print a per-phase wall-time breakdown
 //! of a run on stderr (used by `cloudmedia-bench`'s `bench_sim`).
 
-use cloudmedia_cloud::broker::{Cloud, ResourceRequest, SlaTerms};
+use cloudmedia_cloud::broker::{
+    scale_fleet_capacity, scale_nfs_capacity, Cloud, ResourceRequest, SlaTerms,
+};
 use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters};
 use cloudmedia_cloud::scheduler::{ChunkKey, PlacementPlan};
 use cloudmedia_core::baseline::{BaselinePlanner, ProvisionerKind};
@@ -87,7 +89,7 @@ use crate::config::{SimConfig, SimKernel, SimMode};
 use crate::error::SimError;
 use crate::metrics::{IntervalRecord, Metrics, Sample};
 use crate::peer::{Peer, PeerState, PendingChunk};
-use crate::tracker::Tracker;
+use crate::tracker::{Tracker, ViewingSink};
 
 /// Wall-time spent in each phase of a profiled run (seconds), captured
 /// when `CLOUDMEDIA_PROFILE=1`; see [`last_phase_profile`].
@@ -221,6 +223,7 @@ impl Simulator {
                 crate::event_driven::run(cfg, &crate::event_driven::DesScenario::default())
                     .map(|run| run.metrics)
             }
+            SimKernel::Sharded => crate::sharded::run(cfg),
         }
     }
 }
@@ -769,10 +772,19 @@ impl WakeWheel {
     /// prefetch-gate or drain wait.
     const LEN: usize = 8192;
 
-    fn new(dt: f64) -> Self {
+    /// Bucket count for a single-channel shard's wheel: the sharded
+    /// engine owns one wheel *per channel*, so the full-size wheel's
+    /// fixed cost (8192 `Vec`s ≈ 200 KB) would multiply by thousands of
+    /// channels. 256 buckets (~43 min at the default round) still cover
+    /// every prefetch-gate wait and almost all drain waits; longer waits
+    /// wrap and are skipped once per revolution, which placement never
+    /// affects behavior — only where the entry sits.
+    const SHARD_LEN: usize = 256;
+
+    fn new(dt: f64, len: usize) -> Self {
         Self {
             dt,
-            buckets: (0..Self::LEN).map(|_| Vec::new()).collect(),
+            buckets: (0..len).map(|_| Vec::new()).collect(),
             drained: -1,
             pending: Vec::new(),
         }
@@ -793,7 +805,8 @@ impl WakeWheel {
             // re-checked at the start of every round.
             self.pending.push(entry);
         } else {
-            self.buckets[(b.rem_euclid(Self::LEN as i64)) as usize].push(entry);
+            let len = self.buckets.len() as i64;
+            self.buckets[(b.rem_euclid(len)) as usize].push(entry);
         }
     }
 
@@ -813,7 +826,7 @@ impl WakeWheel {
             self.drained += 1;
             let drained = self.drained;
             let dt = self.dt;
-            let slot = (drained.rem_euclid(Self::LEN as i64)) as usize;
+            let slot = (drained.rem_euclid(self.buckets.len() as i64)) as usize;
             let bucket = &mut self.buckets[slot];
             for i in (0..bucket.len()).rev() {
                 let e = bucket[i];
@@ -841,6 +854,11 @@ const DL_NONE: u32 = u32::MAX;
 #[derive(Debug)]
 pub(crate) struct IndexedEngine {
     lanes: Vec<ChannelLane>,
+    /// First global channel id this engine covers; `lanes[c - base]` is
+    /// channel `c`'s lane. 0 for the full-catalog single-site engine;
+    /// the sharded engine instantiates one single-lane engine per
+    /// channel with `base` = that channel's id.
+    base: usize,
     max_chunks: usize,
     /// Usable-upload factor (`peer_efficiency`), applied once at join.
     eff: f64,
@@ -861,18 +879,60 @@ pub(crate) struct IndexedEngine {
 
 impl IndexedEngine {
     pub(crate) fn new(n_channels: usize, max_chunks: usize, eff: f64, round_seconds: f64) -> Self {
+        Self::with_base(
+            0,
+            n_channels,
+            max_chunks,
+            eff,
+            round_seconds,
+            WakeWheel::LEN,
+        )
+    }
+
+    /// An engine covering global channels `base .. base + n_channels`,
+    /// with a `wheel_len`-bucket wake wheel. The sharded engine builds
+    /// one per channel (`n_channels == 1`,
+    /// `wheel_len == WakeWheel::SHARD_LEN`); peers keep their global
+    /// channel ids, and [`RoundCtx::channel_reserved`] stays the global
+    /// per-channel slice.
+    pub(crate) fn with_base(
+        base: usize,
+        n_channels: usize,
+        max_chunks: usize,
+        eff: f64,
+        round_seconds: f64,
+        wheel_len: usize,
+    ) -> Self {
         Self {
             lanes: (0..n_channels)
-                .map(|c| ChannelLane::new(c, max_chunks))
+                .map(|c| ChannelLane::new(base + c, max_chunks))
                 .collect(),
+            base,
             max_chunks,
             eff,
             usable_units: Vec::new(),
             dl_slot: Vec::new(),
-            wheel: WakeWheel::new(round_seconds),
+            wheel: WakeWheel::new(round_seconds, wheel_len),
             id_to_idx: IdMap::default(),
             due: Vec::new(),
         }
+    }
+
+    /// A single-channel engine for one shard of the sharded run loop.
+    pub(crate) fn for_shard(
+        channel: usize,
+        max_chunks: usize,
+        eff: f64,
+        round_seconds: f64,
+    ) -> Self {
+        Self::with_base(
+            channel,
+            1,
+            max_chunks,
+            eff,
+            round_seconds,
+            WakeWheel::SHARD_LEN,
+        )
     }
 }
 
@@ -883,7 +943,7 @@ impl RoundEngine for IndexedEngine {
         debug_assert_eq!(p.buffer, 0, "peers join with an empty buffer");
         let usable = quantize_usable(p.upload_capacity, self.eff);
         self.usable_units.push(usable);
-        let lane = &mut self.lanes[p.channel];
+        let lane = &mut self.lanes[p.channel - self.base];
         lane.pool_units += usable;
         let PeerState::Downloading {
             chunk, bytes_left, ..
@@ -902,7 +962,7 @@ impl RoundEngine for IndexedEngine {
     }
 
     fn on_buffer(&mut self, channel: usize, idx: usize, chunk: usize) {
-        let lane = &mut self.lanes[channel];
+        let lane = &mut self.lanes[channel - self.base];
         lane.owners[chunk] += 1;
         lane.owner_units[chunk] += self.usable_units[idx];
     }
@@ -915,7 +975,7 @@ impl RoundEngine for IndexedEngine {
         bytes_left: f64,
         _deadline: f64,
     ) {
-        let lane = &mut self.lanes[channel];
+        let lane = &mut self.lanes[channel - self.base];
         debug_assert_eq!(self.dl_slot[idx], DL_NONE, "peer was not downloading");
         self.dl_slot[idx] = lane.dl.len() as u32;
         lane.dl.push(DlEntry {
@@ -935,14 +995,14 @@ impl RoundEngine for IndexedEngine {
         _deadline: f64,
     ) {
         let pos = self.dl_slot[idx] as usize;
-        let entry = &mut self.lanes[channel].dl[pos];
+        let entry = &mut self.lanes[channel - self.base].dl[pos];
         debug_assert_eq!(entry.idx as usize, idx, "download index is consistent");
         entry.chunk = chunk as u32;
         entry.bytes = bytes_left;
     }
 
     fn on_download_stopped(&mut self, channel: usize, idx: usize, id: u64, wake_at: f64) {
-        let lane = &mut self.lanes[channel];
+        let lane = &mut self.lanes[channel - self.base];
         let pos = self.dl_slot[idx] as usize;
         debug_assert_eq!(lane.dl[pos].idx as usize, idx);
         lane.dl.swap_remove(pos);
@@ -957,7 +1017,7 @@ impl RoundEngine for IndexedEngine {
 
     fn on_remove(&mut self, peers: &[Peer], idx: usize) {
         let removed = &peers[idx];
-        let lane = &mut self.lanes[removed.channel];
+        let lane = &mut self.lanes[removed.channel - self.base];
         let usable = self.usable_units[idx];
         lane.pool_units -= usable;
         // Drop the departing peer's chunks from the owner aggregates —
@@ -990,7 +1050,7 @@ impl RoundEngine for IndexedEngine {
             let moved = &peers[last];
             if matches!(moved.state, PeerState::Downloading { .. }) {
                 let pos = self.dl_slot[idx] as usize;
-                let entry = &mut self.lanes[moved.channel].dl[pos];
+                let entry = &mut self.lanes[moved.channel - self.base].dl[pos];
                 debug_assert_eq!(entry.idx as usize, last);
                 entry.idx = idx as u32;
             }
@@ -1077,8 +1137,8 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<Metrics, 
     let mut next_arrival = arrival_stream.next();
 
     let mut cloud = Cloud::new(
-        paper_virtual_clusters(),
-        paper_nfs_clusters(),
+        scale_fleet_capacity(&paper_virtual_clusters(), cfg.fleet_scale),
+        scale_nfs_capacity(&paper_nfs_clusters(), cfg.fleet_scale),
         chunk_bytes as u64,
     )?;
     let sla = cloud.sla_terms();
@@ -1320,7 +1380,7 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<Metrics, 
 /// either starts (or gates) the next download or schedules departure.
 /// `play_end` is the playback end time of the just-finished chunk.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn advance_playback(
+pub(crate) fn advance_playback<S: ViewingSink>(
     p: &mut Peer,
     idx: usize,
     chunk: usize,
@@ -1329,7 +1389,7 @@ pub(crate) fn advance_playback(
     chunk_seconds: f64,
     now: f64,
     catalog: &Catalog,
-    tracker: &mut Tracker,
+    tracker: &mut S,
     rng: &mut StdRng,
     removals: &mut Vec<usize>,
 ) {
@@ -1338,7 +1398,7 @@ pub(crate) fn advance_playback(
     loop {
         match viewing.sample_next(rng, current) {
             NextAction::Watch(next) => {
-                tracker.record_transition(p.channel, current, next);
+                tracker.transition(p.channel, current, next);
                 if p.owns(next) {
                     // Already buffered (a jump back): it plays straight
                     // from the buffer; decide again after it.
@@ -1363,7 +1423,7 @@ pub(crate) fn advance_playback(
                 return;
             }
             NextAction::Leave => {
-                tracker.record_leave(p.channel, current);
+                tracker.leave(p.channel, current);
                 if play_end <= now {
                     removals.push(idx);
                 } else {
@@ -1388,13 +1448,13 @@ pub(crate) fn advance_playback(
 /// (`crate::federation`), so event ordering can never diverge between
 /// them.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn process_round_events<E: RoundEngine + ?Sized>(
+pub(crate) fn process_round_events<E: RoundEngine + ?Sized, S: ViewingSink>(
     engine: &mut E,
     peers: &mut Vec<Peer>,
     completed: &[usize],
     woken: &[usize],
     removals: &mut Vec<usize>,
-    tracker: &mut Tracker,
+    tracker: &mut S,
     rng: &mut StdRng,
     catalog: &Catalog,
     chunk_bytes: f64,

@@ -15,8 +15,64 @@ use cloudmedia_workload::stats::{ChannelStatsCollector, Observation};
 use crate::error::SimError;
 
 /// Pseudo-count weight used to blend the prior routing into the empirical
-/// transition matrix.
-const ROUTING_SMOOTHING: f64 = 10.0;
+/// transition matrix. Shared with the sharded engine's per-shard
+/// collectors so both tracker implementations summarize identically.
+pub(crate) const ROUTING_SMOOTHING: f64 = 10.0;
+
+/// Where the simulation loop reports viewing-model events (transitions
+/// and departures). The single-site and federated run loops record into
+/// the global [`Tracker`]; the sharded run loop records into each
+/// shard's own per-channel collector, so the event path never takes a
+/// cross-shard lock.
+pub(crate) trait ViewingSink {
+    /// A viewer on `channel` finished `from` and moved to `to`.
+    fn transition(&mut self, channel: usize, from: usize, to: usize);
+    /// A viewer on `channel` departed after finishing `from`.
+    fn leave(&mut self, channel: usize, from: usize);
+}
+
+impl ViewingSink for Tracker {
+    fn transition(&mut self, channel: usize, from: usize, to: usize) {
+        self.record_transition(channel, from, to);
+    }
+
+    fn leave(&mut self, channel: usize, from: usize) {
+        self.record_leave(channel, from);
+    }
+}
+
+/// A single channel's collector is itself a sink: the sharded engine's
+/// shards record straight into their own collector, ignoring the
+/// (constant) channel id.
+impl ViewingSink for ChannelStatsCollector {
+    fn transition(&mut self, _channel: usize, from: usize, to: usize) {
+        self.record(Observation::Transition { from, to });
+    }
+
+    fn leave(&mut self, _channel: usize, from: usize) {
+        self.record(Observation::Leave { from });
+    }
+}
+
+/// Summarizes one channel's interval from its collector and prior —
+/// the per-channel body of [`Tracker::interval_stats`], shared with the
+/// sharded engine so per-shard summaries are bitwise the same
+/// computation. Resets the collector.
+pub(crate) fn summarize_channel(
+    collector: &mut cloudmedia_workload::stats::ChannelStatsCollector,
+    prior_routing: &[Vec<f64>],
+    prior_alpha: f64,
+    interval_seconds: f64,
+) -> Result<ChannelObservation, SimError> {
+    let routing = collector.transition_matrix(prior_routing, ROUTING_SMOOTHING)?;
+    let obs = ChannelObservation {
+        arrival_rate: collector.arrival_rate(interval_seconds),
+        alpha: collector.alpha(prior_alpha),
+        routing,
+    };
+    collector.reset();
+    Ok(obs)
+}
 
 /// Tracker-side statistics aggregation for every channel.
 #[derive(Debug)]
@@ -76,13 +132,12 @@ impl Tracker {
     ) -> Result<Vec<(usize, ChannelObservation)>, SimError> {
         let mut out = Vec::with_capacity(self.collectors.len());
         for (c, collector) in self.collectors.iter_mut().enumerate() {
-            let routing = collector.transition_matrix(&self.priors[c], ROUTING_SMOOTHING)?;
-            let obs = ChannelObservation {
-                arrival_rate: collector.arrival_rate(interval_seconds),
-                alpha: collector.alpha(self.prior_alphas[c]),
-                routing,
-            };
-            collector.reset();
+            let obs = summarize_channel(
+                collector,
+                &self.priors[c],
+                self.prior_alphas[c],
+                interval_seconds,
+            )?;
             out.push((c, obs));
         }
         Ok(out)

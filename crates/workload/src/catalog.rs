@@ -116,6 +116,41 @@ impl Catalog {
             .expect("paper defaults are valid")
     }
 
+    /// A **mega catalog** for scale-out experiments: `channels` Zipf(0.8)
+    /// channels with the paper's per-channel viewing model, calibrated so
+    /// the expected steady-state population (unit diurnal multiplier) is
+    /// `population` concurrent viewers. The paper's deployment is 20
+    /// channels at ~2500 viewers; this is the same construction pushed to
+    /// thousands of channels and millions of viewers.
+    ///
+    /// The catalog itself stays `O(channels)` memory, and every consumer
+    /// of it in this workspace generates arrivals lazily (the streaming
+    /// [`crate::trace::ArrivalStream`] / [`crate::trace::ChannelArrivals`]
+    /// paths), so a 5-million-viewer week never materializes a trace.
+    ///
+    /// ```
+    /// use cloudmedia_workload::catalog::Catalog;
+    ///
+    /// let catalog = Catalog::mega_catalog(2000, 1_000_000.0).unwrap();
+    /// assert_eq!(catalog.len(), 2000);
+    /// let pop = catalog.expected_population(300.0);
+    /// assert!((pop - 1_000_000.0).abs() / 1_000_000.0 < 1e-9);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation failures (zero channels,
+    /// non-positive population).
+    pub fn mega_catalog(channels: usize, population: f64) -> Result<Self, WorkloadError> {
+        Self::zipf(
+            channels,
+            0.8,
+            ViewingModel::paper_default(),
+            population,
+            300.0,
+        )
+    }
+
     /// Number of channels.
     pub fn len(&self) -> usize {
         self.channels.len()

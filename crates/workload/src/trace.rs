@@ -208,14 +208,39 @@ pub fn generate_arrivals(
 /// # Determinism and relation to the eager path
 ///
 /// The stream is fully deterministic in `TraceConfig::seed`: channel `c`
-/// draws from its own `StdRng` seeded with a splitmix of `(seed, c)`, and
-/// the per-channel streams are merged by `(time, channel)`. Because the
-/// eager path interleaves all channels through a *single* RNG before
+/// draws from its own `StdRng` seeded with [`child_seed`]`(seed, c)`,
+/// and the per-channel streams are merged by `(time, channel)`. Because
+/// the eager path interleaves all channels through a *single* RNG before
 /// sorting, the streaming trace is a *different sample of the same
 /// process* — identical rate profile, channel mix, and upload
 /// distribution, but not arrival-for-arrival equal. Engines compared
 /// across the two paths therefore agree in distribution (and, over a
 /// steady-state horizon, in their means), not bit-for-bit.
+///
+/// Because seeding is per channel, a channel's sub-stream does not
+/// depend on what else is in the catalog — the property the sharded
+/// round engine's per-shard ingestion builds on (see
+/// [`ChannelArrivals`]):
+///
+/// ```
+/// use cloudmedia_workload::catalog::Catalog;
+/// use cloudmedia_workload::trace::{ArrivalStream, TraceConfig};
+/// use cloudmedia_workload::viewing::ViewingModel;
+///
+/// let mut config = TraceConfig::paper_default();
+/// config.horizon_seconds = 3600.0;
+/// let catalog = Catalog::zipf(2, 0.8, ViewingModel::paper_default(), 60.0, 300.0).unwrap();
+///
+/// // Same seed → the same stream, arrival for arrival.
+/// let a: Vec<_> = ArrivalStream::new(&catalog, &config).unwrap().collect();
+/// let b: Vec<_> = ArrivalStream::new(&catalog, &config).unwrap().collect();
+/// assert_eq!(a, b);
+///
+/// // A different seed re-derives every channel's child seed.
+/// config.seed ^= 1;
+/// let c: Vec<_> = ArrivalStream::new(&catalog, &config).unwrap().collect();
+/// assert_ne!(a, c);
+/// ```
 #[derive(Debug)]
 pub struct ArrivalStream {
     /// Per-channel generator state, keyed into `heap` by next arrival.
@@ -304,6 +329,25 @@ fn splitmix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Derives the child seed for stream `index` of a family rooted at
+/// `seed`, via two rounds of the SplitMix64 finalizer. This is the
+/// derivation [`ArrivalStream`] uses for its per-channel RNGs, exposed
+/// so other per-channel stream families (the sharded round engine's
+/// per-shard behaviour RNGs, [`ChannelArrivals`]) draw from the same
+/// well-decorrelated seed tree.
+///
+/// ```
+/// use cloudmedia_workload::trace::child_seed;
+///
+/// // Deterministic, and distinct across both axes.
+/// assert_eq!(child_seed(42, 7), child_seed(42, 7));
+/// assert_ne!(child_seed(42, 7), child_seed(42, 8));
+/// assert_ne!(child_seed(42, 7), child_seed(43, 7));
+/// ```
+pub fn child_seed(seed: u64, index: u64) -> u64 {
+    splitmix(seed ^ splitmix(index))
+}
+
 impl ArrivalStream {
     /// Creates a stream over the catalog with the given configuration.
     ///
@@ -321,17 +365,11 @@ impl ArrivalStream {
         let mut channels = Vec::new();
         let mut heap = std::collections::BinaryHeap::new();
         for spec in catalog.channels() {
-            if spec.base_arrival_rate * config.diurnal.max_multiplier() <= 0.0 {
+            if !ChannelStream::is_active(spec, config) {
                 continue;
             }
             let slot = channels.len();
-            let mut stream = ChannelStream {
-                id: spec.id,
-                rng: StdRng::seed_from_u64(splitmix(config.seed ^ splitmix(spec.id as u64))),
-                base_rate: spec.base_arrival_rate,
-                viewing: spec.viewing,
-                t: 0.0,
-            };
+            let mut stream = ChannelStream::for_spec(spec, config);
             if let Some(time) = stream.advance(config.horizon_seconds, &config.diurnal, &caps) {
                 heap.push(std::cmp::Reverse(HeapKey { time, slot }));
             }
@@ -355,6 +393,27 @@ impl ArrivalStream {
 }
 
 impl ChannelStream {
+    /// One channel's generator, seeded with [`child_seed`] of the trace
+    /// seed and the **global** channel id. [`ArrivalStream`] (merged)
+    /// and [`ChannelArrivals`] (solo) both construct through here, which
+    /// is what keeps their per-channel draw sequences bitwise identical
+    /// — the load-bearing property behind the sharded engine's
+    /// per-shard arrival ingestion.
+    fn for_spec(spec: &crate::catalog::ChannelSpec, config: &TraceConfig) -> Self {
+        Self {
+            id: spec.id,
+            rng: StdRng::seed_from_u64(child_seed(config.seed, spec.id as u64)),
+            base_rate: spec.base_arrival_rate,
+            viewing: spec.viewing,
+            t: 0.0,
+        }
+    }
+
+    /// Whether the channel produces any arrivals at all under this
+    /// configuration (the shared zero-rate gate).
+    fn is_active(spec: &crate::catalog::ChannelSpec, config: &TraceConfig) -> bool {
+        spec.base_arrival_rate * config.diurnal.max_multiplier() > 0.0
+    }
     /// Advances this channel's thinned process to its next accepted
     /// arrival time, or `None` when the horizon is exhausted. Candidates
     /// come from a homogeneous process capped per window by the exact
@@ -421,6 +480,113 @@ impl Iterator for ArrivalStream {
                 slot: key.slot,
             }));
         }
+        Some(arrival)
+    }
+}
+
+/// The lazy arrival stream of a **single channel**: exactly the
+/// per-channel sub-stream [`ArrivalStream`] merges, produced on its own.
+///
+/// The sharded round engine owns one of these per channel shard, so
+/// arrival ingestion needs no cross-shard merge heap and stays
+/// `O(1)` memory per shard. Determinism contract: for a given
+/// `(TraceConfig::seed, channel id)` the sequence of arrival **times,
+/// start chunks, and upload capacities** is identical to what
+/// [`ArrivalStream`] produces for that channel inside a full-catalog
+/// merge — both seed the channel's RNG with
+/// [`child_seed`]`(seed, id)` and draw in the same order. Only
+/// `user_id` differs: the merged stream numbers users globally in
+/// arrival order, while this stream numbers them `0, 1, 2, …` within
+/// the channel.
+///
+/// ```
+/// use cloudmedia_workload::catalog::Catalog;
+/// use cloudmedia_workload::trace::{ArrivalStream, ChannelArrivals, TraceConfig};
+/// use cloudmedia_workload::viewing::ViewingModel;
+///
+/// let catalog = Catalog::zipf(3, 0.8, ViewingModel::paper_default(), 90.0, 300.0).unwrap();
+/// let mut config = TraceConfig::paper_default();
+/// config.horizon_seconds = 6.0 * 3600.0;
+///
+/// let merged: Vec<_> = ArrivalStream::new(&catalog, &config)
+///     .unwrap()
+///     .filter(|a| a.channel == 1)
+///     .collect();
+/// let solo: Vec<_> = ChannelArrivals::new(catalog.channel(1), &config).unwrap().collect();
+/// assert_eq!(merged.len(), solo.len());
+/// for (m, s) in merged.iter().zip(&solo) {
+///     assert_eq!((m.time, m.start_chunk, m.upload_bytes_per_sec),
+///                (s.time, s.start_chunk, s.upload_bytes_per_sec));
+/// }
+/// ```
+#[derive(Debug)]
+pub struct ChannelArrivals {
+    stream: ChannelStream,
+    horizon: f64,
+    diurnal: DiurnalPattern,
+    caps: WindowCaps,
+    upload: BoundedPareto,
+    next_user_id: u64,
+    /// The next accepted arrival time, pre-advanced so `next()` can
+    /// draw the start chunk and upload *after* knowing the arrival
+    /// exists — the same draw order as [`ArrivalStream`].
+    pending: Option<f64>,
+}
+
+impl ChannelArrivals {
+    /// Creates the lazy arrival stream of one channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures.
+    pub fn new(
+        spec: &crate::catalog::ChannelSpec,
+        config: &TraceConfig,
+    ) -> Result<Self, WorkloadError> {
+        config.validate()?;
+        let upload = BoundedPareto::new(
+            config.upload_min_bps,
+            config.upload_max_bps,
+            config.upload_shape,
+        )?;
+        let caps = WindowCaps::new(&config.diurnal);
+        let mut stream = ChannelStream::for_spec(spec, config);
+        let pending = if ChannelStream::is_active(spec, config) {
+            stream.advance(config.horizon_seconds, &config.diurnal, &caps)
+        } else {
+            None
+        };
+        Ok(Self {
+            stream,
+            horizon: config.horizon_seconds,
+            diurnal: config.diurnal.clone(),
+            caps,
+            upload,
+            next_user_id: 0,
+            pending,
+        })
+    }
+
+    /// Trace horizon in seconds.
+    pub fn horizon(&self) -> f64 {
+        self.horizon
+    }
+}
+
+impl Iterator for ChannelArrivals {
+    type Item = UserArrival;
+
+    fn next(&mut self) -> Option<UserArrival> {
+        let time = self.pending.take()?;
+        let arrival = UserArrival {
+            time,
+            user_id: self.next_user_id,
+            channel: self.stream.id,
+            start_chunk: self.stream.viewing.sample_start_chunk(&mut self.stream.rng),
+            upload_bytes_per_sec: self.upload.sample(&mut self.stream.rng),
+        };
+        self.next_user_id += 1;
+        self.pending = self.stream.advance(self.horizon, &self.diurnal, &self.caps);
         Some(arrival)
     }
 }
@@ -699,6 +865,49 @@ mod tests {
             let (e, s) = (*e as f64, *s as f64);
             assert!((s - e).abs() / e < 0.1, "channel {c}: {s} vs {e}");
         }
+    }
+
+    #[test]
+    fn channel_arrivals_match_merged_stream_per_channel() {
+        let catalog = small_catalog();
+        let cfg = short_config();
+        let merged: Vec<Vec<UserArrival>> = {
+            let mut per: Vec<Vec<UserArrival>> = vec![Vec::new(); 3];
+            for a in ArrivalStream::new(&catalog, &cfg).unwrap() {
+                per[a.channel].push(a);
+            }
+            per
+        };
+        for (c, merged_channel) in merged.iter().enumerate() {
+            let solo: Vec<UserArrival> = ChannelArrivals::new(catalog.channel(c), &cfg)
+                .unwrap()
+                .collect();
+            assert_eq!(solo.len(), merged_channel.len(), "channel {c} count");
+            for (i, (s, m)) in solo.iter().zip(merged_channel).enumerate() {
+                assert_eq!(s.time.to_bits(), m.time.to_bits(), "channel {c} time {i}");
+                assert_eq!(s.start_chunk, m.start_chunk, "channel {c} chunk {i}");
+                assert_eq!(
+                    s.upload_bytes_per_sec.to_bits(),
+                    m.upload_bytes_per_sec.to_bits(),
+                    "channel {c} upload {i}"
+                );
+                assert_eq!(s.user_id, i as u64, "solo ids are channel-local");
+                assert_eq!(s.channel, c);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_channel_arrivals_are_empty() {
+        use crate::catalog::ChannelSpec;
+        let spec = ChannelSpec {
+            id: 5,
+            popularity: 0.1,
+            base_arrival_rate: 0.0,
+            viewing: crate::viewing::ViewingModel::paper_default(),
+        };
+        let mut s = ChannelArrivals::new(&spec, &short_config()).unwrap();
+        assert!(s.next().is_none());
     }
 
     #[test]

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Relative-link check (lychee-style, offline) over the markdown docs:
+# every `[text](target)` whose target is not an absolute URL or a pure
+# anchor must resolve to an existing file or directory relative to the
+# markdown file that references it. External URLs are skipped — this
+# build environment has no network — so the check is deterministic.
+#
+# Usage: scripts/check_links.sh [FILE.md ...]
+# (defaults to README.md, PAPER.md, PAPERS.md, ROADMAP.md, docs/*.md)
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ "${#files[@]}" -eq 0 ]; then
+    files=(README.md PAPER.md PAPERS.md ROADMAP.md docs/*.md)
+fi
+
+fail=0
+for file in "${files[@]}"; do
+    [ -f "$file" ] || { echo "MISSING FILE: $file"; fail=1; continue; }
+    dir=$(dirname "$file")
+    # Extract inline markdown link targets: [text](target).
+    targets=$(grep -o '\[[^]]*\]([^)]*)' "$file" | sed 's/.*(\(.*\))/\1/')
+    while IFS= read -r target; do
+        [ -n "$target" ] || continue
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        # Strip an anchor suffix (docs/FOO.md#section).
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "BROKEN LINK: $file -> $target"
+            fail=1
+        fi
+    done <<< "$targets"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "relative-link check failed"
+    exit 1
+fi
+echo "relative-link check passed (${#files[@]} files)"

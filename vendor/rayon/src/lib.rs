@@ -3,7 +3,8 @@
 //!
 //! Provides structured parallelism with rayon's `join`/`scope` call
 //! shapes, backed by a **persistent worker pool** (spawned lazily on
-//! first use, `available_parallelism − 1` workers). Earlier revisions
+//! first use, `available_parallelism − 1` workers; `RAYON_NUM_THREADS`
+//! overrides the size, as in real rayon). Earlier revisions
 //! spawned scoped OS threads per call (~10 µs each), which made
 //! per-round dispatch — the federated simulator fans its regions out
 //! every 10-second round, ~60 k times per simulated week — strictly
@@ -35,11 +36,26 @@ struct Pool {
 
 static POOL: OnceLock<&'static Pool> = OnceLock::new();
 
+/// The configured pool size: `RAYON_NUM_THREADS` (the env var real
+/// rayon honors; 0 or unparsable values are ignored) or the host's
+/// available parallelism. Read once and cached, so the pool and every
+/// [`current_num_threads`] caller agree even if the environment
+/// changes after startup. Scale benchmarks use the override to sweep
+/// thread counts across processes.
+fn configured_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
 fn pool() -> &'static Pool {
     POOL.get_or_init(|| {
-        let workers = std::thread::available_parallelism()
-            .map_or(1, |n| n.get())
-            .saturating_sub(1);
+        let workers = configured_threads().saturating_sub(1);
         let p: &'static Pool = Box::leak(Box::new(Pool {
             queue: Mutex::new(VecDeque::new()),
             work_available: Condvar::new(),
@@ -246,9 +262,10 @@ where
     (ra, rb.expect("spawned task completed"))
 }
 
-/// Number of hardware threads available (rayon's default pool size).
+/// The pool's thread count: the `RAYON_NUM_THREADS` override if set,
+/// otherwise the number of hardware threads available.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    configured_threads()
 }
 
 #[cfg(test)]
