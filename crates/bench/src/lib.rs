@@ -26,6 +26,7 @@ pub mod geo_sim;
 pub mod harness;
 pub mod latency;
 pub mod report;
+pub mod resilience;
 pub mod scale;
 pub mod tables;
 

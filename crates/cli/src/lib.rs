@@ -14,6 +14,10 @@
 //! - `cloudmedia geo` — a multi-region deployment run (independent
 //!   regional sites, the federated overflow-redirecting deployment, or
 //!   one centralized multiplexed site),
+//! - `cloudmedia chaos` — a fault-injection scenario (VM-fleet outage,
+//!   federated site outage, mid-run budget cut, tracker dropout) run
+//!   against a fault-free baseline, reporting time-to-recover, quality
+//!   dip, and cost overshoot,
 //! - `cloudmedia default-config` — prints the paper-default simulation
 //!   configuration as editable JSON.
 //!
@@ -22,6 +26,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 use std::fmt::Write as _;
 
@@ -35,6 +40,7 @@ use cloudmedia_core::controller::{Controller, ControllerConfig, StreamingMode};
 use cloudmedia_core::predictor::{ChannelObservation, PredictorKind};
 use cloudmedia_sim::config::{SchedulerChoice, SimConfig, SimKernel, SimMode};
 use cloudmedia_sim::event_driven::{DesScenario, FlashCrowdSpec, VmFailureSpec};
+use cloudmedia_sim::faults::{DegradeMode, FaultSchedule, ResilienceReport};
 use cloudmedia_sim::federation::{DeploymentKind, FederatedConfig, FederatedSimulator};
 use cloudmedia_sim::simulator::Simulator;
 
@@ -92,6 +98,28 @@ pub enum Command {
         mode: SimMode,
         /// Horizon in hours.
         hours: f64,
+    },
+    /// Run a fault-injection scenario against a fault-free baseline and
+    /// report the resilience metrics.
+    Chaos {
+        /// Which fault to inject.
+        scenario: ChaosScenarioKind,
+        /// Streaming architecture.
+        mode: SimMode,
+        /// Horizon in hours.
+        hours: f64,
+        /// Engine override for the single-site scenarios
+        /// (`--kernel scan|indexed|event-driven|sharded`); `site-outage`
+        /// always runs the federated simulator.
+        kernel: Option<SimKernel>,
+        /// Force serial execution (`--serial`): no channel sharding, no
+        /// parallel regions. The report must be bit-identical either way.
+        serial: bool,
+        /// Shed new arrivals during fleet outages instead of diluting
+        /// every stream (`--shed`).
+        shed: bool,
+        /// Optional path to write the resilience report JSON.
+        out_path: Option<String>,
     },
     /// Run a scale-out mega-catalog scenario on the sharded engine.
     Scale {
@@ -166,6 +194,7 @@ impl DesScenarioKind {
                 failures: vec![VmFailureSpec {
                     at: horizon * 0.5,
                     fraction: 0.5,
+                    recovery_seconds: 0.0,
                 }],
                 ..DesScenario::default()
             },
@@ -179,6 +208,56 @@ impl DesScenarioKind {
                 ..DesScenario::default()
             },
         }
+    }
+}
+
+/// The named fault scenarios `cloudmedia chaos` offers. Every fault
+/// instant is a fixed fraction of the horizon so any `--hours` value
+/// exercises the full fault-and-recovery arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosScenarioKind {
+    /// Half the VM fleet fails at mid-run and is repaired a quarter
+    /// horizon later.
+    VmOutage,
+    /// Federated deployment: site 1 goes dark at 40 % of the horizon for
+    /// a quarter horizon; the placement optimizer re-plans around it.
+    SiteOutage,
+    /// The VM rental budget is cut in half at mid-run.
+    BudgetCut,
+    /// Tracker measurements go dark from 35 % to 65 % of the horizon;
+    /// the controller replays its last-known-good plan.
+    TrackerDropout,
+}
+
+impl ChaosScenarioKind {
+    fn parse(v: &str) -> Result<Self, CliError> {
+        match v {
+            "vm-outage" => Ok(Self::VmOutage),
+            "site-outage" => Ok(Self::SiteOutage),
+            "budget-cut" => Ok(Self::BudgetCut),
+            "tracker-dropout" => Ok(Self::TrackerDropout),
+            other => Err(CliError::Usage(format!(
+                "unknown chaos scenario `{other}` \
+                 (use vm-outage|site-outage|budget-cut|tracker-dropout)"
+            ))),
+        }
+    }
+
+    /// Builds the fault schedule for a run of `horizon` seconds.
+    fn build(self, horizon: f64, shed: bool) -> FaultSchedule {
+        let mut schedule = match self {
+            Self::VmOutage => FaultSchedule::vm_outage(0.5 * horizon, 0.5, 0.25 * horizon),
+            Self::SiteOutage => FaultSchedule::site_outage(0.4 * horizon, 1, 0.25 * horizon),
+            // 0.2 of the paper's $100/h ceiling undercuts the ~$29/h the
+            // client-server deployment actually spends, so the cut binds
+            // and the planner dilutes streams best-effort.
+            Self::BudgetCut => FaultSchedule::budget_shock(0.5 * horizon, 0.2),
+            Self::TrackerDropout => FaultSchedule::tracker_blackout(0.35 * horizon, 0.3 * horizon),
+        };
+        if shed {
+            schedule.degrade = DegradeMode::ShedNewArrivals;
+        }
+        schedule
     }
 }
 
@@ -215,6 +294,10 @@ USAGE:
   cloudmedia des <baseline|boot-delay|vm-failure|flash-crowd>
                  [--mode cs|p2p] [--hours H] [--scheduler heap|wheel] [--out FILE]
   cloudmedia geo <independent|federated|central> [--mode cs|p2p] [--hours H]
+  cloudmedia chaos <vm-outage|site-outage|budget-cut|tracker-dropout>
+                   [--mode cs|p2p] [--hours H]
+                   [--kernel scan|indexed|event-driven|sharded]
+                   [--serial] [--shed] [--out FILE]
   cloudmedia scale [--peers N] [--channels C] [--mode cs|p2p] [--hours H]
                    [--serial] [--out FILE]
   cloudmedia default-config [--mode cs|p2p]
@@ -397,6 +480,38 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                 hours,
             })
         }
+        "chaos" => {
+            let scenario = it
+                .next()
+                .ok_or_else(|| CliError::Usage("chaos requires a scenario".into()))
+                .and_then(ChaosScenarioKind::parse)?;
+            let mut mode = SimMode::ClientServer;
+            let mut hours = 24.0;
+            let mut kernel = None;
+            let mut serial = false;
+            let mut shed = false;
+            let mut out_path = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--mode" => mode = parse_mode(take_value(&mut it, flag)?)?,
+                    "--hours" => hours = parse_f64(take_value(&mut it, flag)?, flag)?,
+                    "--kernel" => kernel = Some(parse_kernel(take_value(&mut it, flag)?)?),
+                    "--serial" => serial = true,
+                    "--shed" => shed = true,
+                    "--out" => out_path = Some(take_value(&mut it, flag)?.to_owned()),
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Chaos {
+                scenario,
+                mode,
+                hours,
+                kernel,
+                serial,
+                shed,
+                out_path,
+            })
+        }
         "scale" => {
             let mut peers = 1_000_000.0_f64;
             let mut channels = 2000usize;
@@ -497,6 +612,23 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             mode,
             hours,
         } => geo(deployment, mode, hours),
+        Command::Chaos {
+            scenario,
+            mode,
+            hours,
+            kernel,
+            serial,
+            shed,
+            out_path,
+        } => chaos(
+            scenario,
+            mode,
+            hours,
+            kernel,
+            serial,
+            shed,
+            out_path.as_deref(),
+        ),
         Command::Scale {
             peers,
             channels,
@@ -799,6 +931,114 @@ fn geo(deployment: DeploymentKind, mode: SimMode, hours: f64) -> Result<String, 
     Ok(out)
 }
 
+fn chaos(
+    scenario: ChaosScenarioKind,
+    mode: SimMode,
+    hours: f64,
+    kernel: Option<SimKernel>,
+    serial: bool,
+    shed: bool,
+    out_path: Option<&str>,
+) -> Result<String, CliError> {
+    let horizon = hours * 3600.0;
+    let schedule = scenario.build(horizon, shed);
+    let fault_start = schedule.first_fault_at().unwrap_or(0.0);
+    let report = if scenario == ChaosScenarioKind::SiteOutage {
+        if kernel.is_some() {
+            return Err(CliError::Usage(
+                "site-outage always runs the federated simulator; --kernel does not apply".into(),
+            ));
+        }
+        let mut fc = FederatedConfig::paper_default(DeploymentKind::Federated, mode, hours);
+        fc.parallel_regions = !serial;
+        let baseline = FederatedSimulator::new(fc.clone())
+            .map_err(|e| CliError::Run(format!("invalid federation config: {e}")))?
+            .run()
+            .map_err(|e| CliError::Run(format!("baseline run failed: {e}")))?;
+        let outaged_site = schedule.site_outages[0].site;
+        fc.base.faults = schedule;
+        let faulted = FederatedSimulator::new(fc)
+            .map_err(|e| CliError::Run(format!("invalid fault schedule: {e}")))?
+            .run()
+            .map_err(|e| CliError::Run(format!("faulted run failed: {e}")))?;
+        // Quality observables come from the outaged site's own region —
+        // the viewers the lost site was serving — while the cost
+        // overshoot is deployment-wide (the surviving sites absorb the
+        // demand and bill for it).
+        let mut report = ResilienceReport::from_runs(
+            &baseline.per_region[outaged_site].metrics,
+            &faulted.per_region[outaged_site].metrics,
+            fault_start,
+            faulted.fault_stats.clone(),
+        );
+        report.cost_overshoot_dollars = faulted.total_cost() - baseline.total_cost();
+        report
+    } else {
+        let mut cfg = SimConfig::paper_default(mode);
+        cfg.trace.horizon_seconds = horizon;
+        if let Some(kernel) = kernel {
+            cfg.kernel = kernel;
+        }
+        cfg.parallel_channels = !serial;
+        let baseline = Simulator::new(cfg.clone())
+            .map_err(|e| CliError::Run(format!("invalid configuration: {e}")))?
+            .run()
+            .map_err(|e| CliError::Run(format!("baseline run failed: {e}")))?;
+        cfg.faults = schedule;
+        let faulted = Simulator::new(cfg)
+            .map_err(|e| CliError::Run(format!("invalid fault schedule: {e}")))?
+            .run_with_faults()
+            .map_err(|e| CliError::Run(format!("faulted run failed: {e}")))?;
+        ResilienceReport::from_runs(
+            &baseline,
+            &faulted.metrics,
+            fault_start,
+            faulted.fault_stats,
+        )
+    };
+    if let Some(path) = out_path {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| CliError::Run(format!("serializing report failed: {e}")))?;
+        std::fs::write(path, json)
+            .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos {scenario:?}: {hours:.1} h in {mode:?} mode, fault at t = {fault_start:.0} s"
+    );
+    let _ = writeln!(
+        out,
+        "quality: baseline mean {:.4}, faulted mean {:.4}, floor {:.4}",
+        report.baseline_mean_quality, report.faulted_mean_quality, report.quality_floor
+    );
+    let _ = writeln!(
+        out,
+        "dip: depth {:.4}, duration {:.0} s, time to recover {:.0} s",
+        report.dip_depth, report.dip_duration_seconds, report.time_to_recover_seconds
+    );
+    let _ = writeln!(out, "cost overshoot: ${:.2}", report.cost_overshoot_dollars);
+    let s = &report.fault_stats;
+    let _ = writeln!(
+        out,
+        "fault plane: {} VMs killed, {} recovered, {} arrivals shed, {} retries \
+         ({:.0} s backoff), {} degraded submissions, {} fallback intervals, \
+         {} emergency re-plans",
+        s.vms_killed,
+        s.vms_recovered,
+        s.shed_arrivals,
+        s.retry_attempts,
+        s.retry_backoff_seconds,
+        s.degraded_submissions,
+        s.fallback_intervals,
+        s.emergency_replans,
+    );
+    if let Some(path) = out_path {
+        let _ = writeln!(out, "resilience report written to {path}");
+    }
+    Ok(out)
+}
+
 fn scale(
     peers: f64,
     channels: usize,
@@ -865,6 +1105,88 @@ fn rayon_threads() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_chaos() {
+        let c = parse(&["chaos", "vm-outage"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Chaos {
+                scenario: ChaosScenarioKind::VmOutage,
+                mode: SimMode::ClientServer,
+                hours: 24.0,
+                kernel: None,
+                serial: false,
+                shed: false,
+                out_path: None,
+            }
+        );
+        let c = parse(&[
+            "chaos",
+            "budget-cut",
+            "--mode",
+            "p2p",
+            "--hours",
+            "6",
+            "--kernel",
+            "sharded",
+            "--serial",
+            "--shed",
+            "--out",
+            "r.json",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Chaos {
+                scenario: ChaosScenarioKind::BudgetCut,
+                mode: SimMode::P2p,
+                hours: 6.0,
+                kernel: Some(SimKernel::Sharded),
+                serial: true,
+                shed: true,
+                out_path: Some("r.json".into()),
+            }
+        );
+        assert!(parse(&["chaos"]).is_err(), "scenario required");
+        assert!(parse(&["chaos", "meteor-strike"]).is_err());
+    }
+
+    #[test]
+    fn chaos_schedules_scale_with_the_horizon() {
+        let s = ChaosScenarioKind::VmOutage.build(36_000.0, false);
+        assert_eq!(s.vm_failures[0].at, 18_000.0);
+        assert_eq!(s.vm_failures[0].recovery_seconds, 9_000.0);
+        assert_eq!(s.degrade, DegradeMode::DiluteAllStreams);
+        let s = ChaosScenarioKind::VmOutage.build(36_000.0, true);
+        assert_eq!(s.degrade, DegradeMode::ShedNewArrivals);
+        let s = ChaosScenarioKind::SiteOutage.build(36_000.0, false);
+        assert_eq!(s.site_outages[0].site, 1);
+        s.validate().unwrap();
+        ChaosScenarioKind::BudgetCut
+            .build(36_000.0, false)
+            .validate()
+            .unwrap();
+        ChaosScenarioKind::TrackerDropout
+            .build(36_000.0, false)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn chaos_site_outage_rejects_kernel_override() {
+        let err = run(Command::Chaos {
+            scenario: ChaosScenarioKind::SiteOutage,
+            mode: SimMode::ClientServer,
+            hours: 2.0,
+            kernel: Some(SimKernel::Indexed),
+            serial: true,
+            shed: false,
+            out_path: None,
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "got {err:?}");
+    }
 
     #[test]
     fn parse_help_variants() {

@@ -107,6 +107,88 @@ pub struct ResourceRequest {
     pub placement: Option<PlacementPlan>,
 }
 
+/// Deterministic retry policy for broker submissions: exponential backoff
+/// with a hard cap, measured in *simulated* seconds. The sim's rejections
+/// are deterministic, so retries exist to model the control-plane latency
+/// a real provider pays before giving up and degrading — the backoff total
+/// is charged to the resilience report, not to the data plane.
+///
+/// ```
+/// use cloudmedia_cloud::broker::RetryPolicy;
+/// let p = RetryPolicy::paper_default();
+/// // Backoff doubles after each failed attempt, capped at the max.
+/// assert_eq!(p.backoff_after(1), 5.0);
+/// assert_eq!(p.backoff_after(2), 10.0);
+/// assert_eq!(p.backoff_after(3), 20.0);
+/// assert_eq!(p.backoff_after(10), p.max_backoff_seconds);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total submission attempts before degrading (>= 1).
+    pub max_attempts: u32,
+    /// Backoff after the first failed attempt, seconds.
+    pub base_backoff_seconds: f64,
+    /// Ceiling on any single backoff, seconds.
+    pub max_backoff_seconds: f64,
+}
+
+impl RetryPolicy {
+    /// Four attempts, 5 s base backoff, 60 s cap — well under the round
+    /// length × attempt budget, so a degraded plan still lands within the
+    /// provisioning boundary it was computed for.
+    pub fn paper_default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff_seconds: 5.0,
+            max_backoff_seconds: 60.0,
+        }
+    }
+
+    /// Backoff scheduled after the `failures`-th consecutive failure
+    /// (1-based): `base × 2^(failures-1)`, capped.
+    pub fn backoff_after(&self, failures: u32) -> f64 {
+        let exp = failures.saturating_sub(1).min(52);
+        (self.base_backoff_seconds * (1u64 << exp) as f64).min(self.max_backoff_seconds)
+    }
+
+    fn validate(&self) -> Result<(), CloudError> {
+        if self.max_attempts == 0 {
+            return Err(crate::error::invalid_param(
+                "max_attempts",
+                "must be at least 1",
+            ));
+        }
+        if !(self.base_backoff_seconds.is_finite() && self.base_backoff_seconds >= 0.0) {
+            return Err(crate::error::invalid_param(
+                "base_backoff_seconds",
+                "must be non-negative",
+            ));
+        }
+        if !(self.max_backoff_seconds.is_finite() && self.max_backoff_seconds >= 0.0) {
+            return Err(crate::error::invalid_param(
+                "max_backoff_seconds",
+                "must be non-negative",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What [`Cloud::submit_with_retry`] actually did: how many attempts it
+/// took, how much simulated backoff accrued, and whether the request had
+/// to be degraded (VM targets clamped to current availability) to land.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SubmitReceipt {
+    /// Submission attempts made (1 = accepted first try).
+    pub attempts: u32,
+    /// Total exponential backoff accrued across failed attempts, seconds.
+    pub backoff_seconds: f64,
+    /// True when the accepted request is the clamped (degraded) one.
+    pub degraded: bool,
+    /// The VM targets that were actually accepted.
+    pub vm_targets: Vec<usize>,
+}
+
 /// The cloud provider: schedulers plus billing behind a broker interface.
 #[derive(Debug)]
 pub struct Cloud {
@@ -114,6 +196,11 @@ pub struct Cloud {
     nfs: NfsScheduler,
     billing: BillingMeter,
     clock: f64,
+    /// Per-cluster availability cap (≤ the spec's `max_vms`). Normally
+    /// equal to the fleet size; a correlated host failure lowers it until
+    /// the repair completes, making over-cap submissions rejectable (and
+    /// therefore retryable/degradable) instead of silently satisfiable.
+    available: Vec<usize>,
 }
 
 impl Cloud {
@@ -130,11 +217,13 @@ impl Cloud {
         let billing = BillingMeter::new(&virtual_clusters, &nfs_clusters)?;
         let vms = VmScheduler::new(virtual_clusters)?;
         let nfs = NfsScheduler::new(nfs_clusters, chunk_bytes)?;
+        let available = vms.specs().iter().map(|s| s.max_vms).collect();
         Ok(Self {
             vms,
             nfs,
             billing,
             clock: 0.0,
+            available,
         })
     }
 
@@ -217,7 +306,7 @@ impl Cloud {
         }
         // Validate all VM targets before mutating anything.
         for (cluster, &target) in request.vm_targets.iter().enumerate() {
-            let max = self.vms.specs()[cluster].max_vms;
+            let max = self.capacity_limit(cluster);
             if target > max {
                 return Err(CloudError::InsufficientVms {
                     cluster,
@@ -258,6 +347,111 @@ impl Cloud {
     /// Total bandwidth currently served by running VMs, bytes/second.
     pub fn running_bandwidth(&self) -> f64 {
         self.vms.total_running_bandwidth()
+    }
+
+    /// The number of VMs cluster `cluster` can currently host: the spec's
+    /// fleet size, lowered by any outstanding availability cap.
+    pub fn capacity_limit(&self, cluster: usize) -> usize {
+        self.vms.specs()[cluster]
+            .max_vms
+            .min(self.available[cluster])
+    }
+
+    /// Current per-cluster availability caps.
+    pub fn availability(&self) -> &[usize] {
+        &self.available
+    }
+
+    /// Caps each cluster's hostable VM count (clamped to the spec's
+    /// `max_vms`) — the fault plane's handle for correlated host loss.
+    /// Running instances above a lowered cap are not killed here; the
+    /// caller decides which survive and submits the reduced targets.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a cap vector whose length does not match the cluster count.
+    pub fn set_availability(&mut self, caps: &[usize]) -> Result<(), CloudError> {
+        if caps.len() != self.vms.clusters() {
+            return Err(crate::error::invalid_param(
+                "caps",
+                format!(
+                    "expected {} clusters, got {}",
+                    self.vms.clusters(),
+                    caps.len()
+                ),
+            ));
+        }
+        for (cluster, &cap) in caps.iter().enumerate() {
+            self.available[cluster] = cap.min(self.vms.specs()[cluster].max_vms);
+        }
+        Ok(())
+    }
+
+    /// Restores every cluster's availability to its full fleet size (the
+    /// repair completing after a correlated failure).
+    pub fn restore_full_availability(&mut self) {
+        let full: Vec<usize> = self.vms.specs().iter().map(|s| s.max_vms).collect();
+        self.available = full;
+    }
+
+    /// Submits a request under `policy`: retries `InsufficientVms`
+    /// rejections with exponential backoff, and after the final attempt
+    /// *degrades* — clamps every VM target to the cluster's current
+    /// capacity limit and submits that instead, so a post-fault plan that
+    /// exceeds the surviving fleet still lands (at reduced capacity)
+    /// rather than leaving the previous interval's targets in place.
+    ///
+    /// Rejections in this model are deterministic, so the retries always
+    /// observe the same answer; the accrued backoff is reported in the
+    /// receipt as control-plane latency rather than being applied to the
+    /// simulated clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors other than `InsufficientVms`, and any
+    /// failure of the final degraded submission.
+    pub fn submit_with_retry(
+        &mut self,
+        request: &ResourceRequest,
+        policy: &RetryPolicy,
+    ) -> Result<SubmitReceipt, CloudError> {
+        policy.validate()?;
+        let mut attempts = 0u32;
+        let mut backoff = 0.0;
+        loop {
+            attempts += 1;
+            match self.submit_request(request) {
+                Ok(()) => {
+                    return Ok(SubmitReceipt {
+                        attempts,
+                        backoff_seconds: backoff,
+                        degraded: false,
+                        vm_targets: request.vm_targets.clone(),
+                    });
+                }
+                Err(CloudError::InsufficientVms { .. }) if attempts < policy.max_attempts => {
+                    backoff += policy.backoff_after(attempts);
+                }
+                Err(CloudError::InsufficientVms { .. }) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        let clamped: Vec<usize> = request
+            .vm_targets
+            .iter()
+            .enumerate()
+            .map(|(cluster, &target)| target.min(self.capacity_limit(cluster)))
+            .collect();
+        self.submit_request(&ResourceRequest {
+            vm_targets: clamped.clone(),
+            placement: request.placement.clone(),
+        })?;
+        Ok(SubmitReceipt {
+            attempts,
+            backoff_seconds: backoff,
+            degraded: true,
+            vm_targets: clamped,
+        })
     }
 }
 
@@ -391,6 +585,83 @@ mod tests {
         // Paper Table II: Standard $0.45/h at 1.25 MB/s is the cheapest
         // ratio (3.6e-7 $/Bps·h); Medium and Advanced cost more per unit.
         assert!((sla.bandwidth_price_per_bps_hour() - 0.45 / 1.25e6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn availability_cap_rejects_then_degrade_clamps() {
+        let mut cloud = Cloud::paper_default().unwrap();
+        // Paper fleet: 75/30/45. Halve availability of cluster 0.
+        cloud.set_availability(&[37, 30, 45]).unwrap();
+        let request = ResourceRequest {
+            vm_targets: vec![50, 0, 0],
+            placement: None,
+        };
+        let err = cloud.submit_request(&request).unwrap_err();
+        assert!(matches!(
+            err,
+            CloudError::InsufficientVms {
+                cluster: 0,
+                available: 37,
+                ..
+            }
+        ));
+        let receipt = cloud
+            .submit_with_retry(&request, &RetryPolicy::paper_default())
+            .unwrap();
+        assert_eq!(receipt.attempts, 4);
+        assert!(receipt.degraded);
+        assert_eq!(receipt.vm_targets, vec![37, 0, 0]);
+        // 5 + 10 + 20 seconds of exponential backoff across 3 failures.
+        assert!((receipt.backoff_seconds - 35.0).abs() < 1e-12);
+        // Repair restores the full fleet; the same request now lands.
+        cloud.restore_full_availability();
+        let receipt = cloud
+            .submit_with_retry(&request, &RetryPolicy::paper_default())
+            .unwrap();
+        assert_eq!(receipt.attempts, 1);
+        assert!(!receipt.degraded);
+        assert_eq!(receipt.backoff_seconds, 0.0);
+    }
+
+    #[test]
+    fn retry_does_not_mask_other_errors() {
+        let mut cloud = Cloud::paper_default().unwrap();
+        let err = cloud
+            .submit_with_retry(
+                &ResourceRequest {
+                    vm_targets: vec![1, 1], // wrong cluster count
+                    placement: None,
+                },
+                &RetryPolicy::paper_default(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CloudError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn backoff_caps_and_validates() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff_seconds: 3.0,
+            max_backoff_seconds: 10.0,
+        };
+        assert_eq!(p.backoff_after(1), 3.0);
+        assert_eq!(p.backoff_after(2), 6.0);
+        assert_eq!(p.backoff_after(3), 10.0, "capped");
+        let mut cloud = Cloud::paper_default().unwrap();
+        let bad = RetryPolicy {
+            max_attempts: 0,
+            ..RetryPolicy::paper_default()
+        };
+        assert!(cloud
+            .submit_with_retry(
+                &ResourceRequest {
+                    vm_targets: vec![0, 0, 0],
+                    placement: None
+                },
+                &bad
+            )
+            .is_err());
     }
 
     #[test]

@@ -102,6 +102,20 @@ impl BaselinePlanner {
         })
     }
 
+    /// Scales the VM rental budget by `factor` — the baselines honour the
+    /// same mid-run budget shocks as the paper's controller.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite or non-positive factors.
+    pub fn scale_vm_budget(&mut self, factor: f64) -> Result<(), CoreError> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(invalid_param("factor", "must be positive"));
+        }
+        self.vm_budget_per_hour *= factor;
+        Ok(())
+    }
+
     /// Plans one interval from per-channel observations. Demands are
     /// spread uniformly over each channel's chunks (baselines have no
     /// per-chunk model).

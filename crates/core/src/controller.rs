@@ -176,6 +176,7 @@ pub struct Controller {
     predictor: DemandPredictor,
     current_placement: Option<PlacementPlan>,
     placement_demands: BTreeMap<ChunkKey, f64>,
+    last_good: Option<ProvisioningPlan>,
 }
 
 impl Controller {
@@ -191,12 +192,36 @@ impl Controller {
             predictor: DemandPredictor::new(predictor)?,
             current_placement: None,
             placement_demands: BTreeMap::new(),
+            last_good: None,
         })
     }
 
     /// The configuration.
     pub fn config(&self) -> &ControllerConfig {
         &self.config
+    }
+
+    /// Scales the VM rental budget `B_M` by `factor` — the mid-run
+    /// budget-cut (or raise) shock of the fault plane. Prediction and
+    /// placement state carry over, so the next interval re-optimizes the
+    /// same demand under the new budget.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-finite or non-positive factors.
+    pub fn scale_vm_budget(&mut self, factor: f64) -> Result<(), CoreError> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(invalid_param("factor", "must be positive"));
+        }
+        self.config.vm_budget_per_hour *= factor;
+        Ok(())
+    }
+
+    /// The most recent successfully planned interval, if any — the
+    /// last-known-good plan the simulator falls back to when tracker
+    /// measurements drop out mid-run.
+    pub fn last_good_plan(&self) -> Option<&ProvisioningPlan> {
+        self.last_good.as_ref()
     }
 
     /// The current chunk placement, if any has been computed.
@@ -365,7 +390,7 @@ impl Controller {
             })
             .unwrap_or(0.0);
 
-        Ok(ProvisioningPlan {
+        let plan = ProvisioningPlan {
             vm_targets: vm_plan.vm_targets.clone(),
             placement: placement_out,
             chunk_demands,
@@ -373,7 +398,9 @@ impl Controller {
             expected_peer_contribution: total_peer,
             vm_plan,
             storage_utility,
-        })
+        };
+        self.last_good = Some(plan.clone());
+        Ok(plan)
     }
 }
 
@@ -612,6 +639,24 @@ mod tests {
             .plan_interval(&[(0, observation(0.3))], &sla())
             .unwrap();
         assert!(c.total_cloud_demand > b.total_cloud_demand);
+    }
+
+    #[test]
+    fn budget_shock_shrinks_the_plan_and_fallback_survives() {
+        let mut cfg = ControllerConfig::paper_default(StreamingMode::ClientServer);
+        cfg.budget_policy = BudgetPolicy::BestEffort;
+        let mut c = Controller::new(cfg, PredictorKind::LastInterval).unwrap();
+        assert!(c.last_good_plan().is_none());
+        let before = c.plan_interval(&[(0, observation(1.0))], &sla()).unwrap();
+        // Cut the budget 10x: best-effort now degrades the same demand.
+        c.scale_vm_budget(0.1).unwrap();
+        let after = c.plan_interval(&[(0, observation(1.0))], &sla()).unwrap();
+        assert!(after.vm_plan.integer_hourly_cost < before.vm_plan.integer_hourly_cost);
+        // The fallback tracks the most recent success.
+        let fallback = c.last_good_plan().unwrap();
+        assert_eq!(fallback.vm_targets, after.vm_targets);
+        assert!(c.scale_vm_budget(0.0).is_err());
+        assert!(c.scale_vm_budget(f64::NAN).is_err());
     }
 
     #[test]

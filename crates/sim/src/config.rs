@@ -10,6 +10,7 @@ use cloudmedia_workload::trace::TraceConfig;
 use serde::{Deserialize, Serialize};
 
 use crate::error::{invalid_param, SimError};
+use crate::faults::FaultSchedule;
 
 /// Which streaming architecture the simulated system runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -178,6 +179,11 @@ pub struct SimConfig {
     /// viewers; [`SimConfig::scale_out`] grows it (and the budgets) in
     /// proportion to the target population.
     pub fleet_scale: f64,
+    /// The deterministic fault plane: timed fleet failures, site
+    /// outages, tracker dropouts, and cost shocks every engine replays
+    /// identically (see [`crate::faults`] and `docs/RESILIENCE.md`).
+    /// Empty by default — no faults.
+    pub faults: FaultSchedule,
 }
 
 impl serde::Deserialize for SimConfig {
@@ -222,6 +228,12 @@ impl serde::Deserialize for SimConfig {
             fleet_scale: match v.get("fleet_scale") {
                 Some(value) => serde::Deserialize::from_value(value)?,
                 None => 1.0,
+            },
+            // Optional: configs written before the fault plane existed
+            // load with an empty (no-fault) schedule.
+            faults: match v.get("faults") {
+                Some(value) => serde::Deserialize::from_value(value)?,
+                None => FaultSchedule::default(),
             },
         })
     }
@@ -270,6 +282,7 @@ impl SimConfig {
             scheduler: SchedulerChoice::default(),
             parallel_channels: true,
             fleet_scale: 1.0,
+            faults: FaultSchedule::default(),
         }
     }
 
@@ -374,6 +387,7 @@ impl SimConfig {
                 "must be at least 1.0 (the paper testbed)",
             ));
         }
+        self.faults.validate()?;
         Ok(())
     }
 
@@ -444,6 +458,33 @@ mod tests {
         let parsed = <SimConfig as serde::Deserialize>::from_value(&legacy).unwrap();
         assert!(parsed.parallel_channels, "defaults to parallel");
         assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn config_json_without_faults_field_still_loads() {
+        let cfg = SimConfig::paper_default(SimMode::P2p);
+        let serde::Value::Object(mut fields) = serde::Serialize::to_value(&cfg) else {
+            panic!("config serializes to an object");
+        };
+        fields.retain(|(k, _)| k != "faults");
+        let legacy = serde::Value::Object(fields);
+        let parsed = <SimConfig as serde::Deserialize>::from_value(&legacy).unwrap();
+        assert!(parsed.faults.is_empty(), "defaults to no faults");
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn fault_schedule_round_trips_and_validates_through_config() {
+        use crate::faults::{DegradeMode, FaultSchedule};
+        let mut cfg = SimConfig::paper_default(SimMode::ClientServer);
+        cfg.faults = FaultSchedule::vm_outage(3600.0, 0.4, 900.0);
+        cfg.faults.degrade = DegradeMode::ShedNewArrivals;
+        let value = serde::Serialize::to_value(&cfg);
+        let parsed = <SimConfig as serde::Deserialize>::from_value(&value).unwrap();
+        assert_eq!(parsed, cfg);
+        cfg.validate().unwrap();
+        cfg.faults.vm_failures[0].fraction = 2.0;
+        assert!(cfg.validate().is_err(), "schedule validated with config");
     }
 
     #[test]

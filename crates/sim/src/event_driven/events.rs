@@ -106,6 +106,9 @@ pub(crate) enum CmEvent {
         /// Fraction of each cluster's active instances lost.
         fraction: f64,
     },
+    /// A scheduled repair is due: lift the availability cap and restore
+    /// the last planned VM targets.
+    VmRecovery,
     /// Tracker measurement: a viewer joined `channel` at `chunk`.
     TrackJoin {
         /// Channel.

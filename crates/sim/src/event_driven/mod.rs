@@ -78,13 +78,19 @@ use crate::metrics::Metrics;
 use events::{CmEvent, ADMISSION, ENGINE, PROVISIONER, SESSIONS};
 
 /// A VM failure burst: at `at` seconds, `fraction` of the currently
-/// billable fleet (per cluster, rounded down) is killed.
+/// billable fleet (per cluster, rounded down) is killed. With a positive
+/// `recovery_seconds` the failed capacity comes back: a repair event at
+/// `at + recovery_seconds` restores the last planned VM targets (instead
+/// of the fleet staying dead until the next hourly re-plan).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct VmFailureSpec {
     /// Failure instant, seconds from run start.
     pub at: f64,
     /// Fraction of each cluster's active instances lost, in `[0, 1]`.
     pub fraction: f64,
+    /// Seconds until the failed capacity is repaired; `0.0` means the
+    /// failure is permanent (the historical behaviour).
+    pub recovery_seconds: f64,
 }
 
 /// A flash-crowd burst: `extra_viewers` additional arrivals to `channel`,
@@ -220,6 +226,10 @@ pub struct DesRun {
     pub metrics: Metrics,
     /// Event-driven-only outputs.
     pub report: DesReport,
+    /// Fault-plane counters (the configuration's
+    /// [`FaultSchedule`](crate::faults::FaultSchedule) plus scenario
+    /// failure injections).
+    pub fault_stats: crate::faults::FaultStats,
 }
 
 /// Runs the event-driven engine over the configured horizon.
@@ -249,7 +259,14 @@ pub fn run(cfg: &SimConfig, scenario: &DesScenario) -> Result<DesRun, SimError> 
         ENGINE,
         CmEvent::SampleTick,
     );
-    for f in &scenario.failures {
+    // Failure bursts come from the scenario and from the configuration's
+    // fault schedule (whose fleet failures always carry a recovery).
+    let schedule_failures = cfg.faults.vm_failures.iter().map(|f| VmFailureSpec {
+        at: f.at,
+        fraction: f.fraction,
+        recovery_seconds: f.recovery_seconds,
+    });
+    for f in scenario.failures.iter().copied().chain(schedule_failures) {
         if f.at < horizon && f.fraction > 0.0 {
             kernel.schedule_at(
                 f.at,
@@ -258,6 +275,9 @@ pub fn run(cfg: &SimConfig, scenario: &DesScenario) -> Result<DesRun, SimError> 
                     fraction: f.fraction,
                 },
             );
+            if f.recovery_seconds > 0.0 {
+                kernel.schedule_at(f.at + f.recovery_seconds, PROVISIONER, CmEvent::VmRecovery);
+            }
         }
     }
     for fc in &scenario.flash_crowds {
@@ -340,7 +360,13 @@ pub fn run(cfg: &SimConfig, scenario: &DesScenario) -> Result<DesRun, SimError> 
         vms_killed: provisioner.vms_killed(),
         redirected_requests: admission.redirected_requests(),
     };
-    Ok(DesRun { metrics, report })
+    let mut fault_stats = provisioner.take_fault_stats();
+    fault_stats.shed_arrivals = sessions.shed_arrivals();
+    Ok(DesRun {
+        metrics,
+        report,
+        fault_stats,
+    })
 }
 
 /// Assembles one [`crate::metrics::Sample`] at `now` over the elapsed

@@ -16,17 +16,19 @@
 //! provisioning tick re-plans from measured demand and relaunches.
 
 use cloudmedia_cloud::broker::{
-    scale_fleet_capacity, scale_nfs_capacity, Cloud, ResourceRequest, SlaTerms,
+    scale_fleet_capacity, scale_nfs_capacity, Cloud, ResourceRequest, RetryPolicy, SlaTerms,
 };
 use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters};
 use cloudmedia_cloud::scheduler::PlacementPlan;
 use cloudmedia_cloud::vm::{DEFAULT_BOOT_SECONDS, DEFAULT_SHUTDOWN_SECONDS};
+use cloudmedia_core::controller::ProvisioningPlan;
 use cloudmedia_des::{Component, Event, Kernel};
 
 use super::events::{CmEvent, ADMISSION, PROVISIONER};
 use super::DesScenario;
 use crate::config::SimConfig;
 use crate::error::SimError;
+use crate::faults::{FaultSchedule, FaultStats};
 use crate::metrics::IntervalRecord;
 use crate::simulator::{bootstrap_stats, interval_record, make_planner, Planner};
 use crate::tracker::Tracker;
@@ -60,6 +62,20 @@ pub struct Provisioner {
     error: Option<SimError>,
     /// Precomputed bootstrap observations for the very first interval.
     bootstrap: Vec<(usize, cloudmedia_core::predictor::ChannelObservation)>,
+    /// The configuration's fault schedule (availability caps, tracker
+    /// dropouts, cost shocks).
+    faults: FaultSchedule,
+    /// Broker retry policy for provisioning submissions.
+    retry: RetryPolicy,
+    /// Fault-plane counters.
+    stats: FaultStats,
+    /// VM targets of the last planned interval — what a repair restores.
+    last_vm_targets: Vec<usize>,
+    /// Last successfully planned interval (placement stripped), replayed
+    /// when the tracker is dark.
+    last_plan: Option<ProvisioningPlan>,
+    /// Budget-shock factor already folded into the planner's budget.
+    applied_budget_factor: f64,
 }
 
 impl Provisioner {
@@ -104,6 +120,12 @@ impl Provisioner {
             vms_killed: 0,
             error: None,
             bootstrap: bootstrap_stats(&cfg.catalog, cfg),
+            faults: cfg.faults.clone(),
+            retry: RetryPolicy::paper_default(),
+            stats: FaultStats::default(),
+            last_vm_targets: Vec::new(),
+            last_plan: None,
+            applied_budget_factor: 1.0,
         })
     }
 
@@ -147,6 +169,12 @@ impl Provisioner {
         self.vms_killed
     }
 
+    /// The fault-plane counters (consumes them).
+    pub(crate) fn take_fault_stats(&mut self) -> FaultStats {
+        self.stats.vms_killed = self.vms_killed;
+        std::mem::take(&mut self.stats)
+    }
+
     /// Announces the current capacity to the admission component.
     fn announce_capacity(&self, kernel: &mut Kernel<CmEvent>) {
         kernel.schedule_in(
@@ -162,20 +190,46 @@ impl Provisioner {
     /// One provisioning interval: measure, plan, submit, record.
     fn provision(&mut self, now: f64, kernel: &mut Kernel<CmEvent>) -> Result<(), SimError> {
         self.cloud.tick(now)?;
-        let stats = if self.first_interval {
-            self.first_interval = false;
-            self.bootstrap.clone()
+        // Mid-run cost shocks, folded in exactly as the round loop does.
+        let (budget_factor, price_factor) = self.faults.shock_factors(now);
+        if budget_factor != self.applied_budget_factor {
+            self.planner
+                .scale_vm_budget(budget_factor / self.applied_budget_factor)?;
+            self.applied_budget_factor = budget_factor;
+        }
+        let planning_sla = if price_factor == 1.0 {
+            self.sla.clone()
         } else {
-            self.tracker.interval_stats(self.provisioning_interval)?
+            self.sla.with_vm_price_factor(price_factor)
         };
-        let plan = self.planner.plan_interval(&stats, &self.sla)?;
+        let bootstrap = self.first_interval;
+        let plan = if !bootstrap && self.faults.dropout_active(now) && self.last_plan.is_some() {
+            // Tracker blackout: drain the lost measurements and replay
+            // the last-known-good plan.
+            let _ = self.tracker.interval_stats(self.provisioning_interval)?;
+            self.stats.fallback_intervals += 1;
+            self.last_plan.clone().expect("checked is_some above")
+        } else {
+            let stats = if bootstrap {
+                self.first_interval = false;
+                self.bootstrap.clone()
+            } else {
+                self.tracker.interval_stats(self.provisioning_interval)?
+            };
+            self.planner.plan_interval(&stats, &planning_sla)?
+        };
         if let Some(p) = &plan.placement {
             self.current_placement = Some(p.clone());
         }
-        self.cloud.submit_request(&ResourceRequest {
-            vm_targets: plan.vm_targets.clone(),
-            placement: plan.placement.clone(),
-        })?;
+        let receipt = self.cloud.submit_with_retry(
+            &ResourceRequest {
+                vm_targets: plan.vm_targets.clone(),
+                placement: plan.placement.clone(),
+            },
+            &self.retry,
+        )?;
+        self.stats.record_receipt(&receipt);
+        self.last_vm_targets = plan.vm_targets.clone();
         self.channel_reserved.iter_mut().for_each(|v| *v = 0.0);
         for (key, allocs) in &plan.vm_plan.allocations {
             if key.channel >= self.n_channels {
@@ -195,6 +249,9 @@ impl Provisioner {
             self.n_channels,
             self.counts.clone(),
         ));
+        let mut stored = plan;
+        stored.placement = None;
+        self.last_plan = Some(stored);
         // Reserved changed now; running changes when boots/shutdowns
         // complete — sync capacity at both lifecycle instants.
         self.announce_capacity(kernel);
@@ -213,6 +270,24 @@ impl Provisioner {
         Ok(())
     }
 
+    /// Applies the fault schedule's availability cap for instant `now`
+    /// (full availability when no scheduled failure is active — scenario
+    /// failures never cap, preserving their historical semantics).
+    fn sync_availability(&mut self, now: f64) -> Result<(), SimError> {
+        let max_vms: Vec<usize> = self
+            .cloud
+            .vm_scheduler()
+            .specs()
+            .iter()
+            .map(|s| s.max_vms)
+            .collect();
+        match self.faults.fleet_caps_at(&max_vms, now) {
+            Some(caps) => self.cloud.set_availability(&caps)?,
+            None => self.cloud.restore_full_availability(),
+        }
+        Ok(())
+    }
+
     /// Kills `fraction` of each cluster's active instances.
     fn fail_vms(
         &mut self,
@@ -221,13 +296,15 @@ impl Provisioner {
         kernel: &mut Kernel<CmEvent>,
     ) -> Result<(), SimError> {
         self.cloud.tick(now)?;
+        self.sync_availability(now)?;
         let fraction = fraction.clamp(0.0, 1.0);
         let clusters = self.cloud.vm_scheduler().clusters();
         let mut targets = Vec::with_capacity(clusters);
         let mut killed = 0u64;
         for c in 0..clusters {
             let active = self.cloud.vm_scheduler().running(c);
-            let survivors = ((active as f64) * (1.0 - fraction)).floor() as usize;
+            let survivors = (((active as f64) * (1.0 - fraction)).floor() as usize)
+                .min(self.cloud.capacity_limit(c));
             killed += (active - survivors) as u64;
             targets.push(survivors);
         }
@@ -240,6 +317,30 @@ impl Provisioner {
         // loss now and settle billing when they power off.
         self.announce_capacity(kernel);
         kernel.schedule_in(self.shutdown_seconds, PROVISIONER, CmEvent::CloudSync);
+        Ok(())
+    }
+
+    /// A scheduled repair: lift the availability cap (to whatever any
+    /// still-active failure allows) and relaunch the last planned VM
+    /// targets through the retry policy.
+    fn recover_vms(&mut self, now: f64, kernel: &mut Kernel<CmEvent>) -> Result<(), SimError> {
+        self.cloud.tick(now)?;
+        self.sync_availability(now)?;
+        if !self.last_vm_targets.is_empty() {
+            let receipt = self.cloud.submit_with_retry(
+                &ResourceRequest {
+                    vm_targets: self.last_vm_targets.clone(),
+                    placement: None,
+                },
+                &self.retry,
+            )?;
+            self.stats.vms_recovered += receipt.vm_targets.iter().map(|&t| t as u64).sum::<u64>();
+            self.stats.record_receipt(&receipt);
+        }
+        // Reserved capacity changed now; running capacity follows when
+        // the relaunched instances finish booting.
+        self.announce_capacity(kernel);
+        kernel.schedule_in(self.boot_seconds, PROVISIONER, CmEvent::CloudSync);
         Ok(())
     }
 }
@@ -258,6 +359,7 @@ impl Component<CmEvent> for Provisioner {
                 self.announce_capacity(kernel);
             }),
             CmEvent::VmFailure { fraction } => self.fail_vms(now, fraction, kernel),
+            CmEvent::VmRecovery => self.recover_vms(now, kernel),
             CmEvent::TrackJoin { channel, chunk } => {
                 self.tracker.record_join(channel, chunk);
                 self.counts[channel] += 1;

@@ -87,6 +87,11 @@ pub struct Sessions {
     upload_dist: BoundedPareto,
     next_synthetic_id: u64,
     injected: u64,
+    /// The configuration's fault schedule (arrival shedding under
+    /// [`crate::faults::DegradeMode::ShedNewArrivals`]).
+    faults: crate::faults::FaultSchedule,
+    /// Trace arrivals refused while shedding.
+    shed: u64,
     /// Start-up delay accumulators for the current sample window.
     startup_sum: f64,
     startup_count: usize,
@@ -124,6 +129,8 @@ impl Sessions {
             upload_dist,
             next_synthetic_id: SYNTHETIC_ID_BASE,
             injected: 0,
+            faults: cfg.faults.clone(),
+            shed: 0,
             startup_sum: 0.0,
             startup_count: 0,
         })
@@ -140,6 +147,11 @@ impl Sessions {
     /// Viewers injected by flash-crowd bursts so far.
     pub(crate) fn injected_viewers(&self) -> u64 {
         self.injected
+    }
+
+    /// Trace arrivals refused by the shedding degrade policy so far.
+    pub(crate) fn shed_arrivals(&self) -> u64 {
+        self.shed
     }
 
     /// Admits one viewer: creates the session and announces it.
@@ -372,13 +384,19 @@ impl Component<CmEvent> for Sessions {
                     .take()
                     .expect("a NextArrival event always has its arrival staged");
                 debug_assert_eq!(a.time, now);
-                self.join(
-                    kernel,
-                    a.user_id,
-                    a.channel,
-                    a.start_chunk,
-                    a.upload_bytes_per_sec,
-                );
+                // Graceful degradation: during an active fleet-failure
+                // window with ShedNewArrivals, refuse admission.
+                if self.faults.shed_arrivals_at(a.time) {
+                    self.shed += 1;
+                } else {
+                    self.join(
+                        kernel,
+                        a.user_id,
+                        a.channel,
+                        a.start_chunk,
+                        a.upload_bytes_per_sec,
+                    );
+                }
                 if let Some(next) = self.stream.next() {
                     kernel.schedule_at(next.time, SESSIONS, CmEvent::NextArrival);
                     self.pending_arrival = Some(next);

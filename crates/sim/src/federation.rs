@@ -51,9 +51,10 @@
 //!   sites in the first place).
 
 use cloudmedia_cloud::broker::{
-    scale_fleet_capacity, scale_nfs_capacity, scale_vm_prices, Cloud, ResourceRequest,
+    scale_fleet_capacity, scale_nfs_capacity, scale_vm_prices, Cloud, ResourceRequest, RetryPolicy,
 };
 use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters};
+use cloudmedia_core::controller::ProvisioningPlan;
 use cloudmedia_core::federation::{paper_sites, plan_global_placement, FederationPolicy, SiteSpec};
 use cloudmedia_core::geo::{three_sites, validate_regions, RegionSpec};
 use cloudmedia_workload::diurnal::DiurnalPattern;
@@ -63,6 +64,7 @@ use rand::SeedableRng;
 
 use crate::config::{SimConfig, SimKernel, SimMode};
 use crate::error::{invalid_param, SimError};
+use crate::faults::FaultStats;
 use crate::metrics::Metrics;
 use crate::peer::Peer;
 use crate::simulator::{
@@ -213,6 +215,18 @@ impl FederatedConfig {
                  or a single-site Sharded run with parallel_channels",
             ));
         }
+        for o in &self.base.faults.site_outages {
+            if o.site >= self.regions.len() {
+                return Err(invalid_param(
+                    "site_outages",
+                    format!(
+                        "site index {} out of range for {} regions",
+                        o.site,
+                        self.regions.len()
+                    ),
+                ));
+            }
+        }
         for idx in 0..self.regions.len() {
             self.region_config(idx).validate()?;
         }
@@ -277,6 +291,10 @@ pub struct FederatedMetrics {
     pub total_transfer_cost: f64,
     /// Σ SLA latency-penalty credits, dollars.
     pub total_latency_penalty_cost: f64,
+    /// What the fault plane did during the run: emergency re-plans,
+    /// fallback intervals, shed arrivals, retry totals. All zeros when
+    /// the schedule is empty.
+    pub fault_stats: FaultStats,
 }
 
 impl FederatedMetrics {
@@ -397,6 +415,12 @@ struct RegionRuntime {
     /// The storage placement currently in force (sticky across
     /// non-refresh intervals, as in the single-site run loop).
     current_placement: Option<cloudmedia_cloud::scheduler::PlacementPlan>,
+    /// The last plan this region's controller produced (placement
+    /// stripped), replayed during tracker dropouts and emergency
+    /// re-plans.
+    last_plan: Option<ProvisioningPlan>,
+    /// Arrivals rejected by [`DegradeMode::ShedNewArrivals`](crate::faults::DegradeMode).
+    shed: u64,
     /// Viewer-side per-channel reservation from this region's own plan.
     channel_reserved: Vec<f64>,
     reserved_total: f64,
@@ -528,6 +552,8 @@ impl FederatedSimulator {
                 vm_bandwidth,
                 chunk_bytes,
                 current_placement: None,
+                last_plan: None,
+                shed: 0,
                 channel_reserved: vec![0.0; n_channels],
                 reserved_total: 0.0,
                 serve_share: {
@@ -562,24 +588,52 @@ impl FederatedSimulator {
         let mut next_sample = sample_interval;
         let mut next_provision = 0.0_f64;
 
+        // Fault-plane state — all mutated in this serial coordinator
+        // loop, so serial and parallel region execution stay
+        // bit-identical.
+        let retry = RetryPolicy::paper_default();
+        let mut stats = FaultStats::default();
+        let mut applied_budget_factor = 1.0_f64;
+        let mut site_mask = vec![false; n_sites];
+
         while clock < horizon {
             let t1 = (clock + dt).min(horizon);
             let step = t1 - clock;
 
             // --- Global provisioning boundary ------------------------
+            let mask = fc.base.faults.site_mask(n_sites, clock);
             if clock >= next_provision {
-                self.provision(&mut regions, clock)?;
+                self.provision(
+                    &mut regions,
+                    clock,
+                    &mask,
+                    &retry,
+                    &mut applied_budget_factor,
+                    &mut stats,
+                )?;
                 next_provision += provisioning_interval;
+                site_mask = mask;
+            } else if mask != site_mask {
+                // A site went dark (or came back) between boundaries:
+                // re-place the in-force plans around the new topology
+                // right now instead of waiting for the next hourly tick.
+                self.emergency_replan(&mut regions, clock, &mask, &retry, &mut stats)?;
+                stats.emergency_replans += 1;
+                site_mask = mask;
             }
 
             // --- Per-region round (arrivals → allocate → progress) ---
             // Site online fractions feed every region's blended scale;
             // computing them *before* the fan-out is the read barrier
             // that keeps the parallel execution bit-identical to serial.
+            // A down site serves nothing, whatever its fleet state.
             let site_online: Vec<f64> = regions
                 .iter()
-                .map(|r| {
-                    if r.site_target_bw > 0.0 {
+                .zip(&site_mask)
+                .map(|(r, &down)| {
+                    if down {
+                        0.0
+                    } else if r.site_target_bw > 0.0 {
                         (r.cloud.running_bandwidth() / r.site_target_bw).min(1.0)
                     } else {
                         1.0
@@ -633,6 +687,7 @@ impl FederatedSimulator {
             r.cloud.tick(horizon)?;
             r.metrics.total_vm_cost = r.cloud.billing().vm_cost().as_dollars();
             r.metrics.total_storage_cost = r.cloud.billing().storage_cost().as_dollars();
+            stats.shed_arrivals += r.shed;
             total_vm += r.metrics.total_vm_cost;
             total_storage += r.metrics.total_storage_cost;
             total_transfer += r.transfer_cost;
@@ -653,82 +708,103 @@ impl FederatedSimulator {
             total_storage_cost: total_storage,
             total_transfer_cost: total_transfer,
             total_latency_penalty_cost: total_penalty,
+            fault_stats: stats,
         })
     }
 
     /// One global provisioning boundary: per-region plans, the global
     /// placement, the integer VM-target apportionment, and each site's
-    /// broker submission.
-    fn provision(&self, regions: &mut [RegionRuntime], clock: f64) -> Result<(), SimError> {
+    /// broker submission. The fault plane hooks in here: economic shocks
+    /// rescale every region's budget and planning prices, tracker
+    /// dropouts replay each region's last-known-good plan, and the site
+    /// outage mask reroutes demand around dark sites.
+    #[allow(clippy::too_many_arguments)]
+    fn provision(
+        &self,
+        regions: &mut [RegionRuntime],
+        clock: f64,
+        mask: &[bool],
+        retry: &RetryPolicy,
+        applied_budget_factor: &mut f64,
+        stats: &mut FaultStats,
+    ) -> Result<(), SimError> {
         let fc = &self.config;
         let n = regions.len();
+        let faults = &fc.base.faults;
 
-        // 1. Per-region controller plans (identical to a single-site run).
+        // Economic shocks hit every region's controller at the same
+        // boundary. Tracking the cumulative factor applies each shock
+        // exactly once, whatever order the schedule lists them in.
+        let (budget_factor, price_factor) = faults.shock_factors(clock);
+        if budget_factor != *applied_budget_factor {
+            let step = budget_factor / *applied_budget_factor;
+            for r in regions.iter_mut() {
+                r.planner.scale_vm_budget(step)?;
+            }
+            *applied_budget_factor = budget_factor;
+        }
+
+        // 1. Per-region controller plans (identical to a single-site run,
+        //    including the tracker-dropout fallback).
+        let dropout = faults.dropout_active(clock);
         let mut plans = Vec::with_capacity(n);
         let mut site_prices = Vec::with_capacity(n);
         for r in regions.iter_mut() {
-            let stats = if r.metrics.intervals.is_empty() {
-                bootstrap_stats(&r.cfg.catalog, &r.cfg)
-            } else {
-                r.tracker.interval_stats(r.cfg.provisioning_interval)?
-            };
+            let bootstrap = r.metrics.intervals.is_empty();
             let sla = r.cloud.sla_terms();
-            site_prices.push(sla.bandwidth_price_per_bps_hour());
-            plans.push(r.planner.plan_interval(&stats, &sla)?);
+            let planning_sla = if price_factor == 1.0 {
+                sla
+            } else {
+                sla.with_vm_price_factor(price_factor)
+            };
+            site_prices.push(planning_sla.bandwidth_price_per_bps_hour());
+            let plan = if !bootstrap && dropout && r.last_plan.is_some() {
+                // Measurements are dark: drain the tracker so collector
+                // state matches a fault-free run, replay the last plan.
+                let _ = r.tracker.interval_stats(r.cfg.provisioning_interval)?;
+                stats.fallback_intervals += 1;
+                r.last_plan.clone().expect("checked is_some above")
+            } else {
+                let interval_stats = if bootstrap {
+                    bootstrap_stats(&r.cfg.catalog, &r.cfg)
+                } else {
+                    r.tracker.interval_stats(r.cfg.provisioning_interval)?
+                };
+                r.planner.plan_interval(&interval_stats, &planning_sla)?
+            };
+            plans.push(plan);
         }
 
-        // 2. Global placement over the per-region demands, priced at each
-        //    site's own published bandwidth rate.
+        // 2–3. Global placement, apportionment, and site submissions —
+        //    shared with the emergency re-plan path. A dark site never
+        //    receives a storage placement.
         let demands: Vec<f64> = plans.iter().map(|p| p.total_cloud_demand).collect();
-        let placement = plan_global_placement(&demands, &fc.sites, &site_prices, &fc.policy)?;
+        let region_targets: Vec<Vec<usize>> = plans.iter().map(|p| p.vm_targets.clone()).collect();
+        let storage: Vec<Option<cloudmedia_cloud::scheduler::PlacementPlan>> = plans
+            .iter()
+            .zip(mask)
+            .map(|(p, &down)| if down { None } else { p.placement.clone() })
+            .collect();
+        apply_global_placement(
+            fc,
+            regions,
+            &demands,
+            &region_targets,
+            &site_prices,
+            mask,
+            &storage,
+            retry,
+            stats,
+        )?;
 
-        // 3. Apportion each region's integer VM targets across the sites
-        //    serving it; aggregate per site.
-        let n_clusters = plans
-            .first()
-            .map(|p| p.vm_targets.len())
-            .unwrap_or_default();
-        let mut site_targets = vec![vec![0usize; n_clusters]; n];
-        for (i, plan) in plans.iter().enumerate() {
-            let row = &placement.assignment[i];
-            for (v, &target) in plan.vm_targets.iter().enumerate() {
-                for (j, share) in apportion(target, row).into_iter().enumerate() {
-                    site_targets[j][v] += share;
+        // 4. Refresh each region's viewer-side state.
+        for ((r, plan), &down) in regions.iter_mut().zip(&plans).zip(mask) {
+            let sla = r.cloud.sla_terms();
+            if !down {
+                if let Some(pl) = &plan.placement {
+                    r.current_placement = Some(pl.clone());
                 }
             }
-        }
-        // Respect each site's physical fleet: clamp to cluster maxima
-        // (the paper fleet is far larger than any default-week placement,
-        // so this is a guard, not a steady-state path).
-        let max_vms: Vec<usize> =
-            scale_fleet_capacity(&paper_virtual_clusters(), fc.base.fleet_scale)
-                .iter()
-                .map(|c| c.max_vms)
-                .collect();
-        for targets in site_targets.iter_mut() {
-            for (v, t) in targets.iter_mut().enumerate() {
-                *t = (*t).min(max_vms[v]);
-            }
-        }
-
-        // 4. Submit each site's aggregate request and refresh each
-        //    region's viewer-side state.
-        for (i, (r, plan)) in regions.iter_mut().zip(&plans).enumerate() {
-            let sla = r.cloud.sla_terms();
-            if let Some(pl) = &plan.placement {
-                r.current_placement = Some(pl.clone());
-            }
-            r.cloud.submit_request(&ResourceRequest {
-                vm_targets: site_targets[i].clone(),
-                placement: plan.placement.clone(),
-            })?;
-            r.site_targets = site_targets[i].clone();
-            r.site_target_bw = r
-                .site_targets
-                .iter()
-                .zip(&sla.virtual_clusters)
-                .map(|(&t, c)| t as f64 * c.vm_bandwidth_bytes_per_sec)
-                .sum();
 
             // Viewer-side reservation from the region's own plan.
             let n_channels = r.cfg.catalog.len();
@@ -745,29 +821,6 @@ impl FederatedSimulator {
             }
             r.reserved_total = r.channel_reserved.iter().sum();
 
-            // Redirection bookkeeping for the interval.
-            let row = &placement.assignment[i];
-            let total: f64 = row.iter().sum();
-            r.serve_share = if total > 0.0 {
-                row.iter().map(|x| x / total).collect()
-            } else {
-                let mut s = vec![0.0; n];
-                s[i] = 1.0;
-                s
-            };
-            r.redirect_fraction = placement.redirect_fraction(i);
-            let exported: f64 = total - row[i];
-            r.blended_egress_per_gb = if exported > 0.0 {
-                row.iter()
-                    .enumerate()
-                    .filter(|&(j, _)| j != i)
-                    .map(|(j, x)| x * fc.sites[j].egress_price_per_gb)
-                    .sum::<f64>()
-                    / exported
-            } else {
-                0.0
-            };
-
             let mut per_channel_peers = vec![0usize; n_channels];
             for p in &r.peers {
                 per_channel_peers[p.channel] += 1;
@@ -780,9 +833,168 @@ impl FederatedSimulator {
                 n_channels,
                 per_channel_peers,
             ));
+            let mut stored = plan.clone();
+            stored.placement = None;
+            r.last_plan = Some(stored);
         }
         Ok(())
     }
+
+    /// Re-routes the in-force plans around a topology change (a site
+    /// going dark or coming back) between provisioning boundaries: the
+    /// last plans' demands and VM targets are re-placed over the
+    /// surviving sites and resubmitted. No tracker is drained and no
+    /// interval record is written — the next boundary plans from fresh
+    /// measurements as usual.
+    fn emergency_replan(
+        &self,
+        regions: &mut [RegionRuntime],
+        clock: f64,
+        mask: &[bool],
+        retry: &RetryPolicy,
+        stats: &mut FaultStats,
+    ) -> Result<(), SimError> {
+        let fc = &self.config;
+        let (_, price_factor) = fc.base.faults.shock_factors(clock);
+        let mut demands = Vec::with_capacity(regions.len());
+        let mut region_targets = Vec::with_capacity(regions.len());
+        let mut site_prices = Vec::with_capacity(regions.len());
+        for r in regions.iter() {
+            let plan = r.last_plan.as_ref();
+            demands.push(plan.map_or(0.0, |p| p.total_cloud_demand));
+            region_targets.push(plan.map(|p| p.vm_targets.clone()).unwrap_or_default());
+            let sla = r.cloud.sla_terms();
+            site_prices.push(if price_factor == 1.0 {
+                sla.bandwidth_price_per_bps_hour()
+            } else {
+                sla.with_vm_price_factor(price_factor)
+                    .bandwidth_price_per_bps_hour()
+            });
+        }
+        let storage: Vec<Option<cloudmedia_cloud::scheduler::PlacementPlan>> =
+            vec![None; regions.len()];
+        apply_global_placement(
+            fc,
+            regions,
+            &demands,
+            &region_targets,
+            &site_prices,
+            mask,
+            &storage,
+            retry,
+            stats,
+        )
+    }
+}
+
+/// The placement machinery shared by the hourly boundary and the
+/// emergency re-plan: runs the global optimizer over the effective
+/// topology (a down site advertises no capacity), apportions each
+/// region's integer VM targets across the sites serving it, submits
+/// every site's aggregate request through the retrying broker path, and
+/// refreshes each region's redirection bookkeeping. Down sites are
+/// forced to zero targets and zero availability so nothing bills or
+/// serves while they are dark.
+#[allow(clippy::too_many_arguments)]
+fn apply_global_placement(
+    fc: &FederatedConfig,
+    regions: &mut [RegionRuntime],
+    demands: &[f64],
+    region_targets: &[Vec<usize>],
+    site_prices: &[f64],
+    mask: &[bool],
+    storage: &[Option<cloudmedia_cloud::scheduler::PlacementPlan>],
+    retry: &RetryPolicy,
+    stats: &mut FaultStats,
+) -> Result<(), SimError> {
+    let n = regions.len();
+    let placement = if mask.iter().any(|&d| d) {
+        // `SiteSpec::validate` rejects a zero capacity cap, so a dark
+        // site advertises the smallest positive one instead.
+        let mut sites = fc.sites.to_vec();
+        for (j, s) in sites.iter_mut().enumerate() {
+            if mask[j] {
+                s.capacity_cap_bps = f64::MIN_POSITIVE;
+            }
+        }
+        plan_global_placement(demands, &sites, site_prices, &fc.policy)?
+    } else {
+        plan_global_placement(demands, &fc.sites, site_prices, &fc.policy)?
+    };
+
+    let n_clusters = region_targets.first().map(Vec::len).unwrap_or_default();
+    let mut site_targets = vec![vec![0usize; n_clusters]; n];
+    for (i, targets) in region_targets.iter().enumerate() {
+        let row = &placement.assignment[i];
+        for (v, &target) in targets.iter().enumerate() {
+            for (j, share) in apportion(target, row).into_iter().enumerate() {
+                site_targets[j][v] += share;
+            }
+        }
+    }
+    // Respect each site's physical fleet: clamp to cluster maxima
+    // (the paper fleet is far larger than any default-week placement,
+    // so this is a guard, not a steady-state path).
+    let max_vms: Vec<usize> = scale_fleet_capacity(&paper_virtual_clusters(), fc.base.fleet_scale)
+        .iter()
+        .map(|c| c.max_vms)
+        .collect();
+    for (j, targets) in site_targets.iter_mut().enumerate() {
+        for (v, t) in targets.iter_mut().enumerate() {
+            *t = if mask[j] { 0 } else { (*t).min(max_vms[v]) };
+        }
+    }
+
+    for (j, r) in regions.iter_mut().enumerate() {
+        let sla = r.cloud.sla_terms();
+        if mask[j] {
+            r.cloud
+                .set_availability(&vec![0; sla.virtual_clusters.len()])?;
+        } else {
+            r.cloud.restore_full_availability();
+        }
+        let receipt = r.cloud.submit_with_retry(
+            &ResourceRequest {
+                vm_targets: site_targets[j].clone(),
+                placement: storage[j].clone(),
+            },
+            retry,
+        )?;
+        stats.record_receipt(&receipt);
+        r.site_targets = site_targets[j].clone();
+        r.site_target_bw = r
+            .site_targets
+            .iter()
+            .zip(&sla.virtual_clusters)
+            .map(|(&t, c)| t as f64 * c.vm_bandwidth_bytes_per_sec)
+            .sum();
+
+        // Redirection bookkeeping: where region j's demand is served.
+        let row = &placement.assignment[j];
+        let total: f64 = row.iter().sum();
+        r.serve_share = if total > 0.0 {
+            row.iter().map(|x| x / total).collect()
+        } else {
+            let mut s = vec![0.0; n];
+            if !mask[j] {
+                s[j] = 1.0;
+            }
+            s
+        };
+        r.redirect_fraction = placement.redirect_fraction(j);
+        let exported: f64 = total - row[j];
+        r.blended_egress_per_gb = if exported > 0.0 {
+            row.iter()
+                .enumerate()
+                .filter(|&(k, _)| k != j)
+                .map(|(k, x)| x * fc.sites[k].egress_price_per_gb)
+                .sum::<f64>()
+                / exported
+        } else {
+            0.0
+        };
+    }
+    Ok(())
 }
 
 impl RegionRuntime {
@@ -799,6 +1011,13 @@ impl RegionRuntime {
         let chunk_bytes = self.chunk_bytes;
         // --- Arrivals ------------------------------------------------
         while let Some(a) = self.next_arrival.as_ref().filter(|a| a.time < t1) {
+            // Shedding is a pure function of the arrival's own timestamp,
+            // so the parallel fan-out cannot perturb it.
+            if self.cfg.faults.shed_arrivals_at(a.time) {
+                self.shed += 1;
+                self.next_arrival = self.arrivals.next();
+                continue;
+            }
             self.peers.push(Peer::new(
                 a.user_id,
                 a.channel,

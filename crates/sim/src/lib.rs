@@ -36,11 +36,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod allocation;
 pub mod config;
 mod error;
 pub mod event_driven;
+pub mod faults;
 pub mod federation;
 pub mod metrics;
 pub mod peer;
@@ -52,6 +54,10 @@ pub use config::{SimConfig, SimKernel, SimMode};
 pub use error::SimError;
 pub use event_driven::{
     DesReport, DesRun, DesScenario, FlashCrowdSpec, RemoteOverflowSpec, VmFailureSpec,
+};
+pub use faults::{
+    CostShock, DegradeMode, FaultRun, FaultSchedule, FaultStats, FleetFailure, ResilienceReport,
+    SiteOutage, TrackerDropout,
 };
 pub use federation::{DeploymentKind, FederatedConfig, FederatedMetrics, FederatedSimulator};
 pub use metrics::Metrics;

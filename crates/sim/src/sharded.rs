@@ -67,6 +67,7 @@ use rand::SeedableRng;
 
 use crate::config::{SimConfig, SimMode};
 use crate::error::SimError;
+use crate::faults::{FaultDriver, FaultRun, FaultSchedule};
 use crate::metrics::{Metrics, Sample};
 use crate::peer::Peer;
 use crate::simulator::{
@@ -102,6 +103,9 @@ struct ChannelShard {
     woken: Vec<usize>,
     /// Cloud rate used by this shard in the round just stepped.
     round_used: f64,
+    /// Arrivals refused by [`crate::faults::DegradeMode::ShedNewArrivals`]
+    /// (cumulative; reduced in channel order at run end).
+    shed: u64,
     // Startup-delay window accumulators (flushed at sample boundaries).
     startup_sum: f64,
     startup_count: usize,
@@ -128,8 +132,17 @@ impl ChannelShard {
         catalog: &Catalog,
         chunk_bytes: f64,
         chunk_seconds: f64,
+        faults: &FaultSchedule,
     ) {
         while let Some(a) = self.next_arrival.as_ref().filter(|a| a.time < t1) {
+            // Admission control under ShedNewArrivals: pure function of
+            // the arrival timestamp and the (read-only) schedule, so the
+            // decision is identical under any shard grouping.
+            if faults.shed_arrivals_at(a.time) {
+                self.shed += 1;
+                self.next_arrival = self.arrivals.next();
+                continue;
+            }
             self.peers.push(Peer::new(
                 a.user_id,
                 a.channel,
@@ -174,18 +187,19 @@ impl ChannelShard {
     }
 }
 
-/// Runs a sharded simulation over the configured horizon.
-pub(crate) fn run(cfg: &SimConfig) -> Result<Metrics, SimError> {
+/// Runs a sharded simulation over the configured horizon, returning the
+/// metrics plus the fault-plane counters.
+pub(crate) fn run_with_faults(cfg: &SimConfig) -> Result<FaultRun, SimError> {
     run_with_groups(cfg, None)
 }
 
-/// [`run`] with an explicit shard-to-task group size (tests use this to
+/// [`run_with_faults`] with an explicit shard-to-task group size (tests use this to
 /// pin that the grouping — the knob thread count actually turns —
 /// cannot change results; `None` picks the load-balancing default).
 pub(crate) fn run_with_groups(
     cfg: &SimConfig,
     group_override: Option<usize>,
-) -> Result<Metrics, SimError> {
+) -> Result<FaultRun, SimError> {
     let catalog = &cfg.catalog;
     let n_channels = catalog.len();
     let chunk_bytes = cfg.chunk_bytes();
@@ -198,6 +212,11 @@ pub(crate) fn run_with_groups(
     let sla = cloud.sla_terms();
     let vm_bandwidth = sla.virtual_clusters[0].vm_bandwidth_bytes_per_sec;
     let mut planner = make_planner(cfg, vm_bandwidth)?;
+    let mut fault_driver = FaultDriver::new(&cfg.faults);
+    let retry = *fault_driver.retry_policy();
+    let mut last_plan: Option<cloudmedia_core::controller::ProvisioningPlan> = None;
+    let mut last_plan_targets: Vec<usize> = Vec::new();
+    let mut applied_budget_factor = 1.0_f64;
     let mut current_placement: Option<PlacementPlan> = None;
     let mut metrics = Metrics::default();
 
@@ -224,6 +243,7 @@ pub(crate) fn run_with_groups(
             completed: Vec::new(),
             woken: Vec::new(),
             round_used: 0.0,
+            shed: 0,
             startup_sum: 0.0,
             startup_count: 0,
         });
@@ -244,11 +264,23 @@ pub(crate) fn run_with_groups(
         let t1 = (clock + dt).min(horizon);
         let step = t1 - clock;
 
+        // --- Fault boundaries (coordinator, serial) ------------------
+        fault_driver.apply_due(clock, &mut cloud, &last_plan_targets)?;
+
         // --- Provisioning boundary (coordinator, serial) ------------
         if clock >= next_provision {
-            let stats = if metrics.intervals.is_empty() {
-                bootstrap_stats(catalog, cfg)
+            let bootstrap = metrics.intervals.is_empty();
+            let (budget_factor, price_factor) = cfg.faults.shock_factors(clock);
+            if budget_factor != applied_budget_factor {
+                planner.scale_vm_budget(budget_factor / applied_budget_factor)?;
+                applied_budget_factor = budget_factor;
+            }
+            let planning_sla = if price_factor == 1.0 {
+                sla.clone()
             } else {
+                sla.with_vm_price_factor(price_factor)
+            };
+            let summarize = |shards: &mut [ChannelShard]| -> Result<Vec<(usize, _)>, SimError> {
                 let mut out = Vec::with_capacity(n_channels);
                 for s in shards.iter_mut() {
                     let obs = summarize_channel(
@@ -259,16 +291,35 @@ pub(crate) fn run_with_groups(
                     )?;
                     out.push((s.channel, obs));
                 }
-                out
+                Ok(out)
             };
-            let plan = planner.plan_interval(&stats, &sla)?;
+            let plan = if !bootstrap && cfg.faults.dropout_active(clock) && last_plan.is_some() {
+                // Tracker blackout: drain the interval's measurements so
+                // the collectors reset exactly as in a non-faulted run,
+                // then replay the last-known-good plan.
+                let _ = summarize(&mut shards)?;
+                fault_driver.stats.fallback_intervals += 1;
+                last_plan.clone().expect("checked is_some above")
+            } else {
+                let stats = if bootstrap {
+                    bootstrap_stats(catalog, cfg)
+                } else {
+                    summarize(&mut shards)?
+                };
+                planner.plan_interval(&stats, &planning_sla)?
+            };
             if let Some(p) = &plan.placement {
                 current_placement = Some(p.clone());
             }
-            cloud.submit_request(&ResourceRequest {
-                vm_targets: plan.vm_targets.clone(),
-                placement: plan.placement.clone(),
-            })?;
+            let receipt = cloud.submit_with_retry(
+                &ResourceRequest {
+                    vm_targets: plan.vm_targets.clone(),
+                    placement: plan.placement.clone(),
+                },
+                &retry,
+            )?;
+            fault_driver.stats.record_receipt(&receipt);
+            last_plan_targets = plan.vm_targets.clone();
             channel_reserved.iter_mut().for_each(|v| *v = 0.0);
             for (key, allocs) in &plan.vm_plan.allocations {
                 if key.channel >= n_channels {
@@ -290,6 +341,9 @@ pub(crate) fn run_with_groups(
                 n_channels,
                 per_channel_peers,
             ));
+            let mut stored = plan;
+            stored.placement = None;
+            last_plan = Some(stored);
             next_provision += cfg.provisioning_interval;
         }
 
@@ -319,18 +373,33 @@ pub(crate) fn run_with_groups(
                 .unwrap_or_else(|| shards.len().div_ceil(tasks))
                 .max(1);
             let ctx_ref = &ctx;
+            let faults = &cfg.faults;
             rayon::scope(|s| {
                 for chunk in shards.chunks_mut(group) {
                     s.spawn(move |_| {
                         for shard in chunk {
-                            shard.step_round(t1, ctx_ref, catalog, chunk_bytes, cfg.chunk_seconds);
+                            shard.step_round(
+                                t1,
+                                ctx_ref,
+                                catalog,
+                                chunk_bytes,
+                                cfg.chunk_seconds,
+                                faults,
+                            );
                         }
                     });
                 }
             });
         } else {
             for shard in shards.iter_mut() {
-                shard.step_round(t1, &ctx, catalog, chunk_bytes, cfg.chunk_seconds);
+                shard.step_round(
+                    t1,
+                    &ctx,
+                    catalog,
+                    chunk_bytes,
+                    cfg.chunk_seconds,
+                    &cfg.faults,
+                );
             }
         }
 
@@ -363,7 +432,15 @@ pub(crate) fn run_with_groups(
 
     metrics.total_vm_cost = cloud.billing().vm_cost().as_dollars();
     metrics.total_storage_cost = cloud.billing().storage_cost().as_dollars();
-    Ok(metrics)
+    // Channel-order reduction of the per-shard counters (integer sums,
+    // so any order would agree; fixed order keeps the argument simple).
+    for shard in &shards {
+        fault_driver.stats.shed_arrivals += shard.shed;
+    }
+    Ok(FaultRun {
+        metrics,
+        fault_stats: fault_driver.stats,
+    })
 }
 
 /// Builds one [`Sample`] by folding the shards in channel order (fixed
@@ -452,17 +529,19 @@ mod tests {
         let baseline = {
             let mut serial = cfg.clone();
             serial.parallel_channels = false;
-            run(&serial).unwrap()
+            run_with_faults(&serial).unwrap().metrics
         };
         for group in [1, 2, 3, usize::MAX] {
-            let m = run_with_groups(&cfg, Some(group)).unwrap();
+            let m = run_with_groups(&cfg, Some(group)).unwrap().metrics;
             assert_eq!(m, baseline, "group size {group} diverged from serial");
         }
     }
 
     #[test]
     fn sharded_run_produces_sane_metrics() {
-        let m = run(&small(SimMode::ClientServer, 4, 150.0)).unwrap();
+        let m = run_with_faults(&small(SimMode::ClientServer, 4, 150.0))
+            .unwrap()
+            .metrics;
         assert_eq!(m.intervals.len(), 4, "one record per hour");
         assert!(!m.samples.is_empty());
         assert!(m.mean_quality() > 0.9, "quality {}", m.mean_quality());
@@ -472,7 +551,9 @@ mod tests {
 
     #[test]
     fn sharded_samples_split_by_channel() {
-        let m = run(&small(SimMode::ClientServer, 3, 120.0)).unwrap();
+        let m = run_with_faults(&small(SimMode::ClientServer, 3, 120.0))
+            .unwrap()
+            .metrics;
         for s in &m.samples {
             assert_eq!(s.per_channel_peers.len(), 3);
             assert_eq!(s.per_channel_quality.len(), 3);

@@ -74,7 +74,7 @@ use cloudmedia_cloud::broker::{
 use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters};
 use cloudmedia_cloud::scheduler::{ChunkKey, PlacementPlan};
 use cloudmedia_core::baseline::{BaselinePlanner, ProvisionerKind};
-use cloudmedia_core::controller::{Controller, ControllerConfig, ProvisioningPlan};
+use cloudmedia_core::controller::{BudgetPolicy, Controller, ControllerConfig, ProvisioningPlan};
 use cloudmedia_core::predictor::ChannelObservation;
 use cloudmedia_core::CoreError;
 use cloudmedia_workload::catalog::Catalog;
@@ -87,6 +87,7 @@ use crate::allocation::peer_allocation;
 use crate::allocation::ChannelRound;
 use crate::config::{SimConfig, SimKernel, SimMode};
 use crate::error::SimError;
+use crate::faults::{FaultDriver, FaultRun};
 use crate::metrics::{IntervalRecord, Metrics, Sample};
 use crate::peer::{Peer, PeerState, PendingChunk};
 use crate::tracker::{Tracker, ViewingSink};
@@ -196,6 +197,19 @@ impl Simulator {
     ///
     /// Propagates trace generation, provisioning, and cloud failures.
     pub fn run(&self) -> Result<Metrics, SimError> {
+        self.run_with_faults().map(|run| run.metrics)
+    }
+
+    /// Runs the simulation and also returns the fault-plane counters
+    /// accumulated while applying the configuration's
+    /// [`FaultSchedule`](crate::faults::FaultSchedule). With an empty
+    /// schedule the metrics are bit-identical to [`Simulator::run`] and
+    /// the counters are all zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace generation, provisioning, and cloud failures.
+    pub fn run_with_faults(&self) -> Result<FaultRun, SimError> {
         let cfg = &self.config;
         let n_channels = cfg.catalog.len();
         let max_chunks = cfg
@@ -220,10 +234,14 @@ impl Simulator {
                 run_loop(cfg, &mut engine)
             }
             SimKernel::EventDriven => {
-                crate::event_driven::run(cfg, &crate::event_driven::DesScenario::default())
-                    .map(|run| run.metrics)
+                crate::event_driven::run(cfg, &crate::event_driven::DesScenario::default()).map(
+                    |run| FaultRun {
+                        metrics: run.metrics,
+                        fault_stats: run.fault_stats,
+                    },
+                )
             }
-            SimKernel::Sharded => crate::sharded::run(cfg),
+            SimKernel::Sharded => crate::sharded::run_with_faults(cfg),
         }
     }
 }
@@ -1125,8 +1143,13 @@ impl RoundEngine for IndexedEngine {
 
 /// The round loop shared by both engines: provisioning, arrivals, the
 /// engine's allocation stage, download progress and viewing-model
-/// transitions, cloud billing, and sampling.
-fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<Metrics, SimError> {
+/// transitions, cloud billing, and sampling. The configuration's fault
+/// schedule is applied in this serial loop — fleet failures/repairs at
+/// round boundaries, cost shocks and tracker dropouts at provisioning
+/// boundaries, arrival shedding per arrival timestamp — so every fault
+/// decision is a pure function of the simulated clock and the run stays
+/// bit-identical across engines and parallelism.
+fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<FaultRun, SimError> {
     let catalog = &cfg.catalog;
     let n_channels = catalog.len();
     let chunk_bytes = cfg.chunk_bytes();
@@ -1145,6 +1168,15 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<Metrics, 
     let vm_bandwidth = sla.virtual_clusters[0].vm_bandwidth_bytes_per_sec;
 
     let mut planner = make_planner(cfg, vm_bandwidth)?;
+    let mut fault_driver = FaultDriver::new(&cfg.faults);
+    let retry = *fault_driver.retry_policy();
+    // The last successfully planned interval (placement stripped) — the
+    // controller's fallback when the tracker is dark — and its VM
+    // targets, restored by fleet repairs.
+    let mut last_plan: Option<ProvisioningPlan> = None;
+    let mut last_plan_targets: Vec<usize> = Vec::new();
+    // Budget-shock factor already folded into the planner's budget.
+    let mut applied_budget_factor = 1.0_f64;
     let mut current_placement: Option<PlacementPlan> = None;
     let mut tracker = Tracker::new(catalog)?;
     let mut rng = StdRng::seed_from_u64(cfg.behaviour_seed);
@@ -1203,23 +1235,60 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<Metrics, 
         let t1 = (clock + dt).min(horizon);
         let step = t1 - clock;
 
+        // --- Fault boundaries (fleet failures and repairs) ----------
+        timed!(
+            t_prov,
+            fault_driver.apply_due(clock, &mut cloud, &last_plan_targets)?
+        );
+
         // --- Provisioning boundary ---------------------------------
         timed!(
             t_prov,
             if clock >= next_provision {
-                let stats = if metrics.intervals.is_empty() {
-                    bootstrap_stats(catalog, cfg)
+                let bootstrap = metrics.intervals.is_empty();
+                // Mid-run cost shocks: fold newly due budget factors into
+                // the planner once, and plan against the shocked price
+                // book (billing of already-running rentals is unchanged).
+                let (budget_factor, price_factor) = cfg.faults.shock_factors(clock);
+                if budget_factor != applied_budget_factor {
+                    planner.scale_vm_budget(budget_factor / applied_budget_factor)?;
+                    applied_budget_factor = budget_factor;
+                }
+                let planning_sla = if price_factor == 1.0 {
+                    sla.clone()
                 } else {
-                    tracker.interval_stats(cfg.provisioning_interval)?
+                    sla.with_vm_price_factor(price_factor)
                 };
-                let plan = planner.plan_interval(&stats, &sla)?;
+                let plan = if !bootstrap && cfg.faults.dropout_active(clock) && last_plan.is_some()
+                {
+                    // Tracker blackout: the interval's measurements are
+                    // lost. Drain them anyway (the collector's reset
+                    // state must match a non-faulted run) and fall back
+                    // to the last-known-good plan instead of panicking
+                    // on empty statistics.
+                    let _ = tracker.interval_stats(cfg.provisioning_interval)?;
+                    fault_driver.stats.fallback_intervals += 1;
+                    last_plan.clone().expect("checked is_some above")
+                } else {
+                    let stats = if bootstrap {
+                        bootstrap_stats(catalog, cfg)
+                    } else {
+                        tracker.interval_stats(cfg.provisioning_interval)?
+                    };
+                    planner.plan_interval(&stats, &planning_sla)?
+                };
                 if let Some(p) = &plan.placement {
                     current_placement = Some(p.clone());
                 }
-                cloud.submit_request(&ResourceRequest {
-                    vm_targets: plan.vm_targets.clone(),
-                    placement: plan.placement.clone(),
-                })?;
+                let receipt = cloud.submit_with_retry(
+                    &ResourceRequest {
+                        vm_targets: plan.vm_targets.clone(),
+                        placement: plan.placement.clone(),
+                    },
+                    &retry,
+                )?;
+                fault_driver.stats.record_receipt(&receipt);
+                last_plan_targets = plan.vm_targets.clone();
                 channel_reserved.iter_mut().for_each(|v| *v = 0.0);
                 for (key, allocs) in &plan.vm_plan.allocations {
                     if key.channel >= n_channels {
@@ -1244,6 +1313,12 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<Metrics, 
                     n_channels,
                     per_channel_peers,
                 ));
+                // Keep the plan as the dropout fallback, placement
+                // stripped: re-placing chunks is not part of replaying a
+                // stale plan.
+                let mut stored = plan;
+                stored.placement = None;
+                last_plan = Some(stored);
                 next_provision += cfg.provisioning_interval;
             }
         );
@@ -1252,6 +1327,15 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<Metrics, 
         timed!(
             t_arr,
             while let Some(a) = next_arrival.as_ref().filter(|a| a.time < t1) {
+                // Graceful degradation (ShedNewArrivals): during an
+                // active fleet-failure window, refuse admission instead
+                // of diluting every stream. The decision depends only on
+                // the arrival timestamp, so it is engine-independent.
+                if cfg.faults.shed_arrivals_at(a.time) {
+                    fault_driver.stats.shed_arrivals += 1;
+                    next_arrival = arrival_stream.next();
+                    continue;
+                }
                 peers.push(Peer::new(
                     a.user_id,
                     a.channel,
@@ -1372,7 +1456,10 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<Metrics, 
     }
     metrics.total_vm_cost = cloud.billing().vm_cost().as_dollars();
     metrics.total_storage_cost = cloud.billing().storage_cost().as_dollars();
-    Ok(metrics)
+    Ok(FaultRun {
+        metrics,
+        fault_stats: fault_driver.stats,
+    })
 }
 
 /// Advances a peer's playback pipeline after it finished downloading
@@ -1612,6 +1699,15 @@ pub(crate) fn make_planner(cfg: &SimConfig, vm_bandwidth: f64) -> Result<Planner
         vm_bandwidth,
         safety_factor: cfg.safety_factor,
         target: cfg.provisioning_target,
+        // Fault-plane runs degrade uniformly (diluting every stream)
+        // instead of aborting when a mid-run budget shock makes the
+        // configured budget infeasible; fault-free runs keep the strict
+        // paper semantics of surfacing the "increase the budget" signal.
+        budget_policy: if cfg.faults.is_empty() {
+            BudgetPolicy::Strict
+        } else {
+            BudgetPolicy::BestEffort
+        },
         ..ControllerConfig::paper_default(cfg.streaming_mode())
     };
     Ok(match cfg.provisioner {
@@ -1637,6 +1733,15 @@ impl Planner {
         match self {
             Planner::Model(c) => c.plan_interval(stats, sla),
             Planner::Baseline(b) => b.plan_interval(stats, sla),
+        }
+    }
+
+    /// Scales the VM rental budget by `factor` (mid-run budget shocks
+    /// apply to the model controller and the baselines alike).
+    pub(crate) fn scale_vm_budget(&mut self, factor: f64) -> Result<(), CoreError> {
+        match self {
+            Planner::Model(c) => c.scale_vm_budget(factor),
+            Planner::Baseline(b) => b.scale_vm_budget(factor),
         }
     }
 }

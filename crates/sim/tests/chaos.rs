@@ -1,0 +1,197 @@
+//! Determinism contract of the fault plane.
+//!
+//! The `FaultSchedule` is seeded configuration data: every fault
+//! decision is a pure function of the simulated clock (or applied in a
+//! serial coordinator section), so
+//!
+//! 1. an *empty* schedule must reduce `run_with_faults` bit-exactly to
+//!    the plain `run` with all-zero fault counters, and
+//! 2. a *faulted* run must be bit-identical under serial and parallel
+//!    execution — on the Sharded channel-parallel engine and on the
+//!    federated region-parallel simulator alike.
+//!
+//! On top of the determinism pins, this suite checks the headline fault
+//! behaviors on a small configuration: a VM-fleet burst dents quality
+//! and the repair + controller restore it, and `ShedNewArrivals`
+//! actually sheds (and counts) arrivals during the outage window.
+
+use cloudmedia_sim::config::{SimConfig, SimKernel, SimMode};
+use cloudmedia_sim::faults::{DegradeMode, FaultSchedule, ResilienceReport};
+use cloudmedia_sim::federation::{DeploymentKind, FederatedConfig, FederatedSimulator};
+use cloudmedia_sim::simulator::Simulator;
+use cloudmedia_sim::Metrics;
+use cloudmedia_workload::catalog::Catalog;
+use cloudmedia_workload::viewing::ViewingModel;
+
+/// A small, fast configuration: 3 channels, ~120 viewers.
+fn small_cfg(kernel: SimKernel, hours: f64) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(SimMode::ClientServer);
+    cfg.catalog = Catalog::zipf(3, 0.8, ViewingModel::paper_default(), 60.0, 300.0).unwrap();
+    cfg.trace.horizon_seconds = hours * 3600.0;
+    cfg.kernel = kernel;
+    cfg
+}
+
+/// One schedule exercising every single-site fault class at once.
+fn combined_schedule(horizon: f64) -> FaultSchedule {
+    let mut s = FaultSchedule::vm_outage(0.4 * horizon, 0.5, 0.15 * horizon);
+    s.tracker_dropouts =
+        FaultSchedule::tracker_blackout(0.6 * horizon, 0.1 * horizon).tracker_dropouts;
+    s.cost_shocks = FaultSchedule::budget_shock(0.8 * horizon, 0.6).cost_shocks;
+    s.validate().unwrap();
+    s
+}
+
+fn window_quality(m: &Metrics, from: f64, to: f64) -> f64 {
+    let s: Vec<&_> = m.samples_in(from, to).collect();
+    s.iter().map(|x| x.quality).sum::<f64>() / s.len().max(1) as f64
+}
+
+#[test]
+fn empty_schedule_reduces_to_the_plain_run() {
+    for kernel in [SimKernel::Scan, SimKernel::Indexed, SimKernel::Sharded] {
+        let cfg = small_cfg(kernel, 6.0);
+        let plain = Simulator::new(cfg.clone()).unwrap().run().unwrap();
+        let faulted = Simulator::new(cfg).unwrap().run_with_faults().unwrap();
+        assert_eq!(
+            plain, faulted.metrics,
+            "{kernel:?}: empty schedule must be a no-op"
+        );
+        assert_eq!(
+            faulted.fault_stats,
+            Default::default(),
+            "{kernel:?}: no fault counters without faults"
+        );
+    }
+}
+
+#[test]
+fn faulted_sharded_run_is_bit_identical_serial_vs_parallel() {
+    let horizon = 10.0 * 3600.0;
+    let mut cfg = small_cfg(SimKernel::Sharded, 10.0);
+    cfg.faults = combined_schedule(horizon);
+    cfg.faults.degrade = DegradeMode::ShedNewArrivals;
+
+    cfg.parallel_channels = true;
+    let parallel = Simulator::new(cfg.clone())
+        .unwrap()
+        .run_with_faults()
+        .unwrap();
+    cfg.parallel_channels = false;
+    let serial = Simulator::new(cfg).unwrap().run_with_faults().unwrap();
+
+    assert_eq!(parallel.metrics, serial.metrics, "metrics diverged");
+    assert_eq!(
+        parallel.fault_stats, serial.fault_stats,
+        "fault counters diverged"
+    );
+    assert!(
+        parallel.fault_stats.vms_killed > 0,
+        "the schedule actually fired"
+    );
+}
+
+#[test]
+fn faulted_federated_run_is_bit_identical_serial_vs_parallel() {
+    let mut fc =
+        FederatedConfig::paper_default(DeploymentKind::Federated, SimMode::ClientServer, 8.0);
+    // Mid-interval start so the outage exercises the emergency re-plan
+    // path, not just the hourly boundary.
+    fc.base.faults = FaultSchedule::site_outage(3.0 * 3600.0 + 600.0, 1, 1.5 * 3600.0);
+
+    fc.parallel_regions = true;
+    let parallel = FederatedSimulator::new(fc.clone()).unwrap().run().unwrap();
+    fc.parallel_regions = false;
+    let serial = FederatedSimulator::new(fc).unwrap().run().unwrap();
+
+    assert_eq!(
+        parallel.fault_stats, serial.fault_stats,
+        "fault counters diverged"
+    );
+    for (i, (a, b)) in parallel
+        .per_region
+        .iter()
+        .zip(&serial.per_region)
+        .enumerate()
+    {
+        assert_eq!(a.metrics, b.metrics, "region {i} metrics diverged");
+    }
+    assert!(
+        parallel.fault_stats.emergency_replans > 0,
+        "mid-interval outage must force an emergency re-plan"
+    );
+}
+
+#[test]
+fn vm_outage_dents_quality_and_the_repair_restores_it() {
+    let hours = 12.0;
+    // Mid-interval burst: the dent is visible until the repair (at
+    // `at + recovery`, still before the next hourly re-plan at 5 h).
+    let (at, recovery) = (4.25 * 3600.0, 0.5 * 3600.0);
+    let cfg = small_cfg(SimKernel::Indexed, hours);
+    let baseline = Simulator::new(cfg.clone()).unwrap().run().unwrap();
+
+    let mut faulted_cfg = cfg;
+    faulted_cfg.faults = FaultSchedule::vm_outage(at, 0.6, recovery);
+    let faulted = Simulator::new(faulted_cfg)
+        .unwrap()
+        .run_with_faults()
+        .unwrap();
+
+    assert!(
+        faulted.fault_stats.vms_killed > 0,
+        "the burst killed instances"
+    );
+    assert!(
+        faulted.fault_stats.vms_recovered > 0,
+        "the repair resubmitted them"
+    );
+
+    let during_fault = window_quality(&faulted.metrics, at, at + recovery);
+    let during_base = window_quality(&baseline, at, at + recovery);
+    assert!(
+        during_fault < during_base - 0.01,
+        "outage dents quality: {during_fault:.4} vs baseline {during_base:.4}"
+    );
+    // After the repair (plus one provisioning interval of slack) the
+    // faulted run is back at baseline quality.
+    let after_fault = window_quality(&faulted.metrics, at + recovery + 3600.0, hours * 3600.0);
+    let after_base = window_quality(&baseline, at + recovery + 3600.0, hours * 3600.0);
+    assert!(
+        after_fault > after_base - 0.005,
+        "quality recovers: {after_fault:.4} vs baseline {after_base:.4}"
+    );
+
+    // The resilience report sees the same story.
+    let report = ResilienceReport::from_runs(&baseline, &faulted.metrics, at, faulted.fault_stats);
+    assert!(report.dip_depth > 0.0, "report records a dip");
+    assert!(
+        report.time_to_recover_seconds < (hours * 3600.0 - at),
+        "report records recovery within the horizon"
+    );
+}
+
+#[test]
+fn shedding_new_arrivals_is_counted_and_caps_load() {
+    let hours = 10.0;
+    let (at, recovery) = (4.0 * 3600.0, 3.0 * 3600.0);
+    let cfg = small_cfg(SimKernel::Indexed, hours);
+    let baseline = Simulator::new(cfg.clone()).unwrap().run().unwrap();
+
+    let mut shed_cfg = cfg;
+    shed_cfg.faults = FaultSchedule::vm_outage(at, 0.5, recovery);
+    shed_cfg.faults.degrade = DegradeMode::ShedNewArrivals;
+    let shed = Simulator::new(shed_cfg).unwrap().run_with_faults().unwrap();
+
+    assert!(shed.fault_stats.shed_arrivals > 0, "arrivals were shed");
+    let peak = |m: &Metrics| {
+        m.samples_in(at, at + recovery)
+            .map(|s| s.active_peers)
+            .max()
+            .unwrap_or(0)
+    };
+    assert!(
+        peak(&shed.metrics) <= peak(&baseline),
+        "shedding must not raise the outage-window population"
+    );
+}

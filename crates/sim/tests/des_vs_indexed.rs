@@ -159,6 +159,7 @@ fn vm_failure_injection_dents_capacity_and_recovers() {
         failures: vec![VmFailureSpec {
             at: 6.5 * 3600.0,
             fraction: 0.6,
+            recovery_seconds: 0.0,
         }],
         ..DesScenario::default()
     };
@@ -182,6 +183,50 @@ fn vm_failure_injection_dents_capacity_and_recovers() {
     assert!(
         after_fail > 0.7 * after_base,
         "controller re-provisions after the burst: {after_fail:.3e} vs {after_base:.3e}"
+    );
+}
+
+#[test]
+fn vm_failure_repair_event_restores_capacity_before_the_next_plan() {
+    let cfg = small_cfg(SimMode::ClientServer, 12.0);
+    let baseline = des(&cfg);
+    // Burst mid-interval, repaired 10 minutes later — well before the
+    // next hourly controller tick at 7 h, so any recovery seen in the
+    // [repair, next tick) window is the repair event's doing.
+    let (at, recovery) = (6.25 * 3600.0, 600.0);
+    let scenario = DesScenario {
+        failures: vec![VmFailureSpec {
+            at,
+            fraction: 0.6,
+            recovery_seconds: recovery,
+        }],
+        ..DesScenario::default()
+    };
+    let repaired = run(&cfg, &scenario).unwrap();
+    assert!(repaired.report.vms_killed > 0, "the burst killed instances");
+    assert!(
+        repaired.fault_stats.vms_recovered > 0,
+        "the repair event resubmitted the lost instances"
+    );
+    let window = |m: &Metrics, from: f64, to: f64| -> f64 {
+        let s: Vec<&_> = m.samples_in(from, to).collect();
+        s.iter().map(|x| x.reserved_bandwidth).sum::<f64>() / s.len().max(1) as f64
+    };
+    // Dented while down…
+    let down_fail = window(&repaired.metrics, at, at + recovery);
+    let down_base = window(&baseline.metrics, at, at + recovery);
+    assert!(
+        down_fail < 0.8 * down_base,
+        "failure dents running bandwidth: {down_fail:.3e} vs {down_base:.3e}"
+    );
+    // …and back at baseline capacity after the repair but *before* the
+    // 7 h controller tick (allowing the VM boot delay to elapse).
+    let repaired_window = window(&repaired.metrics, at + recovery + 300.0, 7.0 * 3600.0);
+    let base_window = window(&baseline.metrics, at + recovery + 300.0, 7.0 * 3600.0);
+    assert!(
+        repaired_window > 0.95 * base_window,
+        "repair restores capacity ahead of the controller: \
+         {repaired_window:.3e} vs {base_window:.3e}"
     );
 }
 

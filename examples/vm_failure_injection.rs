@@ -29,6 +29,7 @@ fn main() {
         failures: vec![VmFailureSpec {
             at: failure_at,
             fraction: 0.6,
+            recovery_seconds: 0.0,
         }],
         ..DesScenario::default()
     };

@@ -154,3 +154,165 @@ fn controller_recovers_after_transient_infeasibility() {
         .expect("feasible load plans fine after a failure");
     assert!(plan.vm_targets.iter().sum::<usize>() > 0);
 }
+
+// ---------------------------------------------------------------------
+// Fault-plane scenarios: injected faults must degrade service
+// gracefully (and measurably) instead of erroring out, and the system
+// must recover once the fault clears.
+// ---------------------------------------------------------------------
+
+fn window_quality(m: &cloudmedia_sim::Metrics, from: f64, to: f64) -> f64 {
+    let s: Vec<&_> = m.samples_in(from, to).collect();
+    s.iter().map(|x| x.quality).sum::<f64>() / s.len().max(1) as f64
+}
+
+/// A small single-site configuration for the fault scenarios.
+fn small_sim_cfg(hours: f64) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(SimMode::ClientServer);
+    cfg.catalog = Catalog::zipf(3, 0.8, ViewingModel::paper_default(), 60.0, 300.0).unwrap();
+    cfg.trace.horizon_seconds = hours * 3600.0;
+    cfg
+}
+
+#[test]
+fn federated_site_outage_holds_a_quality_floor_and_recovers() {
+    use cloudmedia_sim::faults::FaultSchedule;
+    use cloudmedia_sim::federation::{DeploymentKind, FederatedConfig, FederatedSimulator};
+
+    const HOURS: f64 = 10.0;
+    // Site 1 (the affected region's local site) goes dark mid-interval
+    // and comes back two hours later.
+    let (outage_at, outage_len) = (3.0 * 3600.0 + 600.0, 2.0 * 3600.0);
+    let schedule = FaultSchedule::site_outage(outage_at, 1, outage_len);
+
+    let run = |kind: DeploymentKind, faults: Option<&FaultSchedule>| {
+        let mut fc = FederatedConfig::paper_default(kind, SimMode::ClientServer, HOURS);
+        if let Some(s) = faults {
+            fc.base.faults = s.clone();
+        }
+        FederatedSimulator::new(fc).unwrap().run().unwrap()
+    };
+
+    let baseline = run(DeploymentKind::Federated, None);
+    let federated = run(DeploymentKind::Federated, Some(&schedule));
+    let independent = run(DeploymentKind::Independent, Some(&schedule));
+    // A regional-site outage cannot strike the central deployment at
+    // all — its single consolidated site is not any region's site 1 —
+    // so central's (fault-free) run is the immune upper bound.
+    let central = run(DeploymentKind::Central, None);
+
+    // The outage forced re-plans off the hourly boundary.
+    assert!(
+        federated.fault_stats.emergency_replans > 0,
+        "mid-interval outage must trigger emergency re-plans"
+    );
+
+    // During the outage the federation reroutes region 1's demand to
+    // the surviving sites and holds a quality floor; the independent
+    // deployment, pinned to its dead local site, collapses.
+    let (w0, w1) = (outage_at + 900.0, outage_at + outage_len);
+    let fed_during = window_quality(&federated.per_region[1].metrics, w0, w1);
+    let ind_during = window_quality(&independent.per_region[1].metrics, w0, w1);
+    let central_during = window_quality(&central.per_region[0].metrics, w0, w1);
+    assert!(
+        fed_during > 0.5,
+        "federated quality floor during the outage: {fed_during:.3}"
+    );
+    assert!(
+        ind_during < fed_during - 0.1,
+        "independent has no site to fall back to: {ind_during:.3} vs {fed_during:.3}"
+    );
+    // Post-outage graceful-degradation ordering (quality, mirroring the
+    // cost sandwich central <= federated <= independent): the deployment
+    // with more pooling degrades less.
+    assert!(
+        ind_during <= fed_during && fed_during <= central_during + 0.005,
+        "quality ordering independent <= federated <= central: \
+         {ind_during:.3} <= {fed_during:.3} <= {central_during:.3}"
+    );
+
+    // Full recovery: one provisioning interval after the site returns,
+    // the affected region is back at baseline quality.
+    let (r0, r1) = (outage_at + outage_len + 3600.0, HOURS * 3600.0);
+    let fed_after = window_quality(&federated.per_region[1].metrics, r0, r1);
+    let base_after = window_quality(&baseline.per_region[1].metrics, r0, r1);
+    assert!(
+        fed_after > base_after - 0.005,
+        "full recovery after the outage: {fed_after:.4} vs {base_after:.4}"
+    );
+}
+
+#[test]
+fn mid_run_budget_cut_degrades_uniformly_instead_of_failing() {
+    use cloudmedia_sim::faults::FaultSchedule;
+
+    const HOURS: f64 = 12.0;
+    let cfg = small_sim_cfg(HOURS);
+    let baseline = Simulator::new(cfg.clone()).unwrap().run().unwrap();
+
+    // Cut the budget to 40 % of what the baseline actually spends per
+    // hour — guaranteed to bind — halfway through the run.
+    let shock_at = 6.0 * 3600.0;
+    let mean_hourly = baseline.total_vm_cost / HOURS;
+    let factor = 0.4 * mean_hourly / cfg.vm_budget_per_hour;
+    let mut cut_cfg = cfg;
+    cut_cfg.faults = FaultSchedule::budget_shock(shock_at, factor);
+    let cut = Simulator::new(cut_cfg).unwrap().run_with_faults().unwrap();
+
+    // The run completes (best-effort dilution, not an Infeasible error),
+    // spends less, and serves visibly worse — but nonzero — quality
+    // after the shock.
+    assert!(
+        cut.metrics.total_vm_cost < 0.95 * baseline.total_vm_cost,
+        "the cut lowers spend: {} vs {}",
+        cut.metrics.total_vm_cost,
+        baseline.total_vm_cost
+    );
+    let q_after = window_quality(&cut.metrics, shock_at + 3600.0, HOURS * 3600.0);
+    let q_base = window_quality(&baseline, shock_at + 3600.0, HOURS * 3600.0);
+    assert!(
+        q_after < q_base - 0.01,
+        "diluted quality after the cut: {q_after:.3} vs {q_base:.3}"
+    );
+    assert!(q_after > 0.1, "degradation, not collapse: {q_after:.3}");
+    // Before the shock the runs are identical.
+    let q_before_cut = window_quality(&cut.metrics, 0.0, shock_at);
+    let q_before_base = window_quality(&baseline, 0.0, shock_at);
+    assert!((q_before_cut - q_before_base).abs() < 1e-12);
+}
+
+#[test]
+fn stale_tracker_measurements_fall_back_to_the_last_plan() {
+    use cloudmedia_sim::faults::FaultSchedule;
+
+    const HOURS: f64 = 12.0;
+    let cfg = small_sim_cfg(HOURS);
+    let baseline = Simulator::new(cfg.clone()).unwrap().run().unwrap();
+
+    // The tracker goes dark for two full provisioning intervals.
+    let mut dark_cfg = cfg;
+    dark_cfg.faults = FaultSchedule::tracker_blackout(5.5 * 3600.0, 2.0 * 3600.0);
+    let dark = Simulator::new(dark_cfg).unwrap().run_with_faults().unwrap();
+
+    // The 6 h and 7 h boundaries fall inside the blackout: both plans
+    // replay the last-known-good plan instead of reading fresh stats.
+    assert_eq!(
+        dark.fault_stats.fallback_intervals, 2,
+        "two boundaries replayed the stale plan"
+    );
+    // Service rides through on the stale plan: quality within the
+    // blackout stays close to baseline (the diurnal drift over two
+    // hours is modest), and the run fully re-converges afterwards.
+    let q_dark = window_quality(&dark.metrics, 5.5 * 3600.0, 7.5 * 3600.0);
+    let q_base = window_quality(&baseline, 5.5 * 3600.0, 7.5 * 3600.0);
+    assert!(
+        q_dark > q_base - 0.1,
+        "stale plan keeps serving: {q_dark:.3} vs baseline {q_base:.3}"
+    );
+    let q_after = window_quality(&dark.metrics, 9.0 * 3600.0, HOURS * 3600.0);
+    let q_after_base = window_quality(&baseline, 9.0 * 3600.0, HOURS * 3600.0);
+    assert!(
+        q_after > q_after_base - 0.005,
+        "re-converges after the blackout: {q_after:.4} vs {q_after_base:.4}"
+    );
+}
