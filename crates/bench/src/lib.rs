@@ -25,6 +25,7 @@ pub mod four_channel;
 pub mod geo_sim;
 pub mod harness;
 pub mod latency;
+pub mod profile;
 pub mod report;
 pub mod resilience;
 pub mod scale;

@@ -18,8 +18,16 @@
 //!   federated site outage, mid-run budget cut, tracker dropout) run
 //!   against a fault-free baseline, reporting time-to-recover, quality
 //!   dip, and cost overshoot,
+//! - `cloudmedia profile` — a telemetry-instrumented run that prints the
+//!   per-stage wall-time table (sorted, with shares) for any kernel,
 //! - `cloudmedia default-config` — prints the paper-default simulation
 //!   configuration as editable JSON.
+//!
+//! The run-style subcommands (`simulate`, `des`, `geo`, `chaos`, `scale`)
+//! all accept `--telemetry FILE` (metrics-registry snapshot JSON) and
+//! `--trace FILE` (Chrome trace-event JSON, loadable in Perfetto or
+//! `chrome://tracing`). Telemetry is a pure side channel: the simulation
+//! output is bit-identical with the flags on or off.
 //!
 //! The parsing and command logic live here so they are unit-testable; the
 //! binary in `main.rs` is a thin wrapper.
@@ -43,6 +51,49 @@ use cloudmedia_sim::event_driven::{DesScenario, FlashCrowdSpec, VmFailureSpec};
 use cloudmedia_sim::faults::{DegradeMode, FaultSchedule, ResilienceReport};
 use cloudmedia_sim::federation::{DeploymentKind, FederatedConfig, FederatedSimulator};
 use cloudmedia_sim::simulator::Simulator;
+use cloudmedia_sim::telem;
+use cloudmedia_telemetry::Telemetry;
+
+/// Telemetry output options shared by the run-style subcommands.
+///
+/// Both paths are optional; when neither is set the run uses the no-op
+/// telemetry sink and pays one predicted branch per recording site.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TelemetryOpts {
+    /// `--telemetry FILE`: write the metrics-registry snapshot JSON here.
+    pub metrics_path: Option<String>,
+    /// `--trace FILE`: write Chrome trace-event JSON here (Perfetto /
+    /// `chrome://tracing`).
+    pub trace_path: Option<String>,
+}
+
+impl TelemetryOpts {
+    /// Builds the registry for a run: enabled iff either output was
+    /// requested, tracing iff `--trace` was.
+    fn registry(&self) -> Telemetry {
+        if self.metrics_path.is_some() || self.trace_path.is_some() {
+            telem::new_registry(self.trace_path.is_some())
+        } else {
+            Telemetry::disabled()
+        }
+    }
+
+    /// Writes the requested outputs and appends a confirmation line per
+    /// file to `out`.
+    fn write(&self, tel: &Telemetry, out: &mut String) -> Result<(), CliError> {
+        if let Some(path) = &self.metrics_path {
+            std::fs::write(path, tel.snapshot().metrics_json())
+                .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+            let _ = writeln!(out, "telemetry snapshot written to {path}");
+        }
+        if let Some(path) = &self.trace_path {
+            std::fs::write(path, tel.trace_json())
+                .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+            let _ = writeln!(out, "trace written to {path}");
+        }
+        Ok(())
+    }
+}
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +127,8 @@ pub enum Command {
         config_path: Option<String>,
         /// Optional path to write the full metrics JSON.
         out_path: Option<String>,
+        /// Telemetry / trace output options.
+        telemetry: TelemetryOpts,
     },
     /// Run an event-driven scenario on the DES kernel.
     Des {
@@ -89,6 +142,8 @@ pub enum Command {
         scheduler: SchedulerChoice,
         /// Optional path to write the full `DesRun` JSON.
         out_path: Option<String>,
+        /// Telemetry / trace output options.
+        telemetry: TelemetryOpts,
     },
     /// Run a multi-region deployment.
     Geo {
@@ -98,6 +153,8 @@ pub enum Command {
         mode: SimMode,
         /// Horizon in hours.
         hours: f64,
+        /// Telemetry / trace output options.
+        telemetry: TelemetryOpts,
     },
     /// Run a fault-injection scenario against a fault-free baseline and
     /// report the resilience metrics.
@@ -120,6 +177,8 @@ pub enum Command {
         shed: bool,
         /// Optional path to write the resilience report JSON.
         out_path: Option<String>,
+        /// Telemetry / trace output options (recorded on the faulted run).
+        telemetry: TelemetryOpts,
     },
     /// Run a scale-out mega-catalog scenario on the sharded engine.
     Scale {
@@ -134,6 +193,21 @@ pub enum Command {
         /// Force serial shard stepping (`--serial`).
         serial: bool,
         /// Optional path to write the full metrics JSON.
+        out_path: Option<String>,
+        /// Telemetry / trace output options.
+        telemetry: TelemetryOpts,
+    },
+    /// Run one telemetry-instrumented simulation and print the sorted
+    /// per-stage wall-time table.
+    Profile {
+        /// Streaming architecture.
+        mode: SimMode,
+        /// Horizon in hours.
+        hours: f64,
+        /// Simulation engine override
+        /// (`--kernel scan|indexed|event-driven|sharded`).
+        kernel: Option<SimKernel>,
+        /// Optional path to also write the metrics snapshot JSON.
         out_path: Option<String>,
     },
     /// Print the paper-default simulation config as JSON.
@@ -300,8 +374,16 @@ USAGE:
                    [--serial] [--shed] [--out FILE]
   cloudmedia scale [--peers N] [--channels C] [--mode cs|p2p] [--hours H]
                    [--serial] [--out FILE]
+  cloudmedia profile [--mode cs|p2p] [--hours H]
+                     [--kernel scan|indexed|event-driven|sharded] [--out FILE]
   cloudmedia default-config [--mode cs|p2p]
   cloudmedia help
+
+Every run-style subcommand (simulate, des, geo, chaos, scale) also accepts:
+  --telemetry FILE   write the metrics-registry snapshot as JSON
+  --trace FILE       write Chrome trace-event JSON (Perfetto / chrome://tracing)
+Telemetry never changes simulation results: outputs are bit-identical
+with the flags on or off.
 ";
 
 fn parse_mode(v: &str) -> Result<SimMode, CliError> {
@@ -416,6 +498,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
             let mut kernel = None;
             let mut config_path = None;
             let mut out_path = None;
+            let mut telemetry = TelemetryOpts::default();
             while let Some(flag) = it.next() {
                 match flag {
                     "--mode" => mode = parse_mode(take_value(&mut it, flag)?)?,
@@ -423,6 +506,12 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                     "--kernel" => kernel = Some(parse_kernel(take_value(&mut it, flag)?)?),
                     "--config" => config_path = Some(take_value(&mut it, flag)?.to_owned()),
                     "--out" => out_path = Some(take_value(&mut it, flag)?.to_owned()),
+                    "--telemetry" => {
+                        telemetry.metrics_path = Some(take_value(&mut it, flag)?.to_owned());
+                    }
+                    "--trace" => {
+                        telemetry.trace_path = Some(take_value(&mut it, flag)?.to_owned());
+                    }
                     other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
                 }
             }
@@ -432,6 +521,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                 kernel,
                 config_path,
                 out_path,
+                telemetry,
             })
         }
         "des" => {
@@ -443,12 +533,19 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
             let mut hours = 24.0;
             let mut scheduler = SchedulerChoice::default();
             let mut out_path = None;
+            let mut telemetry = TelemetryOpts::default();
             while let Some(flag) = it.next() {
                 match flag {
                     "--mode" => mode = parse_mode(take_value(&mut it, flag)?)?,
                     "--hours" => hours = parse_f64(take_value(&mut it, flag)?, flag)?,
                     "--scheduler" => scheduler = parse_scheduler(take_value(&mut it, flag)?)?,
                     "--out" => out_path = Some(take_value(&mut it, flag)?.to_owned()),
+                    "--telemetry" => {
+                        telemetry.metrics_path = Some(take_value(&mut it, flag)?.to_owned());
+                    }
+                    "--trace" => {
+                        telemetry.trace_path = Some(take_value(&mut it, flag)?.to_owned());
+                    }
                     other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
                 }
             }
@@ -458,6 +555,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                 hours,
                 scheduler,
                 out_path,
+                telemetry,
             })
         }
         "geo" => {
@@ -467,10 +565,17 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                 .and_then(parse_deployment)?;
             let mut mode = SimMode::ClientServer;
             let mut hours = 24.0;
+            let mut telemetry = TelemetryOpts::default();
             while let Some(flag) = it.next() {
                 match flag {
                     "--mode" => mode = parse_mode(take_value(&mut it, flag)?)?,
                     "--hours" => hours = parse_f64(take_value(&mut it, flag)?, flag)?,
+                    "--telemetry" => {
+                        telemetry.metrics_path = Some(take_value(&mut it, flag)?.to_owned());
+                    }
+                    "--trace" => {
+                        telemetry.trace_path = Some(take_value(&mut it, flag)?.to_owned());
+                    }
                     other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
                 }
             }
@@ -478,6 +583,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                 deployment,
                 mode,
                 hours,
+                telemetry,
             })
         }
         "chaos" => {
@@ -491,6 +597,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
             let mut serial = false;
             let mut shed = false;
             let mut out_path = None;
+            let mut telemetry = TelemetryOpts::default();
             while let Some(flag) = it.next() {
                 match flag {
                     "--mode" => mode = parse_mode(take_value(&mut it, flag)?)?,
@@ -499,6 +606,12 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                     "--serial" => serial = true,
                     "--shed" => shed = true,
                     "--out" => out_path = Some(take_value(&mut it, flag)?.to_owned()),
+                    "--telemetry" => {
+                        telemetry.metrics_path = Some(take_value(&mut it, flag)?.to_owned());
+                    }
+                    "--trace" => {
+                        telemetry.trace_path = Some(take_value(&mut it, flag)?.to_owned());
+                    }
                     other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
                 }
             }
@@ -510,6 +623,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                 serial,
                 shed,
                 out_path,
+                telemetry,
             })
         }
         "scale" => {
@@ -519,6 +633,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
             let mut hours = 1.0;
             let mut serial = false;
             let mut out_path = None;
+            let mut telemetry = TelemetryOpts::default();
             while let Some(flag) = it.next() {
                 match flag {
                     "--peers" => peers = parse_f64(take_value(&mut it, flag)?, flag)?,
@@ -532,6 +647,12 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                     "--hours" => hours = parse_f64(take_value(&mut it, flag)?, flag)?,
                     "--serial" => serial = true,
                     "--out" => out_path = Some(take_value(&mut it, flag)?.to_owned()),
+                    "--telemetry" => {
+                        telemetry.metrics_path = Some(take_value(&mut it, flag)?.to_owned());
+                    }
+                    "--trace" => {
+                        telemetry.trace_path = Some(take_value(&mut it, flag)?.to_owned());
+                    }
                     other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
                 }
             }
@@ -541,6 +662,28 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                 mode,
                 hours,
                 serial,
+                out_path,
+                telemetry,
+            })
+        }
+        "profile" => {
+            let mut mode = SimMode::P2p;
+            let mut hours = 24.0;
+            let mut kernel = None;
+            let mut out_path = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--mode" => mode = parse_mode(take_value(&mut it, flag)?)?,
+                    "--hours" => hours = parse_f64(take_value(&mut it, flag)?, flag)?,
+                    "--kernel" => kernel = Some(parse_kernel(take_value(&mut it, flag)?)?),
+                    "--out" => out_path = Some(take_value(&mut it, flag)?.to_owned()),
+                    other => return Err(CliError::Usage(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Profile {
+                mode,
+                hours,
+                kernel,
                 out_path,
             })
         }
@@ -593,12 +736,14 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             kernel,
             config_path,
             out_path,
+            telemetry,
         } => simulate(
             mode,
             hours,
             kernel,
             config_path.as_deref(),
             out_path.as_deref(),
+            &telemetry,
         ),
         Command::Des {
             scenario,
@@ -606,12 +751,21 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             hours,
             scheduler,
             out_path,
-        } => des(scenario, mode, hours, scheduler, out_path.as_deref()),
+            telemetry,
+        } => des(
+            scenario,
+            mode,
+            hours,
+            scheduler,
+            out_path.as_deref(),
+            &telemetry,
+        ),
         Command::Geo {
             deployment,
             mode,
             hours,
-        } => geo(deployment, mode, hours),
+            telemetry,
+        } => geo(deployment, mode, hours, &telemetry),
         Command::Chaos {
             scenario,
             mode,
@@ -620,6 +774,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             serial,
             shed,
             out_path,
+            telemetry,
         } => chaos(
             scenario,
             mode,
@@ -628,6 +783,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             serial,
             shed,
             out_path.as_deref(),
+            &telemetry,
         ),
         Command::Scale {
             peers,
@@ -636,7 +792,22 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             hours,
             serial,
             out_path,
-        } => scale(peers, channels, mode, hours, serial, out_path.as_deref()),
+            telemetry,
+        } => scale(
+            peers,
+            channels,
+            mode,
+            hours,
+            serial,
+            out_path.as_deref(),
+            &telemetry,
+        ),
+        Command::Profile {
+            mode,
+            hours,
+            kernel,
+            out_path,
+        } => profile(mode, hours, kernel, out_path.as_deref()),
         Command::DefaultConfig { mode } => {
             serde_json::to_string_pretty(&SimConfig::paper_default(mode))
                 .map(|mut s| {
@@ -753,6 +924,7 @@ fn simulate(
     kernel: Option<SimKernel>,
     config_path: Option<&str>,
     out_path: Option<&str>,
+    telemetry: &TelemetryOpts,
 ) -> Result<String, CliError> {
     let mut config = match config_path {
         Some(path) => {
@@ -769,10 +941,12 @@ fn simulate(
     if let Some(kernel) = kernel {
         config.kernel = kernel;
     }
+    let tel = telemetry.registry();
     let metrics = Simulator::new(config)
         .map_err(|e| CliError::Run(format!("invalid configuration: {e}")))?
-        .run()
-        .map_err(|e| CliError::Run(format!("simulation failed: {e}")))?;
+        .run_with_telemetry(&tel)
+        .map_err(|e| CliError::Run(format!("simulation failed: {e}")))?
+        .metrics;
     if let Some(path) = out_path {
         let json = serde_json::to_string(&metrics)
             .map_err(|e| CliError::Run(format!("serializing metrics failed: {e}")))?;
@@ -800,6 +974,7 @@ fn simulate(
     if let Some(path) = out_path {
         let _ = writeln!(out, "full metrics written to {path}");
     }
+    telemetry.write(&tel, &mut out)?;
     Ok(out)
 }
 
@@ -809,12 +984,14 @@ fn des(
     hours: f64,
     scheduler: SchedulerChoice,
     out_path: Option<&str>,
+    telemetry: &TelemetryOpts,
 ) -> Result<String, CliError> {
     let mut config = SimConfig::paper_default(mode);
     config.trace.horizon_seconds = hours * 3600.0;
     config.scheduler = scheduler;
     let spec = scenario.build(config.trace.horizon_seconds);
-    let run = cloudmedia_sim::event_driven::run(&config, &spec)
+    let tel = telemetry.registry();
+    let run = cloudmedia_sim::event_driven::run_with_telemetry(&config, &spec, &tel)
         .map_err(|e| CliError::Run(format!("event-driven run failed: {e}")))?;
     if let Some(path) = out_path {
         let json = serde_json::to_string(&run)
@@ -865,6 +1042,12 @@ fn des(
         r.injected_viewers,
         m.mean_startup_delay()
     );
+    let _ = writeln!(
+        out,
+        "kernel health: {} events delivered, peak {} pending, {} cancelled, \
+         {} slots recycled",
+        r.events_delivered, r.peak_pending_events, r.cancelled_events, r.recycled_slots
+    );
     if r.vms_killed > 0 {
         let _ = writeln!(
             out,
@@ -882,14 +1065,21 @@ fn des(
     if let Some(path) = out_path {
         let _ = writeln!(out, "full run written to {path}");
     }
+    telemetry.write(&tel, &mut out)?;
     Ok(out)
 }
 
-fn geo(deployment: DeploymentKind, mode: SimMode, hours: f64) -> Result<String, CliError> {
+fn geo(
+    deployment: DeploymentKind,
+    mode: SimMode,
+    hours: f64,
+    telemetry: &TelemetryOpts,
+) -> Result<String, CliError> {
     let config = FederatedConfig::paper_default(deployment, mode, hours);
+    let tel = telemetry.registry();
     let m = FederatedSimulator::new(config)
         .map_err(|e| CliError::Run(format!("invalid federation config: {e}")))?
-        .run()
+        .run_with_telemetry(&tel)
         .map_err(|e| CliError::Run(format!("federated run failed: {e}")))?;
     let mut out = String::new();
     let _ = writeln!(
@@ -928,9 +1118,11 @@ fn geo(deployment: DeploymentKind, mode: SimMode, hours: f64) -> Result<String, 
         m.mean_quality(),
         m.peak_peers(),
     );
+    telemetry.write(&tel, &mut out)?;
     Ok(out)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn chaos(
     scenario: ChaosScenarioKind,
     mode: SimMode,
@@ -939,10 +1131,14 @@ fn chaos(
     serial: bool,
     shed: bool,
     out_path: Option<&str>,
+    telemetry: &TelemetryOpts,
 ) -> Result<String, CliError> {
     let horizon = hours * 3600.0;
     let schedule = scenario.build(horizon, shed);
     let fault_start = schedule.first_fault_at().unwrap_or(0.0);
+    // Telemetry records the faulted run — the one whose fault plane the
+    // registry's `faults/*` counters mirror. The baseline runs dark.
+    let tel = telemetry.registry();
     let report = if scenario == ChaosScenarioKind::SiteOutage {
         if kernel.is_some() {
             return Err(CliError::Usage(
@@ -959,7 +1155,7 @@ fn chaos(
         fc.base.faults = schedule;
         let faulted = FederatedSimulator::new(fc)
             .map_err(|e| CliError::Run(format!("invalid fault schedule: {e}")))?
-            .run()
+            .run_with_telemetry(&tel)
             .map_err(|e| CliError::Run(format!("faulted run failed: {e}")))?;
         // Quality observables come from the outaged site's own region —
         // the viewers the lost site was serving — while the cost
@@ -987,7 +1183,7 @@ fn chaos(
         cfg.faults = schedule;
         let faulted = Simulator::new(cfg)
             .map_err(|e| CliError::Run(format!("invalid fault schedule: {e}")))?
-            .run_with_faults()
+            .run_with_telemetry(&tel)
             .map_err(|e| CliError::Run(format!("faulted run failed: {e}")))?;
         ResilienceReport::from_runs(
             &baseline,
@@ -1036,6 +1232,7 @@ fn chaos(
     if let Some(path) = out_path {
         let _ = writeln!(out, "resilience report written to {path}");
     }
+    telemetry.write(&tel, &mut out)?;
     Ok(out)
 }
 
@@ -1046,16 +1243,19 @@ fn scale(
     hours: f64,
     serial: bool,
     out_path: Option<&str>,
+    telemetry: &TelemetryOpts,
 ) -> Result<String, CliError> {
     let mut config = SimConfig::scale_out(mode, channels, peers)
         .map_err(|e| CliError::Run(format!("invalid scale configuration: {e}")))?;
     config.trace.horizon_seconds = hours * 3600.0;
     config.parallel_channels = !serial;
+    let tel = telemetry.registry();
     let started = std::time::Instant::now();
     let metrics = Simulator::new(config)
         .map_err(|e| CliError::Run(format!("invalid configuration: {e}")))?
-        .run()
-        .map_err(|e| CliError::Run(format!("simulation failed: {e}")))?;
+        .run_with_telemetry(&tel)
+        .map_err(|e| CliError::Run(format!("simulation failed: {e}")))?
+        .metrics;
     let wall = started.elapsed().as_secs_f64();
     if let Some(path) = out_path {
         let json = serde_json::to_string(&metrics)
@@ -1095,6 +1295,76 @@ fn scale(
     if let Some(path) = out_path {
         let _ = writeln!(out, "full metrics written to {path}");
     }
+    telemetry.write(&tel, &mut out)?;
+    Ok(out)
+}
+
+/// Runs one simulation with an enabled metrics registry and prints the
+/// per-stage wall-time table, sorted by time spent.
+///
+/// Stage times come from the `stage/*` counters, which partition the
+/// round loop without overlap — `prov/*` sub-stages are nested inside
+/// `stage/provisioning` and are listed separately so nothing is counted
+/// twice in the share column.
+fn profile(
+    mode: SimMode,
+    hours: f64,
+    kernel: Option<SimKernel>,
+    out_path: Option<&str>,
+) -> Result<String, CliError> {
+    let mut config = SimConfig::paper_default(mode);
+    config.trace.horizon_seconds = hours * 3600.0;
+    if let Some(kernel) = kernel {
+        config.kernel = kernel;
+    }
+    let kernel_name = format!("{:?}", config.kernel);
+    let tel = telem::new_registry(false);
+    let run = Simulator::new(config)
+        .map_err(|e| CliError::Run(format!("invalid configuration: {e}")))?
+        .run_with_telemetry(&tel)
+        .map_err(|e| CliError::Run(format!("simulation failed: {e}")))?;
+    let snap = tel.snapshot();
+    if let Some(path) = out_path {
+        std::fs::write(path, snap.metrics_json())
+            .map_err(|e| CliError::Run(format!("cannot write {path}: {e}")))?;
+    }
+    let stages = snap.sorted_by_value("stage/");
+    let staged_ns: u64 = stages.iter().map(|&(_, v)| v).sum();
+    let run_ns = snap.value(telem::RUN_WALL);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "profile: {kernel_name} kernel, {hours:.1} h in {mode:?} mode, {} rounds",
+        snap.value(telem::ROUNDS)
+    );
+    let _ = writeln!(out, "{:<24} {:>12} {:>8}", "stage", "time", "share");
+    for &(name, ns) in &stages {
+        if ns == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<24} {:>9.3} ms {:>7.1}%",
+            name,
+            ns as f64 / 1e6,
+            ns as f64 / staged_ns.max(1) as f64 * 100.0,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<24} {:>9.3} ms (run wall {:.3} ms)",
+        "total staged",
+        staged_ns as f64 / 1e6,
+        run_ns as f64 / 1e6,
+    );
+    let _ = writeln!(
+        out,
+        "mean streaming quality: {:.4} (telemetry never changes results)",
+        run.metrics.mean_quality()
+    );
+    if let Some(path) = out_path {
+        let _ = writeln!(out, "telemetry snapshot written to {path}");
+    }
     Ok(out)
 }
 
@@ -1119,6 +1389,7 @@ mod tests {
                 serial: false,
                 shed: false,
                 out_path: None,
+                telemetry: TelemetryOpts::default(),
             }
         );
         let c = parse(&[
@@ -1146,6 +1417,7 @@ mod tests {
                 serial: true,
                 shed: true,
                 out_path: Some("r.json".into()),
+                telemetry: TelemetryOpts::default(),
             }
         );
         assert!(parse(&["chaos"]).is_err(), "scenario required");
@@ -1183,6 +1455,7 @@ mod tests {
             serial: true,
             shed: false,
             out_path: None,
+            telemetry: TelemetryOpts::default(),
         })
         .unwrap_err();
         assert!(matches!(err, CliError::Usage(_)), "got {err:?}");
@@ -1247,7 +1520,8 @@ mod tests {
                 hours: 24.0,
                 kernel: None,
                 config_path: None,
-                out_path: None
+                out_path: None,
+                telemetry: TelemetryOpts::default(),
             }
         );
     }
@@ -1318,7 +1592,8 @@ mod tests {
                 mode: SimMode::P2p,
                 hours: 24.0,
                 scheduler: SchedulerChoice::Wheel,
-                out_path: None
+                out_path: None,
+                telemetry: TelemetryOpts::default(),
             }
         );
         let c = parse(&[
@@ -1339,7 +1614,8 @@ mod tests {
                 mode: SimMode::ClientServer,
                 hours: 6.0,
                 scheduler: SchedulerChoice::Heap,
-                out_path: None
+                out_path: None,
+                telemetry: TelemetryOpts::default(),
             }
         );
         assert!(matches!(parse(&["des"]), Err(CliError::Usage(_))));
@@ -1371,6 +1647,7 @@ mod tests {
             hours: 1.0,
             scheduler: SchedulerChoice::Wheel,
             out_path: None,
+            telemetry: TelemetryOpts::default(),
         })
         .unwrap();
         assert!(out.contains("admission latency"), "got: {out}");
@@ -1386,7 +1663,8 @@ mod tests {
             Command::Geo {
                 deployment: DeploymentKind::Federated,
                 mode: SimMode::ClientServer,
-                hours: 24.0
+                hours: 24.0,
+                telemetry: TelemetryOpts::default(),
             }
         );
         let c = parse(&["geo", "central", "--mode", "p2p", "--hours", "6"]).unwrap();
@@ -1395,7 +1673,8 @@ mod tests {
             Command::Geo {
                 deployment: DeploymentKind::Central,
                 mode: SimMode::P2p,
-                hours: 6.0
+                hours: 6.0,
+                telemetry: TelemetryOpts::default(),
             }
         );
         assert!(matches!(parse(&["geo"]), Err(CliError::Usage(_))));
@@ -1408,6 +1687,7 @@ mod tests {
             deployment: DeploymentKind::Federated,
             mode: SimMode::ClientServer,
             hours: 2.0,
+            telemetry: TelemetryOpts::default(),
         })
         .unwrap();
         assert!(out.contains("total cost"), "got: {out}");
@@ -1426,7 +1706,8 @@ mod tests {
                 mode: SimMode::ClientServer,
                 hours: 1.0,
                 serial: false,
-                out_path: None
+                out_path: None,
+                telemetry: TelemetryOpts::default(),
             }
         );
         let c = parse(&[
@@ -1450,7 +1731,8 @@ mod tests {
                 mode: SimMode::P2p,
                 hours: 0.5,
                 serial: true,
-                out_path: None
+                out_path: None,
+                telemetry: TelemetryOpts::default(),
             }
         );
         assert!(matches!(
@@ -1474,6 +1756,7 @@ mod tests {
             hours: 1.0,
             serial: false,
             out_path: None,
+            telemetry: TelemetryOpts::default(),
         })
         .unwrap();
         assert!(out.contains("scale run: 6 channels"), "got: {out}");
@@ -1490,6 +1773,7 @@ mod tests {
             hours: 1.0,
             serial: false,
             out_path: None,
+            telemetry: TelemetryOpts::default(),
         })
         .unwrap_err();
         assert!(
@@ -1565,6 +1849,174 @@ mod tests {
     }
 
     #[test]
+    fn parse_telemetry_flags_on_every_run_subcommand() {
+        let opts = TelemetryOpts {
+            metrics_path: Some("m.json".into()),
+            trace_path: Some("t.json".into()),
+        };
+        let cases: &[&[&str]] = &[
+            &["simulate", "--telemetry", "m.json", "--trace", "t.json"],
+            &[
+                "des",
+                "baseline",
+                "--telemetry",
+                "m.json",
+                "--trace",
+                "t.json",
+            ],
+            &[
+                "geo",
+                "federated",
+                "--telemetry",
+                "m.json",
+                "--trace",
+                "t.json",
+            ],
+            &[
+                "chaos",
+                "vm-outage",
+                "--telemetry",
+                "m.json",
+                "--trace",
+                "t.json",
+            ],
+            &["scale", "--telemetry", "m.json", "--trace", "t.json"],
+        ];
+        for args in cases {
+            let parsed = match parse(args).unwrap() {
+                Command::Simulate { telemetry, .. }
+                | Command::Des { telemetry, .. }
+                | Command::Geo { telemetry, .. }
+                | Command::Chaos { telemetry, .. }
+                | Command::Scale { telemetry, .. } => telemetry,
+                other => panic!("unexpected parse for {args:?}: {other:?}"),
+            };
+            assert_eq!(parsed, opts, "args: {args:?}");
+        }
+        // A missing value is a usage error, as for every other flag.
+        assert!(matches!(
+            parse(&["simulate", "--telemetry"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse(&["scale", "--trace"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parse_profile() {
+        let c = parse(&["profile"]).unwrap();
+        assert_eq!(
+            c,
+            Command::Profile {
+                mode: SimMode::P2p,
+                hours: 24.0,
+                kernel: None,
+                out_path: None,
+            }
+        );
+        let c = parse(&[
+            "profile", "--mode", "cs", "--hours", "2", "--kernel", "sharded", "--out", "p.json",
+        ])
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Profile {
+                mode: SimMode::ClientServer,
+                hours: 2.0,
+                kernel: Some(SimKernel::Sharded),
+                out_path: Some("p.json".into()),
+            }
+        );
+        assert!(matches!(
+            parse(&["profile", "--kernel", "quantum"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn profile_short_run_prints_stage_table() {
+        let out = run(Command::Profile {
+            mode: SimMode::ClientServer,
+            hours: 1.0,
+            kernel: Some(SimKernel::Indexed),
+            out_path: None,
+        })
+        .unwrap();
+        assert!(out.contains("profile: Indexed kernel"), "got: {out}");
+        assert!(out.contains("stage/advance"), "got: {out}");
+        assert!(out.contains("total staged"), "got: {out}");
+        assert!(out.contains("run wall"), "got: {out}");
+        // Shares are printed per stage; at least one line carries one.
+        assert!(out.contains('%'), "got: {out}");
+    }
+
+    #[test]
+    fn simulate_writes_telemetry_and_trace_files() {
+        let dir = std::env::temp_dir().join("cloudmedia-cli-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let m_path = dir.join("metrics-snapshot.json");
+        let t_path = dir.join("run.trace.json");
+        let out = run(Command::Simulate {
+            mode: SimMode::ClientServer,
+            hours: 1.0,
+            kernel: Some(SimKernel::Indexed),
+            config_path: None,
+            out_path: None,
+            telemetry: TelemetryOpts {
+                metrics_path: Some(m_path.to_string_lossy().into_owned()),
+                trace_path: Some(t_path.to_string_lossy().into_owned()),
+            },
+        })
+        .unwrap();
+        assert!(out.contains("telemetry snapshot written to"), "got: {out}");
+        assert!(out.contains("trace written to"), "got: {out}");
+
+        use serde::Value;
+        let snapshot: Value =
+            serde_json::from_str(&std::fs::read_to_string(&m_path).unwrap()).unwrap();
+        assert_eq!(
+            snapshot.get("schema"),
+            Some(&Value::String("cloudmedia-telemetry/v1".into()))
+        );
+        let Some(Value::Array(metrics)) = snapshot.get("metrics") else {
+            panic!("snapshot has no metrics array");
+        };
+        assert!(metrics.iter().any(|m| {
+            m.get("name") == Some(&Value::String("rounds".into()))
+                && matches!(m.get("value"), Some(Value::UInt(n)) if *n > 0)
+        }));
+
+        let trace: Value =
+            serde_json::from_str(&std::fs::read_to_string(&t_path).unwrap()).unwrap();
+        let Some(Value::Array(events)) = trace.get("traceEvents") else {
+            panic!("trace has no traceEvents array");
+        };
+        assert!(!events.is_empty(), "trace should contain span events");
+        let ph = |e: &Value, p: &str| e.get("ph") == Some(&Value::String(p.into()));
+        let begins = events.iter().filter(|e| ph(e, "B")).count();
+        let ends = events.iter().filter(|e| ph(e, "E")).count();
+        assert_eq!(begins, ends, "unbalanced begin/end pairs");
+    }
+
+    #[test]
+    fn des_reports_kernel_health() {
+        let out = run(Command::Des {
+            scenario: DesScenarioKind::Baseline,
+            mode: SimMode::ClientServer,
+            hours: 1.0,
+            scheduler: SchedulerChoice::Wheel,
+            out_path: None,
+            telemetry: TelemetryOpts::default(),
+        })
+        .unwrap();
+        assert!(out.contains("kernel health:"), "got: {out}");
+        assert!(out.contains("peak"), "got: {out}");
+        assert!(out.contains("cancelled"), "got: {out}");
+    }
+
+    #[test]
     fn simulate_short_run_with_json_output() {
         let dir = std::env::temp_dir().join("cloudmedia-cli-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1589,6 +2041,7 @@ mod tests {
             kernel: None,
             config_path: Some(cfg_path.to_string_lossy().into_owned()),
             out_path: Some(out_path.to_string_lossy().into_owned()),
+            telemetry: TelemetryOpts::default(),
         })
         .unwrap();
         assert!(out.contains("mean streaming quality"));

@@ -7,12 +7,18 @@
 //! and current availability; the *request monitor* forwards accepted
 //! requests to the VM and NFS schedulers; billing meters usage over time.
 
+use cloudmedia_telemetry::GlobalCounter;
 use serde::{Deserialize, Serialize};
 
 use crate::billing::BillingMeter;
 use crate::cluster::{NfsClusterSpec, VirtualClusterSpec};
 use crate::error::CloudError;
 use crate::scheduler::{NfsScheduler, PlacementPlan, VmScheduler};
+
+/// Process-wide count of resource requests submitted through any broker
+/// (telemetry only — read as before/after deltas by the simulators; never
+/// fed back into scheduling decisions).
+pub static BROKER_SUBMITS: GlobalCounter = GlobalCounter::new();
 
 /// SLA terms the negotiator publishes to a consumer: the price book and
 /// current availability of each cluster.
@@ -294,6 +300,7 @@ impl Cloud {
     /// Returns the first scheduler rejection; on VM-target rejection no
     /// placement change is applied either.
     pub fn submit_request(&mut self, request: &ResourceRequest) -> Result<(), CloudError> {
+        BROKER_SUBMITS.inc();
         if request.vm_targets.len() != self.vms.clusters() {
             return Err(crate::error::invalid_param(
                 "vm_targets",

@@ -11,7 +11,20 @@
 use cloudmedia_queueing::absorbing::AbsorbingChain;
 use cloudmedia_queueing::jackson::RoutingMatrix;
 use cloudmedia_queueing::linalg::Matrix;
+use cloudmedia_telemetry::GlobalCounter;
 use serde::{Deserialize, Serialize};
+
+/// Replica-matrix rows recovered through the Sherman–Morrison rank-one
+/// fast path ([`replica_matrix`]), process lifetime. Read as
+/// before/after deltas by the telemetry plane, alongside the
+/// direct-elimination counters in [`cloudmedia_queueing::linalg`], to
+/// show how often the `O(J²)` path carries the provisioning load.
+pub static SHERMAN_MORRISON_UPDATES: GlobalCounter = GlobalCounter::new();
+
+/// Replica-matrix rows that fell back to the direct per-chunk deleted-
+/// system elimination (singular `M` or a degenerate rank-one update),
+/// process lifetime.
+pub static SHERMAN_MORRISON_FALLBACKS: GlobalCounter = GlobalCounter::new();
 
 #[cfg(test)]
 use crate::analysis::client_server::pooled_capacity_demand;
@@ -120,6 +133,7 @@ pub fn replica_matrix(
         // *deleted* per-chunk systems are still well posed. Solve them
         // directly, as the original algorithm did.
         for (i, (out, &occupancy)) in result.iter_mut().zip(expected_in_queue).enumerate() {
+            SHERMAN_MORRISON_FALLBACKS.inc();
             replica_row_direct(routing, occupancy, i, out)?;
         }
         return Ok(result);
@@ -161,9 +175,11 @@ pub fn replica_matrix(
             // Rank-one update degenerate: solve this row's deleted
             // system directly (never hit for valid routing; kept as a
             // correctness backstop).
+            SHERMAN_MORRISON_FALLBACKS.inc();
             replica_row_direct(routing, occupancy, i, out)?;
             continue;
         }
+        SHERMAN_MORRISON_UPDATES.inc();
         let correction = v_dot_z / denom;
         for (j, out_j) in out.iter_mut().enumerate() {
             if j == i {

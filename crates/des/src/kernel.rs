@@ -167,6 +167,10 @@ pub struct Kernel<E> {
     next_seq: u64,
     /// Events delivered so far.
     delivered: u64,
+    /// Events cancelled before delivery.
+    cancelled: u64,
+    /// High-water mark of the pending-event count.
+    peak_pending: usize,
 }
 
 impl<E> Default for Kernel<E> {
@@ -192,6 +196,8 @@ impl<E> Kernel<E> {
             },
             next_seq: 0,
             delivered: 0,
+            cancelled: 0,
+            peak_pending: 0,
         }
     }
 
@@ -236,6 +242,7 @@ impl<E> Kernel<E> {
             }
             Queue::Wheel(w) => w.schedule(at, seq, dest, payload),
         }
+        self.peak_pending = self.peak_pending.max(self.pending());
         EventId(seq)
     }
 
@@ -256,18 +263,21 @@ impl<E> Kernel<E> {
     /// already-cancelled, or never-scheduled event returns `false` and
     /// has no effect.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        match &mut self.queue {
+        let hit = match &mut self.queue {
             Queue::Heap(q) => {
-                if !q.pending_ids.remove(&id.0) {
-                    return false;
+                if q.pending_ids.remove(&id.0) {
+                    // The entry stays in the heap until it surfaces;
+                    // `skip_cancelled` sweeps it then.
+                    q.cancelled.insert(id.0);
+                    true
+                } else {
+                    false
                 }
-                // The entry stays in the heap until it surfaces;
-                // `skip_cancelled` sweeps it then.
-                q.cancelled.insert(id.0);
-                true
             }
             Queue::Wheel(w) => w.cancel(id.0),
-        }
+        };
+        self.cancelled += u64::from(hit);
+        hit
     }
 
     /// Time of the next pending event, if any.
@@ -344,6 +354,27 @@ impl<E> Kernel<E> {
     /// Total events delivered so far.
     pub fn delivered_count(&self) -> u64 {
         self.delivered
+    }
+
+    /// Total events cancelled before delivery.
+    pub fn cancelled_count(&self) -> u64 {
+        self.cancelled
+    }
+
+    /// High-water mark of the pending-event count over the kernel's
+    /// lifetime — the queue depth a scheduler backend actually had to
+    /// sustain.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    /// Slab slots the timing wheel recycled through its free list
+    /// (0 for the binary-heap backend, which has no arena).
+    pub fn recycled_count(&self) -> u64 {
+        match &self.queue {
+            Queue::Heap(_) => 0,
+            Queue::Wheel(w) => w.recycled(),
+        }
     }
 }
 
@@ -480,10 +511,38 @@ mod tests {
             assert_eq!(k.pending(), 2);
             k.cancel(a);
             assert_eq!(k.pending(), 1);
+            assert_eq!(k.cancelled_count(), 1);
+            k.cancel(a);
+            assert_eq!(k.cancelled_count(), 1, "failed cancels are not counted");
             k.pop();
             assert_eq!(k.delivered_count(), 1);
             assert!(k.is_empty());
+            assert_eq!(k.peak_pending(), 2, "high-water mark survives drain");
         }
+    }
+
+    /// The wheel reports free-list recycling; the heap (no arena)
+    /// reports zero. Peak pending tracks the deepest the queue ever got,
+    /// not the current depth.
+    #[test]
+    fn health_counters_expose_wheel_internals() {
+        let mut w: Kernel<u32> = Kernel::with_scheduler(SchedulerKind::TimingWheel);
+        for i in 0..8 {
+            w.schedule_at(f64::from(i) + 1.0, A, i);
+        }
+        while w.pop().is_some() {}
+        assert_eq!(w.peak_pending(), 8);
+        // Delivered slots went to the free list; new events reuse them.
+        for i in 0..4 {
+            w.schedule_at(100.0 + f64::from(i), A, i);
+        }
+        assert!(w.recycled_count() >= 4, "recycled {}", w.recycled_count());
+
+        let mut h: Kernel<u32> = Kernel::with_scheduler(SchedulerKind::BinaryHeap);
+        h.schedule_at(1.0, A, 0);
+        h.pop();
+        h.schedule_at(2.0, A, 1);
+        assert_eq!(h.recycled_count(), 0);
     }
 
     /// The two backends deliver bit-identical sequences for an

@@ -264,6 +264,9 @@ pub struct TimingWheel<E> {
     ready_cursor: usize,
     /// Live (scheduled, not yet delivered or cancelled) events.
     pending: usize,
+    /// Allocations served from the free list instead of growing the
+    /// slab — how hard the arena recycling is working.
+    recycled: u64,
 }
 
 impl<E> TimingWheel<E> {
@@ -293,12 +296,18 @@ impl<E> TimingWheel<E> {
             ready: Vec::new(),
             ready_cursor: 0,
             pending: 0,
+            recycled: 0,
         }
     }
 
     /// Number of pending events.
     pub(crate) fn pending(&self) -> usize {
         self.pending
+    }
+
+    /// Allocations served by free-list recycling.
+    pub(crate) fn recycled(&self) -> u64 {
+        self.recycled
     }
 
     fn tick_of(&self, time: f64) -> u64 {
@@ -310,6 +319,7 @@ impl<E> TimingWheel<E> {
 
     fn alloc(&mut self, time: f64, seq: u64, dest: ComponentId, payload: E, tick: u64) -> u32 {
         if self.free != NIL {
+            self.recycled += 1;
             let idx = self.free;
             let slot = &mut self.slab[idx as usize];
             self.free = slot.next;

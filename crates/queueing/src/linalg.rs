@@ -9,7 +9,21 @@
 use std::fmt;
 use std::ops::{Index, IndexMut};
 
+use cloudmedia_telemetry::GlobalCounter;
+
 use crate::error::QueueingError;
+
+/// Direct Gaussian eliminations performed ([`Matrix::solve`]), process
+/// lifetime. The telemetry plane reads before/after deltas around a run
+/// to report how much work the provisioning pipeline's solvers did.
+pub static DIRECT_SOLVES: GlobalCounter = GlobalCounter::new();
+
+/// LU factorizations completed ([`Matrix::lu`]), process lifetime.
+pub static LU_FACTORIZATIONS: GlobalCounter = GlobalCounter::new();
+
+/// Right-hand sides solved against a cached factorization
+/// ([`LuFactors::solve_into`]), process lifetime.
+pub static LU_SOLVES: GlobalCounter = GlobalCounter::new();
 
 /// A dense row-major matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]
@@ -134,6 +148,7 @@ impl Matrix {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, QueueingError> {
         assert_eq!(self.rows, self.cols, "solve requires a square matrix");
         assert_eq!(b.len(), self.rows, "dimension mismatch in solve");
+        DIRECT_SOLVES.inc();
         let n = self.rows;
         let mut a = self.data.clone();
         let mut x: Vec<f64> = b.to_vec();
@@ -247,6 +262,7 @@ impl Matrix {
                 }
             }
         }
+        LU_FACTORIZATIONS.inc();
         Ok(LuFactors { n, lu, perm })
     }
 
@@ -283,6 +299,7 @@ impl LuFactors {
     pub fn solve_into(&self, b: &mut [f64], scratch: &mut Vec<f64>) {
         let n = self.n;
         assert_eq!(b.len(), n, "dimension mismatch in LU solve");
+        LU_SOLVES.inc();
         scratch.clear();
         scratch.extend(self.perm.iter().map(|&p| b[p]));
         // Forward substitution with unit-diagonal L.

@@ -70,11 +70,13 @@ pub mod provisioner;
 pub mod sessions;
 
 use cloudmedia_des::Kernel;
+use cloudmedia_telemetry::Telemetry;
 use serde::Serialize;
 
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::metrics::Metrics;
+use crate::telem;
 use events::{CmEvent, ADMISSION, ENGINE, PROVISIONER, SESSIONS};
 
 /// A VM failure burst: at `at` seconds, `fraction` of the currently
@@ -210,6 +212,15 @@ pub struct DesReport {
     pub measured_wait_fraction: f64,
     /// Total events the kernel delivered.
     pub events_delivered: u64,
+    /// High-water mark of the kernel's pending-event count — how deep
+    /// the future-event set got (heap size or timing-wheel occupancy).
+    pub peak_pending_events: usize,
+    /// Cancellations that hit a still-pending event (a session departing
+    /// with a scheduled wake-up, a superseded timer).
+    pub cancelled_events: u64,
+    /// Timing-wheel slot recycles (0 under the binary-heap scheduler):
+    /// how often the wheel's free list absorbed an allocation.
+    pub recycled_slots: u64,
     /// Sessions injected by flash-crowd bursts.
     pub injected_viewers: u64,
     /// VM instances killed by failure bursts.
@@ -239,7 +250,25 @@ pub struct DesRun {
 /// Propagates configuration validation, trace, provisioning, and cloud
 /// failures.
 pub fn run(cfg: &SimConfig, scenario: &DesScenario) -> Result<DesRun, SimError> {
+    run_with_telemetry(cfg, scenario, &Telemetry::disabled())
+}
+
+/// [`run`] recording kernel health gauges, event throughput, and stage
+/// timings into `tel`. Telemetry is a pure side channel — the returned
+/// metrics and report are bit-identical to [`run`].
+///
+/// # Errors
+///
+/// Propagates configuration validation, trace, provisioning, and cloud
+/// failures.
+pub fn run_with_telemetry(
+    cfg: &SimConfig,
+    scenario: &DesScenario,
+    tel: &Telemetry,
+) -> Result<DesRun, SimError> {
     cfg.validate()?;
+    let globals = telem::GlobalCounters::capture();
+    let run_span = tel.span(telem::RUN_WALL);
     let horizon = cfg.trace.horizon_seconds;
     let n_channels = cfg.catalog.len();
 
@@ -298,7 +327,11 @@ pub fn run(cfg: &SimConfig, scenario: &DesScenario) -> Result<DesRun, SimError> 
     let mut last_sample = 0.0_f64;
     let mut next_sample = cfg.sample_interval;
 
-    // The event loop: route every event at or before the horizon.
+    // The event loop: route every event at or before the horizon. Per-
+    // event timing would dominate the kernel's own dispatch cost, so the
+    // loop is timed as one stage and throughput is derived afterwards.
+    let loop_t0 = std::time::Instant::now();
+    let mut clk = tel.stage_clock();
     use cloudmedia_des::Component as _;
     while let Some(t) = kernel.peek_time() {
         if t > horizon {
@@ -329,6 +362,8 @@ pub fn run(cfg: &SimConfig, scenario: &DesScenario) -> Result<DesRun, SimError> 
             other => unreachable!("unrouted component id {other:?}"),
         }
     }
+    clk.lap(telem::STAGE_EVENTS);
+    let loop_ns = u64::try_from(loop_t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
 
     // Epilogue: settle the cloud (billing) to the horizon and flush a
     // final sample if the horizon was not sample-aligned.
@@ -356,12 +391,31 @@ pub fn run(cfg: &SimConfig, scenario: &DesScenario) -> Result<DesRun, SimError> 
         predicted_wait_fraction,
         measured_wait_fraction,
         events_delivered: kernel.delivered_count(),
+        peak_pending_events: kernel.peak_pending(),
+        cancelled_events: kernel.cancelled_count(),
+        recycled_slots: kernel.recycled_count(),
         injected_viewers: sessions.injected_viewers(),
         vms_killed: provisioner.vms_killed(),
         redirected_requests: admission.redirected_requests(),
     };
     let mut fault_stats = provisioner.take_fault_stats();
     fault_stats.shed_arrivals = sessions.shed_arrivals();
+    clk.lap(telem::STAGE_SAMPLING);
+    drop(run_span);
+
+    if tel.enabled() {
+        tel.add(telem::DES_EVENTS, report.events_delivered);
+        tel.gauge_max(telem::DES_PEAK_PENDING, report.peak_pending_events as u64);
+        tel.add(telem::DES_CANCELLED, report.cancelled_events);
+        tel.add(telem::DES_RECYCLED, report.recycled_slots);
+        tel.gauge_set(
+            telem::DES_EVENTS_PER_SEC,
+            ((report.events_delivered as u128 * 1_000_000_000) / u128::from(loop_ns.max(1)))
+                .min(u128::from(u64::MAX)) as u64,
+        );
+    }
+    telem::record_fault_stats(tel, &fault_stats);
+    globals.record_delta(tel);
     Ok(DesRun {
         metrics,
         report,

@@ -57,6 +57,7 @@ use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters};
 use cloudmedia_core::controller::ProvisioningPlan;
 use cloudmedia_core::federation::{paper_sites, plan_global_placement, FederationPolicy, SiteSpec};
 use cloudmedia_core::geo::{three_sites, validate_regions, RegionSpec};
+use cloudmedia_telemetry::Telemetry;
 use cloudmedia_workload::diurnal::DiurnalPattern;
 use cloudmedia_workload::trace::{ArrivalStream, UserArrival};
 use rand::rngs::StdRng;
@@ -71,6 +72,7 @@ use crate::simulator::{
     bootstrap_stats, interval_record, make_planner, process_round_events, sample, IndexedEngine,
     Planner, RoundCtx, RoundEngine, ScanEngine,
 };
+use crate::telem;
 use crate::tracker::Tracker;
 
 /// Which multi-region deployment to run.
@@ -450,6 +452,12 @@ struct RegionRuntime {
     removals: Vec<usize>,
     completed: Vec<usize>,
     woken: Vec<usize>,
+    // Telemetry accumulators (side channel only; populated in
+    // telemetry-enabled runs, reduced in region order at run end).
+    /// Wall time this region spent stepping rounds, ns.
+    wall_ns: u64,
+    /// High-water mark of this region's connected viewers.
+    peak_peers: usize,
 }
 
 impl std::fmt::Debug for RegionRuntime {
@@ -492,6 +500,21 @@ impl FederatedSimulator {
     /// Propagates trace generation, provisioning, placement, and cloud
     /// failures.
     pub fn run(&self) -> Result<FederatedMetrics, SimError> {
+        self.run_with_telemetry(&Telemetry::disabled())
+    }
+
+    /// [`FederatedSimulator::run`] recording stage timings, per-region
+    /// wall/peer rows, and counters into `tel`. Telemetry is a pure
+    /// side channel — the returned metrics are bit-identical to
+    /// [`FederatedSimulator::run`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace generation, provisioning, placement, and cloud
+    /// failures.
+    pub fn run_with_telemetry(&self, tel: &Telemetry) -> Result<FederatedMetrics, SimError> {
+        let globals = telem::GlobalCounters::capture();
+        let run_span = tel.span(telem::RUN_WALL);
         let fc = &self.config;
         let n_regions = fc.regions.len();
         let n_sites = n_regions;
@@ -576,6 +599,8 @@ impl FederatedSimulator {
                 removals: Vec::new(),
                 completed: Vec::new(),
                 woken: Vec::new(),
+                wall_ns: 0,
+                peak_peers: 0,
                 cfg,
             });
         }
@@ -596,13 +621,19 @@ impl FederatedSimulator {
         let mut applied_budget_factor = 1.0_f64;
         let mut site_mask = vec![false; n_sites];
 
+        let telemetry_on = tel.enabled();
+        let mut clk = tel.stage_clock_sampled(telem::STAGE_TIME_SAMPLE);
+        let mut rounds_total = 0u64;
+
         while clock < horizon {
             let t1 = (clock + dt).min(horizon);
             let step = t1 - clock;
+            clk.begin_round();
 
             // --- Global provisioning boundary ------------------------
             let mask = fc.base.faults.site_mask(n_sites, clock);
             if clock >= next_provision {
+                let _interval_span = tel.span(telem::PROV_INTERVAL);
                 self.provision(
                     &mut regions,
                     clock,
@@ -621,6 +652,7 @@ impl FederatedSimulator {
                 stats.emergency_replans += 1;
                 site_mask = mask;
             }
+            clk.lap(telem::STAGE_PROVISIONING);
 
             // --- Per-region round (arrivals → allocate → progress) ---
             // Site online fractions feed every region's blended scale;
@@ -653,7 +685,7 @@ impl FederatedSimulator {
                 rayon::scope(|s| {
                     for (r, slot) in regions.iter_mut().zip(results.iter_mut()) {
                         s.spawn(move |_| {
-                            *slot = r.step_round(clock, t1, step, online);
+                            *slot = r.step_round_timed(telemetry_on, clock, t1, step, online);
                         });
                     }
                 });
@@ -662,9 +694,11 @@ impl FederatedSimulator {
                 }
             } else {
                 for r in regions.iter_mut() {
-                    r.step_round(clock, t1, step, &site_online)?;
+                    r.step_round_timed(telemetry_on, clock, t1, step, &site_online)?;
                 }
             }
+            rounds_total += 1;
+            clk.lap(telem::STAGE_REGION_STEP);
 
             // --- Sampling --------------------------------------------
             if t1 >= next_sample || t1 >= horizon {
@@ -673,11 +707,27 @@ impl FederatedSimulator {
                 }
                 next_sample += sample_interval;
             }
+            clk.lap(telem::STAGE_SAMPLING);
 
             clock = t1;
         }
 
         // Close out billing and assemble outcomes.
+        if telemetry_on {
+            // Region-imbalance table and wall histogram, in region order.
+            let rows: Vec<Vec<u64>> = regions
+                .iter()
+                .map(|r| {
+                    tel.observe(telem::HIST_REGION_WALL, r.wall_ns);
+                    vec![r.wall_ns, r.peers.len() as u64, r.peak_peers as u64]
+                })
+                .collect();
+            tel.push_table("regions", &["wall_ns", "peers_final", "peak_peers"], rows);
+            tel.gauge_max(
+                telem::PEERS_PEAK,
+                regions.iter().map(|r| r.peers.len() as u64).sum(),
+            );
+        }
         let mut per_region = Vec::with_capacity(n_regions);
         let mut total_vm = 0.0;
         let mut total_storage = 0.0;
@@ -702,6 +752,11 @@ impl FederatedSimulator {
                 latency_penalty_cost: r.latency_penalty_cost,
             });
         }
+        clk.lap(telem::STAGE_REDUCE);
+        drop(run_span);
+        tel.add(telem::ROUNDS, rounds_total);
+        telem::record_fault_stats(tel, &stats);
+        globals.record_delta(tel);
         Ok(FederatedMetrics {
             per_region,
             total_vm_cost: total_vm,
@@ -1001,6 +1056,29 @@ impl RegionRuntime {
     /// One allocation round for this region: ingest arrivals, run the
     /// engine's allocation stage, advance downloads, handle the round's
     /// events, tick the site's cloud, and meter redirected traffic.
+    ///
+    /// [`RegionRuntime::step_round`] with optional wall-time and
+    /// peak-peer accounting (telemetry-enabled runs only — a pure side
+    /// channel either way).
+    fn step_round_timed(
+        &mut self,
+        time_it: bool,
+        t0: f64,
+        t1: f64,
+        step: f64,
+        site_online: &[f64],
+    ) -> Result<(), SimError> {
+        if time_it {
+            let start = std::time::Instant::now();
+            let r = self.step_round(t0, t1, step, site_online);
+            self.wall_ns += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.peak_peers = self.peak_peers.max(self.peers.len());
+            r
+        } else {
+            self.step_round(t0, t1, step, site_online)
+        }
+    }
+
     fn step_round(
         &mut self,
         _t0: f64,

@@ -48,6 +48,7 @@ pub mod metrics;
 pub mod peer;
 mod sharded;
 pub mod simulator;
+pub mod telem;
 pub mod tracker;
 
 pub use config::{SimConfig, SimKernel, SimMode};

@@ -59,6 +59,7 @@
 use cloudmedia_cloud::broker::{scale_fleet_capacity, scale_nfs_capacity, Cloud, ResourceRequest};
 use cloudmedia_cloud::cluster::{paper_nfs_clusters, paper_virtual_clusters};
 use cloudmedia_cloud::scheduler::PlacementPlan;
+use cloudmedia_telemetry::Telemetry;
 use cloudmedia_workload::catalog::Catalog;
 use cloudmedia_workload::stats::{ChannelStatsCollector, Observation};
 use cloudmedia_workload::trace::{child_seed, ChannelArrivals, UserArrival};
@@ -74,7 +75,16 @@ use crate::simulator::{
     bootstrap_stats, interval_record, make_planner, process_round_events, IndexedEngine, RoundCtx,
     RoundEngine,
 };
+use crate::telem;
 use crate::tracker::summarize_channel;
+
+/// Per-shard wall times are sampled on every `SHARD_WALL_SAMPLE`-th
+/// round rather than every round: a shard's step costs about as much as
+/// a clock read, so timing every shard every round would dominate the
+/// telemetry budget. Sampled totals still rank the shards (the Zipf
+/// head channel dominates by orders of magnitude), which is what the
+/// imbalance table is for.
+const SHARD_WALL_SAMPLE: u64 = 64;
 
 /// One channel's complete simulation state: the unit the run loop fans
 /// out. See the module docs for what lives here and why nothing is
@@ -109,6 +119,19 @@ struct ChannelShard {
     // Startup-delay window accumulators (flushed at sample boundaries).
     startup_sum: f64,
     startup_count: usize,
+    // Telemetry accumulators (side channel only — reduced in channel
+    // order at run end; the cheap integer ones run unconditionally, the
+    // wall clock only on sampled rounds of a telemetry-enabled run).
+    /// Sampled wall time spent in [`ChannelShard::step_round`], ns.
+    wall_ns: u64,
+    /// High-water mark of this shard's connected viewers.
+    peak_peers: usize,
+    /// Arrivals admitted into this shard.
+    admitted: u64,
+    /// Chunk completions handled by this shard.
+    n_completed: u64,
+    /// Wake-ups handled by this shard.
+    n_woken: u64,
 }
 
 impl std::fmt::Debug for ChannelShard {
@@ -155,8 +178,10 @@ impl ChannelShard {
             self.collector.record(Observation::Join {
                 chunk: a.start_chunk,
             });
+            self.admitted += 1;
             self.next_arrival = self.arrivals.next();
         }
+        self.peak_peers = self.peak_peers.max(self.peers.len());
 
         self.round_used = self.engine.allocate(&self.peers, ctx);
 
@@ -184,22 +209,51 @@ impl ChannelShard {
             &mut self.startup_sum,
             &mut self.startup_count,
         );
+        self.n_completed += self.completed.len() as u64;
+        self.n_woken += self.woken.len() as u64;
+    }
+
+    /// [`ChannelShard::step_round`], optionally timing the step into the
+    /// shard's sampled wall accumulator.
+    #[allow(clippy::too_many_arguments)]
+    fn step_round_timed(
+        &mut self,
+        time_it: bool,
+        t1: f64,
+        ctx: &RoundCtx<'_>,
+        catalog: &Catalog,
+        chunk_bytes: f64,
+        chunk_seconds: f64,
+        faults: &FaultSchedule,
+    ) {
+        if time_it {
+            let t0 = std::time::Instant::now();
+            self.step_round(t1, ctx, catalog, chunk_bytes, chunk_seconds, faults);
+            self.wall_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        } else {
+            self.step_round(t1, ctx, catalog, chunk_bytes, chunk_seconds, faults);
+        }
     }
 }
 
 /// Runs a sharded simulation over the configured horizon, returning the
-/// metrics plus the fault-plane counters.
-pub(crate) fn run_with_faults(cfg: &SimConfig) -> Result<FaultRun, SimError> {
-    run_with_groups(cfg, None)
+/// metrics plus the fault-plane counters, and recording stage timings,
+/// per-shard imbalance rows, and counters into `tel`. Telemetry is a
+/// pure side channel — the metrics are bit-identical to a run against
+/// [`Telemetry::disabled`].
+pub(crate) fn run_with_telemetry(cfg: &SimConfig, tel: &Telemetry) -> Result<FaultRun, SimError> {
+    run_with_groups(cfg, None, tel)
 }
 
-/// [`run_with_faults`] with an explicit shard-to-task group size (tests use this to
+/// [`run_with_telemetry`] with an explicit shard-to-task group size (tests use this to
 /// pin that the grouping — the knob thread count actually turns —
 /// cannot change results; `None` picks the load-balancing default).
 pub(crate) fn run_with_groups(
     cfg: &SimConfig,
     group_override: Option<usize>,
+    tel: &Telemetry,
 ) -> Result<FaultRun, SimError> {
+    let globals = telem::GlobalCounters::capture();
     let catalog = &cfg.catalog;
     let n_channels = catalog.len();
     let chunk_bytes = cfg.chunk_bytes();
@@ -246,6 +300,11 @@ pub(crate) fn run_with_groups(
             shed: 0,
             startup_sum: 0.0,
             startup_count: 0,
+            wall_ns: 0,
+            peak_peers: 0,
+            admitted: 0,
+            n_completed: 0,
+            n_woken: 0,
         });
     }
 
@@ -260,15 +319,22 @@ pub(crate) fn run_with_groups(
     let mut channel_reserved = vec![0.0_f64; n_channels];
     let mut reserved_total = 0.0_f64;
 
+    let run_span = tel.span(telem::RUN_WALL);
+    let mut clk = tel.stage_clock_sampled(telem::STAGE_TIME_SAMPLE);
+    let mut round_idx: u64 = 0;
+    let mut peers_peak = 0u64;
+
     while clock < horizon {
         let t1 = (clock + dt).min(horizon);
         let step = t1 - clock;
+        clk.begin_round();
 
         // --- Fault boundaries (coordinator, serial) ------------------
         fault_driver.apply_due(clock, &mut cloud, &last_plan_targets)?;
 
         // --- Provisioning boundary (coordinator, serial) ------------
         if clock >= next_provision {
+            let _interval_span = tel.span(telem::PROV_INTERVAL);
             let bootstrap = metrics.intervals.is_empty();
             let (budget_factor, price_factor) = cfg.faults.shock_factors(clock);
             if budget_factor != applied_budget_factor {
@@ -297,27 +363,35 @@ pub(crate) fn run_with_groups(
                 // Tracker blackout: drain the interval's measurements so
                 // the collectors reset exactly as in a non-faulted run,
                 // then replay the last-known-good plan.
+                let _s = tel.span(telem::PROV_TRACKER);
                 let _ = summarize(&mut shards)?;
                 fault_driver.stats.fallback_intervals += 1;
                 last_plan.clone().expect("checked is_some above")
             } else {
-                let stats = if bootstrap {
-                    bootstrap_stats(catalog, cfg)
-                } else {
-                    summarize(&mut shards)?
+                let stats = {
+                    let _s = tel.span(telem::PROV_TRACKER);
+                    if bootstrap {
+                        bootstrap_stats(catalog, cfg)
+                    } else {
+                        summarize(&mut shards)?
+                    }
                 };
+                let _s = tel.span(telem::PROV_PLAN);
                 planner.plan_interval(&stats, &planning_sla)?
             };
             if let Some(p) = &plan.placement {
                 current_placement = Some(p.clone());
             }
-            let receipt = cloud.submit_with_retry(
-                &ResourceRequest {
-                    vm_targets: plan.vm_targets.clone(),
-                    placement: plan.placement.clone(),
-                },
-                &retry,
-            )?;
+            let receipt = {
+                let _s = tel.span(telem::PROV_SUBMIT);
+                cloud.submit_with_retry(
+                    &ResourceRequest {
+                        vm_targets: plan.vm_targets.clone(),
+                        placement: plan.placement.clone(),
+                    },
+                    &retry,
+                )?
+            };
             fault_driver.stats.record_receipt(&receipt);
             last_plan_targets = plan.vm_targets.clone();
             channel_reserved.iter_mut().for_each(|v| *v = 0.0);
@@ -346,6 +420,7 @@ pub(crate) fn run_with_groups(
             last_plan = Some(stored);
             next_provision += cfg.provisioning_interval;
         }
+        clk.lap(telem::STAGE_PROVISIONING);
 
         // --- Round fan-out -------------------------------------------
         // Everything the shards read is snapshotted here (the read
@@ -364,6 +439,7 @@ pub(crate) fn run_with_groups(
             online_scale,
             channel_reserved: &channel_reserved,
         };
+        let time_shards = tel.enabled() && round_idx.is_multiple_of(SHARD_WALL_SAMPLE);
         if cfg.parallel_channels && shards.len() > 1 {
             // Several groups per worker so the Zipf-skewed head
             // channels level out across the pool (workers pull groups
@@ -378,7 +454,8 @@ pub(crate) fn run_with_groups(
                 for chunk in shards.chunks_mut(group) {
                     s.spawn(move |_| {
                         for shard in chunk {
-                            shard.step_round(
+                            shard.step_round_timed(
+                                time_shards,
                                 t1,
                                 ctx_ref,
                                 catalog,
@@ -392,7 +469,8 @@ pub(crate) fn run_with_groups(
             });
         } else {
             for shard in shards.iter_mut() {
-                shard.step_round(
+                shard.step_round_timed(
+                    time_shards,
                     t1,
                     &ctx,
                     catalog,
@@ -402,33 +480,41 @@ pub(crate) fn run_with_groups(
                 );
             }
         }
+        round_idx += 1;
+        clk.lap(telem::STAGE_SHARD_STEP);
 
         // --- Channel-order reduction ---------------------------------
         let mut used_cloud_rate = 0.0_f64;
         for shard in &shards {
             used_cloud_rate += shard.round_used;
         }
+        clk.lap(telem::STAGE_REDUCE);
 
         cloud.tick(t1)?;
         window_used += used_cloud_rate * step;
+        clk.lap(telem::STAGE_CLOUD);
 
         // --- Sampling ------------------------------------------------
         if t1 >= next_sample || t1 >= horizon {
             let elapsed = (t1 - window_start).max(1e-9);
-            metrics.samples.push(assemble_sample(
+            let s = assemble_sample(
                 &mut shards,
                 t1,
                 cloud.running_bandwidth(),
                 window_used / elapsed,
                 cfg.sample_interval,
-            ));
+            );
+            peers_peak = peers_peak.max(s.active_peers as u64);
+            metrics.samples.push(s);
             window_used = 0.0;
             window_start = t1;
             next_sample += cfg.sample_interval;
         }
+        clk.lap(telem::STAGE_SAMPLING);
 
         clock = t1;
     }
+    drop(run_span);
 
     metrics.total_vm_cost = cloud.billing().vm_cost().as_dollars();
     metrics.total_storage_cost = cloud.billing().storage_cost().as_dollars();
@@ -437,6 +523,40 @@ pub(crate) fn run_with_groups(
     for shard in &shards {
         fault_driver.stats.shed_arrivals += shard.shed;
     }
+    if tel.enabled() {
+        // Shard-imbalance table and aggregates, in channel order. Wall
+        // times are sampled (see `SHARD_WALL_SAMPLE`).
+        let mut admitted = 0u64;
+        let mut n_completed = 0u64;
+        let mut n_woken = 0u64;
+        let rows: Vec<Vec<u64>> = shards
+            .iter()
+            .map(|s| {
+                admitted += s.admitted;
+                n_completed += s.n_completed;
+                n_woken += s.n_woken;
+                tel.observe(telem::HIST_SHARD_WALL, s.wall_ns);
+                vec![
+                    s.channel as u64,
+                    s.wall_ns,
+                    s.peers.len() as u64,
+                    s.peak_peers as u64,
+                ]
+            })
+            .collect();
+        tel.push_table(
+            "shards",
+            &["channel", "wall_ns_sampled", "peers_final", "peak_peers"],
+            rows,
+        );
+        tel.add(telem::ARRIVALS_ADMITTED, admitted);
+        tel.add(telem::COMPLETED_CHUNKS, n_completed);
+        tel.add(telem::WOKEN_PEERS, n_woken);
+        tel.add(telem::ROUNDS, round_idx);
+        tel.gauge_max(telem::PEERS_PEAK, peers_peak);
+    }
+    telem::record_fault_stats(tel, &fault_driver.stats);
+    globals.record_delta(tel);
     Ok(FaultRun {
         metrics,
         fault_stats: fault_driver.stats,
@@ -529,19 +649,26 @@ mod tests {
         let baseline = {
             let mut serial = cfg.clone();
             serial.parallel_channels = false;
-            run_with_faults(&serial).unwrap().metrics
+            run_with_telemetry(&serial, &Telemetry::disabled())
+                .unwrap()
+                .metrics
         };
         for group in [1, 2, 3, usize::MAX] {
-            let m = run_with_groups(&cfg, Some(group)).unwrap().metrics;
+            let m = run_with_groups(&cfg, Some(group), &Telemetry::disabled())
+                .unwrap()
+                .metrics;
             assert_eq!(m, baseline, "group size {group} diverged from serial");
         }
     }
 
     #[test]
     fn sharded_run_produces_sane_metrics() {
-        let m = run_with_faults(&small(SimMode::ClientServer, 4, 150.0))
-            .unwrap()
-            .metrics;
+        let m = run_with_telemetry(
+            &small(SimMode::ClientServer, 4, 150.0),
+            &Telemetry::disabled(),
+        )
+        .unwrap()
+        .metrics;
         assert_eq!(m.intervals.len(), 4, "one record per hour");
         assert!(!m.samples.is_empty());
         assert!(m.mean_quality() > 0.9, "quality {}", m.mean_quality());
@@ -551,9 +678,12 @@ mod tests {
 
     #[test]
     fn sharded_samples_split_by_channel() {
-        let m = run_with_faults(&small(SimMode::ClientServer, 3, 120.0))
-            .unwrap()
-            .metrics;
+        let m = run_with_telemetry(
+            &small(SimMode::ClientServer, 3, 120.0),
+            &Telemetry::disabled(),
+        )
+        .unwrap()
+        .metrics;
         for s in &m.samples {
             assert_eq!(s.per_channel_peers.len(), 3);
             assert_eq!(s.per_channel_quality.len(), 3);

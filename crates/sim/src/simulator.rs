@@ -77,6 +77,7 @@ use cloudmedia_core::baseline::{BaselinePlanner, ProvisionerKind};
 use cloudmedia_core::controller::{BudgetPolicy, Controller, ControllerConfig, ProvisioningPlan};
 use cloudmedia_core::predictor::ChannelObservation;
 use cloudmedia_core::CoreError;
+use cloudmedia_telemetry::Telemetry;
 use cloudmedia_workload::catalog::Catalog;
 use cloudmedia_workload::trace::ArrivalStream;
 use cloudmedia_workload::viewing::NextAction;
@@ -90,6 +91,7 @@ use crate::error::SimError;
 use crate::faults::{FaultDriver, FaultRun};
 use crate::metrics::{IntervalRecord, Metrics, Sample};
 use crate::peer::{Peer, PeerState, PendingChunk};
+use crate::telem;
 use crate::tracker::{Tracker, ViewingSink};
 
 /// Wall-time spent in each phase of a profiled run (seconds), captured
@@ -210,6 +212,19 @@ impl Simulator {
     ///
     /// Propagates trace generation, provisioning, and cloud failures.
     pub fn run_with_faults(&self) -> Result<FaultRun, SimError> {
+        self.run_with_telemetry(&Telemetry::disabled())
+    }
+
+    /// Runs the simulation while recording stage timings, counters, and
+    /// (when the registry was built with tracing) span events into `tel`
+    /// — the registry from [`crate::telem::new_registry`]. Telemetry is
+    /// a pure side channel: the returned metrics are bit-identical to a
+    /// run against [`Telemetry::disabled`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace generation, provisioning, and cloud failures.
+    pub fn run_with_telemetry(&self, tel: &Telemetry) -> Result<FaultRun, SimError> {
         let cfg = &self.config;
         let n_channels = cfg.catalog.len();
         let max_chunks = cfg
@@ -222,7 +237,7 @@ impl Simulator {
         match cfg.kernel {
             SimKernel::Scan => {
                 let mut engine = ScanEngine::new(n_channels, max_chunks);
-                run_loop(cfg, &mut engine)
+                run_loop(cfg, &mut engine, tel)
             }
             SimKernel::Indexed => {
                 let mut engine = IndexedEngine::new(
@@ -231,17 +246,18 @@ impl Simulator {
                     cfg.peer_efficiency,
                     cfg.round_seconds,
                 );
-                run_loop(cfg, &mut engine)
+                run_loop(cfg, &mut engine, tel)
             }
-            SimKernel::EventDriven => {
-                crate::event_driven::run(cfg, &crate::event_driven::DesScenario::default()).map(
-                    |run| FaultRun {
-                        metrics: run.metrics,
-                        fault_stats: run.fault_stats,
-                    },
-                )
-            }
-            SimKernel::Sharded => crate::sharded::run_with_faults(cfg),
+            SimKernel::EventDriven => crate::event_driven::run_with_telemetry(
+                cfg,
+                &crate::event_driven::DesScenario::default(),
+                tel,
+            )
+            .map(|run| FaultRun {
+                metrics: run.metrics,
+                fault_stats: run.fault_stats,
+            }),
+            SimKernel::Sharded => crate::sharded::run_with_telemetry(cfg, tel),
         }
     }
 }
@@ -1149,7 +1165,27 @@ impl RoundEngine for IndexedEngine {
 /// boundaries, arrival shedding per arrival timestamp — so every fault
 /// decision is a pure function of the simulated clock and the run stays
 /// bit-identical across engines and parallelism.
-fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<FaultRun, SimError> {
+fn run_loop<E: RoundEngine>(
+    cfg: &SimConfig,
+    engine: &mut E,
+    tel: &Telemetry,
+) -> Result<FaultRun, SimError> {
+    // Legacy env-var profiling (CLOUDMEDIA_PROFILE=1), consumed by
+    // `bench_sim`: when the caller didn't pass a live registry, stand up
+    // a private one so the phase breakdown can still be computed.
+    let profile = std::env::var("CLOUDMEDIA_PROFILE").is_ok();
+    let private_reg;
+    let tel = if profile && !tel.enabled() {
+        private_reg = telem::new_registry(false);
+        &private_reg
+    } else {
+        tel
+    };
+    // Process-wide counter baseline, taken before the arrival stream
+    // exists so its lazy draws are attributed to this run.
+    let globals = telem::GlobalCounters::capture();
+    let before = profile.then(|| tel.snapshot());
+
     let catalog = &cfg.catalog;
     let n_channels = catalog.len();
     let chunk_bytes = cfg.chunk_bytes();
@@ -1206,45 +1242,34 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<FaultRun,
     let mut completed: Vec<usize> = Vec::new();
     let mut woken: Vec<usize> = Vec::new();
 
-    // Temporary instrumentation (CLOUDMEDIA_PROFILE=1): phase totals.
-    let profile = std::env::var("CLOUDMEDIA_PROFILE").is_ok();
-    let mut t_prov = 0.0f64;
-    let mut t_arr = 0.0f64;
-    let mut t_alloc = 0.0f64;
-    let mut t_prog = 0.0f64;
-    let mut t_cloud = 0.0f64;
-    let mut t_sample = 0.0f64;
-    let mut t_adv = 0.0f64;
-    let mut n_completed = 0u64;
-    let mut n_woken = 0u64;
-    let mut n_rounds = 0u64;
-    macro_rules! timed {
-        ($acc:ident, $e:expr) => {{
-            if profile {
-                let __t = std::time::Instant::now();
-                let __r = $e;
-                $acc += __t.elapsed().as_secs_f64();
-                __r
-            } else {
-                $e
-            }
-        }};
-    }
+    // Stage attribution: the lap clock times one round in
+    // STAGE_TIME_SAMPLE and scales up, so stage boundaries cost a
+    // fraction of a clock read per round (and one branch when telemetry
+    // is off). The whole-run span also feeds the trace when the
+    // registry buffers spans.
+    let run_span = tel.span(telem::RUN_WALL);
+    let mut clk = tel.stage_clock_sampled(telem::STAGE_TIME_SAMPLE);
+    // Round-loop totals accumulate in plain locals and hit the registry
+    // once after the loop — per-round atomic adds are measurable on a
+    // 60k-round week.
+    let mut rounds_total = 0u64;
+    let mut completed_total = 0u64;
+    let mut woken_total = 0u64;
+    let mut admitted_total = 0u64;
+    let mut peers_peak = 0u64;
 
     while clock < horizon {
         let t1 = (clock + dt).min(horizon);
         let step = t1 - clock;
+        clk.begin_round();
 
         // --- Fault boundaries (fleet failures and repairs) ----------
-        timed!(
-            t_prov,
-            fault_driver.apply_due(clock, &mut cloud, &last_plan_targets)?
-        );
+        fault_driver.apply_due(clock, &mut cloud, &last_plan_targets)?;
 
         // --- Provisioning boundary ---------------------------------
-        timed!(
-            t_prov,
+        {
             if clock >= next_provision {
+                let _interval_span = tel.span(telem::PROV_INTERVAL);
                 let bootstrap = metrics.intervals.is_empty();
                 // Mid-run cost shocks: fold newly due budget factors into
                 // the planner once, and plan against the shocked price
@@ -1266,27 +1291,35 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<FaultRun,
                     // state must match a non-faulted run) and fall back
                     // to the last-known-good plan instead of panicking
                     // on empty statistics.
+                    let _s = tel.span(telem::PROV_TRACKER);
                     let _ = tracker.interval_stats(cfg.provisioning_interval)?;
                     fault_driver.stats.fallback_intervals += 1;
                     last_plan.clone().expect("checked is_some above")
                 } else {
-                    let stats = if bootstrap {
-                        bootstrap_stats(catalog, cfg)
-                    } else {
-                        tracker.interval_stats(cfg.provisioning_interval)?
+                    let stats = {
+                        let _s = tel.span(telem::PROV_TRACKER);
+                        if bootstrap {
+                            bootstrap_stats(catalog, cfg)
+                        } else {
+                            tracker.interval_stats(cfg.provisioning_interval)?
+                        }
                     };
+                    let _s = tel.span(telem::PROV_PLAN);
                     planner.plan_interval(&stats, &planning_sla)?
                 };
                 if let Some(p) = &plan.placement {
                     current_placement = Some(p.clone());
                 }
-                let receipt = cloud.submit_with_retry(
-                    &ResourceRequest {
-                        vm_targets: plan.vm_targets.clone(),
-                        placement: plan.placement.clone(),
-                    },
-                    &retry,
-                )?;
+                let receipt = {
+                    let _s = tel.span(telem::PROV_SUBMIT);
+                    cloud.submit_with_retry(
+                        &ResourceRequest {
+                            vm_targets: plan.vm_targets.clone(),
+                            placement: plan.placement.clone(),
+                        },
+                        &retry,
+                    )?
+                };
                 fault_driver.stats.record_receipt(&receipt);
                 last_plan_targets = plan.vm_targets.clone();
                 channel_reserved.iter_mut().for_each(|v| *v = 0.0);
@@ -1321,34 +1354,39 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<FaultRun,
                 last_plan = Some(stored);
                 next_provision += cfg.provisioning_interval;
             }
-        );
+        }
+        clk.lap(telem::STAGE_PROVISIONING);
 
         // --- Arrivals ----------------------------------------------
-        timed!(
-            t_arr,
-            while let Some(a) = next_arrival.as_ref().filter(|a| a.time < t1) {
-                // Graceful degradation (ShedNewArrivals): during an
-                // active fleet-failure window, refuse admission instead
-                // of diluting every stream. The decision depends only on
-                // the arrival timestamp, so it is engine-independent.
-                if cfg.faults.shed_arrivals_at(a.time) {
-                    fault_driver.stats.shed_arrivals += 1;
-                    next_arrival = arrival_stream.next();
-                    continue;
-                }
-                peers.push(Peer::new(
-                    a.user_id,
-                    a.channel,
-                    a.upload_bytes_per_sec,
-                    a.start_chunk,
-                    chunk_bytes,
-                    a.time,
-                ));
-                engine.on_join(&peers, peers.len() - 1);
-                tracker.record_join(a.channel, a.start_chunk);
+        let mut admitted_this_round = 0u64;
+        while let Some(a) = next_arrival.as_ref().filter(|a| a.time < t1) {
+            // Graceful degradation (ShedNewArrivals): during an
+            // active fleet-failure window, refuse admission instead
+            // of diluting every stream. The decision depends only on
+            // the arrival timestamp, so it is engine-independent.
+            if cfg.faults.shed_arrivals_at(a.time) {
+                fault_driver.stats.shed_arrivals += 1;
                 next_arrival = arrival_stream.next();
+                continue;
             }
-        );
+            peers.push(Peer::new(
+                a.user_id,
+                a.channel,
+                a.upload_bytes_per_sec,
+                a.start_chunk,
+                chunk_bytes,
+                a.time,
+            ));
+            engine.on_join(&peers, peers.len() - 1);
+            tracker.record_join(a.channel, a.start_chunk);
+            admitted_this_round += 1;
+            next_arrival = arrival_stream.next();
+        }
+        if admitted_this_round > 0 {
+            admitted_total += admitted_this_round;
+            peers_peak = peers_peak.max(peers.len() as u64);
+        }
+        clk.lap(telem::STAGE_ARRIVALS);
 
         // --- Allocation stage (engine-specific) ---------------------
         let cloud_pool = cloud.running_bandwidth();
@@ -1366,7 +1404,8 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<FaultRun,
             online_scale,
             channel_reserved: &channel_reserved,
         };
-        let used_cloud_rate = timed!(t_alloc, engine.allocate(&peers, &ctx));
+        let used_cloud_rate = engine.allocate(&peers, &ctx);
+        clk.lap(telem::STAGE_ALLOCATION);
 
         // --- Progress downloads, handle completions -----------------
         // The engine advances every in-flight download and reports the
@@ -1374,85 +1413,102 @@ fn run_loop<E: RoundEngine>(cfg: &SimConfig, engine: &mut E) -> Result<FaultRun,
         // then handled in ascending peer order — the same order the
         // original full scan encountered them — so RNG draws, tracker
         // records, and removals are identical.
-        timed!(t_prog, {
-            completed.clear();
-            woken.clear();
-            timed!(
-                t_adv,
-                engine.advance_round(&mut peers, &ctx, t1, &mut completed, &mut woken)
-            );
-            if profile {
-                n_rounds += 1;
-                n_completed += completed.len() as u64;
-                n_woken += woken.len() as u64;
-            }
-            process_round_events(
-                engine,
-                &mut peers,
-                &completed,
-                &woken,
-                &mut removals,
-                &mut tracker,
-                &mut rng,
-                catalog,
-                chunk_bytes,
-                cfg.chunk_seconds,
-                t1,
-                &mut window_startup_sum,
-                &mut window_startup_count,
-            );
-        });
+        completed.clear();
+        woken.clear();
+        engine.advance_round(&mut peers, &ctx, t1, &mut completed, &mut woken);
+        clk.lap(telem::STAGE_ADVANCE);
+        rounds_total += 1;
+        completed_total += completed.len() as u64;
+        woken_total += woken.len() as u64;
+        process_round_events(
+            engine,
+            &mut peers,
+            &completed,
+            &woken,
+            &mut removals,
+            &mut tracker,
+            &mut rng,
+            catalog,
+            chunk_bytes,
+            cfg.chunk_seconds,
+            t1,
+            &mut window_startup_sum,
+            &mut window_startup_count,
+        );
+        clk.lap(telem::STAGE_EVENTS);
 
         // --- Advance the cloud (billing + VM lifecycle) --------------
-        timed!(t_cloud, cloud.tick(t1)?);
+        cloud.tick(t1)?;
         window_used += used_cloud_rate * step;
+        clk.lap(telem::STAGE_CLOUD);
 
         // --- Sampling ------------------------------------------------
-        timed!(
-            t_sample,
-            if t1 >= next_sample || t1 >= horizon {
-                let elapsed = (t1 - window_start).max(1e-9);
-                let startup = if window_startup_count > 0 {
-                    window_startup_sum / window_startup_count as f64
-                } else {
-                    0.0
-                };
-                metrics.samples.push(sample(
-                    t1,
-                    cloud.running_bandwidth(),
-                    window_used / elapsed,
-                    startup,
-                    &peers,
-                    n_channels,
-                    cfg,
-                ));
-                window_used = 0.0;
-                window_startup_sum = 0.0;
-                window_startup_count = 0;
-                window_start = t1;
-                next_sample += cfg.sample_interval;
-            }
-        );
+        if t1 >= next_sample || t1 >= horizon {
+            let elapsed = (t1 - window_start).max(1e-9);
+            let startup = if window_startup_count > 0 {
+                window_startup_sum / window_startup_count as f64
+            } else {
+                0.0
+            };
+            metrics.samples.push(sample(
+                t1,
+                cloud.running_bandwidth(),
+                window_used / elapsed,
+                startup,
+                &peers,
+                n_channels,
+                cfg,
+            ));
+            window_used = 0.0;
+            window_startup_sum = 0.0;
+            window_startup_count = 0;
+            window_start = t1;
+            next_sample += cfg.sample_interval;
+        }
+        clk.lap(telem::STAGE_SAMPLING);
 
         clock = t1;
     }
+    drop(run_span);
+
+    tel.add(telem::ROUNDS, rounds_total);
+    tel.add(telem::COMPLETED_CHUNKS, completed_total);
+    tel.add(telem::WOKEN_PEERS, woken_total);
+    tel.add(telem::ARRIVALS_ADMITTED, admitted_total);
+    tel.gauge_max(telem::PEERS_PEAK, peers_peak);
+    telem::record_fault_stats(tel, &fault_driver.stats);
+    globals.record_delta(tel);
 
     if profile {
+        let snap = tel.snapshot();
+        let base = before.expect("captured when profiling");
+        let secs = |id: cloudmedia_telemetry::MetricId| {
+            snap.value(id).wrapping_sub(base.value(id)) as f64 * 1e-9
+        };
+        let count =
+            |id: cloudmedia_telemetry::MetricId| snap.value(id).wrapping_sub(base.value(id));
+        let rounds = count(telem::ROUNDS).max(1);
+        let phases = PhaseProfile {
+            provisioning: secs(telem::STAGE_PROVISIONING),
+            arrivals: secs(telem::STAGE_ARRIVALS),
+            allocation: secs(telem::STAGE_ALLOCATION),
+            progress: secs(telem::STAGE_ADVANCE) + secs(telem::STAGE_EVENTS),
+            cloud: secs(telem::STAGE_CLOUD),
+            sampling: secs(telem::STAGE_SAMPLING),
+        };
         eprintln!(
-            "phases: prov={t_prov:.3}s arrivals={t_arr:.3}s alloc={t_alloc:.3}s progress={t_prog:.3}s (advance={t_adv:.3}s, {:.1} done + {:.1} woken / round) cloud={t_cloud:.3}s sample={t_sample:.3}s",
-            n_completed as f64 / n_rounds.max(1) as f64,
-            n_woken as f64 / n_rounds.max(1) as f64
+            "phases: prov={:.3}s arrivals={:.3}s alloc={:.3}s progress={:.3}s (advance={:.3}s, {:.1} done + {:.1} woken / round) cloud={:.3}s sample={:.3}s",
+            phases.provisioning,
+            phases.arrivals,
+            phases.allocation,
+            phases.progress,
+            secs(telem::STAGE_ADVANCE),
+            count(telem::COMPLETED_CHUNKS) as f64 / rounds as f64,
+            count(telem::WOKEN_PEERS) as f64 / rounds as f64,
+            phases.cloud,
+            phases.sampling
         );
-        LAST_PROFILE.with(|c| {
-            c.set(Some(PhaseProfile {
-                provisioning: t_prov,
-                arrivals: t_arr,
-                allocation: t_alloc,
-                progress: t_prog,
-                cloud: t_cloud,
-                sampling: t_sample,
-            }));
-        });
+        LAST_PROFILE.with(|c| c.set(Some(phases)));
     }
     metrics.total_vm_cost = cloud.billing().vm_cost().as_dollars();
     metrics.total_storage_cost = cloud.billing().storage_cost().as_dollars();

@@ -1,0 +1,158 @@
+//! Telemetry is a pure side channel: enabling the metrics registry (or
+//! the trace sink on top of it) must not change a single bit of any
+//! simulation result. This suite pins that contract for all four
+//! kernels and for the federated simulator in both its serial and
+//! parallel region-execution modes.
+//!
+//! The engines read no state back out of the registry — every telemetry
+//! call is write-only — so the only ways the contract could break are a
+//! refactor that accidentally moves simulation work inside an
+//! `if tel.enabled()` block, or a sampling clock that starts gating
+//! simulation (not just measurement) logic. Both would show up here as
+//! a metrics mismatch.
+
+use cloudmedia_sim::config::{SimConfig, SimKernel, SimMode};
+use cloudmedia_sim::federation::{
+    DeploymentKind, FederatedConfig, FederatedMetrics, FederatedSimulator,
+};
+use cloudmedia_sim::simulator::Simulator;
+use cloudmedia_sim::telem;
+
+/// Short enough to keep the suite fast, long enough to cross several
+/// provisioning intervals, diurnal phases, and (for the sampled stage
+/// clocks) many `STAGE_TIME_SAMPLE` periods.
+const HOURS: f64 = 6.0;
+
+fn config(kernel: SimKernel, mode: SimMode) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(mode);
+    cfg.trace.horizon_seconds = HOURS * 3600.0;
+    cfg.kernel = kernel;
+    cfg
+}
+
+/// Runs `cfg` three ways — telemetry off, metrics-only registry, and
+/// metrics + trace registry — and asserts the metrics and fault
+/// counters are bit-identical across all three.
+fn assert_single_site_deterministic(cfg: SimConfig) {
+    let sim = Simulator::new(cfg).unwrap();
+    let dark = sim.run_with_faults().unwrap();
+
+    let metrics_tel = telem::new_registry(false);
+    let lit = sim.run_with_telemetry(&metrics_tel).unwrap();
+    assert_eq!(
+        dark.metrics, lit.metrics,
+        "metrics registry changed the results"
+    );
+    assert_eq!(dark.fault_stats, lit.fault_stats);
+    let snap = metrics_tel.snapshot();
+    assert!(
+        snap.value(telem::ROUNDS) > 0 || snap.value(telem::DES_EVENTS) > 0,
+        "the lit run recorded nothing"
+    );
+
+    let trace_tel = telem::new_registry(true);
+    let traced = sim.run_with_telemetry(&trace_tel).unwrap();
+    assert_eq!(
+        dark.metrics, traced.metrics,
+        "trace recording changed the results"
+    );
+    assert_eq!(dark.fault_stats, traced.fault_stats);
+}
+
+#[test]
+fn scan_kernel_is_telemetry_invariant() {
+    assert_single_site_deterministic(config(SimKernel::Scan, SimMode::ClientServer));
+}
+
+#[test]
+fn indexed_kernel_is_telemetry_invariant() {
+    assert_single_site_deterministic(config(SimKernel::Indexed, SimMode::ClientServer));
+    assert_single_site_deterministic(config(SimKernel::Indexed, SimMode::P2p));
+}
+
+#[test]
+fn event_driven_kernel_is_telemetry_invariant() {
+    assert_single_site_deterministic(config(SimKernel::EventDriven, SimMode::ClientServer));
+}
+
+#[test]
+fn sharded_kernel_is_telemetry_invariant_serial_and_parallel() {
+    for parallel in [false, true] {
+        let mut cfg = config(SimKernel::Sharded, SimMode::ClientServer);
+        cfg.parallel_channels = parallel;
+        assert_single_site_deterministic(cfg);
+    }
+}
+
+/// Field-by-field equality for [`FederatedMetrics`] (the struct holds
+/// site/region specs that don't implement `PartialEq`, so a derive
+/// isn't available). Floats are compared by bit pattern: determinism
+/// here means *bit*-identical, not approximately equal.
+fn assert_federated_eq(a: &FederatedMetrics, b: &FederatedMetrics, label: &str) {
+    assert_eq!(
+        a.total_vm_cost.to_bits(),
+        b.total_vm_cost.to_bits(),
+        "{label}: vm cost"
+    );
+    assert_eq!(
+        a.total_storage_cost.to_bits(),
+        b.total_storage_cost.to_bits(),
+        "{label}: storage cost"
+    );
+    assert_eq!(
+        a.total_transfer_cost.to_bits(),
+        b.total_transfer_cost.to_bits(),
+        "{label}: transfer cost"
+    );
+    assert_eq!(
+        a.total_latency_penalty_cost.to_bits(),
+        b.total_latency_penalty_cost.to_bits(),
+        "{label}: latency penalty"
+    );
+    assert_eq!(a.fault_stats, b.fault_stats, "{label}: fault stats");
+    assert_eq!(a.per_region.len(), b.per_region.len());
+    for (ra, rb) in a.per_region.iter().zip(&b.per_region) {
+        assert_eq!(ra.metrics, rb.metrics, "{label}: region metrics");
+        assert_eq!(
+            ra.cloud_bytes.to_bits(),
+            rb.cloud_bytes.to_bits(),
+            "{label}: region cloud bytes"
+        );
+        assert_eq!(
+            ra.redirected_bytes.to_bits(),
+            rb.redirected_bytes.to_bits(),
+            "{label}: region redirected bytes"
+        );
+        assert_eq!(
+            ra.transfer_cost.to_bits(),
+            rb.transfer_cost.to_bits(),
+            "{label}: region transfer cost"
+        );
+        assert_eq!(
+            ra.latency_penalty_cost.to_bits(),
+            rb.latency_penalty_cost.to_bits(),
+            "{label}: region latency penalty"
+        );
+    }
+}
+
+#[test]
+fn federated_simulator_is_telemetry_invariant_serial_and_parallel() {
+    for parallel in [false, true] {
+        let mut fc = FederatedConfig::paper_default(DeploymentKind::Federated, SimMode::P2p, HOURS);
+        fc.parallel_regions = parallel;
+        let sim = FederatedSimulator::new(fc).unwrap();
+        let label = if parallel { "parallel" } else { "serial" };
+
+        let dark = sim.run().unwrap();
+
+        let metrics_tel = telem::new_registry(false);
+        let lit = sim.run_with_telemetry(&metrics_tel).unwrap();
+        assert_federated_eq(&dark, &lit, label);
+        assert!(metrics_tel.snapshot().value(telem::ROUNDS) > 0);
+
+        let trace_tel = telem::new_registry(true);
+        let traced = sim.run_with_telemetry(&trace_tel).unwrap();
+        assert_federated_eq(&dark, &traced, label);
+    }
+}
