@@ -4,22 +4,27 @@
 //! `scale_sweep` section to the benchmark JSON (regeneration order:
 //! `bench_sim`, `bench_des`, `ext_multi_region_sim`, then this).
 //!
-//! Usage: `bench_scale [--max-peers N] [--hours H] [--out PATH]`
+//! Usage: `bench_scale [--max-peers N] [--hours H] [--flash-peers N] [--out PATH]`
 //!   - `--max-peers` population of the headline run (default 1 000 000;
 //!     the acceptance row — must complete end to end),
 //!   - `--hours` horizon of the headline run (default 2, long enough
 //!     for the diurnal ramp to cross 1 M concurrent viewers),
+//!   - `--flash-peers` population of the one-channel flash-crowd lane
+//!     (default 500 000; 0 skips the lane),
 //!   - `--out` benchmark JSON to append to (default `BENCH_sim.json`).
 //!
 //! Set `RAYON_NUM_THREADS` to sweep worker-pool sizes.
 
 use cloudmedia_bench::geo_sim::append_section;
-use cloudmedia_bench::scale::{equality_check, run_point, section, ScaleRow};
+use cloudmedia_bench::scale::{
+    equality_check, flash_equality_check, run_flash_point, run_point, section, ScaleRow,
+};
 use cloudmedia_sim::config::SimMode;
 
 fn main() {
     let mut max_peers = 1_000_000.0_f64;
     let mut hours = 2.0_f64;
+    let mut flash_peers = 500_000.0_f64;
     let mut out_path = "BENCH_sim.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -32,6 +37,12 @@ fn main() {
             }
             "--hours" => {
                 hours = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--flash-peers" => {
+                flash_peers = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
@@ -77,6 +88,34 @@ fn main() {
         }
     }
 
+    // The one-channel flash-crowd lane: the giant-channel serial cap
+    // this sweep exists to break. Serial single-lane reference first,
+    // then the laned run (auto cap = one lane per pool thread).
+    let mut flash_equality = None;
+    if flash_peers > 0.0 {
+        let flash_hours = 1.0;
+        for (parallel, lanes) in [(false, 0usize), (true, 0)] {
+            let row = run_flash_point(flash_peers, flash_hours, parallel, lanes);
+            eprintln!(
+                "flash-crowd 1ch {flash_peers:.0} viewers ({}): {:.2}s wall, \
+                 {:.1} sim-h/s, peak {} viewers, RSS {} MB",
+                if parallel { "laned" } else { "serial" },
+                row.wall_seconds,
+                row.sim_hours_per_wall_second,
+                row.peak_peers,
+                row.peak_rss_bytes.map_or(0, |b| b / 1_000_000),
+            );
+            sweep.push(row);
+        }
+        // Bit-identity at a size the check can afford to run twice.
+        let eq = flash_equality_check(flash_peers.min(100_000.0), 1.0, 4);
+        assert!(
+            eq.serial_equals_parallel,
+            "serial and laned flash-crowd runs diverged — lane determinism broken"
+        );
+        flash_equality = Some(eq);
+    }
+
     let equality = equality_check(50_000.0, 100, SimMode::P2p, 1.0);
     assert!(
         equality.serial_equals_parallel,
@@ -97,13 +136,13 @@ fn main() {
         equality.serial_equals_parallel
     );
 
-    let section = section(sweep, equality);
+    let section = section(sweep, equality, flash_equality);
     let json = serde_json::to_string_pretty(&section).expect("section serializes");
     append_section(&out_path, "scale_sweep", &json).expect("write benchmark file");
     println!("appended scale_sweep to {out_path}");
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bench_scale [--max-peers N] [--hours H] [--out PATH]");
+    eprintln!("usage: bench_scale [--max-peers N] [--hours H] [--flash-peers N] [--out PATH]");
     std::process::exit(2)
 }

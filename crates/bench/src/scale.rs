@@ -16,11 +16,15 @@ use std::time::Instant;
 use cloudmedia_sim::config::{SimConfig, SimMode};
 use cloudmedia_sim::peak_rss_bytes;
 use cloudmedia_sim::simulator::Simulator;
+use cloudmedia_workload::diurnal::{DiurnalPattern, FlashCrowd};
 use serde::Serialize;
 
 /// One sweep measurement.
 #[derive(Debug, Serialize)]
 pub struct ScaleRow {
+    /// Scenario kind: `"steady"` (diurnal mega catalog) or
+    /// `"flash_crowd_1ch"` (the one-channel burst lane).
+    pub scenario: String,
     /// Target steady-state concurrent viewers.
     pub population: f64,
     /// Channels in the mega catalog.
@@ -29,6 +33,8 @@ pub struct ScaleRow {
     pub mode: String,
     /// Whether shards were fanned across the worker pool.
     pub parallel: bool,
+    /// Sub-channel lane cap ([`SimConfig::lanes`]; 0 = auto).
+    pub lanes: usize,
     /// Worker-pool threads the run had available.
     pub threads: usize,
     /// Simulated horizon, hours.
@@ -69,10 +75,14 @@ pub struct ScaleSweepSection {
     pub host_threads: usize,
     /// Reading notes.
     pub notes: Vec<String>,
-    /// Sweep rows, ascending population.
+    /// Sweep rows, ascending population (steady rows first, then the
+    /// one-channel flash-crowd lane).
     pub sweep: Vec<ScaleRow>,
-    /// The serial ≡ parallel bit-equality re-check.
+    /// The serial ≡ parallel bit-equality re-check (steady sweep).
     pub equality: EqualityCheck,
+    /// The serial ≡ laned bit-equality re-check on the one-channel
+    /// flash-crowd scenario (`None` when the lane was skipped).
+    pub flash_equality: Option<EqualityCheck>,
 }
 
 /// Runs one sweep point and measures it.
@@ -91,6 +101,73 @@ pub fn run_point(
     let mut cfg = SimConfig::scale_out(mode, channels, population).expect("valid scale config");
     cfg.trace.horizon_seconds = hours * 3600.0;
     cfg.parallel_channels = parallel;
+    measure(
+        "steady", cfg, population, channels, mode, hours, parallel, 0,
+    )
+}
+
+/// The one-channel flash-crowd configuration: a quiet baseline with a
+/// sharp arrival burst mid-horizon, sized so the burst peak far
+/// exceeds the provisioned steady capacity. Every burst viewer starts
+/// downloading at once and the deficit stretches downloads across
+/// rounds, so the shard's download index — the structure the sub-lane
+/// fan-out parallelizes — stays giant for a sustained stretch. This is
+/// the workload the `lanes` machinery exists for; `docs/SCALING.md`
+/// explains how to read its rows.
+pub fn flash_crowd_config(population: f64, hours: f64) -> SimConfig {
+    let mut cfg =
+        SimConfig::scale_out(SimMode::ClientServer, 1, population).expect("valid flash config");
+    cfg.trace.horizon_seconds = hours * 3600.0;
+    // The burst peaks ~4× above the diurnal profile scale_out sized the
+    // fleet for; grow capacity and budgets so the *post-burst*
+    // provisioning plan stays feasible. During the burst itself the
+    // hour-late controller still reserves last interval's capacity, so
+    // downloads dilute and the download index balloons — the starvation
+    // is in the provisioning lag, not in an infeasible fleet.
+    cfg.fleet_scale *= 4.0;
+    cfg.vm_budget_per_hour *= 4.0;
+    cfg.storage_budget_per_hour *= 4.0;
+    cfg.trace.diurnal = DiurnalPattern::new(
+        0.3,
+        vec![FlashCrowd {
+            peak_hour: (hours / 2.0).min(23.0),
+            width_hours: 0.15,
+            amplitude: 12.0,
+        }],
+    )
+    .expect("valid flash diurnal");
+    cfg
+}
+
+/// Runs one flash-crowd lane point: `lanes` sub-lanes on the single
+/// hot shard (0 = auto, `serial` forces the single-lane reference).
+pub fn run_flash_point(population: f64, hours: f64, parallel: bool, lanes: usize) -> ScaleRow {
+    let mut cfg = flash_crowd_config(population, hours);
+    cfg.parallel_channels = parallel;
+    cfg.lanes = if parallel { lanes } else { 0 };
+    measure(
+        "flash_crowd_1ch",
+        cfg,
+        population,
+        1,
+        SimMode::ClientServer,
+        hours,
+        parallel,
+        lanes,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure(
+    scenario: &str,
+    cfg: SimConfig,
+    population: f64,
+    channels: usize,
+    mode: SimMode,
+    hours: f64,
+    parallel: bool,
+    lanes: usize,
+) -> ScaleRow {
     let start = Instant::now();
     let metrics = Simulator::new(cfg)
         .expect("valid configuration")
@@ -98,10 +175,12 @@ pub fn run_point(
         .expect("scale run succeeds");
     let wall = start.elapsed().as_secs_f64();
     ScaleRow {
+        scenario: scenario.into(),
         population,
         channels,
         mode: format!("{mode:?}"),
         parallel,
+        lanes,
         threads: rayon::current_num_threads(),
         sim_hours: hours,
         wall_seconds: wall,
@@ -109,6 +188,30 @@ pub fn run_point(
         peak_peers: metrics.peak_peers(),
         mean_quality: metrics.mean_quality(),
         peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+/// Runs the serial single-lane and parallel laned executions of the
+/// flash-crowd scenario and verifies bit equality of the full metrics.
+///
+/// # Panics
+///
+/// Panics if either run fails to configure or execute.
+pub fn flash_equality_check(population: f64, hours: f64, lanes: usize) -> EqualityCheck {
+    let run = |parallel: bool| {
+        let mut cfg = flash_crowd_config(population, hours);
+        cfg.parallel_channels = parallel;
+        cfg.lanes = if parallel { lanes } else { 0 };
+        Simulator::new(cfg)
+            .expect("valid configuration")
+            .run()
+            .expect("flash run succeeds")
+    };
+    EqualityCheck {
+        population,
+        channels: 1,
+        sim_hours: hours,
+        serial_equals_parallel: run(false) == run(true),
     }
 }
 
@@ -142,9 +245,13 @@ pub fn equality_check(
 }
 
 /// Wraps the measurements into the full section.
-pub fn section(sweep: Vec<ScaleRow>, equality: EqualityCheck) -> ScaleSweepSection {
+pub fn section(
+    sweep: Vec<ScaleRow>,
+    equality: EqualityCheck,
+    flash_equality: Option<EqualityCheck>,
+) -> ScaleSweepSection {
     ScaleSweepSection {
-        schema: "cloudmedia-scale-sweep/v1".into(),
+        schema: "cloudmedia-scale-sweep/v2".into(),
         host_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         notes: vec![
             "Sharded engine (SimKernel::Sharded): one shard per channel, fanned \
@@ -159,9 +266,18 @@ pub fn section(sweep: Vec<ScaleRow>, equality: EqualityCheck) -> ScaleSweepSecti
             "Populations are steady-state targets; peak_peers shows what the \
              diurnal ramp actually reached within the horizon."
                 .into(),
+            "`flash_crowd_1ch` rows are the one-channel burst lane: a single \
+             shard whose download index balloons past provisioned capacity, \
+             split across `lanes` sub-lanes (SimConfig::lanes; serial rows are \
+             the single-lane reference and bit-identical to every laned run — \
+             pinned by crates/sim/tests/lane_invariance.rs, re-checked in \
+             `flash_equality`). Lane speedup needs pool threads: compare rows \
+             across RAYON_NUM_THREADS settings, not within a 1-thread host."
+                .into(),
         ],
         sweep,
         equality,
+        flash_equality,
     }
 }
 
@@ -173,13 +289,25 @@ mod tests {
     fn tiny_sweep_point_measures_and_serializes() {
         let row = run_point(2000.0, 10, SimMode::ClientServer, 0.5, true);
         assert_eq!(row.channels, 10);
+        assert_eq!(row.scenario, "steady");
         assert!(row.wall_seconds > 0.0);
         assert!(row.sim_hours_per_wall_second > 0.0);
         assert!(row.peak_peers > 0);
         let eq = equality_check(2000.0, 10, SimMode::ClientServer, 0.5);
         assert!(eq.serial_equals_parallel, "serial and parallel diverged");
-        let section = section(vec![row], eq);
+        let section = section(vec![row], eq, None);
         assert!(serde_json::to_string(&section).is_ok());
+    }
+
+    #[test]
+    fn tiny_flash_lane_measures_and_stays_bit_identical() {
+        let row = run_flash_point(3000.0, 0.5, true, 4);
+        assert_eq!(row.scenario, "flash_crowd_1ch");
+        assert_eq!(row.channels, 1);
+        assert_eq!(row.lanes, 4);
+        assert!(row.peak_peers > 0);
+        let eq = flash_equality_check(3000.0, 0.5, 4);
+        assert!(eq.serial_equals_parallel, "laned flash run diverged");
     }
 
     #[test]

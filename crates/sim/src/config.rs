@@ -173,6 +173,17 @@ pub struct SimConfig {
     /// (debugging, single-core baselines). Ignored by every other
     /// kernel.
     pub parallel_channels: bool,
+    /// Cap on the sub-channel **lanes** a single shard may split its
+    /// downloading peers across inside one round (the giant-channel
+    /// parallel path; see `docs/SCALING.md`). `0` (the default) sizes
+    /// the cap to the worker-pool width and keeps the auto engagement
+    /// threshold, so small shards stay serial; an explicit value forces
+    /// that many lanes with a low threshold (test/benchmark knob).
+    /// Lane partitions are fixed-order index ranges and reductions fold
+    /// integer partials in lane order, so any lane count and any thread
+    /// count produce bit-identical results. Ignored unless
+    /// [`SimKernel::Sharded`] runs with `parallel_channels`.
+    pub lanes: usize,
     /// Multiplier on the paper's Table II/III cloud capacity (fleet
     /// sizes and NFS storage; per-VM bandwidth and prices unchanged).
     /// 1.0 is the paper testbed — 150 VMs sized for ~2500 concurrent
@@ -224,6 +235,12 @@ impl serde::Deserialize for SimConfig {
             parallel_channels: match v.get("parallel_channels") {
                 Some(value) => serde::Deserialize::from_value(value)?,
                 None => true,
+            },
+            // Optional: configs written before sub-channel lanes
+            // existed load with the auto cap.
+            lanes: match v.get("lanes") {
+                Some(value) => serde::Deserialize::from_value(value)?,
+                None => 0,
             },
             fleet_scale: match v.get("fleet_scale") {
                 Some(value) => serde::Deserialize::from_value(value)?,
@@ -281,6 +298,7 @@ impl SimConfig {
             kernel: SimKernel::default(),
             scheduler: SchedulerChoice::default(),
             parallel_channels: true,
+            lanes: 0,
             fleet_scale: 1.0,
             faults: FaultSchedule::default(),
         }
@@ -381,6 +399,12 @@ impl SimConfig {
         if !(self.peer_efficiency > 0.0 && self.peer_efficiency <= 1.0) {
             return Err(invalid_param("peer_efficiency", "must be in (0, 1]"));
         }
+        if self.lanes > 1024 {
+            return Err(invalid_param(
+                "lanes",
+                "must be at most 1024 (0 = auto, one lane per worker)",
+            ));
+        }
         if !(self.fleet_scale.is_finite() && self.fleet_scale >= 1.0) {
             return Err(invalid_param(
                 "fleet_scale",
@@ -458,6 +482,29 @@ mod tests {
         let parsed = <SimConfig as serde::Deserialize>::from_value(&legacy).unwrap();
         assert!(parsed.parallel_channels, "defaults to parallel");
         assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn config_json_without_lanes_field_still_loads() {
+        let cfg = SimConfig::paper_default(SimMode::P2p);
+        let serde::Value::Object(mut fields) = serde::Serialize::to_value(&cfg) else {
+            panic!("config serializes to an object");
+        };
+        fields.retain(|(k, _)| k != "lanes");
+        let legacy = serde::Value::Object(fields);
+        let parsed = <SimConfig as serde::Deserialize>::from_value(&legacy).unwrap();
+        assert_eq!(parsed.lanes, 0, "defaults to the auto lane cap");
+        assert_eq!(parsed, cfg);
+    }
+
+    #[test]
+    fn oversized_lane_cap_rejected() {
+        let mut c = SimConfig::paper_default(SimMode::P2p);
+        c.lanes = 1024;
+        c.validate().unwrap();
+        c.lanes = 1025;
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("lanes"), "got: {err}");
     }
 
     #[test]

@@ -878,7 +878,7 @@ impl FederatedSimulator {
 
             let mut per_channel_peers = vec![0usize; n_channels];
             for p in &r.peers {
-                per_channel_peers[p.channel] += 1;
+                per_channel_peers[p.channel()] += 1;
             }
             r.metrics.intervals.push(interval_record(
                 clock,

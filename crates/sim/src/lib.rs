@@ -44,6 +44,7 @@ mod error;
 pub mod event_driven;
 pub mod faults;
 pub mod federation;
+pub mod footprint;
 pub mod metrics;
 pub mod peer;
 mod sharded;
@@ -61,6 +62,7 @@ pub use faults::{
     SiteOutage, TrackerDropout,
 };
 pub use federation::{DeploymentKind, FederatedConfig, FederatedMetrics, FederatedSimulator};
+pub use footprint::{PeerFootprint, PEER_BUDGET_BYTES};
 pub use metrics::Metrics;
 pub use simulator::Simulator;
 

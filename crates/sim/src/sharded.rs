@@ -45,9 +45,31 @@
 //!    a pure function of `(trace seed, channel id)` — neither depends on
 //!    scheduling, shard grouping, or thread count.
 //!
+//! # Sub-channel lanes
+//!
+//! A channel is the unit of *state*, but no longer the unit of *work*:
+//! a flash-crowd channel holding most of the population would otherwise
+//! Amdahl-cap the whole run on one core. Each shard's engine may
+//! therefore fan its two per-round download passes (demand aggregation
+//! and advance) out over fixed-order **sub-lanes** — contiguous
+//! segments of the shard's download index — as nested rayon scopes.
+//! Idle workers steal lane jobs from hot shards off the shared pool
+//! queue (the vendored pool prefers same-scope jobs, so a worker
+//! blocked on its own shard helps that shard first). Determinism holds
+//! by the same two rules as the shard fan-out: sub-lanes never share an
+//! accumulator (each writes private fixed-point partials), and the
+//! partials are folded in fixed lane order — and since they are
+//! *integers*, even the fold order could not change the sums. Lane
+//! count is derived from [`SimConfig::lanes`] (0 = one lane per pool
+//! thread, engaging only on genuinely hot shards; explicit values lower
+//! the engagement threshold so tests can exercise the machinery on
+//! small populations — see `LANE_MIN_AUTO` / `LANE_MIN_FORCED`).
+//!
 //! `crates/sim/tests/sharding.rs` pins serial ≡ parallel over random
-//! configurations, and the unit tests below pin invariance to the
-//! shard-to-task grouping (the knob thread count actually turns).
+//! configurations, `crates/sim/tests/lane_invariance.rs` extends the
+//! pin over lane counts × thread counts × fault schedules, and the unit
+//! tests below pin invariance to the shard-to-task grouping (the knob
+//! thread count actually turns).
 //!
 //! Because each channel draws from its own RNG stream, a sharded run is
 //! a *different sample of the same viewer-behaviour process* than an
@@ -85,6 +107,18 @@ use crate::tracker::summarize_channel;
 /// head channel dominates by orders of magnitude), which is what the
 /// imbalance table is for.
 const SHARD_WALL_SAMPLE: u64 = 64;
+
+/// Minimum downloads per sub-lane in auto mode ([`SimConfig::lanes`]
+/// = 0): below ~8k entries a segment's demand scan finishes faster than
+/// pool dispatch costs, so only genuinely hot shards split.
+const LANE_MIN_AUTO: usize = 8192;
+
+/// Minimum downloads per sub-lane when the lane count is explicit
+/// ([`SimConfig::lanes`] > 0): low enough that integration tests (and
+/// deliberate experiments) exercise the split passes on small
+/// populations. Correctness never depends on the threshold — lanes are
+/// bit-identical at any engagement point.
+const LANE_MIN_FORCED: usize = 8;
 
 /// One channel's complete simulation state: the unit the run loop fans
 /// out. See the module docs for what lives here and why nothing is
@@ -242,16 +276,37 @@ impl ChannelShard {
 /// pure side channel — the metrics are bit-identical to a run against
 /// [`Telemetry::disabled`].
 pub(crate) fn run_with_telemetry(cfg: &SimConfig, tel: &Telemetry) -> Result<FaultRun, SimError> {
-    run_with_groups(cfg, None, tel)
+    run_inner(cfg, None, tel, None)
 }
 
 /// [`run_with_telemetry`] with an explicit shard-to-task group size (tests use this to
 /// pin that the grouping — the knob thread count actually turns —
 /// cannot change results; `None` picks the load-balancing default).
+#[cfg(test)]
 pub(crate) fn run_with_groups(
     cfg: &SimConfig,
     group_override: Option<usize>,
     tel: &Telemetry,
+) -> Result<FaultRun, SimError> {
+    run_inner(cfg, group_override, tel, None)
+}
+
+/// [`run_with_telemetry`] that also measures the end-of-run per-peer
+/// resident footprint (the `crate::footprint` accounting).
+pub(crate) fn run_with_footprint(
+    cfg: &SimConfig,
+    tel: &Telemetry,
+) -> Result<(FaultRun, crate::footprint::PeerFootprint), SimError> {
+    let mut fp = crate::footprint::PeerFootprint::default();
+    let run = run_inner(cfg, None, tel, Some(&mut fp))?;
+    Ok((run, fp))
+}
+
+fn run_inner(
+    cfg: &SimConfig,
+    group_override: Option<usize>,
+    tel: &Telemetry,
+    footprint: Option<&mut crate::footprint::PeerFootprint>,
 ) -> Result<FaultRun, SimError> {
     let globals = telem::GlobalCounters::capture();
     let catalog = &cfg.catalog;
@@ -274,6 +329,20 @@ pub(crate) fn run_with_groups(
     let mut current_placement: Option<PlacementPlan> = None;
     let mut metrics = Metrics::default();
 
+    // Sub-lane fan-out parameters for every shard engine. A truly
+    // serial run (parallel_channels off) keeps every shard single-lane,
+    // so `--serial` remains the one-thread reference. Auto mode (lanes
+    // = 0) offers one lane per pool thread but engages them only on
+    // shards hot enough to amortize dispatch; an explicit lane count
+    // lowers the engagement threshold instead (tests and experiments).
+    let (lane_cap, lane_min) = if !cfg.parallel_channels {
+        (1, LANE_MIN_AUTO)
+    } else if cfg.lanes == 0 {
+        (rayon::current_num_threads().max(1), LANE_MIN_AUTO)
+    } else {
+        (cfg.lanes, LANE_MIN_FORCED)
+    };
+
     let mut shards: Vec<ChannelShard> = Vec::with_capacity(n_channels);
     for spec in catalog.channels() {
         let mut arrivals = ChannelArrivals::new(spec, &cfg.trace)?;
@@ -285,6 +354,8 @@ pub(crate) fn run_with_groups(
                 spec.viewing.chunks,
                 cfg.peer_efficiency,
                 cfg.round_seconds,
+                lane_cap,
+                lane_min,
             ),
             peers: Vec::new(),
             rng: StdRng::seed_from_u64(child_seed(cfg.behaviour_seed, spec.id as u64)),
@@ -523,7 +594,25 @@ pub(crate) fn run_with_groups(
     for shard in &shards {
         fault_driver.stats.shed_arrivals += shard.shed;
     }
+    if let Some(out) = footprint {
+        // End-of-run per-peer resident accounting, folded in channel
+        // order: the `Peer` records themselves plus each engine's
+        // population-scaled state (supply/slot mirrors, download index,
+        // wake slab + wheel entries).
+        for shard in &shards {
+            out.peers += shard.peers.len();
+            out.bytes += shard.peers.len() * std::mem::size_of::<Peer>()
+                + shard.engine.resident_peer_bytes();
+        }
+    }
     if tel.enabled() {
+        // Per-sub-lane sampled wall times, in channel order (empty
+        // unless a shard actually split).
+        for shard in &shards {
+            for w in shard.engine.lane_walls() {
+                tel.observe(telem::HIST_LANE_WALL, w);
+            }
+        }
         // Shard-imbalance table and aggregates, in channel order. Wall
         // times are sampled (see `SHARD_WALL_SAMPLE`).
         let mut admitted = 0u64;

@@ -438,9 +438,9 @@ impl RoundEngine for ScanEngine {
         for p in peers {
             if let PeerState::Downloading {
                 chunk, bytes_left, ..
-            } = p.state
+            } = p.state()
             {
-                self.req_units[p.channel * max_chunks + chunk] +=
+                self.req_units[p.channel() * max_chunks + chunk] +=
                     quantize_rate(bytes_left, ctx.inv_step, ctx.vm_bandwidth);
             }
         }
@@ -459,16 +459,16 @@ impl RoundEngine for ScanEngine {
             self.pool_units.iter_mut().for_each(|v| *v = 0);
             self.owner_units[..slots].iter_mut().for_each(|v| *v = 0);
             for p in peers {
-                let round = &mut self.rounds[p.channel];
+                let round = &mut self.rounds[p.channel()];
                 let usable = quantize_usable(p.upload_capacity, ctx.eff);
-                self.pool_units[p.channel] += usable;
+                self.pool_units[p.channel()] += usable;
                 let mut bits = p.buffer;
                 while bits != 0 {
                     let chunk = bits.trailing_zeros() as usize;
                     bits &= bits - 1;
                     if chunk < max_chunks {
                         round.owners[chunk] += 1;
-                        self.owner_units[p.channel * max_chunks + chunk] += usable;
+                        self.owner_units[p.channel() * max_chunks + chunk] += usable;
                     }
                 }
             }
@@ -525,13 +525,13 @@ impl RoundEngine for ScanEngine {
         // Full-population scan, as the original implementation advanced
         // downloads.
         for (idx, p) in peers.iter_mut().enumerate() {
-            match p.state {
+            match p.state() {
                 PeerState::Downloading {
                     chunk,
                     bytes_left,
                     deadline,
                 } => {
-                    let slot = p.channel * self.max_chunks + chunk;
+                    let slot = p.channel() * self.max_chunks + chunk;
                     let my_req =
                         dequantize(quantize_rate(bytes_left, ctx.inv_step, ctx.vm_bandwidth));
                     let my_rate = my_req * self.ratio[slot];
@@ -539,11 +539,11 @@ impl RoundEngine for ScanEngine {
                     if new_left <= 1e-6 {
                         completed.push(idx);
                     } else {
-                        p.state = PeerState::Downloading {
+                        p.set_state(PeerState::Downloading {
                             chunk,
                             bytes_left: new_left,
                             deadline,
-                        };
+                        });
                     }
                 }
                 PeerState::Waiting { wake_at, .. } => {
@@ -564,7 +564,10 @@ impl RoundEngine for ScanEngine {
 /// peer index, the chunk it fetches, and the authoritative bytes-left
 /// counter (the peer's own state is only refreshed at completion
 /// boundaries). 16 bytes, so a lane's whole download index streams
-/// through cache in the advance loop.
+/// through cache in the advance loop. The round's requested rate is not
+/// cached: `advance` re-derives it from `bytes` with the same exact
+/// fixed-point quantization `process` used, which costs one multiply
+/// and saves 8 bytes per downloader.
 #[derive(Debug, Clone, Copy)]
 struct DlEntry {
     /// Global peer index (re-keyed on `swap_remove`).
@@ -573,10 +576,25 @@ struct DlEntry {
     chunk: u32,
     /// Bytes still to download.
     bytes: f64,
-    /// This round's requested rate (the dequantized fixed-point value),
-    /// cached by `process` so `advance` reads it instead of recomputing
-    /// the quantization.
-    req: f64,
+}
+
+/// Per-sub-lane scratch for the split (parallel) demand and advance
+/// passes over one hot channel's download index: a private fixed-point
+/// demand accumulator, the chunk mask it wrote, the completions its
+/// segment produced, and a sampled wall-time counter for the
+/// `hist/lane_wall_ns` telemetry histogram.
+#[derive(Debug)]
+struct LaneScratch {
+    /// Fixed-point demand partials, folded into the lane in sub-lane
+    /// order after the fan-out (integer sums, so the fold order cannot
+    /// change the totals).
+    req_units: Vec<u64>,
+    /// Chunk slots this sub-lane wrote in `req_units`.
+    mask: u64,
+    /// Peer indices whose download completed in this sub-lane's segment.
+    completed: Vec<u32>,
+    /// Sampled wall time spent in this sub-lane, nanoseconds.
+    wall_ns: u64,
 }
 
 /// One channel's round state and scratch, owned by the indexed engine.
@@ -649,14 +667,9 @@ impl ChannelLane {
         }
     }
 
-    /// Fused per-round pass for this channel: demand aggregation over the
-    /// active downloaders, fixed-point supply readback, and both
-    /// allocation kernels — all confined to the requested chunk slots,
-    /// so per-round cost scales with active downloads rather than
-    /// channel size or chunk count.
-    fn process(&mut self, ctx: &RoundCtx<'_>) {
-        // Lazily clear last round's written slots; after this, every
-        // per-chunk buffer is all-zero.
+    /// Lazily clears last round's written slots; afterwards every
+    /// per-chunk buffer is all-zero.
+    fn clear_written(&mut self) {
         let mut m = self.written_mask;
         while m != 0 {
             let k = m.trailing_zeros() as usize;
@@ -668,6 +681,15 @@ impl ChannelLane {
             self.req_units[k] = 0;
         }
         self.written_mask = 0;
+    }
+
+    /// Fused per-round pass for this channel: demand aggregation over the
+    /// active downloaders, fixed-point supply readback, and both
+    /// allocation kernels — all confined to the requested chunk slots,
+    /// so per-round cost scales with active downloads rather than
+    /// channel size or chunk count.
+    fn process(&mut self, ctx: &RoundCtx<'_>) {
+        self.clear_written();
         if self.dl.is_empty() {
             // Nothing is requested: every output stays zero and the lane
             // costs O(1) this round.
@@ -675,12 +697,64 @@ impl ChannelLane {
         }
 
         let mut req_mask: u64 = 0;
-        for e in &mut self.dl {
+        for e in &self.dl {
             let units = quantize_rate(e.bytes, ctx.inv_step, ctx.vm_bandwidth);
-            e.req = dequantize(units);
             self.req_units[e.chunk as usize] += units;
             req_mask |= 1 << e.chunk;
         }
+        self.finish(ctx, req_mask);
+    }
+
+    /// Split variant of [`ChannelLane::process`] for a hot channel: the
+    /// demand scan fans out over `scratch.len()` contiguous sub-lanes
+    /// (fixed-order segments of the download index) on the rayon pool;
+    /// each sub-lane accumulates private fixed-point partials, which are
+    /// folded back in sub-lane order. The demand sums are integers, so
+    /// segmentation and thread count cannot change a single bit of the
+    /// totals — this path is exactly [`ChannelLane::process`] with the
+    /// additions reassociated.
+    fn process_split(&mut self, ctx: &RoundCtx<'_>, scratch: &mut [LaneScratch], time_it: bool) {
+        self.clear_written();
+        if self.dl.is_empty() {
+            return;
+        }
+        let seg = self.dl.len().div_ceil(scratch.len());
+        let dl = &self.dl;
+        rayon::scope(|s| {
+            for (part, sc) in dl.chunks(seg).zip(scratch.iter_mut()) {
+                s.spawn(move |_| {
+                    let t0 = time_it.then(std::time::Instant::now);
+                    sc.mask = 0;
+                    for e in part {
+                        let units = quantize_rate(e.bytes, ctx.inv_step, ctx.vm_bandwidth);
+                        sc.req_units[e.chunk as usize] += units;
+                        sc.mask |= 1 << e.chunk;
+                    }
+                    if let Some(t0) = t0 {
+                        sc.wall_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                });
+            }
+        });
+        let mut req_mask: u64 = 0;
+        for sc in scratch.iter_mut() {
+            let mut m = sc.mask;
+            while m != 0 {
+                let k = m.trailing_zeros() as usize;
+                m &= m - 1;
+                self.req_units[k] += sc.req_units[k];
+                sc.req_units[k] = 0;
+            }
+            req_mask |= sc.mask;
+            sc.mask = 0;
+        }
+        self.finish(ctx, req_mask);
+    }
+
+    /// The serial tail of the round pass: requested-rate readback, both
+    /// allocation kernels, and the served-rate ratios — identical
+    /// whichever demand pass (serial or split) filled `req_units`.
+    fn finish(&mut self, ctx: &RoundCtx<'_>, req_mask: u64) {
         let mut m = req_mask;
         while m != 0 {
             let k = m.trailing_zeros() as usize;
@@ -733,10 +807,14 @@ impl ChannelLane {
 
     /// Advances this lane's in-flight downloads by one round, streaming
     /// the download index; completed downloads are appended to
-    /// `completed` (order restored by the caller's global sort).
+    /// `completed` (order restored by the caller's global sort). The
+    /// requested rate is re-derived from `bytes` — unchanged since the
+    /// demand pass — with the identical quantization, so the advance is
+    /// bit-equal to the old cached-rate implementation.
     fn advance(&mut self, ctx: &RoundCtx<'_>, completed: &mut Vec<usize>) {
         for e in &mut self.dl {
-            let my_rate = e.req * self.ratio[e.chunk as usize];
+            let my_req = dequantize(quantize_rate(e.bytes, ctx.inv_step, ctx.vm_bandwidth));
+            let my_rate = my_req * self.ratio[e.chunk as usize];
             let new_left = e.bytes - my_rate * ctx.step;
             if new_left <= 1e-6 {
                 completed.push(e.idx as usize);
@@ -745,39 +823,51 @@ impl ChannelLane {
             }
         }
     }
-}
 
-/// `u64`-keyed hash map with a multiply-mix hasher — peer ids are
-/// sequential trace ids, so SipHash is pure overhead on this hot path.
-type IdMap = std::collections::HashMap<u64, usize, std::hash::BuildHasherDefault<IdHasher>>;
-
-/// Multiplicative hasher for 8-byte keys.
-#[derive(Debug, Default)]
-struct IdHasher(u64);
-
-impl std::hash::Hasher for IdHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    /// Split variant of [`ChannelLane::advance`]: the same fixed-order
+    /// sub-lane segments as [`ChannelLane::process_split`] advance in
+    /// parallel (each entry's update reads only its own bytes and the
+    /// shared read-only ratios), and each sub-lane's completions are
+    /// concatenated in sub-lane order — the caller's global sort makes
+    /// the discovery order immaterial anyway.
+    fn advance_split(
+        &mut self,
+        ctx: &RoundCtx<'_>,
+        scratch: &mut [LaneScratch],
+        completed: &mut Vec<usize>,
+        time_it: bool,
+    ) {
+        if self.dl.is_empty() {
+            return;
+        }
+        let seg = self.dl.len().div_ceil(scratch.len());
+        let ratio = &self.ratio;
+        rayon::scope(|s| {
+            for (part, sc) in self.dl.chunks_mut(seg).zip(scratch.iter_mut()) {
+                s.spawn(move |_| {
+                    let t0 = time_it.then(std::time::Instant::now);
+                    sc.completed.clear();
+                    for e in part {
+                        let my_req =
+                            dequantize(quantize_rate(e.bytes, ctx.inv_step, ctx.vm_bandwidth));
+                        let my_rate = my_req * ratio[e.chunk as usize];
+                        let new_left = e.bytes - my_rate * ctx.step;
+                        if new_left <= 1e-6 {
+                            sc.completed.push(e.idx);
+                        } else {
+                            e.bytes = new_left;
+                        }
+                    }
+                    if let Some(t0) = t0 {
+                        sc.wall_ns += t0.elapsed().as_nanos() as u64;
+                    }
+                });
+            }
+        });
+        for sc in scratch {
+            completed.extend(sc.completed.iter().map(|&i| i as usize));
         }
     }
-
-    fn write_u64(&mut self, x: u64) {
-        self.0 = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        self.0 ^= self.0 >> 29;
-    }
-}
-
-/// A waiting peer's wheel entry: stable id (indices are renumbered by
-/// `swap_remove`) plus its wake time.
-#[derive(Debug, Clone, Copy)]
-struct WakeEntry {
-    wake_at: f64,
-    id: u64,
 }
 
 /// Calendar wheel of waiting peers, bucketed by round. Pushing is O(1);
@@ -787,17 +877,23 @@ struct WakeEntry {
 /// stays in its wrapped bucket until its own revolution comes around.
 /// Due-ness is always re-checked against the actual round clock, so
 /// bucket placement never changes behavior — only where an entry waits.
+///
+/// Entries are bare 4-byte slots into the engine's wake slab; wake
+/// times are not duplicated into the wheel but read back through the
+/// `wake_of` lookup handed to [`WakeWheel::drain_due`] (they live on
+/// the waiting peers themselves), which cuts the wheel's per-waiter
+/// footprint from 16 to 4 bytes.
 #[derive(Debug)]
 struct WakeWheel {
     /// Round duration (bucket width), seconds.
     dt: f64,
-    /// `buckets[b]` holds entries with `floor(wake_at / dt) % LEN == b`.
-    buckets: Vec<Vec<WakeEntry>>,
+    /// `buckets[b]` holds slots whose `floor(wake_at / dt) % LEN == b`.
+    buckets: Vec<Vec<u32>>,
     /// Highest absolute bucket index already drained.
     drained: i64,
     /// Scratch for entries drained early (same bucket, later in the
     /// round window); re-checked next round.
-    pending: Vec<WakeEntry>,
+    pending: Vec<u32>,
 }
 
 impl WakeWheel {
@@ -828,8 +924,8 @@ impl WakeWheel {
         (wake_at / self.dt).floor() as i64
     }
 
-    fn push(&mut self, entry: WakeEntry) {
-        let b = self.abs_bucket(entry.wake_at);
+    fn push(&mut self, slot: u32, wake_at: f64) {
+        let b = self.abs_bucket(wake_at);
         if b <= self.drained {
             // The wake falls inside a bucket the clock already passed
             // this round (possible whenever wake times are not aligned
@@ -837,19 +933,20 @@ impl WakeWheel {
             // round_seconds). The bucket will not be drained again for a
             // full revolution, so park the entry in `pending`, which is
             // re-checked at the start of every round.
-            self.pending.push(entry);
+            self.pending.push(slot);
         } else {
             let len = self.buckets.len() as i64;
-            self.buckets[(b.rem_euclid(len)) as usize].push(entry);
+            self.buckets[(b.rem_euclid(len)) as usize].push(slot);
         }
     }
 
-    /// Collects every entry with `wake_at <= t1` into `due`.
-    fn drain_due(&mut self, t1: f64, due: &mut Vec<WakeEntry>) {
+    /// Collects every slot whose wake time (per `wake_of`) is `<= t1`
+    /// into `due`.
+    fn drain_due(&mut self, t1: f64, due: &mut Vec<u32>, wake_of: impl Fn(u32) -> f64) {
         // Entries drained early in a previous pass.
-        self.pending.retain(|e| {
-            if e.wake_at <= t1 {
-                due.push(*e);
+        self.pending.retain(|&slot| {
+            if wake_of(slot) <= t1 {
+                due.push(slot);
                 false
             } else {
                 true
@@ -860,20 +957,21 @@ impl WakeWheel {
             self.drained += 1;
             let drained = self.drained;
             let dt = self.dt;
-            let slot = (drained.rem_euclid(self.buckets.len() as i64)) as usize;
-            let bucket = &mut self.buckets[slot];
+            let pos = (drained.rem_euclid(self.buckets.len() as i64)) as usize;
+            let bucket = &mut self.buckets[pos];
             for i in (0..bucket.len()).rev() {
-                let e = bucket[i];
+                let slot = bucket[i];
+                let wake_at = wake_of(slot);
                 // Same-revolution entries only; a far-future collision
                 // (> one revolution ahead) stays for a later pass.
-                if (e.wake_at / dt).floor() as i64 != drained {
+                if (wake_at / dt).floor() as i64 != drained {
                     continue;
                 }
                 bucket.swap_remove(i);
-                if e.wake_at <= t1 {
-                    due.push(e);
+                if wake_at <= t1 {
+                    due.push(slot);
                 } else {
-                    self.pending.push(e);
+                    self.pending.push(slot);
                 }
             }
         }
@@ -882,6 +980,16 @@ impl WakeWheel {
 
 /// "Not downloading" marker in [`IndexedEngine::dl_slot`].
 const DL_NONE: u32 = u32::MAX;
+
+/// Size of one in-flight download record, exposed for the worst-case
+/// accounting in [`crate::footprint`].
+pub(crate) const DL_ENTRY_BYTES: usize = std::mem::size_of::<DlEntry>();
+
+/// How often (in rounds) the split sub-lane passes sample their per-lane
+/// wall time for the `hist/lane_wall_ns` telemetry histogram. Sampling
+/// keeps the clock reads off the hot path; telemetry never affects
+/// results.
+const LANE_WALL_SAMPLE: u64 = 64;
 
 /// Production engine; see the module docs for the design and the
 /// bit-exactness argument.
@@ -898,17 +1006,37 @@ pub(crate) struct IndexedEngine {
     eff: f64,
     /// Each connected peer's fixed-point usable upload, indexed by
     /// global peer index (mirrors `peers` across `swap_remove`).
-    usable_units: Vec<u64>,
-    /// Each connected peer's position in its lane's download index
-    /// ([`DL_NONE`] while waiting), indexed by global peer index.
+    /// Packed to `u32`: the grid is 1/1024 byte/s, so the cap is
+    /// ~4 GB/s of usable upload per peer — far beyond any residential
+    /// uplink the workloads model (joins assert it).
+    usable_units: Vec<u32>,
+    /// While downloading: the peer's position in its lane's download
+    /// index. While waiting: its slot in `wake_slab` (the peer's own
+    /// state tag disambiguates). [`DL_NONE`] only in the instant between
+    /// a drained wake and the event-processing that restarts or removes
+    /// the peer. Indexed by global peer index.
     dl_slot: Vec<u32>,
-    /// Waiting peers, bucketed by wake round.
+    /// Waiting peers' slab slots, bucketed by wake round.
     wheel: WakeWheel,
-    /// Stable peer id → current index (kept current across
-    /// `swap_remove`), used to resolve drained wake entries.
-    id_to_idx: IdMap,
-    /// Scratch for drained wake entries.
-    due: Vec<WakeEntry>,
+    /// Slab of waiting peers' current global indices (re-keyed across
+    /// `swap_remove`), addressed by the slots stored in the wheel.
+    /// Replaces the old stable-id hash map: resolution is one array
+    /// load, and the per-waiter cost is 4 bytes plus the free list.
+    wake_slab: Vec<u32>,
+    /// Free `wake_slab` slots available for reuse.
+    free_slots: Vec<u32>,
+    /// Scratch for drained wake slots.
+    due: Vec<u32>,
+    /// Sub-lane fan-out cap for a single-channel engine's round passes
+    /// (1 = always serial). Set by the sharded runtime; the fan-out also
+    /// requires `dl.len() >= 2 * lane_min`.
+    lane_cap: usize,
+    /// Minimum downloads per sub-lane before another lane engages.
+    lane_min: usize,
+    /// Per-sub-lane scratch (`lane_cap` entries when lanes are enabled).
+    scratch: Vec<LaneScratch>,
+    /// Rounds processed, for sampled sub-lane wall telemetry.
+    rounds: u64,
 }
 
 impl IndexedEngine {
@@ -947,26 +1075,84 @@ impl IndexedEngine {
             usable_units: Vec::new(),
             dl_slot: Vec::new(),
             wheel: WakeWheel::new(round_seconds, wheel_len),
-            id_to_idx: IdMap::default(),
+            wake_slab: Vec::new(),
+            free_slots: Vec::new(),
             due: Vec::new(),
+            lane_cap: 1,
+            lane_min: 1,
+            scratch: Vec::new(),
+            rounds: 0,
         }
     }
 
-    /// A single-channel engine for one shard of the sharded run loop.
+    /// A single-channel engine for one shard of the sharded run loop,
+    /// with its round passes allowed to fan out over up to `lane_cap`
+    /// sub-lanes of at least `lane_min` downloads each (`lane_cap == 1`
+    /// keeps the shard fully serial).
     pub(crate) fn for_shard(
         channel: usize,
         max_chunks: usize,
         eff: f64,
         round_seconds: f64,
+        lane_cap: usize,
+        lane_min: usize,
     ) -> Self {
-        Self::with_base(
+        let mut engine = Self::with_base(
             channel,
             1,
             max_chunks,
             eff,
             round_seconds,
             WakeWheel::SHARD_LEN,
-        )
+        );
+        engine.lane_cap = lane_cap.max(1);
+        engine.lane_min = lane_min.max(1);
+        if engine.lane_cap > 1 {
+            engine.scratch = (0..engine.lane_cap)
+                .map(|_| LaneScratch {
+                    req_units: vec![0; max_chunks],
+                    mask: 0,
+                    completed: Vec::new(),
+                    wall_ns: 0,
+                })
+                .collect();
+        }
+        engine
+    }
+
+    /// How many sub-lanes a round pass over `n_dl` downloads fans out
+    /// over: one lane per `lane_min` downloads, capped at `lane_cap`.
+    /// A pure function of the download count and the engine's fixed
+    /// parameters, so both round passes of a round agree.
+    fn sub_lanes(&self, n_dl: usize) -> usize {
+        if self.lane_cap <= 1 {
+            1
+        } else {
+            (n_dl / self.lane_min).clamp(1, self.lane_cap)
+        }
+    }
+
+    /// Sampled per-sub-lane wall times (ns) accumulated over the run,
+    /// for the `hist/lane_wall_ns` histogram; empty when the engine
+    /// never split.
+    pub(crate) fn lane_walls(&self) -> impl Iterator<Item = u64> + '_ {
+        self.scratch.iter().map(|s| s.wall_ns).filter(|&w| w > 0)
+    }
+
+    /// Bytes of engine-resident state that scale with the connected
+    /// population: the supply and download-slot mirrors, the in-flight
+    /// download index, and the waiting peers' slab + wheel entries.
+    /// Fixed per-engine overhead (bucket headers, sub-lane scratch) is
+    /// excluded — it does not grow with viewers. The `Peer` array itself
+    /// is accounted by the caller (`crate::footprint`).
+    pub(crate) fn resident_peer_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let downloads: usize = self.lanes.iter().map(|l| l.dl.len()).sum();
+        let waiting = self.wake_slab.len() - self.free_slots.len();
+        self.usable_units.len() * size_of::<u32>()
+            + self.dl_slot.len() * size_of::<u32>()
+            + downloads * size_of::<DlEntry>()
+            + waiting * 2 * size_of::<u32>()
     }
 }
 
@@ -976,12 +1162,14 @@ impl RoundEngine for IndexedEngine {
         let p = &peers[idx];
         debug_assert_eq!(p.buffer, 0, "peers join with an empty buffer");
         let usable = quantize_usable(p.upload_capacity, self.eff);
-        self.usable_units.push(usable);
-        let lane = &mut self.lanes[p.channel - self.base];
+        let packed = u32::try_from(usable)
+            .expect("peer upload exceeds the packed u32 supply grid (~4 GB/s)");
+        self.usable_units.push(packed);
+        let lane = &mut self.lanes[p.channel() - self.base];
         lane.pool_units += usable;
         let PeerState::Downloading {
             chunk, bytes_left, ..
-        } = p.state
+        } = p.state()
         else {
             unreachable!("peers join downloading their start chunk");
         };
@@ -990,15 +1178,13 @@ impl RoundEngine for IndexedEngine {
             idx: idx as u32,
             chunk: chunk as u32,
             bytes: bytes_left,
-            req: 0.0,
         });
-        self.id_to_idx.insert(p.id, idx);
     }
 
     fn on_buffer(&mut self, channel: usize, idx: usize, chunk: usize) {
         let lane = &mut self.lanes[channel - self.base];
         lane.owners[chunk] += 1;
-        lane.owner_units[chunk] += self.usable_units[idx];
+        lane.owner_units[chunk] += u64::from(self.usable_units[idx]);
     }
 
     fn on_download_started(
@@ -1016,7 +1202,6 @@ impl RoundEngine for IndexedEngine {
             idx: idx as u32,
             chunk: chunk as u32,
             bytes: bytes_left,
-            req: 0.0,
         });
     }
 
@@ -1035,7 +1220,7 @@ impl RoundEngine for IndexedEngine {
         entry.bytes = bytes_left;
     }
 
-    fn on_download_stopped(&mut self, channel: usize, idx: usize, id: u64, wake_at: f64) {
+    fn on_download_stopped(&mut self, channel: usize, idx: usize, _id: u64, wake_at: f64) {
         let lane = &mut self.lanes[channel - self.base];
         let pos = self.dl_slot[idx] as usize;
         debug_assert_eq!(lane.dl[pos].idx as usize, idx);
@@ -1043,16 +1228,29 @@ impl RoundEngine for IndexedEngine {
         if let Some(moved) = lane.dl.get(pos) {
             self.dl_slot[moved.idx as usize] = pos as u32;
         }
-        self.dl_slot[idx] = DL_NONE;
+        // Park the waiter in the slab; `dl_slot` holds its slab slot
+        // until the wake drains (the peer's state tag disambiguates the
+        // two uses of `dl_slot`).
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.wake_slab[slot as usize] = idx as u32;
+                slot
+            }
+            None => {
+                self.wake_slab.push(idx as u32);
+                (self.wake_slab.len() - 1) as u32
+            }
+        };
+        self.dl_slot[idx] = slot;
         // `wake_at` is strictly in the future (gates and drains both
         // check against `now` before waiting).
-        self.wheel.push(WakeEntry { wake_at, id });
+        self.wheel.push(slot, wake_at);
     }
 
     fn on_remove(&mut self, peers: &[Peer], idx: usize) {
         let removed = &peers[idx];
-        let lane = &mut self.lanes[removed.channel - self.base];
-        let usable = self.usable_units[idx];
+        let lane = &mut self.lanes[removed.channel() - self.base];
+        let usable = u64::from(self.usable_units[idx]);
         lane.pool_units -= usable;
         // Drop the departing peer's chunks from the owner aggregates —
         // integer subtraction, so the running sums stay exact.
@@ -1065,34 +1263,44 @@ impl RoundEngine for IndexedEngine {
                 lane.owner_units[chunk] -= usable;
             }
         }
-        if matches!(removed.state, PeerState::Downloading { .. }) {
+        if matches!(removed.state(), PeerState::Downloading { .. }) {
             let pos = self.dl_slot[idx] as usize;
             debug_assert_eq!(lane.dl[pos].idx as usize, idx);
             lane.dl.swap_remove(pos);
             if let Some(moved_entry) = lane.dl.get(pos) {
                 self.dl_slot[moved_entry.idx as usize] = pos as u32;
             }
+        } else {
+            // A waiting peer is only removed in the round its wake
+            // drained (the departure path), so it has no live wheel
+            // entry or slab slot.
+            debug_assert_eq!(self.dl_slot[idx], DL_NONE);
         }
-        self.id_to_idx.remove(&removed.id);
         // `swap_remove` moves the peer at the last global index into
         // `idx`; re-key it. The supply aggregates are value-based, not
-        // position-based, so only the download index and the id map care.
+        // position-based, so only the download index and the wake slab
+        // care.
         self.usable_units.swap_remove(idx);
         self.dl_slot.swap_remove(idx);
         let last = peers.len() - 1;
         if last != idx {
             let moved = &peers[last];
-            if matches!(moved.state, PeerState::Downloading { .. }) {
-                let pos = self.dl_slot[idx] as usize;
-                let entry = &mut self.lanes[moved.channel - self.base].dl[pos];
-                debug_assert_eq!(entry.idx as usize, last);
-                entry.idx = idx as u32;
+            let slot = self.dl_slot[idx];
+            if slot != DL_NONE {
+                if matches!(moved.state(), PeerState::Downloading { .. }) {
+                    let entry = &mut self.lanes[moved.channel() - self.base].dl[slot as usize];
+                    debug_assert_eq!(entry.idx as usize, last);
+                    entry.idx = idx as u32;
+                } else {
+                    debug_assert_eq!(self.wake_slab[slot as usize] as usize, last);
+                    self.wake_slab[slot as usize] = idx as u32;
+                }
             }
-            self.id_to_idx.insert(moved.id, idx);
         }
     }
 
     fn allocate(&mut self, peers: &[Peer], ctx: &RoundCtx<'_>) -> f64 {
+        self.rounds += 1;
         if peers.len() >= PAR_MIN_PEERS && self.lanes.len() > 1 {
             // Contiguous channel groups across threads. Channels never
             // share an accumulator, so scheduling cannot affect results.
@@ -1107,6 +1315,13 @@ impl RoundEngine for IndexedEngine {
                     });
                 }
             });
+        } else if self.lanes.len() == 1 && self.sub_lanes(self.lanes[0].dl.len()) > 1 {
+            // A hot single-channel shard: fan the demand scan out over
+            // fixed-order sub-lanes (bit-identical by integer-sum
+            // reassociation; see `process_split`).
+            let subs = self.sub_lanes(self.lanes[0].dl.len());
+            let time_it = self.rounds.is_multiple_of(LANE_WALL_SAMPLE);
+            self.lanes[0].process_split(ctx, &mut self.scratch[..subs], time_it);
         } else {
             for lane in &mut self.lanes {
                 lane.process(ctx);
@@ -1135,18 +1350,41 @@ impl RoundEngine for IndexedEngine {
         completed: &mut Vec<usize>,
         woken: &mut Vec<usize>,
     ) {
-        for lane in &mut self.lanes {
-            lane.advance(ctx, completed);
+        let subs = if self.lanes.len() == 1 {
+            self.sub_lanes(self.lanes[0].dl.len())
+        } else {
+            1
+        };
+        if subs > 1 {
+            let time_it = self.rounds.is_multiple_of(LANE_WALL_SAMPLE);
+            self.lanes[0].advance_split(ctx, &mut self.scratch[..subs], completed, time_it);
+        } else {
+            for lane in &mut self.lanes {
+                lane.advance(ctx, completed);
+            }
         }
         completed.sort_unstable();
         self.due.clear();
-        self.wheel.drain_due(t1, &mut self.due);
-        for e in &self.due {
-            let idx = *self
-                .id_to_idx
-                .get(&e.id)
-                .expect("waiting peers stay until they wake");
-            debug_assert!(matches!(peers[idx].state, PeerState::Waiting { .. }));
+        {
+            // Wake times live on the waiting peers; the slab maps a
+            // wheel slot to the peer's current index.
+            let Self {
+                wheel,
+                wake_slab,
+                due,
+                ..
+            } = self;
+            wheel.drain_due(t1, due, |slot| {
+                peers[wake_slab[slot as usize] as usize].wake_at()
+            });
+        }
+        for &slot in &self.due {
+            let idx = self.wake_slab[slot as usize] as usize;
+            debug_assert!(matches!(peers[idx].state(), PeerState::Waiting { .. }));
+            // The slot is free again; clear the peer's slab reference so
+            // a restarted download can claim `dl_slot` (asserted there).
+            self.dl_slot[idx] = DL_NONE;
+            self.free_slots.push(slot);
             woken.push(idx);
         }
         woken.sort_unstable();
@@ -1336,7 +1574,7 @@ fn run_loop<E: RoundEngine>(
                 reserved_total = channel_reserved.iter().sum();
                 let mut per_channel_peers = vec![0usize; n_channels];
                 for p in &peers {
-                    per_channel_peers[p.channel] += 1;
+                    per_channel_peers[p.channel()] += 1;
                 }
                 metrics.intervals.push(interval_record(
                     clock,
@@ -1536,12 +1774,12 @@ pub(crate) fn advance_playback<S: ViewingSink>(
     rng: &mut StdRng,
     removals: &mut Vec<usize>,
 ) {
-    let viewing = &catalog.channel(p.channel).viewing;
+    let viewing = &catalog.channel(p.channel()).viewing;
     let mut current = chunk;
     loop {
         match viewing.sample_next(rng, current) {
             NextAction::Watch(next) => {
-                tracker.transition(p.channel, current, next);
+                tracker.transition(p.channel(), current, next);
                 if p.owns(next) {
                     // Already buffered (a jump back): it plays straight
                     // from the buffer; decide again after it.
@@ -1553,28 +1791,28 @@ pub(crate) fn advance_playback<S: ViewingSink>(
                 // PREFETCH_WINDOWS playback windows before its deadline.
                 let gate = play_end - crate::peer::PREFETCH_WINDOWS * chunk_seconds;
                 if gate > now {
-                    p.state = PeerState::Waiting {
+                    p.set_state(PeerState::Waiting {
                         next: Some(PendingChunk {
                             chunk: next,
                             deadline: play_end,
                         }),
                         wake_at: gate,
-                    };
+                    });
                 } else {
                     p.start_chunk(next, chunk_bytes, play_end);
                 }
                 return;
             }
             NextAction::Leave => {
-                tracker.leave(p.channel, current);
+                tracker.leave(p.channel(), current);
                 if play_end <= now {
                     removals.push(idx);
                 } else {
                     // Drain playback (still uploading), then depart.
-                    p.state = PeerState::Waiting {
+                    p.set_state(PeerState::Waiting {
                         next: None,
                         wake_at: play_end,
-                    };
+                    });
                 }
                 return;
             }
@@ -1619,14 +1857,14 @@ pub(crate) fn process_round_events<E: RoundEngine + ?Sized, S: ViewingSink>(
             let p = &mut peers[idx];
             let PeerState::Downloading {
                 chunk, deadline, ..
-            } = p.state
+            } = p.state()
             else {
                 unreachable!("completion events come from downloading peers");
             };
             // Chunk complete at (approximately) t1.
             debug_assert!(!p.owns(chunk), "a chunk downloads at most once");
             p.add_to_buffer(chunk);
-            engine.on_buffer(p.channel, idx, chunk);
+            engine.on_buffer(p.channel(), idx, chunk);
             if deadline.is_finite() {
                 if t1 > deadline {
                     p.record_stall(t1, t1 - deadline);
@@ -1659,23 +1897,23 @@ pub(crate) fn process_round_events<E: RoundEngine + ?Sized, S: ViewingSink>(
             // The playback walk either began the next download, gated it
             // (or a departure drain) behind a wake-up, or scheduled an
             // immediate departure.
-            match p.state {
+            match p.state() {
                 PeerState::Waiting { wake_at, .. } => {
-                    engine.on_download_stopped(p.channel, idx, p.id, wake_at);
+                    engine.on_download_stopped(p.channel(), idx, p.id, wake_at);
                 }
                 PeerState::Downloading {
                     chunk,
                     bytes_left,
                     deadline,
                 } => {
-                    engine.sync_download(p.channel, idx, chunk, bytes_left, deadline);
+                    engine.sync_download(p.channel(), idx, chunk, bytes_left, deadline);
                 }
             }
         } else {
             let idx = woken[wi];
             wi += 1;
             let p = &mut peers[idx];
-            let PeerState::Waiting { next, wake_at } = p.state else {
+            let PeerState::Waiting { next, wake_at } = p.state() else {
                 unreachable!("wake events come from waiting peers");
             };
             debug_assert!(wake_at <= t1);
@@ -1683,7 +1921,7 @@ pub(crate) fn process_round_events<E: RoundEngine + ?Sized, S: ViewingSink>(
                 Some(pending) => {
                     p.start_chunk(pending.chunk, chunk_bytes, pending.deadline);
                     engine.on_download_started(
-                        p.channel,
+                        p.channel(),
                         idx,
                         pending.chunk,
                         chunk_bytes,
@@ -1861,10 +2099,10 @@ pub(crate) fn sample(
     let mut per_channel_smooth = vec![0usize; n_channels];
     let mut smooth = 0usize;
     for p in peers {
-        per_channel_peers[p.channel] += 1;
+        per_channel_peers[p.channel()] += 1;
         if p.smooth_in_window(time, window) {
             smooth += 1;
-            per_channel_smooth[p.channel] += 1;
+            per_channel_smooth[p.channel()] += 1;
         }
     }
     let quality = if peers.is_empty() {

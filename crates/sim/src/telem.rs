@@ -103,6 +103,7 @@ pub const SPECS: &[Spec] = &[
     c("prov/interval", "ns"),
     c("stage/shard_step", "ns"),
     c("stage/region_step", "ns"),
+    h("hist/lane_wall_ns", "ns"),
 ];
 
 /// `stage/provisioning` — fault boundaries + the provisioning block.
@@ -193,6 +194,10 @@ pub const STAGE_SHARD_STEP: MetricId = MetricId(40);
 /// `stage/region_step` — the federated simulator's per-region round
 /// fan-out (each region's arrivals + allocation + advance + events).
 pub const STAGE_REGION_STEP: MetricId = MetricId(41);
+/// `hist/lane_wall_ns` — sampled per-sub-lane wall times from the
+/// giant-channel lane fan-out (one observation per scratch lane on
+/// sampled rounds; see `LANE_WALL_SAMPLE` in the simulator).
+pub const HIST_LANE_WALL: MetricId = MetricId(42);
 
 /// A live registry over the simulator catalog; with `trace` the
 /// explicit span call sites also buffer Chrome trace events.
@@ -303,11 +308,12 @@ mod tests {
             (PROV_INTERVAL, "prov/interval"),
             (STAGE_SHARD_STEP, "stage/shard_step"),
             (STAGE_REGION_STEP, "stage/region_step"),
+            (HIST_LANE_WALL, "hist/lane_wall_ns"),
         ];
         for &(id, name) in pairs {
             assert_eq!(SPECS[id.0].name, name);
         }
-        assert_eq!(SPECS.len(), 42);
+        assert_eq!(SPECS.len(), 43);
     }
 
     #[test]

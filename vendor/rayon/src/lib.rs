@@ -11,6 +11,13 @@
 //! worse than serial execution. With the pool, a `scope` dispatch costs
 //! one queue push and one wake-up per task.
 //!
+//! Queued jobs carry their spawning scope's identity, and a thread
+//! blocked on a scope drains that scope's jobs before stealing foreign
+//! work — see `TaggedJob`. This keeps nested fan-outs (an outer
+//! scope of shard tasks, each opening an inner scope of sub-channel
+//! lane tasks) from inverting: the waiter finishes its own lanes
+//! instead of adopting another shard's full round.
+//!
 //! On a single-hardware-thread host the pool has zero workers and
 //! `Scope::spawn` runs its task inline on the calling thread — exactly
 //! the serial execution order, with no queue or synchronization traffic.
@@ -26,9 +33,26 @@ use std::sync::{Condvar, Mutex, OnceLock};
 /// A lifetime-erased queued task.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A queued task tagged with the identity of the scope that spawned it
+/// (the `ScopeData` stack address, unique while the scope is alive —
+/// and a scope outlives its queued tasks by construction).
+///
+/// The tag drives *scope-affine stealing*: a thread blocked in
+/// [`wait_for_scope`] drains jobs of **its own scope** before helping
+/// with anything else. Without the preference, a shard task waiting on
+/// its sub-lane fan-out could pull another shard's whole-round job off
+/// the global queue and bury its own near-finished scope under
+/// arbitrary foreign work; with it, nested fan-outs (the sharded
+/// engine's `(shard, lane)` shape) complete innermost-first while idle
+/// threads still steal any runnable job via the plain FIFO path.
+struct TaggedJob {
+    scope_id: usize,
+    job: Job,
+}
+
 /// The global worker pool.
 struct Pool {
-    queue: Mutex<VecDeque<Job>>,
+    queue: Mutex<VecDeque<TaggedJob>>,
     work_available: Condvar,
     /// Number of worker threads (0 on single-threaded hosts).
     workers: usize,
@@ -73,16 +97,16 @@ fn pool() -> &'static Pool {
 
 fn worker_loop(p: &'static Pool) {
     loop {
-        let job = {
+        let task = {
             let mut queue = p.queue.lock().expect("pool queue poisoned");
             loop {
-                if let Some(job) = queue.pop_front() {
-                    break job;
+                if let Some(task) = queue.pop_front() {
+                    break task;
                 }
                 queue = p.work_available.wait(queue).expect("pool queue poisoned");
             }
         };
-        job();
+        (task.job)();
     }
 }
 
@@ -162,6 +186,10 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         // in std::thread::scope's implementation strategy.
         let task: Job =
             unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(task) };
+        let task = TaggedJob {
+            scope_id: std::ptr::from_ref(data) as usize,
+            job: task,
+        };
         let mut queue = p.queue.lock().expect("pool queue poisoned");
         queue.push_back(task);
         drop(queue);
@@ -171,8 +199,11 @@ impl<'scope, 'env> Scope<'scope, 'env> {
 
 /// Blocks until every task of `data` has completed, helping to drain the
 /// global queue while waiting (so a caller is never idle while work —
-/// its own or another scope's — is runnable).
+/// its own or another scope's — is runnable). Jobs spawned by **this
+/// scope** are taken first (see [`TaggedJob`]); only when none are
+/// queued does the waiter steal the oldest foreign job.
 fn wait_for_scope(p: &Pool, data: &ScopeData) {
+    let scope_id = std::ptr::from_ref(data) as usize;
     loop {
         {
             let pending = data.pending.lock().expect("scope counter poisoned");
@@ -180,9 +211,15 @@ fn wait_for_scope(p: &Pool, data: &ScopeData) {
                 return;
             }
         }
-        let job = p.queue.lock().expect("pool queue poisoned").pop_front();
-        match job {
-            Some(job) => job(),
+        let task = {
+            let mut queue = p.queue.lock().expect("pool queue poisoned");
+            match queue.iter().position(|t| t.scope_id == scope_id) {
+                Some(i) => queue.remove(i),
+                None => queue.pop_front(),
+            }
+        };
+        match task {
+            Some(task) => (task.job)(),
             None => {
                 let pending = data.pending.lock().expect("scope counter poisoned");
                 if *pending == 0 {
@@ -314,6 +351,37 @@ mod tests {
             });
         });
         assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn nested_lane_fanout_under_shared_pool() {
+        // The sharded engine's two-level shape: an outer scope fans
+        // shard tasks out, and each shard task opens an inner scope
+        // fanning sub-lane tasks over disjoint slices. Every lane job
+        // and shard job shares the one global queue; scope-affine
+        // stealing must still complete them all with the right data.
+        let mut shards = vec![vec![0u64; 64]; 8];
+        scope(|s| {
+            for (i, shard) in shards.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    let seg = shard.len() / 4;
+                    scope(|inner| {
+                        for (j, lane) in shard.chunks_mut(seg).enumerate() {
+                            inner.spawn(move |_| {
+                                for x in lane.iter_mut() {
+                                    *x = (i * 10 + j) as u64;
+                                }
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        for (i, shard) in shards.iter().enumerate() {
+            for (j, lane) in shard.chunks(16).enumerate() {
+                assert!(lane.iter().all(|&x| x == (i * 10 + j) as u64));
+            }
+        }
     }
 
     #[test]
