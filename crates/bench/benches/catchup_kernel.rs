@@ -1,0 +1,109 @@
+//! Criterion benchmark of the quiescence engine's catch-up arithmetic:
+//! the closed-form trajectory walk (what `epoch_enter`/`schedule_virtual`
+//! pay once per download, and `epoch_materialize` pays once per
+//! download at exit) against the k-round stepped advance loop it
+//! replaces (what the normal path pays every round for every download).
+//!
+//! All three functions walk the *same* exact fixed-point recurrence —
+//! `u = quantize_rate(b); b -= dequantize(u) * step` — because the
+//! epoch engine's whole claim is bit-identity: the win is doing that
+//! walk once per download instead of once per download per round, not
+//! doing different arithmetic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cloudmedia_sim::simulator::{dequantize, quantize_rate};
+
+/// The paper-default grid: 10 s rounds, 1.25 MB/s per-viewer ceiling,
+/// 15 MB chunks (300 s of 50 kB/s video).
+const STEP: f64 = 10.0;
+const INV_STEP: f64 = 1.0 / STEP;
+const VM_BW: f64 = 1.25e6;
+const CHUNK_BYTES: f64 = 15.0e6;
+
+/// One step of the exact service recurrence at ratio 1.0.
+#[inline]
+fn advance_once(b: f64) -> f64 {
+    let u = quantize_rate(b, INV_STEP, VM_BW);
+    b - dequantize(u) * STEP
+}
+
+/// Walks a download's full trajectory from `bytes`, returning its
+/// length and the number of quantized-rate changes — the work
+/// `schedule_virtual` does when a download is fused into the ring.
+fn trajectory_walk(bytes: f64) -> (u32, u32) {
+    let mut b = bytes;
+    let mut len = 0u32;
+    let mut changes = 0u32;
+    let mut prev = u64::MAX;
+    loop {
+        let u = quantize_rate(b, INV_STEP, VM_BW);
+        if u != prev {
+            changes += 1;
+        }
+        prev = u;
+        len += 1;
+        let next = b - dequantize(u) * STEP;
+        if next <= 1e-6 {
+            return (len, changes);
+        }
+        b = next;
+    }
+}
+
+/// Replays `k` rounds of the recurrence from `bytes` — the
+/// materialization fast-forward for one download skipped `k` rounds.
+fn catchup_replay(bytes: f64, k: u32) -> f64 {
+    let mut b = bytes;
+    for _ in 0..k {
+        b = advance_once(b);
+    }
+    b
+}
+
+fn bench_catchup_kernel(c: &mut Criterion) {
+    // A fresh paper-default chunk takes 12 rounds (11 at the VM ceiling
+    // plus one 2.5 MB tail), so k = 11 is the longest exact catch-up a
+    // single chunk can need.
+    let k = trajectory_walk(CHUNK_BYTES).0 - 1;
+
+    let mut group = c.benchmark_group("catchup_kernel");
+
+    // Entry cost: fuse one download into its virtual schedule.
+    group.bench_function("trajectory_walk", |b| {
+        b.iter(|| trajectory_walk(black_box(CHUNK_BYTES)))
+    });
+
+    // Exit cost: fast-forward one download k rounds in one shot.
+    group.bench_function("closed_form_catchup", |b| {
+        b.iter(|| catchup_replay(black_box(CHUNK_BYTES), black_box(k)))
+    });
+
+    // What the stepped path pays for the same k rounds: the advance
+    // loop touching every in-flight download every round (1024
+    // downloads × k rounds per iteration — divide by 1024 to compare
+    // per-download costs with the two one-shot walks above).
+    const DOWNLOADS: usize = 1024;
+    group.bench_function("stepped_advance_loop", |b| {
+        let fresh: Vec<f64> = (0..DOWNLOADS)
+            .map(|i| CHUNK_BYTES - (i % 7) as f64 * 1.0e5)
+            .collect();
+        let mut dl = fresh.clone();
+        b.iter(|| {
+            dl.copy_from_slice(&fresh);
+            for _ in 0..k {
+                for bytes in &mut dl {
+                    let next = advance_once(*bytes);
+                    *bytes = if next <= 1e-6 { CHUNK_BYTES } else { next };
+                }
+            }
+            black_box(dl[0])
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_catchup_kernel);
+criterion_main!(benches);

@@ -3,6 +3,8 @@
 //! RSS), re-checks serial ≡ parallel bit equality, and appends the
 //! `scale_sweep` section to the benchmark JSON (regeneration order:
 //! `bench_sim`, `bench_des`, `ext_multi_region_sim`, then this).
+//! Parallel steady rows run in quiescence-off/on pairs so the epoch
+//! engine's wall-clock effect is isolated row-to-row.
 //!
 //! Usage: `bench_scale [--max-peers N] [--hours H] [--flash-peers N] [--out PATH]`
 //!   - `--max-peers` population of the headline run (default 1 000 000;
@@ -70,12 +72,16 @@ fn main() {
     }
     for (population, h, mode) in points {
         let channels = ((population / 500.0) as usize).clamp(20, 4096);
-        for parallel in [false, true] {
-            let row = run_point(population, channels, mode, h, parallel);
+        // Serial runs quiesced (the default); the parallel pair runs
+        // quiescence off then on, so adjacent rows isolate the epoch
+        // engine's wall-clock effect (metrics are bit-identical).
+        for (parallel, quiesce) in [(false, true), (true, false), (true, true)] {
+            let row = run_point(population, channels, mode, h, parallel, quiesce);
             eprintln!(
-                "{mode:?} {population:.0} viewers / {channels} channels ({}): \
+                "{mode:?} {population:.0} viewers / {channels} channels ({}, quiescence {}): \
                  {:.2}s wall, {:.1} sim-h/s, peak {} viewers, RSS {} MB",
                 if parallel { "parallel" } else { "serial" },
+                if quiesce { "on" } else { "off" },
                 row.wall_seconds,
                 row.sim_hours_per_wall_second,
                 row.peak_peers,
@@ -124,7 +130,7 @@ fn main() {
 
     let headline = sweep
         .iter()
-        .filter(|r| r.parallel)
+        .filter(|r| r.parallel && r.quiesce)
         .max_by(|a, b| a.peak_peers.cmp(&b.peak_peers))
         .expect("sweep is non-empty");
     println!(

@@ -127,6 +127,10 @@ pub enum Command {
         config_path: Option<String>,
         /// Optional path to write the full metrics JSON.
         out_path: Option<String>,
+        /// Disable the quiescence-aware epoch engine (`--no-quiesce`).
+        /// Results are bit-identical either way; this is the
+        /// escape-hatch / baseline knob.
+        no_quiesce: bool,
         /// Telemetry / trace output options.
         telemetry: TelemetryOpts,
     },
@@ -177,6 +181,9 @@ pub enum Command {
         shed: bool,
         /// Optional path to write the resilience report JSON.
         out_path: Option<String>,
+        /// Disable the quiescence-aware epoch engine (`--no-quiesce`)
+        /// on both the baseline and the faulted run.
+        no_quiesce: bool,
         /// Telemetry / trace output options (recorded on the faulted run).
         telemetry: TelemetryOpts,
     },
@@ -197,6 +204,10 @@ pub enum Command {
         lanes: usize,
         /// Optional path to write the full metrics JSON.
         out_path: Option<String>,
+        /// Disable the quiescence-aware epoch engine (`--no-quiesce`).
+        /// Results are bit-identical either way; this is the
+        /// escape-hatch / baseline knob.
+        no_quiesce: bool,
         /// Telemetry / trace output options.
         telemetry: TelemetryOpts,
     },
@@ -367,16 +378,16 @@ USAGE:
   cloudmedia plan --arrival-rates R1,R2,... [--mode cs|p2p] [--budget DOLLARS]
   cloudmedia simulate [--mode cs|p2p] [--hours H]
                       [--kernel scan|indexed|event-driven|sharded]
-                      [--config FILE] [--out FILE]
+                      [--config FILE] [--out FILE] [--no-quiesce]
   cloudmedia des <baseline|boot-delay|vm-failure|flash-crowd>
                  [--mode cs|p2p] [--hours H] [--scheduler heap|wheel] [--out FILE]
   cloudmedia geo <independent|federated|central> [--mode cs|p2p] [--hours H]
   cloudmedia chaos <vm-outage|site-outage|budget-cut|tracker-dropout>
                    [--mode cs|p2p] [--hours H]
                    [--kernel scan|indexed|event-driven|sharded]
-                   [--serial] [--shed] [--out FILE]
+                   [--serial] [--shed] [--out FILE] [--no-quiesce]
   cloudmedia scale [--peers N] [--channels C] [--mode cs|p2p] [--hours H]
-                   [--serial | --lanes N] [--out FILE]
+                   [--serial | --lanes N] [--out FILE] [--no-quiesce]
   cloudmedia profile [--mode cs|p2p] [--hours H]
                      [--kernel scan|indexed|event-driven|sharded] [--out FILE]
   cloudmedia default-config [--mode cs|p2p]
@@ -386,7 +397,9 @@ Every run-style subcommand (simulate, des, geo, chaos, scale) also accepts:
   --telemetry FILE   write the metrics-registry snapshot as JSON
   --trace FILE       write Chrome trace-event JSON (Perfetto / chrome://tracing)
 Telemetry never changes simulation results: outputs are bit-identical
-with the flags on or off.
+with the flags on or off. `--no-quiesce` disables the quiescence-aware
+epoch engine (simulate/chaos/scale); it too never changes results —
+skipped rounds are bit-identical to stepped ones.
 ";
 
 fn parse_mode(v: &str) -> Result<SimMode, CliError> {
@@ -501,6 +514,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
             let mut kernel = None;
             let mut config_path = None;
             let mut out_path = None;
+            let mut no_quiesce = false;
             let mut telemetry = TelemetryOpts::default();
             while let Some(flag) = it.next() {
                 match flag {
@@ -509,6 +523,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                     "--kernel" => kernel = Some(parse_kernel(take_value(&mut it, flag)?)?),
                     "--config" => config_path = Some(take_value(&mut it, flag)?.to_owned()),
                     "--out" => out_path = Some(take_value(&mut it, flag)?.to_owned()),
+                    "--no-quiesce" => no_quiesce = true,
                     "--telemetry" => {
                         telemetry.metrics_path = Some(take_value(&mut it, flag)?.to_owned());
                     }
@@ -524,6 +539,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                 kernel,
                 config_path,
                 out_path,
+                no_quiesce,
                 telemetry,
             })
         }
@@ -600,6 +616,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
             let mut serial = false;
             let mut shed = false;
             let mut out_path = None;
+            let mut no_quiesce = false;
             let mut telemetry = TelemetryOpts::default();
             while let Some(flag) = it.next() {
                 match flag {
@@ -609,6 +626,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                     "--serial" => serial = true,
                     "--shed" => shed = true,
                     "--out" => out_path = Some(take_value(&mut it, flag)?.to_owned()),
+                    "--no-quiesce" => no_quiesce = true,
                     "--telemetry" => {
                         telemetry.metrics_path = Some(take_value(&mut it, flag)?.to_owned());
                     }
@@ -626,6 +644,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                 serial,
                 shed,
                 out_path,
+                no_quiesce,
                 telemetry,
             })
         }
@@ -637,6 +656,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
             let mut serial = false;
             let mut lanes = None;
             let mut out_path = None;
+            let mut no_quiesce = false;
             let mut telemetry = TelemetryOpts::default();
             while let Some(flag) = it.next() {
                 match flag {
@@ -657,6 +677,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                         })?);
                     }
                     "--out" => out_path = Some(take_value(&mut it, flag)?.to_owned()),
+                    "--no-quiesce" => no_quiesce = true,
                     "--telemetry" => {
                         telemetry.metrics_path = Some(take_value(&mut it, flag)?.to_owned());
                     }
@@ -681,6 +702,7 @@ pub fn parse(args: &[&str]) -> Result<Command, CliError> {
                 serial,
                 lanes: lanes.unwrap_or(0),
                 out_path,
+                no_quiesce,
                 telemetry,
             })
         }
@@ -754,6 +776,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             kernel,
             config_path,
             out_path,
+            no_quiesce,
             telemetry,
         } => simulate(
             mode,
@@ -761,6 +784,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             kernel,
             config_path.as_deref(),
             out_path.as_deref(),
+            no_quiesce,
             &telemetry,
         ),
         Command::Des {
@@ -792,6 +816,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             serial,
             shed,
             out_path,
+            no_quiesce,
             telemetry,
         } => chaos(
             scenario,
@@ -801,6 +826,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             serial,
             shed,
             out_path.as_deref(),
+            no_quiesce,
             &telemetry,
         ),
         Command::Scale {
@@ -811,6 +837,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             serial,
             lanes,
             out_path,
+            no_quiesce,
             telemetry,
         } => scale(
             peers,
@@ -820,6 +847,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             serial,
             lanes,
             out_path.as_deref(),
+            no_quiesce,
             &telemetry,
         ),
         Command::Profile {
@@ -944,6 +972,7 @@ fn simulate(
     kernel: Option<SimKernel>,
     config_path: Option<&str>,
     out_path: Option<&str>,
+    no_quiesce: bool,
     telemetry: &TelemetryOpts,
 ) -> Result<String, CliError> {
     let mut config = match config_path {
@@ -960,6 +989,9 @@ fn simulate(
     }
     if let Some(kernel) = kernel {
         config.kernel = kernel;
+    }
+    if no_quiesce {
+        config.quiescence = false;
     }
     let tel = telemetry.registry();
     let metrics = Simulator::new(config)
@@ -1142,7 +1174,7 @@ fn geo(
     Ok(out)
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)] // mirrors Command::Chaos's fields one-to-one
 fn chaos(
     scenario: ChaosScenarioKind,
     mode: SimMode,
@@ -1151,6 +1183,7 @@ fn chaos(
     serial: bool,
     shed: bool,
     out_path: Option<&str>,
+    no_quiesce: bool,
     telemetry: &TelemetryOpts,
 ) -> Result<String, CliError> {
     let horizon = hours * 3600.0;
@@ -1167,6 +1200,7 @@ fn chaos(
         }
         let mut fc = FederatedConfig::paper_default(DeploymentKind::Federated, mode, hours);
         fc.parallel_regions = !serial;
+        fc.base.quiescence = !no_quiesce;
         let baseline = FederatedSimulator::new(fc.clone())
             .map_err(|e| CliError::Run(format!("invalid federation config: {e}")))?
             .run()
@@ -1196,6 +1230,7 @@ fn chaos(
             cfg.kernel = kernel;
         }
         cfg.parallel_channels = !serial;
+        cfg.quiescence = !no_quiesce;
         let baseline = Simulator::new(cfg.clone())
             .map_err(|e| CliError::Run(format!("invalid configuration: {e}")))?
             .run()
@@ -1265,6 +1300,7 @@ fn scale(
     serial: bool,
     lanes: usize,
     out_path: Option<&str>,
+    no_quiesce: bool,
     telemetry: &TelemetryOpts,
 ) -> Result<String, CliError> {
     let mut config = SimConfig::scale_out(mode, channels, peers)
@@ -1272,6 +1308,7 @@ fn scale(
     config.trace.horizon_seconds = hours * 3600.0;
     config.parallel_channels = !serial;
     config.lanes = lanes;
+    config.quiescence = !no_quiesce;
     let tel = telemetry.registry();
     let started = std::time::Instant::now();
     let metrics = Simulator::new(config)
@@ -1290,7 +1327,8 @@ fn scale(
     let _ = writeln!(
         out,
         "scale run: {channels} channels, target {peers:.0} concurrent viewers, \
-         {hours:.1} h in {mode:?} mode ({} shard stepping, {} pool threads, {})",
+         {hours:.1} h in {mode:?} mode ({} shard stepping, {} pool threads, {}, \
+         quiescence {})",
         if serial { "serial" } else { "parallel" },
         rayon_threads(),
         if serial {
@@ -1300,6 +1338,7 @@ fn scale(
         } else {
             format!("lane cap {lanes}")
         },
+        if no_quiesce { "off" } else { "on" },
     );
     let _ = writeln!(
         out,
@@ -1387,6 +1426,17 @@ fn profile(
         staged_ns as f64 / 1e6,
         run_ns as f64 / 1e6,
     );
+    // The quiescence engine only reports on the sharded kernel; zero
+    // everywhere else, so the line is gated rather than noise.
+    let skipped = snap.value(telem::QUIESCE_ROUNDS_SKIPPED);
+    let dirty = snap.value(telem::QUIESCE_DIRTY_CHANNELS);
+    if skipped > 0 || dirty > 0 {
+        let _ = writeln!(
+            out,
+            "quiescence: {skipped} shard-rounds skipped, {dirty} epochs dirtied \
+             (catch-up spans in hist/catchup_k)",
+        );
+    }
     let _ = writeln!(
         out,
         "mean streaming quality: {:.4} (telemetry never changes results)",
@@ -1419,6 +1469,7 @@ mod tests {
                 serial: false,
                 shed: false,
                 out_path: None,
+                no_quiesce: false,
                 telemetry: TelemetryOpts::default(),
             }
         );
@@ -1447,6 +1498,7 @@ mod tests {
                 serial: true,
                 shed: true,
                 out_path: Some("r.json".into()),
+                no_quiesce: false,
                 telemetry: TelemetryOpts::default(),
             }
         );
@@ -1485,6 +1537,7 @@ mod tests {
             serial: true,
             shed: false,
             out_path: None,
+            no_quiesce: false,
             telemetry: TelemetryOpts::default(),
         })
         .unwrap_err();
@@ -1551,6 +1604,7 @@ mod tests {
                 kernel: None,
                 config_path: None,
                 out_path: None,
+                no_quiesce: false,
                 telemetry: TelemetryOpts::default(),
             }
         );
@@ -1738,6 +1792,7 @@ mod tests {
                 serial: false,
                 lanes: 0,
                 out_path: None,
+                no_quiesce: false,
                 telemetry: TelemetryOpts::default(),
             }
         );
@@ -1764,6 +1819,7 @@ mod tests {
                 serial: true,
                 lanes: 0,
                 out_path: None,
+                no_quiesce: false,
                 telemetry: TelemetryOpts::default(),
             }
         );
@@ -1789,6 +1845,36 @@ mod tests {
         ));
         assert!(matches!(
             parse(&["scale", "--warp-speed"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn parse_no_quiesce_on_run_subcommands() {
+        assert!(matches!(
+            parse(&["scale", "--no-quiesce"]).unwrap(),
+            Command::Scale {
+                no_quiesce: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&["simulate", "--no-quiesce"]).unwrap(),
+            Command::Simulate {
+                no_quiesce: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse(&["chaos", "vm-outage", "--no-quiesce"]).unwrap(),
+            Command::Chaos {
+                no_quiesce: true,
+                ..
+            }
+        ));
+        // Not a run-style flag elsewhere: des/geo/profile reject it.
+        assert!(matches!(
+            parse(&["des", "baseline", "--no-quiesce"]),
             Err(CliError::Usage(_))
         ));
     }
@@ -1823,12 +1909,43 @@ mod tests {
             serial: false,
             lanes: 0,
             out_path: None,
+            no_quiesce: false,
             telemetry: TelemetryOpts::default(),
         })
         .unwrap();
         assert!(out.contains("scale run: 6 channels"), "got: {out}");
+        assert!(out.contains("quiescence on"), "got: {out}");
         assert!(out.contains("sim-hours per wall-second"));
         assert!(out.contains("peak concurrent viewers"));
+
+        let off = run(Command::Scale {
+            peers: 300.0,
+            channels: 6,
+            mode: SimMode::ClientServer,
+            hours: 1.0,
+            serial: false,
+            lanes: 0,
+            out_path: None,
+            no_quiesce: true,
+            telemetry: TelemetryOpts::default(),
+        })
+        .unwrap();
+        assert!(off.contains("quiescence off"), "got: {off}");
+    }
+
+    #[test]
+    fn profile_sharded_kernel_reports_quiescence() {
+        let out = run(Command::Profile {
+            mode: SimMode::ClientServer,
+            hours: 2.0,
+            kernel: Some(SimKernel::Sharded),
+            out_path: None,
+        })
+        .unwrap();
+        assert!(
+            out.contains("quiescence:") && out.contains("shard-rounds skipped"),
+            "got: {out}"
+        );
     }
 
     #[test]
@@ -1841,6 +1958,7 @@ mod tests {
             serial: false,
             lanes: 0,
             out_path: None,
+            no_quiesce: false,
             telemetry: TelemetryOpts::default(),
         })
         .unwrap_err();
@@ -2032,6 +2150,7 @@ mod tests {
             kernel: Some(SimKernel::Indexed),
             config_path: None,
             out_path: None,
+            no_quiesce: false,
             telemetry: TelemetryOpts {
                 metrics_path: Some(m_path.to_string_lossy().into_owned()),
                 trace_path: Some(t_path.to_string_lossy().into_owned()),
@@ -2109,6 +2228,7 @@ mod tests {
             kernel: None,
             config_path: Some(cfg_path.to_string_lossy().into_owned()),
             out_path: Some(out_path.to_string_lossy().into_owned()),
+            no_quiesce: false,
             telemetry: TelemetryOpts::default(),
         })
         .unwrap();

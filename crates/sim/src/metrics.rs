@@ -56,6 +56,14 @@ pub struct IntervalRecord {
 }
 
 /// Full metrics of one run.
+///
+/// The quiescence engine's correctness bar is defined on this type:
+/// every sample, interval record, and cost accumulator of a
+/// quiescence-on run must be **bit-identical** to the quiescence-off
+/// run of the same config (`crates/sim/tests/quiesce_invariance.rs`;
+/// the committed golden in `crates/sim/tests/golden_steady.rs` pins a
+/// heavily-skipped run's exact bytes). Skipped rounds contribute their
+/// cached cloud usage analytically — never an approximation.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
     /// Fine-grained samples.

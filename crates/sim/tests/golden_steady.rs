@@ -1,0 +1,119 @@
+//! Golden-run pinning for the steady-state mega-catalog scenario — the
+//! workload the quiescence-aware epoch engine exists for. The committed
+//! config is a small Zipf catalog under a plain diurnal profile (no
+//! flash crowds), so most channels settle into fully-served epochs and
+//! the sharded engine skips the bulk of their rounds; the golden
+//! `Metrics` JSON therefore pins the *epoch* code path end to end —
+//! entry, skipping, closed-form catch-up, and materialization — not
+//! just the stepped path. An engagement assertion keeps the pin honest:
+//! if quiescence stops engaging, the test fails rather than silently
+//! pinning the ordinary path.
+//!
+//! To re-bless after an *intentional* behavior change:
+//!
+//! ```text
+//! CLOUDMEDIA_BLESS=1 cargo test -p cloudmedia-sim --test golden_steady
+//! ```
+//!
+//! and commit the rewritten `tests/fixtures/` files with the change
+//! that required them.
+
+use std::path::PathBuf;
+
+use cloudmedia_sim::config::{SimConfig, SimMode};
+use cloudmedia_sim::metrics::Metrics;
+use cloudmedia_sim::simulator::Simulator;
+use cloudmedia_sim::telem;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn blessing() -> bool {
+    std::env::var_os("CLOUDMEDIA_BLESS").is_some()
+}
+
+/// The scenario: a 16-channel Zipf mega catalog at a population small
+/// enough to keep the suite fast, over a horizon long enough to cross
+/// several provisioning intervals and let steady channels quiesce.
+fn fixture_config() -> SimConfig {
+    let mut cfg = SimConfig::scale_out(SimMode::ClientServer, 16, 1500.0).unwrap();
+    cfg.trace.horizon_seconds = 3.0 * 3600.0;
+    cfg.trace.seed = 0x57EA_D1E5;
+    cfg.behaviour_seed = 0x5EED_57EA;
+    cfg
+}
+
+/// Compares `got` against the committed golden (or rewrites it under
+/// `CLOUDMEDIA_BLESS=1`). Comparison is on parsed `Metrics` structs —
+/// persistence.rs pins that the JSON round trip is bit-exact — so the
+/// goldens are insensitive to formatting, only to values.
+fn assert_matches_golden(got: &Metrics, file: &str) {
+    let path = fixture_path(file);
+    if blessing() {
+        let json = serde_json::to_string_pretty(got).unwrap();
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, json + "\n").unwrap();
+        return;
+    }
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with CLOUDMEDIA_BLESS=1", file));
+    let want: Metrics = serde_json::from_str(&json).unwrap();
+    assert_eq!(
+        &want, got,
+        "{file}: run diverged from the committed golden (re-bless only for \
+         intentional behavior changes)"
+    );
+}
+
+/// The committed config fixture stays in sync with the in-code
+/// constructor, so the golden metrics are pinned to a config readers
+/// can inspect (and load themselves) rather than to code history.
+#[test]
+fn fixture_config_matches_the_committed_json() {
+    let cfg = fixture_config();
+    let path = fixture_path("steady_config.json");
+    if blessing() {
+        let json = serde_json::to_string_pretty(&cfg).unwrap();
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, json + "\n").unwrap();
+        return;
+    }
+    let json = std::fs::read_to_string(&path).expect("committed config fixture");
+    let committed: SimConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(committed, cfg, "fixture config drifted from the test's");
+    committed.validate().unwrap();
+}
+
+/// The sharded engine with quiescence engaged matches the committed
+/// golden, and the epoch engine demonstrably did the work (rounds were
+/// skipped, so the golden pins the fast-forward arithmetic).
+#[test]
+fn sharded_engine_matches_the_steady_golden() {
+    let tel = telem::new_registry(false);
+    let run = Simulator::new(fixture_config())
+        .unwrap()
+        .run_with_telemetry(&tel)
+        .unwrap();
+    assert!(
+        run.metrics.peak_peers() > 0,
+        "the scenario exercised nobody"
+    );
+    assert!(
+        tel.snapshot().value(telem::QUIESCE_ROUNDS_SKIPPED) > 0,
+        "quiescence never engaged — the golden would pin the wrong path"
+    );
+    assert_matches_golden(&run.metrics, "steady_sharded.json");
+}
+
+/// The same scenario with quiescence disabled reproduces the same
+/// golden byte for byte — the epoch engine is a pure optimization.
+#[test]
+fn no_quiesce_matches_the_same_steady_golden() {
+    let mut cfg = fixture_config();
+    cfg.quiescence = false;
+    let metrics = Simulator::new(cfg).unwrap().run().unwrap();
+    assert_matches_golden(&metrics, "steady_sharded.json");
+}
